@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints a
+paper-vs-measured comparison (visible with ``pytest -s``); assertions pin
+the reproduction targets so a silent regression fails the bench run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.tables import render_table
+
+
+def report(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print one comparison table."""
+    print()
+    print(render_table(headers, rows, title=title))

@@ -1,0 +1,68 @@
+"""Ablation: what the bidirectional transceivers actually buy.
+
+Sweeps the transceiver technology (duplex CWDM4 -> bidi CWDM4 -> bidi
+CWDM8) and stacks up every consequence the paper attributes to bidi
+operation: OCS count, fabric availability, deployment hardware, and the
+Table 1 cost structure.
+"""
+
+import pytest
+
+from repro.availability.model import TRANSCEIVER_TECHS, fabric_availability
+from repro.optics.transceiver import transceiver
+from repro.tpu.costmodel import FabricCostModel, NUM_CONNECTIONS
+
+from .conftest import report
+
+
+def run_ablation():
+    rows = []
+    for key, label, module_key in (
+        ("cwdm4_duplex", "CWDM4 duplex", "osfp_800g"),
+        ("cwdm4_bidi", "CWDM4 bidi", "bidi_2x400g_cwdm4"),
+        ("cwdm8_bidi", "CWDM8 bidi", "bidi_800g_cwdm8"),
+    ):
+        tech = TRANSCEIVER_TECHS[key]
+        spec = transceiver(module_key)
+        ocses = tech.num_ocses
+        rows.append(
+            {
+                "label": label,
+                "strands": tech.strands_per_connection,
+                "ocses": ocses,
+                "availability": fabric_availability(ocses, 0.999),
+                "fibers": NUM_CONNECTIONS * tech.strands_per_connection,
+                "circulators": spec.num_circulators,
+            }
+        )
+    return rows
+
+
+def test_bench_ablation_bidi(benchmark):
+    rows = benchmark(run_ablation)
+    model = FabricCostModel()
+    ocs_cost = {r["label"]: r["ocses"] * model.ocs_cost_usd / 1e6 for r in rows}
+    report(
+        "Ablation: transceiver technology stack-up (full 64-cube pod)",
+        ["technology", "strands/conn", "OCSes", "fibers", "fabric avail", "OCS CapEx"],
+        [
+            [
+                r["label"],
+                r["strands"],
+                r["ocses"],
+                r["fibers"],
+                f"{r['availability']:.1%}",
+                f"${ocs_cost[r['label']]:.2f}M",
+            ]
+            for r in rows
+        ],
+    )
+    duplex, bidi4, bidi8 = rows
+    # Each halving of strands halves OCSes and fibers...
+    assert duplex["ocses"] == 2 * bidi4["ocses"] == 4 * bidi8["ocses"]
+    assert duplex["fibers"] == 2 * bidi4["fibers"] == 4 * bidi8["fibers"]
+    # ...and monotonically raises fabric availability.
+    assert duplex["availability"] < bidi4["availability"] < bidi8["availability"]
+    # The bidi modules carry the circulators that make it possible.
+    assert duplex["circulators"] == 0
+    assert bidi4["circulators"] == 2 and bidi8["circulators"] == 1

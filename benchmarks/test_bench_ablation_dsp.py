@@ -1,0 +1,69 @@
+"""Ablation: the DSP stack, knob by knob.
+
+Sweeps OIM suppression depth and the inner-FEC correction radius to show
+which part of the Figs 11-12 gains each mechanism delivers, and the
+combined OIM + SFEC sensitivity ladder the production links rely on.
+"""
+
+import pytest
+
+from repro.optics.ber import receiver_sensitivity_dbm
+from repro.optics.fec import ConcatenatedFec, InnerSoftFec, KP4_BER_THRESHOLD
+from repro.optics.pam4 import Pam4LinkModel
+
+from .conftest import report
+
+MPI_DB = -32.0
+
+
+def run_ablation():
+    base = receiver_sensitivity_dbm(Pam4LinkModel(mpi_db=MPI_DB))
+    oim_rows = []
+    for suppression in (0.0, 6.0, 12.0, 18.0):
+        sens = receiver_sensitivity_dbm(
+            Pam4LinkModel(mpi_db=MPI_DB, oim_suppression_db=suppression)
+        )
+        oim_rows.append((suppression, sens, base - sens))
+    fec_rows = []
+    for t_eff in (1, 2, 3):
+        fec = ConcatenatedFec(inner=InnerSoftFec(t_eff=t_eff))
+        threshold = fec.inner_input_threshold()
+        sens = receiver_sensitivity_dbm(
+            Pam4LinkModel(mpi_db=MPI_DB), target_ber=threshold
+        )
+        fec_rows.append((t_eff, threshold, sens, base - sens))
+    combined = receiver_sensitivity_dbm(
+        Pam4LinkModel(mpi_db=MPI_DB, oim_suppression_db=12.0),
+        target_ber=ConcatenatedFec().inner_input_threshold(),
+    )
+    return base, oim_rows, fec_rows, combined
+
+
+def test_bench_ablation_dsp(benchmark):
+    base, oim_rows, fec_rows, combined = benchmark(run_ablation)
+    report(
+        f"Ablation: OIM suppression depth (MPI {MPI_DB:g} dB, target 2e-4)",
+        ["suppression", "sensitivity", "gain"],
+        [[f"{s:g} dB", f"{sens:.2f} dBm", f"{g:+.2f} dB"] for s, sens, g in oim_rows],
+    )
+    report(
+        "Ablation: inner-FEC correction radius",
+        ["t_eff", "slicer threshold", "sensitivity", "gain"],
+        [
+            [t, f"{th:.2e}", f"{sens:.2f} dBm", f"{g:+.2f} dB"]
+            for t, th, sens, g in fec_rows
+        ],
+    )
+    print(
+        f"\nCombined OIM(12 dB) + SFEC ladder: {base:.2f} dBm -> {combined:.2f} dBm "
+        f"({base - combined:+.2f} dB total)"
+    )
+    # Monotone gains in both knobs.
+    oim_gains = [g for _, _, g in oim_rows]
+    assert oim_gains == sorted(oim_gains)
+    fec_gains = [g for _, _, _, g in fec_rows]
+    assert fec_gains == sorted(fec_gains)
+    # Diminishing returns: going 12 -> 18 dB buys less than 6 -> 12.
+    assert (oim_rows[3][2] - oim_rows[2][2]) < (oim_rows[2][2] - oim_rows[1][2])
+    # The combined ladder beats either mechanism alone.
+    assert base - combined > max(oim_gains[-1], fec_gains[-1])

@@ -1,0 +1,57 @@
+"""Ablation (§6): mid-training slice reshaping.
+
+A run with a data-parallel-heavy phase (LLM1-like) and a dense large-
+model phase (LLM2-like) has per-phase optima 4x4x256 and 16x16x16.  The
+study answers §6's open balance: reshaping wins as long as one reshape
+(checkpoint + OCS reconfigure + re-init) costs less than the break-even.
+"""
+
+import pytest
+
+from repro.ml.models import LLM_ZOO
+from repro.ml.perfmodel import TrainingStepModel
+from repro.ml.reshaping import ReshapingStudy, TrainingPhase
+
+from .conftest import report
+
+
+def run_study():
+    phases = [
+        TrainingPhase("dp-heavy", LLM_ZOO["llm1"], steps=150),
+        TrainingPhase("dense", LLM_ZOO["llm2"], steps=150),
+    ]
+    rows = []
+    for cost in (30.0, 120.0, 600.0, 3600.0):
+        plan = ReshapingStudy(TrainingStepModel(), reshape_cost_s=cost).plan(phases)
+        rows.append((cost, plan))
+    return rows
+
+
+def test_bench_ablation_reshaping(benchmark):
+    rows = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    base_plan = rows[0][1]
+    report(
+        "§6 ablation: reshape between phases vs one fixed shape",
+        ["reshape cost", "fixed shape", "reshaped", "speedup"],
+        [
+            [
+                f"{cost:g} s",
+                "x".join(map(str, plan.fixed_shape)),
+                " -> ".join("x".join(map(str, s)) for s in plan.phase_shapes),
+                f"{plan.speedup:.2f}x",
+            ]
+            for cost, plan in rows
+        ],
+    )
+    print(
+        f"\nBreak-even reshape cost: {base_plan.breakeven_reshape_cost_s:,.0f} s "
+        "(OCS reconfiguration itself is ~25 ms; checkpoint/restore dominates)"
+    )
+    # The per-phase optima are the Table 2 shapes.
+    assert base_plan.phase_shapes == ((4, 4, 256), (16, 16, 16))
+    # Cheap reshapes win; the speedup decays monotonically with cost.
+    speedups = [plan.speedup for _, plan in rows]
+    assert speedups[0] > 1.0
+    assert speedups == sorted(speedups, reverse=True)
+    # The break-even sits far above the fabric's millisecond switch time.
+    assert base_plan.breakeven_reshape_cost_s > 1.0

@@ -1,0 +1,67 @@
+"""Ablation: what drives the Table 2 optima.
+
+Removes the memory bound and sweeps the effective collective bandwidth to
+show which constraint produces which row of Table 2: LLM2's symmetric
+optimum is memory-forced; LLM1's extreme asymmetry is communication-
+driven and strengthens as bandwidth tightens.
+"""
+
+import pytest
+
+import repro.ml.parallelism as parallelism
+from repro.ml.models import LLM_ZOO
+from repro.ml.perfmodel import TrainingStepModel
+from repro.ml.shape_search import SliceShapeSearch
+
+from .conftest import report
+
+
+def run_ablation():
+    out = {}
+    # 1. Memory bound removed (weights fully shardable over data).
+    original = parallelism.WEIGHT_SHARD_BYTES_PER_PARAM
+    parallelism.WEIGHT_SHARD_BYTES_PER_PARAM = 0.01
+    try:
+        search = SliceShapeSearch(TrainingStepModel())
+        out["no_memory_bound"] = {
+            k: search.search(LLM_ZOO[k]).best_shape for k in LLM_ZOO
+        }
+    finally:
+        parallelism.WEIGHT_SHARD_BYTES_PER_PARAM = original
+    # 2. Bandwidth sweep with the memory bound back in place.
+    out["bw_sweep"] = {}
+    for bw in (0.5, 1.0, 4.0):
+        search = SliceShapeSearch(TrainingStepModel(link_gbytes_per_s=bw))
+        result = search.search(LLM_ZOO["llm1"])
+        out["bw_sweep"][bw] = (result.best_shape, result.speedup_vs_baseline)
+    return out
+
+
+def test_bench_ablation_shape_search(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    report(
+        "Ablation: optima without the HBM memory bound",
+        ["model", "with bound (Table 2)", "without bound"],
+        [
+            ["LLM0", "8x16x32", "x".join(map(str, results["no_memory_bound"]["llm0"]))],
+            ["LLM1", "4x4x256", "x".join(map(str, results["no_memory_bound"]["llm1"]))],
+            ["LLM2", "16x16x16", "x".join(map(str, results["no_memory_bound"]["llm2"]))],
+        ],
+    )
+    report(
+        "Ablation: LLM1 vs effective collective bandwidth",
+        ["bandwidth (GB/s)", "optimal shape", "speedup vs 16^3"],
+        [
+            [f"{bw:g}", "x".join(map(str, shape)), f"{speedup:.2f}x"]
+            for bw, (shape, speedup) in sorted(results["bw_sweep"].items())
+        ],
+    )
+    # LLM2's 16x16x16 is memory-forced: without the bound it collapses to
+    # a smaller tensor dimension like the others.
+    assert results["no_memory_bound"]["llm2"][0] < 16
+    # LLM1 keeps its asymmetric optimum across the bandwidth sweep, and
+    # the speedup grows as communication tightens.
+    speedups = [s for _, (_, s) in sorted(results["bw_sweep"].items())]
+    assert speedups == sorted(speedups, reverse=True)
+    for _, (shape, _) in results["bw_sweep"].items():
+        assert shape[0] == 4

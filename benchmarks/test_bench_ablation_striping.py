@@ -1,0 +1,60 @@
+"""Ablation: trunk striping and the single-OCS blast radius.
+
+§3.2.2 calls out the OCSes' "large blast radius" as the reason for deep
+control/monitoring integration.  This ablation quantifies the placement
+half of that story on a 64-AB spine-free fabric: packing trunks OCS by
+OCS leaves some pair losing *all* its capacity to one failure, while
+round-robin striping bounds any pair's loss to one trunk per OCS.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dcn.spinefree import uniform_mesh_trunks
+from repro.dcn.striping import (
+    blast_radius_comparison,
+    packed_striping,
+    round_robin_striping,
+)
+
+from .conftest import report
+
+NUM_BLOCKS = 16
+UPLINKS = 60  # 4 trunks per peer pair
+NUM_OCSES = 16
+OCS_PORTS = 32
+
+
+def run_ablation():
+    trunks = uniform_mesh_trunks(NUM_BLOCKS, UPLINKS)
+    radii = blast_radius_comparison(trunks, NUM_OCSES, OCS_PORTS)
+    striped = round_robin_striping(trunks, NUM_OCSES, OCS_PORTS)
+    packed = packed_striping(trunks, NUM_OCSES, OCS_PORTS)
+    loads = {
+        "striped": [striped.trunks_on_ocs(o) for o in range(NUM_OCSES)],
+        "packed": [packed.trunks_on_ocs(o) for o in range(NUM_OCSES)],
+    }
+    return radii, loads
+
+
+def test_bench_ablation_striping(benchmark):
+    radii, loads = benchmark(run_ablation)
+    report(
+        "Ablation: worst pair capacity loss under one OCS failure",
+        ["placement", "worst-pair loss", "max OCS load", "min OCS load"],
+        [
+            [
+                scheme,
+                f"{radii[scheme]:.0%}",
+                max(loads[scheme]),
+                min(loads[scheme]),
+            ]
+            for scheme in ("packed", "striped")
+        ],
+    )
+    assert radii["packed"] == 1.0  # some pair dies entirely
+    assert radii["striped"] <= 0.26  # 4 trunks/pair spread over the fleet
+    # Striping also balances the fleet load.
+    assert max(loads["striped"]) - min(loads["striped"]) <= max(
+        loads["packed"]
+    ) - min(loads["packed"])

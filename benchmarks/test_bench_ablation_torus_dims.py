@@ -1,0 +1,60 @@
+"""Ablation (§6): higher-dimensional tori and the 300x300 OCS.
+
+Quantifies the future-work claims: at fixed chip count, 4D/6D tori raise
+bisection and cut latency versus 3D -- at the price of more ICI ports and
+OCSes -- and a 300x300 switch more than doubles the pod envelope.
+"""
+
+import pytest
+
+from repro.availability.model import TRANSCEIVER_TECHS
+from repro.ocs.scaling import OCS_GENERATIONS, superpod_scaling_table
+from repro.tpu.higher_torus import compare_dimensionalities, ocses_for_torus
+
+from .conftest import report
+
+
+def run_study():
+    return (
+        compare_dimensionalities(4096, dims_options=(2, 3, 4, 6)),
+        superpod_scaling_table(TRANSCEIVER_TECHS["cwdm4_bidi"]),
+    )
+
+
+def test_bench_ablation_torus_dims(benchmark):
+    torus, scaling = benchmark(run_study)
+    report(
+        "§6 ablation: torus dimensionality at 4096 chips",
+        ["dims", "shape", "diameter", "avg hops", "bisection", "ports/chip", "OCSes"],
+        [
+            [
+                d,
+                "x".join(map(str, torus[d].shape)),
+                torus[d].diameter,
+                f"{torus[d].average_hops:.1f}",
+                torus[d].bisection_links,
+                torus[d].links_per_chip,
+                ocses_for_torus(torus[d].shape),
+            ]
+            for d in (2, 3, 4, 6)
+        ],
+    )
+    report(
+        "§6 ablation: OCS generation scaling (CWDM4 bidi)",
+        ["generation", "max cubes", "max chips", "BF16 EFLOPS"],
+        [
+            [
+                OCS_GENERATIONS[k].name,
+                int(scaling[k]["max_cubes"]),
+                int(scaling[k]["max_chips"]),
+                f"{scaling[k]['exaflops_bf16']:.1f}",
+            ]
+            for k in ("palomar", "next_gen")
+        ],
+    )
+    # §6's claims, asserted:
+    assert torus[4].bisection_links > torus[3].bisection_links
+    assert torus[6].bisection_links > torus[4].bisection_links
+    assert torus[4].diameter < torus[3].diameter
+    assert torus[4].links_per_chip > torus[3].links_per_chip
+    assert scaling["next_gen"]["max_chips"] > 2 * scaling["palomar"]["max_chips"]

@@ -1,0 +1,43 @@
+"""§1/§6 use case: campus-scale topology engineering over service churn.
+
+Workload: 12 clusters over 4 service epochs (gravity traffic whose hot
+pairs wander as services turn up and down).  Metric: the admissible load
+multiple each operating mode sustains, plus the OCS churn the
+reconfigurable mode pays.
+"""
+
+import pytest
+
+from repro.dcn.blocks import AggregationBlock
+from repro.dcn.campus import CampusStudy, service_epochs
+
+from .conftest import report
+
+
+def run_study():
+    blocks = [AggregationBlock(i, uplinks=16) for i in range(12)]
+    epochs = service_epochs(
+        12, num_epochs=4, total_gbps=10_000.0, concentration=1.4, seed=2
+    )
+    return CampusStudy(blocks, epochs).compare()
+
+
+def test_bench_campus(benchmark):
+    comparison = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    report(
+        "Campus fabric over 4 service epochs (admissible load multiple)",
+        ["mode", "mean admissible", "worst epoch", "OCS moves"],
+        [
+            [
+                mode,
+                f"{comparison[mode]['mean_admissible']:.2f}x",
+                f"{comparison[mode]['worst_admissible']:.2f}x",
+                int(comparison[mode]["total_moves"]),
+            ]
+            for mode in ("uniform", "static-engineered", "reconfigurable")
+        ],
+    )
+    reconf = comparison["reconfigurable"]
+    assert reconf["mean_admissible"] >= comparison["uniform"]["mean_admissible"]
+    assert reconf["mean_admissible"] >= comparison["static-engineered"]["mean_admissible"]
+    assert reconf["total_moves"] > 0  # churn is the price, OCS makes it cheap

@@ -1,0 +1,49 @@
+"""§4.2.3: deployment speed and modularity.
+
+Workload: a 64-rack build-out at one rack/day.  The lightwave pod brings
+each rack online as it is verified; the static pod waits for the last
+cable plus a whole-pod verification pass (the TPU v3 experience).  Also
+reports the bidi-transceiver hardware savings (48 vs 96 OCSes).
+"""
+
+import pytest
+
+from repro.scheduler.deployment import DeploymentModel, ocs_and_fiber_savings
+
+from .conftest import report
+
+
+def run_deployment():
+    model = DeploymentModel(
+        racks=64, rack_interval_d=1.0, rack_verify_d=2.0, pod_verify_d=14.0,
+        horizon_d=120.0,
+    )
+    return model, model.incremental_outcome(), model.static_outcome()
+
+
+def test_bench_deployment(benchmark):
+    model, incremental, static = benchmark(run_deployment)
+    duplex, bidi, saving = ocs_and_fiber_savings()
+    report(
+        "§4.2.3: deployment timeline (64 racks, 1 rack/day, 120-day window)",
+        ["metric", "incremental (lightwave)", "static (v3-style)"],
+        [
+            ["first usable capacity", f"day {incremental.time_to_first_capacity_d:.0f}",
+             f"day {static.time_to_first_capacity_d:.0f}"],
+            ["full pod", f"day {incremental.completion_d:.0f}", f"day {static.completion_d:.0f}"],
+            ["cube-days in window", f"{incremental.integrated_cube_days:.0f}",
+             f"{static.integrated_cube_days:.0f}"],
+        ],
+    )
+    report(
+        "§4.2.3: bidi transceiver hardware savings",
+        ["metric", "paper", "measured"],
+        [
+            ["OCSes (duplex -> bidi)", "96 -> 48", f"{duplex} -> {bidi}"],
+            ["OCS + fiber saving", "50%", f"{saving:.0%}"],
+        ],
+    )
+    assert incremental.time_to_first_capacity_d < static.time_to_first_capacity_d / 10
+    assert incremental.ramp_advantage_over(static) > 1.5
+    assert (duplex, bidi) == (96, 48)
+    assert saving == pytest.approx(0.5)

@@ -1,0 +1,54 @@
+"""Fig 10: Palomar OCS insertion-loss histogram and return loss.
+
+Workload: fabricate one Palomar OCS and sample all 136x136 = 18,496
+cross-connection insertion losses (Fig 10a) plus the 136 per-port return
+losses (Fig 10b).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import ascii_histogram
+from repro.ocs.optics_model import (
+    INSERTION_LOSS_MAX_DB,
+    RETURN_LOSS_SPEC_DB,
+    summarize_insertion_loss,
+)
+from repro.ocs.palomar import PalomarOcs
+
+from .conftest import report
+
+
+def sample_ocs_optics():
+    ocs = PalomarOcs.build(seed=42)
+    return ocs.insertion_loss_matrix_db(), ocs.return_loss_profile_db()
+
+
+def test_bench_fig10_ocs_optics(benchmark):
+    insertion, return_loss = benchmark(sample_ocs_optics)
+    summary = summarize_insertion_loss(insertion)
+    report(
+        "Fig 10a: insertion loss across all 136x136 paths",
+        ["metric", "paper", "measured"],
+        [
+            ["typical (median)", "< 2 dB", f"{summary['median_db']:.2f} dB"],
+            ["fraction < 2 dB", "most", f"{summary['fraction_below_2db']:.1%}"],
+            ["tail (p99)", "~3 dB", f"{summary['p99_db']:.2f} dB"],
+        ],
+    )
+    print()
+    print("Insertion-loss histogram (dB):")
+    print(ascii_histogram(insertion.ravel(), bins=14, fmt="{:5.2f}"))
+    report(
+        "Fig 10b: return loss per port",
+        ["metric", "paper", "measured"],
+        [
+            ["typical", "-46 dB", f"{np.median(return_loss):.1f} dB"],
+            ["spec", "<= -38 dB", f"worst {return_loss.max():.1f} dB"],
+        ],
+    )
+    assert summary["median_db"] < 2.0
+    assert summary["fraction_below_2db"] > 0.7
+    assert summary["max_db"] < INSERTION_LOSS_MAX_DB + 1.0
+    assert np.median(return_loss) == pytest.approx(-46.0, abs=1.5)
+    assert np.all(return_loss <= RETURN_LOSS_SPEC_DB)

@@ -1,0 +1,42 @@
+"""Fig 13: production per-lane BER across the superpod fleet.
+
+Workload: all 6144 receiving ports (16 per face x 6 faces x 64 cubes)
+with manufacturing/link spread, OIM and SFEC active.  Paper: every lane
+below the 2e-4 KP4 threshold with ~two orders of magnitude of margin.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import ascii_histogram
+from repro.optics.fec import KP4_BER_THRESHOLD
+from repro.optics.fleet import SUPERPOD_RX_PORTS, FleetBerSampler
+
+from .conftest import report
+
+
+def sample_fleet():
+    sampler = FleetBerSampler(num_ports=SUPERPOD_RX_PORTS, seed=7)
+    bers = sampler.sample()
+    return sampler.summarize(bers), bers
+
+
+def test_bench_fig13_fleet_ber(benchmark):
+    summary, bers = benchmark(sample_fleet)
+    report(
+        "Fig 13: fleet BER distribution (OIM + SFEC active)",
+        ["metric", "paper", "measured"],
+        [
+            ["ports", "6144", str(summary["ports"])],
+            ["all < 2e-4", "yes", str(summary["all_below_threshold"])],
+            ["median BER", "~1e-6..1e-7", f"{summary['median_ber']:.2e}"],
+            ["worst-lane margin", "~2 decades", f"{summary['worst_margin_decades']:.2f} decades"],
+        ],
+    )
+    print()
+    print("log10(BER) histogram:")
+    print(ascii_histogram(np.log10(np.maximum(bers, 1e-30)), bins=12, fmt="{:6.1f}"))
+    assert summary["ports"] == 6144
+    assert summary["all_below_threshold"]
+    assert summary["worst_margin_decades"] > 1.0
+    assert summary["median_margin_decades"] > 2.0

@@ -1,0 +1,67 @@
+"""Fig 15: fabric availability (a) and goodput vs slice size (b).
+
+Workloads: (a) fabric availability for the three transceiver
+technologies at 99.9% single-OCS availability; (b) goodput of static vs
+reconfigurable fabrics across slice sizes and server availabilities at
+the 97% system target, including a Monte-Carlo validation of the spared
+slices.
+"""
+
+import pytest
+
+from repro.availability.goodput import GoodputModel, reconfigurable_goodput, static_goodput
+from repro.availability.model import TRANSCEIVER_TECHS, fabric_availability
+from repro.availability.montecarlo import GoodputMonteCarlo
+
+from .conftest import report
+
+PAPER_15A = {"cwdm4_duplex": 0.90, "cwdm4_bidi": 0.95, "cwdm8_bidi": 0.98}
+
+
+def run_fig15():
+    fig_a = {
+        key: fabric_availability(tech.num_ocses, 0.999)
+        for key, tech in TRANSCEIVER_TECHS.items()
+    }
+    model = GoodputModel()
+    fig_b = {
+        sa: model.curve(sa, slice_cubes=(1, 2, 4, 8, 16, 32))
+        for sa in (0.999, 0.995, 0.99)
+    }
+    return fig_a, fig_b
+
+
+def test_bench_fig15_availability(benchmark):
+    fig_a, fig_b = benchmark(run_fig15)
+    report(
+        "Fig 15a: fabric availability at 99.9% per-OCS availability",
+        ["technology", "OCSes", "paper", "measured"],
+        [
+            [TRANSCEIVER_TECHS[k].name, TRANSCEIVER_TECHS[k].num_ocses,
+             f"{PAPER_15A[k]:.0%}", f"{fig_a[k]:.1%}"]
+            for k in ("cwdm4_duplex", "cwdm4_bidi", "cwdm8_bidi")
+        ],
+    )
+    rows = []
+    for sa in (0.999, 0.995, 0.99):
+        for cubes in (1, 4, 16, 32):
+            reconf, static = fig_b[sa][cubes]
+            rows.append(
+                [f"{sa:.3f}", cubes * 64, f"{reconf:.0%}", f"{static:.0%}"]
+            )
+    report(
+        "Fig 15b: goodput at 97% system availability",
+        ["server avail", "slice TPUs", "reconfigurable", "static"],
+        rows,
+    )
+    mc = GoodputMonteCarlo(server_availability=0.999, seed=1, trials=20_000)
+    empirical, spares = mc.reconfigurable_slice_availability(16)
+    print(f"\nMonte-Carlo: 16-cube slice with {spares} spare(s) -> {empirical:.1%} availability")
+
+    for key, expected in PAPER_15A.items():
+        assert fig_a[key] == pytest.approx(expected, abs=0.012)
+    # Paper anchors: 75%/25% at 1024 TPUs (99.9%), 50% at 2048 TPUs.
+    assert fig_b[0.999][16] == (pytest.approx(0.75), pytest.approx(0.25))
+    assert fig_b[0.999][32][0] == pytest.approx(0.50)
+    assert fig_b[0.99][16][0] == pytest.approx(0.50)
+    assert empirical >= 0.96

@@ -1,0 +1,39 @@
+"""Fig 1 / §2.1: spine-free DCN saves ~30% CapEx and ~41% power.
+
+Workload: a 64-AB fabric with 64 uplinks per block; the Clos baseline
+uses 16 spine blocks.  Regenerates the headline savings of the evolved
+(Fig 1b) architecture over the traditional (Fig 1a) one.
+"""
+
+import pytest
+
+from repro.dcn.blocks import AggregationBlock
+from repro.dcn.clos import ClosFabric
+from repro.dcn.costmodel import DcnCostModel
+from repro.dcn.spinefree import SpineFreeFabric
+
+from .conftest import report
+
+PAPER_CAPEX_SAVING = 0.30
+PAPER_POWER_SAVING = 0.41
+
+
+def build_and_compare():
+    blocks = [AggregationBlock(i, uplinks=64) for i in range(64)]
+    clos = ClosFabric(blocks, num_spines=16)
+    spinefree = SpineFreeFabric.uniform(blocks)
+    return DcnCostModel().savings(clos, spinefree)
+
+
+def test_bench_fig1_dcn_cost(benchmark):
+    savings = benchmark(build_and_compare)
+    report(
+        "Fig 1: spine-full Clos vs spine-free lightwave DCN",
+        ["metric", "paper", "measured"],
+        [
+            ["CapEx saving", f"{PAPER_CAPEX_SAVING:.0%}", f"{savings['capex_saving']:.1%}"],
+            ["Power saving", f"{PAPER_POWER_SAVING:.0%}", f"{savings['power_saving']:.1%}"],
+        ],
+    )
+    assert savings["capex_saving"] == pytest.approx(PAPER_CAPEX_SAVING, abs=0.02)
+    assert savings["power_saving"] == pytest.approx(PAPER_POWER_SAVING, abs=0.02)

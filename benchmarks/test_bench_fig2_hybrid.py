@@ -1,0 +1,55 @@
+"""Fig 2 / §2.2.2: hybrid ICI-DCN cross-pod collectives.
+
+Workload: a 4-superpod cluster running the two-level all-reduce of Fig 2
+(intra-pod ICI reduce-scatter, inter-pod DCN all-reduce, intra-pod
+all-gather) over a 70B model's data-parallel gradients.  Quantifies the
+paper's observations: the ICI provides 50-100x the DCN bandwidth per TPU
+and the DCN phase dominates the critical path.
+"""
+
+import pytest
+
+from repro.ml.hybrid import (
+    HybridClusterSpec,
+    cross_pod_all_reduce_time_s,
+    dcn_critical_path_fraction,
+)
+
+from .conftest import report
+
+
+def run_hybrid():
+    spec = HybridClusterSpec(num_pods=4)
+    # 70B parameters bf16, sharded over tensor=4: per-chip gradient bytes.
+    volume = 2.0 * 70e9 / (4 * 1024)
+    rows = []
+    for dcn in (0.2, 0.4, 0.8, 1.6):
+        s = HybridClusterSpec(num_pods=4, dcn_gbytes_per_chip_s=dcn)
+        rows.append(
+            (
+                dcn,
+                s.ici_to_dcn_ratio,
+                cross_pod_all_reduce_time_s(s, volume),
+                dcn_critical_path_fraction(s, volume),
+            )
+        )
+    return spec, rows
+
+
+def test_bench_fig2_hybrid(benchmark):
+    spec, rows = benchmark(run_hybrid)
+    report(
+        "Fig 2: two-level all-reduce across 4 superpods (per-chip shard)",
+        ["DCN GB/s/chip", "ICI:DCN ratio", "collective (ms)", "DCN fraction"],
+        [
+            [f"{dcn:.1f}", f"{ratio:.0f}x", f"{t * 1e3:.2f}", f"{frac:.0%}"]
+            for dcn, ratio, t, frac in rows
+        ],
+    )
+    # The default cluster sits in the paper's 50-100x gap.
+    assert 50 <= spec.ici_to_dcn_ratio <= 100
+    # DCN transfers dominate the critical path at low DCN bandwidth...
+    assert rows[0][3] > 0.5
+    # ...and topology-engineering more DCN bandwidth to the pods helps.
+    times = [t for _, _, t, _ in rows]
+    assert times == sorted(times, reverse=True)

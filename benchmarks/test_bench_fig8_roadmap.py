@@ -1,0 +1,59 @@
+"""Fig 8 / Fig 9: the WDM transceiver roadmap and the custom bidi modules.
+
+Workload: walk the generation registry from 40G QSFP+ to 800G OSFP,
+verifying the paper's 20x aggregate-bandwidth growth with improving
+energy efficiency, plus backward compatibility along the chain and the
+bidi modules' fiber economics.
+"""
+
+import pytest
+
+from repro.optics.transceiver import (
+    TRANSCEIVER_GENERATIONS,
+    bandwidth_growth_factor,
+    interoperable,
+    transceiver,
+)
+
+from .conftest import report
+
+DUPLEX_CHAIN = ("qsfp_40g", "qsfp28_100g", "qsfp56_200g", "osfp_400g", "osfp_800g")
+BIDI_MODULES = ("bidi_dcn_cwdm4", "bidi_2x400g_cwdm4", "bidi_800g_cwdm8")
+
+
+def collect_roadmap():
+    rows = []
+    for key in DUPLEX_CHAIN + BIDI_MODULES:
+        spec = transceiver(key)
+        rows.append(
+            [
+                spec.name,
+                spec.year,
+                f"{spec.max_rate_gbps:g}G",
+                f"{spec.grid.name} x{spec.lanes}",
+                f"{spec.energy_pj_per_bit:.1f} pJ/b",
+                spec.fibers_per_module,
+            ]
+        )
+    return rows
+
+
+def test_bench_fig8_roadmap(benchmark):
+    rows = benchmark(collect_roadmap)
+    report(
+        "Fig 8/9: WDM transceiver roadmap (paper: 20x growth, better pJ/bit)",
+        ["module", "year", "rate", "grid", "efficiency", "fibers"],
+        rows,
+    )
+    # 20x aggregate bandwidth growth over the roadmap.
+    assert bandwidth_growth_factor() == pytest.approx(20.0)
+    # Monotone energy-efficiency improvement along the duplex chain.
+    eff = [transceiver(k).energy_pj_per_bit for k in DUPLEX_CHAIN]
+    assert eff == sorted(eff, reverse=True)
+    # §3.3.1 backward compatibility: adjacent generations interoperate.
+    for a, b in zip(DUPLEX_CHAIN[1:], DUPLEX_CHAIN[2:]):
+        assert interoperable(transceiver(a), transceiver(b))
+    # Fig 9: the CWDM8 bidi module needs a single fiber per 800G link --
+    # a quarter of the duplex 2xCWDM4 module's plant.
+    assert transceiver("bidi_800g_cwdm8").fibers_per_module == 1
+    assert transceiver("osfp_800g").fibers_per_module == 4

@@ -1,0 +1,54 @@
+"""§4.2.2 sidebar: graceful degradation under a single OCS failure.
+
+Workload: each Table 2 model on its optimal slice; one of the 48 OCSes
+fails, removing 1/16 of one torus dimension's inter-cube links.  The
+paper's point -- a failure *degrades* performance rather than killing
+slices -- is quantified as a per-model worst-case step-time hit.
+"""
+
+import pytest
+
+from repro.ml.models import LLM_ZOO
+from repro.ml.parallelism import ParallelismPlan
+from repro.ml.perfmodel import TrainingStepModel
+from repro.tpu.degradation import worst_case_step_degradation
+
+from .conftest import report
+
+SHAPES = {"llm0": (8, 16, 32), "llm1": (4, 4, 256), "llm2": (16, 16, 16)}
+
+
+def run_study():
+    model = TrainingStepModel()
+    out = {}
+    for key, shape in SHAPES.items():
+        plan = ParallelismPlan.for_shape(LLM_ZOO[key], shape)
+        axis, hit = worst_case_step_degradation(plan, model)
+        out[key] = (shape, axis, hit)
+    return out
+
+
+def test_bench_ocs_failure_degradation(benchmark):
+    results = benchmark(run_study)
+    report(
+        "§4.2.2: worst single-OCS failure, per Table 2 placement",
+        ["model", "slice", "worst dimension", "step-time hit"],
+        [
+            [
+                LLM_ZOO[key].name,
+                "x".join(map(str, shape)),
+                "xyz"[axis],
+                f"+{hit:.1%}",
+            ]
+            for key, (shape, axis, hit) in results.items()
+        ],
+    )
+    print(
+        "\nOne OCS of 48 is 1/16 of one dimension's links: jobs slow a few\n"
+        "percent and keep running -- no slice is lost (the static fabric's\n"
+        "alternative is losing the affected slice entirely, cf. Fig 15b)."
+    )
+    for key, (_, _, hit) in results.items():
+        assert 0.0 <= hit < 0.07  # graceful: single-digit percent
+    # The communication-heavy baseline placement feels it the most.
+    assert results["llm2"][2] >= results["llm0"][2] * 0.5

@@ -1,0 +1,41 @@
+"""Table 1: cost and power of three fabrics for 4096 TPU v4 chips.
+
+Workload: full bills of materials for the DCN (EPS Clos), lightwave
+(bidi + 48 OCSes), and static direct-connect fabrics, normalized to the
+static baseline.
+"""
+
+import pytest
+
+from repro.tpu.costmodel import FABRIC_KINDS, FabricCostModel
+
+from .conftest import report
+
+PAPER = {"dcn": (1.24, 1.10), "lightwave": (1.06, 1.01), "static": (1.00, 1.00)}
+
+
+def build_table():
+    model = FabricCostModel()
+    return model.relative_table(), model.lightwave_premium_fraction()
+
+
+def test_bench_table1_fabric_cost(benchmark):
+    table, premium = benchmark(build_table)
+    rows = []
+    for kind in FABRIC_KINDS:
+        cost, power = table[kind]
+        p_cost, p_power = PAPER[kind]
+        rows.append(
+            [kind, f"{p_cost:.2f}x / {p_power:.2f}x", f"{cost:.2f}x / {power:.2f}x"]
+        )
+    report(
+        "Table 1: relative cost / power (normalized to static)",
+        ["fabric", "paper", "measured"],
+        rows,
+    )
+    print(f"\nLightwave premium over static: {premium:.1%} of system cost (paper: < 6%)")
+    for kind in FABRIC_KINDS:
+        cost, power = table[kind]
+        assert cost == pytest.approx(PAPER[kind][0], abs=0.03)
+        assert power == pytest.approx(PAPER[kind][1], abs=0.02)
+    assert premium < 0.065

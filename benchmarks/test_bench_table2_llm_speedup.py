@@ -1,0 +1,50 @@
+"""Table 2: optimal slice configuration and speedup for three LLMs.
+
+Workload: exhaustive slice-shape search over every (model, data1, data2)
+factorization of 4096 chips (extents in multiples of the 4-chip cube
+edge) using the calibrated training-step cost model -- the stand-in for
+the paper's NAS system.
+"""
+
+import pytest
+
+from repro.ml.models import LLM_ZOO
+from repro.ml.perfmodel import TrainingStepModel
+from repro.ml.shape_search import SliceShapeSearch
+
+from .conftest import report
+
+PAPER = {
+    "llm0": ("35B", (8, 16, 32), 1.54),
+    "llm1": ("70B", (4, 4, 256), 3.32),
+    "llm2": ("150B", (16, 16, 16), 1.00),
+}
+
+
+def run_search():
+    search = SliceShapeSearch(TrainingStepModel())
+    return {key: search.search(LLM_ZOO[key]) for key in LLM_ZOO}
+
+
+def test_bench_table2_llm_speedup(benchmark):
+    results = benchmark(run_search)
+    rows = []
+    for key in ("llm0", "llm1", "llm2"):
+        size, shape, speedup = PAPER[key]
+        r = results[key]
+        rows.append(
+            [
+                r.model.name,
+                size,
+                "x".join(map(str, shape)) + f" ({speedup:.2f}x)",
+                "x".join(map(str, r.best_shape)) + f" ({r.speedup_vs_baseline:.2f}x)",
+            ]
+        )
+    report(
+        "Table 2: optimal slice shape and speedup vs static 16x16x16",
+        ["model", "params", "paper", "measured"],
+        rows,
+    )
+    for key, (_, shape, speedup) in PAPER.items():
+        assert results[key].best_shape == shape
+        assert results[key].speedup_vs_baseline == pytest.approx(speedup, abs=0.25)

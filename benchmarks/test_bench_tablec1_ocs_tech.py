@@ -1,0 +1,47 @@
+"""Table C.1: OCS technology comparison and the MEMS selection.
+
+Workload: score every candidate switching technology against the §2.3
+lightwave-fabric requirements (radix, loss, switching time) and verify
+the registry reproduces the appendix table's conclusion: free-space MEMS
+is the (cheapest) qualifying technology.
+"""
+
+import pytest
+
+from repro.ocs.technologies import (
+    TECHNOLOGY_REGISTRY,
+    qualifying_technologies,
+)
+
+from .conftest import report
+
+
+def run_selection():
+    quals = qualifying_technologies(min_radix=128, max_loss_db=3.0, max_switching_time_s=1.0)
+    return quals
+
+
+def test_bench_tablec1_ocs_tech(benchmark):
+    quals = benchmark(run_selection)
+    rows = []
+    for key, tech in TECHNOLOGY_REGISTRY.items():
+        rows.append(
+            [
+                tech.name,
+                tech.cost.name.title(),
+                f"{tech.port_count[0]}x{tech.port_count[1]}",
+                f"{tech.switching_time_s:g} s",
+                f"{tech.insertion_loss_db:g} dB",
+                "yes" if tech.latching else "no",
+                "QUALIFIES" if tech in quals else "-",
+            ]
+        )
+    report(
+        "Table C.1: OCS technology comparison",
+        ["technology", "cost", "ports", "switch time", "loss", "latching", "verdict"],
+        rows,
+    )
+    names = [t.name for t in quals]
+    assert names[0] == "MEMS"  # cheapest qualifying option
+    assert "Robotic" not in names  # minutes-per-connection switching
+    assert "Guided Wave" not in names  # radix 16, 6 dB loss

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""§6 scenario: the next generation of lightwave fabrics.
+
+Walks the paper's future-work directions with the library's models:
+
+1. higher-dimensional tori (4D/6D) at fixed chip count;
+2. the 300x300 OCS and the pod sizes it unlocks;
+3. mid-training slice reshaping and its break-even switching cost;
+4. campus-scale topology engineering under service churn.
+
+Run: ``python examples/future_fabrics.py``
+"""
+
+from repro.analysis.tables import render_table
+from repro.availability.model import TRANSCEIVER_TECHS
+from repro.dcn.blocks import AggregationBlock
+from repro.dcn.campus import CampusStudy, service_epochs
+from repro.ml.models import LLM_ZOO
+from repro.ml.perfmodel import TrainingStepModel
+from repro.ml.reshaping import ReshapingStudy, TrainingPhase
+from repro.ocs.scaling import superpod_scaling_table
+from repro.tpu.higher_torus import compare_dimensionalities, ocses_for_torus
+
+
+def main() -> None:
+    # 1. Torus dimensionality.
+    torus = compare_dimensionalities(4096, dims_options=(3, 4, 6))
+    print(render_table(
+        ["dims", "shape", "diameter", "bisection", "ports/chip", "OCSes"],
+        [
+            [
+                d,
+                "x".join(map(str, torus[d].shape)),
+                torus[d].diameter,
+                torus[d].bisection_links,
+                torus[d].links_per_chip,
+                ocses_for_torus(torus[d].shape),
+            ]
+            for d in (3, 4, 6)
+        ],
+        title="§6: higher-dimensional tori at 4096 chips",
+    ))
+
+    # 2. 300x300 OCS envelope.
+    scaling = superpod_scaling_table(TRANSCEIVER_TECHS["cwdm4_bidi"])
+    print()
+    print(render_table(
+        ["generation", "max cubes", "max chips", "BF16 EFLOPS"],
+        [
+            [k, int(v["max_cubes"]), int(v["max_chips"]), f"{v['exaflops_bf16']:.1f}"]
+            for k, v in scaling.items()
+        ],
+        title="§6: OCS generation scaling (CWDM4 bidi)",
+    ))
+
+    # 3. Mid-training reshaping.
+    study = ReshapingStudy(TrainingStepModel(), reshape_cost_s=120.0)
+    plan = study.plan([
+        TrainingPhase("dp-heavy", LLM_ZOO["llm1"], steps=150),
+        TrainingPhase("dense", LLM_ZOO["llm2"], steps=150),
+    ])
+    print(f"\n§6: reshaping between phases "
+          f"({' -> '.join('x'.join(map(str, s)) for s in plan.phase_shapes)}):")
+    print(f"  fixed best shape : {'x'.join(map(str, plan.fixed_shape))}"
+          f" -> {plan.fixed_time_s:,.0f} s")
+    print(f"  reshaped         : {plan.reshaped_time_s:,.0f} s "
+          f"({plan.speedup:.2f}x)")
+    print(f"  break-even cost  : {plan.breakeven_reshape_cost_s:,.0f} s per reshape")
+
+    # 4. Campus churn.
+    blocks = [AggregationBlock(i, uplinks=16) for i in range(12)]
+    epochs = service_epochs(12, 4, 10_000.0, concentration=1.4, seed=2)
+    comparison = CampusStudy(blocks, epochs).compare()
+    print()
+    print(render_table(
+        ["mode", "mean admissible load", "OCS moves"],
+        [
+            [m, f"{v['mean_admissible']:.2f}x", int(v["total_moves"])]
+            for m, v in comparison.items()
+        ],
+        title="§6: campus fabric under service churn",
+    ))
+
+
+if __name__ == "__main__":
+    main()

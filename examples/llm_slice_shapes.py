@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Table 2 scenario: find the optimal slice shape for each LLM.
+
+Reproduces the paper's headline ML result: the reconfigurable fabric
+lets the scheduler shape a 4096-chip slice to each model's parallelism
+structure, with speedups up to 3.3x over the static 16x16x16 baseline.
+
+Run: ``python examples/llm_slice_shapes.py``
+"""
+
+from repro.analysis.tables import render_table
+from repro.ml.models import LLM_ZOO
+from repro.ml.parallelism import ParallelismPlan
+from repro.ml.perfmodel import TrainingStepModel
+from repro.ml.shape_search import BASELINE_SHAPE, SliceShapeSearch
+
+
+def main() -> None:
+    step_model = TrainingStepModel()
+    search = SliceShapeSearch(step_model)
+
+    rows = []
+    for key in ("llm0", "llm1", "llm2"):
+        model = LLM_ZOO[key]
+        result = search.search(model)
+        rows.append(
+            [
+                model.name,
+                f"{model.num_params / 1e9:.0f}B",
+                model.global_batch_seqs,
+                "x".join(map(str, result.best_shape)),
+                f"{result.speedup_vs_baseline:.2f}x",
+            ]
+        )
+    print(render_table(
+        ["model", "params", "batch (seqs)", "optimal shape", "speedup vs 16^3"],
+        rows,
+        title="Slice-shape search over all 4096-chip tori (Table 2)",
+    ))
+
+    # Why LLM1 wins so big: step-time breakdown at both shapes.
+    model = LLM_ZOO["llm1"]
+    print(f"\n{model.name} step-time breakdown:")
+    for shape in (BASELINE_SHAPE, (4, 4, 256)):
+        plan = ParallelismPlan.for_shape(model, shape)
+        b = step_model.breakdown(plan)
+        print(
+            f"  {'x'.join(map(str, shape)):>10}: compute {b.compute_s:7.1f}s"
+            f"  tensor-AR {b.tensor_comm_s:7.1f}s"
+            f"  grad-AR {b.data_comm_s:6.1f}s"
+            f"  total {b.total_s:7.1f}s"
+        )
+    print(
+        "\nThe symmetric baseline burns time in tensor-parallel all-reduces\n"
+        "(model dim 16); the asymmetric slice drops to model dim 4 and pays\n"
+        "a little more in gradient all-reduce -- a large net win for this\n"
+        "data-parallel-heavy model."
+    )
+
+    # Memory pressure: why LLM2 cannot use a skinny model dimension.
+    llm2 = LLM_ZOO["llm2"]
+    plan = ParallelismPlan.for_shape(llm2, (8, 16, 32))
+    print(f"\n{llm2.name} at 8x16x32: {plan.infeasibility_reason()}")
+
+
+if __name__ == "__main__":
+    main()

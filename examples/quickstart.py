@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: build a TPU v4 superpod, compose slices, check the optics.
+
+Walks the core public API end to end:
+
+1. fabricate a Palomar OCS and inspect its optics;
+2. close a bidi link budget through the OCS and estimate its BER;
+3. assemble a 64-cube superpod and compose two isolated torus slices;
+4. swap out a failed cube without disturbing the other slice.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.core.ids import CubeId, SliceId
+from repro.fabric.path import OpticalPath
+from repro.ocs.palomar import PalomarOcs
+from repro.optics.fec import KP4_BER_THRESHOLD
+from repro.optics.link_budget import LinkBudget
+from repro.optics.transceiver import transceiver
+from repro.tpu.slice_topology import SliceTopology
+from repro.tpu.superpod import Superpod
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. One Palomar OCS: 136x136, non-blocking, ~2 dB insertion loss.
+    # ------------------------------------------------------------------ #
+    ocs = PalomarOcs.build(seed=7)
+    loss = ocs.insertion_loss_matrix_db()
+    print(f"Palomar OCS: {ocs.radix}x{ocs.radix} duplex ports")
+    print(f"  median insertion loss : {sorted(loss.ravel())[loss.size // 2]:.2f} dB")
+    print(f"  worst return loss     : {ocs.return_loss_profile_db().max():.1f} dB")
+    print(f"  max chassis power     : {ocs.power_w():.0f} W (idle)")
+
+    # ------------------------------------------------------------------ #
+    # 2. A bidi link through the OCS: budget and BER.
+    # ------------------------------------------------------------------ #
+    spec = transceiver("bidi_2x400g_cwdm4")
+    budget = LinkBudget.for_fabric_path(spec, ocs_insertion_loss_db=2.0)
+    budget.require_closed()
+    print(f"\nBidi link ({spec.name}):")
+    print(f"  path loss  : {budget.total_loss_db:.2f} dB")
+    print(f"  margin     : {budget.margin_db:.2f} dB over sensitivity")
+    path = OpticalPath.through_ocs(
+        spec, ocs_insertion_loss_db=2.0, ocs_return_loss_db=-46.0
+    )
+    print(f"  est. MPI   : {path.estimated_mpi_db():.1f} dB below OMA")
+    print(f"  pre-FEC BER: {path.ber():.2e} (KP4 threshold {KP4_BER_THRESHOLD:.0e})")
+
+    # ------------------------------------------------------------------ #
+    # 3. A superpod with two isolated slices.
+    # ------------------------------------------------------------------ #
+    pod = Superpod()
+    print(f"\n{pod}: {pod.num_chips} TPU v4 chips behind 48 OCSes")
+
+    training = SliceTopology.compose(
+        SliceId("llm-train"), (2, 2, 4), [CubeId(i) for i in range(16)]
+    )
+    pod.configure_slice(training)
+    print(f"  configured {training} -> chip torus {training.chip_shape}")
+
+    eval_job = SliceTopology.compose(
+        SliceId("eval"), (1, 1, 4), [CubeId(i) for i in range(16, 20)]
+    )
+    pod.configure_slice(eval_job)
+    print(f"  configured {eval_job} (hitless: training slice untouched)")
+    print(f"  fabric circuits: {pod.total_circuits()}, utilization {pod.utilization():.0%}")
+
+    # ------------------------------------------------------------------ #
+    # 4. Survive a cube failure by swapping in a spare.
+    # ------------------------------------------------------------------ #
+    victim = CubeId(3)
+    pod.cube(victim).fail_host(0)
+    new_topology = pod.swap_cube(SliceId("llm-train"), victim)
+    replacement = [c for c in new_topology.cube_ids if c.index >= 20][0]
+    print(f"\n{victim} failed -> swapped in {replacement}; job keeps running")
+    print(f"  reconfigurations so far: {pod.manager.stats.transactions}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Lightwave Fabrics reproduction library.
+
+A laptop-scale reproduction of *Lightwave Fabrics: At-Scale Optical Circuit
+Switching for Datacenter and Machine Learning Systems* (Liu et al., SIGCOMM
+2023).  The package is organized by subsystem:
+
+- :mod:`repro.core` -- shared primitives: units, identifiers, cross-connect
+  maps, reconfiguration planning, and the fabric-manager control plane.
+- :mod:`repro.ocs` -- the Palomar MEMS optical circuit switch model.
+- :mod:`repro.optics` -- WDM transceivers, circulators, link budgets, PAM4
+  BER simulation, MPI/OIM, and concatenated FEC.
+- :mod:`repro.fabric` -- lightwave fabrics assembled from OCSes, endpoints,
+  and fiber plant.
+- :mod:`repro.tpu` -- the TPU v4 superpod: cubes, OCS wiring, torus slices.
+- :mod:`repro.ml` -- LLM training performance models and slice-shape search.
+- :mod:`repro.scheduler` -- cluster-level slice scheduling.
+- :mod:`repro.availability` -- fabric availability and goodput models.
+- :mod:`repro.dcn` -- spine-free datacenter networks with topology
+  engineering and a flow-level simulator.
+"""
+
+from repro.core.errors import (
+    CapacityError,
+    ConfigurationError,
+    CrossConnectError,
+    LinkBudgetError,
+    PortInUseError,
+    ReproError,
+    SchedulingError,
+    TopologyError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "TopologyError",
+    "CrossConnectError",
+    "PortInUseError",
+    "CapacityError",
+    "SchedulingError",
+    "LinkBudgetError",
+    "ConfigurationError",
+]

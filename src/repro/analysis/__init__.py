@@ -1,0 +1,6 @@
+"""Reporting helpers shared by the benchmark harness."""
+
+from repro.analysis.histogram import ascii_histogram, percentile_summary
+from repro.analysis.tables import render_table
+
+__all__ = ["ascii_histogram", "percentile_summary", "render_table"]

@@ -1,0 +1,46 @@
+"""Text histograms and percentile summaries for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 12,
+    width: int = 40,
+    fmt: str = "{:8.2f}",
+) -> str:
+    """Render a horizontal ASCII histogram (one line per bin)."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("no values to histogram")
+    if bins <= 0 or width <= 0:
+        raise ConfigurationError("bins and width must be positive")
+    counts, edges = np.histogram(data, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines: List[str] = []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        low = fmt.format(edges[i])
+        high = fmt.format(edges[i + 1])
+        lines.append(f"{low} .. {high} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def percentile_summary(
+    values: Sequence[float], percentiles: Sequence[float] = (5, 25, 50, 75, 95, 99)
+) -> Dict[str, float]:
+    """{'p50': ..., ...} plus mean/min/max."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("no values to summarize")
+    out = {f"p{int(p) if float(p).is_integer() else p}": float(np.percentile(data, p)) for p in percentiles}
+    out["mean"] = float(data.mean())
+    out["min"] = float(data.min())
+    out["max"] = float(data.max())
+    return out

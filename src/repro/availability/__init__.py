@@ -1,0 +1,35 @@
+"""Fabric availability and goodput models (§4.2.2, Fig 15).
+
+- :mod:`repro.availability.model` -- fabric availability vs OCS count for
+  the three transceiver technologies (Fig 15a).
+- :mod:`repro.availability.goodput` -- goodput vs slice size under server
+  availability for static and reconfigurable fabrics (Fig 15b).
+- :mod:`repro.availability.montecarlo` -- Monte-Carlo validation of the
+  analytic goodput model.
+"""
+
+from repro.availability.model import (
+    TRANSCEIVER_TECHS,
+    TransceiverTech,
+    fabric_availability,
+    ocses_required,
+)
+from repro.availability.goodput import (
+    GoodputModel,
+    cube_availability,
+    reconfigurable_goodput,
+    static_goodput,
+)
+from repro.availability.montecarlo import GoodputMonteCarlo
+
+__all__ = [
+    "TransceiverTech",
+    "TRANSCEIVER_TECHS",
+    "fabric_availability",
+    "ocses_required",
+    "GoodputModel",
+    "cube_availability",
+    "reconfigurable_goodput",
+    "static_goodput",
+    "GoodputMonteCarlo",
+]

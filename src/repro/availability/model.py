@@ -1,0 +1,76 @@
+"""Fabric availability vs transceiver technology (Fig 15a).
+
+Every OCS in the set providing full inter-cube connectivity is needed for
+an undegraded fabric, so fabric availability is ``A_ocs ** N``.  The
+transceiver technology sets N through the fiber strands each 800G face
+connection needs:
+
+- standard CWDM4 duplex: 4 strands -> 96 OCSes -> ~90% at A_ocs = 99.9%
+- custom CWDM4 bidi:     2 strands -> 48 OCSes -> ~95%
+- custom CWDM8 bidi:     1 strand  -> 24 OCSes -> ~98%
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.tpu.cube import FACE_PORTS, DIMS
+
+#: OCS duplex connections per cube at one strand per connection-pair
+#: (6 faces x 16 positions / 2, cf. Appendix A).
+BASE_OCS_COUNT = len(DIMS) * FACE_PORTS  # 48
+
+
+@dataclass(frozen=True)
+class TransceiverTech:
+    """One Fig 15a technology option."""
+
+    name: str
+    strands_per_connection: int
+
+    def __post_init__(self) -> None:
+        if self.strands_per_connection <= 0:
+            raise ConfigurationError("strand count must be positive")
+
+    @property
+    def num_ocses(self) -> int:
+        """OCSes needed for the full superpod fabric."""
+        return BASE_OCS_COUNT * self.strands_per_connection // 2
+
+
+#: The three technologies of Fig 15a.
+TRANSCEIVER_TECHS: Dict[str, TransceiverTech] = {
+    "cwdm4_duplex": TransceiverTech("standard CWDM4 duplex", strands_per_connection=4),
+    "cwdm4_bidi": TransceiverTech("CWDM4 bidi", strands_per_connection=2),
+    "cwdm8_bidi": TransceiverTech("CWDM8 bidi", strands_per_connection=1),
+}
+
+
+def ocses_required(tech: TransceiverTech) -> int:
+    """OCS count for a technology (96 / 48 / 24 across the three options)."""
+    return tech.num_ocses
+
+
+def fabric_availability(num_ocses: int, single_ocs_availability: float) -> float:
+    """Probability every OCS of the fabric is up."""
+    if num_ocses <= 0:
+        raise ConfigurationError("OCS count must be positive")
+    if not 0.0 < single_ocs_availability <= 1.0:
+        raise ConfigurationError("availability must be in (0, 1]")
+    return single_ocs_availability ** num_ocses
+
+
+def fig15a_curves(
+    ocs_availabilities: Sequence[float],
+) -> Dict[str, np.ndarray]:
+    """Fabric availability vs single-OCS availability per technology."""
+    out: Dict[str, np.ndarray] = {}
+    for key, tech in TRANSCEIVER_TECHS.items():
+        out[key] = np.array(
+            [fabric_availability(tech.num_ocses, a) for a in ocs_availabilities]
+        )
+    return out

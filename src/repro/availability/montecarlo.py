@@ -1,0 +1,78 @@
+"""Monte-Carlo validation of the Fig 15b goodput model.
+
+Samples pod states (each cube up iff its 16 hosts are up) and measures
+the empirical availability of the slice configurations the analytic model
+composes, confirming the configurations meet the 97% target and that the
+static fixed-partition survival probabilities match the binomial math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.availability.goodput import (
+    DEFAULT_TARGET,
+    POD_CUBES,
+    cube_availability,
+    spares_for_slice,
+)
+from repro.tpu.cube import HOSTS_PER_CUBE
+
+
+@dataclass
+class GoodputMonteCarlo:
+    """Samples cube-up states and evaluates slice survival."""
+
+    server_availability: float
+    seed: int = 0
+    trials: int = 20_000
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.server_availability <= 1.0:
+            raise ConfigurationError("server availability must be in (0, 1]")
+        if self.trials <= 0:
+            raise ConfigurationError("need at least one trial")
+
+    def _cube_states(self, rng: np.random.Generator, num_cubes: int) -> np.ndarray:
+        """(trials, num_cubes) booleans: cube up iff all 16 hosts up."""
+        hosts = rng.random((self.trials, num_cubes, HOSTS_PER_CUBE))
+        return np.all(hosts < self.server_availability, axis=2)
+
+    def empirical_cube_availability(self) -> float:
+        """Check the host->cube availability composition."""
+        rng = np.random.default_rng(self.seed)
+        states = self._cube_states(rng, 256)
+        return float(states.mean())
+
+    def reconfigurable_slice_availability(
+        self, cubes_per_slice: int, target: float = DEFAULT_TARGET
+    ) -> Tuple[float, int]:
+        """(empirical availability of one spared slice, spares used).
+
+        A slice with its dedicated spare pool survives a trial when the
+        number of failed cubes in the pool is at most the spare count --
+        the reconfigurable fabric swaps failures for spares.
+        """
+        a_cube = cube_availability(self.server_availability)
+        spares = spares_for_slice(cubes_per_slice, a_cube, target)
+        rng = np.random.default_rng(self.seed)
+        states = self._cube_states(rng, cubes_per_slice + spares)
+        failures = (~states).sum(axis=1)
+        return float((failures <= spares).mean()), spares
+
+    def static_partition_survival(
+        self, cubes_per_slice: int, k: int
+    ) -> float:
+        """Empirical P(at least k of the fixed slices are fully up)."""
+        if k < 0:
+            raise ConfigurationError("k must be non-negative")
+        num_slices = POD_CUBES // cubes_per_slice
+        rng = np.random.default_rng(self.seed)
+        states = self._cube_states(rng, num_slices * cubes_per_slice)
+        per_slice = states.reshape(self.trials, num_slices, cubes_per_slice)
+        slices_up = np.all(per_slice, axis=2).sum(axis=1)
+        return float((slices_up >= k).mean())

@@ -1,0 +1,48 @@
+"""Core primitives shared by every subsystem.
+
+The core package holds the vocabulary of the reproduction: physical units
+(:mod:`repro.core.units`), typed identifiers (:mod:`repro.core.ids`), the
+exception hierarchy (:mod:`repro.core.errors`), port/link primitives
+(:mod:`repro.core.topology`), OCS cross-connect maps
+(:mod:`repro.core.crossconnect`), reconfiguration planning
+(:mod:`repro.core.reconfig`), and the multi-OCS fabric manager
+(:mod:`repro.core.fabric_manager`).
+"""
+
+from repro.core.crossconnect import CrossConnectMap
+from repro.core.ids import BlockId, CubeId, JobId, LinkId, OcsId, PortId, SliceId
+from repro.core.reconfig import ReconfigPlan, plan_reconfiguration
+from repro.core.topology import Direction, Endpoint, Link, Port
+from repro.core.units import (
+    db_to_linear,
+    dbm_to_mw,
+    dbm_to_w,
+    linear_to_db,
+    mw_to_dbm,
+    sum_powers_dbm,
+    w_to_dbm,
+)
+
+__all__ = [
+    "CrossConnectMap",
+    "ReconfigPlan",
+    "plan_reconfiguration",
+    "Direction",
+    "Endpoint",
+    "Link",
+    "Port",
+    "OcsId",
+    "PortId",
+    "LinkId",
+    "CubeId",
+    "BlockId",
+    "JobId",
+    "SliceId",
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "dbm_to_w",
+    "w_to_dbm",
+    "sum_powers_dbm",
+]

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed (bad shape, unknown port, broken invariant)."""
+
+
+class CrossConnectError(TopologyError):
+    """A cross-connect operation would violate the bijection invariant."""
+
+
+class PortInUseError(CrossConnectError):
+    """A port that is already part of a circuit was reused."""
+
+
+class CapacityError(ReproError):
+    """A resource request exceeds available capacity (ports, cubes, OCSes)."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler cannot satisfy a slice request."""
+
+
+class LinkBudgetError(ReproError):
+    """An optical path does not close its link budget."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""

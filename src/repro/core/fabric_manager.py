@@ -1,0 +1,212 @@
+"""The fabric-manager control plane: programming circuits across many OCSes.
+
+The paper integrates OCSes into the same control/monitoring infrastructure
+as electrical switches (§3.2.2).  :class:`FabricManager` is the
+reproduction's stand-in for that control plane: it owns a set of switch
+devices (anything satisfying :class:`SwitchLike`), a table of *logical
+links* (named end-to-end connections), and executes multi-OCS
+reconfiguration transactions built from hitless per-OCS plans.
+
+The manager is deliberately independent of the Palomar physics model so it
+can drive both the detailed :class:`repro.ocs.palomar.PalomarOcs` and
+lightweight map-only switches in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Tuple
+
+from repro.core.crossconnect import CrossConnectMap
+from repro.core.errors import ConfigurationError, CrossConnectError, TopologyError
+from repro.core.ids import LinkId, OcsId
+from repro.core.reconfig import ReconfigPlan, ReconfigStats, plan_reconfiguration
+
+
+class SwitchLike(Protocol):
+    """Minimal interface the fabric manager needs from a switch device."""
+
+    @property
+    def radix(self) -> int:
+        """Number of duplex ports per side."""
+
+    @property
+    def state(self) -> CrossConnectMap:
+        """Current cross-connect state (live view)."""
+
+    def apply_plan(self, plan: ReconfigPlan) -> float:
+        """Execute a reconfiguration plan; return its duration in ms."""
+
+
+@dataclass
+class SimpleSwitch:
+    """A map-only switch used by tests and by the pure control-plane paths."""
+
+    _radix: int
+    _state: CrossConnectMap = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._state = CrossConnectMap(self._radix)
+
+    @property
+    def radix(self) -> int:
+        return self._radix
+
+    @property
+    def state(self) -> CrossConnectMap:
+        return self._state
+
+    def apply_plan(self, plan: ReconfigPlan) -> float:
+        duration = plan.duration_ms()
+        plan.apply(self._state)
+        return duration
+
+
+@dataclass(frozen=True)
+class LogicalLink:
+    """A named end-to-end connection realized by one OCS circuit."""
+
+    link_id: LinkId
+    ocs: OcsId
+    north: int
+    south: int
+
+    def __str__(self) -> str:
+        return f"{self.link_id}@{self.ocs}[N{self.north}<->S{self.south}]"
+
+
+class FabricManager:
+    """Central controller for a fleet of optical circuit switches.
+
+    Typical use::
+
+        mgr = FabricManager()
+        mgr.add_switch(OcsId(0), PalomarOcs.build(seed=1))
+        mgr.establish(LinkId("cubeA-cubeB"), OcsId(0), north=3, south=41)
+        ...
+        mgr.reconfigure({OcsId(0): target_map})
+    """
+
+    def __init__(self) -> None:
+        self._switches: Dict[OcsId, SwitchLike] = {}
+        self._links: Dict[LinkId, LogicalLink] = {}
+        self.stats = ReconfigStats()
+
+    # ------------------------------------------------------------------ #
+    # Inventory
+    # ------------------------------------------------------------------ #
+
+    def add_switch(self, ocs_id: OcsId, switch: SwitchLike) -> None:
+        """Register a switch under ``ocs_id``."""
+        if ocs_id in self._switches:
+            raise ConfigurationError(f"{ocs_id} already registered")
+        self._switches[ocs_id] = switch
+
+    def switch(self, ocs_id: OcsId) -> SwitchLike:
+        """Return the registered switch for ``ocs_id``."""
+        try:
+            return self._switches[ocs_id]
+        except KeyError:
+            raise TopologyError(f"unknown switch {ocs_id}") from None
+
+    @property
+    def switch_ids(self) -> Tuple[OcsId, ...]:
+        return tuple(sorted(self._switches))
+
+    @property
+    def num_circuits(self) -> int:
+        """Total circuits established across all switches."""
+        return sum(sw.state.num_circuits for sw in self._switches.values())
+
+    # ------------------------------------------------------------------ #
+    # Logical links
+    # ------------------------------------------------------------------ #
+
+    def establish(self, link_id: LinkId, ocs_id: OcsId, north: int, south: int) -> LogicalLink:
+        """Create one circuit and record it as a logical link."""
+        if link_id in self._links:
+            raise ConfigurationError(f"link {link_id} already exists")
+        sw = self.switch(ocs_id)
+        sw.state.connect(north, south)
+        link = LogicalLink(link_id, ocs_id, north, south)
+        self._links[link_id] = link
+        return link
+
+    def teardown(self, link_id: LinkId) -> None:
+        """Destroy a logical link and its circuit."""
+        link = self._links.pop(link_id, None)
+        if link is None:
+            raise TopologyError(f"unknown link {link_id}")
+        self.switch(link.ocs).state.disconnect(link.north)
+
+    def link(self, link_id: LinkId) -> LogicalLink:
+        """Look up a logical link by id."""
+        try:
+            return self._links[link_id]
+        except KeyError:
+            raise TopologyError(f"unknown link {link_id}") from None
+
+    @property
+    def links(self) -> Tuple[LogicalLink, ...]:
+        return tuple(self._links[k] for k in sorted(self._links))
+
+    # ------------------------------------------------------------------ #
+    # Transactions
+    # ------------------------------------------------------------------ #
+
+    def plan(self, targets: Mapping[OcsId, CrossConnectMap]) -> Dict[OcsId, ReconfigPlan]:
+        """Compute per-switch hitless plans toward the given target maps."""
+        plans: Dict[OcsId, ReconfigPlan] = {}
+        for ocs_id, target in targets.items():
+            sw = self.switch(ocs_id)
+            if target.radix != sw.radix:
+                raise CrossConnectError(
+                    f"{ocs_id}: target radix {target.radix} != switch radix {sw.radix}"
+                )
+            plans[ocs_id] = plan_reconfiguration(sw.state, target)
+        return plans
+
+    def reconfigure(self, targets: Mapping[OcsId, CrossConnectMap]) -> float:
+        """Atomically drive a set of switches to target maps.
+
+        All plans are computed first (so a bad target aborts the whole
+        transaction with no partial state), then applied.  Switches
+        reconfigure in parallel in the real system; the returned duration is
+        therefore the *maximum* per-switch duration, not the sum.
+        """
+        plans = self.plan(targets)
+        max_duration = 0.0
+        for ocs_id in sorted(plans):
+            plan = plans[ocs_id]
+            duration = self.switch(ocs_id).apply_plan(plan)
+            self.stats.record(plan, duration)
+            max_duration = max(max_duration, duration)
+        self._drop_stale_links()
+        return max_duration
+
+    def _drop_stale_links(self) -> None:
+        """Remove logical-link records whose circuit no longer exists."""
+        stale: List[LinkId] = []
+        for link_id, link in self._links.items():
+            sw = self._switches.get(link.ocs)
+            if sw is None or sw.state.south_of(link.north) != link.south:
+                stale.append(link_id)
+        for link_id in stale:
+            del self._links[link_id]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[OcsId, CrossConnectMap]:
+        """Deep-copy of every switch's current cross-connect state."""
+        return {ocs_id: sw.state.copy() for ocs_id, sw in self._switches.items()}
+
+    def verify_links(self) -> Tuple[LinkId, ...]:
+        """Return ids of logical links whose circuit is missing or wrong."""
+        bad = []
+        for link_id, link in sorted(self._links.items()):
+            sw = self._switches.get(link.ocs)
+            if sw is None or sw.state.south_of(link.north) != link.south:
+                bad.append(link_id)
+        return tuple(bad)

@@ -1,0 +1,100 @@
+"""Typed identifiers for devices, ports, and jobs.
+
+Plain strings invite mixing up an OCS name with a cube name; these small
+frozen dataclasses make identifiers self-describing, hashable, and sortable
+while staying cheap.  Each wraps a string ``name`` (or integer coordinates
+for :class:`CubeId`) and renders a stable prefix in ``str()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class OcsId:
+    """Identifier of one optical circuit switch, e.g. ``ocs-17``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"OCS index must be non-negative, got {self.index}")
+
+    def __str__(self) -> str:
+        return f"ocs-{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class PortId:
+    """Identifier of one OCS port: side 'N' (north) or 'S' (south) + index."""
+
+    side: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.side not in ("N", "S"):
+            raise ValueError(f"port side must be 'N' or 'S', got {self.side!r}")
+        if self.index < 0:
+            raise ValueError(f"port index must be non-negative, got {self.index}")
+
+    def __str__(self) -> str:
+        return f"{self.side}{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class LinkId:
+    """Identifier of one logical (bidirectional) link in a fabric."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class CubeId:
+    """Identifier of a 4x4x4 TPU cube by its index within the superpod."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"cube index must be non-negative, got {self.index}")
+
+    def __str__(self) -> str:
+        return f"cube-{self.index:02d}"
+
+
+@dataclass(frozen=True, order=True)
+class BlockId:
+    """Identifier of a DCN aggregation block."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"block index must be non-negative, got {self.index}")
+
+    def __str__(self) -> str:
+        return f"ab-{self.index:02d}"
+
+
+@dataclass(frozen=True, order=True)
+class JobId:
+    """Identifier of a scheduled training job."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class SliceId:
+    """Identifier of a compute slice composed by the scheduler."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,144 @@
+"""Generic port/link primitives shared by fabric, DCN, and TPU models.
+
+A *port* is one fiber attachment point on a device; an *endpoint* is a
+device that terminates optical links (a cube face port, a DCN block, a
+transceiver); a *link* is a logical bidirectional connection between two
+endpoints, realized either directly (static fiber) or through one or more
+OCS circuits.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.errors import TopologyError
+
+
+class Direction(enum.Enum):
+    """Direction of light through a port, for duplex bookkeeping."""
+
+    TX = "tx"
+    RX = "rx"
+    BIDI = "bidi"
+
+
+@functools.total_ordering
+@dataclass(frozen=True)
+class Port:
+    """One fiber attachment point: ``device`` name + port ``index``.
+
+    ``direction`` distinguishes duplex TX/RX strands from a bidirectional
+    strand that carries both directions over a single fiber (the paper's
+    circulator-enabled links).
+    """
+
+    device: str
+    index: int
+    direction: Direction = Direction.BIDI
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise TopologyError(f"port index must be non-negative, got {self.index}")
+
+    def __str__(self) -> str:
+        return f"{self.device}:{self.index}/{self.direction.value}"
+
+    def _key(self) -> Tuple[str, int, str]:
+        return (self.device, self.index, self.direction.value)
+
+    def __lt__(self, other: "Port") -> bool:
+        if not isinstance(other, Port):
+            return NotImplemented
+        return self._key() < other._key()
+
+
+@dataclass
+class Endpoint:
+    """A device that terminates links: name plus a fixed number of ports.
+
+    Ports are allocated lazily by :meth:`port`; the endpoint tracks which
+    are attached so that wiring code can detect double-use.
+    """
+
+    name: str
+    num_ports: int
+    _attached: Dict[int, str] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_ports <= 0:
+            raise TopologyError(f"endpoint needs at least one port, got {self.num_ports}")
+
+    def port(self, index: int, direction: Direction = Direction.BIDI) -> Port:
+        """Return the :class:`Port` object for ``index`` on this endpoint."""
+        if not 0 <= index < self.num_ports:
+            raise TopologyError(
+                f"{self.name}: port {index} out of range [0, {self.num_ports})"
+            )
+        return Port(self.name, index, direction)
+
+    def attach(self, index: int, what: str) -> None:
+        """Mark port ``index`` as attached to ``what`` (a cable/OCS label)."""
+        if not 0 <= index < self.num_ports:
+            raise TopologyError(
+                f"{self.name}: port {index} out of range [0, {self.num_ports})"
+            )
+        if index in self._attached:
+            raise TopologyError(
+                f"{self.name}: port {index} already attached to {self._attached[index]}"
+            )
+        self._attached[index] = what
+
+    def detach(self, index: int) -> None:
+        """Remove the attachment on port ``index``."""
+        if index not in self._attached:
+            raise TopologyError(f"{self.name}: port {index} is not attached")
+        del self._attached[index]
+
+    def attachment(self, index: int) -> Optional[str]:
+        """Return what port ``index`` is attached to, or None."""
+        return self._attached.get(index)
+
+    @property
+    def free_ports(self) -> Tuple[int, ...]:
+        """Indices of ports with no attachment, ascending."""
+        return tuple(i for i in range(self.num_ports) if i not in self._attached)
+
+    def __iter__(self) -> Iterator[Port]:
+        for i in range(self.num_ports):
+            yield self.port(i)
+
+
+@dataclass(frozen=True)
+class Link:
+    """A logical bidirectional link between two ports.
+
+    ``rate_gbps`` is the full-duplex data rate carried by the link and
+    ``length_m`` the end-to-end fiber length (used for latency/dispersion).
+    """
+
+    a: Port
+    b: Port
+    rate_gbps: float = 400.0
+    length_m: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError(f"link endpoints must differ, got {self.a} twice")
+        if self.rate_gbps <= 0:
+            raise TopologyError(f"rate must be positive, got {self.rate_gbps}")
+        if self.length_m < 0:
+            raise TopologyError(f"length must be non-negative, got {self.length_m}")
+
+    def other(self, port: Port) -> Port:
+        """Return the far-side port given one side of the link."""
+        if port == self.a:
+            return self.b
+        if port == self.b:
+            return self.a
+        raise TopologyError(f"{port} is not an endpoint of this link")
+
+    def __str__(self) -> str:
+        return f"{self.a} <-> {self.b} @ {self.rate_gbps:g}G"

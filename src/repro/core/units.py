@@ -1,0 +1,124 @@
+"""Physical-unit helpers used throughout the optical models.
+
+The optical-layer code works in the conventional engineering units:
+
+- power in **dBm** (decibels relative to 1 mW) or milliwatts,
+- gains/losses in **dB** (ratios),
+- data rates in **Gb/s**,
+- wavelengths in **nm**.
+
+All conversions live here so the formulas in the physics modules stay
+readable.  The functions accept floats or numpy arrays and return the same
+shape.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Speed of light in vacuum, meters/second.
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+#: Planck constant, joule-seconds.
+PLANCK_J_S = 6.626_070_15e-34
+
+#: Elementary charge, coulombs.
+ELEMENTARY_CHARGE_C = 1.602_176_634e-19
+
+#: Boltzmann constant, joules/kelvin.
+BOLTZMANN_J_K = 1.380_649e-23
+
+
+def db_to_linear(db: ArrayLike) -> ArrayLike:
+    """Convert a dB ratio to a linear power ratio (10^(dB/10))."""
+    return 10.0 ** (np.asarray(db, dtype=float) / 10.0) if isinstance(db, np.ndarray) else 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: ArrayLike) -> ArrayLike:
+    """Convert a linear power ratio to dB (10*log10)."""
+    if isinstance(ratio, np.ndarray):
+        return 10.0 * np.log10(ratio)
+    if ratio <= 0:
+        raise ValueError(f"power ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_mw(dbm: ArrayLike) -> ArrayLike:
+    """Convert power in dBm to milliwatts."""
+    return db_to_linear(dbm)
+
+
+def mw_to_dbm(mw: ArrayLike) -> ArrayLike:
+    """Convert power in milliwatts to dBm."""
+    return linear_to_db(mw)
+
+
+def dbm_to_w(dbm: ArrayLike) -> ArrayLike:
+    """Convert power in dBm to watts."""
+    return dbm_to_mw(dbm) * 1e-3
+
+
+def w_to_dbm(watts: ArrayLike) -> ArrayLike:
+    """Convert power in watts to dBm."""
+    return mw_to_dbm(np.asarray(watts) * 1e3 if isinstance(watts, np.ndarray) else watts * 1e3)
+
+
+def sum_powers_dbm(powers_dbm: Iterable[float]) -> float:
+    """Sum incoherent optical powers expressed in dBm.
+
+    Powers add linearly in milliwatts, so the result is
+    ``mw_to_dbm(sum(dbm_to_mw(p)))``.
+    """
+    total_mw = sum(dbm_to_mw(p) for p in powers_dbm)
+    if total_mw <= 0:
+        raise ValueError("cannot sum an empty or zero power collection")
+    return mw_to_dbm(total_mw)
+
+
+def wavelength_nm_to_freq_thz(wavelength_nm: float) -> float:
+    """Convert an optical wavelength in nm to frequency in THz."""
+    if wavelength_nm <= 0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_nm}")
+    return SPEED_OF_LIGHT_M_S / (wavelength_nm * 1e-9) / 1e12
+
+
+def freq_thz_to_wavelength_nm(freq_thz: float) -> float:
+    """Convert an optical frequency in THz to wavelength in nm."""
+    if freq_thz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_thz}")
+    return SPEED_OF_LIGHT_M_S / (freq_thz * 1e12) * 1e9
+
+
+def fiber_latency_ns(length_m: float, group_index: float = 1.468) -> float:
+    """Propagation latency through ``length_m`` of fiber, in nanoseconds.
+
+    Standard single-mode fiber has a group index near 1.468, i.e. roughly
+    4.9 ns per meter of 1000 m -- 4.9 us/km.
+    """
+    if length_m < 0:
+        raise ValueError(f"length must be non-negative, got {length_m}")
+    return length_m * group_index / SPEED_OF_LIGHT_M_S * 1e9
+
+
+def q_from_ber(ber: float) -> float:
+    """Return the Gaussian Q factor corresponding to a BER (inverse of Q(x)).
+
+    Uses ``BER = 0.5*erfc(Q/sqrt(2))``.
+    """
+    from scipy.special import erfcinv
+
+    if not 0 < ber < 0.5:
+        raise ValueError(f"BER must be in (0, 0.5), got {ber}")
+    return math.sqrt(2.0) * float(erfcinv(2.0 * ber))
+
+
+def ber_from_q(q: float) -> float:
+    """Return the BER corresponding to a Gaussian Q factor."""
+    from scipy.special import erfc
+
+    return 0.5 * float(erfc(q / math.sqrt(2.0)))

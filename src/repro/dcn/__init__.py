@@ -1,0 +1,52 @@
+"""Spine-free datacenter networks with topology engineering (§2.1, §4.2).
+
+- :mod:`repro.dcn.blocks` -- aggregation/spine block models across
+  transceiver generations.
+- :mod:`repro.dcn.clos` -- the traditional spine-full Clos fabric.
+- :mod:`repro.dcn.spinefree` -- the OCS direct-connect fabric.
+- :mod:`repro.dcn.traffic` -- traffic-matrix generators.
+- :mod:`repro.dcn.topology_engineering` -- demand-aware trunk allocation.
+- :mod:`repro.dcn.traffic_engineering` -- direct + transit routing.
+- :mod:`repro.dcn.flowsim` -- max-min fair flow-level simulation (FCT).
+- :mod:`repro.dcn.costmodel` -- the Fig 1 CapEx/power comparison.
+"""
+
+from repro.dcn.blocks import AggregationBlock, BlockGeneration
+from repro.dcn.clos import ClosFabric
+from repro.dcn.spinefree import SpineFreeFabric, uniform_mesh_trunks
+from repro.dcn.traffic import TrafficMatrix, gravity_matrix, hotspot_matrix, uniform_matrix
+from repro.dcn.topology_engineering import engineer_trunks
+from repro.dcn.traffic_engineering import RoutingSolution, route_demand
+from repro.dcn.flowsim import Flow, FlowSimulator
+from repro.dcn.costmodel import DcnCostModel
+from repro.dcn.campus import CampusStudy, service_epochs
+from repro.dcn.striping import (
+    StripingPlan,
+    blast_radius_comparison,
+    packed_striping,
+    round_robin_striping,
+)
+
+__all__ = [
+    "AggregationBlock",
+    "BlockGeneration",
+    "ClosFabric",
+    "SpineFreeFabric",
+    "uniform_mesh_trunks",
+    "TrafficMatrix",
+    "uniform_matrix",
+    "gravity_matrix",
+    "hotspot_matrix",
+    "engineer_trunks",
+    "RoutingSolution",
+    "route_demand",
+    "Flow",
+    "FlowSimulator",
+    "DcnCostModel",
+    "CampusStudy",
+    "service_epochs",
+    "StripingPlan",
+    "packed_striping",
+    "round_robin_striping",
+    "blast_radius_comparison",
+]

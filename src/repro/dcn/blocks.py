@@ -1,0 +1,82 @@
+"""DCN building blocks: aggregation blocks across generations.
+
+§2.1: the spine-free fabric interconnects heterogeneous aggregation
+blocks (ABs) -- different generations run different per-port rates yet
+share the same OCS layer thanks to backward-compatible transceivers
+(rapid technology refresh).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.optics.transceiver import TransceiverSpec, interoperable, transceiver
+
+
+class BlockGeneration(enum.Enum):
+    """Aggregation-block generations with their uplink transceivers."""
+
+    GEN_40G = "qsfp_40g"
+    GEN_100G = "qsfp28_100g"
+    GEN_200G = "qsfp56_200g"
+    GEN_400G = "osfp_400g"
+
+    @property
+    def spec(self) -> TransceiverSpec:
+        return transceiver(self.value)
+
+    @property
+    def uplink_rate_gbps(self) -> float:
+        return self.spec.max_rate_gbps
+
+
+@dataclass(frozen=True)
+class AggregationBlock:
+    """One aggregation block: a pod of ToR+aggregation switches.
+
+    Args:
+        index: block number within the fabric.
+        uplinks: fiber trunks toward the interconnect layer.
+        generation: transceiver generation for those uplinks.
+    """
+
+    index: int
+    uplinks: int = 64
+    generation: BlockGeneration = BlockGeneration.GEN_400G
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError("block index must be non-negative")
+        if self.uplinks <= 0:
+            raise ConfigurationError("block needs at least one uplink")
+
+    @property
+    def uplink_rate_gbps(self) -> float:
+        return self.generation.uplink_rate_gbps
+
+    @property
+    def total_uplink_gbps(self) -> float:
+        return self.uplinks * self.uplink_rate_gbps
+
+    def can_link(self, other: "AggregationBlock") -> bool:
+        """Different-generation blocks interconnect when their
+        transceivers interoperate (§2.1 rapid technology refresh)."""
+        return interoperable(self.generation.spec, other.generation.spec)
+
+    def link_rate_gbps(self, other: "AggregationBlock") -> float:
+        """Rate of one trunk between the two blocks: the highest line
+        rate both generations support, across the module's lanes."""
+        if not self.can_link(other):
+            raise ConfigurationError(
+                f"ab-{self.index} ({self.generation.name}) cannot link "
+                f"ab-{other.index} ({other.generation.name})"
+            )
+        a, b = self.generation.spec, other.generation.spec
+        common = a.common_rate_gbps(b)
+        lanes = min(a.lanes, b.lanes)
+        return common * lanes
+
+    def __str__(self) -> str:
+        return f"ab-{self.index:02d}({self.generation.name}, {self.uplinks} up)"

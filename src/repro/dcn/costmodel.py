@@ -1,0 +1,97 @@
+"""DCN CapEx/power comparison: spine-full vs spine-free (Fig 1, §4.2).
+
+The paper (and Poutievski et al., SIGCOMM'22) report that removing the
+spine layer saves ~30% CapEx and ~41% power: the spine switch chassis
+disappear, and each uplink needs one transceiver (at the AB) instead of
+two (AB end + spine end) because the OCS is passive.
+
+The bill of materials is parameterized so the components are explicit;
+the defaults land the paper's ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.dcn.clos import ClosFabric
+from repro.dcn.spinefree import SpineFreeFabric
+from repro.ocs.palomar import PALOMAR_MAX_POWER_W
+
+
+@dataclass
+class DcnCostModel:
+    """CapEx/power for the two fabric archetypes.
+
+    Unit economics (synthetic but in realistic ratios):
+    - transceiver: the dominant per-port optics cost;
+    - spine chassis: EPS switch hardware + optics trays;
+    - OCS: Palomar unit cost, tiny power (no packet processing).
+    """
+
+    transceiver_cost_usd: float = 550.0
+    transceiver_power_w: float = 12.0
+    spine_chassis_cost_usd: float = 256_000.0
+    spine_chassis_power_w: float = 16_100.0
+    ocs_cost_usd: float = 22_000.0
+    ocs_power_w: float = PALOMAR_MAX_POWER_W
+    ab_switching_cost_usd: float = 160_000.0
+    ab_switching_power_w: float = 6_000.0
+
+    def __post_init__(self) -> None:
+        for name in ("transceiver_cost_usd", "spine_chassis_cost_usd", "ocs_cost_usd"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Totals
+    # ------------------------------------------------------------------ #
+
+    def clos_cost_usd(self, fabric: ClosFabric) -> float:
+        return (
+            fabric.transceiver_count() * self.transceiver_cost_usd
+            + fabric.spine_switch_count() * self.spine_chassis_cost_usd
+            + fabric.num_blocks * self.ab_switching_cost_usd
+        )
+
+    def clos_power_w(self, fabric: ClosFabric) -> float:
+        return (
+            fabric.transceiver_count() * self.transceiver_power_w
+            + fabric.spine_switch_count() * self.spine_chassis_power_w
+            + fabric.num_blocks * self.ab_switching_power_w
+        )
+
+    def spinefree_cost_usd(self, fabric: SpineFreeFabric) -> float:
+        return (
+            fabric.transceiver_count() * self.transceiver_cost_usd
+            + fabric.ocs_count() * self.ocs_cost_usd
+            + fabric.num_blocks * self.ab_switching_cost_usd
+        )
+
+    def spinefree_power_w(self, fabric: SpineFreeFabric) -> float:
+        return (
+            fabric.transceiver_count() * self.transceiver_power_w
+            + fabric.ocs_count() * self.ocs_power_w
+            + fabric.num_blocks * self.ab_switching_power_w
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fig 1 comparison
+    # ------------------------------------------------------------------ #
+
+    def savings(
+        self, clos: ClosFabric, spinefree: SpineFreeFabric
+    ) -> Dict[str, float]:
+        """{capex_saving, power_saving} fractions of the Clos baseline.
+
+        Paper: ~0.30 CapEx and ~0.41 power.
+        """
+        if clos.num_blocks != spinefree.num_blocks:
+            raise ConfigurationError("compare fabrics with equal block counts")
+        capex_clos = self.clos_cost_usd(clos)
+        power_clos = self.clos_power_w(clos)
+        return {
+            "capex_saving": 1.0 - self.spinefree_cost_usd(spinefree) / capex_clos,
+            "power_saving": 1.0 - self.spinefree_power_w(spinefree) / power_clos,
+        }

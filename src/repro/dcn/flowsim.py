@@ -1,0 +1,248 @@
+"""Max-min fair flow-level simulation: flow completion times.
+
+Flows follow the paths the traffic-engineering router picked for their
+block pair; link bandwidth is shared max-min fairly (progressive
+filling), and rates are recomputed at every arrival/completion -- the
+standard fluid approximation for TCP-like sharing.  Comparing FCTs on an
+engineered vs a uniform mesh reproduces the §4.2 "10% improvement in
+flow completion time" result.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.dcn.spinefree import SpineFreeFabric
+from repro.dcn.traffic_engineering import RoutingSolution
+
+Link = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One flow between aggregation blocks."""
+
+    flow_id: int
+    src: int
+    dst: int
+    size_gbit: float
+    arrival_s: float
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ConfigurationError("flow endpoints must differ")
+        if self.size_gbit <= 0:
+            raise ConfigurationError("flow size must be positive")
+        if self.arrival_s < 0:
+            raise ConfigurationError("arrival must be non-negative")
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """Completion record."""
+
+    flow: Flow
+    start_s: float
+    finish_s: float
+
+    @property
+    def fct_s(self) -> float:
+        return self.finish_s - self.flow.arrival_s
+
+
+def _links_of(path: Tuple[int, ...]) -> List[Link]:
+    return [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+
+def max_min_rates(
+    flow_paths: Dict[int, List[Link]],
+    link_capacity: Dict[Link, float],
+) -> Dict[int, float]:
+    """Progressive-filling max-min fair allocation.
+
+    Repeatedly saturate the bottleneck link with the smallest fair share
+    and freeze its flows.
+    """
+    active = dict(flow_paths)
+    remaining = dict(link_capacity)
+    rates: Dict[int, float] = {}
+    while active:
+        counts: Dict[Link, int] = {}
+        for links in active.values():
+            for link in links:
+                counts[link] = counts.get(link, 0) + 1
+        bottleneck, share = None, float("inf")
+        for link, count in counts.items():
+            s = remaining.get(link, 0.0) / count
+            if s < share:
+                share, bottleneck = s, link
+        if bottleneck is None:
+            break
+        frozen = [
+            fid for fid, links in active.items() if bottleneck in links
+        ]
+        for fid in frozen:
+            rates[fid] = share
+            for link in active[fid]:
+                remaining[link] = max(0.0, remaining[link] - share)
+            del active[fid]
+    return rates
+
+
+@dataclass
+class FlowSimulator:
+    """Fluid flow simulation over a routed spine-free fabric.
+
+    Args:
+        path_policy: ``"primary"`` pins every flow of a pair to the
+            highest-weight routed path; ``"wcmp"`` hashes each flow onto
+            one of the pair's routed paths with probability proportional
+            to the routed weight (flow-level weighted-cost multipath).
+    """
+
+    fabric: SpineFreeFabric
+    routing: RoutingSolution
+    path_policy: str = "primary"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.path_policy not in ("primary", "wcmp"):
+            raise ConfigurationError(
+                f"path policy must be 'primary' or 'wcmp', got {self.path_policy!r}"
+            )
+        self._path_rng = np.random.default_rng(self.seed)
+
+    def _path_for(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Route one flow of the pair per the path policy."""
+        options = self.routing.path_for(src, dst)
+        if not options:
+            return (src, dst)
+        if self.path_policy == "primary":
+            return max(options, key=lambda pw: pw[1])[0]
+        weights = np.array([w for _, w in options], dtype=float)
+        total = weights.sum()
+        if total <= 0:
+            return options[0][0]
+        idx = int(self._path_rng.choice(len(options), p=weights / total))
+        return options[idx][0]
+
+    def _capacities(self) -> Dict[Link, float]:
+        cap = {}
+        c = self.routing.link_capacity_gbps
+        n = c.shape[0]
+        for i in range(n):
+            for j in range(n):
+                if i != j and c[i, j] > 0:
+                    cap[(i, j)] = float(c[i, j])
+        return cap
+
+    def run(self, flows: Sequence[Flow]) -> List[FlowRecord]:
+        """Simulate until every flow finishes; returns completion records."""
+        if not flows:
+            raise ConfigurationError("need at least one flow")
+        capacity = self._capacities()
+        paths = {f.flow_id: _links_of(self._path_for(f.src, f.dst)) for f in flows}
+        for f in flows:
+            for link in paths[f.flow_id]:
+                if link not in capacity:
+                    raise ConfigurationError(
+                        f"flow {f.flow_id} routed over dark link {link}"
+                    )
+        pending = sorted(flows, key=lambda f: f.arrival_s)
+        remaining: Dict[int, float] = {}
+        start: Dict[int, float] = {}
+        flows_by_id = {f.flow_id: f for f in flows}
+        records: List[FlowRecord] = []
+        now = 0.0
+
+        while pending or remaining:
+            rates = max_min_rates(
+                {fid: paths[fid] for fid in remaining}, capacity
+            )
+            next_arrival = pending[0].arrival_s if pending else float("inf")
+            next_finish, finish_id = float("inf"), None
+            for fid, left in remaining.items():
+                rate = rates.get(fid, 0.0)
+                if rate > 0:
+                    t = now + left / rate
+                    if t < next_finish:
+                        next_finish, finish_id = t, fid
+            if not remaining and not pending:
+                break
+            if next_arrival <= next_finish:
+                elapsed = next_arrival - now
+                for fid in list(remaining):
+                    remaining[fid] -= rates.get(fid, 0.0) * elapsed
+                now = next_arrival
+                flow = pending.pop(0)
+                remaining[flow.flow_id] = flow.size_gbit
+                start[flow.flow_id] = now
+            else:
+                if finish_id is None:
+                    raise ConfigurationError(
+                        "deadlock: active flows with zero rate and no arrivals"
+                    )
+                elapsed = next_finish - now
+                for fid in list(remaining):
+                    remaining[fid] -= rates.get(fid, 0.0) * elapsed
+                now = next_finish
+                del remaining[finish_id]
+                records.append(
+                    FlowRecord(
+                        flow=flows_by_id[finish_id],
+                        start_s=start[finish_id],
+                        finish_s=now,
+                    )
+                )
+        return records
+
+
+def fct_stats(records: Sequence[FlowRecord]) -> Dict[str, float]:
+    """Mean / p50 / p99 flow completion times."""
+    if not records:
+        raise ConfigurationError("no records")
+    fcts = np.array([r.fct_s for r in records])
+    return {
+        "mean_s": float(fcts.mean()),
+        "p50_s": float(np.percentile(fcts, 50)),
+        "p99_s": float(np.percentile(fcts, 99)),
+    }
+
+
+def generate_flows(
+    traffic_demand_gbps: np.ndarray,
+    num_flows: int,
+    mean_size_gbit: float = 80.0,
+    duration_s: float = 60.0,
+    seed: int = 0,
+) -> List[Flow]:
+    """Sample flows whose pair frequencies follow a demand matrix."""
+    d = np.asarray(traffic_demand_gbps, dtype=float)
+    n = d.shape[0]
+    if num_flows <= 0:
+        raise ConfigurationError("need at least one flow")
+    pairs = [(i, j) for i in range(n) for j in range(n) if i != j and d[i, j] > 0]
+    if not pairs:
+        raise ConfigurationError("demand matrix has no nonzero pairs")
+    weights = np.array([d[i, j] for i, j in pairs])
+    weights = weights / weights.sum()
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(len(pairs), size=num_flows, p=weights)
+    arrivals = np.sort(rng.uniform(0.0, duration_s, num_flows))
+    sizes = rng.exponential(mean_size_gbit, num_flows) + 1e-3
+    return [
+        Flow(
+            flow_id=k,
+            src=pairs[chosen[k]][0],
+            dst=pairs[chosen[k]][1],
+            size_gbit=float(sizes[k]),
+            arrival_s=float(arrivals[k]),
+        )
+        for k in range(num_flows)
+    ]

@@ -1,0 +1,147 @@
+"""Trunk striping: mapping the trunk matrix onto physical OCSes.
+
+A spine-free fabric's trunks are physical circuits on a fleet of OCSes.
+How trunks are *striped* across the fleet decides the blast radius of a
+single OCS failure (§3.2.2: OCSes have a large blast radius):
+
+- ``packed``: fill one OCS at a time -- simple, but one failure can take
+  out every trunk of some unlucky pair;
+- ``striped``: round-robin each pair's trunks across the fleet -- a
+  single failure shaves at most ``ceil(t/num_ocs)`` trunks off any pair.
+
+The module builds both placements and quantifies the worst-pair capacity
+loss under a single OCS failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.dcn.spinefree import TrunkMatrix
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class StripingPlan:
+    """Placement of every trunk: {pair: [ocs index per trunk]}."""
+
+    num_ocses: int
+    placement: Dict[Pair, Tuple[int, ...]]
+
+    def trunks_on_ocs(self, ocs: int) -> int:
+        return sum(p.count(ocs) for p in self.placement.values())
+
+    def surviving_trunks(self, pair: Pair, failed_ocs: int) -> int:
+        """Trunks of ``pair`` that survive one OCS failure."""
+        placed = self.placement.get(pair, ())
+        return len(placed) - placed.count(failed_ocs)
+
+    def worst_pair_loss_fraction(self) -> float:
+        """Worst fractional trunk loss any pair suffers under the worst
+        single OCS failure."""
+        worst = 0.0
+        for ocs in range(self.num_ocses):
+            for pair, placed in self.placement.items():
+                if not placed:
+                    continue
+                loss = placed.count(ocs) / len(placed)
+                worst = max(worst, loss)
+        return worst
+
+
+def _pairs(trunks: TrunkMatrix) -> List[Tuple[Pair, int]]:
+    t = np.asarray(trunks)
+    n = t.shape[0]
+    return [
+        ((i, j), int(t[i, j]))
+        for i in range(n)
+        for j in range(i + 1, n)
+        if t[i, j] > 0
+    ]
+
+
+def _check(trunks: TrunkMatrix, num_ocses: int, ocs_ports: int) -> int:
+    t = np.asarray(trunks)
+    if num_ocses <= 0 or ocs_ports <= 0:
+        raise ConfigurationError("need positive OCS count and port budget")
+    total = int(t.sum()) // 2
+    if total > num_ocses * ocs_ports:
+        raise ConfigurationError(
+            f"{total} trunks exceed fleet capacity {num_ocses * ocs_ports}"
+        )
+    return total
+
+
+def packed_striping(
+    trunks: TrunkMatrix, num_ocses: int, ocs_ports: int = 64
+) -> StripingPlan:
+    """Fill OCSes sequentially (the naive placement)."""
+    _check(trunks, num_ocses, ocs_ports)
+    placement: Dict[Pair, Tuple[int, ...]] = {}
+    ocs, used = 0, 0
+    for pair, count in _pairs(trunks):
+        placed = []
+        for _ in range(count):
+            if used >= ocs_ports:
+                ocs += 1
+                used = 0
+            placed.append(ocs)
+            used += 1
+        placement[pair] = tuple(placed)
+    return StripingPlan(num_ocses=num_ocses, placement=placement)
+
+
+def round_robin_striping(
+    trunks: TrunkMatrix, num_ocses: int, ocs_ports: int = 64
+) -> StripingPlan:
+    """Stripe each pair's trunks across the fleet (the production scheme).
+
+    Trunk ``k`` of a pair lands on OCS ``(hash(pair) + k) % num_ocses``,
+    subject to per-OCS port budgets (overflow spills to the next OCS with
+    room).
+    """
+    _check(trunks, num_ocses, ocs_ports)
+    load = [0] * num_ocses
+    placement: Dict[Pair, Tuple[int, ...]] = {}
+    for pair, count in _pairs(trunks):
+        start = (pair[0] * 31 + pair[1]) % num_ocses
+        placed: List[int] = []
+        for k in range(count):
+            ocs = (start + k) % num_ocses
+            # First pass: a free OCS this pair does not use yet (keeps the
+            # pair's trunks failure-disjoint); second pass: any free OCS.
+            chosen = None
+            for avoid_reuse in (True, False):
+                for probe in range(num_ocses):
+                    candidate = (ocs + probe) % num_ocses
+                    if load[candidate] >= ocs_ports:
+                        continue
+                    if avoid_reuse and candidate in placed:
+                        continue
+                    chosen = candidate
+                    break
+                if chosen is not None:
+                    break
+            if chosen is None:
+                raise ConfigurationError("fleet out of ports during striping")
+            placed.append(chosen)
+            load[chosen] += 1
+        placement[pair] = tuple(placed)
+    return StripingPlan(num_ocses=num_ocses, placement=placement)
+
+
+def blast_radius_comparison(
+    trunks: TrunkMatrix, num_ocses: int, ocs_ports: int = 64
+) -> Dict[str, float]:
+    """Worst-pair loss fraction under one OCS failure, per scheme."""
+    return {
+        "packed": packed_striping(trunks, num_ocses, ocs_ports).worst_pair_loss_fraction(),
+        "striped": round_robin_striping(
+            trunks, num_ocses, ocs_ports
+        ).worst_pair_loss_fraction(),
+    }

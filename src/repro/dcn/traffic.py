@@ -1,0 +1,123 @@
+"""Traffic-matrix generators for DCN evaluation.
+
+Three families cover the evaluation space:
+
+- :func:`uniform_matrix` -- the all-pairs-equal pattern a Clos is built
+  for (topology engineering cannot beat uniform here).
+- :func:`gravity_matrix` -- long-lived skew: block demand proportional to
+  the product of endpoint "masses" (§2.1's long-lived traffic demand
+  between particular sets of ABs).
+- :func:`hotspot_matrix` -- a few elephant pairs over a mouse floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrafficMatrix:
+    """Demand between aggregation blocks, Gb/s; zero diagonal."""
+
+    demand_gbps: np.ndarray
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.demand_gbps, dtype=float)
+        if d.ndim != 2 or d.shape[0] != d.shape[1]:
+            raise ConfigurationError(f"demand must be square, got {d.shape}")
+        if np.any(d < 0):
+            raise ConfigurationError("demand must be non-negative")
+        if np.any(np.diag(d) != 0):
+            raise ConfigurationError("self-demand must be zero")
+        object.__setattr__(self, "demand_gbps", d)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.demand_gbps.shape[0]
+
+    @property
+    def total_gbps(self) -> float:
+        return float(self.demand_gbps.sum())
+
+    def scaled_to(self, total_gbps: float) -> "TrafficMatrix":
+        """Rescale so the aggregate demand equals ``total_gbps``."""
+        if total_gbps <= 0:
+            raise ConfigurationError("target total must be positive")
+        if self.total_gbps == 0:
+            raise ConfigurationError("cannot scale an all-zero matrix")
+        return TrafficMatrix(self.demand_gbps * (total_gbps / self.total_gbps))
+
+    def skew(self) -> float:
+        """Max over mean of nonzero entries: 1.0 for uniform, large for
+        hotspot-dominated matrices."""
+        nz = self.demand_gbps[self.demand_gbps > 0]
+        if nz.size == 0:
+            return 1.0
+        return float(nz.max() / nz.mean())
+
+
+def uniform_matrix(num_blocks: int, pair_gbps: float = 100.0) -> TrafficMatrix:
+    """Equal demand between every ordered pair."""
+    if num_blocks < 2:
+        raise ConfigurationError("need at least two blocks")
+    if pair_gbps < 0:
+        raise ConfigurationError("demand must be non-negative")
+    d = np.full((num_blocks, num_blocks), pair_gbps, dtype=float)
+    np.fill_diagonal(d, 0.0)
+    return TrafficMatrix(d)
+
+
+def gravity_matrix(
+    num_blocks: int,
+    total_gbps: float,
+    concentration: float = 1.0,
+    seed: int = 0,
+) -> TrafficMatrix:
+    """Gravity model: D[i,j] proportional to mass_i * mass_j.
+
+    Masses are log-normal; ``concentration`` is the log-sigma (0 yields
+    uniform, ~1 realistic datacenter skew, 2+ heavy concentration).
+    """
+    if num_blocks < 2:
+        raise ConfigurationError("need at least two blocks")
+    if concentration < 0:
+        raise ConfigurationError("concentration must be non-negative")
+    rng = np.random.default_rng(seed)
+    mass = rng.lognormal(0.0, concentration, num_blocks)
+    d = np.outer(mass, mass).astype(float)
+    np.fill_diagonal(d, 0.0)
+    return TrafficMatrix(d).scaled_to(total_gbps)
+
+
+def hotspot_matrix(
+    num_blocks: int,
+    total_gbps: float,
+    num_hotspots: int = 3,
+    hotspot_fraction: float = 0.7,
+    seed: int = 0,
+) -> TrafficMatrix:
+    """A few elephant pairs carry ``hotspot_fraction`` of all demand."""
+    if num_blocks < 2:
+        raise ConfigurationError("need at least two blocks")
+    if not 0 <= hotspot_fraction <= 1:
+        raise ConfigurationError("hotspot fraction must be in [0, 1]")
+    max_pairs = num_blocks * (num_blocks - 1) // 2
+    if not 0 < num_hotspots <= max_pairs:
+        raise ConfigurationError(f"hotspot count must be in [1, {max_pairs}]")
+    rng = np.random.default_rng(seed)
+    d = np.ones((num_blocks, num_blocks), dtype=float)
+    np.fill_diagonal(d, 0.0)
+    d *= total_gbps * (1 - hotspot_fraction) / d.sum()
+    pairs = [(i, j) for i in range(num_blocks) for j in range(i + 1, num_blocks)]
+    idx = rng.choice(len(pairs), size=num_hotspots, replace=False)
+    per_hotspot = total_gbps * hotspot_fraction / (2 * num_hotspots)
+    for k in idx:
+        i, j = pairs[k]
+        d[i, j] += per_hotspot
+        d[j, i] += per_hotspot
+    return TrafficMatrix(d)

@@ -1,0 +1,30 @@
+"""Lightwave fabrics: OCSes + endpoints + fiber plant as one system.
+
+Assembles the device models of :mod:`repro.ocs` and :mod:`repro.optics`
+under the :mod:`repro.core.fabric_manager` control plane, adding physical
+wiring records (:mod:`repro.fabric.wiring`), end-to-end optical-path
+accounting (:mod:`repro.fabric.path`), and fabric-wide verification
+(:mod:`repro.fabric.verification`).
+"""
+
+from repro.fabric.wiring import Attachment, WiringPlan
+from repro.fabric.lightwave import LightwaveFabric
+from repro.fabric.path import OpticalPath, PathElement
+from repro.fabric.verification import FabricVerifier, LinkHealth
+from repro.fabric.qualification import LinkQualifier, QualificationGrade, QualificationReport
+from repro.fabric.repair import RepairAction, RepairLoop
+
+__all__ = [
+    "Attachment",
+    "WiringPlan",
+    "LightwaveFabric",
+    "OpticalPath",
+    "PathElement",
+    "FabricVerifier",
+    "LinkHealth",
+    "LinkQualifier",
+    "QualificationGrade",
+    "QualificationReport",
+    "RepairLoop",
+    "RepairAction",
+]

@@ -1,0 +1,143 @@
+"""End-to-end optical-path accounting.
+
+An :class:`OpticalPath` walks a light signal from a transmitter through
+circulators, fiber spans, and OCS circuits to a receiver, accumulating
+insertion loss and collecting the reflection inventory that determines the
+link's aggregate MPI level.  The result feeds directly into the
+:class:`repro.optics.pam4.Pam4LinkModel` for a physics-grounded BER of a
+*specific* fabric path rather than a generic one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.optics.circulator import Circulator
+from repro.optics.fiber import FiberSpan
+from repro.optics.mpi import MpiSource, aggregate_mpi_db, double_reflection_mpi_db
+from repro.optics.pam4 import Pam4LinkModel
+from repro.optics.transceiver import TransceiverSpec
+
+
+@dataclass(frozen=True)
+class PathElement:
+    """One traversed element: its loss and the reflection it contributes."""
+
+    name: str
+    loss_db: float
+    reflection_db: Optional[float] = None  # None = no meaningful reflector
+
+    def __post_init__(self) -> None:
+        if self.loss_db < 0:
+            raise ConfigurationError(f"{self.name}: loss must be non-negative")
+        if self.reflection_db is not None and self.reflection_db >= 0:
+            raise ConfigurationError(f"{self.name}: reflection must be negative dB")
+
+
+@dataclass
+class OpticalPath:
+    """A concrete TX -> RX path through the fabric."""
+
+    spec: TransceiverSpec
+    elements: List[PathElement] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def through_ocs(
+        cls,
+        spec: TransceiverSpec,
+        ocs_insertion_loss_db: float,
+        ocs_return_loss_db: float,
+        fiber: Optional[FiberSpan] = None,
+        circulator: Optional[Circulator] = None,
+    ) -> "OpticalPath":
+        """The canonical bidi fabric path: circulator-fiber-OCS-fiber-circulator."""
+        if ocs_insertion_loss_db < 0:
+            raise ConfigurationError("OCS insertion loss must be non-negative")
+        if ocs_return_loss_db >= 0:
+            raise ConfigurationError("OCS return loss must be negative dB")
+        circ = circulator or Circulator()
+        span = fiber or FiberSpan(length_m=30.0)
+        path = cls(spec=spec)
+        if spec.bidi:
+            path.elements.append(
+                PathElement("tx-circulator", circ.tx_to_fiber_db, circ.return_loss_db)
+            )
+        path.elements.append(
+            PathElement("fiber-a", span.total_loss_db, -55.0)  # APC connector
+        )
+        path.elements.append(
+            PathElement("ocs", ocs_insertion_loss_db, ocs_return_loss_db)
+        )
+        path.elements.append(PathElement("fiber-b", span.total_loss_db, -55.0))
+        if spec.bidi:
+            path.elements.append(
+                PathElement("rx-circulator", circ.fiber_to_rx_db, circ.return_loss_db)
+            )
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_loss_db(self) -> float:
+        return sum(e.loss_db for e in self.elements)
+
+    @property
+    def received_power_dbm(self) -> float:
+        return self.spec.tx_power_dbm - self.total_loss_db
+
+    def reflectors(self) -> Tuple[PathElement, ...]:
+        """Elements that contribute a reflection, in path order."""
+        return tuple(e for e in self.elements if e.reflection_db is not None)
+
+    def estimated_mpi_db(self, circulator_crosstalk_db: float = -50.0) -> float:
+        """Aggregate MPI from every reflector pair plus circulator crosstalk.
+
+        Every ordered pair of reflectors creates one double-reflection
+        interferer; circulator crosstalk adds the local-TX leakage term.
+        Levels are referenced to the received signal, so intermediate path
+        loss between the reflectors is conservatively ignored (short
+        intra-datacenter spans).
+        """
+        sources: List[MpiSource] = []
+        refs = self.reflectors()
+        for i in range(len(refs)):
+            for j in range(i + 1, len(refs)):
+                level = double_reflection_mpi_db(
+                    refs[i].reflection_db, refs[j].reflection_db
+                )
+                sources.append(MpiSource(f"{refs[i].name}*{refs[j].name}", level))
+        if self.spec.bidi:
+            # Local TX leaks into local RX: level set by crosstalk plus the
+            # advantage the (unattenuated) local TX has over the received
+            # signal, i.e. the full path loss.
+            sources.append(
+                MpiSource(
+                    "circulator-crosstalk",
+                    circulator_crosstalk_db + self.total_loss_db,
+                )
+            )
+        return aggregate_mpi_db(sources)
+
+    def ber_model(self, oim_suppression_db: float = 12.0) -> Pam4LinkModel:
+        """A PAM4 BER model parameterized by this path's physics."""
+        mpi = self.estimated_mpi_db()
+        return Pam4LinkModel(
+            mpi_db=None if mpi == float("-inf") else mpi,
+            oim_suppression_db=oim_suppression_db,
+        )
+
+    def ber(self, oim_suppression_db: float = 12.0) -> float:
+        """Pre-FEC BER at this path's actual received power."""
+        return self.ber_model(oim_suppression_db).ber(self.received_power_dbm)
+
+    def margin_db(self) -> float:
+        """Power margin over the transceiver's stated sensitivity."""
+        return self.received_power_dbm - self.spec.rx_sensitivity_dbm

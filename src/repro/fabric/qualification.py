@@ -1,0 +1,138 @@
+"""Spare-port link qualification.
+
+Appendix A: Palomar ships 136x136 ports of which 8 are reserved "for
+link testing and repairs".  Before a newly landed fiber carries
+production traffic, the control plane cross-connects it to a spare port
+that hosts test instrumentation (an optical power meter / loopback) and
+grades the measured loss against the link budget -- the per-rack
+verification step behind the §4.2.3 incremental-deployment story.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import CapacityError, ConfigurationError
+from repro.ocs.palomar import PALOMAR_RADIX, PALOMAR_USABLE_PORTS, PalomarOcs
+
+
+class QualificationGrade(enum.Enum):
+    PASS = "pass"
+    MARGINAL = "marginal"
+    FAIL = "fail"
+
+
+@dataclass(frozen=True)
+class QualificationReport:
+    """Result of testing one production port against a spare."""
+
+    port: int
+    spare: int
+    measured_loss_db: float
+    expected_loss_db: float
+    grade: QualificationGrade
+
+    @property
+    def excess_loss_db(self) -> float:
+        return self.measured_loss_db - self.expected_loss_db
+
+
+@dataclass
+class LinkQualifier:
+    """Drives spare-port qualification on one Palomar OCS.
+
+    Args:
+        ocs: the switch under test.
+        spare_ports: south-side ports reserved for instrumentation
+            (defaults to the top 8, matching 128 usable + 8 spares).
+        pass_margin_db / fail_margin_db: grading thresholds on excess
+            loss over the optics model's expectation (pigtail damage,
+            dirty connectors show up here).
+    """
+
+    ocs: PalomarOcs
+    spare_ports: Tuple[int, ...] = tuple(range(PALOMAR_USABLE_PORTS, PALOMAR_RADIX))
+    pass_margin_db: float = 0.5
+    fail_margin_db: float = 1.5
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    reports: List[QualificationReport] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.spare_ports:
+            raise ConfigurationError("need at least one spare port")
+        for p in self.spare_ports:
+            if not 0 <= p < self.ocs.radix:
+                raise ConfigurationError(f"spare port {p} out of range")
+        if not 0 < self.pass_margin_db < self.fail_margin_db:
+            raise ConfigurationError("need 0 < pass margin < fail margin")
+        self._rng = np.random.default_rng(self.seed)
+
+    def _free_spare(self) -> int:
+        for spare in self.spare_ports:
+            if self.ocs.state.north_of(spare) is None:
+                return spare
+        raise CapacityError("all spare ports are busy")
+
+    def qualify(
+        self, north_port: int, plant_excess_db: Optional[float] = None
+    ) -> QualificationReport:
+        """Test the fiber on ``north_port`` against a spare south port.
+
+        ``plant_excess_db`` injects a known plant defect for testing; by
+        default a small random plant variation is sampled (most fibers
+        are clean, a tail is dirty).  The circuit is created, measured,
+        and torn down; the production port is left untouched otherwise.
+        """
+        if self.ocs.state.south_of(north_port) is not None:
+            raise ConfigurationError(
+                f"north port {north_port} carries a production circuit"
+            )
+        spare = self._free_spare()
+        self.ocs.connect(north_port, spare)
+        try:
+            expected = self.ocs.insertion_loss_db(north_port, spare)
+            if plant_excess_db is None:
+                # Clean plant mostly; occasional dirty connector.
+                plant_excess_db = float(self._rng.gamma(0.6, 0.25))
+            measured = expected + plant_excess_db
+        finally:
+            self.ocs.disconnect(north_port)
+        excess = measured - expected
+        if excess <= self.pass_margin_db:
+            grade = QualificationGrade.PASS
+        elif excess <= self.fail_margin_db:
+            grade = QualificationGrade.MARGINAL
+        else:
+            grade = QualificationGrade.FAIL
+        report = QualificationReport(
+            port=north_port,
+            spare=spare,
+            measured_loss_db=measured,
+            expected_loss_db=expected,
+            grade=grade,
+        )
+        self.reports.append(report)
+        return report
+
+    def qualify_ports(
+        self, ports: Sequence[int]
+    ) -> Dict[QualificationGrade, List[int]]:
+        """Qualify a batch (e.g. a newly landed cube's 48 connections)."""
+        out: Dict[QualificationGrade, List[int]] = {g: [] for g in QualificationGrade}
+        for port in ports:
+            report = self.qualify(port)
+            out[report.grade].append(port)
+        return out
+
+    @property
+    def yield_fraction(self) -> float:
+        """Fraction of qualified ports graded PASS."""
+        if not self.reports:
+            return 1.0
+        passed = sum(1 for r in self.reports if r.grade is QualificationGrade.PASS)
+        return passed / len(self.reports)

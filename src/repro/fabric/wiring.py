@@ -1,0 +1,119 @@
+"""Wiring plans: which endpoint fiber lands on which OCS port.
+
+A wiring plan is the *static* part of a lightwave fabric -- the physical
+patch from every endpoint port to an OCS port (north or south side).  The
+OCS cross-connects are then the *dynamic* part.  Plans validate that no
+OCS port or endpoint port is used twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError, TopologyError
+from repro.core.ids import OcsId
+
+
+@dataclass(frozen=True)
+class Attachment:
+    """One fiber: endpoint port -> OCS port."""
+
+    endpoint: str
+    endpoint_port: int
+    ocs: OcsId
+    side: str  # "N" or "S"
+    ocs_port: int
+
+    def __post_init__(self) -> None:
+        if self.side not in ("N", "S"):
+            raise ConfigurationError(f"side must be 'N' or 'S', got {self.side!r}")
+        if self.endpoint_port < 0 or self.ocs_port < 0:
+            raise ConfigurationError("port indices must be non-negative")
+
+    def __str__(self) -> str:
+        return f"{self.endpoint}:{self.endpoint_port} -> {self.ocs}/{self.side}{self.ocs_port}"
+
+
+@dataclass
+class WiringPlan:
+    """The set of attachments forming a fabric's static fiber plant."""
+
+    attachments: List[Attachment] = field(default_factory=list)
+    _by_endpoint: Dict[Tuple[str, int], Attachment] = field(
+        default_factory=dict, repr=False
+    )
+    _by_ocs: Dict[Tuple[OcsId, str, int], Attachment] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        seeded, self.attachments = self.attachments, []
+        for att in seeded:
+            self.add(att)
+
+    def add(self, attachment: Attachment) -> None:
+        """Record one fiber, rejecting double-use on either end."""
+        ep_key = (attachment.endpoint, attachment.endpoint_port)
+        ocs_key = (attachment.ocs, attachment.side, attachment.ocs_port)
+        if ep_key in self._by_endpoint:
+            raise TopologyError(
+                f"endpoint port {attachment.endpoint}:{attachment.endpoint_port} "
+                f"already wired to {self._by_endpoint[ep_key].ocs}"
+            )
+        if ocs_key in self._by_ocs:
+            raise TopologyError(
+                f"OCS port {attachment.ocs}/{attachment.side}{attachment.ocs_port} "
+                f"already wired to {self._by_ocs[ocs_key].endpoint}"
+            )
+        self.attachments.append(attachment)
+        self._by_endpoint[ep_key] = attachment
+        self._by_ocs[ocs_key] = attachment
+
+    def for_endpoint(self, endpoint: str, port: int) -> Attachment:
+        """The attachment on a given endpoint port."""
+        try:
+            return self._by_endpoint[(endpoint, port)]
+        except KeyError:
+            raise TopologyError(f"{endpoint}:{port} is not wired") from None
+
+    def for_ocs_port(self, ocs: OcsId, side: str, port: int) -> Optional[Attachment]:
+        """The attachment on a given OCS port, or None if dark."""
+        return self._by_ocs.get((ocs, side, port))
+
+    def endpoints(self) -> Tuple[str, ...]:
+        """All endpoint names appearing in the plan, sorted."""
+        return tuple(sorted({a.endpoint for a in self.attachments}))
+
+    def ports_used(self, ocs: OcsId, side: str) -> Tuple[int, ...]:
+        """OCS ports of ``side`` already carrying a fiber, ascending."""
+        return tuple(
+            sorted(p for (o, s, p) in self._by_ocs if o == ocs and s == side)
+        )
+
+    def __len__(self) -> int:
+        return len(self.attachments)
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def full_mesh_ready(
+        cls, endpoint_names: Sequence[str], ocs: OcsId, radix: int
+    ) -> "WiringPlan":
+        """Wire each endpoint's port 0 to the north side and port 1 to the
+        south side of one OCS, enabling any endpoint-to-endpoint circuit.
+
+        Endpoint ``i`` lands on north port ``i`` and south port ``i``; a
+        circuit N(i) -> S(j) then realizes the link i -> j.
+        """
+        if len(endpoint_names) > radix:
+            raise ConfigurationError(
+                f"{len(endpoint_names)} endpoints exceed OCS radix {radix}"
+            )
+        plan = cls()
+        for i, name in enumerate(endpoint_names):
+            plan.add(Attachment(name, 0, ocs, "N", i))
+            plan.add(Attachment(name, 1, ocs, "S", i))
+        return plan

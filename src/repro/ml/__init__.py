@@ -1,0 +1,43 @@
+"""ML training performance models and slice-shape search.
+
+Reproduces §4.2.1 (Table 2): an analytic training-step cost model for
+transformer LLMs on 3D-torus TPU slices, combining tensor (model),
+pipeline, and data parallelism, and a shape-search optimizer standing in
+for the paper's NAS system.  Also models the hybrid ICI-DCN scale-out
+collectives of §2.2.2 (Fig 2).
+"""
+
+from repro.ml.models import LLM_ZOO, LlmConfig
+from repro.ml.parallelism import ParallelismPlan
+from repro.ml.collectives import (
+    hierarchical_all_reduce_time_s,
+    ring_all_gather_time_s,
+    ring_all_reduce_time_s,
+    ring_reduce_scatter_time_s,
+)
+from repro.ml.perfmodel import StepTimeBreakdown, TrainingStepModel
+from repro.ml.shape_search import ShapeSearchResult, SliceShapeSearch
+from repro.ml.hybrid import HybridClusterSpec, cross_pod_all_reduce_time_s
+from repro.ml.reshaping import ReshapingPlan, ReshapingStudy, TrainingPhase
+from repro.ml.collective_sim import RingCollectiveSim, simulate_hierarchical_all_reduce
+
+__all__ = [
+    "LLM_ZOO",
+    "LlmConfig",
+    "ParallelismPlan",
+    "ring_all_reduce_time_s",
+    "ring_reduce_scatter_time_s",
+    "ring_all_gather_time_s",
+    "hierarchical_all_reduce_time_s",
+    "TrainingStepModel",
+    "StepTimeBreakdown",
+    "SliceShapeSearch",
+    "ShapeSearchResult",
+    "HybridClusterSpec",
+    "cross_pod_all_reduce_time_s",
+    "ReshapingStudy",
+    "ReshapingPlan",
+    "TrainingPhase",
+    "RingCollectiveSim",
+    "simulate_hierarchical_all_reduce",
+]

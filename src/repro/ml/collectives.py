@@ -1,0 +1,116 @@
+"""Collective-communication cost models on torus rings.
+
+All times follow the standard bandwidth-term analysis of ring algorithms
+(latency terms are included as a per-step overhead):
+
+- reduce-scatter / all-gather over a ring of ``n``: each node moves
+  ``(n-1)/n * V`` bytes in ``n-1`` steps.
+- all-reduce = reduce-scatter + all-gather: ``2 * (n-1)/n * V``.
+- hierarchical (multi-dimension) all-reduce: reduce-scatter down each
+  torus dimension in turn (shrinking the shard), then all-gather back up.
+
+``link_bytes_per_s`` is the bandwidth of one ICI link *per direction*;
+a torus dimension gives each chip two links (both ring directions), which
+bidirectional ring algorithms exploit, so the effective ring bandwidth is
+``2 * link_bytes_per_s``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import ConfigurationError
+
+#: Per-ring-step overhead (software + hop latency), seconds.
+DEFAULT_STEP_OVERHEAD_S = 2e-6
+
+
+def _check(volume_bytes: float, ring_size: int, link_bytes_per_s: float) -> None:
+    if volume_bytes < 0:
+        raise ConfigurationError("volume must be non-negative")
+    if ring_size <= 0:
+        raise ConfigurationError("ring size must be positive")
+    if link_bytes_per_s <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+
+
+def ring_reduce_scatter_time_s(
+    volume_bytes: float,
+    ring_size: int,
+    link_bytes_per_s: float,
+    step_overhead_s: float = DEFAULT_STEP_OVERHEAD_S,
+) -> float:
+    """Reduce-scatter ``volume_bytes`` (per node) over a bidirectional ring."""
+    _check(volume_bytes, ring_size, link_bytes_per_s)
+    if ring_size == 1:
+        return 0.0
+    bw = 2.0 * link_bytes_per_s
+    return (ring_size - 1) / ring_size * volume_bytes / bw + (
+        ring_size - 1
+    ) * step_overhead_s
+
+
+def ring_all_gather_time_s(
+    volume_bytes: float,
+    ring_size: int,
+    link_bytes_per_s: float,
+    step_overhead_s: float = DEFAULT_STEP_OVERHEAD_S,
+) -> float:
+    """All-gather producing ``volume_bytes`` per node (same cost shape)."""
+    return ring_reduce_scatter_time_s(
+        volume_bytes, ring_size, link_bytes_per_s, step_overhead_s
+    )
+
+
+def ring_all_reduce_time_s(
+    volume_bytes: float,
+    ring_size: int,
+    link_bytes_per_s: float,
+    step_overhead_s: float = DEFAULT_STEP_OVERHEAD_S,
+) -> float:
+    """All-reduce ``volume_bytes`` over one ring: RS + AG."""
+    return ring_reduce_scatter_time_s(
+        volume_bytes, ring_size, link_bytes_per_s, step_overhead_s
+    ) + ring_all_gather_time_s(volume_bytes, ring_size, link_bytes_per_s, step_overhead_s)
+
+
+def hierarchical_all_reduce_time_s(
+    volume_bytes: float,
+    extents: Sequence[int],
+    link_bytes_per_s: float,
+    step_overhead_s: float = DEFAULT_STEP_OVERHEAD_S,
+) -> float:
+    """All-reduce over a multi-dimensional torus group.
+
+    Reduce-scatters along each dimension in turn -- the live shard shrinks
+    by the dimension extent each time -- then all-gathers in reverse
+    order.  For a single dimension this degenerates to
+    :func:`ring_all_reduce_time_s`.
+    """
+    if not extents:
+        return 0.0
+    for n in extents:
+        if n <= 0:
+            raise ConfigurationError(f"extents must be positive, got {extents}")
+    total = 0.0
+    shard = volume_bytes
+    shards = []
+    for n in extents:
+        total += ring_reduce_scatter_time_s(shard, n, link_bytes_per_s, step_overhead_s)
+        shards.append(shard)
+        shard /= n
+    for n, shard_before in zip(reversed(list(extents)), reversed(shards)):
+        total += ring_all_gather_time_s(
+            shard_before, n, link_bytes_per_s, step_overhead_s
+        )
+    return total
+
+
+def point_to_point_time_s(
+    volume_bytes: float, link_bytes_per_s: float, hops: int = 1
+) -> float:
+    """Pipelined point-to-point transfer (pipeline-stage activations)."""
+    if hops <= 0:
+        raise ConfigurationError("hops must be positive")
+    _check(volume_bytes, 1, link_bytes_per_s)
+    return volume_bytes / link_bytes_per_s + hops * DEFAULT_STEP_OVERHEAD_S

@@ -1,0 +1,95 @@
+"""Hybrid ICI-DCN scale-out collectives (§2.2.2, Fig 2).
+
+Training models too large for one superpod combines the scale-up ICI
+(50-100x the per-TPU bandwidth of the DCN) with the scale-out DCN.  The
+canonical collective is the two-level all-reduce of Fig 2:
+
+1. **intra-pod** reduce-scatter on ICI rings (Fig 2b),
+2. **inter-pod** all-reduce of each shard over the DCN (Fig 2c, the red
+   and blue rings), on the critical path,
+3. **intra-pod** all-gather on ICI rings.
+
+The model quantifies why DCN-level topology engineering matters: step 2's
+time scales with the DCN bandwidth actually provisioned between the pods,
+which the reconfigurable DCN lightwave fabric can concentrate where the
+traffic is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.ml.collectives import ring_all_gather_time_s, ring_all_reduce_time_s, ring_reduce_scatter_time_s
+
+
+@dataclass(frozen=True)
+class HybridClusterSpec:
+    """A multi-pod training cluster.
+
+    Args:
+        num_pods: superpods participating.
+        chips_per_pod: TPU chips per pod.
+        ici_gbytes_per_s: ICI link bandwidth per direction, GB/s.
+        dcn_gbytes_per_chip_s: DCN bandwidth available *per chip* for
+            cross-pod traffic, GB/s (the 50-100x gap: ~0.5-2 vs 25-50).
+    """
+
+    num_pods: int = 4
+    chips_per_pod: int = 4096
+    ici_gbytes_per_s: float = 25.0
+    dcn_gbytes_per_chip_s: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.num_pods <= 0 or self.chips_per_pod <= 0:
+            raise ConfigurationError("pods and chips must be positive")
+        if self.ici_gbytes_per_s <= 0 or self.dcn_gbytes_per_chip_s <= 0:
+            raise ConfigurationError("bandwidths must be positive")
+
+    @property
+    def ici_to_dcn_ratio(self) -> float:
+        """The paper's 50-100x scale-up vs scale-out bandwidth gap."""
+        return self.ici_gbytes_per_s / self.dcn_gbytes_per_chip_s
+
+
+def cross_pod_all_reduce_time_s(
+    spec: HybridClusterSpec,
+    volume_bytes_per_chip: float,
+    intra_pod_ring: int = 64,
+) -> float:
+    """Two-level all-reduce time for ``volume_bytes_per_chip`` gradients.
+
+    Phase 1 reduce-scatters over an intra-pod ring (``intra_pod_ring``
+    chips), phase 2 all-reduces each shard across pods over the DCN, and
+    phase 3 all-gathers back over ICI.
+    """
+    if volume_bytes_per_chip < 0:
+        raise ConfigurationError("volume must be non-negative")
+    if intra_pod_ring <= 0 or intra_pod_ring > spec.chips_per_pod:
+        raise ConfigurationError("intra-pod ring size out of range")
+    ici_bw = spec.ici_gbytes_per_s * 1e9
+    dcn_bw = spec.dcn_gbytes_per_chip_s * 1e9
+    t1 = ring_reduce_scatter_time_s(volume_bytes_per_chip, intra_pod_ring, ici_bw)
+    shard = volume_bytes_per_chip / intra_pod_ring
+    # DCN phase: each chip owns a shard replicated across pods; the DCN
+    # ring spans the pods.  The DCN link is not doubled (single NIC path).
+    t2 = ring_all_reduce_time_s(shard, spec.num_pods, dcn_bw / 2.0)
+    t3 = ring_all_gather_time_s(volume_bytes_per_chip, intra_pod_ring, ici_bw)
+    return t1 + t2 + t3
+
+
+def dcn_critical_path_fraction(
+    spec: HybridClusterSpec,
+    volume_bytes_per_chip: float,
+    intra_pod_ring: int = 64,
+) -> float:
+    """Fraction of the collective spent in the DCN phase (§2.2.2: the
+    transfers over the DCN are on the critical path)."""
+    total = cross_pod_all_reduce_time_s(spec, volume_bytes_per_chip, intra_pod_ring)
+    if total == 0:
+        return 0.0
+    ici_bw = spec.ici_gbytes_per_s * 1e9
+    dcn_bw = spec.dcn_gbytes_per_chip_s * 1e9
+    shard = volume_bytes_per_chip / intra_pod_ring
+    t2 = ring_all_reduce_time_s(shard, spec.num_pods, dcn_bw / 2.0)
+    return t2 / total

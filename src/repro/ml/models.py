@@ -1,0 +1,105 @@
+"""LLM configurations: the Table 2 model zoo.
+
+Table 2 evaluates three production-scale LLMs on a 4096-chip slice:
+
+======  ===========  ====================  ================
+model   parameters   optimal slice         speedup vs 16^3
+======  ===========  ====================  ================
+LLM0    35 billion   8 x 16 x 32           1.54x
+LLM1    70 billion   4 x 4 x 256           3.32x
+LLM2    150 billion  16 x 16 x 16          1.00x
+======  ===========  ====================  ================
+
+§4.2.1 explains the drivers: model size sets the inherent *model*
+parallelism; global batch size sets the inherent *data* parallelism.
+LLM0/LLM1 have batch sizes much larger than their model sizes (LLM1 most
+skewed), so they prefer asymmetric shapes; LLM2 is large with a moderate
+batch, preferring the maximum-bisection symmetric shape.
+
+The zoo's hidden sizes follow the standard transformer parameter count
+``P ~ 12 * L * h^2``; batch sizes are calibrated so the shape search of
+:mod:`repro.ml.shape_search` reproduces the table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LlmConfig:
+    """One transformer LLM training configuration."""
+
+    name: str
+    num_params: float
+    num_layers: int
+    hidden_dim: int
+    seq_len: int
+    global_batch_seqs: int
+
+    def __post_init__(self) -> None:
+        if self.num_params <= 0:
+            raise ConfigurationError("parameter count must be positive")
+        if min(self.num_layers, self.hidden_dim, self.seq_len, self.global_batch_seqs) <= 0:
+            raise ConfigurationError("all model dimensions must be positive")
+
+    @classmethod
+    def from_params(
+        cls,
+        name: str,
+        num_params: float,
+        num_layers: int,
+        seq_len: int,
+        global_batch_seqs: int,
+    ) -> "LlmConfig":
+        """Derive the hidden size from ``P ~ 12 * L * h^2``."""
+        if num_params <= 0 or num_layers <= 0:
+            raise ConfigurationError("parameters and layers must be positive")
+        hidden = int(round(math.sqrt(num_params / (12.0 * num_layers)) / 128) * 128)
+        if hidden <= 0:
+            raise ConfigurationError("derived hidden size is zero; check inputs")
+        return cls(
+            name=name,
+            num_params=num_params,
+            num_layers=num_layers,
+            hidden_dim=hidden,
+            seq_len=seq_len,
+            global_batch_seqs=global_batch_seqs,
+        )
+
+    @property
+    def global_batch_tokens(self) -> float:
+        return float(self.global_batch_seqs) * self.seq_len
+
+    @property
+    def flops_per_step(self) -> float:
+        """Training FLOPs per step: the standard 6 * P * tokens."""
+        return 6.0 * self.num_params * self.global_batch_tokens
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}({self.num_params / 1e9:.0f}B, L={self.num_layers}, "
+            f"h={self.hidden_dim}, GB={self.global_batch_seqs} seqs)"
+        )
+
+
+#: The Table 2 model zoo.  Batch sizes encode the paper's parallelism
+#: skew: LLM1's batch/params ratio is the largest (most data-parallel),
+#: LLM2's the smallest.  The values are calibrated jointly with
+#: :class:`repro.ml.perfmodel.TrainingStepModel` so the shape search
+#: reproduces Table 2's optima and speedups.
+LLM_ZOO: Dict[str, LlmConfig] = {
+    "llm0": LlmConfig.from_params(
+        "LLM0", 35e9, num_layers=48, seq_len=2048, global_batch_seqs=1440
+    ),
+    "llm1": LlmConfig.from_params(
+        "LLM1", 70e9, num_layers=80, seq_len=2048, global_batch_seqs=10240
+    ),
+    "llm2": LlmConfig.from_params(
+        "LLM2", 150e9, num_layers=96, seq_len=2048, global_batch_seqs=1024
+    ),
+}

@@ -1,0 +1,157 @@
+"""Parallelism plans: mapping an LLM onto a torus slice shape.
+
+§4.2.1: the automated optimizer assigns the slice's **1st dimension to
+model parallelism and the 2nd and 3rd dimensions to data parallelism**:
+
+- ``tensor = shape[0]``: tensor-model parallelism with per-layer
+  activation all-reduces on the first torus dimension's rings.
+- ``data_extents = (shape[1], shape[2])``: data parallelism with the
+  gradient all-reduce running hierarchically over the second and third
+  torus dimensions.
+
+An optional ``pipeline`` degree (not drawn from the slice shape in the
+paper's mapping, available for ablations) splits layers into stages with
+a 1F1B bubble.
+
+Feasibility constraints:
+- per-chip memory: the bf16 weight shard and unshardable working set
+  (``WEIGHT_SHARD_BYTES_PER_PARAM``) plus the data-sharded
+  gradient/optimizer state must fit HBM -- this is what forces large
+  models (LLM2) to high tensor parallelism;
+- layers must split over pipeline stages (``L >= pp``);
+- every data replica needs at least one sequence (``batch >= data``);
+- the tensor dimension cannot exceed attention-head-level parallelism
+  (bounded by ``hidden/128``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.ml.models import LlmConfig
+from repro.tpu.chip import HBM_GIB_PER_CHIP
+
+#: Bytes per parameter that must live on every chip of a tensor-model
+#: shard: bf16 weights plus the unshardable working set.  Calibrated so
+#: a 150B model needs tensor parallelism of at least 16 on 32 GiB HBM
+#: while a 70B model still fits at tensor parallelism 4.
+WEIGHT_SHARD_BYTES_PER_PARAM = 1.85
+
+#: Gradient + optimizer-state bytes per parameter, fully sharded across
+#: data replicas (ZeRO-style: fp32 master weights and Adam moments).
+OPTIMIZER_BYTES_PER_PARAM = 16.0
+
+
+@dataclass(frozen=True)
+class ParallelismPlan:
+    """One (tensor, data-extents, pipeline) assignment for a model."""
+
+    model: LlmConfig
+    tensor: int
+    data_extents: Tuple[int, ...]
+    pipeline: int = 1
+    microbatch_seqs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tensor <= 0 or self.pipeline <= 0 or self.microbatch_seqs <= 0:
+            raise ConfigurationError("parallelism degrees must be positive")
+        if not self.data_extents or any(d <= 0 for d in self.data_extents):
+            raise ConfigurationError(
+                f"data extents must be positive, got {self.data_extents}"
+            )
+
+    @classmethod
+    def for_shape(
+        cls, model: LlmConfig, shape: Tuple[int, int, int], microbatch_seqs: int = 1
+    ) -> "ParallelismPlan":
+        """The paper's dimension assignment: dim1 model, dims 2+3 data."""
+        if len(shape) != 3 or any(s <= 0 for s in shape):
+            raise ConfigurationError(f"shape must be 3 positive extents, got {shape}")
+        return cls(
+            model=model,
+            tensor=shape[0],
+            data_extents=(shape[1], shape[2]),
+            microbatch_seqs=microbatch_seqs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def data(self) -> int:
+        """Total data parallelism."""
+        out = 1
+        for d in self.data_extents:
+            out *= d
+        return out
+
+    @property
+    def num_chips(self) -> int:
+        return self.tensor * self.pipeline * self.data
+
+    @property
+    def model_shards(self) -> int:
+        """Ways the weights are split (tensor x pipeline)."""
+        return self.tensor * self.pipeline
+
+    @property
+    def batch_seqs_per_replica(self) -> int:
+        return self.model.global_batch_seqs // self.data
+
+    @property
+    def num_microbatches(self) -> int:
+        """Microbatches flowing through each pipeline per step."""
+        return max(1, self.batch_seqs_per_replica // self.microbatch_seqs)
+
+    @property
+    def pipeline_bubble_fraction(self) -> float:
+        """1F1B bubble: (pp - 1) / m of the pipeline-busy time is idle."""
+        return (self.pipeline - 1) / self.num_microbatches
+
+    @property
+    def layers_per_stage(self) -> float:
+        return self.model.num_layers / self.pipeline
+
+    def memory_per_chip_bytes(self) -> float:
+        """Weight shard on every chip; optimizer sharded over data."""
+        shard = self.model.num_params / self.model_shards
+        return (
+            WEIGHT_SHARD_BYTES_PER_PARAM * shard
+            + OPTIMIZER_BYTES_PER_PARAM * shard / self.data
+        )
+
+    # ------------------------------------------------------------------ #
+    # Feasibility
+    # ------------------------------------------------------------------ #
+
+    def infeasibility_reason(self) -> str:
+        """Empty string when feasible, else a human-readable reason."""
+        hbm = HBM_GIB_PER_CHIP * 2 ** 30
+        if self.memory_per_chip_bytes() > hbm:
+            return (
+                f"model shard needs {self.memory_per_chip_bytes() / 2**30:.1f} GiB "
+                f"> {HBM_GIB_PER_CHIP:.0f} GiB HBM"
+            )
+        if self.model.num_layers < self.pipeline:
+            return f"{self.pipeline} stages exceed {self.model.num_layers} layers"
+        if self.model.global_batch_seqs < self.data:
+            return (
+                f"data parallelism {self.data} exceeds global batch "
+                f"{self.model.global_batch_seqs}"
+            )
+        if self.tensor > self.model.hidden_dim // 128:
+            return f"tensor parallelism {self.tensor} exceeds head parallelism"
+        return ""
+
+    @property
+    def feasible(self) -> bool:
+        return not self.infeasibility_reason()
+
+    def __str__(self) -> str:
+        return (
+            f"Plan({self.model.name}: tp={self.tensor} "
+            f"dp={'x'.join(str(d) for d in self.data_extents)} pp={self.pipeline})"
+        )

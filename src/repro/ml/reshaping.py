@@ -1,0 +1,134 @@
+"""Mid-training slice reshaping: the §6 fast-reconfiguration study.
+
+§6: "changing the configuration of the slice during a training session to
+match communication patterns of different computing phases has the
+potential to improve performance [63]" -- but "must balance the benefits
+with the challenge of ... a control plane that can operate on the
+requisite time scale."
+
+This module quantifies that balance for a training run with phases whose
+optimal slice shapes differ (e.g. a large-batch pretraining phase and a
+small-batch fine-tuning/long-context phase): given a per-reshape cost
+(fabric reconfiguration + job checkpoint/restore), when does reshaping
+win, and what switching time makes it break even?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.ml.models import LlmConfig
+from repro.ml.perfmodel import TrainingStepModel
+from repro.ml.shape_search import Shape, SliceShapeSearch
+
+
+@dataclass(frozen=True)
+class TrainingPhase:
+    """One phase of a training run."""
+
+    name: str
+    model: LlmConfig
+    steps: int
+
+    def __post_init__(self) -> None:
+        if self.steps <= 0:
+            raise ConfigurationError("phase needs at least one step")
+
+
+@dataclass(frozen=True)
+class ReshapingPlan:
+    """Outcome of the fixed-vs-reshaped comparison."""
+
+    fixed_shape: Shape
+    fixed_time_s: float
+    phase_shapes: Tuple[Shape, ...]
+    reshaped_compute_s: float
+    num_reshapes: int
+    reshape_cost_s: float
+
+    @property
+    def reshaped_time_s(self) -> float:
+        return self.reshaped_compute_s + self.num_reshapes * self.reshape_cost_s
+
+    @property
+    def speedup(self) -> float:
+        return self.fixed_time_s / self.reshaped_time_s
+
+    @property
+    def breakeven_reshape_cost_s(self) -> float:
+        """Per-reshape cost at which reshaping stops paying off."""
+        if self.num_reshapes == 0:
+            return float("inf")
+        return max(0.0, (self.fixed_time_s - self.reshaped_compute_s) / self.num_reshapes)
+
+
+@dataclass
+class ReshapingStudy:
+    """Compares a fixed slice shape against per-phase reshaping.
+
+    Args:
+        step_model: the calibrated training-step model.
+        reshape_cost_s: wall-clock cost of one reshape (OCS reconfigure is
+            milliseconds; the cost is dominated by checkpoint/restore and
+            collective re-initialization).
+    """
+
+    step_model: TrainingStepModel
+    num_chips: int = 4096
+    reshape_cost_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.reshape_cost_s < 0:
+            raise ConfigurationError("reshape cost must be non-negative")
+
+    def _search(self) -> SliceShapeSearch:
+        return SliceShapeSearch(self.step_model, num_chips=self.num_chips)
+
+    def phase_time_s(self, phase: TrainingPhase, shape: Shape) -> Optional[float]:
+        """Total time of one phase on one shape, or None if infeasible."""
+        t = self._search().evaluate(phase.model, shape)
+        return None if t is None else t * phase.steps
+
+    def best_fixed_shape(self, phases: Sequence[TrainingPhase]) -> Tuple[Shape, float]:
+        """The single shape minimizing the whole run (no reshaping)."""
+        from repro.ml.shape_search import enumerate_shapes
+
+        best: Optional[Tuple[Shape, float]] = None
+        for shape in enumerate_shapes(self.num_chips):
+            total = 0.0
+            feasible = True
+            for phase in phases:
+                t = self.phase_time_s(phase, shape)
+                if t is None:
+                    feasible = False
+                    break
+                total += t
+            if feasible and (best is None or total < best[1]):
+                best = (shape, total)
+        if best is None:
+            raise ConfigurationError("no single shape is feasible for every phase")
+        return best
+
+    def plan(self, phases: Sequence[TrainingPhase]) -> ReshapingPlan:
+        """Build the comparison for a phase sequence."""
+        if not phases:
+            raise ConfigurationError("need at least one phase")
+        fixed_shape, fixed_time = self.best_fixed_shape(phases)
+        search = self._search()
+        shapes: List[Shape] = []
+        reshaped_time = 0.0
+        for phase in phases:
+            result = search.search(phase.model)
+            shapes.append(result.best_shape)
+            reshaped_time += result.best_step_time_s * phase.steps
+        reshapes = sum(1 for a, b in zip(shapes, shapes[1:]) if a != b)
+        return ReshapingPlan(
+            fixed_shape=fixed_shape,
+            fixed_time_s=fixed_time,
+            phase_shapes=tuple(shapes),
+            reshaped_compute_s=reshaped_time,
+            num_reshapes=reshapes,
+            reshape_cost_s=self.reshape_cost_s,
+        )

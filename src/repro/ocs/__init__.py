@@ -1,0 +1,37 @@
+"""The Palomar optical circuit switch (OCS) model.
+
+Reproduces §3.2 of the paper: a 136x136 non-blocking MEMS OCS built from
+two mirror arrays (176 mirrors fabricated per die, best 136 qualified),
+2D fiber collimator arrays, camera-based closed-loop alignment, and
+high-voltage driver boards as the dominant field-replaceable unit.
+"""
+
+from repro.ocs.mirror import MemsMirror, MirrorArray, MirrorState
+from repro.ocs.optics_model import OcsOpticsModel
+from repro.ocs.palomar import PalomarOcs, PALOMAR_RADIX, PALOMAR_USABLE_PORTS
+from repro.ocs.driver import DriverBoard, DriverBank
+from repro.ocs.telemetry import OcsTelemetry, Anomaly
+from repro.ocs.reliability import AvailabilityModel, FleetReliabilitySimulator
+from repro.ocs.technologies import OcsTechnology, TECHNOLOGY_REGISTRY
+from repro.ocs.scaling import OCS_GENERATIONS, OcsGeneration, superpod_scaling_table
+
+__all__ = [
+    "MemsMirror",
+    "MirrorArray",
+    "MirrorState",
+    "OcsOpticsModel",
+    "PalomarOcs",
+    "PALOMAR_RADIX",
+    "PALOMAR_USABLE_PORTS",
+    "DriverBoard",
+    "DriverBank",
+    "OcsTelemetry",
+    "Anomaly",
+    "AvailabilityModel",
+    "FleetReliabilitySimulator",
+    "OcsTechnology",
+    "TECHNOLOGY_REGISTRY",
+    "OcsGeneration",
+    "OCS_GENERATIONS",
+    "superpod_scaling_table",
+]

@@ -1,0 +1,122 @@
+"""High-voltage driver boards: the OCS's dominant reliability challenge.
+
+Each MEMS mirror needs ~100 V actuation (Table C.1).  Drivers are grouped
+onto boards; a board failure drops actuation for its group of mirrors,
+interrupting any circuits steered by them.  Boards are field-replaceable
+units (FRUs) and hot-swappable, but the mirror state driven by a board is
+lost during a swap (§3.2.2) -- affected circuits must be re-made by the
+control plane afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass
+class DriverBoard:
+    """One HV driver board serving a contiguous range of mirror channels."""
+
+    index: int
+    first_channel: int
+    num_channels: int
+    healthy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0:
+            raise ConfigurationError(
+                f"board {self.index}: needs at least one channel"
+            )
+        if self.first_channel < 0:
+            raise ConfigurationError(
+                f"board {self.index}: first channel must be non-negative"
+            )
+
+    @property
+    def channels(self) -> range:
+        """Mirror channels (logical port indices) driven by this board."""
+        return range(self.first_channel, self.first_channel + self.num_channels)
+
+    def covers(self, channel: int) -> bool:
+        return self.first_channel <= channel < self.first_channel + self.num_channels
+
+
+@dataclass
+class DriverBank:
+    """The set of driver boards for one mirror array.
+
+    The default layout splits ``num_channels`` mirrors evenly over
+    ``num_boards`` boards (the last board absorbs the remainder).
+    """
+
+    boards: List[DriverBoard]
+
+    @classmethod
+    def build(cls, num_channels: int, num_boards: int = 8) -> "DriverBank":
+        """Create a bank covering ``num_channels`` with ``num_boards`` boards."""
+        if num_boards <= 0 or num_channels <= 0:
+            raise ConfigurationError("need positive board and channel counts")
+        if num_boards > num_channels:
+            raise ConfigurationError(
+                f"more boards ({num_boards}) than channels ({num_channels})"
+            )
+        per = num_channels // num_boards
+        boards = []
+        start = 0
+        for i in range(num_boards):
+            count = per if i < num_boards - 1 else num_channels - start
+            boards.append(DriverBoard(index=i, first_channel=start, num_channels=count))
+            start += count
+        return cls(boards=boards)
+
+    @property
+    def num_channels(self) -> int:
+        return sum(b.num_channels for b in self.boards)
+
+    def board_for(self, channel: int) -> DriverBoard:
+        """The board driving mirror ``channel``."""
+        for board in self.boards:
+            if board.covers(channel):
+                return board
+        raise ConfigurationError(f"no board covers channel {channel}")
+
+    def is_channel_driven(self, channel: int) -> bool:
+        """True when the board for ``channel`` is healthy."""
+        return self.board_for(channel).healthy
+
+    def fail_board(self, index: int) -> Tuple[int, ...]:
+        """Fail board ``index``; returns the affected mirror channels."""
+        board = self._board(index)
+        board.healthy = False
+        return tuple(board.channels)
+
+    def replace_board(self, index: int) -> Tuple[int, ...]:
+        """Hot-swap board ``index``.
+
+        The replacement restores actuation but the previous mirror state is
+        lost; the returned channels identify circuits needing re-make.
+        """
+        board = self._board(index)
+        board.healthy = True
+        return tuple(board.channels)
+
+    def undriven_channels(self) -> Set[int]:
+        """All mirror channels currently without actuation."""
+        out: Set[int] = set()
+        for board in self.boards:
+            if not board.healthy:
+                out.update(board.channels)
+        return out
+
+    @property
+    def healthy(self) -> bool:
+        return all(b.healthy for b in self.boards)
+
+    def _board(self, index: int) -> DriverBoard:
+        for board in self.boards:
+            if board.index == index:
+                return board
+        raise ConfigurationError(f"no board with index {index}")

@@ -1,0 +1,185 @@
+"""MEMS mirror arrays: fabrication yield, qualification, and actuation.
+
+The Palomar optical core uses two MEMS dies.  Each die is fabricated with
+176 micro-mirrors from which the best 136 are qualified for the switch;
+the remainder serve as manufacturing spares (§3.2.2, Fig 5).  Mirrors are
+actuated by high-voltage drivers and settle in milliseconds; a camera-based
+closed loop then trims each mirror to the position of minimum loss.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import CapacityError, ConfigurationError
+
+#: Mirrors fabricated per die.
+FABRICATED_MIRRORS = 176
+
+#: Mirrors qualified for switching per die.
+QUALIFIED_MIRRORS = 136
+
+
+class MirrorState(enum.Enum):
+    """Lifecycle state of one micro-mirror."""
+
+    PARKED = "parked"  # not steering any circuit
+    ACTIVE = "active"  # steering a circuit
+    FAILED = "failed"  # stuck / unresponsive
+
+
+@dataclass
+class MemsMirror:
+    """One electrostatically actuated micro-mirror.
+
+    ``quality`` is a unitless figure of merit sampled at fabrication; it
+    maps to the mirror's contribution to path insertion loss (better mirrors
+    lose less light).  ``target_port`` is the far-side port the mirror is
+    currently steering toward, if any.
+    """
+
+    index: int
+    quality: float
+    state: MirrorState = MirrorState.PARKED
+    target_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quality <= 1.0:
+            raise ConfigurationError(
+                f"mirror quality must be in (0, 1], got {self.quality}"
+            )
+
+    @property
+    def loss_db(self) -> float:
+        """Per-mirror insertion-loss contribution in dB.
+
+        A perfect mirror (quality 1.0) contributes 0.25 dB; the worst
+        qualified mirror roughly 0.55 dB.
+        """
+        return 0.25 + 0.30 * (1.0 - self.quality)
+
+    def steer(self, port: int) -> None:
+        """Point the mirror toward ``port``."""
+        if self.state is MirrorState.FAILED:
+            raise ConfigurationError(f"mirror {self.index} has failed; cannot steer")
+        self.state = MirrorState.ACTIVE
+        self.target_port = port
+
+    def park(self) -> None:
+        """Return the mirror to its rest position."""
+        if self.state is MirrorState.FAILED:
+            raise ConfigurationError(f"mirror {self.index} has failed; cannot park")
+        self.state = MirrorState.PARKED
+        self.target_port = None
+
+    def fail(self) -> None:
+        """Mark the mirror as failed (stuck)."""
+        self.state = MirrorState.FAILED
+        self.target_port = None
+
+
+@dataclass
+class MirrorArray:
+    """One MEMS die: fabricated mirrors, a qualified subset, and spares.
+
+    Build with :meth:`fabricate`, which samples per-mirror quality and keeps
+    the best :data:`QUALIFIED_MIRRORS` as the working set.  ``qualified[i]``
+    is the mirror assigned to logical port ``i``; when a qualified mirror
+    fails, :meth:`replace_with_spare` swaps in the best remaining spare
+    (this models the manufacturing-spare repair path).
+    """
+
+    name: str
+    qualified: List[MemsMirror]
+    spares: List[MemsMirror] = field(default_factory=list)
+
+    @classmethod
+    def fabricate(
+        cls,
+        name: str,
+        rng: np.random.Generator,
+        fabricated: int = FABRICATED_MIRRORS,
+        qualified: int = QUALIFIED_MIRRORS,
+    ) -> "MirrorArray":
+        """Sample a die: fabricate ``fabricated`` mirrors, qualify the best.
+
+        Quality is Beta(8, 2)-distributed -- most mirrors are good, a tail
+        is marginal -- matching the motivation for over-provisioning the die.
+        """
+        if qualified > fabricated:
+            raise ConfigurationError(
+                f"cannot qualify {qualified} of {fabricated} fabricated mirrors"
+            )
+        qualities = rng.beta(8.0, 2.0, size=fabricated)
+        mirrors = [MemsMirror(index=i, quality=float(q)) for i, q in enumerate(qualities)]
+        ranked = sorted(mirrors, key=lambda m: m.quality, reverse=True)
+        return cls(name=name, qualified=ranked[:qualified], spares=ranked[qualified:])
+
+    @property
+    def num_ports(self) -> int:
+        return len(self.qualified)
+
+    def mirror_for_port(self, port: int) -> MemsMirror:
+        """The qualified mirror currently assigned to logical port ``port``."""
+        if not 0 <= port < len(self.qualified):
+            raise ConfigurationError(
+                f"{self.name}: port {port} out of range [0, {len(self.qualified)})"
+            )
+        return self.qualified[port]
+
+    def replace_with_spare(self, port: int) -> MemsMirror:
+        """Swap the (failed) mirror at ``port`` for the best available spare.
+
+        Returns the newly installed mirror.  Raises :class:`CapacityError`
+        when the spare pool is exhausted.
+        """
+        usable = [m for m in self.spares if m.state is not MirrorState.FAILED]
+        if not usable:
+            raise CapacityError(f"{self.name}: no spare mirrors remain")
+        best = max(usable, key=lambda m: m.quality)
+        self.spares.remove(best)
+        old = self.qualified[port]
+        self.qualified[port] = best
+        self.spares.append(old)
+        return best
+
+    @property
+    def failed_ports(self) -> Tuple[int, ...]:
+        """Logical ports whose assigned mirror has failed."""
+        return tuple(
+            i for i, m in enumerate(self.qualified) if m.state is MirrorState.FAILED
+        )
+
+    def loss_profile_db(self) -> np.ndarray:
+        """Per-port mirror loss contributions, shape ``(num_ports,)``."""
+        return np.array([m.loss_db for m in self.qualified])
+
+
+def camera_alignment_iterations(
+    rng: np.random.Generator,
+    initial_misalignment_urad: float = 200.0,
+    gain: float = 0.55,
+    tolerance_urad: float = 5.0,
+    max_iterations: int = 64,
+) -> int:
+    """Simulate the camera-based closed-loop alignment of one mirror.
+
+    Each control iteration images the 850 nm monitor beam and corrects a
+    fraction ``gain`` of the residual misalignment, with small actuation
+    noise.  Returns the number of iterations to reach ``tolerance_urad``.
+
+    This models §3.2.2's image-processing-based mirror control: convergence
+    is geometric, so alignment completes in tens of iterations regardless of
+    the starting point.
+    """
+    residual = abs(initial_misalignment_urad)
+    for iteration in range(1, max_iterations + 1):
+        noise = rng.normal(0.0, 0.5)
+        residual = abs(residual * (1.0 - gain) + noise)
+        if residual <= tolerance_urad:
+            return iteration
+    return max_iterations

@@ -1,0 +1,150 @@
+"""Statistical optical model of a Palomar OCS (Fig 10 reproduction).
+
+Per-path insertion loss decomposes as::
+
+    IL(n, s) = collimator_in(n) + mirror_A(n) + mirror_B(s)
+               + collimator_out(s) + splice/connector excess
+
+Typical total loss is below 2 dB with a tail (from splice/connector
+variation, per §4.1.1) reaching ~3 dB.  Per-port return loss is centered
+near -46 dB with a specification ceiling of -38 dB; the dominant reflector
+is the fiber-collimator interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+#: Return-loss specification: reflections must be below this (dB).
+RETURN_LOSS_SPEC_DB = -38.0
+
+#: Typical measured return loss (dB).
+RETURN_LOSS_TYPICAL_DB = -46.0
+
+#: Insertion-loss target: typical paths are under this (dB).
+INSERTION_LOSS_TYPICAL_DB = 2.0
+
+#: Worst-case allocatable OCS insertion loss in link budgets (dB).
+INSERTION_LOSS_MAX_DB = 3.0
+
+
+@dataclass
+class OcsOpticsModel:
+    """Samples and serves the optical characteristics of one OCS.
+
+    The model draws per-port collimator losses and splice/connector excess
+    once at construction (they are properties of the assembled chassis) and
+    combines them with the per-mirror contributions supplied by the caller.
+
+    Args:
+        radix: number of ports per side.
+        rng: random generator (pass a seeded one for reproducibility).
+        mirror_loss_north / mirror_loss_south: per-port mirror loss arrays
+            in dB (shape ``(radix,)``), typically from
+            :meth:`repro.ocs.mirror.MirrorArray.loss_profile_db`.
+    """
+
+    radix: int
+    rng: np.random.Generator
+    mirror_loss_north: np.ndarray
+    mirror_loss_south: np.ndarray
+    _collimator_north_db: np.ndarray = field(init=False, repr=False)
+    _collimator_south_db: np.ndarray = field(init=False, repr=False)
+    _splice_excess_db: np.ndarray = field(init=False, repr=False)
+    _return_loss_db: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.radix <= 0:
+            raise ConfigurationError(f"radix must be positive, got {self.radix}")
+        for name, arr in (
+            ("mirror_loss_north", self.mirror_loss_north),
+            ("mirror_loss_south", self.mirror_loss_south),
+        ):
+            if arr.shape != (self.radix,):
+                raise ConfigurationError(
+                    f"{name} must have shape ({self.radix},), got {arr.shape}"
+                )
+        # Collimator loss: ~0.35 dB mean per pass with small port-to-port spread.
+        self._collimator_north_db = self.rng.normal(0.35, 0.05, self.radix).clip(0.2, 0.6)
+        self._collimator_south_db = self.rng.normal(0.35, 0.05, self.radix).clip(0.2, 0.6)
+        # Splice/connector excess per port pair is gamma-distributed: usually
+        # tiny, occasionally a few tenths of a dB -- this produces Fig 10a's
+        # tail.  One draw per south port (the output pigtail dominates).
+        self._splice_excess_db = self.rng.gamma(shape=1.5, scale=0.12, size=self.radix)
+        # Return loss per port: normal around the typical value, clipped to
+        # always satisfy the -38 dB specification (out-of-spec ports are
+        # screened out in manufacturing).
+        rl = self.rng.normal(RETURN_LOSS_TYPICAL_DB, 2.0, self.radix)
+        self._return_loss_db = np.minimum(rl, RETURN_LOSS_SPEC_DB - 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def insertion_loss_db(self, north: int, south: int) -> float:
+        """Total insertion loss of the circuit ``north -> south`` in dB."""
+        self._check(north, south)
+        return float(
+            self._collimator_north_db[north]
+            + self.mirror_loss_north[north]
+            + self.mirror_loss_south[south]
+            + self._collimator_south_db[south]
+            + self._splice_excess_db[south]
+        )
+
+    def insertion_loss_matrix_db(self) -> np.ndarray:
+        """Insertion loss for all radix x radix cross-connections (Fig 10a)."""
+        north_part = self._collimator_north_db + self.mirror_loss_north
+        south_part = (
+            self.mirror_loss_south + self._collimator_south_db + self._splice_excess_db
+        )
+        return north_part[:, None] + south_part[None, :]
+
+    def return_loss_db(self, port: int) -> float:
+        """Return loss of ``port`` in dB (negative; lower is better)."""
+        if not 0 <= port < self.radix:
+            raise ConfigurationError(f"port {port} out of range [0, {self.radix})")
+        return float(self._return_loss_db[port])
+
+    def return_loss_profile_db(self) -> np.ndarray:
+        """Per-port return loss, shape ``(radix,)`` (Fig 10b)."""
+        return self._return_loss_db.copy()
+
+    def worst_path_reflection_db(self, north: int, south: int) -> float:
+        """Strongest single reflection along the circuit, in dB.
+
+        For the bidirectional-link MPI analysis the dominant reflector on a
+        path is whichever of the two port interfaces has the worse (higher)
+        return loss.
+        """
+        self._check(north, south)
+        return float(max(self._return_loss_db[north], self._return_loss_db[south]))
+
+    def meets_spec(self) -> bool:
+        """True when every port satisfies the return-loss specification."""
+        return bool(np.all(self._return_loss_db <= RETURN_LOSS_SPEC_DB))
+
+    def _check(self, north: int, south: int) -> None:
+        if not 0 <= north < self.radix:
+            raise ConfigurationError(f"north port {north} out of range [0, {self.radix})")
+        if not 0 <= south < self.radix:
+            raise ConfigurationError(f"south port {south} out of range [0, {self.radix})")
+
+
+def summarize_insertion_loss(matrix_db: np.ndarray) -> dict:
+    """Summary statistics of an insertion-loss matrix for reporting."""
+    flat = np.asarray(matrix_db).ravel()
+    return {
+        "mean_db": float(flat.mean()),
+        "median_db": float(np.median(flat)),
+        "p95_db": float(np.percentile(flat, 95)),
+        "p99_db": float(np.percentile(flat, 99)),
+        "max_db": float(flat.max()),
+        "fraction_below_2db": float(np.mean(flat < INSERTION_LOSS_TYPICAL_DB)),
+        "fraction_below_3db": float(np.mean(flat < INSERTION_LOSS_MAX_DB)),
+    }

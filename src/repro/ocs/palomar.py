@@ -1,0 +1,288 @@
+"""The Palomar OCS device model.
+
+Combines the MEMS mirror arrays, the statistical optics model, the HV
+driver banks, and a cross-connect map into a single device exposing the
+:class:`repro.core.fabric_manager.SwitchLike` interface.
+
+Key facts reproduced from the paper:
+
+- 136x136 duplex ports; 128 are usable for production circuits with 8
+  reserved as spares for link testing and repairs (Appendix A).
+- Non-blocking bijective any-to-any N->S connectivity.
+- Insertion loss typically below 2 dB; return loss typically -46 dB.
+- Maximum chassis power 108 W (§4.1.1).
+- Broadband, reciprocal optical path: rate-agnostic and bidirectional.
+- HV driver boards are the dominant FRU; hot-swapping one loses the mirror
+  state of its channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.crossconnect import CrossConnectMap
+from repro.core.errors import ConfigurationError, CrossConnectError
+from repro.core.reconfig import (
+    DEFAULT_CONTROL_OVERHEAD_MS,
+    DEFAULT_SWITCH_TIME_MS,
+    ReconfigPlan,
+    plan_reconfiguration,
+)
+from repro.ocs.driver import DriverBank
+from repro.ocs.mirror import MirrorArray, MirrorState, camera_alignment_iterations
+from repro.ocs.optics_model import OcsOpticsModel
+from repro.ocs.telemetry import OcsTelemetry
+
+#: Total duplex ports per side.
+PALOMAR_RADIX = 136
+
+#: Ports available to production circuits (the rest are test/repair spares).
+PALOMAR_USABLE_PORTS = 128
+
+#: Maximum chassis power (W), §4.1.1.
+PALOMAR_MAX_POWER_W = 108.0
+
+
+@dataclass
+class PalomarOcs:
+    """One Palomar optical circuit switch.
+
+    Build with :meth:`build` (which fabricates mirror dies and samples the
+    optics) rather than the raw constructor.
+    """
+
+    name: str
+    array_north: MirrorArray
+    array_south: MirrorArray
+    optics: OcsOpticsModel
+    drivers_north: DriverBank
+    drivers_south: DriverBank
+    rng: np.random.Generator
+    telemetry: OcsTelemetry = field(default_factory=OcsTelemetry)
+    _state: CrossConnectMap = field(init=False, repr=False)
+    switch_time_ms: float = DEFAULT_SWITCH_TIME_MS
+
+    def __post_init__(self) -> None:
+        if self.array_north.num_ports != self.array_south.num_ports:
+            raise ConfigurationError("mirror arrays must have equal port counts")
+        self._state = CrossConnectMap(self.array_north.num_ports)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(cls, name: str = "palomar", seed: int = 0) -> "PalomarOcs":
+        """Fabricate a Palomar OCS with seeded randomness."""
+        rng = np.random.default_rng(seed)
+        array_north = MirrorArray.fabricate(f"{name}/mems-A", rng)
+        array_south = MirrorArray.fabricate(f"{name}/mems-B", rng)
+        optics = OcsOpticsModel(
+            radix=array_north.num_ports,
+            rng=rng,
+            mirror_loss_north=array_north.loss_profile_db(),
+            mirror_loss_south=array_south.loss_profile_db(),
+        )
+        return cls(
+            name=name,
+            array_north=array_north,
+            array_south=array_south,
+            optics=optics,
+            drivers_north=DriverBank.build(array_north.num_ports),
+            drivers_south=DriverBank.build(array_south.num_ports),
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------ #
+    # SwitchLike interface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def radix(self) -> int:
+        return self._state.radix
+
+    @property
+    def state(self) -> CrossConnectMap:
+        return self._state
+
+    def apply_plan(self, plan: ReconfigPlan) -> float:
+        """Execute a reconfiguration plan by actuating mirrors.
+
+        Every make is validated against mirror/driver health *before* any
+        state changes, so a doomed plan leaves the switch untouched.
+        Breaks then park the involved mirrors; makes steer and run the
+        camera-alignment loop.  Mirrors move in parallel, so duration is
+        one settle batch per phase plus control overhead, independent of
+        the number of circuits touched.
+        """
+        for north, south in sorted(plan.makes):
+            self._check_actuation(north, south)
+        for north, south in sorted(plan.breaks):
+            self._park_pair(north, south)
+        plan.apply(self._state)
+        for north, south in sorted(plan.makes):
+            self._steer_pair(north, south)
+        duration = plan.duration_ms(switch_time_ms=self.switch_time_ms)
+        self.telemetry.record_reconfig(plan, duration)
+        return duration
+
+    # ------------------------------------------------------------------ #
+    # Direct circuit operations
+    # ------------------------------------------------------------------ #
+
+    def connect(self, north: int, south: int) -> float:
+        """Establish one circuit; returns actuation duration in ms."""
+        self._check_actuation(north, south)
+        self._state.connect(north, south)
+        self._steer_pair(north, south)
+        duration = DEFAULT_CONTROL_OVERHEAD_MS + self.switch_time_ms
+        self.telemetry.record_connect(north, south, self.insertion_loss_db(north, south))
+        return duration
+
+    def disconnect(self, north: int) -> int:
+        """Tear down the circuit on north port ``north``."""
+        south = self._state.disconnect(north)
+        self._park_pair(north, south)
+        self.telemetry.record_disconnect(north, south)
+        return south
+
+    def _steer_pair(self, north: int, south: int) -> None:
+        self._check_actuation(north, south)
+        self.array_north.mirror_for_port(north).steer(south)
+        self.array_south.mirror_for_port(south).steer(north)
+        iterations = camera_alignment_iterations(self.rng)
+        self.telemetry.record_alignment(iterations)
+
+    def _park_pair(self, north: int, south: int) -> None:
+        mirror_n = self.array_north.mirror_for_port(north)
+        mirror_s = self.array_south.mirror_for_port(south)
+        if mirror_n.state is MirrorState.ACTIVE:
+            mirror_n.park()
+        if mirror_s.state is MirrorState.ACTIVE:
+            mirror_s.park()
+
+    def _check_actuation(self, north: int, south: int) -> None:
+        if not self.drivers_north.is_channel_driven(north):
+            raise CrossConnectError(
+                f"{self.name}: north port {north} has no HV drive (board failed)"
+            )
+        if not self.drivers_south.is_channel_driven(south):
+            raise CrossConnectError(
+                f"{self.name}: south port {south} has no HV drive (board failed)"
+            )
+        if self.array_north.mirror_for_port(north).state is MirrorState.FAILED:
+            raise CrossConnectError(f"{self.name}: north mirror {north} failed")
+        if self.array_south.mirror_for_port(south).state is MirrorState.FAILED:
+            raise CrossConnectError(f"{self.name}: south mirror {south} failed")
+
+    # ------------------------------------------------------------------ #
+    # Optics
+    # ------------------------------------------------------------------ #
+
+    def insertion_loss_db(self, north: int, south: int) -> float:
+        """Insertion loss of the (possibly prospective) circuit in dB."""
+        return self.optics.insertion_loss_db(north, south)
+
+    def insertion_loss_matrix_db(self) -> np.ndarray:
+        """All-path insertion loss (Fig 10a data)."""
+        return self.optics.insertion_loss_matrix_db()
+
+    def return_loss_profile_db(self) -> np.ndarray:
+        """Per-port return loss (Fig 10b data)."""
+        return self.optics.return_loss_profile_db()
+
+    # ------------------------------------------------------------------ #
+    # Failure injection and repair
+    # ------------------------------------------------------------------ #
+
+    def fail_driver_board(self, side: str, board_index: int) -> Tuple[Tuple[int, int], ...]:
+        """Fail one HV driver board; returns the circuits it dropped.
+
+        Dropped circuits are removed from the cross-connect state (the
+        mirrors drift without drive), mirroring the paper's observation that
+        driver-board reliability dominated.
+        """
+        bank = self._bank(side)
+        channels = set(bank.fail_board(board_index))
+        dropped: List[Tuple[int, int]] = []
+        for north, south in sorted(self._state.circuits):
+            hit = north in channels if side == "north" else south in channels
+            if hit:
+                self._state.disconnect(north)
+                self._park_pair(north, south)
+                dropped.append((north, south))
+        self.telemetry.record_board_failure(side, board_index, len(dropped))
+        return tuple(dropped)
+
+    def replace_driver_board(self, side: str, board_index: int) -> Tuple[int, ...]:
+        """Hot-swap a driver board; returns the channels whose state was lost."""
+        return self._bank(side).replace_board(board_index)
+
+    def fail_mirror(self, side: str, port: int) -> Optional[Tuple[int, int]]:
+        """Fail one mirror; returns the circuit it dropped, if any."""
+        array = self.array_north if side == "north" else self.array_south
+        mirror = array.mirror_for_port(port)
+        dropped: Optional[Tuple[int, int]] = None
+        for north, south in sorted(self._state.circuits):
+            if (side == "north" and north == port) or (side == "south" and south == port):
+                self._state.disconnect(north)
+                other = self.array_south if side == "north" else self.array_north
+                other_port = south if side == "north" else north
+                partner = other.mirror_for_port(other_port)
+                if partner.state is MirrorState.ACTIVE:
+                    partner.park()
+                dropped = (north, south)
+                break
+        mirror.fail()
+        return dropped
+
+    def repair_mirror(self, side: str, port: int) -> None:
+        """Repair a failed mirror by installing a manufacturing spare."""
+        array = self.array_north if side == "north" else self.array_south
+        array.replace_with_spare(port)
+
+    def _bank(self, side: str) -> DriverBank:
+        if side == "north":
+            return self.drivers_north
+        if side == "south":
+            return self.drivers_south
+        raise ConfigurationError(f"side must be 'north' or 'south', got {side!r}")
+
+    # ------------------------------------------------------------------ #
+    # Health / power
+    # ------------------------------------------------------------------ #
+
+    def healthy_ports(self) -> Set[int]:
+        """Ports usable on both sides (driven and mirror-healthy)."""
+        ok: Set[int] = set()
+        undriven_n = self.drivers_north.undriven_channels()
+        undriven_s = self.drivers_south.undriven_channels()
+        failed_n = set(self.array_north.failed_ports)
+        failed_s = set(self.array_south.failed_ports)
+        for port in range(self.radix):
+            if port in undriven_n or port in undriven_s:
+                continue
+            if port in failed_n or port in failed_s:
+                continue
+            ok.add(port)
+        return ok
+
+    @property
+    def is_healthy(self) -> bool:
+        """True when every port is usable."""
+        return len(self.healthy_ports()) == self.radix
+
+    def power_w(self) -> float:
+        """Current power draw: idle floor plus per-active-mirror drive."""
+        idle = 0.6 * PALOMAR_MAX_POWER_W
+        per_circuit = (PALOMAR_MAX_POWER_W - idle) / self.radix
+        return idle + per_circuit * self._state.num_circuits
+
+    def __str__(self) -> str:
+        return (
+            f"PalomarOcs({self.name}, radix={self.radix}, "
+            f"circuits={self._state.num_circuits})"
+        )

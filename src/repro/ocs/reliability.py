@@ -1,0 +1,164 @@
+"""OCS reliability and availability: analytic and Monte-Carlo models.
+
+Field Palomar chassis achieve >99.98% availability (§4.1.1) through
+redundant power/fans, field-replaceable driver boards, and manufacturing
+spare mirrors.  This module provides:
+
+- :class:`AvailabilityModel` -- steady-state availability from MTBF/MTTR
+  (the classic ``MTBF / (MTBF + MTTR)``), composable in series/parallel.
+- :class:`FleetReliabilitySimulator` -- a Monte-Carlo renewal simulation of
+  a fleet of chassis with exponential failures and repairs, producing
+  observed availability and outage statistics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+#: Field availability reported for the Palomar chassis (§4.1.1).
+PALOMAR_FIELD_AVAILABILITY = 0.9998
+
+#: Availability assumed for a single OCS in the Fig 15 analysis.
+SINGLE_OCS_AVAILABILITY = 0.999
+
+
+@dataclass(frozen=True)
+class AvailabilityModel:
+    """Steady-state availability of one repairable unit."""
+
+    mtbf_hours: float
+    mttr_hours: float
+
+    def __post_init__(self) -> None:
+        if self.mtbf_hours <= 0 or self.mttr_hours <= 0:
+            raise ConfigurationError("MTBF and MTTR must be positive")
+
+    @property
+    def availability(self) -> float:
+        """Fraction of time the unit is up."""
+        return self.mtbf_hours / (self.mtbf_hours + self.mttr_hours)
+
+    @classmethod
+    def from_availability(
+        cls, availability: float, mttr_hours: float = 4.0
+    ) -> "AvailabilityModel":
+        """Back out an MTBF giving ``availability`` at the stated MTTR."""
+        if not 0.0 < availability < 1.0:
+            raise ConfigurationError(
+                f"availability must be in (0, 1), got {availability}"
+            )
+        mtbf = mttr_hours * availability / (1.0 - availability)
+        return cls(mtbf_hours=mtbf, mttr_hours=mttr_hours)
+
+    def series(self, other: "AvailabilityModel") -> float:
+        """Availability of two units both required (series system)."""
+        return self.availability * other.availability
+
+    def parallel(self, other: "AvailabilityModel") -> float:
+        """Availability of two units where either suffices (parallel)."""
+        return 1.0 - (1.0 - self.availability) * (1.0 - other.availability)
+
+
+def series_availability(availabilities: Sequence[float]) -> float:
+    """Availability of a chain where every element is required."""
+    out = 1.0
+    for a in availabilities:
+        if not 0.0 <= a <= 1.0:
+            raise ConfigurationError(f"availability out of range: {a}")
+        out *= a
+    return out
+
+
+def k_of_n_availability(k: int, n: int, unit_availability: float) -> float:
+    """Probability that at least ``k`` of ``n`` i.i.d. units are up."""
+    from scipy.stats import binom
+
+    if not 0 <= k <= n:
+        raise ConfigurationError(f"need 0 <= k <= n, got k={k}, n={n}")
+    if n == 0:
+        return 1.0
+    return float(binom.sf(k - 1, n, unit_availability))
+
+
+@dataclass
+class OutageRecord:
+    """One observed outage of one chassis."""
+
+    unit: int
+    start_h: float
+    duration_h: float
+
+
+@dataclass
+class FleetReliabilitySimulator:
+    """Monte-Carlo renewal simulation of a fleet of repairable chassis.
+
+    Each unit alternates exponential up-times (mean ``mtbf_hours``) and
+    exponential repair times (mean ``mttr_hours``).  :meth:`run` simulates
+    ``horizon_hours`` of fleet operation and reports the empirical
+    availability alongside outage records.
+    """
+
+    num_units: int
+    model: AvailabilityModel
+    seed: int = 0
+
+    def run(self, horizon_hours: float) -> Tuple[float, List[OutageRecord]]:
+        """Simulate; returns (empirical availability, outage records)."""
+        if horizon_hours <= 0:
+            raise ConfigurationError("horizon must be positive")
+        rng = np.random.default_rng(self.seed)
+        outages: List[OutageRecord] = []
+        downtime = 0.0
+        for unit in range(self.num_units):
+            t = 0.0
+            while t < horizon_hours:
+                up = rng.exponential(self.model.mtbf_hours)
+                t += up
+                if t >= horizon_hours:
+                    break
+                repair = rng.exponential(self.model.mttr_hours)
+                effective = min(repair, horizon_hours - t)
+                outages.append(OutageRecord(unit=unit, start_h=t, duration_h=effective))
+                downtime += effective
+                t += repair
+        total = self.num_units * horizon_hours
+        availability = 1.0 - downtime / total
+        return availability, outages
+
+    def any_down_fraction(self, horizon_hours: float, samples: int = 2000) -> float:
+        """Fraction of random instants when at least one unit is down.
+
+        Approximated analytically as ``1 - A^n`` sanity-checked by sampling
+        the simulated timeline; here we return the analytic value, which the
+        simulation converges to.
+        """
+        del horizon_hours, samples  # analytic shortcut; kept for API symmetry
+        return 1.0 - self.model.availability ** self.num_units
+
+
+def downtime_minutes_per_month(availability: float) -> float:
+    """Expected downtime for one unit, minutes per 30-day month.
+
+    The operator-facing unit: 99.98% availability (the Palomar field
+    figure) is ~8.6 minutes/month; 99.9% (the Fig 15 assumption) is ~43.
+    """
+    if not 0.0 < availability <= 1.0:
+        raise ConfigurationError("availability must be in (0, 1]")
+    return (1.0 - availability) * 30.0 * 24.0 * 60.0
+
+
+def availability_from_downtime(minutes_per_month: float) -> float:
+    """Inverse of :func:`downtime_minutes_per_month`."""
+    month_minutes = 30.0 * 24.0 * 60.0
+    if not 0.0 <= minutes_per_month < month_minutes:
+        raise ConfigurationError(
+            f"downtime must be in [0, {month_minutes}) minutes/month"
+        )
+    return 1.0 - minutes_per_month / month_minutes

@@ -1,0 +1,96 @@
+"""Next-generation OCS scaling: the §6 300x300 study.
+
+§6: "our current internal development efforts to manufacture a larger
+300x300 MEMS-based OCS".  This module parameterizes the superpod
+arithmetic by OCS radix and transceiver technology to answer the design
+question the bigger switch serves: how large can a superpod grow?
+
+Appendix A arithmetic, generalized: each cube presents one "+" and one
+"-" connection per (dimension, face position) to its OCS, so one OCS of
+radix R (duplex ports) interconnects up to R/2... no -- the "+" lands on
+a north port and the "-" on a south port, so an OCS hosts up to R cubes
+(R north + R south ports).  Palomar at 136 usable minus spares hosts
+128 -> 64-cube pods use half the ports; a 300x300 OCS hosts ~288 cubes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from typing import TYPE_CHECKING
+
+from repro.core.errors import ConfigurationError
+from repro.ocs.palomar import PALOMAR_RADIX
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid package cycles
+    from repro.availability.model import TransceiverTech
+
+#: Chips per 4x4x4 cube (mirrors repro.tpu.cube, kept local to avoid a
+#: package import cycle ocs -> tpu -> ocs).
+CHIPS_PER_CUBE = 64
+
+#: Torus dimensions and face positions of the cube geometry.
+NUM_DIMS = 3
+FACE_POSITIONS = 16
+
+#: The §6 next-generation switch radix.
+NEXT_GEN_RADIX = 300
+
+#: Ports reserved per OCS for link testing and repairs (Appendix A).
+SPARE_PORTS = 8
+
+
+@dataclass(frozen=True)
+class OcsGeneration:
+    """One OCS generation's scaling envelope."""
+
+    name: str
+    radix: int
+    spare_ports: int = SPARE_PORTS
+
+    def __post_init__(self) -> None:
+        if self.radix <= self.spare_ports:
+            raise ConfigurationError("radix must exceed the spare reservation")
+
+    @property
+    def usable_ports(self) -> int:
+        return self.radix - self.spare_ports
+
+    def max_cubes(self) -> int:
+        """Cubes one OCS (and hence the pod) can interconnect.
+
+        Each cube uses one north port ("+" face) and one south port
+        ("-" face) per OCS, so the limit is the usable per-side port
+        count.
+        """
+        return self.usable_ports
+
+    def max_chips(self) -> int:
+        return self.max_cubes() * CHIPS_PER_CUBE
+
+    def ocses_per_pod(self, strands_per_connection: int = 2) -> int:
+        """OCS count at a transceiver technology (2 strands = CWDM4 bidi)."""
+        if strands_per_connection <= 0:
+            raise ConfigurationError("strand count must be positive")
+        return NUM_DIMS * FACE_POSITIONS * strands_per_connection // 2
+
+
+#: Generations compared in the scaling bench.
+OCS_GENERATIONS: Dict[str, OcsGeneration] = {
+    "palomar": OcsGeneration("Palomar 136x136", PALOMAR_RADIX),
+    "next_gen": OcsGeneration("next-gen 300x300", NEXT_GEN_RADIX),
+}
+
+
+def superpod_scaling_table(tech: "TransceiverTech") -> Dict[str, Dict[str, float]]:
+    """Pod envelope per OCS generation at a transceiver technology."""
+    out: Dict[str, Dict[str, float]] = {}
+    for key, gen in OCS_GENERATIONS.items():
+        out[key] = {
+            "max_cubes": gen.max_cubes(),
+            "max_chips": gen.max_chips(),
+            "ocses": gen.ocses_per_pod(tech.strands_per_connection),
+            "exaflops_bf16": gen.max_chips() * 275e12 / 1e18,
+        }
+    return out

@@ -1,0 +1,141 @@
+"""OCS technology registry (Table C.1 reproduction).
+
+Appendix C compares candidate optical-switching technologies on cost,
+scale, switching time, insertion loss, drive voltage, and latching.  The
+registry below encodes that table and provides the scoring helper used to
+justify the paper's choice of free-space MEMS for the lightwave fabric.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+
+
+class CostClass(enum.Enum):
+    """Relative cost bands used in Table C.1."""
+
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+    TBD = 0
+
+
+@dataclass(frozen=True)
+class OcsTechnology:
+    """One row of Table C.1."""
+
+    name: str
+    cost: CostClass
+    port_count: Tuple[int, int]
+    switching_time_s: float
+    insertion_loss_db: float
+    driving_voltage_v: Optional[float]
+    latching: bool
+    note: str = ""
+
+    @property
+    def radix(self) -> int:
+        return self.port_count[0]
+
+    def meets_requirements(
+        self,
+        min_radix: int = 128,
+        max_loss_db: float = 3.0,
+        max_switching_time_s: float = 1.0,
+    ) -> bool:
+        """Does this technology satisfy the §2.3 fabric requirements?
+
+        Large radix for scale-out, insertion loss inside the transceiver
+        budget, and switching fast enough for topology (re)engineering of
+        long-lived/predictable traffic.
+        """
+        return (
+            self.radix >= min_radix
+            and self.insertion_loss_db <= max_loss_db
+            and self.switching_time_s <= max_switching_time_s
+        )
+
+
+#: Table C.1 rows.  Switching times use the table's order of magnitude:
+#: milliseconds = 1e-3 s, minutes-per-connection = 60 s, nanoseconds = 1e-9 s.
+TECHNOLOGY_REGISTRY: Dict[str, OcsTechnology] = {
+    "mems": OcsTechnology(
+        name="MEMS",
+        cost=CostClass.MEDIUM,
+        port_count=(320, 320),
+        switching_time_s=1e-3,
+        insertion_loss_db=3.0,
+        driving_voltage_v=100.0,
+        latching=False,
+        note="free-space 2D MEMS mirror arrays; chosen for Palomar",
+    ),
+    "robotic": OcsTechnology(
+        name="Robotic",
+        cost=CostClass.MEDIUM,
+        port_count=(1008, 1008),
+        switching_time_s=60.0,
+        insertion_loss_db=1.0,
+        driving_voltage_v=None,
+        latching=True,
+        note="robotic patch panel; serialized, minutes per connection",
+    ),
+    "piezo": OcsTechnology(
+        name="Piezo",
+        cost=CostClass.HIGH,
+        port_count=(576, 576),
+        switching_time_s=1e-3,
+        insertion_loss_db=2.5,
+        driving_voltage_v=10.0,
+        latching=False,
+        note="piezo-electric beam steering",
+    ),
+    "guided_wave": OcsTechnology(
+        name="Guided Wave",
+        cost=CostClass.LOW,
+        port_count=(16, 16),
+        switching_time_s=1e-9,
+        insertion_loss_db=6.0,
+        driving_voltage_v=1.0,
+        latching=False,
+        note="PLC/PLZT integrated switching; small radix, high loss",
+    ),
+    "wavelength": OcsTechnology(
+        name="Wavelength",
+        cost=CostClass.TBD,
+        port_count=(100, 100),
+        switching_time_s=1e-9,
+        insertion_loss_db=6.0,
+        driving_voltage_v=0.0,
+        latching=True,
+        note="tunable lasers + AWGs; wavelength plan limits future proofing",
+    ),
+}
+
+
+def qualifying_technologies(
+    min_radix: int = 128,
+    max_loss_db: float = 3.0,
+    max_switching_time_s: float = 1.0,
+) -> Tuple[OcsTechnology, ...]:
+    """Technologies meeting the lightwave-fabric requirements, best cost first."""
+    matches = [
+        t
+        for t in TECHNOLOGY_REGISTRY.values()
+        if t.meets_requirements(min_radix, max_loss_db, max_switching_time_s)
+    ]
+    return tuple(sorted(matches, key=lambda t: (t.cost.value, -t.radix)))
+
+
+def technology(name: str) -> OcsTechnology:
+    """Look up a technology row by key (case-insensitive)."""
+    key = name.lower().replace(" ", "_")
+    try:
+        return TECHNOLOGY_REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown OCS technology {name!r}; known: {sorted(TECHNOLOGY_REGISTRY)}"
+        ) from None

@@ -1,0 +1,122 @@
+"""OCS telemetry and anomaly reporting.
+
+The paper emphasizes heavy investment in telemetry and anomaly reporting
+because OCSes have a large blast radius (§3.2.2).  This module keeps
+counters for every control-plane action, a loss-sample history per circuit,
+and a simple anomaly detector that flags circuits whose insertion loss
+drifts above a threshold or jumps relative to their own baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.ocs.optics_model import INSERTION_LOSS_MAX_DB
+
+#: Loss increase over a circuit's own baseline that triggers an anomaly (dB).
+DRIFT_THRESHOLD_DB = 0.5
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected anomaly on a circuit."""
+
+    circuit: Tuple[int, int]
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        n, s = self.circuit
+        return f"[{self.kind}] N{n}<->S{s}: {self.detail}"
+
+
+@dataclass
+class OcsTelemetry:
+    """Counters and monitoring history for one OCS."""
+
+    connects: int = 0
+    disconnects: int = 0
+    reconfig_transactions: int = 0
+    circuits_disturbed: int = 0
+    board_failures: int = 0
+    circuits_dropped_by_failures: int = 0
+    alignment_iterations_total: int = 0
+    alignment_runs: int = 0
+    _loss_baseline_db: Dict[Tuple[int, int], float] = field(default_factory=dict, repr=False)
+    _loss_history_db: Dict[Tuple[int, int], Deque[float]] = field(
+        default_factory=dict, repr=False
+    )
+    _anomalies: List[Anomaly] = field(default_factory=list, repr=False)
+    history_depth: int = 64
+
+    # ------------------------------------------------------------------ #
+    # Recording hooks (called by the device)
+    # ------------------------------------------------------------------ #
+
+    def record_connect(self, north: int, south: int, loss_db: float) -> None:
+        self.connects += 1
+        circuit = (north, south)
+        self._loss_baseline_db[circuit] = loss_db
+        self._loss_history_db[circuit] = deque([loss_db], maxlen=self.history_depth)
+
+    def record_disconnect(self, north: int, south: int) -> None:
+        self.disconnects += 1
+        self._loss_baseline_db.pop((north, south), None)
+        self._loss_history_db.pop((north, south), None)
+
+    def record_reconfig(self, plan, duration_ms: float) -> None:
+        self.reconfig_transactions += 1
+        self.circuits_disturbed += plan.num_disturbed
+
+    def record_alignment(self, iterations: int) -> None:
+        self.alignment_runs += 1
+        self.alignment_iterations_total += iterations
+
+    def record_board_failure(self, side: str, board_index: int, dropped: int) -> None:
+        self.board_failures += 1
+        self.circuits_dropped_by_failures += dropped
+
+    # ------------------------------------------------------------------ #
+    # Monitoring
+    # ------------------------------------------------------------------ #
+
+    def observe_loss(self, north: int, south: int, loss_db: float) -> Optional[Anomaly]:
+        """Feed one loss measurement; returns an anomaly if one fired."""
+        circuit = (north, south)
+        history = self._loss_history_db.setdefault(
+            circuit, deque(maxlen=self.history_depth)
+        )
+        history.append(loss_db)
+        baseline = self._loss_baseline_db.setdefault(circuit, loss_db)
+        anomaly: Optional[Anomaly] = None
+        if loss_db > INSERTION_LOSS_MAX_DB:
+            anomaly = Anomaly(
+                circuit,
+                "loss-over-max",
+                f"loss {loss_db:.2f} dB exceeds budget {INSERTION_LOSS_MAX_DB:.1f} dB",
+            )
+        elif loss_db - baseline > DRIFT_THRESHOLD_DB:
+            anomaly = Anomaly(
+                circuit,
+                "loss-drift",
+                f"loss {loss_db:.2f} dB drifted {loss_db - baseline:.2f} dB over baseline",
+            )
+        if anomaly is not None:
+            self._anomalies.append(anomaly)
+        return anomaly
+
+    @property
+    def anomalies(self) -> Tuple[Anomaly, ...]:
+        return tuple(self._anomalies)
+
+    @property
+    def mean_alignment_iterations(self) -> float:
+        if not self.alignment_runs:
+            return 0.0
+        return self.alignment_iterations_total / self.alignment_runs
+
+    def loss_history(self, north: int, south: int) -> Tuple[float, ...]:
+        """Recorded loss samples for a circuit, oldest first."""
+        return tuple(self._loss_history_db.get((north, south), ()))

@@ -1,0 +1,65 @@
+"""The optical layer: transceivers, circulators, link budgets, and DSP.
+
+Reproduces §3.3 and §4.1.2 of the paper: bidirectional WDM transceivers
+(CWDM4 and CWDM8 grids), integrated optical circulators, link-budget
+accounting through OCSes, PAM4 bit-error-rate modelling with multi-path
+interference (MPI), the optical-interference-mitigation (OIM) notch-filter
+DSP, and the concatenated soft-decision + KP4 forward error correction.
+"""
+
+from repro.optics.wavelength import (
+    CWDM4_GRID,
+    CWDM8_GRID,
+    WavelengthChannel,
+    WdmGrid,
+)
+from repro.optics.circulator import Circulator
+from repro.optics.fiber import FiberSpan
+from repro.optics.transceiver import (
+    TRANSCEIVER_GENERATIONS,
+    TransceiverSpec,
+    interoperable,
+    transceiver,
+)
+from repro.optics.link_budget import LinkBudget, LossElement
+from repro.optics.mpi import MpiSource, aggregate_mpi_db, beat_noise_sigma_w
+from repro.optics.oim import OimDsp
+from repro.optics.pam4 import Pam4LinkModel
+from repro.optics.fec import ConcatenatedFec, InnerSoftFec, KP4_BER_THRESHOLD, Kp4OuterCode
+from repro.optics.ber import BerCurve, LinkBerSimulator, receiver_sensitivity_dbm
+from repro.optics.fleet import FleetBerSampler
+from repro.optics.wdm_link import LaneResult, WdmLinkModel
+from repro.optics.eye import EyeReport, eye_margin_db, eye_report
+
+__all__ = [
+    "CWDM4_GRID",
+    "CWDM8_GRID",
+    "WavelengthChannel",
+    "WdmGrid",
+    "Circulator",
+    "FiberSpan",
+    "TRANSCEIVER_GENERATIONS",
+    "TransceiverSpec",
+    "transceiver",
+    "interoperable",
+    "LinkBudget",
+    "LossElement",
+    "MpiSource",
+    "aggregate_mpi_db",
+    "beat_noise_sigma_w",
+    "OimDsp",
+    "Pam4LinkModel",
+    "ConcatenatedFec",
+    "InnerSoftFec",
+    "Kp4OuterCode",
+    "KP4_BER_THRESHOLD",
+    "BerCurve",
+    "LinkBerSimulator",
+    "receiver_sensitivity_dbm",
+    "FleetBerSampler",
+    "WdmLinkModel",
+    "LaneResult",
+    "EyeReport",
+    "eye_report",
+    "eye_margin_db",
+]

@@ -1,0 +1,218 @@
+"""The link BER engine: sensitivity solving and Fig 11/12 curve generation.
+
+Ties together the PAM4 slicer model, the OIM DSP, and the FEC chain:
+
+- :func:`receiver_sensitivity_dbm` -- minimum received power achieving a
+  target slicer BER (bisection over the analytic PAM4 model).
+- :class:`BerCurve` -- a sampled BER-vs-power waterfall with
+  interpolation helpers.
+- :class:`LinkBerSimulator` -- produces the paper's evaluation curves:
+  Fig 11 (MPI sweep with and without OIM) and Fig 12 (sensitivity gain
+  from the concatenated soft FEC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.optics.fec import (
+    KP4_BER_THRESHOLD,
+    ConcatenatedFec,
+    kp4_channel_threshold,
+)
+from repro.optics.oim import OimDsp
+from repro.optics.pam4 import DEFAULT_THERMAL_NOISE_W, Pam4LinkModel
+
+
+def receiver_sensitivity_dbm(
+    model: Pam4LinkModel,
+    target_ber: float = KP4_BER_THRESHOLD,
+    lo_dbm: float = -25.0,
+    hi_dbm: float = 5.0,
+) -> float:
+    """Received power at which the slicer BER equals ``target_ber``.
+
+    BER decreases monotonically with power; solved by bisection.  Raises
+    when the target is unreachable inside the bracket (e.g. an MPI-induced
+    BER floor above the target).
+    """
+    if not 0.0 < target_ber < 0.5:
+        raise ConfigurationError("target BER must be in (0, 0.5)")
+    if model.ber(hi_dbm) > target_ber:
+        raise ConfigurationError(
+            f"BER floor {model.ber(hi_dbm):.2e} above target {target_ber:.2e}: "
+            "link cannot reach the target at any power"
+        )
+    if model.ber(lo_dbm) < target_ber:
+        return lo_dbm
+    lo, hi = lo_dbm, hi_dbm
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if model.ber(mid) > target_ber:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+@dataclass(frozen=True)
+class BerCurve:
+    """A sampled BER-vs-received-power waterfall."""
+
+    label: str
+    rx_powers_dbm: np.ndarray
+    bers: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.rx_powers_dbm.shape != self.bers.shape:
+            raise ConfigurationError("power and BER arrays must match in shape")
+        if self.rx_powers_dbm.size < 2:
+            raise ConfigurationError("curve needs at least two samples")
+
+    def power_at_ber(self, target_ber: float) -> float:
+        """Interpolate the received power where the curve crosses a BER.
+
+        Interpolates log10(BER) against power; raises when the curve never
+        reaches the target.
+        """
+        logs = np.log10(np.maximum(self.bers, 1e-30))
+        target = np.log10(target_ber)
+        if logs.min() > target:
+            raise ConfigurationError(
+                f"{self.label}: curve floor {10 ** logs.min():.2e} above target"
+            )
+        # BER is non-increasing in power; find the first crossing.
+        order = np.argsort(self.rx_powers_dbm)
+        powers, logs = self.rx_powers_dbm[order], logs[order]
+        for i in range(len(powers) - 1):
+            if logs[i] >= target >= logs[i + 1]:
+                frac = (logs[i] - target) / (logs[i] - logs[i + 1])
+                return float(powers[i] + frac * (powers[i + 1] - powers[i]))
+        return float(powers[0] if logs[0] <= target else powers[-1])
+
+
+@dataclass
+class LinkBerSimulator:
+    """Generates the Fig 11 / Fig 12 evaluation curves for one PAM4 lane."""
+
+    oim: OimDsp = field(default_factory=OimDsp)
+    fec: ConcatenatedFec = field(default_factory=ConcatenatedFec)
+    thermal_noise_w: float = DEFAULT_THERMAL_NOISE_W
+
+    def _model(self, mpi_db: Optional[float], oim_on: bool) -> Pam4LinkModel:
+        return Pam4LinkModel(
+            mpi_db=mpi_db,
+            oim_suppression_db=self.oim.effective_suppression_db if oim_on else 0.0,
+            thermal_noise_w=self.thermal_noise_w,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fig 11: MPI sweep with / without OIM
+    # ------------------------------------------------------------------ #
+
+    def mpi_sweep(
+        self,
+        mpi_levels_db: Sequence[Optional[float]] = (None, -35.0, -32.0, -29.0),
+        rx_powers_dbm: Optional[np.ndarray] = None,
+        monte_carlo: bool = False,
+        num_symbols: int = 100_000,
+    ) -> Dict[Tuple[Optional[float], bool], BerCurve]:
+        """BER waterfalls for each MPI level, with OIM off and on.
+
+        Returns ``{(mpi_db, oim_on): BerCurve}``.  ``monte_carlo=True``
+        samples symbols instead of using the analytic expression
+        (Fig 11a's "BER: Monte Carlo").
+        """
+        powers = (
+            np.linspace(-14.0, -6.0, 17) if rx_powers_dbm is None else rx_powers_dbm
+        )
+        curves: Dict[Tuple[Optional[float], bool], BerCurve] = {}
+        for mpi_db in mpi_levels_db:
+            for oim_on in (False, True):
+                model = self._model(mpi_db, oim_on)
+                if monte_carlo:
+                    bers = np.array(
+                        [
+                            model.monte_carlo_ber(float(p), num_symbols, seed=17)
+                            for p in powers
+                        ]
+                    )
+                else:
+                    bers = model.ber_curve(powers)
+                label = (
+                    f"MPI={'off' if mpi_db is None else f'{mpi_db:g}dB'}, "
+                    f"OIM={'on' if oim_on else 'off'}"
+                )
+                curves[(mpi_db, oim_on)] = BerCurve(label, powers, bers)
+        return curves
+
+    def oim_sensitivity_gain_db(
+        self, mpi_db: float = -32.0, target_ber: float = KP4_BER_THRESHOLD
+    ) -> float:
+        """Receiver-sensitivity improvement from enabling OIM (Fig 11).
+
+        Paper: >1 dB at MPI = -32 dB and BER 2e-4.
+        """
+        without = receiver_sensitivity_dbm(self._model(mpi_db, False), target_ber)
+        with_oim = receiver_sensitivity_dbm(self._model(mpi_db, True), target_ber)
+        return without - with_oim
+
+    # ------------------------------------------------------------------ #
+    # Fig 12: concatenated soft FEC gain (no OIM)
+    # ------------------------------------------------------------------ #
+
+    def sfec_sensitivity_gain_db(
+        self, mpi_db: Optional[float] = -32.0
+    ) -> float:
+        """Sensitivity gain from the inner soft FEC at the KP4 threshold.
+
+        Without the inner code the slicer must reach BER 2e-4; with it the
+        slicer only needs the (much higher) inner-input threshold.  The
+        difference in required received power is the Fig 12 gain
+        (paper: 1.6 dB at MPI = -32 dB).
+        """
+        model = self._model(mpi_db, oim_on=False)
+        plain = receiver_sensitivity_dbm(model, KP4_BER_THRESHOLD)
+        relaxed_threshold = self.fec.inner_input_threshold()
+        concatenated = receiver_sensitivity_dbm(model, relaxed_threshold)
+        return plain - concatenated
+
+    def sfec_curves(
+        self,
+        mpi_levels_db: Sequence[Optional[float]] = (-36.0, -32.0),
+        rx_powers_dbm: Optional[np.ndarray] = None,
+    ) -> Dict[Tuple[Optional[float], bool], BerCurve]:
+        """Fig 12's curves: slicer BER vs power, ± inner SFEC (post-inner).
+
+        For the "with SFEC" curves the plotted quantity is the BER
+        presented to the KP4 outer code after inner decoding.
+        """
+        powers = (
+            np.linspace(-15.0, -7.0, 17) if rx_powers_dbm is None else rx_powers_dbm
+        )
+        out: Dict[Tuple[Optional[float], bool], BerCurve] = {}
+        for mpi_db in mpi_levels_db:
+            model = self._model(mpi_db, oim_on=False)
+            raw = model.ber_curve(powers)
+            out[(mpi_db, False)] = BerCurve(f"MPI={mpi_db}, no SFEC", powers, raw)
+            inner = np.array([self.fec.inner.output_ber(min(b, 0.5)) for b in raw])
+            out[(mpi_db, True)] = BerCurve(f"MPI={mpi_db}, SFEC", powers, inner)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # End-to-end margin
+    # ------------------------------------------------------------------ #
+
+    def ber_margin_decades(
+        self, rx_power_dbm: float, mpi_db: Optional[float]
+    ) -> float:
+        """Orders of magnitude between the operating pre-FEC BER (OIM on)
+        and the KP4 threshold.  Fig 13 shows ~2 decades in production."""
+        ber = self._model(mpi_db, oim_on=True).ber(rx_power_dbm)
+        if ber <= 0.0:
+            return float("inf")
+        return float(np.log10(KP4_BER_THRESHOLD) - np.log10(ber))

@@ -1,0 +1,107 @@
+"""Optical circulators: the bidirectional-link enabler (Appendix B).
+
+A circulator is a three-port non-reciprocal device with cyclic
+connectivity: light entering port 1 exits port 2, light entering port 2
+exits port 3 (port 3 to port 1 is unused in our links).  Placing one at
+each end of a fiber converts a duplex two-strand link into a bidirectional
+single-strand link, halving the OCS ports needed -- the paper's key
+cost-at-scale lever.
+
+The model tracks the three impairments the paper re-engineered the
+telecom-grade parts for: per-pass insertion loss, port-to-port crosstalk
+(stray light equivalent to an in-link reflection), and return loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+
+#: Valid (input, output) port pairs for the cyclic flow.
+_CYCLE = {1: 2, 2: 3, 3: 1}
+
+
+@dataclass(frozen=True)
+class Circulator:
+    """One three-port optical circulator.
+
+    Args:
+        insertion_loss_db: loss of one pass through the device (positive dB).
+        isolation_db: suppression of the reverse path (e.g. 2 -> 1), positive.
+        crosstalk_db: leakage from port 1 directly to port 3 relative to the
+            input, negative dB.  This is the in-band crosstalk term that the
+            MPI analysis treats as an equivalent reflection.
+        return_loss_db: reflection back out of an input port, negative dB.
+    """
+
+    insertion_loss_db: float = 0.8
+    isolation_db: float = 40.0
+    crosstalk_db: float = -50.0
+    return_loss_db: float = -50.0
+
+    def __post_init__(self) -> None:
+        if self.insertion_loss_db < 0:
+            raise ConfigurationError("insertion loss must be non-negative dB")
+        if self.isolation_db <= 0:
+            raise ConfigurationError("isolation must be positive dB")
+        if self.crosstalk_db >= 0:
+            raise ConfigurationError("crosstalk must be negative dB (below carrier)")
+        if self.return_loss_db >= 0:
+            raise ConfigurationError("return loss must be negative dB")
+
+    def output_port(self, input_port: int) -> int:
+        """The port light entering ``input_port`` exits from (cyclic)."""
+        try:
+            return _CYCLE[input_port]
+        except KeyError:
+            raise ConfigurationError(
+                f"circulator ports are 1..3, got {input_port}"
+            ) from None
+
+    def transmission_db(self, input_port: int, output_port: int) -> float:
+        """Power transfer from ``input_port`` to ``output_port`` in dB.
+
+        The cyclic path sees ``-insertion_loss_db``; the skip path (1 -> 3)
+        sees the crosstalk level; reverse paths see ``-isolation_db``.
+        """
+        if input_port not in _CYCLE or output_port not in _CYCLE:
+            raise ConfigurationError("circulator ports are 1..3")
+        if input_port == output_port:
+            return self.return_loss_db
+        if _CYCLE[input_port] == output_port:
+            return -self.insertion_loss_db
+        if input_port == 1 and output_port == 3:
+            return self.crosstalk_db
+        return -self.isolation_db
+
+    @property
+    def tx_to_fiber_db(self) -> float:
+        """Loss from the laser (port 1) to the fiber (port 2)."""
+        return self.insertion_loss_db
+
+    @property
+    def fiber_to_rx_db(self) -> float:
+        """Loss from the fiber (port 2) to the receiver (port 3)."""
+        return self.insertion_loss_db
+
+    def equivalent_reflection_db(self) -> float:
+        """The crosstalk expressed as an equivalent in-link reflection level.
+
+        §3.3.1: circulator crosstalk is "effectively equivalent to having a
+        reflection in the link" -- local transmit light leaking directly into
+        the local receiver at ``crosstalk_db`` below the transmit carrier.
+        """
+        return self.crosstalk_db
+
+
+def bidi_ports_saved(num_links: int) -> int:
+    """OCS ports saved by using bidi links instead of duplex for ``num_links``.
+
+    Each duplex link consumes two OCS circuits (one per direction/strand);
+    a circulator-based bidi link consumes one.  Appendix B: "saving 50% of
+    the OCS ports required".
+    """
+    if num_links < 0:
+        raise ConfigurationError("link count must be non-negative")
+    return num_links

@@ -1,0 +1,115 @@
+"""Fiber plant: attenuation, connectors/splices, and chromatic dispersion.
+
+Intra-datacenter reaches are short (tens to hundreds of meters), so fiber
+attenuation is small, but §3.3.1 notes that operating CWDM4/CWDM8 lanes
+across an 80 nm window makes *chromatic dispersion* an issue above
+100 Gb/s: the outer lanes sit tens of nm from the G.652 zero-dispersion
+wavelength.  The model computes dispersion at a wavelength from the
+standard Sellmeier-slope form and converts it into a power penalty for a
+given symbol rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.core.units import fiber_latency_ns
+
+#: Attenuation of standard single-mode fiber near 1310 nm, dB/km.
+ATTENUATION_DB_PER_KM = 0.35
+
+#: Zero-dispersion wavelength of G.652 fiber, nm.
+ZERO_DISPERSION_NM = 1310.0
+
+#: Dispersion slope at the zero-dispersion wavelength, ps/(nm^2*km).
+DISPERSION_SLOPE_PS_NM2_KM = 0.092
+
+#: Loss per mated connector pair, dB.
+CONNECTOR_LOSS_DB = 0.3
+
+#: Loss per fusion splice, dB.
+SPLICE_LOSS_DB = 0.05
+
+
+def dispersion_ps_per_nm_km(wavelength_nm: float) -> float:
+    """Chromatic dispersion D(λ) for G.652 fiber, ps/(nm*km).
+
+    Uses the standard approximation
+    ``D(λ) = S0/4 * (λ - λ0^4/λ^3)`` with S0 the zero-dispersion slope.
+    """
+    if wavelength_nm <= 0:
+        raise ConfigurationError("wavelength must be positive")
+    lam = wavelength_nm
+    lam0 = ZERO_DISPERSION_NM
+    return DISPERSION_SLOPE_PS_NM2_KM / 4.0 * (lam - lam0 ** 4 / lam ** 3)
+
+
+@dataclass(frozen=True)
+class FiberSpan:
+    """One fiber span with its terminations.
+
+    Args:
+        length_m: span length in meters.
+        connectors: mated connector pairs along the span (>= 2 for a
+            patched link).
+        splices: fusion splices along the span.
+    """
+
+    length_m: float
+    connectors: int = 2
+    splices: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length_m < 0:
+            raise ConfigurationError("length must be non-negative")
+        if self.connectors < 0 or self.splices < 0:
+            raise ConfigurationError("connector/splice counts must be non-negative")
+
+    @property
+    def attenuation_db(self) -> float:
+        """Distributed fiber attenuation over the span."""
+        return ATTENUATION_DB_PER_KM * self.length_m / 1000.0
+
+    @property
+    def termination_loss_db(self) -> float:
+        """Lumped connector and splice losses."""
+        return self.connectors * CONNECTOR_LOSS_DB + self.splices * SPLICE_LOSS_DB
+
+    @property
+    def total_loss_db(self) -> float:
+        return self.attenuation_db + self.termination_loss_db
+
+    @property
+    def latency_ns(self) -> float:
+        """One-way propagation latency."""
+        return fiber_latency_ns(self.length_m)
+
+    def accumulated_dispersion_ps_per_nm(self, wavelength_nm: float) -> float:
+        """Total dispersion over the span at ``wavelength_nm``, ps/nm."""
+        return dispersion_ps_per_nm_km(wavelength_nm) * self.length_m / 1000.0
+
+    def dispersion_penalty_db(
+        self,
+        wavelength_nm: float,
+        symbol_rate_gbaud: float,
+        laser_linewidth_nm: float = 0.4,
+    ) -> float:
+        """Chromatic-dispersion power penalty, dB.
+
+        The pulse spread is ``Δt = |D|·L·Δλ`` with Δλ the modulated source
+        spectral width.  The penalty follows the standard intersymbol-
+        interference form ``-5*log10(1 - (2·Δt/T)^2)`` for spread below half
+        a symbol period ``T``, and is treated as a link-closing failure
+        (large penalty) beyond that.  MLSE equalization (§3.3.1) can be
+        modelled by the caller reducing the effective spread.
+        """
+        if symbol_rate_gbaud <= 0:
+            raise ConfigurationError("symbol rate must be positive")
+        spread_ps = abs(self.accumulated_dispersion_ps_per_nm(wavelength_nm)) * laser_linewidth_nm
+        period_ps = 1000.0 / symbol_rate_gbaud
+        x = 2.0 * spread_ps / period_ps
+        if x >= 1.0:
+            return float("inf")
+        return -5.0 * math.log10(1.0 - x * x)

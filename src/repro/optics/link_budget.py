@@ -1,0 +1,130 @@
+"""Link-budget accounting for lightwave-fabric optical paths.
+
+§3.2.1: "Optical link budget is a precious commodity for lightwave
+fabrics".  A bidi path through the fabric accumulates loss from the
+transmit circulator, fiber spans, the OCS (insertion loss below 3 dB by
+specification), and the receive circulator; the budget closes when the
+arriving power exceeds the receiver sensitivity with margin to spare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError, LinkBudgetError
+from repro.optics.circulator import Circulator
+from repro.optics.fiber import FiberSpan
+from repro.optics.transceiver import TransceiverSpec
+
+#: Default engineering margin required on top of sensitivity, dB.
+DEFAULT_REQUIRED_MARGIN_DB = 1.5
+
+
+@dataclass(frozen=True)
+class LossElement:
+    """One named loss contribution along a path."""
+
+    name: str
+    loss_db: float
+
+    def __post_init__(self) -> None:
+        if self.loss_db < 0:
+            raise ConfigurationError(f"{self.name}: loss must be non-negative dB")
+
+
+@dataclass
+class LinkBudget:
+    """Accumulates losses along one optical path and closes the budget.
+
+    Typical construction uses :meth:`for_fabric_path`, which assembles the
+    canonical bidi-through-OCS path: TX circulator -> fiber -> OCS ->
+    fiber -> RX circulator.
+    """
+
+    tx_power_dbm: float
+    rx_sensitivity_dbm: float
+    elements: List[LossElement] = field(default_factory=list)
+    required_margin_db: float = DEFAULT_REQUIRED_MARGIN_DB
+
+    def add(self, name: str, loss_db: float) -> "LinkBudget":
+        """Append a loss element; returns self for chaining."""
+        self.elements.append(LossElement(name, loss_db))
+        return self
+
+    @property
+    def total_loss_db(self) -> float:
+        return sum(e.loss_db for e in self.elements)
+
+    @property
+    def received_power_dbm(self) -> float:
+        return self.tx_power_dbm - self.total_loss_db
+
+    @property
+    def margin_db(self) -> float:
+        """Power above the receiver sensitivity."""
+        return self.received_power_dbm - self.rx_sensitivity_dbm
+
+    @property
+    def closes(self) -> bool:
+        """True when margin meets the required engineering margin."""
+        return self.margin_db >= self.required_margin_db
+
+    def require_closed(self) -> None:
+        """Raise :class:`LinkBudgetError` if the budget does not close."""
+        if not self.closes:
+            raise LinkBudgetError(
+                f"budget short by {self.required_margin_db - self.margin_db:.2f} dB: "
+                f"rx {self.received_power_dbm:.2f} dBm vs sensitivity "
+                f"{self.rx_sensitivity_dbm:.2f} dBm "
+                f"(+{self.required_margin_db:.1f} dB margin)"
+            )
+
+    def breakdown(self) -> Tuple[Tuple[str, float], ...]:
+        """Loss contributions as (name, dB) pairs, insertion order."""
+        return tuple((e.name, e.loss_db) for e in self.elements)
+
+    # ------------------------------------------------------------------ #
+    # Canonical paths
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_fabric_path(
+        cls,
+        spec: TransceiverSpec,
+        ocs_insertion_loss_db: float,
+        fiber_spans: Sequence[FiberSpan] = (),
+        circulator: Optional[Circulator] = None,
+        num_ocs_hops: int = 1,
+        required_margin_db: float = DEFAULT_REQUIRED_MARGIN_DB,
+    ) -> "LinkBudget":
+        """Build the budget for a transceiver pair linked through OCS hops.
+
+        For a bidi module the path includes one circulator pass at each end
+        (TX into the fiber, fiber into the RX); duplex modules skip them.
+        """
+        if num_ocs_hops < 0:
+            raise ConfigurationError("OCS hop count must be non-negative")
+        budget = cls(
+            tx_power_dbm=spec.tx_power_dbm,
+            rx_sensitivity_dbm=spec.rx_sensitivity_dbm,
+            required_margin_db=required_margin_db,
+        )
+        if spec.bidi:
+            circ = circulator or Circulator()
+            budget.add("tx-circulator", circ.tx_to_fiber_db)
+        for i, span in enumerate(fiber_spans):
+            budget.add(f"fiber-{i}", span.total_loss_db)
+        for hop in range(num_ocs_hops):
+            budget.add(f"ocs-{hop}", ocs_insertion_loss_db)
+        if spec.bidi:
+            circ = circulator or Circulator()
+            budget.add("rx-circulator", circ.fiber_to_rx_db)
+        return budget
+
+    def max_ocs_hops(self, ocs_insertion_loss_db: float) -> int:
+        """How many additional OCS hops the remaining margin could absorb."""
+        if ocs_insertion_loss_db <= 0:
+            raise ConfigurationError("OCS loss must be positive")
+        spare = self.margin_db - self.required_margin_db
+        return max(0, int(spare // ocs_insertion_loss_db))

@@ -1,0 +1,191 @@
+"""PAM4 receiver model: analytic and Monte-Carlo bit error ratio.
+
+The 50 Gb/s-per-lane links of Fig 11 use 4-level pulse-amplitude
+modulation.  The model works in the optical-power domain at the decision
+slicer:
+
+- The four levels are equally spaced, ``L_i = 2*P_avg*i/3``, so the
+  average equals the received average optical power ``P_avg``.
+- Receiver (thermal + TIA) noise is a level-independent Gaussian with RMS
+  ``sigma_thermal_w`` (optical-power-equivalent).
+- MPI adds a beat term: an aggregate interferer of power ``P_i``
+  (specified relative to the modulated optical amplitude, OMA) beating
+  with the signal.  Because many reflection paths contribute, the
+  aggregate interferer field is complex-Gaussian and the beat on level
+  ``L`` is Gaussian with variance ``2*L*P_i``.  Since the beat variance
+  grows with power just like the eye opening, high MPI produces the
+  BER *floors* of Fig 11.  OIM suppresses the beat amplitude by
+  ``oim_suppression_db`` (power dB).
+
+Gray mapping makes BER = SER/2 for adjacent-level errors, the dominant
+mechanism at realistic SNR.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.core.errors import ConfigurationError
+from repro.core.units import db_to_linear, dbm_to_w
+from repro.optics.mpi import sample_beat_noise_w
+
+#: Default receiver thermal-noise RMS, optical-power-equivalent watts.
+#: Calibrated for ~-11 dBm sensitivity at the KP4 threshold for 50G PAM4.
+DEFAULT_THERMAL_NOISE_W = 7.5e-6
+
+#: Gray-coded bits per PAM4 symbol.
+BITS_PER_SYMBOL = 2
+
+#: Gray code for levels 0..3 (adjacent levels differ in one bit).
+_GRAY = (0b00, 0b01, 0b11, 0b10)
+
+
+def _q_function(x: np.ndarray) -> np.ndarray:
+    """Tail probability of the standard normal."""
+    return 0.5 * erfc(np.asarray(x, dtype=float) / math.sqrt(2.0))
+
+
+@dataclass(frozen=True)
+class Pam4LinkModel:
+    """One PAM4 lane with thermal noise and optional MPI.
+
+    Args:
+        mpi_db: aggregate interferer level relative to the signal OMA
+            (negative dB), or ``None`` / ``-inf`` for no MPI.
+        oim_suppression_db: beat-power suppression applied by the OIM
+            DSP (0 = OIM off).
+        thermal_noise_w: receiver noise RMS in optical-equivalent watts.
+        equalizer_enhancement: power factor by which the receiver's
+            feed-forward equalizer enhances the narrow-band beat (an FFE
+            flattening the channel boosts low-frequency interference).
+    """
+
+    mpi_db: Optional[float] = None
+    oim_suppression_db: float = 0.0
+    thermal_noise_w: float = DEFAULT_THERMAL_NOISE_W
+    equalizer_enhancement: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.thermal_noise_w <= 0:
+            raise ConfigurationError("thermal noise must be positive")
+        if self.oim_suppression_db < 0:
+            raise ConfigurationError("OIM suppression must be non-negative dB")
+        if self.mpi_db is not None and math.isfinite(self.mpi_db) and self.mpi_db >= 0:
+            raise ConfigurationError("MPI level must be below the carrier")
+        if self.equalizer_enhancement < 1.0:
+            raise ConfigurationError("equalizer enhancement must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    # Level geometry
+    # ------------------------------------------------------------------ #
+
+    def levels_w(self, rx_power_dbm: float) -> np.ndarray:
+        """The four optical levels for a given received average power."""
+        p_avg = dbm_to_w(rx_power_dbm)
+        return np.array([0.0, 1.0, 2.0, 3.0]) * (2.0 * p_avg / 3.0)
+
+    def oma_w(self, rx_power_dbm: float) -> float:
+        """Outer modulation amplitude: L3 - L0 = 2 * P_avg."""
+        return 2.0 * dbm_to_w(rx_power_dbm)
+
+    def _interferer_w(self, rx_power_dbm: float) -> float:
+        """Effective interferer power at the slicer: ``mpi_db`` below the
+        OMA, boosted by the equalizer's narrow-band enhancement."""
+        if self.mpi_db is None or not math.isfinite(self.mpi_db):
+            return 0.0
+        return (
+            self.oma_w(rx_power_dbm)
+            * db_to_linear(self.mpi_db)
+            * self.equalizer_enhancement
+        )
+
+    def level_sigmas_w(self, rx_power_dbm: float) -> np.ndarray:
+        """Per-level total noise RMS: thermal plus residual MPI beat."""
+        levels = self.levels_w(rx_power_dbm)
+        p_i = self._interferer_w(rx_power_dbm)
+        suppression = db_to_linear(-self.oim_suppression_db)  # power ratio
+        beat_var = 2.0 * levels * p_i * suppression
+        return np.sqrt(self.thermal_noise_w ** 2 + beat_var)
+
+    # ------------------------------------------------------------------ #
+    # Analytic BER
+    # ------------------------------------------------------------------ #
+
+    def ber(self, rx_power_dbm: float) -> float:
+        """Pre-FEC BER at the slicer for the given received power.
+
+        Each of the four equiprobable symbols sees level-dependent Gaussian
+        noise (thermal + beat) and can cross its upper and/or lower decision
+        threshold (midpoints between adjacent levels).  With Gray mapping
+        each adjacent-level symbol error costs one bit of the two.
+        """
+        levels = self.levels_w(rx_power_dbm)
+        sigmas = self.level_sigmas_w(rx_power_dbm)
+        thresholds = (levels[:-1] + levels[1:]) / 2.0
+        symbol_error = 0.0
+        for i in range(4):
+            if i < 3:  # can cross upward
+                symbol_error += float(
+                    _q_function((thresholds[i] - levels[i]) / sigmas[i])
+                )
+            if i > 0:  # can cross downward
+                symbol_error += float(
+                    _q_function((levels[i] - thresholds[i - 1]) / sigmas[i])
+                )
+        ser = symbol_error / 4.0
+        return min(0.5, ser / BITS_PER_SYMBOL)
+
+    def ber_curve(self, rx_powers_dbm: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`ber` over an array of received powers."""
+        return np.array([self.ber(float(p)) for p in np.asarray(rx_powers_dbm)])
+
+    # ------------------------------------------------------------------ #
+    # Monte Carlo
+    # ------------------------------------------------------------------ #
+
+    def monte_carlo_ber(
+        self,
+        rx_power_dbm: float,
+        num_symbols: int = 200_000,
+        seed: int = 0,
+    ) -> float:
+        """Estimate BER by simulating symbols through the noisy slicer.
+
+        Validates the analytic expression (Fig 11a "BER: Monte Carlo").
+        """
+        tx_symbols, received = self.simulate_symbols(rx_power_dbm, num_symbols, seed)
+        levels = self.levels_w(rx_power_dbm)
+        thresholds = (levels[:-1] + levels[1:]) / 2.0
+        rx_symbols = np.digitize(received, thresholds)
+        bit_errors = _gray_bit_errors(tx_symbols, rx_symbols)
+        return float(bit_errors) / (num_symbols * BITS_PER_SYMBOL)
+
+    def simulate_symbols(
+        self, rx_power_dbm: float, num_symbols: int, seed: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (transmitted symbols, received analog samples) for DSP tests."""
+        if num_symbols <= 0:
+            raise ConfigurationError("need at least one symbol")
+        rng = np.random.default_rng(seed)
+        levels = self.levels_w(rx_power_dbm)
+        tx_symbols = rng.integers(0, 4, size=num_symbols)
+        received = levels[tx_symbols].astype(float)
+        received += rng.normal(0.0, self.thermal_noise_w, size=num_symbols)
+        p_i = self._interferer_w(rx_power_dbm)
+        if p_i > 0.0:
+            received += sample_beat_noise_w(
+                rng, levels[tx_symbols], p_i, self.oim_suppression_db
+            )
+        return tx_symbols, received
+
+
+def _gray_bit_errors(tx_symbols: np.ndarray, rx_symbols: np.ndarray) -> int:
+    """Count differing bits between Gray-coded symbol streams."""
+    gray = np.array(_GRAY)
+    xor = gray[tx_symbols] ^ gray[rx_symbols]
+    return int(np.sum((xor & 1) + ((xor >> 1) & 1)))

@@ -1,0 +1,244 @@
+"""Transceiver generations: the WDM interconnect roadmap (Fig 8, Fig 9).
+
+Encodes the datacenter WDM roadmap from 40 Gb/s QSFP+ to 800 Gb/s OSFP and
+the custom bidirectional modules built for the lightwave fabrics:
+
+- DCN bidi: CWDM4, 20 nm spacing, duplex->bidi via circulators.
+- ML bidi 2x400G: two CWDM4 transceiver pairs with two integrated
+  circulators (Fig 9 top).
+- ML bidi 800G: one CWDM8 engine (8 lanes x 10 nm) behind a single
+  integrated circulator (Fig 9 bottom).
+
+Backward compatibility (§3.3.1) is modelled through per-module supported
+line rates: a new-generation module must interoperate with older ones by
+dropping to a common rate on a compatible wavelength grid.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.optics.wavelength import CWDM4_GRID, CWDM8_GRID, WdmGrid
+
+
+class FormFactor(enum.Enum):
+    QSFP_PLUS = "QSFP+"
+    QSFP28 = "QSFP28"
+    QSFP56 = "QSFP56"
+    OSFP = "OSFP"
+
+
+class Modulation(enum.Enum):
+    NRZ = "NRZ"
+    PAM4 = "PAM4"
+
+
+@dataclass(frozen=True)
+class TransceiverSpec:
+    """One transceiver product generation.
+
+    ``line_rates_gbps`` lists the per-lane rates the module's programmable
+    DSP supports (newest first); backward compatibility comes from the
+    intersection of these lists.  ``bidi`` modules integrate
+    ``num_circulators`` circulators and use one fiber strand per link.
+    """
+
+    name: str
+    form_factor: FormFactor
+    grid: WdmGrid
+    lanes: int
+    line_rates_gbps: Tuple[float, ...]
+    modulation: Modulation
+    bidi: bool = False
+    num_circulators: int = 0
+    tx_power_dbm: float = 1.0
+    rx_sensitivity_dbm: float = -11.0
+    power_w: float = 3.5
+    year: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0:
+            raise ConfigurationError("lanes must be positive")
+        if not self.line_rates_gbps:
+            raise ConfigurationError("at least one line rate required")
+        if any(r <= 0 for r in self.line_rates_gbps):
+            raise ConfigurationError("line rates must be positive")
+        if self.bidi and self.num_circulators <= 0:
+            raise ConfigurationError("bidi module needs at least one circulator")
+        if not self.bidi and self.num_circulators:
+            raise ConfigurationError("duplex module cannot have circulators")
+        if self.lanes > self.grid.num_channels * (2 if not self.bidi else 2):
+            # Each WDM channel can carry one lane per direction per strand.
+            raise ConfigurationError(
+                f"{self.name}: {self.lanes} lanes exceed grid capacity"
+            )
+
+    @property
+    def max_rate_gbps(self) -> float:
+        """Aggregate module bandwidth at the top line rate."""
+        return self.lanes * max(self.line_rates_gbps)
+
+    @property
+    def fibers_per_module(self) -> int:
+        """Fiber strands the module drives.
+
+        A duplex module needs a TX and an RX strand per engine; a bidi
+        module needs one strand per engine (both directions share it).
+        """
+        engines = max(1, self.lanes // self.grid.num_channels)
+        return engines if self.bidi else 2 * engines
+
+    @property
+    def ocs_ports_per_module(self) -> int:
+        """OCS duplex circuits consumed when routed through a lightwave fabric."""
+        return self.fibers_per_module
+
+    @property
+    def energy_pj_per_bit(self) -> float:
+        """Energy efficiency at the top rate, picojoules/bit."""
+        return self.power_w / (self.max_rate_gbps * 1e9) * 1e12
+
+    def common_rate_gbps(self, other: "TransceiverSpec") -> Optional[float]:
+        """Highest per-lane rate both modules support, or None."""
+        common = set(self.line_rates_gbps) & set(other.line_rates_gbps)
+        return max(common) if common else None
+
+
+def interoperable(a: TransceiverSpec, b: TransceiverSpec) -> bool:
+    """Can the two modules form a link (§3.3.1 backward compatibility)?
+
+    They must share a line rate, have nesting wavelength grids, and agree
+    on strand topology (bidi to bidi, duplex to duplex).
+    """
+    if a.common_rate_gbps(b) is None:
+        return False
+    if not a.grid.grid_compatible(b.grid):
+        return False
+    return a.bidi == b.bidi
+
+
+#: The roadmap of Fig 8 plus the custom bidi modules of Fig 9.
+TRANSCEIVER_GENERATIONS: Dict[str, TransceiverSpec] = {
+    "qsfp_40g": TransceiverSpec(
+        name="40G QSFP+ CWDM4",
+        form_factor=FormFactor.QSFP_PLUS,
+        grid=CWDM4_GRID,
+        lanes=4,
+        line_rates_gbps=(10.0,),
+        modulation=Modulation.NRZ,
+        tx_power_dbm=2.0,
+        rx_sensitivity_dbm=-14.0,
+        power_w=3.5,
+        year=2014,
+    ),
+    "qsfp28_100g": TransceiverSpec(
+        name="100G QSFP28 CWDM4",
+        form_factor=FormFactor.QSFP28,
+        grid=CWDM4_GRID,
+        lanes=4,
+        line_rates_gbps=(25.0, 10.0),
+        modulation=Modulation.NRZ,
+        tx_power_dbm=1.5,
+        rx_sensitivity_dbm=-12.5,
+        power_w=3.5,
+        year=2016,
+    ),
+    "qsfp56_200g": TransceiverSpec(
+        name="200G QSFP56 CWDM4",
+        form_factor=FormFactor.QSFP56,
+        grid=CWDM4_GRID,
+        lanes=4,
+        line_rates_gbps=(50.0, 25.0),
+        modulation=Modulation.PAM4,
+        tx_power_dbm=1.5,
+        rx_sensitivity_dbm=-11.5,
+        power_w=4.5,
+        year=2018,
+    ),
+    "osfp_400g": TransceiverSpec(
+        name="400G OSFP CWDM4",
+        form_factor=FormFactor.OSFP,
+        grid=CWDM4_GRID,
+        lanes=4,
+        line_rates_gbps=(100.0, 50.0, 25.0),
+        modulation=Modulation.PAM4,
+        tx_power_dbm=2.0,
+        rx_sensitivity_dbm=-10.5,
+        power_w=9.0,
+        year=2020,
+    ),
+    "osfp_800g": TransceiverSpec(
+        name="800G OSFP 2xCWDM4",
+        form_factor=FormFactor.OSFP,
+        grid=CWDM4_GRID,
+        lanes=8,
+        line_rates_gbps=(100.0, 50.0, 25.0),
+        modulation=Modulation.PAM4,
+        tx_power_dbm=2.0,
+        rx_sensitivity_dbm=-10.5,
+        power_w=14.0,
+        year=2022,
+    ),
+    # --- custom bidi modules ------------------------------------------- #
+    "bidi_dcn_cwdm4": TransceiverSpec(
+        name="bidi 400G OSFP CWDM4 (DCN)",
+        form_factor=FormFactor.OSFP,
+        grid=CWDM4_GRID,
+        lanes=4,
+        line_rates_gbps=(100.0, 50.0, 25.0),
+        modulation=Modulation.PAM4,
+        bidi=True,
+        num_circulators=1,
+        tx_power_dbm=2.5,
+        rx_sensitivity_dbm=-10.0,
+        power_w=10.0,
+        year=2021,
+    ),
+    "bidi_2x400g_cwdm4": TransceiverSpec(
+        name="bidi 2x400G OSFP CWDM4 (ML)",
+        form_factor=FormFactor.OSFP,
+        grid=CWDM4_GRID,
+        lanes=8,
+        line_rates_gbps=(100.0, 50.0),
+        modulation=Modulation.PAM4,
+        bidi=True,
+        num_circulators=2,
+        tx_power_dbm=2.5,
+        rx_sensitivity_dbm=-10.0,
+        power_w=15.0,
+        year=2021,
+    ),
+    "bidi_800g_cwdm8": TransceiverSpec(
+        name="bidi 800G OSFP CWDM8 (ML)",
+        form_factor=FormFactor.OSFP,
+        grid=CWDM8_GRID,
+        lanes=8,
+        line_rates_gbps=(100.0, 50.0),
+        modulation=Modulation.PAM4,
+        bidi=True,
+        num_circulators=1,
+        tx_power_dbm=3.0,
+        rx_sensitivity_dbm=-9.5,
+        power_w=16.0,
+        year=2023,
+    ),
+}
+
+
+def transceiver(key: str) -> TransceiverSpec:
+    """Look up a generation by registry key."""
+    try:
+        return TRANSCEIVER_GENERATIONS[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown transceiver {key!r}; known: {sorted(TRANSCEIVER_GENERATIONS)}"
+        ) from None
+
+
+def bandwidth_growth_factor() -> float:
+    """Aggregate-bandwidth growth across the roadmap (paper: 20x)."""
+    specs = TRANSCEIVER_GENERATIONS
+    return specs["osfp_800g"].max_rate_gbps / specs["qsfp_40g"].max_rate_gbps

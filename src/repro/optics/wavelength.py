@@ -1,0 +1,103 @@
+"""WDM wavelength grids: CWDM4 (20 nm) and CWDM8 (10 nm).
+
+§3.3.1: within the same 80 nm spectral width as a standard CWDM4
+transceiver, the ML-use-case transceiver increases the number of lanes from
+4 to 8 by tightening the channel spacing from 20 nm to 10 nm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.units import wavelength_nm_to_freq_thz
+
+
+@dataclass(frozen=True)
+class WavelengthChannel:
+    """One WDM channel: center wavelength and allocated width."""
+
+    center_nm: float
+    width_nm: float
+
+    def __post_init__(self) -> None:
+        if self.center_nm <= 0 or self.width_nm <= 0:
+            raise ConfigurationError("wavelength and width must be positive")
+
+    @property
+    def low_nm(self) -> float:
+        return self.center_nm - self.width_nm / 2.0
+
+    @property
+    def high_nm(self) -> float:
+        return self.center_nm + self.width_nm / 2.0
+
+    @property
+    def center_thz(self) -> float:
+        return wavelength_nm_to_freq_thz(self.center_nm)
+
+    def overlaps(self, other: "WavelengthChannel") -> bool:
+        """True when the two channel bands intersect."""
+        return self.low_nm < other.high_nm and other.low_nm < self.high_nm
+
+    def __str__(self) -> str:
+        return f"{self.center_nm:g}nm(±{self.width_nm / 2:g})"
+
+
+@dataclass(frozen=True)
+class WdmGrid:
+    """A set of equally spaced WDM channels."""
+
+    name: str
+    first_center_nm: float
+    spacing_nm: float
+    num_channels: int
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0:
+            raise ConfigurationError("grid needs at least one channel")
+        if self.spacing_nm <= 0:
+            raise ConfigurationError("spacing must be positive")
+
+    def channel(self, index: int) -> WavelengthChannel:
+        """The ``index``-th channel (0-based)."""
+        if not 0 <= index < self.num_channels:
+            raise ConfigurationError(
+                f"{self.name}: channel {index} out of range [0, {self.num_channels})"
+            )
+        return WavelengthChannel(
+            center_nm=self.first_center_nm + index * self.spacing_nm,
+            width_nm=self.spacing_nm,
+        )
+
+    @property
+    def channels(self) -> Tuple[WavelengthChannel, ...]:
+        return tuple(self.channel(i) for i in range(self.num_channels))
+
+    @property
+    def span_nm(self) -> float:
+        """Total spectral width from the lowest band edge to the highest."""
+        return self.num_channels * self.spacing_nm
+
+    def grid_compatible(self, other: "WdmGrid") -> bool:
+        """True when every channel of the narrower grid sits inside one of ours.
+
+        CWDM8's 10 nm channels nest on the CWDM4 grid: odd CWDM8 channels
+        share CWDM4 centers.  Used for backward-compatibility checks.
+        """
+        fine, coarse = (self, other) if self.spacing_nm <= other.spacing_nm else (other, self)
+        for ch in fine.channels:
+            if not any(c.low_nm <= ch.center_nm <= c.high_nm for c in coarse.channels):
+                return False
+        return True
+
+    def __iter__(self) -> Iterator[WavelengthChannel]:
+        return iter(self.channels)
+
+
+#: Standard CWDM4 grid: 1271/1291/1311/1331 nm on 20 nm spacing.
+CWDM4_GRID = WdmGrid(name="CWDM4", first_center_nm=1271.0, spacing_nm=20.0, num_channels=4)
+
+#: Custom CWDM8 grid: eight lanes on 10 nm spacing within the same 80 nm span.
+CWDM8_GRID = WdmGrid(name="CWDM8", first_center_nm=1271.0, spacing_nm=10.0, num_channels=8)

@@ -1,0 +1,39 @@
+"""Cluster-level slice scheduling (§4.2.3, §4.2.4).
+
+- :mod:`repro.scheduler.requests` -- job requests and synthetic traces.
+- :mod:`repro.scheduler.allocator` -- allocation policies: TPU v3-style
+  contiguous placement vs OCS-enabled any-cubes placement.
+- :mod:`repro.scheduler.simulator` -- a discrete-event scheduling
+  simulation measuring utilization, wait times, and failure handling.
+- :mod:`repro.scheduler.defrag` -- fragmentation metrics and compaction.
+- :mod:`repro.scheduler.deployment` -- incremental-deployment timeline
+  model (§4.2.3).
+"""
+
+from repro.scheduler.requests import JobRequest, WorkloadGenerator, balanced_cube_shape
+from repro.scheduler.allocator import (
+    Allocator,
+    ContiguousAllocator,
+    ReconfigurableAllocator,
+)
+from repro.scheduler.simulator import SchedulerMetrics, SchedulerSimulation
+from repro.scheduler.defrag import compact_contiguous, fragmentation
+from repro.scheduler.deployment import DeploymentModel, DeploymentOutcome
+from repro.scheduler.model_aware import ModelAwareAllocator, ModelPlacement
+
+__all__ = [
+    "JobRequest",
+    "WorkloadGenerator",
+    "balanced_cube_shape",
+    "Allocator",
+    "ContiguousAllocator",
+    "ReconfigurableAllocator",
+    "SchedulerMetrics",
+    "SchedulerSimulation",
+    "fragmentation",
+    "compact_contiguous",
+    "DeploymentModel",
+    "DeploymentOutcome",
+    "ModelAwareAllocator",
+    "ModelPlacement",
+]

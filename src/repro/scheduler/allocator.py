@@ -1,0 +1,136 @@
+"""Slice allocation policies: contiguous (TPU v3-style) vs reconfigurable.
+
+§4.2.4: scheduling a 256-chip slice on a TPU v3 pod required finding 256
+*contiguous* functional chips; on the v4 superpod, the non-blocking OCS
+connects any set of idle cubes, multiplying placement options and easing
+defragmentation.
+
+Both policies drive the same :class:`repro.tpu.superpod.Superpod` so the
+fabric bookkeeping (circuits, isolation) stays honest; the contiguous
+policy simply restricts itself to physically adjacent cube index runs --
+the constraint a statically cabled pod imposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.core.errors import SchedulingError
+from repro.core.ids import CubeId, SliceId
+from repro.scheduler.requests import JobRequest
+from repro.tpu.slice_topology import SliceTopology
+from repro.tpu.superpod import Superpod
+
+
+class Allocator(Protocol):
+    """Interface both policies implement."""
+
+    @property
+    def pod(self) -> Superpod: ...
+
+    def try_allocate(self, job: JobRequest) -> Optional[SliceId]:
+        """Place the job; returns the slice id or None when impossible."""
+
+    def release(self, job: JobRequest) -> None:
+        """Free the job's slice."""
+
+
+def _slice_id(job: JobRequest) -> SliceId:
+    return SliceId(f"slice-{job.job_id}")
+
+
+@dataclass
+class ReconfigurableAllocator:
+    """OCS-enabled placement: any set of idle, healthy cubes works."""
+
+    pod: Superpod
+    reconfigurations: int = 0
+
+    def placement_options(self, job: JobRequest) -> int:
+        """How many distinct cube sets could host the job (binomial count
+        capped for display) -- the scheduling-flexibility win of §4.2.4."""
+        from math import comb
+
+        free = len(self.pod.healthy_free_cubes())
+        return comb(free, job.cubes) if free >= job.cubes else 0
+
+    def try_allocate(self, job: JobRequest) -> Optional[SliceId]:
+        free = self.pod.healthy_free_cubes()
+        if len(free) < job.cubes:
+            return None
+        chosen = free[: job.cubes]
+        topology = SliceTopology.compose(_slice_id(job), job.shape, chosen)
+        self.pod.configure_slice(topology)
+        self.reconfigurations += 1
+        return topology.slice_id
+
+    def release(self, job: JobRequest) -> None:
+        self.pod.release_slice(_slice_id(job))
+
+    def handle_cube_failure(self, cube: CubeId) -> Optional[SliceId]:
+        """Swap a failed allocated cube for a spare.
+
+        Returns the affected slice id (still configured if a spare was
+        available -- the job survives -- or released when the pod has no
+        healthy spare), or None when the cube was idle.
+        """
+        slice_id = None
+        for topo in self.pod.slices():
+            if cube in topo.cube_ids:
+                slice_id = topo.slice_id
+                break
+        if slice_id is None:
+            return None
+        if not self.pod.healthy_free_cubes():
+            self.pod.release_slice(slice_id)
+            return slice_id
+        self.pod.swap_cube(slice_id, cube)
+        self.reconfigurations += 1
+        return slice_id
+
+
+@dataclass
+class ContiguousAllocator:
+    """TPU v3-style placement: a run of adjacent cube indices.
+
+    The static pod's wiring fixes which cubes can form a torus together;
+    we model it as requiring ``job.cubes`` consecutive indices, all idle
+    and healthy.
+    """
+
+    pod: Superpod
+
+    def _free_runs(self) -> List[Tuple[int, int]]:
+        """Maximal runs of idle+healthy cube indices as (start, length)."""
+        from repro.scheduler.defrag import free_runs
+
+        return free_runs(self.pod)
+
+    def placement_options(self, job: JobRequest) -> int:
+        """Distinct contiguous placements available."""
+        return sum(max(0, length - job.cubes + 1) for _, length in self._free_runs())
+
+    def try_allocate(self, job: JobRequest) -> Optional[SliceId]:
+        for start, length in self._free_runs():
+            if length >= job.cubes:
+                chosen = [CubeId(start + i) for i in range(job.cubes)]
+                topology = SliceTopology.compose(_slice_id(job), job.shape, chosen)
+                self.pod.configure_slice(topology)
+                return topology.slice_id
+        return None
+
+    def release(self, job: JobRequest) -> None:
+        self.pod.release_slice(_slice_id(job))
+
+    def handle_cube_failure(self, cube: CubeId) -> Optional[SliceId]:
+        """A static fabric cannot swap: the affected slice is lost.
+
+        Returns the killed slice's id (caller requeues the job), or None
+        when the cube was idle.
+        """
+        for topo in self.pod.slices():
+            if cube in topo.cube_ids:
+                self.pod.release_slice(topo.slice_id)
+                return topo.slice_id
+        return None

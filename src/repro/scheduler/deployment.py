@@ -1,0 +1,117 @@
+"""Incremental-deployment timeline model (§4.2.3).
+
+With the lightwave fabric, each rack (one cube) is verified when its
+chips and intra-rack electrical interconnect are installed, then joins
+the pod immediately -- capacity ramps rack by rack.  A statically cabled
+pod (like TPU v3) "could not be verified until all chips and connecting
+cables were installed and tested": capacity stays zero until the last
+rack lands *and* the whole-pod cabling check completes.
+
+The model compares time-to-first-capacity and integrated capacity
+(cube-days) over the build-out, plus the §4.2.3 hardware savings from
+bidi transceivers (48 OCSes and fibers instead of 96).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.availability.model import TRANSCEIVER_TECHS
+
+
+@dataclass(frozen=True)
+class DeploymentOutcome:
+    """Results of one deployment policy."""
+
+    time_to_first_capacity_d: float
+    completion_d: float
+    integrated_cube_days: float
+
+    def ramp_advantage_over(self, other: "DeploymentOutcome") -> float:
+        """Ratio of integrated capacity over the build-out window."""
+        if other.integrated_cube_days == 0:
+            return float("inf") if self.integrated_cube_days > 0 else 1.0
+        return self.integrated_cube_days / other.integrated_cube_days
+
+
+@dataclass(frozen=True)
+class DeploymentModel:
+    """Build-out of a 64-cube pod.
+
+    Args:
+        racks: cubes to deploy.
+        rack_interval_d: days between consecutive rack deliveries.
+        rack_verify_d: per-rack install+verify time (both policies).
+        pod_verify_d: whole-pod cabling verification the static pod needs
+            after the last rack.
+        horizon_d: window over which integrated capacity is measured
+            (defaults to the static completion time).
+    """
+
+    racks: int = 64
+    rack_interval_d: float = 1.0
+    rack_verify_d: float = 2.0
+    pod_verify_d: float = 14.0
+    horizon_d: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.racks <= 0:
+            raise ConfigurationError("need at least one rack")
+        if min(self.rack_interval_d, self.rack_verify_d, self.pod_verify_d) < 0:
+            raise ConfigurationError("durations must be non-negative")
+
+    def _rack_ready_times(self) -> List[float]:
+        """Day each rack becomes individually verified."""
+        return [
+            i * self.rack_interval_d + self.rack_verify_d for i in range(self.racks)
+        ]
+
+    def _horizon(self) -> float:
+        return self.horizon_d if self.horizon_d > 0 else self.static_outcome().completion_d
+
+    def incremental_outcome(self) -> DeploymentOutcome:
+        """Lightwave fabric: capacity ramps rack by rack."""
+        ready = self._rack_ready_times()
+        horizon = self._horizon()
+        integrated = sum(max(0.0, horizon - t) for t in ready)
+        return DeploymentOutcome(
+            time_to_first_capacity_d=ready[0],
+            completion_d=ready[-1],
+            integrated_cube_days=integrated,
+        )
+
+    def static_outcome(self) -> DeploymentOutcome:
+        """Static pod: nothing usable until everything is verified."""
+        last_rack = (self.racks - 1) * self.rack_interval_d + self.rack_verify_d
+        done = last_rack + self.pod_verify_d
+        horizon = self.horizon_d if self.horizon_d > 0 else done
+        integrated = self.racks * max(0.0, horizon - done)
+        return DeploymentOutcome(
+            time_to_first_capacity_d=done,
+            completion_d=done,
+            integrated_cube_days=integrated,
+        )
+
+    def capacity_timeline(self, policy: str, days: int) -> List[int]:
+        """Usable cubes at the end of each day, for plotting."""
+        if days <= 0:
+            raise ConfigurationError("days must be positive")
+        if policy == "incremental":
+            ready = self._rack_ready_times()
+            return [sum(1 for t in ready if t <= d) for d in range(1, days + 1)]
+        if policy == "static":
+            done = self.static_outcome().completion_d
+            return [self.racks if d >= done else 0 for d in range(1, days + 1)]
+        raise ConfigurationError(f"unknown policy {policy!r}")
+
+
+def ocs_and_fiber_savings() -> Tuple[int, int, float]:
+    """§4.2.3: bidi transceivers halve OCS and fiber needs.
+
+    Returns (OCSes with duplex CWDM4, OCSes with bidi CWDM4, saving).
+    """
+    duplex = TRANSCEIVER_TECHS["cwdm4_duplex"].num_ocses
+    bidi = TRANSCEIVER_TECHS["cwdm4_bidi"].num_ocses
+    return duplex, bidi, 1.0 - bidi / duplex

@@ -1,0 +1,110 @@
+"""Model-aware slice allocation: the scheduler meets the NAS (§4.2.1).
+
+Table 2's speedups only materialize if the *scheduler* places each job
+on its model's optimal shape.  :class:`ModelAwareAllocator` closes that
+loop: given a job that names its LLM and a chip budget, it runs the
+slice-shape search restricted to that budget, converts the winning chip
+shape to cubes, and composes the slice on any free healthy cubes -- the
+"late binding" of slice shape to deployed hardware the paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import ConfigurationError, SchedulingError
+from repro.core.ids import JobId, SliceId
+from repro.ml.models import LlmConfig
+from repro.ml.perfmodel import TrainingStepModel
+from repro.ml.shape_search import SliceShapeSearch
+from repro.tpu.cube import CHIPS_PER_CUBE
+from repro.tpu.slice_topology import SliceTopology
+from repro.tpu.superpod import Superpod
+
+
+@dataclass(frozen=True)
+class ModelPlacement:
+    """Outcome of one model-aware placement."""
+
+    job_id: JobId
+    slice_id: SliceId
+    chip_shape: Tuple[int, int, int]
+    step_time_s: float
+    throughput_seqs_per_s: float
+
+
+@dataclass
+class ModelAwareAllocator:
+    """Places LLM jobs on their model-optimal slice shapes."""
+
+    pod: Superpod
+    step_model: TrainingStepModel = field(default_factory=TrainingStepModel)
+    placements: Dict[JobId, ModelPlacement] = field(default_factory=dict)
+
+    def best_shape_for(
+        self, model: LlmConfig, cubes: int
+    ) -> Tuple[Tuple[int, int, int], float]:
+        """The fastest feasible chip shape within a cube budget.
+
+        Delegates to the class-based shape search (with its documented
+        data-split tie-break) restricted to the budget's chip count.
+        """
+        if cubes <= 0:
+            raise ConfigurationError("cube budget must be positive")
+        search = SliceShapeSearch(self.step_model, num_chips=cubes * CHIPS_PER_CUBE)
+        try:
+            result = search.search(model)
+        except ConfigurationError as exc:
+            raise SchedulingError(
+                f"{model.name} has no feasible shape on {cubes} cubes: {exc}"
+            ) from exc
+        return result.best_shape, result.best_step_time_s
+
+    def place(self, job_id: JobId, model: LlmConfig, cubes: int) -> ModelPlacement:
+        """Search, compose, and configure the job's slice.
+
+        Raises :class:`SchedulingError` when the pod lacks free healthy
+        cubes or no shape is feasible for the model at this budget.
+        """
+        if job_id in self.placements:
+            raise SchedulingError(f"{job_id} is already placed")
+        free = self.pod.healthy_free_cubes()
+        if len(free) < cubes:
+            raise SchedulingError(
+                f"{job_id} needs {cubes} cubes; only {len(free)} free"
+            )
+        chip_shape, step_time = self.best_shape_for(model, cubes)
+        cube_shape = SliceTopology.chip_shape_to_cube_shape(chip_shape)
+        slice_id = SliceId(f"slice-{job_id}")
+        topology = SliceTopology.compose(slice_id, cube_shape, free[:cubes])
+        self.pod.configure_slice(topology)
+        placement = ModelPlacement(
+            job_id=job_id,
+            slice_id=slice_id,
+            chip_shape=chip_shape,
+            step_time_s=step_time,
+            throughput_seqs_per_s=model.global_batch_seqs / step_time,
+        )
+        self.placements[job_id] = placement
+        return placement
+
+    def release(self, job_id: JobId) -> None:
+        """Free a placed job's slice."""
+        placement = self.placements.pop(job_id, None)
+        if placement is None:
+            raise SchedulingError(f"{job_id} is not placed")
+        self.pod.release_slice(placement.slice_id)
+
+    def speedup_over_balanced(self, model: LlmConfig, cubes: int) -> float:
+        """How much the model-optimal shape beats the most-balanced one
+        at the same budget (the per-job value of reconfigurability)."""
+        from repro.scheduler.requests import balanced_cube_shape
+
+        _, best_time = self.best_shape_for(model, cubes)
+        balanced = tuple(c * 4 for c in balanced_cube_shape(cubes))
+        search = SliceShapeSearch(self.step_model, num_chips=cubes * CHIPS_PER_CUBE)
+        baseline = search.evaluate(model, balanced)
+        if baseline is None:
+            return float("inf")
+        return baseline / best_time

@@ -1,0 +1,130 @@
+"""Job requests and synthetic workload traces.
+
+§4.2.4: superpod jobs request slices in whole cubes (64-chip granularity);
+the mix spans single-cube experiments to half-pod training runs.  The
+generator produces Poisson arrivals with a configurable size distribution
+and log-normal durations, seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.core.ids import JobId
+
+
+def balanced_cube_shape(num_cubes: int) -> Tuple[int, int, int]:
+    """The most balanced (x, y, z) factorization of ``num_cubes``.
+
+    Used as the default torus shape for a slice of a given size; callers
+    with a model-driven preference pass an explicit shape instead.
+    """
+    if num_cubes <= 0:
+        raise ConfigurationError("cube count must be positive")
+    best: Tuple[int, int, int] = (1, 1, num_cubes)
+    best_spread = num_cubes
+    for a in range(1, int(round(num_cubes ** (1 / 3))) + 2):
+        if num_cubes % a:
+            continue
+        rest = num_cubes // a
+        for b in range(a, int(rest ** 0.5) + 1):
+            if rest % b:
+                continue
+            c = rest // b
+            spread = c - a
+            if spread < best_spread:
+                best_spread = spread
+                best = (a, b, c)
+    return best
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One training job needing a slice of ``cubes`` cubes."""
+
+    job_id: JobId
+    cubes: int
+    duration_s: float
+    arrival_s: float
+
+    def __post_init__(self) -> None:
+        if self.cubes <= 0:
+            raise ConfigurationError("job must request at least one cube")
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.arrival_s < 0:
+            raise ConfigurationError("arrival must be non-negative")
+
+    @property
+    def chips(self) -> int:
+        return self.cubes * 64
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return balanced_cube_shape(self.cubes)
+
+
+#: Default job-size mix (cubes -> weight): mostly small jobs with a tail
+#: of large training runs.
+DEFAULT_SIZE_MIX: Dict[int, float] = {1: 0.35, 2: 0.25, 4: 0.2, 8: 0.12, 16: 0.06, 32: 0.02}
+
+
+@dataclass
+class WorkloadGenerator:
+    """Poisson-arrival synthetic job trace.
+
+    Args:
+        arrival_rate_per_s: mean job arrival rate.
+        mean_duration_s: mean job duration (log-normal, sigma=0.8).
+        size_mix: {cubes: probability-weight}.
+    """
+
+    arrival_rate_per_s: float = 1.0 / 600.0
+    mean_duration_s: float = 3 * 3600.0
+    size_mix: Dict[int, float] = field(default_factory=lambda: dict(DEFAULT_SIZE_MIX))
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_per_s <= 0 or self.mean_duration_s <= 0:
+            raise ConfigurationError("rate and duration must be positive")
+        if not self.size_mix or any(w < 0 for w in self.size_mix.values()):
+            raise ConfigurationError("size mix must have non-negative weights")
+        if sum(self.size_mix.values()) <= 0:
+            raise ConfigurationError("size mix must have positive total weight")
+
+    def generate(self, num_jobs: int) -> List[JobRequest]:
+        """Produce ``num_jobs`` requests ordered by arrival time."""
+        if num_jobs <= 0:
+            raise ConfigurationError("need at least one job")
+        rng = np.random.default_rng(self.seed)
+        sizes = sorted(self.size_mix)
+        weights = np.array([self.size_mix[s] for s in sizes], dtype=float)
+        weights /= weights.sum()
+        inter = rng.exponential(1.0 / self.arrival_rate_per_s, num_jobs)
+        arrivals = np.cumsum(inter)
+        # Log-normal durations with the requested mean: mu = ln(mean)-s^2/2.
+        sigma = 0.8
+        mu = np.log(self.mean_duration_s) - sigma ** 2 / 2.0
+        durations = rng.lognormal(mu, sigma, num_jobs)
+        chosen = rng.choice(sizes, size=num_jobs, p=weights)
+        return [
+            JobRequest(
+                job_id=JobId(f"job-{i:05d}"),
+                cubes=int(chosen[i]),
+                duration_s=float(durations[i]),
+                arrival_s=float(arrivals[i]),
+            )
+            for i in range(num_jobs)
+        ]
+
+    def offered_load_cubes(self) -> float:
+        """Mean concurrent cube demand (Little's law)."""
+        sizes = sorted(self.size_mix)
+        weights = np.array([self.size_mix[s] for s in sizes], dtype=float)
+        weights /= weights.sum()
+        mean_size = float(np.dot(sizes, weights))
+        return self.arrival_rate_per_s * self.mean_duration_s * mean_size

@@ -1,0 +1,197 @@
+"""Discrete-event scheduling simulation (§4.2.4).
+
+Replays a job trace against an allocation policy with FCFS queueing and
+optional backfill (smaller jobs may jump a blocked head when they fit).
+Optionally injects cube failures: the reconfigurable policy swaps in a
+spare (the job survives); the contiguous/static policy loses the slice
+and requeues the job from scratch.
+
+Metrics: cube-time utilization, mean/95p queue wait, completed jobs, and
+failure outcomes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.core.ids import CubeId, JobId
+from repro.scheduler.requests import JobRequest
+from repro.tpu.superpod import Superpod
+
+_ARRIVAL, _DEPARTURE, _FAILURE, _REPAIR = 0, 1, 2, 3
+
+
+@dataclass
+class SchedulerMetrics:
+    """Aggregated outcomes of one simulation run."""
+
+    horizon_s: float
+    pod_cubes: int
+    cube_busy_s: float = 0.0
+    busy_integral_s: float = 0.0
+    arrival_window_s: float = 0.0
+    completed: int = 0
+    requeued_after_failure: int = 0
+    survived_failures: int = 0
+    failures_injected: int = 0
+    waits_s: List[float] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Cube-time in use over cube-time offered, measured inside the
+        arrival window (excludes the drain tail after the last arrival)."""
+        total = self.pod_cubes * self.arrival_window_s
+        return self.busy_integral_s / total if total > 0 else 0.0
+
+    @property
+    def mean_wait_s(self) -> float:
+        return float(np.mean(self.waits_s)) if self.waits_s else 0.0
+
+    @property
+    def p95_wait_s(self) -> float:
+        return float(np.percentile(self.waits_s, 95)) if self.waits_s else 0.0
+
+
+@dataclass
+class SchedulerSimulation:
+    """One policy x one trace discrete-event run.
+
+    Args:
+        allocator: a policy from :mod:`repro.scheduler.allocator`.
+        backfill: allow queued jobs behind a blocked head to start when
+            they fit (conservative backfill without reservations).
+        cube_failure_rate_per_s: per-cube failure hazard; failed cubes
+            repair after ``repair_s`` and may fail again.
+        warmup_s: utilization accounting starts here (skips the initial
+            pod-filling ramp).
+    """
+
+    allocator: object
+    backfill: bool = True
+    cube_failure_rate_per_s: float = 0.0
+    repair_s: float = 4 * 3600.0
+    warmup_s: float = 0.0
+    seed: int = 0
+
+    def run(self, trace: List[JobRequest]) -> SchedulerMetrics:
+        if not trace:
+            raise ConfigurationError("trace must contain at least one job")
+        pod: Superpod = self.allocator.pod
+        rng = np.random.default_rng(self.seed)
+        counter = itertools.count()
+        events: List[Tuple[float, int, int, object]] = []
+
+        def push(t: float, kind: int, payload: object) -> None:
+            heapq.heappush(events, (t, kind, next(counter), payload))
+
+        for job in trace:
+            push(job.arrival_s, _ARRIVAL, job)
+        last_arrival = max(j.arrival_s for j in trace)
+        fail_window = last_arrival + max(j.duration_s for j in trace)
+        if self.cube_failure_rate_per_s > 0:
+            for cube in range(pod.num_cubes):
+                t = float(rng.exponential(1.0 / self.cube_failure_rate_per_s))
+                if t < fail_window:
+                    push(t, _FAILURE, CubeId(cube))
+
+        queue: List[JobRequest] = []
+        running: Dict[JobId, JobRequest] = {}
+        start_times: Dict[JobId, float] = {}
+        metrics = SchedulerMetrics(horizon_s=0.0, pod_cubes=pod.num_cubes)
+        if self.warmup_s > 0 and self.warmup_s >= last_arrival:
+            raise ConfigurationError("warmup must end before the last arrival")
+        metrics.arrival_window_s = last_arrival - self.warmup_s
+        now = 0.0
+        busy_cubes = 0
+        t_prev = 0.0
+
+        def try_start(job: JobRequest, t: float) -> bool:
+            if self.allocator.try_allocate(job) is None:
+                return False
+            running[job.job_id] = job
+            start_times[job.job_id] = t
+            metrics.waits_s.append(t - job.arrival_s)
+            push(t + job.duration_s, _DEPARTURE, job)
+            nonlocal busy_cubes
+            busy_cubes += job.cubes
+            return True
+
+        def drain_queue(t: float) -> None:
+            while queue and try_start(queue[0], t):
+                queue.pop(0)
+            if self.backfill:
+                i = 1
+                while i < len(queue):
+                    if try_start(queue[i], t):
+                        queue.pop(i)
+                    else:
+                        i += 1
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            lo = max(min(t_prev, last_arrival), self.warmup_s)
+            hi = max(min(now, last_arrival), self.warmup_s)
+            metrics.busy_integral_s += busy_cubes * (hi - lo)
+            t_prev = now
+            if kind == _ARRIVAL:
+                job = payload
+                if not try_start(job, now):
+                    queue.append(job)
+            elif kind == _DEPARTURE:
+                job = payload
+                if job.job_id not in running:
+                    continue  # slice was killed by a failure; stale event
+                del running[job.job_id]
+                self.allocator.release(job)
+                metrics.completed += 1
+                busy_cubes -= job.cubes
+                metrics.cube_busy_s += job.cubes * (now - start_times.pop(job.job_id))
+                drain_queue(now)
+            elif kind == _FAILURE:
+                cube = payload
+                metrics.failures_injected += 1
+                pod.cube(cube).fail_host(0)
+                affected = self.allocator.handle_cube_failure(cube)
+                if affected is not None:
+                    still_running = any(
+                        t.slice_id == affected for t in pod.slices()
+                    )
+                    if still_running:
+                        metrics.survived_failures += 1
+                    else:
+                        victim = self._job_for_slice(running, affected)
+                        if victim is not None:
+                            del running[victim.job_id]
+                            busy_cubes -= victim.cubes
+                            metrics.cube_busy_s += victim.cubes * (
+                                now - start_times.pop(victim.job_id)
+                            )
+                            metrics.requeued_after_failure += 1
+                            queue.append(victim)
+                push(now + self.repair_s, _REPAIR, cube)
+            else:  # _REPAIR
+                cube = payload
+                pod.cube(cube).repair_host(0)
+                nxt = now + float(rng.exponential(1.0 / self.cube_failure_rate_per_s))
+                if nxt < fail_window:
+                    push(nxt, _FAILURE, cube)
+                drain_queue(now)
+
+        metrics.horizon_s = max(now, last_arrival)
+        return metrics
+
+    @staticmethod
+    def _job_for_slice(
+        running: Dict[JobId, JobRequest], slice_id
+    ) -> Optional[JobRequest]:
+        name = str(slice_id)
+        for job in running.values():
+            if name == f"slice-{job.job_id}":
+                return job
+        return None

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.tools`` prints the headline report."""
+
+import sys
+
+from repro.tools.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""Figure-data exporter: CSV series for every curve-style figure.
+
+``python -m repro.tools.figures --out results/`` writes one CSV per
+figure so downstream users can regenerate the paper's plots with any
+plotting stack.  Columns are labeled; every file starts with a comment
+line naming the figure it reproduces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.availability.goodput import GoodputModel
+from repro.availability.model import TRANSCEIVER_TECHS, fig15a_curves
+from repro.ml.models import LLM_ZOO
+from repro.ml.perfmodel import TrainingStepModel
+from repro.ml.shape_search import SliceShapeSearch
+from repro.ocs.palomar import PalomarOcs
+from repro.optics.ber import LinkBerSimulator
+from repro.optics.fleet import FleetBerSampler
+
+
+def _write(path: Path, comment: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    with path.open("w", newline="") as f:
+        f.write(f"# {comment}\n")
+        writer = csv.writer(f)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_fig10(out: Path, seed: int = 42) -> List[Path]:
+    """Insertion-loss histogram samples and per-port return loss."""
+    ocs = PalomarOcs.build(seed=seed)
+    losses = ocs.insertion_loss_matrix_db().ravel()
+    p1 = out / "fig10a_insertion_loss.csv"
+    _write(
+        p1,
+        "Fig 10a: insertion loss of all 136x136 Palomar cross-connections (dB)",
+        ["path_index", "insertion_loss_db"],
+        ((i, f"{v:.4f}") for i, v in enumerate(losses)),
+    )
+    p2 = out / "fig10b_return_loss.csv"
+    _write(
+        p2,
+        "Fig 10b: return loss per port (dB)",
+        ["port", "return_loss_db"],
+        ((i, f"{v:.2f}") for i, v in enumerate(ocs.return_loss_profile_db())),
+    )
+    return [p1, p2]
+
+
+def export_fig11(out: Path) -> List[Path]:
+    """BER waterfalls for the MPI sweep, OIM off/on."""
+    sim = LinkBerSimulator()
+    powers = np.linspace(-14.0, -4.0, 41)
+    curves = sim.mpi_sweep(
+        mpi_levels_db=(None, -35.0, -32.0, -29.0), rx_powers_dbm=powers
+    )
+    path = out / "fig11_ber_vs_power.csv"
+    rows = []
+    for p_idx, power in enumerate(powers):
+        row = [f"{power:.2f}"]
+        for mpi in (None, -35.0, -32.0, -29.0):
+            for oim_on in (False, True):
+                row.append(f"{curves[(mpi, oim_on)].bers[p_idx]:.6e}")
+        rows.append(row)
+    header = ["rx_power_dbm"]
+    for mpi in ("none", "-35dB", "-32dB", "-29dB"):
+        for oim in ("oim_off", "oim_on"):
+            header.append(f"ber_mpi_{mpi}_{oim}")
+    _write(path, "Fig 11: BER vs received power, MPI sweep, +/- OIM", header, rows)
+    return [path]
+
+
+def export_fig12(out: Path) -> List[Path]:
+    """Slicer vs post-inner-FEC BER under two MPI conditions."""
+    sim = LinkBerSimulator()
+    powers = np.linspace(-15.0, -6.0, 37)
+    curves = sim.sfec_curves(mpi_levels_db=(-36.0, -32.0), rx_powers_dbm=powers)
+    path = out / "fig12_sfec_curves.csv"
+    rows = []
+    for i, power in enumerate(powers):
+        rows.append(
+            [
+                f"{power:.2f}",
+                f"{curves[(-36.0, False)].bers[i]:.6e}",
+                f"{curves[(-36.0, True)].bers[i]:.6e}",
+                f"{curves[(-32.0, False)].bers[i]:.6e}",
+                f"{curves[(-32.0, True)].bers[i]:.6e}",
+            ]
+        )
+    _write(
+        path,
+        "Fig 12: BER vs power with/without inner soft FEC at two MPI conditions",
+        [
+            "rx_power_dbm",
+            "ber_mpi-36_raw",
+            "ber_mpi-36_sfec",
+            "ber_mpi-32_raw",
+            "ber_mpi-32_sfec",
+        ],
+        rows,
+    )
+    return [path]
+
+
+def export_fig13(out: Path, ports: int = 6144, seed: int = 7) -> List[Path]:
+    """Per-port fleet BER (the production scatter)."""
+    sampler = FleetBerSampler(num_ports=ports, seed=seed)
+    bers = sampler.sample()
+    path = out / "fig13_fleet_ber.csv"
+    _write(
+        path,
+        "Fig 13: per-port pre-FEC BER across the superpod fleet (OIM+SFEC on)",
+        ["port", "ber"],
+        ((i, f"{b:.6e}") for i, b in enumerate(bers)),
+    )
+    return [path]
+
+
+def export_fig15(out: Path) -> List[Path]:
+    """Fabric availability curves and goodput-vs-slice-size series."""
+    avails = np.linspace(0.995, 0.9999, 50)
+    curves = fig15a_curves(avails)
+    p1 = out / "fig15a_fabric_availability.csv"
+    rows = [
+        [f"{a:.5f}"] + [f"{curves[k][i]:.5f}" for k in TRANSCEIVER_TECHS]
+        for i, a in enumerate(avails)
+    ]
+    _write(
+        p1,
+        "Fig 15a: fabric availability vs single-OCS availability",
+        ["ocs_availability"] + [f"fabric_{k}" for k in TRANSCEIVER_TECHS],
+        rows,
+    )
+    model = GoodputModel()
+    p2 = out / "fig15b_goodput.csv"
+    rows = []
+    for sa in (0.999, 0.995, 0.99):
+        curve = model.curve(sa, slice_cubes=(1, 2, 4, 8, 16, 32))
+        for cubes, (reconf, static) in sorted(curve.items()):
+            rows.append([f"{sa:.3f}", cubes * 64, f"{reconf:.4f}", f"{static:.4f}"])
+    _write(
+        p2,
+        "Fig 15b: goodput vs slice size at 97% system availability",
+        ["server_availability", "slice_tpus", "reconfigurable", "static"],
+        rows,
+    )
+    return [p1, p2]
+
+
+def export_table2(out: Path) -> List[Path]:
+    """Step time of every feasible shape for each LLM (the search surface)."""
+    search = SliceShapeSearch(TrainingStepModel())
+    path = out / "table2_shape_surface.csv"
+    rows = []
+    for key in ("llm0", "llm1", "llm2"):
+        model = LLM_ZOO[key]
+        for shape, t in search.ranked(model, top=10_000):
+            rows.append(
+                [model.name, f"{shape[0]}x{shape[1]}x{shape[2]}", f"{t:.3f}"]
+            )
+    _write(
+        path,
+        "Table 2: step time (s) of every feasible slice shape per model",
+        ["model", "shape", "step_time_s"],
+        rows,
+    )
+    return [path]
+
+
+EXPORTERS = {
+    "fig10": export_fig10,
+    "fig11": export_fig11,
+    "fig12": export_fig12,
+    "fig13": export_fig13,
+    "fig15": export_fig15,
+    "table2": export_table2,
+}
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description="Export figure data as CSV.")
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument(
+        "--only",
+        choices=sorted(EXPORTERS),
+        nargs="*",
+        help="export a subset (default: everything)",
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for name in args.only or sorted(EXPORTERS):
+        written += EXPORTERS[name](out)
+    for path in written:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

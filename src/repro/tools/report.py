@@ -1,0 +1,147 @@
+"""One-shot experiment report: every headline number, one command.
+
+``python -m repro.tools.report`` regenerates the paper's headline results
+without the pytest harness -- the quickest way for a reader to see the
+reproduction in one screen.  (The full per-figure benchmarks live in
+``benchmarks/``.)
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Sequence
+
+from repro.analysis.tables import render_table
+from repro.availability.goodput import GoodputModel
+from repro.availability.model import TRANSCEIVER_TECHS, fabric_availability
+from repro.dcn.blocks import AggregationBlock
+from repro.dcn.clos import ClosFabric
+from repro.dcn.costmodel import DcnCostModel
+from repro.dcn.spinefree import SpineFreeFabric
+from repro.ml.models import LLM_ZOO
+from repro.ml.perfmodel import TrainingStepModel
+from repro.ml.shape_search import SliceShapeSearch
+from repro.ocs.optics_model import summarize_insertion_loss
+from repro.ocs.palomar import PalomarOcs
+from repro.optics.ber import LinkBerSimulator
+from repro.optics.fleet import FleetBerSampler
+from repro.tpu.costmodel import FABRIC_KINDS, FabricCostModel
+
+
+def _section(title: str) -> None:
+    print()
+    print("#" * 72)
+    print(f"# {title}")
+    print("#" * 72)
+
+
+def report_ocs() -> None:
+    _section("Palomar OCS optics (Fig 10)")
+    ocs = PalomarOcs.build(seed=42)
+    s = summarize_insertion_loss(ocs.insertion_loss_matrix_db())
+    rl = ocs.return_loss_profile_db()
+    print(render_table(
+        ["metric", "paper", "measured"],
+        [
+            ["insertion loss (median)", "< 2 dB", f"{s['median_db']:.2f} dB"],
+            ["insertion loss (p99)", "~3 dB", f"{s['p99_db']:.2f} dB"],
+            ["return loss (median)", "-46 dB", f"{float(sorted(rl)[len(rl)//2]):.1f} dB"],
+        ],
+    ))
+
+
+def report_dsp() -> None:
+    _section("Transceiver DSP (Figs 11-13)")
+    sim = LinkBerSimulator()
+    fleet = FleetBerSampler(num_ports=2048, seed=7).summarize()
+    print(render_table(
+        ["metric", "paper", "measured"],
+        [
+            ["OIM gain @ MPI -32 dB", "> 1 dB", f"{sim.oim_sensitivity_gain_db(-32.0):.2f} dB"],
+            ["SFEC gain @ MPI -32 dB", "1.6 dB", f"{sim.sfec_sensitivity_gain_db(-32.0):.2f} dB"],
+            ["fleet lanes < 2e-4", "all", str(fleet["all_below_threshold"])],
+            ["fleet worst margin", "~2 decades", f"{fleet['worst_margin_decades']:.1f} decades"],
+        ],
+    ))
+
+
+def report_table1() -> None:
+    _section("Superpod fabric cost/power (Table 1)")
+    table = FabricCostModel().relative_table()
+    paper = {"dcn": "1.24x / 1.10x", "lightwave": "1.06x / 1.01x", "static": "1.00x / 1.00x"}
+    print(render_table(
+        ["fabric", "paper", "measured"],
+        [
+            [k, paper[k], f"{table[k][0]:.2f}x / {table[k][1]:.2f}x"]
+            for k in FABRIC_KINDS
+        ],
+    ))
+
+
+def report_table2() -> None:
+    _section("LLM slice shapes (Table 2)")
+    search = SliceShapeSearch(TrainingStepModel())
+    paper = {"llm0": "8x16x32 (1.54x)", "llm1": "4x4x256 (3.32x)", "llm2": "16x16x16 (1.00x)"}
+    rows: List[Sequence[object]] = []
+    for key in ("llm0", "llm1", "llm2"):
+        r = search.search(LLM_ZOO[key])
+        rows.append([
+            r.model.name,
+            paper[key],
+            "x".join(map(str, r.best_shape)) + f" ({r.speedup_vs_baseline:.2f}x)",
+        ])
+    print(render_table(["model", "paper", "measured"], rows))
+
+
+def report_fig15() -> None:
+    _section("Availability and goodput (Fig 15)")
+    rows = [
+        [
+            TRANSCEIVER_TECHS[k].name,
+            TRANSCEIVER_TECHS[k].num_ocses,
+            f"{fabric_availability(TRANSCEIVER_TECHS[k].num_ocses, 0.999):.1%}",
+        ]
+        for k in ("cwdm4_duplex", "cwdm4_bidi", "cwdm8_bidi")
+    ]
+    print(render_table(["technology", "OCSes", "fabric availability"], rows))
+    model = GoodputModel()
+    curve = model.curve(0.999, slice_cubes=(16, 32))
+    print(render_table(
+        ["slice", "reconfigurable", "static", "paper"],
+        [
+            ["1024 TPUs", f"{curve[16][0]:.0%}", f"{curve[16][1]:.0%}", "75% vs 25%"],
+            ["2048 TPUs", f"{curve[32][0]:.0%}", f"{curve[32][1]:.0%}", "50%"],
+        ],
+    ))
+
+
+def report_dcn() -> None:
+    _section("Spine-free DCN (Fig 1)")
+    blocks = [AggregationBlock(i, uplinks=64) for i in range(64)]
+    savings = DcnCostModel().savings(
+        ClosFabric(blocks, num_spines=16), SpineFreeFabric.uniform(blocks)
+    )
+    print(render_table(
+        ["metric", "paper", "measured"],
+        [
+            ["CapEx saving", "30%", f"{savings['capex_saving']:.1%}"],
+            ["power saving", "41%", f"{savings['power_saving']:.1%}"],
+        ],
+    ))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    del argv
+    print("Lightwave Fabrics reproduction -- headline report")
+    report_ocs()
+    report_dsp()
+    report_table1()
+    report_table2()
+    report_fig15()
+    report_dcn()
+    print("\nFull per-figure harness: pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

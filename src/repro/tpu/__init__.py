@@ -1,0 +1,45 @@
+"""The TPU v4 superpod: cubes, OCS wiring, and 3D-torus slices.
+
+Reproduces Appendix A and §4.2: 64 chips per 4x4x4 electrically-wired
+cube, 64 cubes optically cross-connected by 48 Palomar OCSes (the "+" and
+"-" faces of each dimension/index pair land on the same OCS), and
+dynamically composed 3D-torus slices of any X x Y x Z cube shape.
+"""
+
+from repro.tpu.chip import TpuChip, TpuHost, TPU_V4_BF16_TFLOPS
+from repro.tpu.cube import Cube, CUBE_DIM, CHIPS_PER_CUBE, FACE_PORTS
+from repro.tpu.slice_topology import SliceTopology
+from repro.tpu.superpod import Superpod, NUM_CUBES, NUM_OCSES
+from repro.tpu.routing import torus_route, torus_hop_distance, torus_bisection_links
+from repro.tpu.ici import IciSpec
+from repro.tpu.costmodel import FabricCostModel, FABRIC_KINDS
+from repro.tpu.higher_torus import compare_dimensionalities, near_cubic_shape
+from repro.tpu.routing_tables import Egress, RoutingTable, build_routing_table
+from repro.tpu.degradation import ocs_failure_impact, worst_case_step_degradation
+
+__all__ = [
+    "TpuChip",
+    "TpuHost",
+    "TPU_V4_BF16_TFLOPS",
+    "Cube",
+    "CUBE_DIM",
+    "CHIPS_PER_CUBE",
+    "FACE_PORTS",
+    "SliceTopology",
+    "Superpod",
+    "NUM_CUBES",
+    "NUM_OCSES",
+    "torus_route",
+    "torus_hop_distance",
+    "torus_bisection_links",
+    "IciSpec",
+    "FabricCostModel",
+    "FABRIC_KINDS",
+    "compare_dimensionalities",
+    "near_cubic_shape",
+    "Egress",
+    "RoutingTable",
+    "build_routing_table",
+    "ocs_failure_impact",
+    "worst_case_step_degradation",
+]

@@ -1,0 +1,82 @@
+"""TPU chips and hosts.
+
+Appendix A: each 4x4x4 cube holds 64 TPU v4 chips and 16 CPU hosts (4
+TPUs per host); each host carries one DCN connection.  A full 4096-chip
+superpod exceeds one ExaFLOP of aggregate BF16 compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.errors import ConfigurationError
+
+#: Peak BF16 compute per TPU v4 chip, teraFLOPS.
+TPU_V4_BF16_TFLOPS = 275.0
+
+#: TPU chips attached to one CPU host.
+CHIPS_PER_HOST = 4
+
+#: HBM capacity per chip, GiB (used by the parallelism memory bound).
+HBM_GIB_PER_CHIP = 32.0
+
+
+@dataclass(frozen=True)
+class TpuChip:
+    """One TPU v4 chip at integer coordinates within its cube."""
+
+    cube_index: int
+    x: int
+    y: int
+    z: int
+
+    def __post_init__(self) -> None:
+        for name, v in (("x", self.x), ("y", self.y), ("z", self.z)):
+            if not 0 <= v < 4:
+                raise ConfigurationError(f"chip {name}={v} outside the 4x4x4 cube")
+        if self.cube_index < 0:
+            raise ConfigurationError("cube index must be non-negative")
+
+    @property
+    def coords(self) -> Tuple[int, int, int]:
+        return (self.x, self.y, self.z)
+
+    @property
+    def host_index(self) -> int:
+        """Host within the cube: chips are grouped 4-per-host along x."""
+        linear = self.x + 4 * self.y + 16 * self.z
+        return linear // CHIPS_PER_HOST
+
+    def __str__(self) -> str:
+        return f"tpu[{self.cube_index}]({self.x},{self.y},{self.z})"
+
+
+@dataclass
+class TpuHost:
+    """One CPU host: 4 TPUs and a DCN NIC."""
+
+    cube_index: int
+    index: int
+    healthy: bool = True
+    dcn_gbps: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.index < 0 or self.cube_index < 0:
+            raise ConfigurationError("indices must be non-negative")
+        if self.dcn_gbps <= 0:
+            raise ConfigurationError("DCN bandwidth must be positive")
+
+    @property
+    def num_chips(self) -> int:
+        return CHIPS_PER_HOST
+
+    def __str__(self) -> str:
+        return f"host[{self.cube_index}].{self.index}"
+
+
+def superpod_peak_exaflops(num_chips: int = 4096) -> float:
+    """Aggregate BF16 compute in exaFLOPS (paper: >1 EFLOP at 4096)."""
+    if num_chips <= 0:
+        raise ConfigurationError("need at least one chip")
+    return num_chips * TPU_V4_BF16_TFLOPS / 1e6

@@ -1,0 +1,209 @@
+"""Fabric cost/power comparison for a 4096-TPU superpod (Table 1).
+
+The paper compares three fabrics for connecting 64 elemental cubes,
+normalized to a *static* direct-connect optical topology:
+
+=============  =============  ==============
+fabric         relative cost  relative power
+=============  =============  ==============
+DCN (EPS)      1.24x          1.10x
+Lightwave      1.06x          1.01x
+Static         1x             1x
+=============  =============  ==============
+
+The model is a transparent bill of materials at the *system* level (the
+abstract: the lightwave fabric is "less than 6% of the total system
+cost").  Unit costs/powers are synthetic but in realistic ratios; the
+reproduction target is the relative numbers above.
+
+Common to all fabrics: 64 TPU racks and 3072 x 800G inter-cube face
+connections (64 cubes x 48 connections each, one OSFP module per
+connection).  The fabrics differ in module class, switching equipment,
+and fiber plant:
+
+- **static**: short-reach point-to-point duplex modules, fixed fiber.
+- **lightwave**: bidi modules with integrated circulators (costlier, a
+  little hungrier) plus 48 Palomar OCSes and OCS-rack fiber.
+- **dcn**: an EPS Clos: long-reach duplex modules on the cube side, an
+  aggregation + spine switch fabric with its own transceivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.ocs.palomar import PALOMAR_MAX_POWER_W
+
+#: Fabric kinds compared in Table 1.
+FABRIC_KINDS = ("dcn", "lightwave", "static")
+
+#: Cubes and face connections for the full pod.
+NUM_CUBES = 64
+CONNECTIONS_PER_CUBE = 48
+NUM_CONNECTIONS = NUM_CUBES * CONNECTIONS_PER_CUBE  # 3072 x 800G
+
+#: OCS count with CWDM4 bidi modules (§4.2.2).
+NUM_OCSES = 48
+
+
+@dataclass(frozen=True)
+class BomLine:
+    """One bill-of-materials line."""
+
+    item: str
+    quantity: int
+    unit_cost_usd: float
+    unit_power_w: float
+
+    @property
+    def cost_usd(self) -> float:
+        return self.quantity * self.unit_cost_usd
+
+    @property
+    def power_w(self) -> float:
+        return self.quantity * self.unit_power_w
+
+
+@dataclass
+class FabricCostModel:
+    """Builds and compares the three Table 1 bills of materials.
+
+    The defaults are calibrated so the relative numbers land on the
+    paper's; every knob is exposed for ablation.
+    """
+
+    # TPU compute (identical across fabrics).
+    rack_cost_usd: float = 450_000.0
+    rack_power_w: float = 14_300.0
+
+    # Optical modules per 800G face connection.
+    static_module_cost_usd: float = 400.0
+    static_module_power_w: float = 8.0
+    bidi_module_cost_usd: float = 650.0
+    bidi_module_power_w: float = 9.0
+    dcn_module_cost_usd: float = 450.0
+    dcn_module_power_w: float = 8.0
+
+    # Fiber per connection.
+    static_fiber_cost_usd: float = 60.0
+    ocs_fiber_cost_usd: float = 120.0
+    dcn_fiber_cost_usd: float = 120.0
+
+    # Switching equipment.
+    ocs_cost_usd: float = 18_000.0
+    ocs_power_w: float = PALOMAR_MAX_POWER_W
+    eps_chassis_cost_usd: float = 35_000.0
+    eps_chassis_power_w: float = 280.0
+    eps_ports_per_chassis: int = 128
+
+    def __post_init__(self) -> None:
+        for name in (
+            "rack_cost_usd",
+            "static_module_cost_usd",
+            "bidi_module_cost_usd",
+            "dcn_module_cost_usd",
+            "ocs_cost_usd",
+            "eps_chassis_cost_usd",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Bills of materials
+    # ------------------------------------------------------------------ #
+
+    def _compute_lines(self) -> List[BomLine]:
+        return [BomLine("tpu-rack", NUM_CUBES, self.rack_cost_usd, self.rack_power_w)]
+
+    def bom(self, kind: str) -> List[BomLine]:
+        """The full system BOM for one fabric kind."""
+        lines = self._compute_lines()
+        if kind == "static":
+            lines += [
+                BomLine(
+                    "short-reach module",
+                    NUM_CONNECTIONS,
+                    self.static_module_cost_usd,
+                    self.static_module_power_w,
+                ),
+                BomLine(
+                    "static fiber", NUM_CONNECTIONS, self.static_fiber_cost_usd, 0.0
+                ),
+            ]
+        elif kind == "lightwave":
+            lines += [
+                BomLine(
+                    "bidi module",
+                    NUM_CONNECTIONS,
+                    self.bidi_module_cost_usd,
+                    self.bidi_module_power_w,
+                ),
+                BomLine("ocs fiber", NUM_CONNECTIONS, self.ocs_fiber_cost_usd, 0.0),
+                BomLine("palomar ocs", NUM_OCSES, self.ocs_cost_usd, self.ocs_power_w),
+            ]
+        elif kind == "dcn":
+            # Clos: cube-side modules, two switching layers (aggregation +
+            # spine), a switch-side module on every switch port touched.
+            agg_ports = NUM_CONNECTIONS  # down-links
+            uplinks = NUM_CONNECTIONS  # agg -> spine
+            switch_modules = agg_ports + 2 * uplinks  # agg down + agg up + spine
+            chassis = -(-(agg_ports + uplinks) // self.eps_ports_per_chassis) + -(
+                -uplinks // self.eps_ports_per_chassis
+            )
+            lines += [
+                BomLine(
+                    "long-reach module (cube side)",
+                    NUM_CONNECTIONS,
+                    self.dcn_module_cost_usd,
+                    self.dcn_module_power_w,
+                ),
+                BomLine(
+                    "long-reach module (switch side)",
+                    switch_modules,
+                    self.dcn_module_cost_usd,
+                    self.dcn_module_power_w,
+                ),
+                BomLine("dcn fiber", NUM_CONNECTIONS * 2, self.dcn_fiber_cost_usd, 0.0),
+                BomLine(
+                    "eps chassis", chassis, self.eps_chassis_cost_usd, self.eps_chassis_power_w
+                ),
+            ]
+        else:
+            raise ConfigurationError(
+                f"unknown fabric kind {kind!r}; choose from {FABRIC_KINDS}"
+            )
+        return lines
+
+    def total_cost_usd(self, kind: str) -> float:
+        return sum(l.cost_usd for l in self.bom(kind))
+
+    def total_power_w(self, kind: str) -> float:
+        return sum(l.power_w for l in self.bom(kind))
+
+    def fabric_cost_usd(self, kind: str) -> float:
+        """Cost of the interconnect alone (everything but TPU racks)."""
+        return sum(l.cost_usd for l in self.bom(kind) if l.item != "tpu-rack")
+
+    # ------------------------------------------------------------------ #
+    # Table 1
+    # ------------------------------------------------------------------ #
+
+    def relative_table(self) -> Dict[str, Tuple[float, float]]:
+        """{kind: (relative cost, relative power)} normalized to static."""
+        base_cost = self.total_cost_usd("static")
+        base_power = self.total_power_w("static")
+        return {
+            kind: (
+                self.total_cost_usd(kind) / base_cost,
+                self.total_power_w(kind) / base_power,
+            )
+            for kind in FABRIC_KINDS
+        }
+
+    def lightwave_premium_fraction(self) -> float:
+        """The abstract's claim, read as the lightwave fabric's *premium*:
+        the extra spend over a static fabric is < 6% of total system cost."""
+        extra = self.total_cost_usd("lightwave") - self.total_cost_usd("static")
+        return extra / self.total_cost_usd("lightwave")

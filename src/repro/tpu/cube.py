@@ -1,0 +1,125 @@
+"""The 4x4x4 elemental cube: one rack of 64 TPUs with optical faces.
+
+Fig 14 / Appendix A: chips within a cube are statically wired electrically;
+each of the six faces exposes 4x4 = 16 optical links, and the "+"/"-" face
+pair of every (dimension, face-position) combination lands on the same OCS
+-- 6 x 16 / 2 = 48 OCS connections per cube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.ids import CubeId
+from repro.tpu.chip import CHIPS_PER_HOST, TpuChip, TpuHost
+
+#: Chips per cube edge.
+CUBE_DIM = 4
+
+#: Chips per cube.
+CHIPS_PER_CUBE = CUBE_DIM ** 3
+
+#: Hosts per cube.
+HOSTS_PER_CUBE = CHIPS_PER_CUBE // CHIPS_PER_HOST
+
+#: Optical links per cube face (4x4).
+FACE_PORTS = CUBE_DIM * CUBE_DIM
+
+#: Torus dimensions.
+DIMS = ("x", "y", "z")
+
+#: Distinct OCS connections per cube: one per (dimension, face position).
+OCS_CONNECTIONS_PER_CUBE = len(DIMS) * FACE_PORTS
+
+
+@dataclass
+class Cube:
+    """One elemental 4x4x4 cube (a single rack)."""
+
+    cube_id: CubeId
+    hosts: List[TpuHost] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.hosts:
+            self.hosts = [
+                TpuHost(cube_index=self.cube_id.index, index=i)
+                for i in range(HOSTS_PER_CUBE)
+            ]
+        if len(self.hosts) != HOSTS_PER_CUBE:
+            raise ConfigurationError(
+                f"cube needs exactly {HOSTS_PER_CUBE} hosts, got {len(self.hosts)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Chips
+    # ------------------------------------------------------------------ #
+
+    def chips(self) -> List[TpuChip]:
+        """All 64 chips with their intra-cube coordinates."""
+        return [
+            TpuChip(self.cube_id.index, x, y, z)
+            for z in range(CUBE_DIM)
+            for y in range(CUBE_DIM)
+            for x in range(CUBE_DIM)
+        ]
+
+    def chip_at(self, x: int, y: int, z: int) -> TpuChip:
+        return TpuChip(self.cube_id.index, x, y, z)
+
+    # ------------------------------------------------------------------ #
+    # Faces
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def face_positions() -> List[Tuple[int, int]]:
+        """The 16 (a, b) positions on any face, row-major."""
+        return [(a, b) for b in range(CUBE_DIM) for a in range(CUBE_DIM)]
+
+    def face_chips(self, dim: str, sign: int) -> List[TpuChip]:
+        """Chips on the given face, ordered to match :meth:`face_positions`.
+
+        ``dim`` in {'x','y','z'}; ``sign`` +1 for the far face (index 3),
+        -1 for the near face (index 0).  Position (a, b) enumerates the two
+        non-``dim`` coordinates in dimension order.
+        """
+        if dim not in DIMS:
+            raise ConfigurationError(f"dim must be one of {DIMS}, got {dim!r}")
+        if sign not in (1, -1):
+            raise ConfigurationError(f"sign must be +1 or -1, got {sign}")
+        fixed = CUBE_DIM - 1 if sign == 1 else 0
+        out: List[TpuChip] = []
+        for a, b in self.face_positions():
+            if dim == "x":
+                out.append(self.chip_at(fixed, a, b))
+            elif dim == "y":
+                out.append(self.chip_at(a, fixed, b))
+            else:
+                out.append(self.chip_at(a, b, fixed))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Health
+    # ------------------------------------------------------------------ #
+
+    @property
+    def healthy(self) -> bool:
+        """A cube is usable only when all 16 hosts are up (§4.2.2)."""
+        return all(h.healthy for h in self.hosts)
+
+    def fail_host(self, index: int) -> None:
+        self._host(index).healthy = False
+
+    def repair_host(self, index: int) -> None:
+        self._host(index).healthy = True
+
+    def _host(self, index: int) -> TpuHost:
+        if not 0 <= index < len(self.hosts):
+            raise ConfigurationError(
+                f"host {index} out of range [0, {len(self.hosts)})"
+            )
+        return self.hosts[index]
+
+    def __str__(self) -> str:
+        return f"Cube({self.cube_id}, healthy={self.healthy})"

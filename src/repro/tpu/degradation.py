@@ -1,0 +1,106 @@
+"""Single-OCS-failure degradation analysis (§4.2.2).
+
+"A single failure in the set of OCSes that provide full connectivity
+between the elemental cubes will degrade the performance of any slice
+composed of more than one elemental cube."  Each of the 48 OCSes carries
+one of the 16 parallel face positions of one torus dimension, so losing
+one OCS removes 1/16 of every multi-cube slice's inter-cube bandwidth in
+that dimension.
+
+:func:`ocs_failure_impact` maps a failed OCS to the per-slice bandwidth
+loss, and :func:`step_time_degradation` propagates it through the
+training-step model to a throughput hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.ids import OcsId, SliceId
+from repro.ml.parallelism import ParallelismPlan
+from repro.ml.perfmodel import TrainingStepModel
+from repro.tpu.cube import DIMS, FACE_PORTS
+from repro.tpu.slice_topology import SliceTopology
+from repro.tpu.superpod import NUM_OCSES, Superpod
+
+#: Fraction of a dimension's inter-cube links one OCS carries.
+LINKS_PER_OCS_FRACTION = 1.0 / FACE_PORTS
+
+
+def ocs_dimension(ocs_id: OcsId) -> str:
+    """The torus dimension a superpod OCS serves."""
+    if not 0 <= ocs_id.index < NUM_OCSES:
+        raise ConfigurationError(f"{ocs_id} outside the superpod's 48 OCSes")
+    return DIMS[ocs_id.index // FACE_PORTS]
+
+
+@dataclass(frozen=True)
+class SliceDegradation:
+    """Impact of one OCS failure on one slice."""
+
+    slice_id: SliceId
+    dimension: str
+    affected: bool
+    bandwidth_loss_fraction: float
+
+
+def ocs_failure_impact(
+    pod: Superpod, ocs_id: OcsId
+) -> Dict[SliceId, SliceDegradation]:
+    """Per-slice degradation when ``ocs_id`` fails.
+
+    A slice is affected when it has inter-cube traffic in the failed
+    OCS's dimension: extent > 1 in cubes, or the wraparound self-loop of
+    a torus slice (extent 1 with ``wrap=True``) -- both route that
+    dimension's chip rings through the optical fabric.  Affected slices
+    lose 1/16 of that dimension's bandwidth.
+    """
+    dim = ocs_dimension(ocs_id)
+    axis = DIMS.index(dim)
+    out: Dict[SliceId, SliceDegradation] = {}
+    for topology in pod.slices():
+        uses_dim = topology.shape_cubes[axis] > 1 or topology.wrap
+        out[topology.slice_id] = SliceDegradation(
+            slice_id=topology.slice_id,
+            dimension=dim,
+            affected=uses_dim,
+            bandwidth_loss_fraction=LINKS_PER_OCS_FRACTION if uses_dim else 0.0,
+        )
+    return out
+
+
+def step_time_degradation(
+    model_plan: ParallelismPlan,
+    step_model: TrainingStepModel,
+    failed_axis: int,
+) -> float:
+    """Fractional step-time increase from one OCS failure on ``failed_axis``.
+
+    The surviving 15/16 of the dimension's links carry the collective at
+    15/16 of the bandwidth; the returned value is
+    ``t_degraded / t_healthy - 1``.
+    """
+    if failed_axis not in (0, 1, 2):
+        raise ConfigurationError("axis must be 0, 1, or 2")
+    healthy = step_model.step_time_s(model_plan)
+    scale = [1.0, 1.0, 1.0]
+    scale[failed_axis] = 1.0 - LINKS_PER_OCS_FRACTION
+    from dataclasses import replace
+
+    degraded_model = replace(step_model, dim_bandwidth_scale=tuple(scale))
+    degraded = degraded_model.step_time_s(model_plan)
+    return degraded / healthy - 1.0
+
+
+def worst_case_step_degradation(
+    model_plan: ParallelismPlan, step_model: TrainingStepModel
+) -> Tuple[int, float]:
+    """The most damaging single-OCS failure for a plan: (axis, slowdown)."""
+    worst_axis, worst = 0, -1.0
+    for axis in range(3):
+        hit = step_time_degradation(model_plan, step_model, axis)
+        if hit > worst:
+            worst_axis, worst = axis, hit
+    return worst_axis, worst

@@ -1,0 +1,146 @@
+"""Higher-dimensional tori: the §6 future-work scaling study.
+
+§6: "a different use case is supporting higher-dimensional topologies
+such as a 4D or 6D torus that has a larger bisection bandwidth, lower
+latency and greater scalability compared to a 3D torus."
+
+This module generalizes the 3D metrics of :mod:`repro.tpu.routing` to an
+arbitrary number of dimensions and quantifies the claim: for a fixed chip
+count and fixed per-chip link budget, higher-dimensional near-cubic tori
+shorten the diameter and raise bisection — at the price of more ports per
+chip (2 per dimension) and correspondingly more OCSes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+
+Shape = Tuple[int, ...]
+
+
+def _check_shape(shape: Sequence[int]) -> Shape:
+    if not shape or any(s <= 0 for s in shape):
+        raise ConfigurationError(f"shape must be positive extents, got {shape}")
+    return tuple(int(s) for s in shape)
+
+
+def torus_nd_num_chips(shape: Sequence[int]) -> int:
+    shape = _check_shape(shape)
+    n = 1
+    for s in shape:
+        n *= s
+    return n
+
+
+def torus_nd_diameter(shape: Sequence[int]) -> int:
+    """Max shortest-path hops on the N-D torus."""
+    return sum(s // 2 for s in _check_shape(shape))
+
+
+def torus_nd_average_hops(shape: Sequence[int]) -> float:
+    """Mean shortest-path distance between distinct chips (closed form)."""
+    shape = _check_shape(shape)
+
+    def ring_mean(k: int) -> float:
+        if k % 2 == 0:
+            return k / 4.0
+        return (k * k - 1.0) / (4.0 * k)
+
+    n = torus_nd_num_chips(shape)
+    if n == 1:
+        return 0.0
+    return sum(ring_mean(s) for s in shape) * n / (n - 1)
+
+
+def torus_nd_bisection_links(shape: Sequence[int]) -> int:
+    """Links crossing the worst-case bisection (cut the longest dim)."""
+    shape = _check_shape(shape)
+    d_max = max(shape)
+    rings = torus_nd_num_chips(shape) // d_max
+    crossings = 2 if d_max > 2 else d_max
+    return rings * crossings
+
+
+def torus_nd_links_per_chip(shape: Sequence[int]) -> int:
+    """ICI ports per chip: two per dimension with extent > 1 (a dimension
+    of extent 1 degenerates to a self-loop and needs no real port pair)."""
+    shape = _check_shape(shape)
+    return 2 * sum(1 for s in shape if s > 1)
+
+
+def near_cubic_shape(num_chips: int, dims: int) -> Shape:
+    """The most balanced ``dims``-dimensional factorization of ``num_chips``.
+
+    Greedy: repeatedly split off the divisor closest to the remaining
+    geometric mean.
+    """
+    if num_chips <= 0 or dims <= 0:
+        raise ConfigurationError("chips and dims must be positive")
+    shape: List[int] = []
+    remaining = num_chips
+    for i in range(dims, 1, -1):
+        target = remaining ** (1.0 / i)
+        best = 1
+        for d in range(1, remaining + 1):
+            if remaining % d == 0 and abs(d - target) < abs(best - target):
+                best = d
+        shape.append(best)
+        remaining //= best
+    shape.append(remaining)
+    return tuple(sorted(shape))
+
+
+@dataclass(frozen=True)
+class TorusComparison:
+    """Metrics of one torus dimensionality at fixed chip count."""
+
+    dims: int
+    shape: Shape
+    num_chips: int
+    diameter: int
+    average_hops: float
+    bisection_links: int
+    links_per_chip: int
+
+    @property
+    def bisection_per_chip(self) -> float:
+        """Bisection links normalized by chip count (scale-free)."""
+        return self.bisection_links / self.num_chips
+
+
+def compare_dimensionalities(
+    num_chips: int, dims_options: Sequence[int] = (2, 3, 4, 6)
+) -> Dict[int, TorusComparison]:
+    """§6's claim, quantified: metrics per dimensionality at fixed chips."""
+    out: Dict[int, TorusComparison] = {}
+    for dims in dims_options:
+        shape = near_cubic_shape(num_chips, dims)
+        out[dims] = TorusComparison(
+            dims=dims,
+            shape=shape,
+            num_chips=num_chips,
+            diameter=torus_nd_diameter(shape),
+            average_hops=torus_nd_average_hops(shape),
+            bisection_links=torus_nd_bisection_links(shape),
+            links_per_chip=torus_nd_links_per_chip(shape),
+        )
+    return out
+
+
+def ocses_for_torus(
+    shape: Sequence[int], cube_edge: int = 4, face_positions: int = 16
+) -> int:
+    """OCS count for a cube-composed N-D torus.
+
+    Generalizes Appendix A's 3D arithmetic: one OCS per (dimension, face
+    position), with the "+"/"-" faces of each dimension sharing an OCS.
+    A 4x4x4x4 pod of 4-chip-edge hypercubes would need 4 x 16 = 64 OCSes
+    per cube layer -- the port-count pressure behind §6's 300x300 OCS
+    development.
+    """
+    shape = _check_shape(shape)
+    del cube_edge  # geometry fixed by face_positions; kept for clarity
+    return len(shape) * face_positions

@@ -1,0 +1,77 @@
+"""Inter-chip-interconnect (ICI) link parameters and latency accounting.
+
+The ICI is the scale-up fabric (§2.2.1): each TPU v4 chip has two links
+per torus dimension (one per direction).  Within a cube the links are
+electrical; between cubes they ride the lightwave fabric (bidi optics
+through one OCS hop, which adds only fiber propagation -- no packet
+processing, §3.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.core.units import fiber_latency_ns
+
+#: ICI bandwidth per link per direction, Gb/s (TPU v4: 50 GB/s ~ 400 Gb/s).
+ICI_LINK_GBPS = 400.0
+
+#: Per-hop electrical (intra-cube) latency, ns.
+ELECTRICAL_HOP_NS = 25.0
+
+#: Serialization + SerDes + FEC latency added by an optical inter-cube hop,
+#: ns (dominated by the inner soft FEC's <20 ns plus DSP).
+OPTICAL_HOP_EXTRA_NS = 30.0
+
+
+@dataclass(frozen=True)
+class IciSpec:
+    """Link-level ICI parameters for one deployment."""
+
+    link_gbps: float = ICI_LINK_GBPS
+    electrical_hop_ns: float = ELECTRICAL_HOP_NS
+    optical_hop_extra_ns: float = OPTICAL_HOP_EXTRA_NS
+    inter_cube_fiber_m: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.link_gbps <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+        if min(self.electrical_hop_ns, self.optical_hop_extra_ns) < 0:
+            raise ConfigurationError("latencies must be non-negative")
+        if self.inter_cube_fiber_m < 0:
+            raise ConfigurationError("fiber length must be non-negative")
+
+    @property
+    def link_bytes_per_s(self) -> float:
+        return self.link_gbps * 1e9 / 8.0
+
+    def hop_latency_ns(self, crosses_cube_boundary: bool) -> float:
+        """Latency of one torus hop.
+
+        An intra-cube hop is purely electrical; an inter-cube hop adds
+        fiber propagation (to the OCS rack and back) plus optical SerDes/FEC
+        overhead -- but no queuing or packet processing.
+        """
+        if not crosses_cube_boundary:
+            return self.electrical_hop_ns
+        return (
+            self.electrical_hop_ns
+            + self.optical_hop_extra_ns
+            + fiber_latency_ns(self.inter_cube_fiber_m)
+        )
+
+    def path_latency_ns(self, num_hops: int, inter_cube_hops: int) -> float:
+        """End-to-end latency of a multi-hop deterministic route."""
+        if num_hops < 0 or inter_cube_hops < 0 or inter_cube_hops > num_hops:
+            raise ConfigurationError("invalid hop counts")
+        intra = num_hops - inter_cube_hops
+        return intra * self.hop_latency_ns(False) + inter_cube_hops * self.hop_latency_ns(
+            True
+        )
+
+    def transfer_time_us(self, volume_bytes: float) -> float:
+        """Time to push ``volume_bytes`` through one link, microseconds."""
+        if volume_bytes < 0:
+            raise ConfigurationError("volume must be non-negative")
+        return volume_bytes / self.link_bytes_per_s * 1e6

@@ -1,0 +1,135 @@
+"""Deterministic 3D-torus routing and topology metrics.
+
+§4.2.1: "In normal operation, the routing is deterministic and set by the
+slice configuration."  We implement classic dimension-ordered routing with
+shortest-way wraparound, plus the torus metrics (bisection, diameter,
+average hop distance) that drive the slice-shape discussion: the symmetric
+16x16x16 shape maximizes bisection bandwidth among 4096-chip tori.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+
+Coord = Tuple[int, int, int]
+
+
+def _check_shape(shape: Sequence[int]) -> Tuple[int, int, int]:
+    if len(shape) != 3 or any(s <= 0 for s in shape):
+        raise ConfigurationError(f"shape must be three positive extents, got {shape}")
+    return tuple(int(s) for s in shape)  # type: ignore[return-value]
+
+
+def _check_coord(coord: Sequence[int], shape: Sequence[int]) -> None:
+    for c, s in zip(coord, shape):
+        if not 0 <= c < s:
+            raise ConfigurationError(f"coordinate {coord} outside shape {shape}")
+
+
+def torus_ring_distance(a: int, b: int, extent: int) -> int:
+    """Shortest hop count between two positions on a wraparound ring."""
+    if extent <= 0:
+        raise ConfigurationError("extent must be positive")
+    d = abs(a - b) % extent
+    return min(d, extent - d)
+
+
+def torus_hop_distance(src: Coord, dst: Coord, shape: Sequence[int]) -> int:
+    """Shortest-path hop count between two chips on the torus."""
+    shape = _check_shape(shape)
+    _check_coord(src, shape)
+    _check_coord(dst, shape)
+    return sum(torus_ring_distance(a, b, s) for a, b, s in zip(src, dst, shape))
+
+
+def torus_route(src: Coord, dst: Coord, shape: Sequence[int]) -> List[Coord]:
+    """Dimension-ordered route from ``src`` to ``dst`` (inclusive of both).
+
+    Corrects each dimension in x, y, z order, stepping the shortest way
+    around the ring (ties go in the positive direction).
+    """
+    shape = _check_shape(shape)
+    _check_coord(src, shape)
+    _check_coord(dst, shape)
+    path = [tuple(src)]
+    cur = list(src)
+    for axis in range(3):
+        extent = shape[axis]
+        while cur[axis] != dst[axis]:
+            forward = (dst[axis] - cur[axis]) % extent
+            backward = (cur[axis] - dst[axis]) % extent
+            step = 1 if forward <= backward else -1
+            cur[axis] = (cur[axis] + step) % extent
+            path.append(tuple(cur))
+    return path  # type: ignore[return-value]
+
+
+def torus_diameter(shape: Sequence[int]) -> int:
+    """Maximum shortest-path hop count on the torus."""
+    shape = _check_shape(shape)
+    return sum(s // 2 for s in shape)
+
+
+def torus_bisection_links(shape: Sequence[int]) -> int:
+    """Links crossing the worst-case bisection of the torus.
+
+    Cutting perpendicular to the longest dimension severs each of the
+    ``N / d_max`` rings along it in two places (the cut and the
+    wraparound), except that a dimension of extent 1 or 2 has no distinct
+    wraparound; extents <= 2 contribute ``1`` crossing per ring per cut
+    side accordingly.
+    """
+    shape = _check_shape(shape)
+    d_max = max(shape)
+    n = shape[0] * shape[1] * shape[2]
+    rings = n // d_max
+    crossings_per_ring = 2 if d_max > 2 else d_max  # extent 1 -> 1 self-link, 2 -> 2
+    return rings * crossings_per_ring
+
+
+def torus_average_hops(shape: Sequence[int]) -> float:
+    """Mean shortest-path distance between distinct chips.
+
+    Uses the closed form for ring average distance: for extent ``k`` the
+    mean over all ordered pairs (including self) is ``k/4`` for even ``k``
+    and ``(k^2-1)/(4k)`` for odd ``k``; dimensions add.
+    """
+    shape = _check_shape(shape)
+
+    def ring_mean(k: int) -> float:
+        if k % 2 == 0:
+            return k / 4.0
+        return (k * k - 1.0) / (4.0 * k)
+
+    n = shape[0] * shape[1] * shape[2]
+    if n == 1:
+        return 0.0
+    total_mean = sum(ring_mean(s) for s in shape)
+    # Convert from mean over all ordered pairs (incl. self) to distinct pairs.
+    return total_mean * n / (n - 1)
+
+
+def best_bisection_shape(num_chips: int) -> Tuple[int, int, int]:
+    """The 3D-torus shape with the largest bisection for ``num_chips``.
+
+    Searches all factorizations; for 4096 this is the symmetric 16x16x16
+    (the paper's static baseline rationale, §4.2.1).
+    """
+    if num_chips <= 0:
+        raise ConfigurationError("chip count must be positive")
+    best: Tuple[int, Tuple[int, int, int]] = (-1, (num_chips, 1, 1))
+    for a in range(1, num_chips + 1):
+        if num_chips % a:
+            continue
+        rest = num_chips // a
+        for b in range(1, rest + 1):
+            if rest % b:
+                continue
+            c = rest // b
+            shape = tuple(sorted((a, b, c)))
+            links = torus_bisection_links(shape)
+            if links > best[0]:
+                best = (links, shape)  # type: ignore[assignment]
+    return best[1]

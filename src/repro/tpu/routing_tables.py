@@ -1,0 +1,139 @@
+"""Per-chip routing tables for a composed slice.
+
+§3.2.1: "the radix of the OCS, size of an elemental compute building
+block, and the size of the routing table that can be supported determine
+the overall size of the TPU Superpod."  §4.2.1: "the routing is
+deterministic and set by the slice configuration."
+
+This module materializes that state: for a slice's chip-level torus it
+builds each chip's dimension-ordered routing table (destination ->
+egress port), validates full reachability, and reports the table-size
+scaling that constrains pod growth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError, TopologyError
+from repro.tpu.routing import torus_hop_distance, torus_ring_distance
+
+Coord = Tuple[int, int, int]
+
+
+class Egress(enum.Enum):
+    """The six ICI ports of a chip (one per direction per dimension)."""
+
+    X_PLUS = "x+"
+    X_MINUS = "x-"
+    Y_PLUS = "y+"
+    Y_MINUS = "y-"
+    Z_PLUS = "z+"
+    Z_MINUS = "z-"
+    LOCAL = "local"
+
+
+_AXIS_PORTS = {
+    0: (Egress.X_PLUS, Egress.X_MINUS),
+    1: (Egress.Y_PLUS, Egress.Y_MINUS),
+    2: (Egress.Z_PLUS, Egress.Z_MINUS),
+}
+
+
+def _check_shape(shape: Sequence[int]) -> Tuple[int, int, int]:
+    if len(shape) != 3 or any(s <= 0 for s in shape):
+        raise ConfigurationError(f"shape must be three positive extents, got {shape}")
+    return tuple(int(s) for s in shape)  # type: ignore[return-value]
+
+
+def next_hop(src: Coord, dst: Coord, shape: Sequence[int]) -> Egress:
+    """Dimension-ordered next hop from ``src`` toward ``dst``.
+
+    Corrects x first, then y, then z, stepping the shortest way around
+    each ring (ties go positive) -- matching
+    :func:`repro.tpu.routing.torus_route`.
+    """
+    shape = _check_shape(shape)
+    for axis in range(3):
+        if src[axis] == dst[axis]:
+            continue
+        extent = shape[axis]
+        forward = (dst[axis] - src[axis]) % extent
+        backward = (src[axis] - dst[axis]) % extent
+        plus, minus = _AXIS_PORTS[axis]
+        return plus if forward <= backward else minus
+    return Egress.LOCAL
+
+
+@dataclass(frozen=True)
+class RoutingTable:
+    """One chip's destination -> egress map."""
+
+    chip: Coord
+    shape: Tuple[int, int, int]
+    entries: Dict[Coord, Egress]
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    def egress_for(self, dst: Coord) -> Egress:
+        try:
+            return self.entries[tuple(dst)]
+        except KeyError:
+            raise TopologyError(f"{dst} is not a destination in this slice") from None
+
+
+def build_routing_table(chip: Coord, shape: Sequence[int]) -> RoutingTable:
+    """All-destination dimension-ordered table for one chip."""
+    shape = _check_shape(shape)
+    entries: Dict[Coord, Egress] = {}
+    for x in range(shape[0]):
+        for y in range(shape[1]):
+            for z in range(shape[2]):
+                dst = (x, y, z)
+                entries[dst] = next_hop(chip, dst, shape)
+    return RoutingTable(chip=tuple(chip), shape=shape, entries=entries)
+
+
+def walk_route(src: Coord, dst: Coord, shape: Sequence[int], max_hops: int = 10_000) -> List[Coord]:
+    """Follow the distributed tables hop by hop from ``src`` to ``dst``.
+
+    This is the reachability check: every chip consults *its own* table,
+    exactly as the deterministic hardware routing would.
+    """
+    shape = _check_shape(shape)
+    path = [tuple(src)]
+    cur = tuple(src)
+    for _ in range(max_hops):
+        if cur == tuple(dst):
+            return path
+        egress = next_hop(cur, dst, shape)
+        if egress is Egress.LOCAL:
+            raise TopologyError(f"table at {cur} claims local for remote {dst}")
+        axis = {"x": 0, "y": 1, "z": 2}[egress.value[0]]
+        step = 1 if egress.value[1] == "+" else -1
+        nxt = list(cur)
+        nxt[axis] = (nxt[axis] + step) % shape[axis]
+        cur = tuple(nxt)
+        path.append(cur)
+    raise TopologyError(f"route {src} -> {dst} did not converge in {max_hops} hops")
+
+
+def table_entries_per_chip(shape: Sequence[int]) -> int:
+    """Routing-table size a chip needs for a slice: one entry per chip."""
+    shape = _check_shape(shape)
+    return shape[0] * shape[1] * shape[2]
+
+
+def max_pod_for_table_size(table_capacity: int, cube_chips: int = 64) -> int:
+    """Largest pod (in cubes) a given routing-table capacity supports.
+
+    The §3.2.1 constraint: with one entry per destination chip, table
+    capacity caps the slice (and hence pod) size.
+    """
+    if table_capacity <= 0 or cube_chips <= 0:
+        raise ConfigurationError("capacity and cube size must be positive")
+    return table_capacity // cube_chips

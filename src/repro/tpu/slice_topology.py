@@ -1,0 +1,179 @@
+"""Slice topologies: X x Y x Z cube arrangements forming 3D tori.
+
+§4.2: the scheduler composes slices from whole cubes; a full 4096-chip pod
+supports chip shapes from the symmetric 16x16x16 to the highly asymmetric
+4x4x256, always in multiples of the 4-chip cube edge.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError, TopologyError
+from repro.core.ids import CubeId, SliceId
+from repro.tpu.cube import CHIPS_PER_CUBE, CUBE_DIM, DIMS
+
+CubeCoord = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class SliceTopology:
+    """One composed slice: a cube-shape plus the cubes filling it.
+
+    ``shape_cubes`` is the torus extent in cubes per dimension;
+    ``assignment`` maps each logical cube coordinate to a physical cube.
+    """
+
+    slice_id: SliceId
+    shape_cubes: Tuple[int, int, int]
+    assignment: Tuple[Tuple[CubeCoord, CubeId], ...]
+    wrap: bool = True
+
+    def __post_init__(self) -> None:
+        if any(s <= 0 for s in self.shape_cubes):
+            raise ConfigurationError(f"shape must be positive, got {self.shape_cubes}")
+        expected = set(itertools.product(*(range(s) for s in self.shape_cubes)))
+        coords = [c for c, _ in self.assignment]
+        if len(coords) != len(set(coords)):
+            raise ConfigurationError("duplicate logical coordinates in assignment")
+        if set(coords) != expected:
+            raise ConfigurationError(
+                f"assignment covers {len(coords)} coords, need {len(expected)}"
+            )
+        cubes = [cid for _, cid in self.assignment]
+        if len(cubes) != len(set(cubes)):
+            raise ConfigurationError("a physical cube appears twice in the slice")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def compose(
+        cls,
+        slice_id: SliceId,
+        shape_cubes: Sequence[int],
+        cubes: Sequence[CubeId],
+        wrap: bool = True,
+    ) -> "SliceTopology":
+        """Fill the shape with ``cubes`` in row-major logical order."""
+        shape = tuple(int(s) for s in shape_cubes)
+        if len(shape) != 3:
+            raise ConfigurationError(f"shape must have 3 dims, got {shape}")
+        needed = shape[0] * shape[1] * shape[2]
+        if len(cubes) != needed:
+            raise ConfigurationError(
+                f"shape {shape} needs {needed} cubes, got {len(cubes)}"
+            )
+        coords = list(
+            itertools.product(range(shape[0]), range(shape[1]), range(shape[2]))
+        )
+        return cls(
+            slice_id=slice_id,
+            shape_cubes=shape,
+            assignment=tuple(zip(coords, cubes)),
+            wrap=wrap,
+        )
+
+    @classmethod
+    def chip_shape_to_cube_shape(
+        cls, chip_shape: Sequence[int]
+    ) -> Tuple[int, int, int]:
+        """Convert a chip-level shape (e.g. 4x4x256) to cubes (1x1x64)."""
+        if len(chip_shape) != 3:
+            raise ConfigurationError(f"chip shape must have 3 dims, got {chip_shape}")
+        out = []
+        for s in chip_shape:
+            if s % CUBE_DIM != 0 or s <= 0:
+                raise ConfigurationError(
+                    f"chip extent {s} is not a positive multiple of {CUBE_DIM}"
+                )
+            out.append(s // CUBE_DIM)
+        return tuple(out)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_cubes(self) -> int:
+        return len(self.assignment)
+
+    @property
+    def num_chips(self) -> int:
+        return self.num_cubes * CHIPS_PER_CUBE
+
+    @property
+    def chip_shape(self) -> Tuple[int, int, int]:
+        """Torus extent in chips per dimension."""
+        return tuple(s * CUBE_DIM for s in self.shape_cubes)  # type: ignore[return-value]
+
+    @property
+    def cube_ids(self) -> Tuple[CubeId, ...]:
+        return tuple(cid for _, cid in self.assignment)
+
+    def cube_at(self, coord: CubeCoord) -> CubeId:
+        for c, cid in self.assignment:
+            if c == coord:
+                return cid
+        raise TopologyError(f"no cube at logical coordinate {coord}")
+
+    # ------------------------------------------------------------------ #
+    # Torus structure
+    # ------------------------------------------------------------------ #
+
+    def rings(self, dim: str) -> List[List[CubeId]]:
+        """The cube rings along ``dim``: each is an ordered wraparound cycle.
+
+        For dimension extent 1 the ring is a single cube whose "+" face
+        loops back to its own "-" face.
+        """
+        if dim not in DIMS:
+            raise ConfigurationError(f"dim must be one of {DIMS}, got {dim!r}")
+        axis = DIMS.index(dim)
+        extent = self.shape_cubes[axis]
+        other = [i for i in range(3) if i != axis]
+        lookup: Dict[CubeCoord, CubeId] = dict(self.assignment)
+        out: List[List[CubeId]] = []
+        for u in range(self.shape_cubes[other[0]]):
+            for v in range(self.shape_cubes[other[1]]):
+                ring = []
+                for w in range(extent):
+                    coord = [0, 0, 0]
+                    coord[axis] = w
+                    coord[other[0]] = u
+                    coord[other[1]] = v
+                    ring.append(lookup[tuple(coord)])
+                out.append(ring)
+        return out
+
+    def inter_cube_links(self) -> List[Tuple[str, CubeId, CubeId]]:
+        """All (dim, from_cube, to_cube) edges: "+" face of ``from``
+        connects to "-" face of ``to``.
+
+        With ``wrap=True`` (the default) every line closes into a torus
+        ring; ``wrap=False`` yields a mesh (§4.2: *most* slices are tori
+        -- the mesh option models the rest, trading wraparound links for
+        lower fabric usage at halved edge-dimension bandwidth).
+        """
+        links = []
+        for dim in DIMS:
+            for ring in self.rings(dim):
+                n = len(ring)
+                last = n if self.wrap else n - 1
+                for i in range(last):
+                    links.append((dim, ring[i], ring[(i + 1) % n]))
+        return links
+
+    def __iter__(self) -> Iterator[Tuple[CubeCoord, CubeId]]:
+        return iter(self.assignment)
+
+    def __str__(self) -> str:
+        cx, cy, cz = self.chip_shape
+        kind = "torus" if self.wrap else "mesh"
+        return (
+            f"Slice({self.slice_id}, {cx}x{cy}x{cz} chips, "
+            f"{self.num_cubes} cubes, {kind})"
+        )

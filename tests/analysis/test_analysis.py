@@ -1,0 +1,61 @@
+"""Tests for repro.analysis."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.analysis.histogram import ascii_histogram, percentile_summary
+from repro.analysis.tables import render_table
+
+
+class TestHistogram:
+    def test_renders_bins(self):
+        out = ascii_histogram([1, 1, 2, 3, 3, 3], bins=3, width=10)
+        assert out.count("\n") == 2
+        assert "#" in out
+
+    def test_counts_sum(self):
+        out = ascii_histogram(list(range(100)), bins=4)
+        totals = [int(line.rsplit(" ", 1)[1]) for line in out.splitlines()]
+        assert sum(totals) == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([])
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([1.0], bins=0)
+
+
+class TestPercentiles:
+    def test_keys(self):
+        s = percentile_summary(list(range(101)))
+        assert s["p50"] == pytest.approx(50.0)
+        assert s["min"] == 0 and s["max"] == 100
+        assert s["mean"] == pytest.approx(50.0)
+
+    def test_custom_percentiles(self):
+        s = percentile_summary([1, 2, 3], percentiles=(50,))
+        assert "p50" in s and "p99" not in s
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile_summary([])
+
+
+class TestTable:
+    def test_renders(self):
+        out = render_table(["a", "bb"], [[1, 2], [30, 40]], title="T")
+        assert "T" in out
+        assert "a" in out and "30" in out
+
+    def test_alignment(self):
+        out = render_table(["col"], [["x"], ["longer"]])
+        lines = out.splitlines()
+        assert len(set(len(l) for l in lines if "|" not in l or True)) >= 1
+
+    def test_row_width_checked(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_needs_columns(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])

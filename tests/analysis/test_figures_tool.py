@@ -1,0 +1,57 @@
+"""Tests for the CSV figure exporter."""
+
+import csv
+
+import pytest
+
+from repro.tools.figures import EXPORTERS, main
+
+
+class TestExporters:
+    def test_all_figures_registered(self):
+        assert set(EXPORTERS) == {"fig10", "fig11", "fig12", "fig13", "fig15", "table2"}
+
+    def test_fig15_export(self, tmp_path):
+        paths = EXPORTERS["fig15"](tmp_path)
+        assert len(paths) == 2
+        with paths[1].open() as f:
+            assert f.readline().startswith("#")
+            rows = list(csv.DictReader(f))
+        anchor = [
+            r for r in rows
+            if r["server_availability"] == "0.999" and r["slice_tpus"] == "1024"
+        ]
+        assert float(anchor[0]["reconfigurable"]) == pytest.approx(0.75)
+        assert float(anchor[0]["static"]) == pytest.approx(0.25)
+
+    def test_fig10_export_counts(self, tmp_path):
+        paths = EXPORTERS["fig10"](tmp_path)
+        with paths[0].open() as f:
+            f.readline()
+            rows = list(csv.reader(f))
+        assert len(rows) - 1 == 136 * 136  # header + all paths
+
+    def test_fig11_monotone_columns(self, tmp_path):
+        (path,) = EXPORTERS["fig11"](tmp_path)
+        with path.open() as f:
+            f.readline()
+            rows = list(csv.DictReader(f))
+        clean = [float(r["ber_mpi_none_oim_off"]) for r in rows]
+        assert clean == sorted(clean, reverse=True)
+
+    def test_cli_subset(self, tmp_path, capsys):
+        assert main(["--out", str(tmp_path), "--only", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12_sfec_curves.csv" in out
+        assert (tmp_path / "fig12_sfec_curves.csv").exists()
+        assert not (tmp_path / "fig13_fleet_ber.csv").exists()
+
+    def test_table2_surface_contains_optima(self, tmp_path):
+        (path,) = EXPORTERS["table2"](tmp_path)
+        with path.open() as f:
+            f.readline()
+            rows = list(csv.DictReader(f))
+        llm1 = [r for r in rows if r["model"] == "LLM1"]
+        best = min(llm1, key=lambda r: float(r["step_time_s"]))
+        # The canonical-split search surface exposes the optimal class.
+        assert best["shape"].startswith("4x")

@@ -1,0 +1,12 @@
+"""Smoke test for the headline report CLI."""
+
+from repro.tools.report import main
+
+
+def test_report_runs(capsys):
+    assert main() == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "8x16x32" in out
+    assert "CapEx saving" in out
+    assert "Fig 15" in out

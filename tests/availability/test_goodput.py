@@ -1,0 +1,100 @@
+"""Tests for repro.availability.goodput (Fig 15b)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.availability.goodput import (
+    GoodputModel,
+    cube_availability,
+    pooled_holdback,
+    reconfigurable_goodput,
+    spares_for_slice,
+    static_goodput,
+)
+
+
+class TestCubeAvailability:
+    def test_sixteen_hosts(self):
+        assert cube_availability(0.999) == pytest.approx(0.999 ** 16)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cube_availability(0.0)
+        with pytest.raises(ConfigurationError):
+            cube_availability(1.1)
+
+
+class TestPaperAnchors:
+    """The quantitative claims of §4.2.2."""
+
+    def test_1024_slice_at_999(self):
+        """99.9% servers: static 25% vs reconfigurable 75% at 1024 TPUs."""
+        assert reconfigurable_goodput(16, 0.999) == pytest.approx(0.75)
+        assert static_goodput(16, 0.999) == pytest.approx(0.25)
+
+    def test_1024_converges_999_and_995(self):
+        """Green and red curves converge to 75% at 1024 TPUs."""
+        assert reconfigurable_goodput(16, 0.999) == reconfigurable_goodput(16, 0.995)
+
+    def test_1024_at_99_only_two_slices(self):
+        """99% servers: only two 1024 slices -> 50%."""
+        assert reconfigurable_goodput(16, 0.99) == pytest.approx(0.50)
+
+    def test_2048_always_50(self):
+        """Half-pod slices: exactly one composable regardless of servers."""
+        for sa in (0.999, 0.995, 0.99):
+            assert reconfigurable_goodput(32, sa) == pytest.approx(0.50)
+
+    def test_single_cube_same_for_both_fabrics(self):
+        """No reconfiguration within a cube: identical goodput."""
+        for sa in (0.999, 0.995, 0.99):
+            assert reconfigurable_goodput(1, sa) == static_goodput(1, sa)
+
+    def test_goodput_rises_with_server_availability(self):
+        assert reconfigurable_goodput(1, 0.999) > reconfigurable_goodput(1, 0.99)
+
+    def test_static_degrades_faster_than_reconfigurable(self):
+        """Fig 15b: dashed (static) falls away from solid as slices grow."""
+        for sa in (0.999, 0.995):
+            assert static_goodput(16, sa) < reconfigurable_goodput(16, sa)
+            assert static_goodput(32, sa) < reconfigurable_goodput(32, sa)
+
+
+class TestMechanics:
+    def test_spares_grow_with_failure_rate(self):
+        a_good = cube_availability(0.999)
+        a_bad = cube_availability(0.99)
+        assert spares_for_slice(16, a_bad) > spares_for_slice(16, a_good)
+
+    def test_holdback_grows_with_failure_rate(self):
+        assert pooled_holdback(64, cube_availability(0.99)) > pooled_holdback(
+            64, cube_availability(0.999)
+        )
+
+    def test_perfect_cubes_no_spares(self):
+        assert spares_for_slice(16, 1.0) == 0
+        assert reconfigurable_goodput(16, 1.0) == pytest.approx(1.0)
+
+    def test_static_zero_when_unattainable(self):
+        assert static_goodput(32, 0.99) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            reconfigurable_goodput(0, 0.999)
+        with pytest.raises(ConfigurationError):
+            static_goodput(65, 0.999)
+
+
+class TestGoodputModel:
+    def test_curve_keys(self):
+        model = GoodputModel()
+        curve = model.curve(0.999, slice_cubes=(1, 16, 32))
+        assert set(curve) == {1, 16, 32}
+        assert curve[16] == (pytest.approx(0.75), pytest.approx(0.25))
+
+    def test_advantage_3x(self):
+        """Abstract: up to 3x better system availability/goodput."""
+        assert GoodputModel().advantage(16, 0.999) == pytest.approx(3.0)
+
+    def test_advantage_infinite_when_static_zero(self):
+        assert GoodputModel().advantage(32, 0.99) == float("inf")

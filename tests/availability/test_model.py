@@ -1,0 +1,71 @@
+"""Tests for repro.availability.model (Fig 15a)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.availability.model import (
+    TRANSCEIVER_TECHS,
+    TransceiverTech,
+    fabric_availability,
+    fig15a_curves,
+    ocses_required,
+)
+
+
+class TestOcsCounts:
+    def test_paper_counts(self):
+        """§4.2.2: 96 OCSes duplex, 48 CWDM4 bidi, 24 CWDM8 bidi."""
+        assert ocses_required(TRANSCEIVER_TECHS["cwdm4_duplex"]) == 96
+        assert ocses_required(TRANSCEIVER_TECHS["cwdm4_bidi"]) == 48
+        assert ocses_required(TRANSCEIVER_TECHS["cwdm8_bidi"]) == 24
+
+    def test_bidi_halves_ocses(self):
+        duplex = TRANSCEIVER_TECHS["cwdm4_duplex"].num_ocses
+        bidi = TRANSCEIVER_TECHS["cwdm4_bidi"].num_ocses
+        assert bidi == duplex // 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransceiverTech("bad", strands_per_connection=0)
+
+
+class TestFabricAvailability:
+    def test_fig15a_anchor_points(self):
+        """Paper: 90% / 95% / 98% fabric availability at 99.9% per OCS."""
+        assert fabric_availability(96, 0.999) == pytest.approx(0.908, abs=0.003)
+        assert fabric_availability(48, 0.999) == pytest.approx(0.953, abs=0.003)
+        assert fabric_availability(24, 0.999) == pytest.approx(0.976, abs=0.003)
+
+    def test_perfect_ocs(self):
+        assert fabric_availability(96, 1.0) == 1.0
+
+    def test_monotone_in_ocs_availability(self):
+        assert fabric_availability(48, 0.9999) > fabric_availability(48, 0.999)
+
+    def test_fewer_ocses_better(self):
+        assert fabric_availability(24, 0.999) > fabric_availability(96, 0.999)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fabric_availability(0, 0.999)
+        with pytest.raises(ConfigurationError):
+            fabric_availability(48, 0.0)
+        with pytest.raises(ConfigurationError):
+            fabric_availability(48, 1.1)
+
+
+class TestCurves:
+    def test_fig15a_curve_shapes(self):
+        avails = np.linspace(0.995, 1.0, 11)
+        curves = fig15a_curves(avails)
+        assert set(curves) == set(TRANSCEIVER_TECHS)
+        for arr in curves.values():
+            assert arr.shape == (11,)
+            assert np.all(np.diff(arr) > 0)  # monotone in OCS availability
+
+    def test_cwdm8_dominates(self):
+        avails = np.linspace(0.995, 0.9999, 9)
+        curves = fig15a_curves(avails)
+        assert np.all(curves["cwdm8_bidi"] >= curves["cwdm4_bidi"])
+        assert np.all(curves["cwdm4_bidi"] >= curves["cwdm4_duplex"])

@@ -1,0 +1,51 @@
+"""Tests for repro.availability.montecarlo."""
+
+import pytest
+from scipy.stats import binom
+
+from repro.core.errors import ConfigurationError
+from repro.availability.goodput import cube_availability
+from repro.availability.montecarlo import GoodputMonteCarlo
+
+
+class TestMonteCarlo:
+    def test_cube_availability_matches_analytic(self):
+        mc = GoodputMonteCarlo(server_availability=0.995, seed=1, trials=4000)
+        empirical = mc.empirical_cube_availability()
+        assert empirical == pytest.approx(cube_availability(0.995), abs=0.01)
+
+    def test_reconfigurable_slice_meets_target(self):
+        """The spare pools sized analytically hit >= 97% empirically."""
+        for sa in (0.999, 0.995, 0.99):
+            mc = GoodputMonteCarlo(server_availability=sa, seed=2, trials=20_000)
+            availability, spares = mc.reconfigurable_slice_availability(16)
+            assert availability >= 0.96  # sampling tolerance below 0.97
+            assert spares >= 1
+
+    def test_static_partition_matches_binomial(self):
+        sa = 0.999
+        mc = GoodputMonteCarlo(server_availability=sa, seed=3, trials=30_000)
+        a_cube = cube_availability(sa)
+        q = a_cube ** 16
+        analytic = float(binom.sf(0, 4, q))  # P(at least 1 of 4 slices up)
+        empirical = mc.static_partition_survival(16, k=1)
+        assert empirical == pytest.approx(analytic, abs=0.01)
+
+    def test_static_two_slices_below_target(self):
+        """At 99.9% servers, two static 1024 slices miss the 97% target."""
+        mc = GoodputMonteCarlo(server_availability=0.999, seed=4, trials=30_000)
+        assert mc.static_partition_survival(16, k=2) < 0.97
+
+    def test_deterministic(self):
+        a = GoodputMonteCarlo(0.995, seed=7, trials=2000).empirical_cube_availability()
+        b = GoodputMonteCarlo(0.995, seed=7, trials=2000).empirical_cube_availability()
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GoodputMonteCarlo(server_availability=0.0)
+        with pytest.raises(ConfigurationError):
+            GoodputMonteCarlo(server_availability=0.99, trials=0)
+        mc = GoodputMonteCarlo(server_availability=0.99, trials=10)
+        with pytest.raises(ConfigurationError):
+            mc.static_partition_survival(16, k=-1)

@@ -1,0 +1,160 @@
+"""Tests for repro.core.crossconnect, including bijection property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.crossconnect import CrossConnectMap
+from repro.core.errors import CrossConnectError, PortInUseError
+
+
+class TestBasicOperations:
+    def test_connect_and_query(self):
+        m = CrossConnectMap(8)
+        m.connect(0, 5)
+        assert m.south_of(0) == 5
+        assert m.north_of(5) == 0
+        assert m.num_circuits == 1
+
+    def test_disconnect_returns_south(self):
+        m = CrossConnectMap(8)
+        m.connect(2, 7)
+        assert m.disconnect(2) == 7
+        assert m.num_circuits == 0
+        assert m.south_of(2) is None
+
+    def test_disconnect_missing_raises(self):
+        m = CrossConnectMap(4)
+        with pytest.raises(CrossConnectError):
+            m.disconnect(0)
+
+    def test_double_connect_north_raises(self):
+        m = CrossConnectMap(4)
+        m.connect(0, 1)
+        with pytest.raises(PortInUseError):
+            m.connect(0, 2)
+
+    def test_double_connect_south_raises(self):
+        m = CrossConnectMap(4)
+        m.connect(0, 1)
+        with pytest.raises(PortInUseError):
+            m.connect(2, 1)
+
+    def test_out_of_range_rejected(self):
+        m = CrossConnectMap(4)
+        with pytest.raises(CrossConnectError):
+            m.connect(4, 0)
+        with pytest.raises(CrossConnectError):
+            m.connect(0, -1)
+
+    def test_zero_radix_rejected(self):
+        with pytest.raises(CrossConnectError):
+            CrossConnectMap(0)
+
+    def test_clear(self):
+        m = CrossConnectMap.identity(4)
+        m.clear()
+        assert m.num_circuits == 0
+
+    def test_free_ports(self):
+        m = CrossConnectMap(4)
+        m.connect(1, 2)
+        assert m.free_north == {0, 2, 3}
+        assert m.free_south == {0, 1, 3}
+
+
+class TestConstruction:
+    def test_identity(self):
+        m = CrossConnectMap.identity(5)
+        assert m.is_full_permutation()
+        assert m.as_permutation() == (0, 1, 2, 3, 4)
+
+    def test_from_circuits(self):
+        m = CrossConnectMap.from_circuits(4, {0: 3, 1: 2})
+        assert m.south_of(0) == 3
+        assert m.num_circuits == 2
+
+    def test_from_circuits_conflict_raises(self):
+        with pytest.raises(PortInUseError):
+            CrossConnectMap.from_circuits(4, {0: 3, 1: 3})
+
+    def test_copy_is_independent(self):
+        m = CrossConnectMap.from_circuits(4, {0: 1})
+        c = m.copy()
+        c.connect(2, 3)
+        assert m.num_circuits == 1
+        assert c.num_circuits == 2
+
+    def test_equality(self):
+        a = CrossConnectMap.from_circuits(4, {0: 1, 2: 3})
+        b = CrossConnectMap.from_circuits(4, {2: 3, 0: 1})
+        assert a == b
+        b.disconnect(0)
+        assert a != b
+
+
+class TestPermutation:
+    def test_as_permutation_partial_raises(self):
+        m = CrossConnectMap(4)
+        m.connect(0, 0)
+        with pytest.raises(CrossConnectError):
+            m.as_permutation()
+
+    def test_compose(self):
+        # first: 0->1, 1->0 ; second: 1->2 => composed: 0->2
+        a = CrossConnectMap.from_circuits(4, {0: 1, 1: 0})
+        b = CrossConnectMap.from_circuits(4, {1: 2})
+        c = a.compose(b)
+        assert c.south_of(0) == 2
+        assert c.south_of(1) is None
+
+    def test_compose_radix_mismatch(self):
+        with pytest.raises(CrossConnectError):
+            CrossConnectMap(4).compose(CrossConnectMap(5))
+
+    def test_iteration_sorted(self):
+        m = CrossConnectMap.from_circuits(4, {3: 0, 1: 2})
+        assert list(m) == [(1, 2), (3, 0)]
+
+
+@st.composite
+def circuit_sequences(draw):
+    """Random sequences of (connect|disconnect) operations on a radix-16 map."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["connect", "disconnect"]),
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=15),
+            ),
+            max_size=40,
+        )
+    )
+    return ops
+
+
+class TestBijectionProperty:
+    @given(circuit_sequences())
+    @settings(max_examples=200)
+    def test_always_bijective(self, ops):
+        """The map stays a partial bijection under any operation sequence."""
+        m = CrossConnectMap(16)
+        for op, north, south in ops:
+            try:
+                if op == "connect":
+                    m.connect(north, south)
+                else:
+                    m.disconnect(north)
+            except CrossConnectError:
+                pass  # rejected operations must not corrupt state
+            assert m.is_bijective()
+            # Inverse consistency both ways:
+            for n, s in m.circuits:
+                assert m.north_of(s) == n
+                assert m.south_of(n) == s
+
+    @given(st.permutations(list(range(12))))
+    def test_full_permutation_roundtrip(self, perm):
+        m = CrossConnectMap.from_circuits(12, dict(enumerate(perm)))
+        assert m.is_full_permutation()
+        assert list(m.as_permutation()) == list(perm)

@@ -1,0 +1,117 @@
+"""Tests for repro.core.fabric_manager."""
+
+import pytest
+
+from repro.core.crossconnect import CrossConnectMap
+from repro.core.errors import ConfigurationError, CrossConnectError, TopologyError
+from repro.core.fabric_manager import FabricManager, SimpleSwitch
+from repro.core.ids import LinkId, OcsId
+
+
+@pytest.fixture
+def mgr():
+    m = FabricManager()
+    m.add_switch(OcsId(0), SimpleSwitch(8))
+    m.add_switch(OcsId(1), SimpleSwitch(8))
+    return m
+
+
+class TestInventory:
+    def test_add_and_get(self, mgr):
+        assert mgr.switch(OcsId(0)).radix == 8
+        assert mgr.switch_ids == (OcsId(0), OcsId(1))
+
+    def test_duplicate_rejected(self, mgr):
+        with pytest.raises(ConfigurationError):
+            mgr.add_switch(OcsId(0), SimpleSwitch(8))
+
+    def test_unknown_switch(self, mgr):
+        with pytest.raises(TopologyError):
+            mgr.switch(OcsId(9))
+
+
+class TestLogicalLinks:
+    def test_establish_and_lookup(self, mgr):
+        link = mgr.establish(LinkId("a-b"), OcsId(0), north=1, south=2)
+        assert mgr.link(LinkId("a-b")) == link
+        assert mgr.switch(OcsId(0)).state.south_of(1) == 2
+        assert mgr.num_circuits == 1
+
+    def test_duplicate_link_rejected(self, mgr):
+        mgr.establish(LinkId("x"), OcsId(0), 0, 0)
+        with pytest.raises(ConfigurationError):
+            mgr.establish(LinkId("x"), OcsId(1), 0, 0)
+
+    def test_teardown(self, mgr):
+        mgr.establish(LinkId("x"), OcsId(0), 0, 5)
+        mgr.teardown(LinkId("x"))
+        assert mgr.num_circuits == 0
+        with pytest.raises(TopologyError):
+            mgr.link(LinkId("x"))
+
+    def test_teardown_unknown(self, mgr):
+        with pytest.raises(TopologyError):
+            mgr.teardown(LinkId("nope"))
+
+    def test_links_sorted(self, mgr):
+        mgr.establish(LinkId("b"), OcsId(0), 0, 0)
+        mgr.establish(LinkId("a"), OcsId(0), 1, 1)
+        assert [str(l.link_id) for l in mgr.links] == ["a", "b"]
+
+    def test_verify_links_clean(self, mgr):
+        mgr.establish(LinkId("x"), OcsId(0), 0, 5)
+        assert mgr.verify_links() == ()
+
+    def test_verify_links_detects_missing(self, mgr):
+        mgr.establish(LinkId("x"), OcsId(0), 0, 5)
+        mgr.switch(OcsId(0)).state.disconnect(0)  # out-of-band break
+        assert mgr.verify_links() == (LinkId("x"),)
+
+
+class TestTransactions:
+    def test_reconfigure_applies_targets(self, mgr):
+        target = CrossConnectMap.from_circuits(8, {0: 1, 2: 3})
+        duration = mgr.reconfigure({OcsId(0): target})
+        assert mgr.switch(OcsId(0)).state == target
+        assert duration > 0
+
+    def test_reconfigure_parallel_duration_is_max(self, mgr):
+        t0 = CrossConnectMap.from_circuits(8, {0: 1})
+        t1 = CrossConnectMap.from_circuits(8, {0: 1, 2: 3})
+        duration = mgr.reconfigure({OcsId(0): t0, OcsId(1): t1})
+        plans = mgr.plan({OcsId(0): t0, OcsId(1): t1})
+        # After application both plans are noops; duration returned earlier
+        # equals the max of the individual (equal-batch) plans.
+        assert all(p.is_noop for p in plans.values())
+        assert duration == pytest.approx(15.0)
+
+    def test_reconfigure_radix_mismatch_aborts(self, mgr):
+        bad = CrossConnectMap(16)
+        with pytest.raises(CrossConnectError):
+            mgr.reconfigure({OcsId(0): bad})
+        # No partial application.
+        assert mgr.num_circuits == 0
+
+    def test_reconfigure_drops_stale_links(self, mgr):
+        mgr.establish(LinkId("x"), OcsId(0), 0, 5)
+        target = CrossConnectMap.from_circuits(8, {1: 1})
+        mgr.reconfigure({OcsId(0): target})
+        with pytest.raises(TopologyError):
+            mgr.link(LinkId("x"))
+
+    def test_reconfigure_preserves_matching_links(self, mgr):
+        mgr.establish(LinkId("x"), OcsId(0), 0, 5)
+        target = CrossConnectMap.from_circuits(8, {0: 5, 1: 1})
+        mgr.reconfigure({OcsId(0): target})
+        assert mgr.link(LinkId("x")).south == 5
+
+    def test_stats_recorded(self, mgr):
+        mgr.reconfigure({OcsId(0): CrossConnectMap.from_circuits(8, {0: 1})})
+        assert mgr.stats.transactions == 1
+        assert mgr.stats.circuits_made == 1
+
+    def test_snapshot_is_deep(self, mgr):
+        mgr.establish(LinkId("x"), OcsId(0), 0, 5)
+        snap = mgr.snapshot()
+        snap[OcsId(0)].disconnect(0)
+        assert mgr.switch(OcsId(0)).state.south_of(0) == 5

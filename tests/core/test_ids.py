@@ -1,0 +1,68 @@
+"""Tests for repro.core.ids."""
+
+import pytest
+
+from repro.core.ids import BlockId, CubeId, JobId, LinkId, OcsId, PortId, SliceId
+
+
+class TestOcsId:
+    def test_str(self):
+        assert str(OcsId(7)) == "ocs-7"
+
+    def test_ordering(self):
+        assert OcsId(1) < OcsId(2)
+
+    def test_hashable(self):
+        assert len({OcsId(0), OcsId(0), OcsId(1)}) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OcsId(-1)
+
+
+class TestPortId:
+    def test_str(self):
+        assert str(PortId("N", 3)) == "N3"
+
+    def test_bad_side(self):
+        with pytest.raises(ValueError):
+            PortId("X", 0)
+
+    def test_negative_index(self):
+        with pytest.raises(ValueError):
+            PortId("S", -2)
+
+    def test_equality(self):
+        assert PortId("N", 1) == PortId("N", 1)
+        assert PortId("N", 1) != PortId("S", 1)
+
+
+class TestCubeId:
+    def test_str_padding(self):
+        assert str(CubeId(3)) == "cube-03"
+        assert str(CubeId(63)) == "cube-63"
+
+    def test_sortable(self):
+        ids = [CubeId(5), CubeId(1), CubeId(3)]
+        assert sorted(ids) == [CubeId(1), CubeId(3), CubeId(5)]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CubeId(-4)
+
+
+class TestOtherIds:
+    def test_block_str(self):
+        assert str(BlockId(12)) == "ab-12"
+
+    def test_block_negative(self):
+        with pytest.raises(ValueError):
+            BlockId(-1)
+
+    def test_job_and_slice(self):
+        assert str(JobId("llm0-train")) == "llm0-train"
+        assert str(SliceId("slice-a")) == "slice-a"
+        assert str(LinkId("l1")) == "l1"
+
+    def test_distinct_types_not_equal(self):
+        assert JobId("x") != SliceId("x")

@@ -1,0 +1,128 @@
+"""Tests for repro.core.reconfig."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.crossconnect import CrossConnectMap
+from repro.core.errors import CrossConnectError
+from repro.core.reconfig import ReconfigStats, plan_reconfiguration
+
+
+def _map(radix, circuits):
+    return CrossConnectMap.from_circuits(radix, circuits)
+
+
+class TestPlanning:
+    def test_noop_plan(self):
+        m = _map(8, {0: 1, 2: 3})
+        plan = plan_reconfiguration(m, m.copy())
+        assert plan.is_noop
+        assert plan.duration_ms() == 0.0
+        assert plan.unchanged == frozenset({(0, 1), (2, 3)})
+
+    def test_pure_makes(self):
+        plan = plan_reconfiguration(_map(8, {}), _map(8, {0: 1}))
+        assert plan.makes == frozenset({(0, 1)})
+        assert not plan.breaks
+
+    def test_pure_breaks(self):
+        plan = plan_reconfiguration(_map(8, {0: 1}), _map(8, {}))
+        assert plan.breaks == frozenset({(0, 1)})
+        assert not plan.makes
+
+    def test_hitless_shared_circuits_untouched(self):
+        current = _map(8, {0: 1, 2: 3, 4: 5})
+        target = _map(8, {0: 1, 2: 6, 4: 5})
+        plan = plan_reconfiguration(current, target)
+        assert plan.unchanged == frozenset({(0, 1), (4, 5)})
+        assert plan.breaks == frozenset({(2, 3)})
+        assert plan.makes == frozenset({(2, 6)})
+        assert plan.num_disturbed == 2
+
+    def test_radix_mismatch(self):
+        with pytest.raises(CrossConnectError):
+            plan_reconfiguration(CrossConnectMap(4), CrossConnectMap(8))
+
+    def test_duration_single_batch(self):
+        plan = plan_reconfiguration(_map(8, {}), _map(8, {0: 1, 2: 3}))
+        # One make batch only: overhead + one settle time.
+        assert plan.duration_ms(switch_time_ms=10, control_overhead_ms=5) == 15.0
+
+    def test_duration_two_batches(self):
+        plan = plan_reconfiguration(_map(8, {0: 1}), _map(8, {2: 3}))
+        assert plan.duration_ms(switch_time_ms=10, control_overhead_ms=5) == 25.0
+
+    def test_duration_independent_of_circuit_count(self):
+        small = plan_reconfiguration(_map(64, {}), _map(64, {0: 0}))
+        big = plan_reconfiguration(_map(64, {}), _map(64, {i: i for i in range(64)}))
+        assert small.duration_ms() == big.duration_ms()
+
+
+class TestApply:
+    def test_apply_reaches_target(self):
+        current = _map(8, {0: 1, 2: 3})
+        target = _map(8, {0: 1, 2: 6, 7: 3})
+        plan = plan_reconfiguration(current, target)
+        plan.apply(current)
+        assert current == target
+
+    def test_apply_radix_mismatch(self):
+        plan = plan_reconfiguration(_map(4, {}), _map(4, {0: 1}))
+        with pytest.raises(CrossConnectError):
+            plan.apply(CrossConnectMap(8))
+
+    def test_apply_detects_stale_state(self):
+        current = _map(8, {0: 1})
+        target = _map(8, {0: 2})
+        plan = plan_reconfiguration(current, target)
+        # Mutate behind the plan's back.
+        current.disconnect(0)
+        current.connect(0, 3)
+        with pytest.raises(CrossConnectError):
+            plan.apply(current)
+
+    @given(
+        st.dictionaries(st.integers(0, 11), st.integers(0, 11), max_size=12),
+        st.dictionaries(st.integers(0, 11), st.integers(0, 11), max_size=12),
+    )
+    @settings(max_examples=100)
+    def test_apply_property(self, cur_dict, tgt_dict):
+        """plan(current, target).apply(current) always yields target."""
+
+        def dedup(d):
+            out, used = {}, set()
+            for n, s in sorted(d.items()):
+                if s not in used:
+                    out[n] = s
+                    used.add(s)
+            return out
+
+        current = _map(12, dedup(cur_dict))
+        target = _map(12, dedup(tgt_dict))
+        plan = plan_reconfiguration(current, target)
+        plan.apply(current)
+        assert current == target
+
+
+class TestStats:
+    def test_record_accumulates(self):
+        stats = ReconfigStats()
+        plan = plan_reconfiguration(_map(8, {0: 1, 4: 4}), _map(8, {0: 2, 4: 4}))
+        stats.record(plan, plan.duration_ms())
+        assert stats.transactions == 1
+        assert stats.circuits_broken == 1
+        assert stats.circuits_made == 1
+        assert stats.circuits_preserved == 1
+        assert stats.mean_duration_ms == plan.duration_ms()
+
+    def test_hitless_fraction(self):
+        stats = ReconfigStats()
+        plan = plan_reconfiguration(_map(8, {0: 1, 4: 4, 5: 5}), _map(8, {0: 2, 4: 4, 5: 5}))
+        stats.record(plan, 0.0)
+        assert stats.hitless_fraction == pytest.approx(2 / 4)
+
+    def test_empty_stats(self):
+        stats = ReconfigStats()
+        assert stats.mean_duration_ms == 0.0
+        assert stats.hitless_fraction == 1.0

@@ -1,0 +1,90 @@
+"""Tests for repro.core.topology."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.core.topology import Direction, Endpoint, Link, Port
+
+
+class TestPort:
+    def test_str(self):
+        assert str(Port("cube-00", 3)) == "cube-00:3/bidi"
+
+    def test_direction(self):
+        p = Port("x", 0, Direction.TX)
+        assert p.direction is Direction.TX
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(TopologyError):
+            Port("x", -1)
+
+    def test_ordering(self):
+        assert Port("a", 0) < Port("a", 1) < Port("b", 0)
+
+
+class TestEndpoint:
+    def test_port_creation(self):
+        ep = Endpoint("cube-00", num_ports=4)
+        assert ep.port(2) == Port("cube-00", 2)
+
+    def test_port_out_of_range(self):
+        ep = Endpoint("e", num_ports=2)
+        with pytest.raises(TopologyError):
+            ep.port(2)
+
+    def test_zero_ports_rejected(self):
+        with pytest.raises(TopologyError):
+            Endpoint("e", num_ports=0)
+
+    def test_attach_detach(self):
+        ep = Endpoint("e", num_ports=3)
+        ep.attach(1, "ocs-0:N5")
+        assert ep.attachment(1) == "ocs-0:N5"
+        assert ep.free_ports == (0, 2)
+        ep.detach(1)
+        assert ep.free_ports == (0, 1, 2)
+
+    def test_double_attach_rejected(self):
+        ep = Endpoint("e", num_ports=2)
+        ep.attach(0, "a")
+        with pytest.raises(TopologyError):
+            ep.attach(0, "b")
+
+    def test_detach_unattached_rejected(self):
+        ep = Endpoint("e", num_ports=2)
+        with pytest.raises(TopologyError):
+            ep.detach(0)
+
+    def test_iter_yields_all_ports(self):
+        ep = Endpoint("e", num_ports=3)
+        assert [p.index for p in ep] == [0, 1, 2]
+
+
+class TestLink:
+    def test_other(self):
+        a, b = Port("x", 0), Port("y", 0)
+        link = Link(a, b)
+        assert link.other(a) == b
+        assert link.other(b) == a
+
+    def test_other_unknown_port(self):
+        link = Link(Port("x", 0), Port("y", 0))
+        with pytest.raises(TopologyError):
+            link.other(Port("z", 0))
+
+    def test_self_loop_rejected(self):
+        p = Port("x", 0)
+        with pytest.raises(TopologyError):
+            Link(p, p)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(Port("x", 0), Port("y", 0), rate_gbps=0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(Port("x", 0), Port("y", 0), length_m=-5)
+
+    def test_str(self):
+        link = Link(Port("x", 0), Port("y", 1), rate_gbps=400)
+        assert "400G" in str(link)

@@ -1,0 +1,115 @@
+"""Tests for repro.core.units."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import units
+
+
+class TestDbConversions:
+    def test_db_to_linear_zero(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_db_to_linear_3db(self):
+        assert units.db_to_linear(3.0) == pytest.approx(1.9953, rel=1e-3)
+
+    def test_db_to_linear_negative(self):
+        assert units.db_to_linear(-10.0) == pytest.approx(0.1)
+
+    def test_linear_to_db(self):
+        assert units.linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+    def test_array_roundtrip(self):
+        x = np.array([-30.0, -3.0, 0.0, 3.0, 10.0])
+        back = units.linear_to_db(units.db_to_linear(x))
+        np.testing.assert_allclose(back, x, rtol=1e-12)
+
+    @given(st.floats(min_value=-60.0, max_value=60.0))
+    def test_roundtrip_property(self, db):
+        assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+
+class TestPowerConversions:
+    def test_dbm_zero_is_one_mw(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_mw_to_dbm(self):
+        assert units.mw_to_dbm(2.0) == pytest.approx(3.0103, rel=1e-4)
+
+    def test_dbm_to_w(self):
+        assert units.dbm_to_w(30.0) == pytest.approx(1.0)
+
+    def test_w_to_dbm(self):
+        assert units.w_to_dbm(0.001) == pytest.approx(0.0, abs=1e-9)
+
+    def test_sum_powers_equal(self):
+        # Two equal powers sum to +3 dB.
+        assert units.sum_powers_dbm([-10.0, -10.0]) == pytest.approx(-6.9897, rel=1e-4)
+
+    def test_sum_powers_single(self):
+        assert units.sum_powers_dbm([-5.0]) == pytest.approx(-5.0)
+
+    def test_sum_powers_empty_raises(self):
+        with pytest.raises(ValueError):
+            units.sum_powers_dbm([])
+
+    @given(st.lists(st.floats(min_value=-40, max_value=10), min_size=1, max_size=8))
+    def test_sum_at_least_max(self, powers):
+        # Total power can never be below the strongest contributor.
+        assert units.sum_powers_dbm(powers) >= max(powers) - 1e-9
+
+
+class TestWavelength:
+    def test_1310nm_is_about_229thz(self):
+        assert units.wavelength_nm_to_freq_thz(1310.0) == pytest.approx(228.85, rel=1e-3)
+
+    def test_roundtrip(self):
+        freq = units.wavelength_nm_to_freq_thz(1271.0)
+        assert units.freq_thz_to_wavelength_nm(freq) == pytest.approx(1271.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.wavelength_nm_to_freq_thz(0)
+        with pytest.raises(ValueError):
+            units.freq_thz_to_wavelength_nm(-1)
+
+
+class TestFiberLatency:
+    def test_one_km_about_4_9_us(self):
+        assert units.fiber_latency_ns(1000.0) == pytest.approx(4896, rel=1e-2)
+
+    def test_zero_length(self):
+        assert units.fiber_latency_ns(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.fiber_latency_ns(-1.0)
+
+
+class TestQBer:
+    def test_q_of_common_ber(self):
+        # BER 2e-4 (KP4 threshold) corresponds to Q about 3.54.
+        assert units.q_from_ber(2e-4) == pytest.approx(3.54, abs=0.01)
+
+    def test_roundtrip(self):
+        for ber in (1e-3, 2e-4, 1e-6, 1e-9):
+            assert units.ber_from_q(units.q_from_ber(ber)) == pytest.approx(ber, rel=1e-6)
+
+    def test_monotonic(self):
+        assert units.q_from_ber(1e-9) > units.q_from_ber(1e-3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            units.q_from_ber(0.7)
+        with pytest.raises(ValueError):
+            units.q_from_ber(0.0)

@@ -1,0 +1,54 @@
+"""Tests for repro.dcn.blocks."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dcn.blocks import AggregationBlock, BlockGeneration
+
+
+class TestAggregationBlock:
+    def test_uplink_bandwidth(self):
+        ab = AggregationBlock(0, uplinks=64, generation=BlockGeneration.GEN_400G)
+        assert ab.uplink_rate_gbps == 400.0
+        assert ab.total_uplink_gbps == 64 * 400.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AggregationBlock(-1)
+        with pytest.raises(ConfigurationError):
+            AggregationBlock(0, uplinks=0)
+
+
+class TestHeterogeneousInterop:
+    """§2.1 rapid technology refresh: cross-generation links."""
+
+    def test_400g_links_100g(self):
+        new = AggregationBlock(0, generation=BlockGeneration.GEN_400G)
+        old = AggregationBlock(1, generation=BlockGeneration.GEN_100G)
+        assert new.can_link(old)
+        # Link negotiates down to 25G per lane x 4 lanes.
+        assert new.link_rate_gbps(old) == 100.0
+
+    def test_same_generation_full_rate(self):
+        a = AggregationBlock(0, generation=BlockGeneration.GEN_400G)
+        b = AggregationBlock(1, generation=BlockGeneration.GEN_400G)
+        assert a.link_rate_gbps(b) == 400.0
+
+    def test_40g_cannot_link_400g(self):
+        ancient = AggregationBlock(0, generation=BlockGeneration.GEN_40G)
+        new = AggregationBlock(1, generation=BlockGeneration.GEN_400G)
+        assert not ancient.can_link(new)
+        with pytest.raises(ConfigurationError):
+            ancient.link_rate_gbps(new)
+
+    def test_adjacent_generations_chain(self):
+        """Each generation interoperates with its neighbor."""
+        gens = [
+            BlockGeneration.GEN_100G,
+            BlockGeneration.GEN_200G,
+            BlockGeneration.GEN_400G,
+        ]
+        for a, b in zip(gens, gens[1:]):
+            assert AggregationBlock(0, generation=a).can_link(
+                AggregationBlock(1, generation=b)
+            )

@@ -1,0 +1,82 @@
+"""Tests for repro.dcn.campus (§1/§6 campus use case)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dcn.blocks import AggregationBlock
+from repro.dcn.campus import CampusStudy, service_epochs
+from repro.dcn.traffic import uniform_matrix
+
+
+def blocks(n=12, uplinks=16):
+    return [AggregationBlock(i, uplinks=uplinks) for i in range(n)]
+
+
+@pytest.fixture(scope="module")
+def study():
+    bs = blocks()
+    epochs = service_epochs(
+        12, num_epochs=4, total_gbps=10_000.0, concentration=1.4, seed=2
+    )
+    return CampusStudy(bs, epochs)
+
+
+class TestServiceEpochs:
+    def test_epoch_count_and_size(self):
+        epochs = service_epochs(8, 4, 1000.0)
+        assert len(epochs) == 4
+        assert all(tm.num_blocks == 8 for tm in epochs)
+
+    def test_epochs_differ(self):
+        epochs = service_epochs(8, 2, 1000.0, seed=5)
+        assert not (epochs[0].demand_gbps == epochs[1].demand_gbps).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            service_epochs(8, 0, 1000.0)
+
+
+class TestCampusStudy:
+    def test_modes_run(self, study):
+        for mode in ("uniform", "static-engineered", "reconfigurable"):
+            results = study.run_mode(mode)
+            assert len(results) == 4
+            assert all(r.admissible_scale > 0 for r in results)
+
+    def test_unknown_mode(self, study):
+        with pytest.raises(ConfigurationError):
+            study.run_mode("telepathy")
+
+    def test_reconfigurable_moves_circuits(self, study):
+        results = study.run_mode("reconfigurable")
+        assert results[0].circuits_moved == 0  # first epoch is the build
+        assert sum(r.circuits_moved for r in results[1:]) > 0
+
+    def test_static_never_moves(self, study):
+        assert all(r.circuits_moved == 0 for r in study.run_mode("static-engineered"))
+
+    def test_reconfigurable_admits_most(self, study):
+        comparison = study.compare()
+        assert (
+            comparison["reconfigurable"]["mean_admissible"]
+            >= comparison["static-engineered"]["mean_admissible"]
+        )
+        assert (
+            comparison["reconfigurable"]["mean_admissible"]
+            >= comparison["uniform"]["mean_admissible"]
+        )
+
+    def test_reconfigurable_beats_frozen_per_epoch(self, study):
+        """Re-engineering each epoch never loses to the frozen build."""
+        frozen = study.run_mode("static-engineered")
+        live = study.run_mode("reconfigurable")
+        for f, l in zip(frozen, live):
+            assert l.admissible_scale >= f.admissible_scale - 0.05
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CampusStudy(blocks(n=1), [uniform_matrix(2)])
+        with pytest.raises(ConfigurationError):
+            CampusStudy(blocks(n=4), [])
+        with pytest.raises(ConfigurationError):
+            CampusStudy(blocks(n=4), [uniform_matrix(6)])

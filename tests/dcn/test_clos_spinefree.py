@@ -1,0 +1,117 @@
+"""Tests for repro.dcn.clos and repro.dcn.spinefree."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, TopologyError
+from repro.dcn.blocks import AggregationBlock
+from repro.dcn.clos import ClosFabric
+from repro.dcn.spinefree import SpineFreeFabric, uniform_mesh_trunks
+
+
+def blocks(n=8, uplinks=16):
+    return [AggregationBlock(i, uplinks=uplinks) for i in range(n)]
+
+
+class TestClos:
+    def test_graph_structure(self):
+        fabric = ClosFabric(blocks(), num_spines=4)
+        g = fabric.graph()
+        assert sum(1 for _, d in g.nodes(data=True) if d["kind"] == "spine") == 4
+        assert g.number_of_edges() == 8 * 4
+
+    def test_pair_capacity_nonblocking(self):
+        fabric = ClosFabric(blocks(), num_spines=4)
+        assert fabric.pair_capacity_gbps(0, 1) == 16 * 400.0
+
+    def test_transceiver_count_double_ended(self):
+        fabric = ClosFabric(blocks(), num_spines=4)
+        assert fabric.transceiver_count() == 2 * 8 * 16
+
+    def test_uplinks_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            ClosFabric(blocks(uplinks=10), num_spines=4)
+
+    def test_spine_capacity_check(self):
+        with pytest.raises(ConfigurationError):
+            ClosFabric(blocks(n=8, uplinks=16), num_spines=4, spine_radix=8)
+
+
+class TestUniformMesh:
+    def test_row_budgets_respected(self):
+        for n, up in [(8, 16), (64, 64), (5, 7), (16, 30)]:
+            t = uniform_mesh_trunks(n, up)
+            assert np.array_equal(t, t.T)
+            assert np.all(np.diag(t) == 0)
+            assert t.sum(axis=1).max() <= up
+
+    def test_even_division_exact(self):
+        t = uniform_mesh_trunks(5, 8)
+        assert np.all(t[np.eye(5) == 0] == 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            uniform_mesh_trunks(1, 8)
+        with pytest.raises(ConfigurationError):
+            uniform_mesh_trunks(4, 0)
+
+
+class TestSpineFree:
+    def test_uniform_builder(self):
+        fabric = SpineFreeFabric.uniform(blocks())
+        assert fabric.num_blocks == 8
+        assert fabric.capacity_gbps(0, 1) > 0
+
+    def test_capacity_matrix_symmetric(self):
+        fabric = SpineFreeFabric.uniform(blocks())
+        c = fabric.capacity_matrix_gbps()
+        np.testing.assert_allclose(c, c.T)
+
+    def test_single_transceiver_per_uplink(self):
+        """The OCS is passive: half the modules of the Clos."""
+        bs = blocks()
+        clos = ClosFabric(bs, num_spines=4)
+        sf = SpineFreeFabric.uniform(bs)
+        assert sf.transceiver_count() == clos.transceiver_count() // 2
+
+    def test_ocs_count(self):
+        fabric = SpineFreeFabric.uniform(blocks(n=64, uplinks=64))
+        assert fabric.ocs_count(ocs_radix=128) == 32
+
+    def test_reconfigure_counts_moves(self):
+        fabric = SpineFreeFabric.uniform(blocks(n=4, uplinks=6))
+        # A budget-preserving rewiring: strengthen (0,1) and (2,3) by
+        # stealing from (0,2) and (1,3).
+        new = fabric.trunks.copy()
+        for i, j, delta in [(0, 1, 1), (2, 3, 1), (0, 2, -1), (1, 3, -1)]:
+            new[i, j] += delta
+            new[j, i] += delta
+        assert fabric.reconfigure(new) == 4
+
+    def test_reconfigure_rejects_overbudget(self):
+        fabric = SpineFreeFabric.uniform(blocks(n=4, uplinks=6))
+        bad = fabric.trunks.copy()
+        bad[0, 1] += 10
+        bad[1, 0] += 10
+        before = fabric.trunks.copy()
+        with pytest.raises(ConfigurationError):
+            fabric.reconfigure(bad)
+        np.testing.assert_array_equal(fabric.trunks, before)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpineFreeFabric(blocks(n=2), np.array([[0, 1], [2, 0]]))  # asymmetric
+        with pytest.raises(ConfigurationError):
+            SpineFreeFabric(blocks(n=2), np.array([[1, 0], [0, 0]]))  # self-trunk
+        with pytest.raises(TopologyError):
+            SpineFreeFabric.uniform(blocks(n=4)).capacity_gbps(0, 9)
+
+    def test_heterogeneous_pair_rate(self):
+        from repro.dcn.blocks import BlockGeneration
+
+        mixed = [
+            AggregationBlock(0, uplinks=4, generation=BlockGeneration.GEN_400G),
+            AggregationBlock(1, uplinks=4, generation=BlockGeneration.GEN_100G),
+        ]
+        fabric = SpineFreeFabric(mixed, np.array([[0, 2], [2, 0]]))
+        assert fabric.capacity_gbps(0, 1) == 2 * 100.0

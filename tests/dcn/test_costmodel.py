@@ -1,0 +1,55 @@
+"""Tests for repro.dcn.costmodel (Fig 1 reproduction target)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dcn.blocks import AggregationBlock
+from repro.dcn.clos import ClosFabric
+from repro.dcn.costmodel import DcnCostModel
+from repro.dcn.spinefree import SpineFreeFabric
+
+
+@pytest.fixture(scope="module")
+def fabrics():
+    blocks = [AggregationBlock(i, uplinks=64) for i in range(64)]
+    return ClosFabric(blocks, num_spines=16), SpineFreeFabric.uniform(blocks)
+
+
+class TestFig1:
+    def test_capex_saving_30_percent(self, fabrics):
+        """Paper: spine-free saves ~30% CapEx."""
+        clos, sf = fabrics
+        savings = DcnCostModel().savings(clos, sf)
+        assert savings["capex_saving"] == pytest.approx(0.30, abs=0.02)
+
+    def test_power_saving_41_percent(self, fabrics):
+        """Paper: spine-free saves ~41% power."""
+        clos, sf = fabrics
+        savings = DcnCostModel().savings(clos, sf)
+        assert savings["power_saving"] == pytest.approx(0.41, abs=0.02)
+
+    def test_savings_positive_components(self, fabrics):
+        clos, sf = fabrics
+        model = DcnCostModel()
+        assert model.spinefree_cost_usd(sf) < model.clos_cost_usd(clos)
+        assert model.spinefree_power_w(sf) < model.clos_power_w(clos)
+
+    def test_ocs_power_negligible(self, fabrics):
+        """OCS does no packet processing: a fraction of spine power."""
+        clos, sf = fabrics
+        model = DcnCostModel()
+        ocs_power = sf.ocs_count() * model.ocs_power_w
+        spine_power = clos.spine_switch_count() * model.spine_chassis_power_w
+        assert ocs_power < spine_power / 20
+
+    def test_block_count_mismatch(self, fabrics):
+        clos, _ = fabrics
+        small = SpineFreeFabric.uniform(
+            [AggregationBlock(i, uplinks=8) for i in range(4)]
+        )
+        with pytest.raises(ConfigurationError):
+            DcnCostModel().savings(clos, small)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DcnCostModel(transceiver_cost_usd=0)

@@ -1,0 +1,72 @@
+"""Tests for repro.dcn.striping (OCS blast radius)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.dcn.spinefree import uniform_mesh_trunks
+from repro.dcn.striping import (
+    blast_radius_comparison,
+    packed_striping,
+    round_robin_striping,
+)
+
+
+@pytest.fixture
+def trunks():
+    return uniform_mesh_trunks(8, 14)  # 2 trunks per pair
+
+
+class TestPlacementBasics:
+    def test_every_trunk_placed(self, trunks):
+        total = int(np.asarray(trunks).sum()) // 2
+        for scheme in (packed_striping, round_robin_striping):
+            plan = scheme(trunks, num_ocses=4, ocs_ports=32)
+            placed = sum(len(p) for p in plan.placement.values())
+            assert placed == total
+
+    def test_port_budgets_respected(self, trunks):
+        plan = round_robin_striping(trunks, num_ocses=4, ocs_ports=16)
+        for ocs in range(4):
+            assert plan.trunks_on_ocs(ocs) <= 16
+
+    def test_capacity_validation(self, trunks):
+        with pytest.raises(ConfigurationError):
+            packed_striping(trunks, num_ocses=1, ocs_ports=4)
+        with pytest.raises(ConfigurationError):
+            round_robin_striping(trunks, num_ocses=0, ocs_ports=4)
+
+
+class TestBlastRadius:
+    def test_packed_concentrates_risk(self, trunks):
+        plan = packed_striping(trunks, num_ocses=4, ocs_ports=32)
+        # Some pair has all its trunks on one OCS.
+        assert plan.worst_pair_loss_fraction() == 1.0
+
+    def test_striped_spreads_risk(self, trunks):
+        plan = round_robin_striping(trunks, num_ocses=4, ocs_ports=32)
+        # 2 trunks per pair over 4 OCSes: at most 1 lost -> 50%.
+        assert plan.worst_pair_loss_fraction() <= 0.5
+
+    def test_comparison_direction(self, trunks):
+        radii = blast_radius_comparison(trunks, num_ocses=4, ocs_ports=32)
+        assert radii["striped"] < radii["packed"]
+
+    def test_surviving_trunks(self, trunks):
+        plan = round_robin_striping(trunks, num_ocses=4, ocs_ports=32)
+        pair = next(iter(plan.placement))
+        total = len(plan.placement[pair])
+        for ocs in range(4):
+            surviving = plan.surviving_trunks(pair, ocs)
+            assert 0 <= surviving <= total
+
+    @given(st.integers(2, 10), st.integers(4, 20), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_striped_never_worse_property(self, n, uplinks, num_ocses):
+        trunks = uniform_mesh_trunks(n, uplinks)
+        total = int(np.asarray(trunks).sum()) // 2
+        ports = max(1, -(-total // num_ocses)) + 4
+        radii = blast_radius_comparison(trunks, num_ocses, ports)
+        assert radii["striped"] <= radii["packed"] + 1e-9

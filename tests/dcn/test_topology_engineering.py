@@ -1,0 +1,82 @@
+"""Tests for repro.dcn.topology_engineering."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dcn.blocks import AggregationBlock
+from repro.dcn.spinefree import SpineFreeFabric, uniform_mesh_trunks
+from repro.dcn.topology_engineering import direct_hit_fraction, engineer_trunks
+from repro.dcn.traffic import gravity_matrix, hotspot_matrix, uniform_matrix
+
+
+def blocks(n=8, uplinks=16):
+    return [AggregationBlock(i, uplinks=uplinks) for i in range(n)]
+
+
+class TestEngineerTrunks:
+    def test_respects_budgets(self):
+        bs = blocks()
+        tm = gravity_matrix(8, 5000.0, seed=1)
+        trunks = engineer_trunks(bs, tm)
+        assert trunks.sum(axis=1).max() <= 16
+        assert np.array_equal(trunks, trunks.T)
+        assert np.all(np.diag(trunks) == 0)
+
+    def test_valid_fabric(self):
+        bs = blocks()
+        tm = gravity_matrix(8, 5000.0, seed=1)
+        fabric = SpineFreeFabric(bs, engineer_trunks(bs, tm))
+        assert fabric.num_blocks == 8
+
+    def test_hot_pair_gets_more_trunks(self):
+        bs = blocks()
+        tm = hotspot_matrix(8, 5000.0, num_hotspots=1, hotspot_fraction=0.8, seed=2)
+        trunks = engineer_trunks(bs, tm)
+        d = tm.demand_gbps + tm.demand_gbps.T
+        i, j = np.unravel_index(np.argmax(d), d.shape)
+        off_diag = trunks[np.eye(8) == 0]
+        assert trunks[i, j] == off_diag.max()
+        assert trunks[i, j] > uniform_mesh_trunks(8, 16)[i, j]
+
+    def test_uniform_demand_yields_near_uniform_trunks(self):
+        bs = blocks()
+        trunks = engineer_trunks(bs, uniform_matrix(8, 10.0))
+        off = trunks[np.eye(8) == 0]
+        # Greedy tie-breaking leaves at most a 2-trunk spread.
+        assert off.max() - off.min() <= 2
+        assert np.all(trunks.sum(axis=1) == 16)
+
+    def test_connectivity_floor(self):
+        bs = blocks()
+        tm = hotspot_matrix(8, 5000.0, num_hotspots=1, hotspot_fraction=0.99, seed=3)
+        trunks = engineer_trunks(bs, tm, min_trunks_per_pair=1)
+        assert np.all(trunks[np.eye(8) == 0] >= 1)
+
+    def test_zero_floor_allows_dark_pairs(self):
+        bs = blocks()
+        tm = hotspot_matrix(8, 5000.0, num_hotspots=1, hotspot_fraction=0.99, seed=3)
+        trunks = engineer_trunks(bs, tm, min_trunks_per_pair=0)
+        assert (trunks[np.eye(8) == 0] == 0).any()
+
+    def test_floor_infeasible_rejected(self):
+        bs = blocks(n=8, uplinks=4)
+        with pytest.raises(ConfigurationError):
+            engineer_trunks(bs, uniform_matrix(8), min_trunks_per_pair=1)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            engineer_trunks(blocks(n=8), uniform_matrix(4))
+
+
+class TestDirectHit:
+    def test_full_mesh_hits_everything(self):
+        trunks = uniform_mesh_trunks(8, 16)
+        assert direct_hit_fraction(trunks, uniform_matrix(8)) == 1.0
+
+    def test_dark_pairs_counted(self):
+        trunks = np.zeros((4, 4), dtype=int)
+        trunks[0, 1] = trunks[1, 0] = 4
+        tm = uniform_matrix(4, 10.0)
+        frac = direct_hit_fraction(trunks, tm)
+        assert frac == pytest.approx(2 / 12)

@@ -1,0 +1,78 @@
+"""Tests for repro.dcn.traffic."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dcn.traffic import (
+    TrafficMatrix,
+    gravity_matrix,
+    hotspot_matrix,
+    uniform_matrix,
+)
+
+
+class TestTrafficMatrix:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrafficMatrix(np.ones((2, 3)))
+        with pytest.raises(ConfigurationError):
+            TrafficMatrix(np.full((2, 2), -1.0))
+        with pytest.raises(ConfigurationError):
+            TrafficMatrix(np.ones((2, 2)))  # nonzero diagonal
+
+    def test_scaled_to(self):
+        tm = uniform_matrix(4, 10.0).scaled_to(500.0)
+        assert tm.total_gbps == pytest.approx(500.0)
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            uniform_matrix(4).scaled_to(0)
+
+    def test_skew_uniform_is_one(self):
+        assert uniform_matrix(8).skew() == pytest.approx(1.0)
+
+
+class TestGenerators:
+    def test_uniform(self):
+        tm = uniform_matrix(4, 10.0)
+        assert tm.total_gbps == pytest.approx(12 * 10.0)
+
+    def test_gravity_total(self):
+        tm = gravity_matrix(8, total_gbps=1000.0, seed=1)
+        assert tm.total_gbps == pytest.approx(1000.0)
+
+    def test_gravity_skew_grows_with_concentration(self):
+        mild = gravity_matrix(16, 1000.0, concentration=0.5, seed=2)
+        heavy = gravity_matrix(16, 1000.0, concentration=2.0, seed=2)
+        assert heavy.skew() > mild.skew()
+
+    def test_gravity_zero_concentration_uniform(self):
+        tm = gravity_matrix(8, 1000.0, concentration=0.0, seed=3)
+        assert tm.skew() == pytest.approx(1.0)
+
+    def test_hotspot_fraction(self):
+        tm = hotspot_matrix(8, 1000.0, num_hotspots=2, hotspot_fraction=0.7, seed=4)
+        assert tm.total_gbps == pytest.approx(1000.0)
+        assert tm.skew() > 5.0
+
+    def test_hotspot_symmetric_elephants(self):
+        tm = hotspot_matrix(8, 1000.0, num_hotspots=1, hotspot_fraction=0.9, seed=5)
+        d = tm.demand_gbps
+        i, j = np.unravel_index(np.argmax(d), d.shape)
+        assert d[i, j] == pytest.approx(d[j, i])
+
+    def test_deterministic(self):
+        a = gravity_matrix(8, 100.0, seed=6)
+        b = gravity_matrix(8, 100.0, seed=6)
+        np.testing.assert_array_equal(a.demand_gbps, b.demand_gbps)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            uniform_matrix(1)
+        with pytest.raises(ConfigurationError):
+            gravity_matrix(4, 100.0, concentration=-1)
+        with pytest.raises(ConfigurationError):
+            hotspot_matrix(4, 100.0, num_hotspots=0)
+        with pytest.raises(ConfigurationError):
+            hotspot_matrix(4, 100.0, hotspot_fraction=1.5)

@@ -1,0 +1,84 @@
+"""Tests for repro.dcn.traffic_engineering."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dcn.blocks import AggregationBlock
+from repro.dcn.spinefree import SpineFreeFabric
+from repro.dcn.topology_engineering import engineer_trunks
+from repro.dcn.traffic import TrafficMatrix, gravity_matrix, uniform_matrix
+from repro.dcn.traffic_engineering import (
+    average_hop_count,
+    max_servable_scale,
+    route_demand,
+)
+
+
+def blocks(n=8, uplinks=16):
+    return [AggregationBlock(i, uplinks=uplinks) for i in range(n)]
+
+
+@pytest.fixture
+def fabric():
+    return SpineFreeFabric.uniform(blocks())
+
+
+class TestRouting:
+    def test_light_demand_fully_served(self, fabric):
+        tm = uniform_matrix(8, 50.0)
+        sol = route_demand(fabric, tm)
+        assert sol.throughput_fraction == pytest.approx(1.0)
+        assert sol.residual_gbps.sum() == pytest.approx(0.0)
+
+    def test_direct_preferred(self, fabric):
+        tm = uniform_matrix(8, 50.0)
+        sol = route_demand(fabric, tm)
+        assert average_hop_count(sol) == pytest.approx(1.0)
+
+    def test_transit_used_when_direct_full(self, fabric):
+        # One hot pair beyond its direct capacity.
+        d = np.zeros((8, 8))
+        d[0, 1] = fabric.capacity_gbps(0, 1) * 2
+        sol = route_demand(fabric, TrafficMatrix(d))
+        assert sol.throughput_fraction > 0.9
+        assert average_hop_count(sol) > 1.0
+        transit_paths = [p for p, _ in sol.path_for(0, 1) if len(p) == 3]
+        assert transit_paths
+
+    def test_load_never_exceeds_capacity(self, fabric):
+        tm = gravity_matrix(8, 40_000.0, concentration=1.5, seed=1)
+        sol = route_demand(fabric, tm)
+        assert np.all(sol.link_load_gbps <= sol.link_capacity_gbps + 1e-6)
+        assert sol.max_link_utilization <= 1.0 + 1e-9
+
+    def test_overload_leaves_residual(self, fabric):
+        tm = uniform_matrix(8, 1e6)
+        sol = route_demand(fabric, tm)
+        assert sol.residual_gbps.sum() > 0
+        assert sol.throughput_fraction < 1.0
+
+    def test_size_mismatch(self, fabric):
+        with pytest.raises(ConfigurationError):
+            route_demand(fabric, uniform_matrix(4))
+
+    def test_bad_chunk(self, fabric):
+        with pytest.raises(ConfigurationError):
+            route_demand(fabric, uniform_matrix(8), transit_chunk_gbps=0)
+
+
+class TestMaxServableScale:
+    def test_engineered_admits_more(self):
+        bs = blocks()
+        tm = gravity_matrix(8, 10_000.0, concentration=1.2, seed=3)
+        uniform = SpineFreeFabric.uniform(bs)
+        engineered = SpineFreeFabric(bs, engineer_trunks(bs, tm))
+        assert max_servable_scale(engineered, tm) >= max_servable_scale(uniform, tm)
+
+    def test_scale_positive_for_light_demand(self, fabric):
+        tm = uniform_matrix(8, 1.0)
+        assert max_servable_scale(fabric, tm) > 1.0
+
+    def test_validation(self, fabric):
+        with pytest.raises(ConfigurationError):
+            max_servable_scale(fabric, uniform_matrix(8), tolerance=0)

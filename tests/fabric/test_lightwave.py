@@ -1,0 +1,99 @@
+"""Tests for repro.fabric.lightwave."""
+
+import pytest
+
+from repro.core.errors import CapacityError, ConfigurationError, TopologyError
+from repro.core.ids import LinkId, OcsId
+from repro.fabric.lightwave import LightwaveFabric
+
+
+@pytest.fixture
+def fabric():
+    f = LightwaveFabric()
+    f.add_ocs(OcsId(0))
+    for name in ("ab-00", "ab-01", "ab-02"):
+        f.add_endpoint(name, num_ports=2)
+    f.wire_full_mesh(OcsId(0))
+    return f
+
+
+class TestInventory:
+    def test_duplicate_endpoint_rejected(self, fabric):
+        with pytest.raises(ConfigurationError):
+            fabric.add_endpoint("ab-00", 2)
+
+    def test_unknown_lookups(self, fabric):
+        with pytest.raises(TopologyError):
+            fabric.endpoint("ghost")
+        with pytest.raises(TopologyError):
+            fabric.ocs(OcsId(9))
+
+    def test_endpoint_names_sorted(self, fabric):
+        assert fabric.endpoint_names == ("ab-00", "ab-01", "ab-02")
+
+    def test_default_ocs_is_palomar(self, fabric):
+        assert fabric.ocs(OcsId(0)).radix == 136
+
+
+class TestWiring:
+    def test_full_mesh_wired(self, fabric):
+        assert len(fabric.wiring) == 6
+        att = fabric.wiring.for_endpoint("ab-01", 0)
+        assert att.side == "N"
+
+    def test_endpoint_ports_marked_attached(self, fabric):
+        assert fabric.endpoint("ab-00").free_ports == ()
+
+    def test_wire_out_of_range_port(self, fabric):
+        fabric.add_endpoint("extra", 2)
+        with pytest.raises(ConfigurationError):
+            fabric.wire("extra", 0, OcsId(0), "N", 500)
+
+    def test_capacity_enforced(self):
+        f = LightwaveFabric()
+        f.add_ocs(OcsId(0))
+        for i in range(137):
+            f.add_endpoint(f"e{i:03d}", 2)
+        with pytest.raises(CapacityError):
+            f.wire_full_mesh(OcsId(0))
+
+
+class TestLinks:
+    def test_connect_creates_circuit(self, fabric):
+        link_id = fabric.connect("ab-00", "ab-01")
+        assert link_id == LinkId("ab-00--ab-01")
+        link = fabric.manager.link(link_id)
+        device = fabric.ocs(OcsId(0))
+        assert device.state.south_of(link.north) == link.south
+
+    def test_connect_unwired_fails(self, fabric):
+        fabric.add_endpoint("loner", 2)
+        with pytest.raises(TopologyError):
+            fabric.connect("ab-00", "loner")
+
+    def test_disconnect(self, fabric):
+        fabric.connect("ab-00", "ab-01")
+        fabric.disconnect("ab-00", "ab-01")
+        assert fabric.manager.num_circuits == 0
+
+    def test_link_name_symmetric(self, fabric):
+        assert fabric.link_name("b", "a") == fabric.link_name("a", "b")
+
+    def test_reconfigure_keeps_other_links(self, fabric):
+        fabric.connect("ab-00", "ab-01")
+        fabric.connect("ab-01", "ab-02")  # N of ab-01, S of ab-02
+        fabric.disconnect("ab-00", "ab-01")
+        assert fabric.manager.num_circuits == 1
+
+
+class TestOptics:
+    def test_path_for_link(self, fabric):
+        fabric.connect("ab-00", "ab-01")
+        path = fabric.path_for_link("ab-00", "ab-01")
+        assert path.total_loss_db > 0
+        assert path.ber() < 2e-4
+
+    def test_total_power(self, fabric):
+        before = fabric.total_power_w()
+        fabric.connect("ab-00", "ab-01")
+        assert fabric.total_power_w() > before

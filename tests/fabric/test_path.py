@@ -1,0 +1,104 @@
+"""Tests for repro.fabric.path."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.fabric.path import OpticalPath, PathElement
+from repro.optics.fiber import FiberSpan
+from repro.optics.transceiver import transceiver
+
+
+@pytest.fixture
+def bidi_path():
+    return OpticalPath.through_ocs(
+        spec=transceiver("bidi_2x400g_cwdm4"),
+        ocs_insertion_loss_db=2.0,
+        ocs_return_loss_db=-46.0,
+    )
+
+
+class TestPathElement:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PathElement("x", -1.0)
+        with pytest.raises(ConfigurationError):
+            PathElement("x", 1.0, reflection_db=3.0)
+
+
+class TestConstruction:
+    def test_bidi_has_circulators(self, bidi_path):
+        names = [e.name for e in bidi_path.elements]
+        assert names[0] == "tx-circulator" and names[-1] == "rx-circulator"
+
+    def test_duplex_skips_circulators(self):
+        path = OpticalPath.through_ocs(
+            spec=transceiver("osfp_400g"),
+            ocs_insertion_loss_db=2.0,
+            ocs_return_loss_db=-46.0,
+        )
+        names = [e.name for e in path.elements]
+        assert "tx-circulator" not in names
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OpticalPath.through_ocs(transceiver("osfp_400g"), -1.0, -46.0)
+        with pytest.raises(ConfigurationError):
+            OpticalPath.through_ocs(transceiver("osfp_400g"), 2.0, 46.0)
+
+
+class TestAggregates:
+    def test_total_loss(self, bidi_path):
+        # 2x circulator (0.8) + 2x fiber (30 m + 2 connectors) + OCS 2.0
+        fiber = FiberSpan(length_m=30.0).total_loss_db
+        assert bidi_path.total_loss_db == pytest.approx(0.8 * 2 + fiber * 2 + 2.0)
+
+    def test_received_power(self, bidi_path):
+        spec = transceiver("bidi_2x400g_cwdm4")
+        assert bidi_path.received_power_dbm == pytest.approx(
+            spec.tx_power_dbm - bidi_path.total_loss_db
+        )
+
+    def test_margin_positive_for_typical_path(self, bidi_path):
+        assert bidi_path.margin_db() > 1.0
+
+    def test_reflectors_listed(self, bidi_path):
+        names = [e.name for e in bidi_path.reflectors()]
+        assert "ocs" in names and "tx-circulator" in names
+
+
+class TestMpiEstimate:
+    def test_bidi_mpi_finite_and_low(self, bidi_path):
+        mpi = bidi_path.estimated_mpi_db()
+        assert math.isfinite(mpi)
+        assert mpi < -30.0  # well-engineered path
+
+    def test_worse_ocs_return_loss_raises_mpi(self):
+        good = OpticalPath.through_ocs(
+            transceiver("bidi_2x400g_cwdm4"), 2.0, ocs_return_loss_db=-46.0
+        )
+        bad = OpticalPath.through_ocs(
+            transceiver("bidi_2x400g_cwdm4"), 2.0, ocs_return_loss_db=-30.0
+        )
+        assert bad.estimated_mpi_db() > good.estimated_mpi_db()
+
+    def test_duplex_path_has_lower_mpi(self):
+        """Without circulator crosstalk the aggregate MPI drops."""
+        bidi = OpticalPath.through_ocs(transceiver("bidi_2x400g_cwdm4"), 2.0, -46.0)
+        duplex = OpticalPath.through_ocs(transceiver("osfp_400g"), 2.0, -46.0)
+        assert duplex.estimated_mpi_db() < bidi.estimated_mpi_db()
+
+
+class TestBer:
+    def test_ber_below_threshold_for_good_path(self, bidi_path):
+        assert bidi_path.ber() < 2e-4
+
+    def test_oim_helps(self, bidi_path):
+        assert bidi_path.ber(oim_suppression_db=12.0) <= bidi_path.ber(
+            oim_suppression_db=0.0
+        )
+
+    def test_ber_model_carries_mpi(self, bidi_path):
+        model = bidi_path.ber_model()
+        assert model.mpi_db == pytest.approx(bidi_path.estimated_mpi_db())

@@ -1,0 +1,78 @@
+"""Tests for repro.fabric.qualification (spare-port link testing)."""
+
+import pytest
+
+from repro.core.errors import CapacityError, ConfigurationError
+from repro.fabric.qualification import (
+    LinkQualifier,
+    QualificationGrade,
+)
+from repro.ocs.palomar import PALOMAR_USABLE_PORTS, PalomarOcs
+
+
+@pytest.fixture
+def ocs():
+    return PalomarOcs.build(seed=21)
+
+
+@pytest.fixture
+def qualifier(ocs):
+    return LinkQualifier(ocs, seed=1)
+
+
+class TestQualify:
+    def test_clean_plant_passes(self, qualifier):
+        report = qualifier.qualify(0, plant_excess_db=0.1)
+        assert report.grade is QualificationGrade.PASS
+        assert report.excess_loss_db == pytest.approx(0.1)
+        assert report.spare >= PALOMAR_USABLE_PORTS
+
+    def test_dirty_connector_marginal(self, qualifier):
+        report = qualifier.qualify(1, plant_excess_db=1.0)
+        assert report.grade is QualificationGrade.MARGINAL
+
+    def test_broken_pigtail_fails(self, qualifier):
+        report = qualifier.qualify(2, plant_excess_db=5.0)
+        assert report.grade is QualificationGrade.FAIL
+
+    def test_circuit_torn_down_after_test(self, qualifier, ocs):
+        qualifier.qualify(3, plant_excess_db=0.0)
+        assert ocs.state.num_circuits == 0
+
+    def test_production_port_protected(self, qualifier, ocs):
+        ocs.connect(5, 60)
+        with pytest.raises(ConfigurationError):
+            qualifier.qualify(5)
+
+    def test_spare_busy_detection(self, ocs):
+        qualifier = LinkQualifier(ocs, spare_ports=(135,))
+        ocs.connect(50, 135)  # someone parked a circuit on the only spare
+        with pytest.raises(CapacityError):
+            qualifier.qualify(0)
+
+    def test_default_plant_distribution(self, qualifier):
+        results = qualifier.qualify_ports(range(48))
+        # Most fibers are clean; the seeded tail includes non-PASS grades.
+        assert len(results[QualificationGrade.PASS]) >= 35
+        assert qualifier.yield_fraction >= 0.7
+
+    def test_reports_accumulate(self, qualifier):
+        qualifier.qualify(0, plant_excess_db=0.0)
+        qualifier.qualify(1, plant_excess_db=2.0)
+        assert len(qualifier.reports) == 2
+        assert qualifier.yield_fraction == pytest.approx(0.5)
+
+    def test_empty_yield_is_one(self, qualifier):
+        assert qualifier.yield_fraction == 1.0
+
+
+class TestValidation:
+    def test_bad_spares(self, ocs):
+        with pytest.raises(ConfigurationError):
+            LinkQualifier(ocs, spare_ports=())
+        with pytest.raises(ConfigurationError):
+            LinkQualifier(ocs, spare_ports=(999,))
+
+    def test_bad_margins(self, ocs):
+        with pytest.raises(ConfigurationError):
+            LinkQualifier(ocs, pass_margin_db=2.0, fail_margin_db=1.0)

@@ -1,0 +1,92 @@
+"""Tests for repro.fabric.repair (the telemetry-driven remediation loop)."""
+
+import pytest
+
+from repro.core.errors import CapacityError, ConfigurationError
+from repro.fabric.repair import RepairLoop
+from repro.ocs.palomar import PALOMAR_USABLE_PORTS, PalomarOcs
+
+
+@pytest.fixture
+def loop():
+    ocs = PalomarOcs.build(seed=17)
+    ocs.connect(0, 10)
+    ocs.connect(1, 11)
+    return RepairLoop(ocs)
+
+
+class TestDegradation:
+    def test_inject_and_measure(self, loop):
+        base = loop.measured_loss_db(0, 10)
+        loop.degrade_circuit(0, 10, 0.8)
+        assert loop.measured_loss_db(0, 10) == pytest.approx(base + 0.8)
+
+    def test_degradation_accumulates(self, loop):
+        loop.degrade_circuit(0, 10, 0.3)
+        loop.degrade_circuit(0, 10, 0.4)
+        base = loop.ocs.insertion_loss_db(0, 10)
+        assert loop.measured_loss_db(0, 10) == pytest.approx(base + 0.7)
+
+    def test_validation(self, loop):
+        with pytest.raises(ConfigurationError):
+            loop.degrade_circuit(0, 10, -1.0)
+        with pytest.raises(ConfigurationError):
+            loop.degrade_circuit(5, 5, 0.1)
+
+
+class TestScan:
+    def test_healthy_circuits_quiet(self, loop):
+        assert loop.scan() == []
+
+    def test_drift_detected(self, loop):
+        loop.scan()  # establish baselines
+        loop.degrade_circuit(0, 10, 0.8)
+        anomalies = loop.scan()
+        assert len(anomalies) == 1
+        assert anomalies[0].circuit == (0, 10)
+        assert anomalies[0].kind == "loss-drift"
+
+
+class TestRemediation:
+    def test_repair_moves_to_spare(self, loop):
+        loop.scan()
+        loop.degrade_circuit(0, 10, 0.9)
+        actions = loop.run_once()
+        assert len(actions) == 1
+        action = actions[0]
+        assert action.circuit == (0, 10)
+        assert action.new_circuit[1] >= PALOMAR_USABLE_PORTS
+        assert action.improvement_db > 0
+        # The fabric now carries the circuit on the spare.
+        assert loop.ocs.state.south_of(0) == action.new_circuit[1]
+        # The healthy circuit was never touched.
+        assert loop.ocs.state.south_of(1) == 11
+
+    def test_repaired_circuit_stays_quiet(self, loop):
+        loop.scan()
+        loop.degrade_circuit(0, 10, 0.9)
+        loop.run_once()
+        assert loop.run_once() == []
+
+    def test_stale_anomaly_ignored(self, loop):
+        loop.scan()
+        loop.degrade_circuit(0, 10, 0.9)
+        anomalies = loop.scan()
+        loop.ocs.disconnect(0)  # circuit torn down out-of-band
+        assert loop.remediate(anomalies[0]) is None
+
+    def test_pool_exhaustion(self):
+        ocs = PalomarOcs.build(seed=18)
+        ocs.connect(0, 10)
+        loop = RepairLoop(ocs, spare_south_ports=[130])
+        ocs.connect(99, 130)  # pool already busy
+        loop.scan()
+        loop.degrade_circuit(0, 10, 0.9)
+        anomalies = loop.scan()
+        with pytest.raises(CapacityError):
+            loop.remediate(anomalies[0])
+
+    def test_spare_validation(self):
+        ocs = PalomarOcs.build(seed=19)
+        with pytest.raises(ConfigurationError):
+            RepairLoop(ocs, spare_south_ports=[900])

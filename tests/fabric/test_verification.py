@@ -1,0 +1,55 @@
+"""Tests for repro.fabric.verification."""
+
+import pytest
+
+from repro.core.ids import OcsId
+from repro.fabric.lightwave import LightwaveFabric
+from repro.fabric.verification import FabricVerifier, LinkHealth
+
+
+@pytest.fixture
+def fabric():
+    f = LightwaveFabric()
+    f.add_ocs(OcsId(0))
+    for name in ("a", "b", "c", "d"):
+        f.add_endpoint(name, num_ports=2)
+    f.wire_full_mesh(OcsId(0))
+    f.connect("a", "b")
+    f.connect("c", "d")
+    return f
+
+
+class TestVerification:
+    def test_healthy_links(self, fabric):
+        verifier = FabricVerifier(fabric)
+        reports = verifier.verify_all()
+        assert len(reports) == 2
+        assert all(r.health is LinkHealth.HEALTHY for r in reports)
+
+    def test_summary_counts(self, fabric):
+        healthy, degraded, failed = FabricVerifier(fabric).summary()
+        assert (healthy, degraded, failed) == (2, 0, 0)
+
+    def test_missing_circuit_failed(self, fabric):
+        # Break the circuit out-of-band.
+        link = fabric.manager.link(fabric.link_name("a", "b"))
+        fabric.ocs(OcsId(0)).state.disconnect(link.north)
+        report = FabricVerifier(fabric).verify_link("a", "b")
+        assert report.health is LinkHealth.FAILED
+        assert "missing" in report.detail
+
+    def test_degraded_on_thin_margin(self, fabric):
+        verifier = FabricVerifier(fabric, min_margin_db=50.0)
+        report = verifier.verify_link("a", "b")
+        assert report.health is LinkHealth.DEGRADED
+
+    def test_failed_on_strict_ber(self, fabric):
+        verifier = FabricVerifier(fabric, max_ber=0.0)
+        report = verifier.verify_link("a", "b")
+        assert report.health is LinkHealth.FAILED
+
+    def test_report_fields(self, fabric):
+        report = FabricVerifier(fabric).verify_link("a", "b")
+        assert report.loss_db > 0
+        assert report.margin_db > 0
+        assert 0 <= report.ber < 1

@@ -1,0 +1,87 @@
+"""Tests for repro.fabric.wiring."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, TopologyError
+from repro.core.ids import OcsId
+from repro.fabric.wiring import Attachment, WiringPlan
+
+
+class TestAttachment:
+    def test_str(self):
+        a = Attachment("cube-00", 3, OcsId(1), "N", 17)
+        assert "cube-00:3" in str(a) and "N17" in str(a)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Attachment("e", 0, OcsId(0), "X", 0)
+        with pytest.raises(ConfigurationError):
+            Attachment("e", -1, OcsId(0), "N", 0)
+
+
+class TestWiringPlan:
+    def test_add_and_lookup(self):
+        plan = WiringPlan()
+        att = Attachment("a", 0, OcsId(0), "N", 5)
+        plan.add(att)
+        assert plan.for_endpoint("a", 0) == att
+        assert plan.for_ocs_port(OcsId(0), "N", 5) == att
+        assert len(plan) == 1
+
+    def test_double_endpoint_use_rejected(self):
+        plan = WiringPlan()
+        plan.add(Attachment("a", 0, OcsId(0), "N", 5))
+        with pytest.raises(TopologyError):
+            plan.add(Attachment("a", 0, OcsId(1), "N", 6))
+
+    def test_double_ocs_port_rejected(self):
+        plan = WiringPlan()
+        plan.add(Attachment("a", 0, OcsId(0), "N", 5))
+        with pytest.raises(TopologyError):
+            plan.add(Attachment("b", 0, OcsId(0), "N", 5))
+
+    def test_same_index_opposite_sides_ok(self):
+        plan = WiringPlan()
+        plan.add(Attachment("a", 0, OcsId(0), "N", 5))
+        plan.add(Attachment("b", 0, OcsId(0), "S", 5))
+        assert len(plan) == 2
+
+    def test_unwired_lookup(self):
+        plan = WiringPlan()
+        with pytest.raises(TopologyError):
+            plan.for_endpoint("ghost", 0)
+        assert plan.for_ocs_port(OcsId(0), "N", 0) is None
+
+    def test_endpoints_sorted(self):
+        plan = WiringPlan()
+        plan.add(Attachment("b", 0, OcsId(0), "N", 0))
+        plan.add(Attachment("a", 0, OcsId(0), "N", 1))
+        assert plan.endpoints() == ("a", "b")
+
+    def test_ports_used(self):
+        plan = WiringPlan()
+        plan.add(Attachment("a", 0, OcsId(0), "N", 3))
+        plan.add(Attachment("b", 0, OcsId(0), "N", 1))
+        plan.add(Attachment("c", 0, OcsId(0), "S", 2))
+        assert plan.ports_used(OcsId(0), "N") == (1, 3)
+        assert plan.ports_used(OcsId(0), "S") == (2,)
+
+    def test_seeded_constructor_validates(self):
+        atts = [
+            Attachment("a", 0, OcsId(0), "N", 0),
+            Attachment("a", 0, OcsId(0), "N", 1),
+        ]
+        with pytest.raises(TopologyError):
+            WiringPlan(attachments=atts)
+
+
+class TestFullMeshBuilder:
+    def test_counts(self):
+        plan = WiringPlan.full_mesh_ready(["a", "b", "c"], OcsId(0), radix=8)
+        assert len(plan) == 6
+        assert plan.for_endpoint("b", 0).side == "N"
+        assert plan.for_endpoint("b", 1).side == "S"
+
+    def test_capacity_checked(self):
+        with pytest.raises(ConfigurationError):
+            WiringPlan.full_mesh_ready(["a", "b", "c"], OcsId(0), radix=2)

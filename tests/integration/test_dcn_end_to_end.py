@@ -1,0 +1,106 @@
+"""Integration: the full DCN pipeline with conservation invariants.
+
+Blocks -> cost comparison -> traffic -> topology engineering -> routing
+-> flows, with hypothesis-checked conservation laws on the router.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dcn.blocks import AggregationBlock, BlockGeneration
+from repro.dcn.clos import ClosFabric
+from repro.dcn.costmodel import DcnCostModel
+from repro.dcn.flowsim import FlowSimulator, fct_stats, generate_flows
+from repro.dcn.spinefree import SpineFreeFabric
+from repro.dcn.topology_engineering import engineer_trunks
+from repro.dcn.traffic import gravity_matrix
+from repro.dcn.traffic_engineering import route_demand
+
+
+def blocks(n=8, uplinks=16):
+    return [AggregationBlock(i, uplinks=uplinks) for i in range(n)]
+
+
+class TestPipeline:
+    def test_full_pipeline_runs(self):
+        bs = blocks()
+        clos = ClosFabric(bs, num_spines=4)
+        tm = gravity_matrix(8, 10_000.0, seed=1)
+        engineered = SpineFreeFabric(bs, engineer_trunks(bs, tm))
+        savings = DcnCostModel().savings(clos, engineered)
+        assert savings["capex_saving"] > 0
+        routing = route_demand(engineered, tm)
+        flows = generate_flows(tm.demand_gbps, 30, seed=2)
+        records = FlowSimulator(engineered, routing).run(flows)
+        assert len(records) == 30
+        assert fct_stats(records)["mean_s"] > 0
+
+    def test_wcmp_policy_spreads_flows(self):
+        bs = blocks()
+        tm = gravity_matrix(8, 60_000.0, concentration=1.5, seed=4)
+        fabric = SpineFreeFabric.uniform(bs)
+        routing = route_demand(fabric, tm)
+        flows = generate_flows(tm.demand_gbps, 60, seed=5)
+        primary = FlowSimulator(fabric, routing, path_policy="primary").run(flows)
+        wcmp = FlowSimulator(fabric, routing, path_policy="wcmp", seed=6).run(flows)
+        assert len(primary) == len(wcmp) == 60
+        # WCMP spreads hot-pair flows over transit paths: at least some
+        # flow finishes at a different time than under primary routing.
+        assert any(
+            abs(a.fct_s - b.fct_s) > 1e-9 for a, b in zip(primary, wcmp)
+        )
+
+    def test_heterogeneous_fabric_end_to_end(self):
+        """Mixed-generation ABs interconnect at negotiated rates (§2.1)."""
+        mixed = [
+            AggregationBlock(0, uplinks=8, generation=BlockGeneration.GEN_400G),
+            AggregationBlock(1, uplinks=8, generation=BlockGeneration.GEN_200G),
+            AggregationBlock(2, uplinks=8, generation=BlockGeneration.GEN_400G),
+            AggregationBlock(3, uplinks=8, generation=BlockGeneration.GEN_100G),
+        ]
+        fabric = SpineFreeFabric.uniform(mixed)
+        # The 400G<->400G pair runs 4x the 400G<->100G rate.
+        assert fabric.capacity_gbps(0, 2) == 4 * fabric.capacity_gbps(0, 3) / (
+            fabric.trunks[0, 3] / fabric.trunks[0, 2]
+        )
+        tm = gravity_matrix(4, 2_000.0, seed=7)
+        routing = route_demand(fabric, tm)
+        assert routing.throughput_fraction > 0.9
+
+
+class TestConservationProperties:
+    @given(
+        seed=st.integers(0, 50),
+        concentration=st.floats(0.2, 2.0),
+        total=st.floats(1_000.0, 80_000.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_router_conserves_demand(self, seed, concentration, total):
+        """served + residual == demand, elementwise, always."""
+        bs = blocks()
+        tm = gravity_matrix(8, total, concentration=concentration, seed=seed)
+        sol = route_demand(SpineFreeFabric.uniform(bs), tm)
+        np.testing.assert_allclose(
+            sol.served_gbps + sol.residual_gbps, tm.demand_gbps, rtol=1e-9, atol=1e-6
+        )
+
+    @given(seed=st.integers(0, 50), total=st.floats(1_000.0, 120_000.0))
+    @settings(max_examples=25, deadline=None)
+    def test_router_respects_capacity(self, seed, total):
+        bs = blocks()
+        tm = gravity_matrix(8, total, concentration=1.0, seed=seed)
+        fabric = SpineFreeFabric(bs, engineer_trunks(bs, tm))
+        sol = route_demand(fabric, tm)
+        assert np.all(sol.link_load_gbps <= sol.link_capacity_gbps + 1e-6)
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_engineering_preserves_budgets(self, seed):
+        bs = blocks()
+        tm = gravity_matrix(8, 30_000.0, concentration=1.3, seed=seed)
+        trunks = engineer_trunks(bs, tm)
+        assert np.array_equal(trunks, trunks.T)
+        assert trunks.sum(axis=1).max() <= 16
+        assert np.all(trunks >= 0)

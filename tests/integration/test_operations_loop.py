@@ -1,0 +1,82 @@
+"""Integration: the full operations loop on one switch.
+
+Qualification -> production -> telemetry -> repair -> FRU swap, end to
+end on a single Palomar device -- the `examples/fleet_operations.py`
+scenario, pinned by assertions.
+"""
+
+import pytest
+
+from repro.fabric.qualification import LinkQualifier, QualificationGrade
+from repro.fabric.repair import RepairLoop
+from repro.ocs.palomar import PALOMAR_USABLE_PORTS, PalomarOcs
+
+
+@pytest.fixture
+def ocs():
+    return PalomarOcs.build(seed=8)
+
+
+class TestOperationsLoop:
+    def test_qualify_then_serve_then_repair(self, ocs):
+        qualifier = LinkQualifier(ocs, seed=4)
+        results = qualifier.qualify_ports(range(16))
+        good = results[QualificationGrade.PASS]
+        assert len(good) >= 10
+
+        south = 64
+        circuits = []
+        for port in good[:6]:
+            ocs.connect(port, south)
+            circuits.append((port, south))
+            south += 1
+
+        loop = RepairLoop(ocs)
+        loop.scan()
+        victim_n, victim_s = circuits[0]
+        loop.degrade_circuit(victim_n, victim_s, extra_db=1.0)
+        actions = loop.run_once()
+        assert len(actions) == 1
+        assert actions[0].new_circuit[1] >= PALOMAR_USABLE_PORTS
+        # All six circuits still up (one on a spare).
+        assert ocs.state.num_circuits == 6
+
+    def test_repair_does_not_disturb_neighbors(self, ocs):
+        loop = RepairLoop(ocs)
+        ocs.connect(0, 64)
+        ocs.connect(1, 65)
+        ocs.connect(2, 66)
+        loop.scan()
+        loop.degrade_circuit(1, 65, extra_db=1.2)
+        loop.run_once()
+        assert ocs.state.south_of(0) == 64
+        assert ocs.state.south_of(2) == 66
+        assert ocs.state.south_of(1) != 65
+
+    def test_board_swap_then_remake(self, ocs):
+        for i in range(4):
+            ocs.connect(i + 20, 68 + i)
+        dropped = ocs.fail_driver_board("south", 4)  # S68..S84
+        assert len(dropped) == 4
+        ocs.replace_driver_board("south", 4)
+        for north, south in dropped:
+            ocs.connect(north, south)
+        assert ocs.state.num_circuits == 4
+        assert ocs.is_healthy
+
+    def test_qualification_uses_distinct_spares_concurrently(self, ocs):
+        """Multiple in-flight qualifications would need distinct spares;
+        sequential ones reuse the first free spare."""
+        qualifier = LinkQualifier(ocs, seed=1)
+        r1 = qualifier.qualify(0, plant_excess_db=0.0)
+        r2 = qualifier.qualify(1, plant_excess_db=0.0)
+        # Sequential tests free the spare in between.
+        assert r1.spare == r2.spare
+
+    def test_marginal_port_can_be_recleaned(self, ocs):
+        """A MARGINAL verdict (dirty connector) clears after cleaning."""
+        qualifier = LinkQualifier(ocs, seed=2)
+        dirty = qualifier.qualify(5, plant_excess_db=1.0)
+        assert dirty.grade is QualificationGrade.MARGINAL
+        cleaned = qualifier.qualify(5, plant_excess_db=0.05)
+        assert cleaned.grade is QualificationGrade.PASS

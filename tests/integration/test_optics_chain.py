@@ -1,0 +1,88 @@
+"""Integration: the full optical chain from transceiver to post-FEC BER.
+
+Threads one bidi link through every optics-layer module: transceiver
+spec -> fabric path (with a real OCS's sampled losses) -> MPI estimate ->
+PAM4 BER -> OIM -> concatenated FEC -> error-free verdict.
+"""
+
+import pytest
+
+from repro.fabric.path import OpticalPath
+from repro.ocs.palomar import PalomarOcs
+from repro.optics.ber import receiver_sensitivity_dbm
+from repro.optics.fec import ERROR_FREE_BER, ConcatenatedFec
+from repro.optics.fiber import FiberSpan
+from repro.optics.link_budget import LinkBudget
+from repro.optics.oim import OimDsp
+from repro.optics.pam4 import Pam4LinkModel
+from repro.optics.transceiver import transceiver
+
+
+@pytest.fixture(scope="module")
+def ocs():
+    return PalomarOcs.build(seed=33)
+
+
+@pytest.fixture(scope="module")
+def path(ocs):
+    spec = transceiver("bidi_2x400g_cwdm4")
+    return OpticalPath.through_ocs(
+        spec,
+        ocs_insertion_loss_db=ocs.insertion_loss_db(10, 77),
+        ocs_return_loss_db=ocs.optics.worst_path_reflection_db(10, 77),
+        fiber=FiberSpan(length_m=60.0),
+    )
+
+
+class TestChain:
+    def test_budget_and_path_agree_on_loss(self, ocs):
+        """LinkBudget and OpticalPath compute the same total loss."""
+        spec = transceiver("bidi_2x400g_cwdm4")
+        il = ocs.insertion_loss_db(10, 77)
+        budget = LinkBudget.for_fabric_path(
+            spec, ocs_insertion_loss_db=il,
+            fiber_spans=[FiberSpan(length_m=60.0), FiberSpan(length_m=60.0)],
+        )
+        path = OpticalPath.through_ocs(
+            spec, ocs_insertion_loss_db=il, ocs_return_loss_db=-46.0,
+            fiber=FiberSpan(length_m=60.0),
+        )
+        assert budget.total_loss_db == pytest.approx(path.total_loss_db)
+
+    def test_link_is_error_free_end_to_end(self, path):
+        """Received power -> slicer BER -> FEC output below 1e-13."""
+        model = path.ber_model(oim_suppression_db=OimDsp().suppression_db)
+        slicer_ber = model.ber(path.received_power_dbm)
+        post_fec = ConcatenatedFec().post_fec_ber(slicer_ber)
+        assert post_fec < ERROR_FREE_BER
+
+    def test_margin_against_fec_assisted_sensitivity(self, path):
+        """The FEC-relaxed sensitivity gives more margin than the plain one."""
+        model = path.ber_model()
+        plain = receiver_sensitivity_dbm(model, 2e-4)
+        relaxed = receiver_sensitivity_dbm(
+            model, ConcatenatedFec().inner_input_threshold()
+        )
+        assert relaxed < plain
+        assert path.received_power_dbm - relaxed > path.received_power_dbm - plain
+
+    def test_dispersion_negligible_at_datacenter_reach(self):
+        """60 m spans add no meaningful dispersion penalty at 50G PAM4."""
+        span = FiberSpan(length_m=60.0)
+        assert span.dispersion_penalty_db(1271.0, 26.5) < 0.01
+
+    def test_removing_oim_still_converges_through_fec(self, path):
+        model = path.ber_model(oim_suppression_db=0.0)
+        slicer_ber = model.ber(path.received_power_dbm)
+        # Without OIM the slicer BER rises but the concatenated FEC holds
+        # for this well-engineered path.
+        assert ConcatenatedFec().post_fec_ber(slicer_ber) < ERROR_FREE_BER
+
+    def test_bad_path_detected(self, ocs):
+        """A path with big excess loss fails the budget check."""
+        spec = transceiver("bidi_2x400g_cwdm4")
+        budget = LinkBudget.for_fabric_path(
+            spec, ocs_insertion_loss_db=2.0,
+            fiber_spans=[FiberSpan(length_m=20_000.0, connectors=12)],
+        )
+        assert not budget.closes

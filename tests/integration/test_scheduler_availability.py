@@ -1,0 +1,88 @@
+"""Integration: scheduler + availability + qualification working together.
+
+Scenario tests crossing the scheduler, the availability model, the
+superpod, and spare-port qualification -- the operational loop of
+§4.2.2-§4.2.4.
+"""
+
+import pytest
+
+from repro.availability.goodput import cube_availability, spares_for_slice
+from repro.core.ids import CubeId, JobId, SliceId
+from repro.fabric.qualification import LinkQualifier, QualificationGrade
+from repro.ocs.palomar import PalomarOcs
+from repro.scheduler.allocator import ReconfigurableAllocator
+from repro.scheduler.requests import JobRequest
+from repro.scheduler.simulator import SchedulerSimulation
+from repro.tpu.slice_topology import SliceTopology
+from repro.tpu.superpod import Superpod
+
+
+class TestSparesMatchSchedulerBehaviour:
+    def test_analytic_spares_cover_simulated_failures(self):
+        """A slice sized by the goodput model survives injected failures
+        in the scheduler simulation."""
+        a_cube = cube_availability(0.995)
+        spares = spares_for_slice(8, a_cube)
+        pod = Superpod(num_cubes=8 + spares + 2)
+        alloc = ReconfigurableAllocator(pod)
+        job = JobRequest(JobId("big"), cubes=8, duration_s=50_000.0, arrival_s=0.0)
+        sim = SchedulerSimulation(
+            alloc,
+            cube_failure_rate_per_s=1 / 300_000.0,
+            repair_s=30_000.0,
+            seed=3,
+        )
+        metrics = sim.run([job])
+        assert metrics.completed == 1
+        assert metrics.failures_injected > 0
+        # Every failure that hit the slice was absorbed by a swap.
+        assert metrics.requeued_after_failure == 0
+        assert metrics.survived_failures > 0
+
+    def test_degraded_pod_still_schedules(self):
+        """Held-back (failed) cubes shrink capacity; jobs still place."""
+        pod = Superpod(num_cubes=16)
+        for i in (2, 7, 11):
+            pod.cube(CubeId(i)).fail_host(0)
+        alloc = ReconfigurableAllocator(pod)
+        job = JobRequest(JobId("j"), cubes=13, duration_s=10.0, arrival_s=0.0)
+        assert alloc.try_allocate(job) is not None
+        assert alloc.try_allocate(
+            JobRequest(JobId("k"), cubes=1, duration_s=10.0, arrival_s=0.0)
+        ) is None  # only failed cubes remain
+
+
+class TestQualificationBeforeService:
+    def test_only_qualified_ports_carry_slices(self):
+        """The deployment loop: qualify a cube's ports, then connect."""
+        ocs = PalomarOcs.build(seed=55)
+        qualifier = LinkQualifier(ocs, seed=2)
+        results = qualifier.qualify_ports(range(8))
+        good = results[QualificationGrade.PASS]
+        assert good
+        # Production circuits go only on PASS ports.
+        south = 64
+        for port in good:
+            ocs.connect(port, south)
+            south += 1
+        assert ocs.state.num_circuits == len(good)
+        # The spares stayed free for the next qualification round.
+        report = qualifier.qualify(60, plant_excess_db=0.0)
+        assert report.grade is QualificationGrade.PASS
+
+
+class TestSwapPreservesTopologyShape:
+    def test_swap_keeps_ring_structure(self):
+        pod = Superpod(num_cubes=12)
+        topo = SliceTopology.compose(
+            SliceId("s"), (1, 2, 4), [CubeId(i) for i in range(8)]
+        )
+        pod.configure_slice(topo)
+        pod.cube(CubeId(5)).fail_host(0)
+        new_topo = pod.swap_cube(SliceId("s"), CubeId(5))
+        assert new_topo.shape_cubes == (1, 2, 4)
+        assert len(new_topo.inter_cube_links()) == len(topo.inter_cube_links())
+        # Same logical coordinate, different physical cube.
+        old_coord = [c for c, cid in topo.assignment if cid == CubeId(5)][0]
+        assert new_topo.cube_at(old_coord) != CubeId(5)

@@ -1,0 +1,96 @@
+"""Property-based invariants of the superpod fabric state.
+
+Hypothesis drives random sequences of slice configure/release/swap
+operations and checks the invariants the control plane must never break:
+
+- every OCS state stays a partial bijection;
+- the 16 OCSes of one dimension always carry identical cube patterns;
+- total circuits == 48 * allocated cubes;
+- allocated/free cube sets partition the pod.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ReproError
+from repro.core.ids import CubeId, OcsId, SliceId
+from repro.tpu.cube import DIMS, FACE_PORTS
+from repro.tpu.slice_topology import SliceTopology
+from repro.tpu.superpod import Superpod, ocs_index
+
+
+@st.composite
+def operations(draw):
+    """Random op sequences over a 16-cube pod."""
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("configure"),
+                    st.integers(0, 7),  # slice tag
+                    st.integers(0, 15),  # first cube
+                    st.sampled_from([(1, 1, 1), (1, 1, 2), (1, 2, 2), (1, 1, 4)]),
+                ),
+                st.tuples(st.just("release"), st.integers(0, 7)),
+                st.tuples(st.just("swap"), st.integers(0, 7), st.integers(0, 15)),
+            ),
+            max_size=12,
+        )
+    )
+    return ops
+
+
+def check_invariants(pod: Superpod) -> None:
+    # 1. Bijection on every switch.
+    for i in range(48):
+        assert pod.manager.switch(OcsId(i)).state.is_bijective()
+    # 2. Dimension replication: all 16 OCSes of a dim agree.
+    for dim in DIMS:
+        reference = pod.manager.switch(OcsId(ocs_index(dim, 0))).state.circuits
+        for pos in range(1, FACE_PORTS):
+            other = pod.manager.switch(OcsId(ocs_index(dim, pos))).state.circuits
+            assert other == reference
+    # 3. Circuit accounting.
+    allocated = len(pod.allocated_cubes())
+    assert pod.total_circuits() == 48 * allocated
+    # 4. Partition.
+    assert pod.allocated_cubes().isdisjoint(pod.free_cubes())
+    assert len(pod.allocated_cubes()) + len(pod.free_cubes()) == pod.num_cubes
+
+
+class TestSuperpodInvariants:
+    @given(operations())
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_under_any_sequence(self, ops):
+        pod = Superpod(num_cubes=16)
+        for op in ops:
+            try:
+                if op[0] == "configure":
+                    _, tag, first, shape = op
+                    n = shape[0] * shape[1] * shape[2]
+                    cubes = [CubeId((first + i) % 16) for i in range(n)]
+                    topo = SliceTopology.compose(SliceId(f"s{tag}"), shape, cubes)
+                    pod.configure_slice(topo)
+                elif op[0] == "release":
+                    pod.release_slice(SliceId(f"s{op[1]}"))
+                else:
+                    _, tag, cube = op
+                    pod.swap_cube(SliceId(f"s{tag}"), CubeId(cube))
+            except ReproError:
+                pass  # rejected operations must not corrupt state
+            check_invariants(pod)
+
+    @given(st.permutations(list(range(8))))
+    @settings(max_examples=20, deadline=None)
+    def test_release_order_independent(self, order):
+        """Configuring 8 single-cube slices and releasing in any order
+        always drains the fabric completely."""
+        pod = Superpod(num_cubes=8)
+        for i in range(8):
+            pod.configure_slice(
+                SliceTopology.compose(SliceId(f"s{i}"), (1, 1, 1), [CubeId(i)])
+            )
+        for i in order:
+            pod.release_slice(SliceId(f"s{i}"))
+            check_invariants(pod)
+        assert pod.total_circuits() == 0

@@ -1,0 +1,121 @@
+"""Tests for repro.ml.collective_sim: execution validates the analytics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.ml.collective_sim import (
+    RingCollectiveSim,
+    simulate_hierarchical_all_reduce,
+)
+from repro.ml.collectives import (
+    hierarchical_all_reduce_time_s,
+    ring_all_gather_time_s,
+    ring_all_reduce_time_s,
+    ring_reduce_scatter_time_s,
+)
+
+BW = 1e9
+OVH = 1e-6
+
+
+def ring_data(n, vec=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=vec) for _ in range(n)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_all_reduce_sums(self, n):
+        sim = RingCollectiveSim(n, BW, OVH)
+        data = ring_data(n, vec=n * 4, seed=n)
+        out, _ = sim.all_reduce(data)
+        expected = np.sum(data, axis=0)
+        assert all(np.allclose(o, expected) for o in out)
+
+    def test_reduce_scatter_owner_convention(self):
+        n = 4
+        sim = RingCollectiveSim(n, BW, OVH)
+        data = ring_data(n, vec=8, seed=3)
+        owned, _ = sim.reduce_scatter(data)
+        expected = np.sum(data, axis=0)
+        shards = np.array_split(expected, n)
+        for c in range(n):
+            np.testing.assert_allclose(owned[c], shards[sim.owned_shard_index(c)])
+
+    def test_all_gather_reassembles(self):
+        n = 4
+        sim = RingCollectiveSim(n, BW, OVH)
+        full = np.arange(16, dtype=float)
+        shards = np.array_split(full, n)
+        owned = [shards[sim.owned_shard_index(c)] for c in range(n)]
+        gathered, _ = sim.all_gather(owned)
+        for g in gathered:
+            np.testing.assert_allclose(g, full)
+
+    def test_uneven_vector_split(self):
+        """Vectors that don't divide evenly still reduce correctly."""
+        n = 4
+        sim = RingCollectiveSim(n, BW, OVH)
+        data = ring_data(n, vec=10, seed=5)
+        out, _ = sim.all_reduce(data)
+        assert all(np.allclose(o, np.sum(data, axis=0)) for o in out)
+
+    @given(st.integers(2, 10), st.integers(1, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_all_reduce_property(self, n, vec):
+        sim = RingCollectiveSim(n, BW, OVH)
+        data = ring_data(n, vec=vec, seed=n * 100 + vec)
+        out, _ = sim.all_reduce(data)
+        expected = np.sum(data, axis=0)
+        assert all(np.allclose(o, expected) for o in out)
+
+
+class TestTimingMatchesAnalytic:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_reduce_scatter_time(self, n):
+        vec = n * 16  # even split -> exact match
+        sim = RingCollectiveSim(n, BW, OVH)
+        data = ring_data(n, vec=vec)
+        _, t = sim.reduce_scatter(data)
+        analytic = ring_reduce_scatter_time_s(data[0].nbytes, n, BW, OVH)
+        assert t == pytest.approx(analytic, rel=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_all_reduce_time(self, n):
+        vec = n * 8
+        sim = RingCollectiveSim(n, BW, OVH)
+        data = ring_data(n, vec=vec)
+        _, t = sim.all_reduce(data)
+        analytic = ring_all_reduce_time_s(data[0].nbytes, n, BW, OVH)
+        assert t == pytest.approx(analytic, rel=1e-9)
+
+    def test_hierarchical_time(self):
+        correct, t = simulate_hierarchical_all_reduce((4, 4), 128, BW, OVH, seed=1)
+        assert correct
+        analytic = hierarchical_all_reduce_time_s(128 * 8, (4, 4), BW, OVH)
+        assert t == pytest.approx(analytic, rel=1e-9)
+
+
+class TestHierarchical:
+    @pytest.mark.parametrize("extents", [(2, 2), (4, 4), (2, 3, 4), (1, 4)])
+    def test_correct_over_shapes(self, extents):
+        import math
+
+        vec = 8 * math.prod(extents)
+        correct, t = simulate_hierarchical_all_reduce(extents, vec, BW, OVH, seed=7)
+        assert correct
+        assert t >= 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_hierarchical_all_reduce((0, 2), 8, BW)
+        with pytest.raises(ConfigurationError):
+            RingCollectiveSim(0, BW)
+        sim = RingCollectiveSim(4, BW)
+        with pytest.raises(ConfigurationError):
+            sim.reduce_scatter(ring_data(3))
+        with pytest.raises(ConfigurationError):
+            sim.all_gather([np.zeros(2)] * 3)

@@ -1,0 +1,98 @@
+"""Tests for repro.ml.collectives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.ml.collectives import (
+    hierarchical_all_reduce_time_s,
+    point_to_point_time_s,
+    ring_all_gather_time_s,
+    ring_all_reduce_time_s,
+    ring_reduce_scatter_time_s,
+)
+
+BW = 50e9  # bytes/s per direction
+
+
+class TestRingPrimitives:
+    def test_single_node_free(self):
+        assert ring_reduce_scatter_time_s(1e9, 1, BW) == 0.0
+        assert ring_all_reduce_time_s(1e9, 1, BW) == 0.0
+
+    def test_all_reduce_is_rs_plus_ag(self):
+        v, n = 1e9, 16
+        assert ring_all_reduce_time_s(v, n, BW) == pytest.approx(
+            ring_reduce_scatter_time_s(v, n, BW) + ring_all_gather_time_s(v, n, BW)
+        )
+
+    def test_bandwidth_term(self):
+        # (n-1)/n * V / (2*bw), overhead off.
+        t = ring_reduce_scatter_time_s(1e9, 4, BW, step_overhead_s=0.0)
+        assert t == pytest.approx(0.75 * 1e9 / (2 * BW))
+
+    def test_overhead_scales_with_steps(self):
+        slow = ring_reduce_scatter_time_s(0.0, 64, BW, step_overhead_s=1e-6)
+        assert slow == pytest.approx(63e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ring_all_reduce_time_s(-1, 4, BW)
+        with pytest.raises(ConfigurationError):
+            ring_all_reduce_time_s(1, 0, BW)
+        with pytest.raises(ConfigurationError):
+            ring_all_reduce_time_s(1, 4, 0)
+
+    @given(st.integers(2, 256), st.floats(1e6, 1e10))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_volume(self, n, v):
+        assert ring_all_reduce_time_s(v, n, BW) <= ring_all_reduce_time_s(2 * v, n, BW)
+
+
+class TestHierarchical:
+    def test_single_dim_matches_ring(self):
+        v = 1e9
+        assert hierarchical_all_reduce_time_s(v, (16,), BW) == pytest.approx(
+            ring_all_reduce_time_s(v, 16, BW)
+        )
+
+    def test_empty_dims_free(self):
+        assert hierarchical_all_reduce_time_s(1e9, (), BW) == 0.0
+
+    def test_two_dims_cheaper_than_flat_ring_same_size(self):
+        """Hierarchical over 16x16 beats a flat 256-ring on latency and
+        matches its bandwidth term asymptotically."""
+        v = 1e9
+        hier = hierarchical_all_reduce_time_s(v, (16, 16), BW, step_overhead_s=1e-5)
+        flat = ring_all_reduce_time_s(v, 256, BW, step_overhead_s=1e-5)
+        assert hier < flat
+
+    def test_split_order_second_order_only(self):
+        """Different factorizations of the same degree are near-equivalent."""
+        v = 1e9
+        a = hierarchical_all_reduce_time_s(v, (4, 256), BW, step_overhead_s=0.0)
+        b = hierarchical_all_reduce_time_s(v, (32, 32), BW, step_overhead_s=0.0)
+        assert a == pytest.approx(b, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            hierarchical_all_reduce_time_s(1e9, (4, 0), BW)
+
+    @given(st.sampled_from([(4, 256), (16, 64), (32, 32), (256, 4)]))
+    @settings(max_examples=8, deadline=None)
+    def test_bandwidth_term_bound(self, extents):
+        """Any split's bandwidth term approaches 2*V*(D-1)/D / (2*bw)."""
+        v = 1e9
+        t = hierarchical_all_reduce_time_s(v, extents, BW, step_overhead_s=0.0)
+        optimal = 2 * v * (1024 - 1) / 1024 / (2 * BW)
+        assert optimal * 0.999 <= t <= optimal * 1.02
+
+
+class TestPointToPoint:
+    def test_transfer_time(self):
+        assert point_to_point_time_s(BW, BW) == pytest.approx(1.0, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            point_to_point_time_s(1e9, BW, hops=0)

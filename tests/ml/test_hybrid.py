@@ -1,0 +1,62 @@
+"""Tests for repro.ml.hybrid (Fig 2 scale-out)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.ml.hybrid import (
+    HybridClusterSpec,
+    cross_pod_all_reduce_time_s,
+    dcn_critical_path_fraction,
+)
+
+
+@pytest.fixture
+def spec():
+    return HybridClusterSpec()
+
+
+class TestSpec:
+    def test_bandwidth_gap_50_to_100x(self, spec):
+        """§2.2: ICI provides 50-100x the DCN bandwidth per TPU."""
+        assert 50 <= spec.ici_to_dcn_ratio <= 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HybridClusterSpec(num_pods=0)
+        with pytest.raises(ConfigurationError):
+            HybridClusterSpec(ici_gbytes_per_s=0)
+
+
+class TestCollective:
+    def test_dcn_dominates_critical_path(self, spec):
+        """§2.2.2: the DCN transfers sit on the critical path."""
+        frac = dcn_critical_path_fraction(spec, volume_bytes_per_chip=100e6)
+        assert frac > 0.5
+
+    def test_more_dcn_bandwidth_helps(self):
+        slow = HybridClusterSpec(dcn_gbytes_per_chip_s=0.3)
+        fast = HybridClusterSpec(dcn_gbytes_per_chip_s=0.6)
+        v = 100e6
+        assert cross_pod_all_reduce_time_s(fast, v) < cross_pod_all_reduce_time_s(slow, v)
+
+    def test_single_pod_ring_free_dcn(self):
+        spec = HybridClusterSpec(num_pods=1)
+        frac = dcn_critical_path_fraction(spec, 100e6)
+        assert frac == pytest.approx(0.0, abs=1e-6)
+
+    def test_larger_intra_ring_shrinks_dcn_shard(self, spec):
+        v = 100e6
+        small = cross_pod_all_reduce_time_s(spec, v, intra_pod_ring=16)
+        large = cross_pod_all_reduce_time_s(spec, v, intra_pod_ring=256)
+        assert large < small
+
+    def test_zero_volume(self, spec):
+        assert cross_pod_all_reduce_time_s(spec, 0.0) < 1e-3
+
+    def test_validation(self, spec):
+        with pytest.raises(ConfigurationError):
+            cross_pod_all_reduce_time_s(spec, -1.0)
+        with pytest.raises(ConfigurationError):
+            cross_pod_all_reduce_time_s(spec, 1e6, intra_pod_ring=0)
+        with pytest.raises(ConfigurationError):
+            cross_pod_all_reduce_time_s(spec, 1e6, intra_pod_ring=10_000)

@@ -1,0 +1,54 @@
+"""Tests for repro.ml.models."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.ml.models import LLM_ZOO, LlmConfig
+
+
+class TestLlmConfig:
+    def test_from_params_parameter_count(self):
+        m = LlmConfig.from_params("x", 35e9, num_layers=48, seq_len=2048, global_batch_seqs=1024)
+        # 12 * L * h^2 should approximate the requested parameter count.
+        approx = 12 * m.num_layers * m.hidden_dim ** 2
+        assert approx == pytest.approx(35e9, rel=0.05)
+
+    def test_hidden_multiple_of_128(self):
+        m = LlmConfig.from_params("x", 70e9, 80, 2048, 1024)
+        assert m.hidden_dim % 128 == 0
+
+    def test_batch_tokens(self):
+        m = LLM_ZOO["llm0"]
+        assert m.global_batch_tokens == m.global_batch_seqs * m.seq_len
+
+    def test_flops_per_step(self):
+        m = LLM_ZOO["llm1"]
+        assert m.flops_per_step == pytest.approx(6 * m.num_params * m.global_batch_tokens)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LlmConfig("x", 0, 1, 1, 1, 1)
+        with pytest.raises(ConfigurationError):
+            LlmConfig.from_params("x", -1, 48, 2048, 1024)
+        with pytest.raises(ConfigurationError):
+            LlmConfig("x", 1e9, 0, 128, 2048, 1024)
+
+
+class TestZoo:
+    def test_three_models(self):
+        assert set(LLM_ZOO) == {"llm0", "llm1", "llm2"}
+
+    def test_paper_sizes(self):
+        assert LLM_ZOO["llm0"].num_params == 35e9
+        assert LLM_ZOO["llm1"].num_params == 70e9
+        assert LLM_ZOO["llm2"].num_params == 150e9
+
+    def test_llm1_most_data_parallel_skew(self):
+        """§4.2.1: LLM1's batch/params ratio is the most skewed."""
+        ratios = {
+            k: m.global_batch_seqs / (m.num_params / 1e9) for k, m in LLM_ZOO.items()
+        }
+        assert ratios["llm1"] > ratios["llm0"] > ratios["llm2"]
+
+    def test_str(self):
+        assert "70B" in str(LLM_ZOO["llm1"])

@@ -1,0 +1,87 @@
+"""Tests for repro.ml.parallelism."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.ml.models import LLM_ZOO, LlmConfig
+from repro.ml.parallelism import ParallelismPlan
+
+
+def plan_for(key, shape):
+    return ParallelismPlan.for_shape(LLM_ZOO[key], shape)
+
+
+class TestShapeMapping:
+    def test_paper_mapping(self):
+        p = plan_for("llm0", (8, 16, 32))
+        assert p.tensor == 8
+        assert p.data_extents == (16, 32)
+        assert p.data == 512
+        assert p.pipeline == 1
+
+    def test_num_chips(self):
+        assert plan_for("llm1", (4, 4, 256)).num_chips == 4096
+
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            ParallelismPlan.for_shape(LLM_ZOO["llm0"], (8, 16))
+        with pytest.raises(ConfigurationError):
+            ParallelismPlan.for_shape(LLM_ZOO["llm0"], (0, 16, 32))
+
+
+class TestDerived:
+    def test_batch_per_replica(self):
+        p = plan_for("llm1", (4, 4, 256))
+        assert p.batch_seqs_per_replica == LLM_ZOO["llm1"].global_batch_seqs // 1024
+
+    def test_bubble_zero_without_pipeline(self):
+        assert plan_for("llm0", (8, 16, 32)).pipeline_bubble_fraction == 0.0
+
+    def test_bubble_with_pipeline(self):
+        p = ParallelismPlan(
+            model=LLM_ZOO["llm0"], tensor=8, data_extents=(32,), pipeline=4
+        )
+        m = p.num_microbatches
+        assert p.pipeline_bubble_fraction == pytest.approx(3 / m)
+
+    def test_memory_decreases_with_tensor(self):
+        low = plan_for("llm2", (4, 16, 64))
+        high = plan_for("llm2", (16, 16, 16))
+        assert high.memory_per_chip_bytes() < low.memory_per_chip_bytes()
+
+
+class TestFeasibility:
+    def test_llm2_needs_tensor_16(self):
+        """150B at 32 GiB HBM forces tensor parallelism >= 16."""
+        assert not plan_for("llm2", (8, 16, 32)).feasible
+        assert "GiB" in plan_for("llm2", (8, 16, 32)).infeasibility_reason()
+        assert plan_for("llm2", (16, 16, 16)).feasible
+
+    def test_llm1_fits_at_tensor_4(self):
+        """70B still fits at tensor parallelism 4 (the paper's optimum)."""
+        assert plan_for("llm1", (4, 4, 256)).feasible
+
+    def test_llm0_fits_at_tensor_4(self):
+        assert plan_for("llm0", (4, 4, 256)).feasible
+
+    def test_data_bounded_by_batch(self):
+        small_batch = LlmConfig.from_params("tiny", 35e9, 48, 2048, 64)
+        p = ParallelismPlan.for_shape(small_batch, (4, 4, 256))
+        assert not p.feasible
+        assert "global batch" in p.infeasibility_reason()
+
+    def test_pipeline_bounded_by_layers(self):
+        p = ParallelismPlan(
+            model=LLM_ZOO["llm0"], tensor=4, data_extents=(4,), pipeline=256
+        )
+        assert "stages" in p.infeasibility_reason()
+
+    def test_tensor_bounded_by_heads(self):
+        p = ParallelismPlan(model=LLM_ZOO["llm0"], tensor=256, data_extents=(16,))
+        assert "head" in p.infeasibility_reason()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelismPlan(model=LLM_ZOO["llm0"], tensor=0, data_extents=(4,))
+        with pytest.raises(ConfigurationError):
+            ParallelismPlan(model=LLM_ZOO["llm0"], tensor=4, data_extents=())

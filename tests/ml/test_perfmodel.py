@@ -1,0 +1,99 @@
+"""Tests for repro.ml.perfmodel."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.ml.models import LLM_ZOO
+from repro.ml.parallelism import ParallelismPlan
+from repro.ml.perfmodel import TrainingStepModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TrainingStepModel()
+
+
+def plan(key, shape):
+    return ParallelismPlan.for_shape(LLM_ZOO[key], shape)
+
+
+class TestComponents:
+    def test_compute_independent_of_shape(self, model):
+        a = model.compute_time_s(plan("llm0", (8, 16, 32)))
+        b = model.compute_time_s(plan("llm0", (4, 4, 256)))
+        assert a == pytest.approx(b)
+
+    def test_tensor_comm_grows_with_tensor_dim(self, model):
+        """More tensor parallelism means more activation all-reduce."""
+        p4 = model.tensor_comm_time_s(plan("llm1", (4, 4, 256)))
+        p8 = model.tensor_comm_time_s(plan("llm1", (8, 4, 128)))
+        p16 = model.tensor_comm_time_s(plan("llm1", (16, 16, 16)))
+        assert p4 < p8 < p16
+
+    def test_tensor_comm_zero_without_tp(self, model):
+        p = ParallelismPlan(model=LLM_ZOO["llm0"], tensor=1, data_extents=(64, 64))
+        assert model.tensor_comm_time_s(p) == 0.0
+
+    def test_data_comm_shrinks_with_tensor_dim(self, model):
+        """More model sharding means smaller gradient all-reduces."""
+        d4 = model.data_comm_time_s(plan("llm1", (4, 4, 256)))
+        d16 = model.data_comm_time_s(plan("llm1", (16, 16, 16)))
+        assert d16 < d4
+
+    def test_data_comm_zero_without_dp(self, model):
+        p = ParallelismPlan(model=LLM_ZOO["llm0"], tensor=16, data_extents=(1,))
+        assert model.data_comm_time_s(p) == 0.0
+
+    def test_overlap_reduces_data_comm(self):
+        p = plan("llm1", (4, 4, 256))
+        none = TrainingStepModel(dp_overlap=0.0).data_comm_time_s(p)
+        half = TrainingStepModel(dp_overlap=0.5).data_comm_time_s(p)
+        assert half == pytest.approx(none / 2)
+
+
+class TestStepTime:
+    def test_breakdown_sums(self, model):
+        p = plan("llm0", (8, 16, 32))
+        b = model.breakdown(p)
+        expected = (b.compute_s + b.tensor_comm_s + b.pipeline_comm_s) * (
+            1 + b.bubble_fraction
+        ) + b.data_comm_s
+        assert b.total_s == pytest.approx(expected)
+
+    def test_infeasible_plan_raises(self, model):
+        with pytest.raises(ConfigurationError):
+            model.step_time_s(plan("llm2", (4, 16, 64)))
+
+    def test_throughput_inverse_of_step(self, model):
+        p = plan("llm1", (4, 4, 256))
+        assert model.throughput_seqs_per_s(p) == pytest.approx(
+            LLM_ZOO["llm1"].global_batch_seqs / model.step_time_s(p)
+        )
+
+    def test_comm_fraction_bounds(self, model):
+        b = model.breakdown(plan("llm2", (16, 16, 16)))
+        assert 0 < b.comm_fraction < 1
+
+    def test_u_shape_in_tensor_dim(self, model):
+        """The tensor/data tradeoff is U-shaped for LLM0 (optimum at 8)."""
+        t4 = model.step_time_s(plan("llm0", (4, 16, 64)))
+        t8 = model.step_time_s(plan("llm0", (8, 16, 32)))
+        t16 = model.step_time_s(plan("llm0", (16, 16, 16)))
+        assert t8 < t4
+        assert t8 < t16
+
+
+class TestValidation:
+    def test_bad_mfu(self):
+        with pytest.raises(ConfigurationError):
+            TrainingStepModel(mfu=0.0)
+        with pytest.raises(ConfigurationError):
+            TrainingStepModel(mfu=1.5)
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            TrainingStepModel(link_gbytes_per_s=0)
+
+    def test_bad_overlap(self):
+        with pytest.raises(ConfigurationError):
+            TrainingStepModel(dp_overlap=1.5)

@@ -1,0 +1,77 @@
+"""Tests for repro.ml.reshaping (§6 mid-training reshaping study)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.ml.models import LLM_ZOO, LlmConfig
+from repro.ml.perfmodel import TrainingStepModel
+from repro.ml.reshaping import ReshapingPlan, ReshapingStudy, TrainingPhase
+
+
+@pytest.fixture(scope="module")
+def study():
+    return ReshapingStudy(TrainingStepModel(), reshape_cost_s=120.0)
+
+
+@pytest.fixture(scope="module")
+def mixed_phases():
+    # A data-parallel-heavy pretraining phase and a large-model phase
+    # whose optima differ (LLM1 -> 4x4x256, LLM2 -> 16x16x16).
+    return [
+        TrainingPhase("pretrain", LLM_ZOO["llm1"], steps=200),
+        TrainingPhase("dense-finetune", LLM_ZOO["llm2"], steps=200),
+    ]
+
+
+class TestPhases:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainingPhase("x", LLM_ZOO["llm0"], steps=0)
+        with pytest.raises(ConfigurationError):
+            ReshapingStudy(TrainingStepModel(), reshape_cost_s=-1)
+
+
+class TestPlan:
+    def test_reshaping_wins_on_mixed_phases(self, study, mixed_phases):
+        plan = study.plan(mixed_phases)
+        assert plan.num_reshapes == 1
+        assert plan.phase_shapes == ((4, 4, 256), (16, 16, 16))
+        assert plan.speedup > 1.0
+
+    def test_fixed_shape_feasible_for_all(self, study, mixed_phases):
+        plan = study.plan(mixed_phases)
+        # LLM2's memory bound forces the fixed shape into tensor >= 16.
+        assert plan.fixed_shape[0] >= 16
+
+    def test_breakeven_positive(self, study, mixed_phases):
+        plan = study.plan(mixed_phases)
+        assert plan.breakeven_reshape_cost_s > 0
+        # At a reshape cost above break-even, reshaping loses.
+        expensive = ReshapingStudy(
+            TrainingStepModel(),
+            reshape_cost_s=plan.breakeven_reshape_cost_s * 1.5,
+        ).plan(mixed_phases)
+        assert expensive.speedup < 1.0
+
+    def test_single_phase_no_reshape(self, study):
+        plan = study.plan([TrainingPhase("only", LLM_ZOO["llm0"], steps=50)])
+        assert plan.num_reshapes == 0
+        assert plan.breakeven_reshape_cost_s == float("inf")
+        assert plan.speedup == pytest.approx(1.0)
+
+    def test_identical_phases_no_reshape(self, study):
+        phases = [
+            TrainingPhase("a", LLM_ZOO["llm1"], steps=10),
+            TrainingPhase("b", LLM_ZOO["llm1"], steps=10),
+        ]
+        plan = study.plan(phases)
+        assert plan.num_reshapes == 0
+
+    def test_empty_phases_rejected(self, study):
+        with pytest.raises(ConfigurationError):
+            study.plan([])
+
+    def test_infeasible_everywhere_rejected(self, study):
+        giant = LlmConfig.from_params("giant", 5e12, 256, 2048, 4096)
+        with pytest.raises(ConfigurationError):
+            study.plan([TrainingPhase("x", giant, steps=1)])

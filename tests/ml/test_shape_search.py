@@ -1,0 +1,95 @@
+"""Tests for repro.ml.shape_search (Table 2 reproduction target)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.ml.models import LLM_ZOO, LlmConfig
+from repro.ml.perfmodel import TrainingStepModel
+from repro.ml.shape_search import (
+    BASELINE_SHAPE,
+    SliceShapeSearch,
+    enumerate_shapes,
+)
+
+
+@pytest.fixture(scope="module")
+def search():
+    return SliceShapeSearch(TrainingStepModel())
+
+
+class TestEnumeration:
+    def test_all_products_correct(self):
+        for shape in enumerate_shapes(4096):
+            assert shape[0] * shape[1] * shape[2] == 4096
+            assert all(s % 4 == 0 for s in shape)
+
+    def test_includes_paper_shapes(self):
+        shapes = enumerate_shapes(4096)
+        assert (16, 16, 16) in shapes
+        assert (4, 4, 256) in shapes
+        assert (8, 16, 32) in shapes
+
+    def test_small_pod(self):
+        # 64 = 4*4*4 is the only factorization with all extents
+        # multiples of 4.
+        assert enumerate_shapes(64) == [(4, 4, 4)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_shapes(0)
+
+
+class TestTable2:
+    """The headline reproduction: Table 2's optima and speedups."""
+
+    def test_llm0_optimal_shape(self, search):
+        assert search.search(LLM_ZOO["llm0"]).best_shape == (8, 16, 32)
+
+    def test_llm0_speedup(self, search):
+        """Paper: 1.54x."""
+        assert search.search(LLM_ZOO["llm0"]).speedup_vs_baseline == pytest.approx(
+            1.54, abs=0.12
+        )
+
+    def test_llm1_optimal_shape(self, search):
+        assert search.search(LLM_ZOO["llm1"]).best_shape == (4, 4, 256)
+
+    def test_llm1_speedup(self, search):
+        """Paper: 3.32x."""
+        assert search.search(LLM_ZOO["llm1"]).speedup_vs_baseline == pytest.approx(
+            3.32, abs=0.25
+        )
+
+    def test_llm2_optimal_is_baseline(self, search):
+        result = search.search(LLM_ZOO["llm2"])
+        assert result.best_shape == BASELINE_SHAPE
+        assert result.speedup_vs_baseline == pytest.approx(1.0)
+
+    def test_no_one_size_fits_all(self, search):
+        """§4.2.1: there is no single optimal configuration."""
+        shapes = {k: search.search(m).best_shape for k, m in LLM_ZOO.items()}
+        assert len(set(shapes.values())) == 3
+
+
+class TestSearchMechanics:
+    def test_evaluate_infeasible_none(self, search):
+        assert search.evaluate(LLM_ZOO["llm2"], (4, 16, 64)) is None
+
+    def test_ranked_sorted(self, search):
+        ranked = search.ranked(LLM_ZOO["llm0"], top=5)
+        times = [t for _, t in ranked]
+        assert times == sorted(times)
+        assert len(ranked) == 5
+
+    def test_result_str(self, search):
+        assert "x" in str(search.search(LLM_ZOO["llm0"]))
+
+    def test_infeasible_model_raises(self, search):
+        huge = LlmConfig.from_params("huge", 5e12, 256, 2048, 4096)
+        with pytest.raises(ConfigurationError):
+            search.search(huge)
+
+    def test_counts(self, search):
+        r = search.search(LLM_ZOO["llm2"])
+        assert r.evaluated > 0
+        assert r.infeasible > 0  # small-TP classes are memory-infeasible

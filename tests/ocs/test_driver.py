@@ -1,0 +1,66 @@
+"""Tests for repro.ocs.driver."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.ocs.driver import DriverBank, DriverBoard
+
+
+class TestDriverBoard:
+    def test_channels(self):
+        b = DriverBoard(index=0, first_channel=10, num_channels=5)
+        assert list(b.channels) == [10, 11, 12, 13, 14]
+        assert b.covers(12)
+        assert not b.covers(15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DriverBoard(0, 0, 0)
+        with pytest.raises(ConfigurationError):
+            DriverBoard(0, -1, 4)
+
+
+class TestDriverBank:
+    def test_build_covers_all_channels(self):
+        bank = DriverBank.build(136, num_boards=8)
+        assert bank.num_channels == 136
+        covered = sorted(c for b in bank.boards for c in b.channels)
+        assert covered == list(range(136))
+
+    def test_build_uneven_remainder(self):
+        bank = DriverBank.build(10, num_boards=3)
+        assert [b.num_channels for b in bank.boards] == [3, 3, 4]
+
+    def test_build_validation(self):
+        with pytest.raises(ConfigurationError):
+            DriverBank.build(0, 4)
+        with pytest.raises(ConfigurationError):
+            DriverBank.build(4, 0)
+        with pytest.raises(ConfigurationError):
+            DriverBank.build(4, 8)
+
+    def test_board_for(self):
+        bank = DriverBank.build(16, num_boards=4)
+        assert bank.board_for(0).index == 0
+        assert bank.board_for(15).index == 3
+        with pytest.raises(ConfigurationError):
+            bank.board_for(16)
+
+    def test_fail_and_replace(self):
+        bank = DriverBank.build(16, num_boards=4)
+        assert bank.healthy
+        affected = bank.fail_board(1)
+        assert affected == (4, 5, 6, 7)
+        assert not bank.healthy
+        assert not bank.is_channel_driven(5)
+        assert bank.is_channel_driven(0)
+        assert bank.undriven_channels() == {4, 5, 6, 7}
+        restored = bank.replace_board(1)
+        assert restored == (4, 5, 6, 7)
+        assert bank.healthy
+        assert bank.undriven_channels() == set()
+
+    def test_unknown_board(self):
+        bank = DriverBank.build(16, num_boards=4)
+        with pytest.raises(ConfigurationError):
+            bank.fail_board(9)

@@ -1,0 +1,123 @@
+"""Tests for repro.ocs.mirror."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CapacityError, ConfigurationError
+from repro.ocs.mirror import (
+    FABRICATED_MIRRORS,
+    QUALIFIED_MIRRORS,
+    MemsMirror,
+    MirrorArray,
+    MirrorState,
+    camera_alignment_iterations,
+)
+
+
+@pytest.fixture
+def array():
+    return MirrorArray.fabricate("die-A", np.random.default_rng(42))
+
+
+class TestMemsMirror:
+    def test_loss_bounds(self):
+        best = MemsMirror(0, quality=1.0)
+        worst = MemsMirror(1, quality=0.01)
+        assert best.loss_db == pytest.approx(0.25)
+        assert worst.loss_db < 0.56
+        assert worst.loss_db > best.loss_db
+
+    def test_steer_and_park(self):
+        m = MemsMirror(0, quality=0.9)
+        m.steer(17)
+        assert m.state is MirrorState.ACTIVE
+        assert m.target_port == 17
+        m.park()
+        assert m.state is MirrorState.PARKED
+        assert m.target_port is None
+
+    def test_failed_mirror_rejects_steer(self):
+        m = MemsMirror(0, quality=0.9)
+        m.fail()
+        with pytest.raises(ConfigurationError):
+            m.steer(3)
+        with pytest.raises(ConfigurationError):
+            m.park()
+
+    def test_bad_quality_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemsMirror(0, quality=0.0)
+        with pytest.raises(ConfigurationError):
+            MemsMirror(0, quality=1.5)
+
+
+class TestMirrorArray:
+    def test_fabrication_counts(self, array):
+        assert array.num_ports == QUALIFIED_MIRRORS
+        assert len(array.spares) == FABRICATED_MIRRORS - QUALIFIED_MIRRORS
+
+    def test_qualified_are_best(self, array):
+        worst_qualified = min(m.quality for m in array.qualified)
+        best_spare = max(m.quality for m in array.spares)
+        assert worst_qualified >= best_spare
+
+    def test_cannot_overqualify(self):
+        with pytest.raises(ConfigurationError):
+            MirrorArray.fabricate("x", np.random.default_rng(0), fabricated=10, qualified=11)
+
+    def test_mirror_for_port_range(self, array):
+        with pytest.raises(ConfigurationError):
+            array.mirror_for_port(QUALIFIED_MIRRORS)
+        with pytest.raises(ConfigurationError):
+            array.mirror_for_port(-1)
+
+    def test_replace_with_spare(self, array):
+        old = array.mirror_for_port(3)
+        old.fail()
+        assert array.failed_ports == (3,)
+        new = array.replace_with_spare(3)
+        assert array.mirror_for_port(3) is new
+        assert new.state is not MirrorState.FAILED
+        assert array.failed_ports == ()
+        assert old in array.spares
+
+    def test_spare_exhaustion(self, array):
+        for _ in range(len(array.spares)):
+            array.mirror_for_port(0).fail()
+            array.replace_with_spare(0)
+        # All spares now failed mirrors swapped out... fail remaining healthy spares
+        for spare in array.spares:
+            spare.fail()
+        array.mirror_for_port(0).fail()
+        with pytest.raises(CapacityError):
+            array.replace_with_spare(0)
+
+    def test_loss_profile_shape(self, array):
+        profile = array.loss_profile_db()
+        assert profile.shape == (QUALIFIED_MIRRORS,)
+        assert np.all(profile > 0.2)
+        assert np.all(profile < 0.6)
+
+    def test_deterministic_with_seed(self):
+        a = MirrorArray.fabricate("a", np.random.default_rng(7))
+        b = MirrorArray.fabricate("b", np.random.default_rng(7))
+        np.testing.assert_allclose(a.loss_profile_db(), b.loss_profile_db())
+
+
+class TestCameraAlignment:
+    def test_converges(self):
+        rng = np.random.default_rng(0)
+        iters = camera_alignment_iterations(rng)
+        assert 1 <= iters <= 64
+
+    def test_fast_for_small_misalignment(self):
+        rng = np.random.default_rng(0)
+        iters = camera_alignment_iterations(rng, initial_misalignment_urad=6.0)
+        assert iters <= 5
+
+    def test_bounded_by_max(self):
+        rng = np.random.default_rng(0)
+        iters = camera_alignment_iterations(
+            rng, initial_misalignment_urad=1e9, gain=0.01, max_iterations=10
+        )
+        assert iters == 10

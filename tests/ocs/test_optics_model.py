@@ -1,0 +1,93 @@
+"""Tests for repro.ocs.optics_model (Fig 10 statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.ocs.optics_model import (
+    INSERTION_LOSS_MAX_DB,
+    RETURN_LOSS_SPEC_DB,
+    OcsOpticsModel,
+    summarize_insertion_loss,
+)
+
+
+@pytest.fixture
+def model():
+    rng = np.random.default_rng(1)
+    radix = 136
+    mirror_loss = rng.uniform(0.25, 0.5, radix)
+    return OcsOpticsModel(
+        radix=radix,
+        rng=rng,
+        mirror_loss_north=mirror_loss,
+        mirror_loss_south=rng.uniform(0.25, 0.5, radix),
+    )
+
+
+class TestInsertionLoss:
+    def test_matrix_shape(self, model):
+        assert model.insertion_loss_matrix_db().shape == (136, 136)
+
+    def test_typical_below_2db(self, model):
+        matrix = model.insertion_loss_matrix_db()
+        # Paper: "Insertion losses are typically less than 2dB".
+        assert np.mean(matrix < 2.0) > 0.7
+
+    def test_tail_bounded(self, model):
+        matrix = model.insertion_loss_matrix_db()
+        assert np.percentile(matrix, 99.9) < INSERTION_LOSS_MAX_DB + 1.0
+
+    def test_positive(self, model):
+        assert np.all(model.insertion_loss_matrix_db() > 0)
+
+    def test_scalar_matches_matrix(self, model):
+        matrix = model.insertion_loss_matrix_db()
+        assert model.insertion_loss_db(3, 77) == pytest.approx(matrix[3, 77])
+
+    def test_out_of_range(self, model):
+        with pytest.raises(ConfigurationError):
+            model.insertion_loss_db(136, 0)
+        with pytest.raises(ConfigurationError):
+            model.insertion_loss_db(0, -1)
+
+
+class TestReturnLoss:
+    def test_profile_shape(self, model):
+        assert model.return_loss_profile_db().shape == (136,)
+
+    def test_meets_spec(self, model):
+        assert model.meets_spec()
+        assert np.all(model.return_loss_profile_db() <= RETURN_LOSS_SPEC_DB)
+
+    def test_typical_around_minus_46(self, model):
+        profile = model.return_loss_profile_db()
+        assert -49 < np.median(profile) < -43
+
+    def test_worst_path_reflection(self, model):
+        worst = model.worst_path_reflection_db(0, 1)
+        assert worst == max(model.return_loss_db(0), model.return_loss_db(1))
+
+    def test_port_out_of_range(self, model):
+        with pytest.raises(ConfigurationError):
+            model.return_loss_db(200)
+
+
+class TestValidation:
+    def test_bad_radix(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            OcsOpticsModel(0, rng, np.array([]), np.array([]))
+
+    def test_mismatched_profiles(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            OcsOpticsModel(4, rng, np.zeros(3) + 0.3, np.zeros(4) + 0.3)
+
+
+class TestSummary:
+    def test_summary_keys(self, model):
+        s = summarize_insertion_loss(model.insertion_loss_matrix_db())
+        assert s["mean_db"] < s["p95_db"] < s["max_db"]
+        assert 0 <= s["fraction_below_2db"] <= 1
+        assert s["fraction_below_3db"] >= s["fraction_below_2db"]

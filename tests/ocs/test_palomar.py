@@ -1,0 +1,190 @@
+"""Tests for repro.ocs.palomar."""
+
+import numpy as np
+import pytest
+
+from repro.core.crossconnect import CrossConnectMap
+from repro.core.errors import CrossConnectError
+from repro.core.reconfig import plan_reconfiguration
+from repro.ocs.mirror import MirrorState
+from repro.ocs.palomar import (
+    PALOMAR_MAX_POWER_W,
+    PALOMAR_RADIX,
+    PALOMAR_USABLE_PORTS,
+    PalomarOcs,
+)
+
+
+@pytest.fixture(scope="module")
+def ocs():
+    return PalomarOcs.build(seed=3)
+
+
+@pytest.fixture
+def fresh_ocs():
+    return PalomarOcs.build(seed=11)
+
+
+class TestConstruction:
+    def test_radix(self, ocs):
+        assert ocs.radix == PALOMAR_RADIX == 136
+        assert PALOMAR_USABLE_PORTS == 128
+
+    def test_initially_empty_and_healthy(self, ocs):
+        assert ocs.state.num_circuits == 0 or ocs.state.is_bijective()
+        assert PalomarOcs.build(seed=5).is_healthy
+
+
+class TestCircuits:
+    def test_connect_steers_mirrors(self, fresh_ocs):
+        fresh_ocs.connect(3, 41)
+        assert fresh_ocs.state.south_of(3) == 41
+        assert fresh_ocs.array_north.mirror_for_port(3).target_port == 41
+        assert fresh_ocs.array_south.mirror_for_port(41).target_port == 3
+
+    def test_disconnect_parks_mirrors(self, fresh_ocs):
+        fresh_ocs.connect(3, 41)
+        fresh_ocs.disconnect(3)
+        assert fresh_ocs.array_north.mirror_for_port(3).state is MirrorState.PARKED
+        assert fresh_ocs.array_south.mirror_for_port(41).state is MirrorState.PARKED
+
+    def test_connect_duration_positive(self, fresh_ocs):
+        assert fresh_ocs.connect(0, 0) > 0
+
+    def test_full_permutation(self, fresh_ocs):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(fresh_ocs.radix)
+        target = CrossConnectMap.from_circuits(
+            fresh_ocs.radix, {i: int(perm[i]) for i in range(fresh_ocs.radix)}
+        )
+        plan = plan_reconfiguration(fresh_ocs.state, target)
+        fresh_ocs.apply_plan(plan)
+        assert fresh_ocs.state.is_full_permutation()
+
+    def test_nonblocking_any_permutation(self, fresh_ocs):
+        """Any permutation is realizable: non-blocking fabric."""
+        rng = np.random.default_rng(1)
+        for trial in range(3):
+            perm = rng.permutation(fresh_ocs.radix)
+            target = CrossConnectMap.from_circuits(
+                fresh_ocs.radix, {i: int(perm[i]) for i in range(fresh_ocs.radix)}
+            )
+            fresh_ocs.apply_plan(plan_reconfiguration(fresh_ocs.state, target))
+            assert fresh_ocs.state == target
+
+
+class TestOptics:
+    def test_loss_matrix_typical(self, ocs):
+        matrix = ocs.insertion_loss_matrix_db()
+        assert matrix.shape == (136, 136)
+        assert np.mean(matrix < 2.0) > 0.7
+
+    def test_return_loss_spec(self, ocs):
+        assert np.all(ocs.return_loss_profile_db() <= -38.0)
+
+    def test_circuit_loss_query(self, ocs):
+        loss = ocs.insertion_loss_db(0, 1)
+        assert 0.5 < loss < 4.0
+
+
+class TestFailures:
+    def test_driver_board_failure_drops_circuits(self, fresh_ocs):
+        fresh_ocs.connect(0, 100)
+        fresh_ocs.connect(50, 3)
+        dropped = fresh_ocs.fail_driver_board("north", 0)  # covers ports 0..16
+        assert (0, 100) in dropped
+        assert fresh_ocs.state.south_of(0) is None
+        assert fresh_ocs.state.south_of(50) == 3  # unaffected circuit survives
+        assert not fresh_ocs.is_healthy
+
+    def test_connect_rejected_without_drive(self, fresh_ocs):
+        fresh_ocs.fail_driver_board("north", 0)
+        with pytest.raises(CrossConnectError):
+            fresh_ocs.connect(0, 10)
+
+    def test_replace_board_restores(self, fresh_ocs):
+        fresh_ocs.fail_driver_board("north", 0)
+        channels = fresh_ocs.replace_driver_board("north", 0)
+        assert 0 in channels
+        fresh_ocs.connect(0, 10)  # works again
+        assert fresh_ocs.state.south_of(0) == 10
+
+    def test_mirror_failure_and_repair(self, fresh_ocs):
+        fresh_ocs.connect(7, 7)
+        dropped = fresh_ocs.fail_mirror("north", 7)
+        assert dropped == (7, 7)
+        with pytest.raises(CrossConnectError):
+            fresh_ocs.connect(7, 8)
+        fresh_ocs.repair_mirror("north", 7)
+        fresh_ocs.connect(7, 8)
+        assert fresh_ocs.state.south_of(7) == 8
+
+    def test_south_mirror_failure(self, fresh_ocs):
+        fresh_ocs.connect(2, 9)
+        dropped = fresh_ocs.fail_mirror("south", 9)
+        assert dropped == (2, 9)
+        assert fresh_ocs.state.south_of(2) is None
+
+    def test_healthy_ports_excludes_failures(self, fresh_ocs):
+        fresh_ocs.fail_mirror("north", 5)
+        fresh_ocs.fail_driver_board("south", 1)
+        healthy = fresh_ocs.healthy_ports()
+        assert 5 not in healthy
+        board_channels = set(fresh_ocs.drivers_south.boards[1].channels)
+        assert healthy.isdisjoint(board_channels)
+
+
+class TestPower:
+    def test_power_bounds(self, fresh_ocs):
+        idle = fresh_ocs.power_w()
+        assert 0 < idle < PALOMAR_MAX_POWER_W
+        for i in range(fresh_ocs.radix):
+            fresh_ocs.state.connect(i, i)
+        assert fresh_ocs.power_w() == pytest.approx(PALOMAR_MAX_POWER_W)
+
+    def test_power_increases_with_circuits(self, fresh_ocs):
+        before = fresh_ocs.power_w()
+        fresh_ocs.connect(0, 0)
+        assert fresh_ocs.power_w() > before
+
+
+class TestTelemetryIntegration:
+    def test_connect_recorded(self, fresh_ocs):
+        fresh_ocs.connect(1, 2)
+        assert fresh_ocs.telemetry.connects == 1
+        assert fresh_ocs.telemetry.alignment_runs >= 1
+
+    def test_board_failure_recorded(self, fresh_ocs):
+        fresh_ocs.connect(0, 0)
+        fresh_ocs.fail_driver_board("north", 0)
+        assert fresh_ocs.telemetry.board_failures == 1
+        assert fresh_ocs.telemetry.circuits_dropped_by_failures == 1
+
+
+class TestApplyPlanAtomicity:
+    def test_doomed_plan_leaves_state_untouched(self, fresh_ocs):
+        """A plan whose make targets an undriven port changes nothing."""
+        from repro.core.crossconnect import CrossConnectMap
+        from repro.core.reconfig import plan_reconfiguration
+
+        fresh_ocs.connect(50, 60)
+        fresh_ocs.fail_driver_board("north", 0)  # ports 0..16 undriven
+        target = CrossConnectMap.from_circuits(
+            fresh_ocs.radix, {50: 61, 0: 70}  # move one, make one doomed
+        )
+        plan = plan_reconfiguration(fresh_ocs.state, target)
+        with pytest.raises(CrossConnectError):
+            fresh_ocs.apply_plan(plan)
+        # The pre-existing circuit survived untouched.
+        assert fresh_ocs.state.south_of(50) == 60
+        assert fresh_ocs.state.num_circuits == 1
+
+    def test_valid_plan_after_repair(self, fresh_ocs):
+        from repro.core.crossconnect import CrossConnectMap
+        from repro.core.reconfig import plan_reconfiguration
+
+        fresh_ocs.fail_driver_board("north", 0)
+        fresh_ocs.replace_driver_board("north", 0)
+        target = CrossConnectMap.from_circuits(fresh_ocs.radix, {0: 70})
+        fresh_ocs.apply_plan(plan_reconfiguration(fresh_ocs.state, target))
+        assert fresh_ocs.state.south_of(0) == 70

@@ -1,0 +1,133 @@
+"""Tests for repro.ocs.reliability."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.ocs.reliability import (
+    AvailabilityModel,
+    FleetReliabilitySimulator,
+    k_of_n_availability,
+    series_availability,
+)
+
+
+class TestAvailabilityModel:
+    def test_availability_formula(self):
+        m = AvailabilityModel(mtbf_hours=999.0, mttr_hours=1.0)
+        assert m.availability == pytest.approx(0.999)
+
+    def test_from_availability_roundtrip(self):
+        m = AvailabilityModel.from_availability(0.999, mttr_hours=4.0)
+        assert m.availability == pytest.approx(0.999)
+
+    def test_from_availability_range(self):
+        with pytest.raises(ConfigurationError):
+            AvailabilityModel.from_availability(1.0)
+        with pytest.raises(ConfigurationError):
+            AvailabilityModel.from_availability(0.0)
+
+    def test_positive_required(self):
+        with pytest.raises(ConfigurationError):
+            AvailabilityModel(0, 1)
+
+    def test_series_and_parallel(self):
+        a = AvailabilityModel.from_availability(0.99)
+        b = AvailabilityModel.from_availability(0.98)
+        assert a.series(b) == pytest.approx(0.99 * 0.98)
+        assert a.parallel(b) == pytest.approx(1 - 0.01 * 0.02)
+
+
+class TestSeriesAvailability:
+    def test_fig15a_numbers(self):
+        """Fabric availability for 96/48/24 OCSes at 99.9% each (Fig 15a)."""
+        assert series_availability([0.999] * 96) == pytest.approx(0.908, abs=0.002)
+        assert series_availability([0.999] * 48) == pytest.approx(0.953, abs=0.002)
+        assert series_availability([0.999] * 24) == pytest.approx(0.976, abs=0.002)
+
+    def test_empty_is_one(self):
+        assert series_availability([]) == 1.0
+
+    def test_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            series_availability([1.2])
+
+
+class TestKofN:
+    def test_all_needed(self):
+        assert k_of_n_availability(2, 2, 0.9) == pytest.approx(0.81)
+
+    def test_any_suffices(self):
+        assert k_of_n_availability(1, 2, 0.9) == pytest.approx(1 - 0.01)
+
+    def test_k_zero(self):
+        assert k_of_n_availability(0, 5, 0.5) == pytest.approx(1.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            k_of_n_availability(3, 2, 0.9)
+
+
+class TestFleetSimulator:
+    def test_empirical_matches_analytic(self):
+        model = AvailabilityModel.from_availability(0.999, mttr_hours=4.0)
+        sim = FleetReliabilitySimulator(num_units=50, model=model, seed=1)
+        availability, outages = sim.run(horizon_hours=50_000.0)
+        assert availability == pytest.approx(0.999, abs=0.001)
+        assert len(outages) > 0
+
+    def test_outage_records_well_formed(self):
+        model = AvailabilityModel.from_availability(0.99, mttr_hours=8.0)
+        sim = FleetReliabilitySimulator(num_units=10, model=model, seed=2)
+        _, outages = sim.run(horizon_hours=10_000.0)
+        for o in outages:
+            assert 0 <= o.start_h <= 10_000
+            assert o.duration_h > 0
+            assert 0 <= o.unit < 10
+
+    def test_any_down_fraction(self):
+        model = AvailabilityModel.from_availability(0.999)
+        sim = FleetReliabilitySimulator(num_units=48, model=model)
+        assert sim.any_down_fraction(1000) == pytest.approx(1 - 0.999 ** 48)
+
+    def test_bad_horizon(self):
+        model = AvailabilityModel.from_availability(0.999)
+        sim = FleetReliabilitySimulator(num_units=1, model=model)
+        with pytest.raises(ConfigurationError):
+            sim.run(0)
+
+
+class TestDowntimeHelpers:
+    def test_palomar_field_figure(self):
+        from repro.ocs.reliability import downtime_minutes_per_month
+
+        # >99.98% availability is under ~9 minutes/month of downtime.
+        assert downtime_minutes_per_month(0.9998) == pytest.approx(8.64)
+
+    def test_fig15_assumption(self):
+        from repro.ocs.reliability import downtime_minutes_per_month
+
+        assert downtime_minutes_per_month(0.999) == pytest.approx(43.2)
+
+    def test_roundtrip(self):
+        from repro.ocs.reliability import (
+            availability_from_downtime,
+            downtime_minutes_per_month,
+        )
+
+        for a in (0.99, 0.999, 0.9998):
+            assert availability_from_downtime(
+                downtime_minutes_per_month(a)
+            ) == pytest.approx(a)
+
+    def test_validation(self):
+        from repro.ocs.reliability import (
+            availability_from_downtime,
+            downtime_minutes_per_month,
+        )
+
+        with pytest.raises(ConfigurationError):
+            downtime_minutes_per_month(0.0)
+        with pytest.raises(ConfigurationError):
+            availability_from_downtime(-1.0)
+        with pytest.raises(ConfigurationError):
+            availability_from_downtime(50_000.0)

@@ -1,0 +1,56 @@
+"""Tests for repro.ocs.scaling (§6: the 300x300 OCS)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.availability.model import TRANSCEIVER_TECHS
+from repro.ocs.scaling import (
+    NEXT_GEN_RADIX,
+    OCS_GENERATIONS,
+    OcsGeneration,
+    superpod_scaling_table,
+)
+
+
+class TestGenerations:
+    def test_palomar_envelope(self):
+        palomar = OCS_GENERATIONS["palomar"]
+        assert palomar.usable_ports == 128
+        assert palomar.max_cubes() == 128
+        assert palomar.max_chips() == 128 * 64  # 8192 chips
+
+    def test_next_gen_envelope(self):
+        gen = OCS_GENERATIONS["next_gen"]
+        assert gen.radix == NEXT_GEN_RADIX == 300
+        assert gen.max_cubes() == 292
+        assert gen.max_chips() == 292 * 64
+
+    def test_next_gen_more_than_doubles(self):
+        assert (
+            OCS_GENERATIONS["next_gen"].max_chips()
+            > 2 * OCS_GENERATIONS["palomar"].max_chips()
+        )
+
+    def test_ocs_count_per_tech(self):
+        gen = OCS_GENERATIONS["palomar"]
+        assert gen.ocses_per_pod(strands_per_connection=2) == 48
+        assert gen.ocses_per_pod(strands_per_connection=4) == 96
+        assert gen.ocses_per_pod(strands_per_connection=1) == 24
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OcsGeneration("bad", radix=8, spare_ports=8)
+        with pytest.raises(ConfigurationError):
+            OCS_GENERATIONS["palomar"].ocses_per_pod(0)
+
+
+class TestScalingTable:
+    def test_table_contents(self):
+        table = superpod_scaling_table(TRANSCEIVER_TECHS["cwdm4_bidi"])
+        assert table["palomar"]["ocses"] == 48
+        assert table["next_gen"]["max_chips"] == 292 * 64
+        assert table["next_gen"]["exaflops_bf16"] > table["palomar"]["exaflops_bf16"]
+
+    def test_current_pod_fits_palomar(self):
+        """The 64-cube superpod uses half of Palomar's port budget."""
+        assert OCS_GENERATIONS["palomar"].max_cubes() >= 64

@@ -1,0 +1,68 @@
+"""Tests for repro.ocs.technologies (Table C.1)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.ocs.technologies import (
+    TECHNOLOGY_REGISTRY,
+    CostClass,
+    qualifying_technologies,
+    technology,
+)
+
+
+class TestRegistry:
+    def test_all_five_rows_present(self):
+        assert set(TECHNOLOGY_REGISTRY) == {
+            "mems",
+            "robotic",
+            "piezo",
+            "guided_wave",
+            "wavelength",
+        }
+
+    def test_mems_row_matches_table(self):
+        mems = technology("MEMS")
+        assert mems.port_count == (320, 320)
+        assert mems.insertion_loss_db <= 3.0
+        assert mems.driving_voltage_v == pytest.approx(100.0)
+        assert not mems.latching
+
+    def test_robotic_is_latching_but_slow(self):
+        robotic = technology("robotic")
+        assert robotic.latching
+        assert robotic.switching_time_s >= 60
+
+    def test_lookup_case_insensitive(self):
+        assert technology("Guided Wave").name == "Guided Wave"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            technology("quantum")
+
+
+class TestRequirements:
+    def test_mems_qualifies(self):
+        assert technology("mems").meets_requirements()
+
+    def test_guided_wave_fails_radix_and_loss(self):
+        assert not technology("guided_wave").meets_requirements()
+
+    def test_robotic_fails_switching_time(self):
+        assert not technology("robotic").meets_requirements()
+
+    def test_qualifying_ranked_by_cost(self):
+        quals = qualifying_technologies()
+        names = [t.name for t in quals]
+        assert "MEMS" in names
+        assert "Robotic" not in names
+        assert "Guided Wave" not in names
+        # MEMS (medium cost) ranks before Piezo (high cost).
+        if "Piezo" in names:
+            assert names.index("MEMS") < names.index("Piezo")
+
+    def test_relaxed_requirements_admit_more(self):
+        strict = qualifying_technologies()
+        relaxed = qualifying_technologies(min_radix=16, max_loss_db=10, max_switching_time_s=1e9)
+        assert len(relaxed) >= len(strict)
+        assert len(relaxed) == 5

@@ -1,0 +1,64 @@
+"""Tests for repro.ocs.telemetry."""
+
+import pytest
+
+from repro.ocs.telemetry import DRIFT_THRESHOLD_DB, Anomaly, OcsTelemetry
+
+
+@pytest.fixture
+def tel():
+    return OcsTelemetry()
+
+
+class TestCounters:
+    def test_connect_disconnect(self, tel):
+        tel.record_connect(0, 1, 1.5)
+        tel.record_disconnect(0, 1)
+        assert tel.connects == 1
+        assert tel.disconnects == 1
+
+    def test_alignment_mean(self, tel):
+        tel.record_alignment(10)
+        tel.record_alignment(20)
+        assert tel.mean_alignment_iterations == 15.0
+
+    def test_alignment_mean_empty(self, tel):
+        assert tel.mean_alignment_iterations == 0.0
+
+
+class TestLossMonitoring:
+    def test_baseline_from_connect(self, tel):
+        tel.record_connect(0, 1, 1.5)
+        assert tel.observe_loss(0, 1, 1.6) is None  # within drift budget
+
+    def test_drift_anomaly(self, tel):
+        tel.record_connect(0, 1, 1.5)
+        anomaly = tel.observe_loss(0, 1, 1.5 + DRIFT_THRESHOLD_DB + 0.1)
+        assert anomaly is not None
+        assert anomaly.kind == "loss-drift"
+        assert tel.anomalies == (anomaly,)
+
+    def test_over_max_anomaly(self, tel):
+        tel.record_connect(0, 1, 2.9)
+        anomaly = tel.observe_loss(0, 1, 3.2)
+        assert anomaly is not None
+        assert anomaly.kind == "loss-over-max"
+
+    def test_history_kept(self, tel):
+        tel.record_connect(0, 1, 1.0)
+        for loss in (1.1, 1.2, 1.3):
+            tel.observe_loss(0, 1, loss)
+        assert tel.loss_history(0, 1) == (1.0, 1.1, 1.2, 1.3)
+
+    def test_history_cleared_on_disconnect(self, tel):
+        tel.record_connect(0, 1, 1.0)
+        tel.record_disconnect(0, 1)
+        assert tel.loss_history(0, 1) == ()
+
+    def test_observe_without_connect_sets_baseline(self, tel):
+        assert tel.observe_loss(5, 6, 1.8) is None
+        assert tel.loss_history(5, 6) == (1.8,)
+
+    def test_anomaly_str(self):
+        a = Anomaly((1, 2), "loss-drift", "x")
+        assert "N1<->S2" in str(a)

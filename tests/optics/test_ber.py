@@ -1,0 +1,113 @@
+"""Tests for repro.optics.ber (Fig 11 / Fig 12 reproduction targets)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.optics.ber import BerCurve, LinkBerSimulator, receiver_sensitivity_dbm
+from repro.optics.fec import KP4_BER_THRESHOLD
+from repro.optics.pam4 import Pam4LinkModel
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return LinkBerSimulator()
+
+
+class TestSensitivity:
+    def test_clean_sensitivity_near_minus_11(self):
+        s = receiver_sensitivity_dbm(Pam4LinkModel())
+        assert -12.0 < s < -10.0
+
+    def test_sensitivity_solves_target(self):
+        m = Pam4LinkModel(mpi_db=-32.0)
+        s = receiver_sensitivity_dbm(m, 2e-4)
+        assert m.ber(s) == pytest.approx(2e-4, rel=0.02)
+
+    def test_mpi_floor_detected(self):
+        with pytest.raises(ConfigurationError):
+            receiver_sensitivity_dbm(Pam4LinkModel(mpi_db=-24.0), 2e-4)
+
+    def test_bad_target(self):
+        with pytest.raises(ConfigurationError):
+            receiver_sensitivity_dbm(Pam4LinkModel(), 0.7)
+
+    def test_lower_bracket_returned_if_already_met(self):
+        assert receiver_sensitivity_dbm(Pam4LinkModel(), 0.4, lo_dbm=-5.0) == -5.0
+
+
+class TestBerCurve:
+    def test_power_at_ber_interpolates(self):
+        powers = np.linspace(-14, -6, 17)
+        curve = BerCurve("x", powers, Pam4LinkModel().ber_curve(powers))
+        p = curve.power_at_ber(2e-4)
+        direct = receiver_sensitivity_dbm(Pam4LinkModel())
+        assert p == pytest.approx(direct, abs=0.1)
+
+    def test_unreachable_target(self):
+        powers = np.linspace(-8, -6, 5)
+        curve = BerCurve("x", powers, Pam4LinkModel().ber_curve(powers))
+        with pytest.raises(ConfigurationError):
+            curve.power_at_ber(1e-30)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BerCurve("x", np.array([1.0]), np.array([1e-3]))
+        with pytest.raises(ConfigurationError):
+            BerCurve("x", np.array([1.0, 2.0]), np.array([1e-3]))
+
+
+class TestFig11:
+    def test_oim_gain_exceeds_1db(self, sim):
+        """Paper: >1 dB sensitivity improvement at MPI -32 dB, BER 2e-4."""
+        assert sim.oim_sensitivity_gain_db(-32.0) > 1.0
+
+    def test_gain_grows_with_mpi(self, sim):
+        assert sim.oim_sensitivity_gain_db(-32.0) > sim.oim_sensitivity_gain_db(-35.0)
+
+    def test_sweep_structure(self, sim):
+        curves = sim.mpi_sweep(mpi_levels_db=(None, -32.0))
+        assert len(curves) == 4
+        assert (None, True) in curves and (-32.0, False) in curves
+
+    def test_oim_curves_below_unmitigated(self, sim):
+        curves = sim.mpi_sweep(mpi_levels_db=(-30.0,))
+        off = curves[(-30.0, False)]
+        on = curves[(-30.0, True)]
+        assert np.all(on.bers <= off.bers + 1e-18)
+
+    def test_monte_carlo_mode_close_to_analytic(self, sim):
+        powers = np.array([-11.5, -10.5])
+        analytic = sim.mpi_sweep(mpi_levels_db=(-32.0,), rx_powers_dbm=powers)
+        mc = sim.mpi_sweep(
+            mpi_levels_db=(-32.0,), rx_powers_dbm=powers, monte_carlo=True,
+            num_symbols=300_000,
+        )
+        a = analytic[(-32.0, False)].bers
+        m = mc[(-32.0, False)].bers
+        np.testing.assert_allclose(m, a, rtol=0.25)
+
+
+class TestFig12:
+    def test_sfec_gain_near_1_6db(self, sim):
+        """Paper: 1.6 dB receiver sensitivity improvement at MPI -32 dB."""
+        gain = sim.sfec_sensitivity_gain_db(-32.0)
+        assert 1.2 < gain < 2.4
+
+    def test_gain_present_without_mpi(self, sim):
+        assert sim.sfec_sensitivity_gain_db(None) > 0.8
+
+    def test_curves_sfec_below_raw(self, sim):
+        curves = sim.sfec_curves(mpi_levels_db=(-32.0,))
+        raw = curves[(-32.0, False)]
+        sfec = curves[(-32.0, True)]
+        assert np.all(sfec.bers <= raw.bers + 1e-18)
+
+
+class TestMargin:
+    def test_production_margin_positive(self, sim):
+        decades = sim.ber_margin_decades(rx_power_dbm=-9.0, mpi_db=-35.0)
+        assert decades > 1.0
+
+    def test_infinite_for_zero_ber(self, sim):
+        assert sim.ber_margin_decades(rx_power_dbm=5.0, mpi_db=None) > 10

@@ -1,0 +1,73 @@
+"""Tests for repro.optics.circulator."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.optics.circulator import Circulator, bidi_ports_saved
+
+
+@pytest.fixture
+def circ():
+    return Circulator()
+
+
+class TestCyclicFlow:
+    def test_cycle(self, circ):
+        assert circ.output_port(1) == 2
+        assert circ.output_port(2) == 3
+        assert circ.output_port(3) == 1
+
+    def test_bad_port(self, circ):
+        with pytest.raises(ConfigurationError):
+            circ.output_port(0)
+        with pytest.raises(ConfigurationError):
+            circ.output_port(4)
+
+
+class TestTransmission:
+    def test_forward_paths_see_insertion_loss(self, circ):
+        assert circ.transmission_db(1, 2) == -circ.insertion_loss_db
+        assert circ.transmission_db(2, 3) == -circ.insertion_loss_db
+
+    def test_skip_path_is_crosstalk(self, circ):
+        assert circ.transmission_db(1, 3) == circ.crosstalk_db
+
+    def test_reverse_paths_isolated(self, circ):
+        assert circ.transmission_db(2, 1) == -circ.isolation_db
+        assert circ.transmission_db(3, 2) == -circ.isolation_db
+
+    def test_same_port_is_return_loss(self, circ):
+        assert circ.transmission_db(2, 2) == circ.return_loss_db
+
+    def test_bad_ports(self, circ):
+        with pytest.raises(ConfigurationError):
+            circ.transmission_db(0, 1)
+
+
+class TestProperties:
+    def test_tx_rx_losses(self, circ):
+        assert circ.tx_to_fiber_db == circ.insertion_loss_db
+        assert circ.fiber_to_rx_db == circ.insertion_loss_db
+
+    def test_equivalent_reflection(self, circ):
+        assert circ.equivalent_reflection_db() == circ.crosstalk_db
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Circulator(insertion_loss_db=-1)
+        with pytest.raises(ConfigurationError):
+            Circulator(isolation_db=0)
+        with pytest.raises(ConfigurationError):
+            Circulator(crosstalk_db=5)
+        with pytest.raises(ConfigurationError):
+            Circulator(return_loss_db=0)
+
+
+class TestPortSavings:
+    def test_fifty_percent(self):
+        # N bidi links save N strands => 50% of the 2N duplex strands.
+        assert bidi_ports_saved(128) == 128
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bidi_ports_saved(-1)

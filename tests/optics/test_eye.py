@@ -1,0 +1,62 @@
+"""Tests for repro.optics.eye."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.optics.ber import receiver_sensitivity_dbm
+from repro.optics.eye import eye_margin_db, eye_report, worst_eye_is_top
+from repro.optics.pam4 import Pam4LinkModel
+
+
+class TestEyeReport:
+    def test_three_eyes(self):
+        report = eye_report(Pam4LinkModel(), -8.0)
+        assert len(report.heights_w) == 3
+        assert report.open
+
+    def test_eyes_close_at_low_power(self):
+        report = eye_report(Pam4LinkModel(), -20.0)
+        assert not report.open
+
+    def test_clean_link_eyes_symmetric(self):
+        report = eye_report(Pam4LinkModel(), -8.0)
+        assert report.heights_w[0] == pytest.approx(report.heights_w[2], rel=1e-9)
+
+    def test_mpi_closes_top_eye_first(self):
+        """Beat noise scales with level: the 2->3 eye is the victim."""
+        assert worst_eye_is_top(Pam4LinkModel(mpi_db=-30.0), -8.0)
+
+    def test_closure_fraction_bounds(self):
+        report = eye_report(Pam4LinkModel(), -9.0)
+        assert 0.0 < report.worst_closure_fraction < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            eye_report(Pam4LinkModel(), -8.0, target_ber=0.7)
+
+
+class TestEyeBerConsistency:
+    def test_eye_closure_tracks_sensitivity(self):
+        """The power where the worst eye closes sits within ~0.5 dB of the
+        BER engine's sensitivity at the same target."""
+        model = Pam4LinkModel()
+        sens = receiver_sensitivity_dbm(model, 2e-4)
+        open_at_sens = eye_report(model, sens + 0.5).open
+        closed_below = eye_report(model, sens - 0.7).open
+        assert open_at_sens
+        assert not closed_below
+
+    def test_margin_positive_above_sensitivity(self):
+        model = Pam4LinkModel()
+        margin = eye_margin_db(model, -8.0)
+        assert margin > 1.0
+
+    def test_margin_zero_when_closed(self):
+        assert eye_margin_db(Pam4LinkModel(), -20.0) == 0.0
+
+    def test_oim_widens_eye(self):
+        dirty = eye_report(Pam4LinkModel(mpi_db=-30.0), -9.0)
+        mitigated = eye_report(
+            Pam4LinkModel(mpi_db=-30.0, oim_suppression_db=12.0), -9.0
+        )
+        assert mitigated.worst_eye_w > dirty.worst_eye_w

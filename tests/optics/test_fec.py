@@ -1,0 +1,124 @@
+"""Tests for repro.optics.fec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.optics.fec import (
+    ERROR_FREE_BER,
+    KP4_BER_THRESHOLD,
+    ConcatenatedFec,
+    InnerSoftFec,
+    Kp4OuterCode,
+    kp4_channel_threshold,
+)
+
+
+class TestKp4:
+    def test_geometry(self):
+        code = Kp4OuterCode()
+        assert code.t_symbols == 15
+        assert code.rate == pytest.approx(514 / 544)
+
+    def test_threshold_near_2e4(self):
+        """The standalone KP4 channel threshold is the paper's ~2e-4."""
+        th = kp4_channel_threshold()
+        assert 1e-4 < th < 5e-4
+
+    def test_steep_waterfall(self):
+        code = Kp4OuterCode()
+        assert code.output_ber(1e-4) < 1e-15
+        assert code.output_ber(1e-3) > 1e-8
+
+    def test_zero_in_zero_out(self):
+        assert Kp4OuterCode().output_ber(0.0) == 0.0
+
+    def test_tiny_input_no_underflow(self):
+        assert Kp4OuterCode().output_ber(1e-18) == pytest.approx(0.0, abs=1e-20)
+
+    def test_symbol_error_rate(self):
+        code = Kp4OuterCode()
+        assert code.symbol_error_rate(1e-4) == pytest.approx(1e-3, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Kp4OuterCode(n_symbols=100, k_symbols=100)
+        with pytest.raises(ConfigurationError):
+            Kp4OuterCode().output_ber(0.7)
+
+    @given(st.floats(min_value=1e-6, max_value=1e-2))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_transfer(self, ber):
+        code = Kp4OuterCode()
+        assert code.output_ber(ber) <= code.output_ber(min(0.5, ber * 2)) + 1e-30
+
+    @given(st.floats(min_value=1e-6, max_value=5e-3))
+    @settings(max_examples=40, deadline=None)
+    def test_coding_gain_property(self, ber):
+        """Below threshold the code always improves BER."""
+        code = Kp4OuterCode()
+        if ber < 2e-4:
+            assert code.output_ber(ber) < ber
+
+
+class TestInnerSoftFec:
+    def test_rate_and_overhead(self):
+        inner = InnerSoftFec()
+        assert inner.rate == pytest.approx(120 / 128)
+        assert inner.overhead_percent == pytest.approx(100 * (128 / 120 - 1))
+
+    def test_low_latency(self):
+        """§4.1.2: <20 ns at 200 Gb/s."""
+        assert InnerSoftFec().latency_ns < 20.0
+
+    def test_improves_ber(self):
+        inner = InnerSoftFec()
+        assert inner.output_ber(1e-3) < 1e-3
+
+    def test_zero(self):
+        assert InnerSoftFec().output_ber(0.0) == 0.0
+
+    def test_block_failure_monotone(self):
+        inner = InnerSoftFec()
+        assert inner.block_failure_rate(1e-3) < inner.block_failure_rate(1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InnerSoftFec(block_bits=100, payload_bits=100)
+        with pytest.raises(ConfigurationError):
+            InnerSoftFec(t_eff=0)
+        with pytest.raises(ConfigurationError):
+            InnerSoftFec(latency_ns=-1)
+
+
+class TestConcatenation:
+    def test_relaxed_channel_threshold(self):
+        """The concatenated chain tolerates ~10x the channel BER of KP4 alone."""
+        fec = ConcatenatedFec()
+        concat_th = fec.channel_threshold()
+        kp4_th = kp4_channel_threshold()
+        assert concat_th > 5 * kp4_th
+
+    def test_inner_input_threshold(self):
+        fec = ConcatenatedFec()
+        th = fec.inner_input_threshold()
+        assert fec.inner.output_ber(th) == pytest.approx(KP4_BER_THRESHOLD, rel=0.05)
+
+    def test_end_to_end_error_free(self):
+        fec = ConcatenatedFec()
+        th = fec.channel_threshold()
+        assert fec.post_fec_ber(th * 0.5) < ERROR_FREE_BER
+
+    def test_total_rate(self):
+        fec = ConcatenatedFec()
+        assert fec.total_rate == pytest.approx(fec.inner.rate * fec.outer.rate)
+
+    def test_latency_from_inner(self):
+        assert ConcatenatedFec().latency_ns == InnerSoftFec().latency_ns
+
+    @given(st.floats(min_value=1e-5, max_value=3e-3))
+    @settings(max_examples=40, deadline=None)
+    def test_concatenated_beats_outer_alone(self, ber):
+        fec = ConcatenatedFec()
+        assert fec.post_fec_ber(ber) <= fec.outer.output_ber(ber) + 1e-30

@@ -1,0 +1,87 @@
+"""Tests for repro.optics.fiber."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.optics.fiber import (
+    ZERO_DISPERSION_NM,
+    FiberSpan,
+    dispersion_ps_per_nm_km,
+)
+
+
+class TestDispersion:
+    def test_zero_at_lambda0(self):
+        assert dispersion_ps_per_nm_km(ZERO_DISPERSION_NM) == pytest.approx(0.0, abs=1e-6)
+
+    def test_sign_change(self):
+        assert dispersion_ps_per_nm_km(1271.0) < 0
+        assert dispersion_ps_per_nm_km(1331.0) > 0
+
+    def test_magnitude_reasonable(self):
+        # G.652 fiber: a few ps/nm/km tens of nm from lambda0.
+        assert abs(dispersion_ps_per_nm_km(1271.0)) < 6.0
+        assert abs(dispersion_ps_per_nm_km(1271.0)) > 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dispersion_ps_per_nm_km(0)
+
+
+class TestFiberSpan:
+    def test_attenuation(self):
+        span = FiberSpan(length_m=2000.0, connectors=0)
+        assert span.attenuation_db == pytest.approx(0.7)
+
+    def test_termination_loss(self):
+        span = FiberSpan(length_m=0.0, connectors=2, splices=4)
+        assert span.termination_loss_db == pytest.approx(2 * 0.3 + 4 * 0.05)
+
+    def test_total(self):
+        span = FiberSpan(length_m=1000.0, connectors=2, splices=0)
+        assert span.total_loss_db == pytest.approx(0.35 + 0.6)
+
+    def test_latency(self):
+        span = FiberSpan(length_m=100.0)
+        assert span.latency_ns == pytest.approx(489.6, rel=1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FiberSpan(length_m=-1)
+        with pytest.raises(ConfigurationError):
+            FiberSpan(length_m=1, connectors=-1)
+
+
+class TestDispersionPenalty:
+    def test_zero_at_lambda0(self):
+        span = FiberSpan(length_m=500.0)
+        assert span.dispersion_penalty_db(ZERO_DISPERSION_NM, 50.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_grows_with_rate(self):
+        """§3.3.1: dispersion becomes an issue above 100 Gb/s."""
+        span = FiberSpan(length_m=2000.0)
+        p50 = span.dispersion_penalty_db(1271.0, 26.5)  # 50G PAM4 symbol rate
+        p100 = span.dispersion_penalty_db(1271.0, 53.0)  # 100G PAM4
+        assert p100 > p50 >= 0
+
+    def test_grows_with_length(self):
+        short = FiberSpan(length_m=100.0)
+        long = FiberSpan(length_m=2000.0)
+        wl, rate = 1271.0, 53.0
+        assert long.dispersion_penalty_db(wl, rate) > short.dispersion_penalty_db(wl, rate)
+
+    def test_outer_lane_worse_than_center(self):
+        span = FiberSpan(length_m=2000.0)
+        assert span.dispersion_penalty_db(1271.0, 53.0) > span.dispersion_penalty_db(
+            1311.0, 53.0
+        )
+
+    def test_link_failure_is_infinite(self):
+        span = FiberSpan(length_m=100_000.0)
+        assert math.isinf(span.dispersion_penalty_db(1271.0, 106.0))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FiberSpan(length_m=1.0).dispersion_penalty_db(1271.0, 0)

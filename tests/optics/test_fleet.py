@@ -1,0 +1,68 @@
+"""Tests for repro.optics.fleet (Fig 13 reproduction target)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.optics.fec import KP4_BER_THRESHOLD
+from repro.optics.fleet import SUPERPOD_RX_PORTS, FleetBerSampler
+
+
+class TestPortCount:
+    def test_fig13_port_arithmetic(self):
+        """16 ports per cube face x 6 faces x 64 cubes = 6144."""
+        assert SUPERPOD_RX_PORTS == 6144
+
+
+class TestSampling:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        sampler = FleetBerSampler(num_ports=1500, seed=5)
+        return sampler, sampler.sample()
+
+    def test_shape(self, sample):
+        _, bers = sample
+        assert bers.shape == (1500,)
+
+    def test_all_below_kp4_threshold(self, sample):
+        """Fig 13: every lane meets the 2e-4 KP4 specification."""
+        _, bers = sample
+        assert np.all(bers < KP4_BER_THRESHOLD)
+
+    def test_margin_about_two_decades(self, sample):
+        """Fig 13: ~two orders of magnitude of margin on the worst lane."""
+        sampler, bers = sample
+        summary = sampler.summarize(bers)
+        assert summary["worst_margin_decades"] > 1.0
+        assert summary["median_margin_decades"] > 2.0
+
+    def test_deterministic(self):
+        a = FleetBerSampler(num_ports=100, seed=3).sample()
+        b = FleetBerSampler(num_ports=100, seed=3).sample()
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = FleetBerSampler(num_ports=100, seed=1).sample()
+        b = FleetBerSampler(num_ports=100, seed=2).sample()
+        assert not np.array_equal(a, b)
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        summary = FleetBerSampler(num_ports=200, seed=0).summarize()
+        assert summary["ports"] == 200
+        assert summary["median_ber"] <= summary["p99_ber"] <= summary["worst_ber"]
+        assert summary["all_below_threshold"]
+
+    def test_degraded_fleet_flagged(self):
+        """A fleet run too close to sensitivity violates the spec."""
+        bad = FleetBerSampler(
+            num_ports=300, rx_power_mean_dbm=-11.5, mpi_mean_db=-30.0,
+            mpi_worst_db=-28.0, seed=0,
+        )
+        summary = bad.summarize()
+        assert not summary["all_below_threshold"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FleetBerSampler(num_ports=0)

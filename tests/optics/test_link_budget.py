@@ -1,0 +1,103 @@
+"""Tests for repro.optics.link_budget."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, LinkBudgetError
+from repro.optics.circulator import Circulator
+from repro.optics.fiber import FiberSpan
+from repro.optics.link_budget import LinkBudget, LossElement
+from repro.optics.transceiver import transceiver
+
+
+class TestLossElement:
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LossElement("x", -0.1)
+
+
+class TestBudgetArithmetic:
+    def test_accumulation(self):
+        b = LinkBudget(tx_power_dbm=2.0, rx_sensitivity_dbm=-11.0)
+        b.add("a", 1.0).add("b", 2.5)
+        assert b.total_loss_db == pytest.approx(3.5)
+        assert b.received_power_dbm == pytest.approx(-1.5)
+        assert b.margin_db == pytest.approx(9.5)
+
+    def test_closes_with_margin(self):
+        b = LinkBudget(2.0, -11.0, required_margin_db=1.5)
+        b.add("loss", 11.0)
+        assert b.margin_db == pytest.approx(2.0)
+        assert b.closes
+        b.add("more", 1.0)
+        assert not b.closes
+
+    def test_require_closed_raises(self):
+        b = LinkBudget(0.0, -5.0)
+        b.add("huge", 10.0)
+        with pytest.raises(LinkBudgetError):
+            b.require_closed()
+
+    def test_breakdown_order(self):
+        b = LinkBudget(0.0, -10.0).add("first", 1.0).add("second", 2.0)
+        assert b.breakdown() == (("first", 1.0), ("second", 2.0))
+
+
+class TestFabricPath:
+    def test_bidi_includes_circulators(self):
+        spec = transceiver("bidi_2x400g_cwdm4")
+        b = LinkBudget.for_fabric_path(spec, ocs_insertion_loss_db=2.0)
+        names = [n for n, _ in b.breakdown()]
+        assert names[0] == "tx-circulator"
+        assert names[-1] == "rx-circulator"
+        assert "ocs-0" in names
+
+    def test_duplex_skips_circulators(self):
+        spec = transceiver("osfp_400g")
+        b = LinkBudget.for_fabric_path(spec, ocs_insertion_loss_db=2.0)
+        names = [n for n, _ in b.breakdown()]
+        assert "tx-circulator" not in names
+
+    def test_typical_ml_path_closes(self):
+        """A bidi link through one OCS with short fiber closes its budget."""
+        spec = transceiver("bidi_2x400g_cwdm4")
+        b = LinkBudget.for_fabric_path(
+            spec,
+            ocs_insertion_loss_db=2.0,
+            fiber_spans=[FiberSpan(length_m=50.0)],
+        )
+        b.require_closed()
+        assert b.margin_db > 1.5
+
+    def test_excessive_ocs_loss_fails(self):
+        spec = transceiver("bidi_2x400g_cwdm4")
+        b = LinkBudget.for_fabric_path(
+            spec,
+            ocs_insertion_loss_db=6.0,
+            fiber_spans=[FiberSpan(length_m=500.0, connectors=4)],
+            num_ocs_hops=2,
+        )
+        assert not b.closes
+
+    def test_custom_circulator(self):
+        spec = transceiver("bidi_dcn_cwdm4")
+        lossy = Circulator(insertion_loss_db=1.5)
+        b = LinkBudget.for_fabric_path(spec, 2.0, circulator=lossy)
+        assert dict(b.breakdown())["tx-circulator"] == 1.5
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkBudget.for_fabric_path(transceiver("osfp_400g"), 2.0, num_ocs_hops=-1)
+
+    def test_max_ocs_hops(self):
+        spec = transceiver("bidi_2x400g_cwdm4")
+        b = LinkBudget.for_fabric_path(spec, ocs_insertion_loss_db=2.0)
+        extra = b.max_ocs_hops(2.0)
+        assert extra >= 0
+        # Consume the spare margin and it should drop to zero.
+        b.add("consume", extra * 2.0 + 1.9)
+        assert b.max_ocs_hops(2.0) == 0
+
+    def test_max_hops_validation(self):
+        b = LinkBudget(0.0, -10.0)
+        with pytest.raises(ConfigurationError):
+            b.max_ocs_hops(0.0)

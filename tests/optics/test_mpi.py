@@ -1,0 +1,99 @@
+"""Tests for repro.optics.mpi."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.optics.mpi import (
+    MpiSource,
+    aggregate_mpi_db,
+    beat_noise_sigma_w,
+    crosstalk_mpi_db,
+    double_reflection_mpi_db,
+    sample_beat_noise_w,
+)
+
+
+class TestMpiSource:
+    def test_positive_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MpiSource("x", 1.0)
+        with pytest.raises(ConfigurationError):
+            MpiSource("x", 0.0)
+
+
+class TestDoubleReflection:
+    def test_sum_of_return_losses(self):
+        assert double_reflection_mpi_db(-46.0, -40.0) == pytest.approx(-86.0)
+
+    def test_rejects_positive(self):
+        with pytest.raises(ConfigurationError):
+            double_reflection_mpi_db(1.0, -40.0)
+
+
+class TestCrosstalk:
+    def test_link_loss_amplifies(self):
+        # 50 dB crosstalk, 8 dB link loss: interferer 42 dB below signal.
+        assert crosstalk_mpi_db(-50.0, remote_tx_dbm=2.0, local_rx_dbm=-6.0) == pytest.approx(
+            -42.0
+        )
+
+    def test_rejects_gain(self):
+        with pytest.raises(ConfigurationError):
+            crosstalk_mpi_db(-50.0, remote_tx_dbm=0.0, local_rx_dbm=1.0)
+
+    def test_rejects_positive_crosstalk(self):
+        with pytest.raises(ConfigurationError):
+            crosstalk_mpi_db(10.0, 0.0, -5.0)
+
+
+class TestAggregate:
+    def test_single_source(self):
+        assert aggregate_mpi_db([MpiSource("a", -40.0)]) == pytest.approx(-40.0)
+
+    def test_two_equal_sources_add_3db(self):
+        agg = aggregate_mpi_db([MpiSource("a", -40.0), MpiSource("b", -40.0)])
+        assert agg == pytest.approx(-36.99, abs=0.01)
+
+    def test_empty_is_minus_inf(self):
+        assert aggregate_mpi_db([]) == float("-inf")
+
+    def test_dominated_by_strongest(self):
+        agg = aggregate_mpi_db([MpiSource("a", -30.0), MpiSource("b", -60.0)])
+        assert agg == pytest.approx(-30.0, abs=0.01)
+
+
+class TestBeatNoise:
+    def test_rms_formula(self):
+        assert beat_noise_sigma_w(100e-6, 1e-9) == pytest.approx(
+            math.sqrt(2 * 100e-6 * 1e-9)
+        )
+
+    def test_zero_signal_is_zero(self):
+        assert beat_noise_sigma_w(0.0, 1e-9) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            beat_noise_sigma_w(-1.0, 1e-9)
+
+    def test_samples_match_rms(self):
+        rng = np.random.default_rng(0)
+        levels = np.full(200_000, 100e-6)
+        samples = sample_beat_noise_w(rng, levels, 1e-9)
+        expected = beat_noise_sigma_w(100e-6, 1e-9)
+        assert np.std(samples) == pytest.approx(expected, rel=0.02)
+
+    def test_suppression_reduces_rms(self):
+        rng = np.random.default_rng(0)
+        levels = np.full(100_000, 100e-6)
+        raw = np.std(sample_beat_noise_w(rng, levels, 1e-9, suppression_db=0.0))
+        rng = np.random.default_rng(0)
+        suppressed = np.std(sample_beat_noise_w(rng, levels, 1e-9, suppression_db=12.0))
+        assert suppressed == pytest.approx(raw * 10 ** (-12 / 20), rel=0.05)
+
+    def test_negative_suppression_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            sample_beat_noise_w(rng, np.ones(4), 1e-9, suppression_db=-1.0)

@@ -1,0 +1,84 @@
+"""Tests for repro.optics.oim (the notch-filter DSP)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.optics.oim import (
+    OimDsp,
+    beat_tone_waveform,
+    estimate_interferer_frequency,
+)
+
+
+@pytest.fixture
+def waveform():
+    rng = np.random.default_rng(7)
+    return beat_tone_waveform(
+        rng,
+        num_samples=8192,
+        sample_rate_hz=1e9,
+        tone_hz=120e6,
+        tone_amplitude=0.5,
+        noise_rms=0.1,
+    )
+
+
+class TestFrequencyEstimation:
+    def test_finds_tone(self, waveform):
+        f = estimate_interferer_frequency(waveform, 1e9)
+        assert f == pytest.approx(120e6, rel=0.02)
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ConfigurationError):
+            estimate_interferer_frequency(np.zeros(4), 1e9)
+
+    def test_rejects_bad_rate(self, waveform):
+        with pytest.raises(ConfigurationError):
+            estimate_interferer_frequency(waveform, 0)
+
+
+class TestNotchFilter:
+    def test_tone_suppressed(self, waveform):
+        dsp = OimDsp(suppression_db=12.0, notch_q=30.0)
+        filtered, offset = dsp.mitigate(waveform, 1e9)
+        assert offset == pytest.approx(120e6, rel=0.02)
+        # Measure residual tone power at the offset bin.
+        def tone_power(x):
+            spectrum = np.abs(np.fft.rfft(x)) ** 2
+            freqs = np.fft.rfftfreq(x.size, 1e-9)
+            band = (freqs > 110e6) & (freqs < 130e6)
+            return spectrum[band].sum()
+
+        assert tone_power(filtered) < tone_power(waveform) * 0.2
+
+    def test_disabled_passthrough(self, waveform):
+        dsp = OimDsp(enabled=False)
+        filtered, offset = dsp.mitigate(waveform, 1e9)
+        np.testing.assert_array_equal(filtered, waveform)
+        assert offset == 0.0
+        assert dsp.effective_suppression_db == 0.0
+
+    def test_effective_suppression(self):
+        assert OimDsp(suppression_db=12.0).effective_suppression_db == 12.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OimDsp(suppression_db=-1.0)
+        with pytest.raises(ConfigurationError):
+            OimDsp(notch_q=0.0)
+
+
+class TestWaveformSynthesis:
+    def test_rms_composition(self):
+        rng = np.random.default_rng(0)
+        w = beat_tone_waveform(rng, 100_000, 1e9, 100e6, tone_amplitude=0.5, noise_rms=0.1)
+        expected_rms = np.sqrt(0.5 ** 2 / 2 + 0.1 ** 2)
+        assert np.std(w) == pytest.approx(expected_rms, rel=0.02)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            beat_tone_waveform(rng, 0, 1e9, 100e6, 0.5, 0.1)
+        with pytest.raises(ConfigurationError):
+            beat_tone_waveform(rng, 100, 1e9, 600e6, 0.5, 0.1)

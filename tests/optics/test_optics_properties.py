@@ -1,0 +1,101 @@
+"""Hypothesis property suite for the optical-layer invariants.
+
+These are the monotonicity and consistency laws the physics must obey
+regardless of parameter values -- the safety net under the calibrated
+constants.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.optics.ber import receiver_sensitivity_dbm
+from repro.optics.eye import eye_report
+from repro.optics.fec import ConcatenatedFec, InnerSoftFec, Kp4OuterCode
+from repro.optics.pam4 import Pam4LinkModel
+
+powers = st.floats(min_value=-13.0, max_value=-5.0)
+mpis = st.floats(min_value=-45.0, max_value=-30.0)
+bers = st.floats(min_value=1e-7, max_value=1e-2)
+
+
+class TestBerMonotonicity:
+    @given(powers, st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_more_power_never_hurts(self, power, delta):
+        model = Pam4LinkModel()
+        assert model.ber(power + delta) <= model.ber(power) + 1e-15
+
+    @given(powers, mpis)
+    @settings(max_examples=40, deadline=None)
+    def test_mpi_never_helps(self, power, mpi):
+        clean = Pam4LinkModel().ber(power)
+        dirty = Pam4LinkModel(mpi_db=mpi).ber(power)
+        assert dirty >= clean - 1e-15
+
+    @given(powers, mpis, st.floats(min_value=0.0, max_value=20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_oim_never_hurts(self, power, mpi, suppression):
+        base = Pam4LinkModel(mpi_db=mpi).ber(power)
+        mitigated = Pam4LinkModel(mpi_db=mpi, oim_suppression_db=suppression).ber(power)
+        assert mitigated <= base + 1e-15
+
+    @given(mpis)
+    @settings(max_examples=20, deadline=None)
+    def test_sensitivity_worsens_with_mpi(self, mpi):
+        clean = receiver_sensitivity_dbm(Pam4LinkModel())
+        dirty = receiver_sensitivity_dbm(Pam4LinkModel(mpi_db=mpi))
+        assert dirty >= clean - 1e-9
+
+
+class TestFecLaws:
+    @given(bers)
+    @settings(max_examples=40, deadline=None)
+    def test_concatenated_never_worse_than_outer(self, ber):
+        fec = ConcatenatedFec()
+        assert fec.post_fec_ber(ber) <= fec.outer.output_ber(ber) + 1e-30
+
+    @given(bers, bers)
+    @settings(max_examples=40, deadline=None)
+    def test_outer_transfer_monotone(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        code = Kp4OuterCode()
+        assert code.output_ber(lo) <= code.output_ber(hi) + 1e-30
+
+    @given(st.integers(min_value=1, max_value=4), bers)
+    @settings(max_examples=40, deadline=None)
+    def test_stronger_inner_code_never_worse(self, t_eff, ber):
+        weak = InnerSoftFec(t_eff=t_eff).output_ber(ber)
+        strong = InnerSoftFec(t_eff=t_eff + 1).output_ber(ber)
+        assert strong <= weak + 1e-30
+
+    @given(bers)
+    @settings(max_examples=40, deadline=None)
+    def test_inner_never_amplifies_below_half(self, ber):
+        # Bounded-distance pass-through cannot create more errors than in.
+        assert InnerSoftFec().output_ber(ber) <= ber + 1e-30
+
+
+class TestEyeBerDuality:
+    @given(powers, mpis)
+    @settings(max_examples=30, deadline=None)
+    def test_open_eye_implies_threshold_ber(self, power, mpi):
+        """An eye open at Q(2e-4) means the analytic BER clears ~2e-4.
+
+        The eye criterion is slightly conservative (it budgets Q sigma on
+        both rails), so the implication runs one way only.
+        """
+        model = Pam4LinkModel(mpi_db=mpi)
+        report = eye_report(model, power)
+        if report.open:
+            assert model.ber(power) < 2e-4 * 1.05
+
+    @given(powers)
+    @settings(max_examples=30, deadline=None)
+    def test_eye_heights_shrink_with_less_power(self, power):
+        model = Pam4LinkModel()
+        high = eye_report(model, power)
+        low = eye_report(model, power - 1.0)
+        assert low.worst_eye_w <= high.worst_eye_w

@@ -1,0 +1,130 @@
+"""Tests for repro.optics.pam4."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.units import dbm_to_w
+from repro.optics.pam4 import Pam4LinkModel, _gray_bit_errors
+
+
+class TestLevels:
+    def test_average_equals_rx_power(self):
+        m = Pam4LinkModel()
+        levels = m.levels_w(-10.0)
+        assert levels.mean() == pytest.approx(dbm_to_w(-10.0))
+
+    def test_equally_spaced(self):
+        levels = Pam4LinkModel().levels_w(-8.0)
+        diffs = np.diff(levels)
+        assert np.allclose(diffs, diffs[0])
+
+    def test_oma_is_2x_avg(self):
+        m = Pam4LinkModel()
+        assert m.oma_w(-10.0) == pytest.approx(2 * dbm_to_w(-10.0))
+
+
+class TestAnalyticBer:
+    def test_monotone_in_power(self):
+        m = Pam4LinkModel()
+        powers = np.linspace(-14, -6, 9)
+        bers = m.ber_curve(powers)
+        assert np.all(np.diff(bers) < 0)
+
+    def test_mpi_raises_ber(self):
+        clean = Pam4LinkModel().ber(-11.0)
+        dirty = Pam4LinkModel(mpi_db=-32.0).ber(-11.0)
+        assert dirty > clean
+
+    def test_oim_recovers(self):
+        dirty = Pam4LinkModel(mpi_db=-32.0).ber(-11.0)
+        mitigated = Pam4LinkModel(mpi_db=-32.0, oim_suppression_db=12.0).ber(-11.0)
+        clean = Pam4LinkModel().ber(-11.0)
+        assert clean <= mitigated < dirty
+
+    def test_mpi_floor_at_high_power(self):
+        """Strong MPI floors the BER: more power does not help (Fig 11)."""
+        m = Pam4LinkModel(mpi_db=-26.0)
+        assert m.ber(5.0) == pytest.approx(m.ber(15.0), rel=0.05)
+        assert m.ber(5.0) > 1e-4
+
+    def test_ber_capped_at_half(self):
+        assert Pam4LinkModel().ber(-40.0) <= 0.5
+
+    def test_none_and_neg_inf_equivalent(self):
+        a = Pam4LinkModel(mpi_db=None).ber(-11.0)
+        b = Pam4LinkModel(mpi_db=float("-inf")).ber(-11.0)
+        assert a == pytest.approx(b)
+
+    @given(st.floats(min_value=-13.0, max_value=-7.0))
+    @settings(max_examples=30, deadline=None)
+    def test_level_sigmas_ordered(self, power):
+        """Beat noise grows with level, so sigma_0 <= ... <= sigma_3."""
+        m = Pam4LinkModel(mpi_db=-30.0)
+        sigmas = m.level_sigmas_w(power)
+        assert np.all(np.diff(sigmas) >= 0)
+
+
+class TestValidation:
+    def test_bad_thermal(self):
+        with pytest.raises(ConfigurationError):
+            Pam4LinkModel(thermal_noise_w=0.0)
+
+    def test_bad_suppression(self):
+        with pytest.raises(ConfigurationError):
+            Pam4LinkModel(oim_suppression_db=-1.0)
+
+    def test_bad_mpi(self):
+        with pytest.raises(ConfigurationError):
+            Pam4LinkModel(mpi_db=3.0)
+
+    def test_bad_enhancement(self):
+        with pytest.raises(ConfigurationError):
+            Pam4LinkModel(equalizer_enhancement=0.5)
+
+    def test_bad_symbol_count(self):
+        with pytest.raises(ConfigurationError):
+            Pam4LinkModel().monte_carlo_ber(-10.0, num_symbols=0)
+
+
+class TestMonteCarlo:
+    def test_matches_analytic_clean(self):
+        m = Pam4LinkModel()
+        analytic = m.ber(-11.5)
+        mc = m.monte_carlo_ber(-11.5, num_symbols=400_000, seed=1)
+        assert mc == pytest.approx(analytic, rel=0.15)
+
+    def test_matches_analytic_with_mpi(self):
+        m = Pam4LinkModel(mpi_db=-32.0)
+        analytic = m.ber(-11.0)
+        mc = m.monte_carlo_ber(-11.0, num_symbols=400_000, seed=2)
+        assert mc == pytest.approx(analytic, rel=0.15)
+
+    def test_deterministic_with_seed(self):
+        m = Pam4LinkModel(mpi_db=-30.0)
+        assert m.monte_carlo_ber(-11.0, 50_000, seed=3) == m.monte_carlo_ber(
+            -11.0, 50_000, seed=3
+        )
+
+    def test_simulate_symbols_shapes(self):
+        tx, rx = Pam4LinkModel().simulate_symbols(-10.0, 1000, seed=0)
+        assert tx.shape == rx.shape == (1000,)
+        assert tx.min() >= 0 and tx.max() <= 3
+
+
+class TestGrayCoding:
+    def test_adjacent_symbols_one_bit(self):
+        tx = np.array([0, 1, 2, 3])
+        rx = np.array([1, 2, 3, 2])
+        # adjacent-level mistakes cost exactly one bit each.
+        assert _gray_bit_errors(tx, rx) == 4
+
+    def test_identical_is_zero(self):
+        s = np.array([0, 1, 2, 3, 3])
+        assert _gray_bit_errors(s, s) == 0
+
+    def test_extreme_swap_costs_one(self):
+        # Gray 00 vs 10 differ in one bit (levels 0 and 3).
+        assert _gray_bit_errors(np.array([0]), np.array([3])) == 1

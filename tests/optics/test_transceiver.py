@@ -1,0 +1,137 @@
+"""Tests for repro.optics.transceiver (Fig 8 / Fig 9 roadmap)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.optics.transceiver import (
+    TRANSCEIVER_GENERATIONS,
+    FormFactor,
+    Modulation,
+    TransceiverSpec,
+    bandwidth_growth_factor,
+    interoperable,
+    transceiver,
+)
+from repro.optics.wavelength import CWDM4_GRID
+
+
+class TestRoadmap:
+    def test_20x_bandwidth_growth(self):
+        """Fig 8: 40G QSFP+ to 800G OSFP is 20x."""
+        assert bandwidth_growth_factor() == pytest.approx(20.0)
+
+    def test_generations_ordered_by_year(self):
+        duplex = [
+            transceiver(k)
+            for k in ("qsfp_40g", "qsfp28_100g", "qsfp56_200g", "osfp_400g", "osfp_800g")
+        ]
+        years = [t.year for t in duplex]
+        assert years == sorted(years)
+        rates = [t.max_rate_gbps for t in duplex]
+        assert rates == sorted(rates)
+
+    def test_energy_efficiency_improves(self):
+        """Fig 8: continuous improvement in energy efficiency."""
+        old = transceiver("qsfp_40g")
+        new = transceiver("osfp_800g")
+        assert new.energy_pj_per_bit < old.energy_pj_per_bit
+
+    def test_unknown_key(self):
+        with pytest.raises(ConfigurationError):
+            transceiver("sfp_1g")
+
+
+class TestBidiModules:
+    def test_ml_2x400_has_two_circulators(self):
+        spec = transceiver("bidi_2x400g_cwdm4")
+        assert spec.bidi
+        assert spec.num_circulators == 2
+        assert spec.max_rate_gbps == 800.0
+
+    def test_ml_800g_cwdm8_single_circulator(self):
+        spec = transceiver("bidi_800g_cwdm8")
+        assert spec.num_circulators == 1
+        assert spec.grid.num_channels == 8
+        assert spec.fibers_per_module == 1
+
+    def test_bidi_halves_fibers(self):
+        duplex = transceiver("osfp_800g")
+        bidi = transceiver("bidi_2x400g_cwdm4")
+        assert bidi.fibers_per_module == duplex.fibers_per_module // 2
+
+    def test_validation_bidi_needs_circulator(self):
+        with pytest.raises(ConfigurationError):
+            TransceiverSpec(
+                name="bad",
+                form_factor=FormFactor.OSFP,
+                grid=CWDM4_GRID,
+                lanes=4,
+                line_rates_gbps=(100.0,),
+                modulation=Modulation.PAM4,
+                bidi=True,
+                num_circulators=0,
+            )
+
+    def test_validation_duplex_rejects_circulator(self):
+        with pytest.raises(ConfigurationError):
+            TransceiverSpec(
+                name="bad",
+                form_factor=FormFactor.OSFP,
+                grid=CWDM4_GRID,
+                lanes=4,
+                line_rates_gbps=(100.0,),
+                modulation=Modulation.PAM4,
+                bidi=False,
+                num_circulators=1,
+            )
+
+
+class TestBackwardCompatibility:
+    def test_400g_interops_with_100g(self):
+        """§3.3.1: 100G PAM4 modules also support 50G PAM4 and 25G NRZ."""
+        assert interoperable(transceiver("osfp_400g"), transceiver("qsfp28_100g"))
+
+    def test_common_rate_is_highest_shared(self):
+        rate = transceiver("osfp_400g").common_rate_gbps(transceiver("qsfp56_200g"))
+        assert rate == 50.0
+
+    def test_no_common_rate(self):
+        assert not interoperable(transceiver("qsfp_40g"), transceiver("osfp_400g"))
+
+    def test_bidi_duplex_mismatch(self):
+        assert not interoperable(transceiver("osfp_400g"), transceiver("bidi_dcn_cwdm4"))
+
+    def test_bidi_generations_interop(self):
+        """CWDM8 nests on CWDM4 so ML bidi generations interoperate."""
+        assert interoperable(
+            transceiver("bidi_2x400g_cwdm4"), transceiver("bidi_800g_cwdm8")
+        )
+
+
+class TestValidation:
+    def test_needs_lanes(self):
+        with pytest.raises(ConfigurationError):
+            TransceiverSpec(
+                name="x",
+                form_factor=FormFactor.OSFP,
+                grid=CWDM4_GRID,
+                lanes=0,
+                line_rates_gbps=(100.0,),
+                modulation=Modulation.PAM4,
+            )
+
+    def test_needs_rates(self):
+        with pytest.raises(ConfigurationError):
+            TransceiverSpec(
+                name="x",
+                form_factor=FormFactor.OSFP,
+                grid=CWDM4_GRID,
+                lanes=4,
+                line_rates_gbps=(),
+                modulation=Modulation.PAM4,
+            )
+
+    def test_ocs_ports_counts(self):
+        assert transceiver("bidi_800g_cwdm8").ocs_ports_per_module == 1
+        assert transceiver("bidi_2x400g_cwdm4").ocs_ports_per_module == 2
+        assert transceiver("osfp_800g").ocs_ports_per_module == 4

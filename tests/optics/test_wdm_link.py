@@ -1,0 +1,74 @@
+"""Tests for repro.optics.wdm_link (per-lane dispersion margins)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.optics.fiber import FiberSpan
+from repro.optics.transceiver import transceiver
+from repro.optics.wdm_link import WdmLinkModel
+
+
+def model(key="bidi_800g_cwdm8", length_m=500.0, **kw):
+    return WdmLinkModel(
+        spec=transceiver(key), fiber=FiberSpan(length_m=length_m), **kw
+    )
+
+
+class TestLaneResults:
+    def test_one_result_per_lane(self):
+        results = model().lane_results()
+        assert len(results) == 8
+
+    def test_outer_lanes_pay_dispersion(self):
+        """Lanes far from 1310 nm carry a larger penalty (§3.3.1)."""
+        results = model(length_m=2000.0).lane_results()
+        by_channel = {r.channel.center_nm: r.dispersion_penalty_db for r in results}
+        assert by_channel[1271.0] > by_channel[1311.0]
+        assert by_channel[1341.0] > by_channel[1311.0]
+
+    def test_ber_spread_grows_with_length(self):
+        short = model(length_m=100.0).lane_ber_spread()
+        long = model(length_m=2000.0).lane_ber_spread()
+        assert long > short >= 1.0
+
+    def test_worst_lane_is_outer(self):
+        worst = model(length_m=2000.0).worst_lane()
+        assert worst.channel.center_nm in (1271.0, 1341.0)
+
+    def test_mlse_halves_penalty(self):
+        with_mlse = model(length_m=2000.0, use_mlse=True).worst_lane()
+        without = model(length_m=2000.0, use_mlse=False).worst_lane()
+        assert with_mlse.dispersion_penalty_db == pytest.approx(
+            without.dispersion_penalty_db / 2
+        )
+        assert with_mlse.ber <= without.ber
+
+    def test_lower_rate_less_penalty(self):
+        """§3.3.1: dispersion is an issue above 100 Gb/s -- 50G lanes care less."""
+        m = model(length_m=2000.0)
+        fast = m.worst_lane(line_rate_gbps=100.0)
+        slow = m.worst_lane(line_rate_gbps=50.0)
+        assert slow.dispersion_penalty_db < fast.dispersion_penalty_db
+
+    def test_unsupported_rate(self):
+        with pytest.raises(ConfigurationError):
+            model().lane_results(line_rate_gbps=25.0)
+
+
+class TestLinkHealth:
+    def test_short_link_ok(self):
+        assert model(length_m=100.0).link_ok()
+
+    def test_lossy_path_fails(self):
+        bad = model(length_m=100.0, path_loss_db=15.0)
+        assert not bad.link_ok()
+
+    def test_cwdm4_module_has_4_lanes_per_engine_grid(self):
+        results = model(key="bidi_2x400g_cwdm4").lane_results()
+        assert len(results) == 8  # two CWDM4 engines reuse the grid
+        centers = {r.channel.center_nm for r in results}
+        assert centers == {1271.0, 1291.0, 1311.0, 1331.0}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            model(path_loss_db=-1.0)

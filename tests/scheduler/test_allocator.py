@@ -1,0 +1,125 @@
+"""Tests for repro.scheduler.allocator."""
+
+import pytest
+
+from repro.core.ids import CubeId, JobId
+from repro.scheduler.allocator import ContiguousAllocator, ReconfigurableAllocator
+from repro.scheduler.requests import JobRequest
+from repro.tpu.superpod import Superpod
+
+
+def job(name, cubes):
+    return JobRequest(JobId(name), cubes=cubes, duration_s=100.0, arrival_s=0.0)
+
+
+@pytest.fixture
+def pod():
+    return Superpod(num_cubes=16)
+
+
+class TestReconfigurable:
+    def test_allocates_any_free_cubes(self, pod):
+        alloc = ReconfigurableAllocator(pod)
+        assert alloc.try_allocate(job("a", 4)) is not None
+        assert len(pod.allocated_cubes()) == 4
+
+    def test_skips_unhealthy(self, pod):
+        pod.cube(CubeId(0)).fail_host(0)
+        alloc = ReconfigurableAllocator(pod)
+        alloc.try_allocate(job("a", 4))
+        assert CubeId(0) not in pod.allocated_cubes()
+
+    def test_fails_when_short(self, pod):
+        alloc = ReconfigurableAllocator(pod)
+        assert alloc.try_allocate(job("a", 17)) is None
+
+    def test_fragmentation_immune(self, pod):
+        """Non-contiguous free cubes still host a large job."""
+        alloc = ReconfigurableAllocator(pod)
+        jobs = [job(f"j{i}", 1) for i in range(16)]
+        for j in jobs:
+            alloc.try_allocate(j)
+        # Free every second cube: 8 scattered singles.
+        for j in jobs[::2]:
+            alloc.release(j)
+        assert alloc.try_allocate(job("big", 8)) is not None
+
+    def test_release(self, pod):
+        alloc = ReconfigurableAllocator(pod)
+        j = job("a", 2)
+        alloc.try_allocate(j)
+        alloc.release(j)
+        assert len(pod.allocated_cubes()) == 0
+
+    def test_placement_options_binomial(self, pod):
+        alloc = ReconfigurableAllocator(pod)
+        from math import comb
+
+        assert alloc.placement_options(job("a", 4)) == comb(16, 4)
+
+    def test_failure_swap_keeps_job(self, pod):
+        alloc = ReconfigurableAllocator(pod)
+        j = job("a", 4)
+        alloc.try_allocate(j)
+        victim = next(iter(pod.allocated_cubes()))
+        pod.cube(victim).fail_host(0)
+        affected = alloc.handle_cube_failure(victim)
+        assert affected is not None
+        assert any(t.slice_id == affected for t in pod.slices())  # survived
+
+    def test_failure_without_spare_kills_job(self):
+        pod = Superpod(num_cubes=4)
+        alloc = ReconfigurableAllocator(pod)
+        j = job("a", 4)
+        alloc.try_allocate(j)
+        victim = CubeId(0)
+        pod.cube(victim).fail_host(0)
+        affected = alloc.handle_cube_failure(victim)
+        assert affected is not None
+        assert pod.slices() == ()  # released
+
+    def test_idle_cube_failure_noop(self, pod):
+        alloc = ReconfigurableAllocator(pod)
+        assert alloc.handle_cube_failure(CubeId(3)) is None
+
+
+class TestContiguous:
+    def test_needs_contiguous_run(self, pod):
+        alloc = ContiguousAllocator(pod)
+        jobs = [job(f"j{i}", 1) for i in range(16)]
+        for j in jobs:
+            alloc.try_allocate(j)
+        for j in jobs[::2]:
+            alloc.release(j)
+        # 8 free cubes but no run of 8.
+        assert alloc.try_allocate(job("big", 8)) is None
+        assert alloc.try_allocate(job("small", 1)) is not None
+
+    def test_allocates_first_fit(self, pod):
+        alloc = ContiguousAllocator(pod)
+        alloc.try_allocate(job("a", 4))
+        assert pod.allocated_cubes() == {CubeId(i) for i in range(4)}
+
+    def test_placement_options_runs(self, pod):
+        alloc = ContiguousAllocator(pod)
+        assert alloc.placement_options(job("a", 4)) == 13  # 16-4+1
+
+    def test_fewer_options_than_reconfigurable(self, pod):
+        """§4.2.4: many more placement solutions with the OCS."""
+        contiguous = ContiguousAllocator(pod).placement_options(job("a", 4))
+        flexible = ReconfigurableAllocator(pod).placement_options(job("a", 4))
+        assert flexible > 100 * contiguous
+
+    def test_failure_kills_slice(self, pod):
+        alloc = ContiguousAllocator(pod)
+        j = job("a", 4)
+        alloc.try_allocate(j)
+        affected = alloc.handle_cube_failure(CubeId(0))
+        assert affected is not None
+        assert pod.slices() == ()
+
+    def test_unhealthy_breaks_run(self, pod):
+        pod.cube(CubeId(8)).fail_host(0)
+        alloc = ContiguousAllocator(pod)
+        alloc.try_allocate(job("a", 8))  # takes 0..7
+        assert alloc.try_allocate(job("b", 8)) is None  # 9..15 is only 7

@@ -1,0 +1,87 @@
+"""Tests for repro.scheduler.defrag."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.ids import CubeId, JobId
+from repro.scheduler.allocator import ReconfigurableAllocator
+from repro.scheduler.defrag import (
+    compact_contiguous,
+    fragmentation,
+    free_runs,
+    largest_placeable_job,
+)
+from repro.scheduler.requests import JobRequest
+from repro.tpu.superpod import Superpod
+
+
+def checkerboard_pod(n=16):
+    """Pod with every even cube allocated (scattered free singles)."""
+    pod = Superpod(num_cubes=n)
+    alloc = ReconfigurableAllocator(pod)
+    jobs = [JobRequest(JobId(f"j{i}"), 1, 10.0, 0.0) for i in range(n)]
+    for j in jobs:
+        alloc.try_allocate(j)
+    for j in jobs[1::2]:
+        alloc.release(j)
+    return pod
+
+
+class TestFreeRuns:
+    def test_empty_pod_one_run(self):
+        pod = Superpod(num_cubes=8)
+        assert free_runs(pod) == [(0, 8)]
+
+    def test_checkerboard_runs(self):
+        pod = checkerboard_pod(8)
+        assert free_runs(pod) == [(1, 1), (3, 1), (5, 1), (7, 1)]
+
+    def test_unhealthy_excluded(self):
+        pod = Superpod(num_cubes=4)
+        pod.cube(CubeId(1)).fail_host(0)
+        assert free_runs(pod) == [(0, 1), (2, 2)]
+
+
+class TestFragmentation:
+    def test_empty_pod_zero(self):
+        assert fragmentation(Superpod(num_cubes=8)) == 0.0
+
+    def test_checkerboard_high(self):
+        assert fragmentation(checkerboard_pod(16)) == pytest.approx(1 - 1 / 8)
+
+    def test_full_pod_zero(self):
+        pod = Superpod(num_cubes=4)
+        alloc = ReconfigurableAllocator(pod)
+        alloc.try_allocate(JobRequest(JobId("a"), 4, 10.0, 0.0))
+        assert fragmentation(pod) == 0.0
+
+
+class TestLargestPlaceable:
+    def test_ocs_ignores_fragmentation(self):
+        pod = checkerboard_pod(16)
+        assert largest_placeable_job(pod, contiguous=False) == 8
+        assert largest_placeable_job(pod, contiguous=True) == 1
+
+    def test_empty_pod(self):
+        pod = Superpod(num_cubes=8)
+        assert largest_placeable_job(pod, contiguous=True) == 8
+
+
+class TestCompaction:
+    def test_checkerboard_compaction_moves(self):
+        pod = checkerboard_pod(8)  # allocated at 0,2,4,6
+        moves, downtime = compact_contiguous(pod, migration_s_per_cube=100.0)
+        # Targets 0..3: cubes at 2,4,6 move.
+        assert moves == 3
+        assert downtime == 300.0
+
+    def test_already_compact(self):
+        pod = Superpod(num_cubes=8)
+        alloc = ReconfigurableAllocator(pod)
+        alloc.try_allocate(JobRequest(JobId("a"), 4, 10.0, 0.0))
+        moves, downtime = compact_contiguous(pod)
+        assert moves == 0 and downtime == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            compact_contiguous(Superpod(num_cubes=4), migration_s_per_cube=-1)

@@ -1,0 +1,68 @@
+"""Tests for repro.scheduler.deployment (§4.2.3)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.scheduler.deployment import (
+    DeploymentModel,
+    ocs_and_fiber_savings,
+)
+
+
+@pytest.fixture
+def model():
+    return DeploymentModel(racks=64, rack_interval_d=1.0, rack_verify_d=2.0, pod_verify_d=14.0)
+
+
+class TestIncremental:
+    def test_first_capacity_fast(self, model):
+        inc = model.incremental_outcome()
+        assert inc.time_to_first_capacity_d == pytest.approx(2.0)
+
+    def test_static_waits_for_everything(self, model):
+        st = model.static_outcome()
+        # 63 days of deliveries + 2 verify + 14 pod verification.
+        assert st.time_to_first_capacity_d == pytest.approx(79.0)
+
+    def test_incremental_much_earlier(self, model):
+        inc = model.incremental_outcome()
+        st = model.static_outcome()
+        assert inc.time_to_first_capacity_d < st.time_to_first_capacity_d / 10
+
+    def test_integrated_capacity_advantage(self, model):
+        inc = model.incremental_outcome()
+        st = model.static_outcome()
+        assert inc.ramp_advantage_over(st) == float("inf")  # static has 0 in-window
+        # Over a longer horizon the advantage is finite but > 1.
+        longer = DeploymentModel(horizon_d=160.0)
+        inc2, st2 = longer.incremental_outcome(), longer.static_outcome()
+        assert 1.0 < inc2.ramp_advantage_over(st2) < 3.0
+
+    def test_timeline_monotone(self, model):
+        timeline = model.capacity_timeline("incremental", days=80)
+        assert all(b >= a for a, b in zip(timeline, timeline[1:]))
+        assert timeline[-1] == 64
+
+    def test_timeline_static_step(self, model):
+        timeline = model.capacity_timeline("static", days=80)
+        assert timeline[0] == 0
+        assert timeline[-1] == 64
+        assert set(timeline) <= {0, 64}
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            DeploymentModel(racks=0)
+        with pytest.raises(ConfigurationError):
+            DeploymentModel(rack_interval_d=-1)
+        with pytest.raises(ConfigurationError):
+            model.capacity_timeline("magic", 10)
+        with pytest.raises(ConfigurationError):
+            model.capacity_timeline("static", 0)
+
+
+class TestHardwareSavings:
+    def test_fifty_percent_ocs_saving(self):
+        """§4.2.3: 48 OCSes instead of 96 -- 50% OCS and fiber savings."""
+        duplex, bidi, saving = ocs_and_fiber_savings()
+        assert (duplex, bidi) == (96, 48)
+        assert saving == pytest.approx(0.5)

@@ -1,0 +1,83 @@
+"""Tests for repro.scheduler.model_aware."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, SchedulingError
+from repro.core.ids import JobId
+from repro.ml.models import LLM_ZOO, LlmConfig
+from repro.scheduler.model_aware import ModelAwareAllocator
+from repro.tpu.superpod import Superpod
+
+
+@pytest.fixture
+def alloc():
+    return ModelAwareAllocator(Superpod())
+
+
+class TestShapeSelection:
+    def test_full_pod_reproduces_table2(self, alloc):
+        shape, _ = alloc.best_shape_for(LLM_ZOO["llm1"], cubes=64)
+        assert shape == (4, 4, 256)
+        shape, _ = alloc.best_shape_for(LLM_ZOO["llm2"], cubes=64)
+        assert shape == (16, 16, 16)
+
+    def test_partial_pod_budget(self, alloc):
+        shape, t = alloc.best_shape_for(LLM_ZOO["llm0"], cubes=16)
+        assert shape[0] * shape[1] * shape[2] == 1024
+        assert t > 0
+
+    def test_infeasible_budget(self, alloc):
+        # 150B cannot fit 4 cubes (256 chips) at tensor <= 16... memory.
+        with pytest.raises(SchedulingError):
+            alloc.best_shape_for(LLM_ZOO["llm2"], cubes=1)
+
+    def test_validation(self, alloc):
+        with pytest.raises(ConfigurationError):
+            alloc.best_shape_for(LLM_ZOO["llm0"], cubes=0)
+
+
+class TestPlacement:
+    def test_place_configures_fabric(self, alloc):
+        placement = alloc.place(JobId("train-llm1"), LLM_ZOO["llm1"], cubes=64)
+        assert placement.chip_shape == (4, 4, 256)
+        assert placement.throughput_seqs_per_s > 0
+        assert alloc.pod.utilization() == 1.0
+        topo = alloc.pod.slice(placement.slice_id)
+        assert topo.chip_shape == placement.chip_shape
+
+    def test_two_jobs_share_pod(self, alloc):
+        small = LlmConfig.from_params("small", 8e9, 32, 2048, 2048)
+        a = alloc.place(JobId("a"), small, cubes=16)
+        b = alloc.place(JobId("b"), small, cubes=16)
+        assert a.slice_id != b.slice_id
+        assert len(alloc.pod.allocated_cubes()) == 32
+
+    def test_duplicate_rejected(self, alloc):
+        small = LlmConfig.from_params("small", 8e9, 32, 2048, 2048)
+        alloc.place(JobId("a"), small, cubes=8)
+        with pytest.raises(SchedulingError):
+            alloc.place(JobId("a"), small, cubes=8)
+
+    def test_capacity_respected(self, alloc):
+        with pytest.raises(SchedulingError):
+            alloc.place(JobId("big"), LLM_ZOO["llm1"], cubes=65)
+
+    def test_release(self, alloc):
+        small = LlmConfig.from_params("small", 8e9, 32, 2048, 2048)
+        alloc.place(JobId("a"), small, cubes=8)
+        alloc.release(JobId("a"))
+        assert alloc.pod.allocated_cubes() == set()
+        with pytest.raises(SchedulingError):
+            alloc.release(JobId("a"))
+
+
+class TestSpeedup:
+    def test_llm1_beats_balanced(self, alloc):
+        """The model-aware placement is the per-job reconfigurability win."""
+        speedup = alloc.speedup_over_balanced(LLM_ZOO["llm1"], cubes=64)
+        assert speedup == pytest.approx(3.31, abs=0.25)
+
+    def test_llm2_balanced_is_optimal(self, alloc):
+        assert alloc.speedup_over_balanced(LLM_ZOO["llm2"], cubes=64) == pytest.approx(
+            1.0
+        )

@@ -1,0 +1,90 @@
+"""Tests for repro.scheduler.requests."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.ids import JobId
+from repro.scheduler.requests import JobRequest, WorkloadGenerator, balanced_cube_shape
+
+
+class TestBalancedShape:
+    def test_perfect_cube(self):
+        assert balanced_cube_shape(64) == (4, 4, 4)
+        assert balanced_cube_shape(8) == (2, 2, 2)
+
+    def test_non_cube(self):
+        assert balanced_cube_shape(2) == (1, 1, 2)
+        assert balanced_cube_shape(16) == (2, 2, 4)
+        assert balanced_cube_shape(32) == (2, 4, 4)
+
+    def test_prime(self):
+        assert balanced_cube_shape(7) == (1, 1, 7)
+
+    def test_product_invariant(self):
+        for n in range(1, 65):
+            shape = balanced_cube_shape(n)
+            assert shape[0] * shape[1] * shape[2] == n
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            balanced_cube_shape(0)
+
+
+class TestJobRequest:
+    def test_chips(self):
+        job = JobRequest(JobId("j"), cubes=4, duration_s=100, arrival_s=0)
+        assert job.chips == 256
+
+    def test_shape(self):
+        job = JobRequest(JobId("j"), cubes=8, duration_s=100, arrival_s=0)
+        assert job.shape == (2, 2, 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JobRequest(JobId("j"), cubes=0, duration_s=100, arrival_s=0)
+        with pytest.raises(ConfigurationError):
+            JobRequest(JobId("j"), cubes=1, duration_s=0, arrival_s=0)
+        with pytest.raises(ConfigurationError):
+            JobRequest(JobId("j"), cubes=1, duration_s=1, arrival_s=-1)
+
+
+class TestWorkloadGenerator:
+    def test_generates_requested_count(self):
+        jobs = WorkloadGenerator(seed=1).generate(50)
+        assert len(jobs) == 50
+
+    def test_arrivals_sorted(self):
+        jobs = WorkloadGenerator(seed=2).generate(100)
+        arrivals = [j.arrival_s for j in jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_sizes_from_mix(self):
+        gen = WorkloadGenerator(size_mix={2: 1.0}, seed=3)
+        assert all(j.cubes == 2 for j in gen.generate(20))
+
+    def test_deterministic(self):
+        a = WorkloadGenerator(seed=4).generate(10)
+        b = WorkloadGenerator(seed=4).generate(10)
+        assert a == b
+
+    def test_mean_duration_calibrated(self):
+        gen = WorkloadGenerator(mean_duration_s=1000.0, seed=5)
+        jobs = gen.generate(4000)
+        mean = sum(j.duration_s for j in jobs) / len(jobs)
+        assert mean == pytest.approx(1000.0, rel=0.1)
+
+    def test_offered_load(self):
+        gen = WorkloadGenerator(
+            arrival_rate_per_s=0.01, mean_duration_s=100.0, size_mix={4: 1.0}
+        )
+        assert gen.offered_load_cubes() == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(arrival_rate_per_s=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(size_mix={})
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(size_mix={1: -1.0})
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator().generate(0)

@@ -1,0 +1,117 @@
+"""Tests for repro.scheduler.simulator."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.ids import JobId
+from repro.scheduler.allocator import ContiguousAllocator, ReconfigurableAllocator
+from repro.scheduler.requests import JobRequest, WorkloadGenerator
+from repro.scheduler.simulator import SchedulerSimulation
+from repro.tpu.superpod import Superpod
+
+
+def job(name, cubes, duration, arrival):
+    return JobRequest(JobId(name), cubes=cubes, duration_s=duration, arrival_s=arrival)
+
+
+class TestBasics:
+    def test_single_job_completes(self):
+        pod = Superpod(num_cubes=8)
+        sim = SchedulerSimulation(ReconfigurableAllocator(pod))
+        metrics = sim.run([job("a", 4, 100.0, 0.0)])
+        assert metrics.completed == 1
+        assert metrics.cube_busy_s == pytest.approx(400.0)
+
+    def test_queueing_when_full(self):
+        pod = Superpod(num_cubes=4)
+        sim = SchedulerSimulation(ReconfigurableAllocator(pod))
+        metrics = sim.run(
+            [job("a", 4, 100.0, 0.0), job("b", 4, 100.0, 10.0)]
+        )
+        assert metrics.completed == 2
+        # Job b waited from t=10 until a finished at t=100.
+        assert metrics.waits_s[1] == pytest.approx(90.0)
+
+    def test_backfill_lets_small_jobs_pass(self):
+        pod = Superpod(num_cubes=4)
+        trace = [
+            job("big0", 4, 100.0, 0.0),
+            job("big1", 4, 100.0, 1.0),  # blocks the head
+            job("tiny", 1, 10.0, 2.0),
+        ]
+        with_bf = SchedulerSimulation(
+            ReconfigurableAllocator(Superpod(num_cubes=4)), backfill=True
+        ).run(trace)
+        without = SchedulerSimulation(
+            ReconfigurableAllocator(Superpod(num_cubes=4)), backfill=False
+        ).run(trace)
+        # tiny's wait should shrink... it cannot run while big0 holds all
+        # 4 cubes, so backfill only helps after big0 ends; the orders differ.
+        assert with_bf.completed == without.completed == 3
+        assert with_bf.mean_wait_s <= without.mean_wait_s
+
+    def test_empty_trace_rejected(self):
+        sim = SchedulerSimulation(ReconfigurableAllocator(Superpod(num_cubes=4)))
+        with pytest.raises(ConfigurationError):
+            sim.run([])
+
+
+class TestUtilizationComparison:
+    """§4.2.4: the OCS pod sustains higher utilization."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        gen = WorkloadGenerator(
+            arrival_rate_per_s=1 / 120.0,
+            mean_duration_s=3600.0,
+            seed=11,
+        )
+        return gen.generate(220)
+
+    def test_reconfigurable_utilization_high(self, trace):
+        pod = Superpod()
+        metrics = SchedulerSimulation(ReconfigurableAllocator(pod)).run(trace)
+        assert metrics.utilization > 0.9
+
+    def test_reconfigurable_beats_contiguous(self, trace):
+        rec = SchedulerSimulation(ReconfigurableAllocator(Superpod())).run(trace)
+        con = SchedulerSimulation(ContiguousAllocator(Superpod())).run(trace)
+        assert rec.utilization > con.utilization
+
+
+class TestFailures:
+    def test_reconfigurable_jobs_survive(self):
+        pod = Superpod(num_cubes=16)
+        sim = SchedulerSimulation(
+            ReconfigurableAllocator(pod),
+            cube_failure_rate_per_s=1 / 5000.0,
+            repair_s=2000.0,
+            seed=5,
+        )
+        trace = [job(f"j{i}", 2, 4000.0, i * 100.0) for i in range(10)]
+        metrics = sim.run(trace)
+        assert metrics.completed == 10
+        assert metrics.failures_injected > 0
+        assert metrics.requeued_after_failure == 0 or metrics.survived_failures > 0
+
+    def test_static_jobs_requeue(self):
+        pod = Superpod(num_cubes=8)
+        sim = SchedulerSimulation(
+            ContiguousAllocator(pod),
+            cube_failure_rate_per_s=1 / 3000.0,
+            repair_s=1000.0,
+            seed=6,
+        )
+        trace = [job(f"j{i}", 8, 5000.0, i * 50.0) for i in range(6)]
+        metrics = sim.run(trace)
+        assert metrics.failures_injected > 0
+        # The static policy cannot swap: any hit job requeues.
+        assert metrics.survived_failures == 0
+
+    def test_metrics_properties(self):
+        pod = Superpod(num_cubes=4)
+        metrics = SchedulerSimulation(ReconfigurableAllocator(pod)).run(
+            [job("a", 1, 10.0, 0.0)]
+        )
+        assert 0 <= metrics.utilization <= 1
+        assert metrics.p95_wait_s >= 0

@@ -1,0 +1,74 @@
+"""Property suite for the scheduling DES: conservation laws under random
+traces and policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ids import JobId
+from repro.scheduler.allocator import ContiguousAllocator, ReconfigurableAllocator
+from repro.scheduler.requests import JobRequest
+from repro.scheduler.simulator import SchedulerSimulation
+from repro.tpu.superpod import Superpod
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(1, 12))
+    jobs = []
+    t = 0.0
+    for i in range(n):
+        t += draw(st.floats(0.0, 50.0))
+        jobs.append(
+            JobRequest(
+                JobId(f"j{i}"),
+                cubes=draw(st.integers(1, 8)),
+                duration_s=draw(st.floats(1.0, 200.0)),
+                arrival_s=t,
+            )
+        )
+    return jobs
+
+
+class TestConservation:
+    @given(traces(), st.booleans(), st.sampled_from([0, 1]))
+    @settings(max_examples=30, deadline=None)
+    def test_every_job_completes_without_failures(self, trace, backfill, policy):
+        pod = Superpod(num_cubes=8)
+        allocator = (
+            ReconfigurableAllocator(pod) if policy == 0 else ContiguousAllocator(pod)
+        )
+        metrics = SchedulerSimulation(allocator, backfill=backfill).run(trace)
+        assert metrics.completed == len(trace)
+        # All resources returned.
+        assert pod.allocated_cubes() == set()
+        assert pod.total_circuits() == 0
+        # Waits are non-negative and one per start.
+        assert len(metrics.waits_s) == len(trace)
+        assert all(w >= -1e-9 for w in metrics.waits_s)
+        # Busy accounting: exactly sum(cubes * duration).
+        expected = sum(j.cubes * j.duration_s for j in trace)
+        assert metrics.cube_busy_s == pytest.approx(expected, rel=1e-9)
+
+    @given(traces())
+    @settings(max_examples=15, deadline=None)
+    def test_utilization_bounded(self, trace):
+        pod = Superpod(num_cubes=8)
+        metrics = SchedulerSimulation(ReconfigurableAllocator(pod)).run(trace)
+        assert 0.0 <= metrics.utilization <= 1.0 + 1e-9
+
+    @given(traces(), st.integers(0, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_failure_injection_conserves_jobs(self, trace, seed):
+        """With failures, every job either completes or sits in the queue
+        at drain time -- none vanish."""
+        pod = Superpod(num_cubes=8)
+        sim = SchedulerSimulation(
+            ReconfigurableAllocator(pod),
+            cube_failure_rate_per_s=1 / 500.0,
+            repair_s=100.0,
+            seed=seed,
+        )
+        metrics = sim.run(trace)
+        assert metrics.completed + metrics.requeued_after_failure >= metrics.completed
+        assert metrics.completed <= len(trace) + metrics.requeued_after_failure

@@ -1,0 +1,63 @@
+"""Tests for repro.tpu.chip."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.tpu.chip import (
+    CHIPS_PER_HOST,
+    TpuChip,
+    TpuHost,
+    superpod_peak_exaflops,
+)
+
+
+class TestTpuChip:
+    def test_coords(self):
+        chip = TpuChip(0, 1, 2, 3)
+        assert chip.coords == (1, 2, 3)
+
+    def test_host_grouping(self):
+        # Chips are grouped 4-per-host along x: (0..3, y, z) share a host.
+        hosts = {TpuChip(0, x, 1, 2).host_index for x in range(4)}
+        assert len(hosts) == 1
+
+    def test_sixteen_hosts_per_cube(self):
+        hosts = {
+            TpuChip(0, x, y, z).host_index
+            for x in range(4)
+            for y in range(4)
+            for z in range(4)
+        }
+        assert hosts == set(range(16))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TpuChip(0, 4, 0, 0)
+        with pytest.raises(ConfigurationError):
+            TpuChip(-1, 0, 0, 0)
+
+
+class TestTpuHost:
+    def test_chips_per_host(self):
+        assert TpuHost(0, 0).num_chips == CHIPS_PER_HOST == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TpuHost(0, -1)
+        with pytest.raises(ConfigurationError):
+            TpuHost(0, 0, dcn_gbps=0)
+
+
+class TestPeakCompute:
+    def test_superpod_exceeds_one_exaflop(self):
+        """Abstract: 4096 TPU v4 chips > 1 ExaFLOP."""
+        assert superpod_peak_exaflops(4096) > 1.0
+
+    def test_scaling(self):
+        assert superpod_peak_exaflops(2048) == pytest.approx(
+            superpod_peak_exaflops(4096) / 2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            superpod_peak_exaflops(0)

@@ -1,0 +1,73 @@
+"""Tests for repro.tpu.costmodel (Table 1 reproduction target)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.tpu.costmodel import FABRIC_KINDS, FabricCostModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return FabricCostModel()
+
+
+class TestTable1:
+    def test_dcn_relative_cost(self, model):
+        """Paper: DCN fabric is 1.24x the static baseline."""
+        cost, _ = model.relative_table()["dcn"]
+        assert cost == pytest.approx(1.24, abs=0.03)
+
+    def test_dcn_relative_power(self, model):
+        """Paper: DCN fabric uses 1.10x the power."""
+        _, power = model.relative_table()["dcn"]
+        assert power == pytest.approx(1.10, abs=0.02)
+
+    def test_lightwave_relative_cost(self, model):
+        """Paper: lightwave fabric is 1.06x."""
+        cost, _ = model.relative_table()["lightwave"]
+        assert cost == pytest.approx(1.06, abs=0.02)
+
+    def test_lightwave_relative_power(self, model):
+        """Paper: lightwave fabric uses 1.01x the power."""
+        _, power = model.relative_table()["lightwave"]
+        assert power == pytest.approx(1.01, abs=0.01)
+
+    def test_static_is_baseline(self, model):
+        cost, power = model.relative_table()["static"]
+        assert cost == 1.0 and power == 1.0
+
+    def test_premium_under_6_percent(self, model):
+        """Abstract: lightwave premium < 6% of total system cost."""
+        assert model.lightwave_premium_fraction() < 0.065
+
+    def test_ordering(self, model):
+        table = model.relative_table()
+        assert table["dcn"][0] > table["lightwave"][0] > 0.99
+        assert table["dcn"][1] > table["lightwave"][1] > 0.99
+
+
+class TestBom:
+    def test_all_kinds_buildable(self, model):
+        for kind in FABRIC_KINDS:
+            bom = model.bom(kind)
+            assert sum(l.cost_usd for l in bom) > 0
+            assert any(l.item == "tpu-rack" for l in bom)
+
+    def test_unknown_kind(self, model):
+        with pytest.raises(ConfigurationError):
+            model.bom("quantum")
+
+    def test_fabric_cost_excludes_racks(self, model):
+        assert model.fabric_cost_usd("static") < model.total_cost_usd("static") / 2
+
+    def test_lightwave_has_ocs_line(self, model):
+        items = [l.item for l in model.bom("lightwave")]
+        assert "palomar ocs" in items
+
+    def test_dcn_has_eps_line(self, model):
+        items = [l.item for l in model.bom("dcn")]
+        assert "eps chassis" in items
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FabricCostModel(rack_cost_usd=0)

@@ -1,0 +1,76 @@
+"""Tests for repro.tpu.cube."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.ids import CubeId
+from repro.tpu.cube import (
+    CHIPS_PER_CUBE,
+    FACE_PORTS,
+    HOSTS_PER_CUBE,
+    OCS_CONNECTIONS_PER_CUBE,
+    Cube,
+)
+
+
+@pytest.fixture
+def cube():
+    return Cube(CubeId(0))
+
+
+class TestGeometry:
+    def test_constants(self):
+        assert CHIPS_PER_CUBE == 64
+        assert HOSTS_PER_CUBE == 16
+        assert FACE_PORTS == 16
+        assert OCS_CONNECTIONS_PER_CUBE == 48
+
+    def test_all_chips(self, cube):
+        chips = cube.chips()
+        assert len(chips) == 64
+        assert len({c.coords for c in chips}) == 64
+
+    def test_face_chips_count(self, cube):
+        for dim in ("x", "y", "z"):
+            for sign in (1, -1):
+                face = cube.face_chips(dim, sign)
+                assert len(face) == 16
+
+    def test_face_chips_fixed_coordinate(self, cube):
+        plus_x = cube.face_chips("x", 1)
+        assert all(c.x == 3 for c in plus_x)
+        minus_z = cube.face_chips("z", -1)
+        assert all(c.z == 0 for c in minus_z)
+
+    def test_opposite_faces_disjoint(self, cube):
+        plus = {c.coords for c in cube.face_chips("y", 1)}
+        minus = {c.coords for c in cube.face_chips("y", -1)}
+        assert plus.isdisjoint(minus)
+
+    def test_face_validation(self, cube):
+        with pytest.raises(ConfigurationError):
+            cube.face_chips("w", 1)
+        with pytest.raises(ConfigurationError):
+            cube.face_chips("x", 0)
+
+
+class TestHealth:
+    def test_initially_healthy(self, cube):
+        assert cube.healthy
+
+    def test_single_host_failure_fails_cube(self, cube):
+        """§4.2.2: a cube is up only when all its hosts are."""
+        cube.fail_host(7)
+        assert not cube.healthy
+        cube.repair_host(7)
+        assert cube.healthy
+
+    def test_host_index_validation(self, cube):
+        with pytest.raises(ConfigurationError):
+            cube.fail_host(16)
+
+    def test_bad_host_count_rejected(self):
+        from repro.tpu.chip import TpuHost
+
+        with pytest.raises(ConfigurationError):
+            Cube(CubeId(0), hosts=[TpuHost(0, 0)])

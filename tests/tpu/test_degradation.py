@@ -1,0 +1,99 @@
+"""Tests for repro.tpu.degradation (§4.2.2 single-OCS failure impact)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.ids import CubeId, OcsId, SliceId
+from repro.ml.models import LLM_ZOO
+from repro.ml.parallelism import ParallelismPlan
+from repro.ml.perfmodel import TrainingStepModel
+from repro.tpu.degradation import (
+    LINKS_PER_OCS_FRACTION,
+    ocs_dimension,
+    ocs_failure_impact,
+    step_time_degradation,
+    worst_case_step_degradation,
+)
+from repro.tpu.slice_topology import SliceTopology
+from repro.tpu.superpod import Superpod
+
+
+class TestOcsDimension:
+    def test_mapping(self):
+        assert ocs_dimension(OcsId(0)) == "x"
+        assert ocs_dimension(OcsId(16)) == "y"
+        assert ocs_dimension(OcsId(47)) == "z"
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ocs_dimension(OcsId(48))
+
+
+class TestFailureImpact:
+    @pytest.fixture
+    def pod(self):
+        pod = Superpod(num_cubes=16)
+        pod.configure_slice(
+            SliceTopology.compose(
+                SliceId("multi"), (1, 1, 4), [CubeId(i) for i in range(4)]
+            )
+        )
+        pod.configure_slice(
+            SliceTopology.compose(
+                SliceId("mesh1"), (1, 1, 1), [CubeId(8)], wrap=False
+            )
+        )
+        return pod
+
+    def test_multi_cube_slice_affected_in_its_dim(self, pod):
+        impact = ocs_failure_impact(pod, OcsId(32))  # a z-dimension OCS
+        assert impact[SliceId("multi")].affected
+        assert impact[SliceId("multi")].bandwidth_loss_fraction == pytest.approx(
+            LINKS_PER_OCS_FRACTION
+        )
+
+    def test_torus_self_loop_counts(self, pod):
+        """A torus slice's extent-1 dims still ride the fabric (wraparound)."""
+        impact = ocs_failure_impact(pod, OcsId(0))  # an x-dimension OCS
+        assert impact[SliceId("multi")].affected  # x extent 1 but wrap=True
+
+    def test_mesh_single_cube_unaffected(self, pod):
+        """A mesh 1-cube slice has no optical links at all."""
+        for ocs in (OcsId(0), OcsId(16), OcsId(32)):
+            impact = ocs_failure_impact(pod, ocs)
+            assert not impact[SliceId("mesh1")].affected
+            assert impact[SliceId("mesh1")].bandwidth_loss_fraction == 0.0
+
+
+class TestStepTimeDegradation:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        plan = ParallelismPlan.for_shape(LLM_ZOO["llm1"], (4, 4, 256))
+        return plan, TrainingStepModel()
+
+    def test_degradation_positive_on_used_dims(self, setup):
+        plan, model = setup
+        for axis in range(3):
+            assert step_time_degradation(plan, model, axis) >= 0.0
+
+    def test_small_hit_for_one_ocs(self, setup):
+        """Losing 1 of 16 OCSes costs a few percent, not a catastrophe --
+        the graceful degradation §4.2.2 contrasts with slice loss."""
+        plan, model = setup
+        _, worst = worst_case_step_degradation(plan, model)
+        assert 0.0 < worst < 0.07
+
+    def test_worst_axis_is_where_comm_lives(self, setup):
+        """LLM1's step is tensor-comm heavy: dim 1 hurts most."""
+        plan, model = setup
+        axis, _ = worst_case_step_degradation(plan, model)
+        assert axis == 0
+
+    def test_validation(self, setup):
+        plan, model = setup
+        with pytest.raises(ConfigurationError):
+            step_time_degradation(plan, model, 5)
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainingStepModel(dim_bandwidth_scale=(1.0, 0.0, 1.0))

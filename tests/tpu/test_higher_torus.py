@@ -1,0 +1,105 @@
+"""Tests for repro.tpu.higher_torus (§6 future-work study)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.tpu.higher_torus import (
+    compare_dimensionalities,
+    near_cubic_shape,
+    ocses_for_torus,
+    torus_nd_average_hops,
+    torus_nd_bisection_links,
+    torus_nd_diameter,
+    torus_nd_links_per_chip,
+    torus_nd_num_chips,
+)
+from repro.tpu.routing import (
+    torus_average_hops,
+    torus_bisection_links,
+    torus_diameter,
+)
+
+
+class TestNdMetricsMatch3d:
+    """The N-D generalization must agree with the 3D implementation."""
+
+    @pytest.mark.parametrize("shape", [(16, 16, 16), (4, 4, 256), (8, 16, 32)])
+    def test_diameter(self, shape):
+        assert torus_nd_diameter(shape) == torus_diameter(shape)
+
+    @pytest.mark.parametrize("shape", [(16, 16, 16), (4, 4, 256), (2, 2, 2)])
+    def test_bisection(self, shape):
+        assert torus_nd_bisection_links(shape) == torus_bisection_links(shape)
+
+    @pytest.mark.parametrize("shape", [(4, 4, 4), (2, 4, 8)])
+    def test_average_hops(self, shape):
+        assert torus_nd_average_hops(shape) == pytest.approx(torus_average_hops(shape))
+
+
+class TestNdMetrics:
+    def test_num_chips(self):
+        assert torus_nd_num_chips((8, 8, 8, 8)) == 4096
+
+    def test_links_per_chip(self):
+        assert torus_nd_links_per_chip((16, 16, 16)) == 6
+        assert torus_nd_links_per_chip((8, 8, 8, 8)) == 8
+        assert torus_nd_links_per_chip((1, 4, 4)) == 4  # unit dim is a self-loop
+
+    def test_single_node(self):
+        assert torus_nd_average_hops((1,)) == 0.0
+        assert torus_nd_diameter((1, 1)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            torus_nd_diameter(())
+        with pytest.raises(ConfigurationError):
+            torus_nd_bisection_links((0, 4))
+
+
+class TestNearCubic:
+    def test_4096_shapes(self):
+        assert near_cubic_shape(4096, 3) == (16, 16, 16)
+        assert near_cubic_shape(4096, 4) == (8, 8, 8, 8)
+        assert near_cubic_shape(4096, 6) == (4, 4, 4, 4, 4, 4)
+
+    def test_product_invariant(self):
+        for dims in (2, 3, 4, 5):
+            shape = near_cubic_shape(720, dims)
+            assert torus_nd_num_chips(shape) == 720
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            near_cubic_shape(0, 3)
+
+
+class TestSection6Claims:
+    """§6: higher-D tori -> larger bisection, lower latency, more ports."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_dimensionalities(4096, dims_options=(2, 3, 4, 6))
+
+    def test_bisection_grows_with_dims(self, comparison):
+        bisections = [comparison[d].bisection_links for d in (2, 3, 4, 6)]
+        assert bisections == sorted(bisections)
+
+    def test_latency_falls_with_dims(self, comparison):
+        diameters = [comparison[d].diameter for d in (2, 3, 4, 6)]
+        assert diameters == sorted(diameters, reverse=True)
+        hops = [comparison[d].average_hops for d in (2, 3, 4, 6)]
+        assert hops == sorted(hops, reverse=True)
+
+    def test_port_cost_grows_with_dims(self, comparison):
+        ports = [comparison[d].links_per_chip for d in (2, 3, 4, 6)]
+        assert ports == [4, 6, 8, 12]
+
+    def test_bisection_per_chip(self, comparison):
+        assert comparison[6].bisection_per_chip > comparison[3].bisection_per_chip
+
+
+class TestOcsCount:
+    def test_3d_matches_appendix_a(self):
+        assert ocses_for_torus((16, 16, 16)) == 48
+
+    def test_4d_needs_more(self):
+        assert ocses_for_torus((8, 8, 8, 8)) == 64

@@ -1,0 +1,60 @@
+"""Tests for repro.tpu.ici."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.tpu.ici import IciSpec
+
+
+@pytest.fixture
+def spec():
+    return IciSpec()
+
+
+class TestLatency:
+    def test_electrical_hop(self, spec):
+        assert spec.hop_latency_ns(False) == spec.electrical_hop_ns
+
+    def test_optical_hop_adds_fiber_and_serdes(self, spec):
+        optical = spec.hop_latency_ns(True)
+        assert optical > spec.electrical_hop_ns + spec.optical_hop_extra_ns
+        # 40 m of fiber is ~200 ns.
+        assert optical < spec.electrical_hop_ns + spec.optical_hop_extra_ns + 300
+
+    def test_path_latency(self, spec):
+        total = spec.path_latency_ns(num_hops=5, inter_cube_hops=2)
+        expected = 3 * spec.hop_latency_ns(False) + 2 * spec.hop_latency_ns(True)
+        assert total == pytest.approx(expected)
+
+    def test_path_validation(self, spec):
+        with pytest.raises(ConfigurationError):
+            spec.path_latency_ns(2, 3)
+        with pytest.raises(ConfigurationError):
+            spec.path_latency_ns(-1, 0)
+
+
+class TestBandwidth:
+    def test_bytes_per_second(self, spec):
+        assert spec.link_bytes_per_s == pytest.approx(400e9 / 8)
+
+    def test_transfer_time(self, spec):
+        # 50 MB over 50 GB/s = 1 ms = 1000 us.
+        assert spec.transfer_time_us(50e6) == pytest.approx(1000.0)
+
+    def test_transfer_validation(self, spec):
+        with pytest.raises(ConfigurationError):
+            spec.transfer_time_us(-1)
+
+
+class TestValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            IciSpec(link_gbps=0)
+
+    def test_bad_latency(self):
+        with pytest.raises(ConfigurationError):
+            IciSpec(electrical_hop_ns=-1)
+
+    def test_bad_fiber(self):
+        with pytest.raises(ConfigurationError):
+            IciSpec(inter_cube_fiber_m=-1)

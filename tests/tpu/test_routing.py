@@ -1,0 +1,115 @@
+"""Tests for repro.tpu.routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.tpu.routing import (
+    best_bisection_shape,
+    torus_average_hops,
+    torus_bisection_links,
+    torus_diameter,
+    torus_hop_distance,
+    torus_ring_distance,
+    torus_route,
+)
+
+
+class TestRingDistance:
+    def test_wraparound_shortcut(self):
+        assert torus_ring_distance(0, 15, 16) == 1
+        assert torus_ring_distance(0, 8, 16) == 8
+
+    def test_same_point(self):
+        assert torus_ring_distance(3, 3, 8) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            torus_ring_distance(0, 1, 0)
+
+
+class TestHopDistance:
+    def test_additive_over_dims(self):
+        assert torus_hop_distance((0, 0, 0), (1, 2, 3), (16, 16, 16)) == 6
+
+    def test_wraparound(self):
+        assert torus_hop_distance((0, 0, 0), (15, 0, 0), (16, 16, 16)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            torus_hop_distance((0, 0, 0), (0, 0, 20), (16, 16, 16))
+
+
+class TestRoute:
+    def test_endpoints(self):
+        route = torus_route((0, 0, 0), (2, 1, 0), (4, 4, 4))
+        assert route[0] == (0, 0, 0)
+        assert route[-1] == (2, 1, 0)
+
+    def test_length_is_distance(self):
+        src, dst, shape = (0, 3, 1), (3, 0, 2), (4, 4, 4)
+        route = torus_route(src, dst, shape)
+        assert len(route) - 1 == torus_hop_distance(src, dst, shape)
+
+    def test_dimension_ordered(self):
+        route = torus_route((0, 0, 0), (1, 1, 0), (4, 4, 4))
+        # x corrected before y.
+        assert route == [(0, 0, 0), (1, 0, 0), (1, 1, 0)]
+
+    def test_wraparound_step(self):
+        route = torus_route((0, 0, 0), (3, 0, 0), (4, 4, 4))
+        assert route == [(0, 0, 0), (3, 0, 0)]
+
+    def test_each_step_is_one_hop(self):
+        route = torus_route((0, 0, 0), (2, 3, 1), (4, 4, 4))
+        for a, b in zip(route, route[1:]):
+            assert torus_hop_distance(a, b, (4, 4, 4)) == 1
+
+    @given(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_route_length_property(self, src, dst):
+        shape = (4, 4, 4)
+        route = torus_route(src, dst, shape)
+        assert len(route) - 1 == torus_hop_distance(src, dst, shape)
+
+
+class TestMetrics:
+    def test_diameter(self):
+        assert torus_diameter((16, 16, 16)) == 24
+        assert torus_diameter((4, 4, 256)) == 132
+
+    def test_bisection_symmetric_best(self):
+        """§4.2.1: 16x16x16 has the highest bisection of all 4096 tori."""
+        assert best_bisection_shape(4096) == (16, 16, 16)
+
+    def test_bisection_values(self):
+        assert torus_bisection_links((16, 16, 16)) == 512
+        assert torus_bisection_links((4, 4, 256)) == 32
+
+    def test_symmetric_beats_asymmetric(self):
+        assert torus_bisection_links((16, 16, 16)) > torus_bisection_links((8, 16, 32))
+        assert torus_bisection_links((8, 16, 32)) > torus_bisection_links((4, 4, 256))
+
+    def test_small_extent_bisection(self):
+        # Extent 2 rings have both links crossing any bisection of that dim.
+        assert torus_bisection_links((2, 1, 1)) == 2
+        assert torus_bisection_links((1, 1, 1)) == 1
+
+    def test_average_hops(self):
+        # Ring of 4: mean over ordered pairs incl self is 1.0; x3 dims,
+        # rescaled by n/(n-1).
+        avg = torus_average_hops((4, 4, 4))
+        assert avg == pytest.approx(3.0 * 64 / 63)
+
+    def test_average_hops_single(self):
+        assert torus_average_hops((1, 1, 1)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            torus_bisection_links((0, 4, 4))
+        with pytest.raises(ConfigurationError):
+            best_bisection_shape(0)

@@ -1,0 +1,94 @@
+"""Tests for repro.tpu.routing_tables."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError, TopologyError
+from repro.tpu.routing import torus_hop_distance, torus_route
+from repro.tpu.routing_tables import (
+    Egress,
+    build_routing_table,
+    max_pod_for_table_size,
+    next_hop,
+    table_entries_per_chip,
+    walk_route,
+)
+
+
+class TestNextHop:
+    def test_local(self):
+        assert next_hop((1, 2, 3), (1, 2, 3), (4, 4, 4)) is Egress.LOCAL
+
+    def test_dimension_order(self):
+        # x differs -> x port even though y also differs.
+        assert next_hop((0, 0, 0), (1, 1, 0), (4, 4, 4)) is Egress.X_PLUS
+
+    def test_wraparound_direction(self):
+        assert next_hop((0, 0, 0), (3, 0, 0), (4, 4, 4)) is Egress.X_MINUS
+        assert next_hop((0, 0, 0), (0, 3, 0), (4, 4, 4)) is Egress.Y_MINUS
+
+    def test_tie_goes_positive(self):
+        assert next_hop((0, 0, 0), (2, 0, 0), (4, 4, 4)) is Egress.X_PLUS
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            next_hop((0, 0, 0), (0, 0, 0), (0, 4, 4))
+
+
+class TestRoutingTable:
+    def test_entry_count(self):
+        table = build_routing_table((0, 0, 0), (4, 4, 4))
+        assert table.num_entries == 64
+        assert table_entries_per_chip((4, 4, 4)) == 64
+
+    def test_self_entry_local(self):
+        table = build_routing_table((1, 1, 1), (4, 4, 4))
+        assert table.egress_for((1, 1, 1)) is Egress.LOCAL
+
+    def test_unknown_destination(self):
+        table = build_routing_table((0, 0, 0), (2, 2, 2))
+        with pytest.raises(TopologyError):
+            table.egress_for((3, 3, 3))
+
+    def test_full_pod_table_size(self):
+        """4096 entries per chip for the full 16x16x16 superpod."""
+        assert table_entries_per_chip((16, 16, 16)) == 4096
+
+
+class TestWalkRoute:
+    def test_matches_centralized_route(self):
+        shape = (4, 4, 4)
+        path = walk_route((0, 0, 0), (2, 3, 1), shape)
+        assert path == torus_route((0, 0, 0), (2, 3, 1), shape)
+
+    def test_hop_count_is_shortest(self):
+        shape = (4, 4, 256)
+        src, dst = (0, 0, 0), (3, 2, 200)
+        path = walk_route(src, dst, shape)
+        assert len(path) - 1 == torus_hop_distance(src, dst, shape)
+
+    @given(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 7)),
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 7)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reachability_property(self, src, dst):
+        """Every destination is reachable via distributed tables, and the
+        walked route is always shortest."""
+        shape = (4, 4, 8)
+        path = walk_route(src, dst, shape)
+        assert path[0] == src and path[-1] == dst
+        assert len(path) - 1 == torus_hop_distance(src, dst, shape)
+
+
+class TestPodSizeConstraint:
+    def test_capacity_caps_pod(self):
+        """§3.2.1: routing-table capacity bounds the superpod size."""
+        assert max_pod_for_table_size(4096) == 64  # the v4 pod
+        assert max_pod_for_table_size(2048) == 32
+        assert max_pod_for_table_size(64 * 292) == 292  # 300x300 envelope
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            max_pod_for_table_size(0)

@@ -1,0 +1,117 @@
+"""Tests for repro.tpu.slice_topology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError, TopologyError
+from repro.core.ids import CubeId, SliceId
+from repro.tpu.slice_topology import SliceTopology
+
+
+def make_slice(shape, start=0, name="s"):
+    n = shape[0] * shape[1] * shape[2]
+    return SliceTopology.compose(
+        SliceId(name), shape, [CubeId(start + i) for i in range(n)]
+    )
+
+
+class TestConstruction:
+    def test_compose_counts(self):
+        s = make_slice((2, 2, 2))
+        assert s.num_cubes == 8
+        assert s.num_chips == 512
+        assert s.chip_shape == (8, 8, 8)
+
+    def test_wrong_cube_count(self):
+        with pytest.raises(ConfigurationError):
+            SliceTopology.compose(SliceId("s"), (2, 2, 2), [CubeId(0)])
+
+    def test_duplicate_cube_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SliceTopology.compose(SliceId("s"), (1, 1, 2), [CubeId(0), CubeId(0)])
+
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            SliceTopology.compose(SliceId("s"), (0, 1, 1), [])
+        with pytest.raises(ConfigurationError):
+            SliceTopology.compose(SliceId("s"), (1, 1), [CubeId(0)])
+
+    def test_chip_shape_conversion(self):
+        assert SliceTopology.chip_shape_to_cube_shape((4, 4, 256)) == (1, 1, 64)
+        assert SliceTopology.chip_shape_to_cube_shape((16, 16, 16)) == (4, 4, 4)
+        assert SliceTopology.chip_shape_to_cube_shape((8, 16, 32)) == (2, 4, 8)
+
+    def test_chip_shape_must_be_multiple_of_4(self):
+        with pytest.raises(ConfigurationError):
+            SliceTopology.chip_shape_to_cube_shape((4, 4, 6))
+
+
+class TestLookup:
+    def test_cube_at(self):
+        s = make_slice((1, 1, 2))
+        assert s.cube_at((0, 0, 0)) == CubeId(0)
+        assert s.cube_at((0, 0, 1)) == CubeId(1)
+        with pytest.raises(TopologyError):
+            s.cube_at((1, 0, 0))
+
+    def test_cube_ids_order(self):
+        s = make_slice((1, 1, 3), start=5)
+        assert s.cube_ids == (CubeId(5), CubeId(6), CubeId(7))
+
+
+class TestRings:
+    def test_ring_count(self):
+        s = make_slice((2, 3, 4))
+        assert len(s.rings("x")) == 12  # 3*4 lines along x
+        assert len(s.rings("y")) == 8
+        assert len(s.rings("z")) == 6
+
+    def test_ring_length(self):
+        s = make_slice((2, 3, 4))
+        assert all(len(r) == 2 for r in s.rings("x"))
+        assert all(len(r) == 4 for r in s.rings("z"))
+
+    def test_extent_one_self_ring(self):
+        s = make_slice((1, 1, 4))
+        assert all(len(r) == 1 for r in s.rings("x"))
+
+    def test_bad_dim(self):
+        with pytest.raises(ConfigurationError):
+            make_slice((1, 1, 1)).rings("w")
+
+
+class TestInterCubeLinks:
+    def test_link_count(self):
+        """Each cube has one outgoing link per dimension (wraparound torus)."""
+        s = make_slice((2, 2, 2))
+        links = s.inter_cube_links()
+        assert len(links) == 3 * 8  # 3 dims x 8 cubes
+
+    def test_self_loops_for_unit_dims(self):
+        s = make_slice((1, 1, 2))
+        links = s.inter_cube_links()
+        x_links = [(a, b) for d, a, b in links if d == "x"]
+        assert all(a == b for a, b in x_links)
+
+    def test_every_cube_has_in_and_out_per_dim(self):
+        s = make_slice((2, 1, 2))
+        links = s.inter_cube_links()
+        for dim in ("x", "y", "z"):
+            outs = [a for d, a, b in links if d == dim]
+            ins = [b for d, a, b in links if d == dim]
+            assert sorted(outs, key=lambda c: c.index) == sorted(
+                set(outs), key=lambda c: c.index
+            )
+            assert set(outs) == set(ins) == set(s.cube_ids)
+
+    @given(
+        st.sampled_from(
+            [(1, 1, 64), (2, 4, 8), (4, 4, 4), (1, 2, 2), (2, 2, 2), (1, 1, 1)]
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_link_count_property(self, shape):
+        """A d-dim torus over n nodes always has exactly 3n directed cube links."""
+        s = make_slice(shape)
+        assert len(s.inter_cube_links()) == 3 * s.num_cubes

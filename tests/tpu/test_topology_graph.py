@@ -1,0 +1,87 @@
+"""Tests for Superpod.topology_graph: networkx cross-validation.
+
+The exported graphs let us validate the torus metrics against an
+independent implementation (networkx shortest paths) -- distances,
+regularity, and bisection all agree.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.ids import CubeId, SliceId
+from repro.tpu.routing import torus_diameter, torus_hop_distance
+from repro.tpu.slice_topology import SliceTopology
+from repro.tpu.superpod import Superpod
+
+
+def pod_with_slice(shape, wrap=True):
+    n = shape[0] * shape[1] * shape[2]
+    pod = Superpod(num_cubes=max(n, 1))
+    topo = SliceTopology.compose(
+        SliceId("s"), shape, [CubeId(i) for i in range(n)], wrap=wrap
+    )
+    pod.configure_slice(topo)
+    return pod, topo
+
+
+class TestCubeGraph:
+    def test_nodes_and_edges(self):
+        pod, topo = pod_with_slice((2, 2, 2))
+        g = pod.topology_graph(SliceId("s"), level="cube")
+        assert g.number_of_nodes() == 8
+        assert g.number_of_edges() == 3 * 8  # one per cube per dim
+
+    def test_mesh_has_fewer_edges(self):
+        pod, _ = pod_with_slice((1, 1, 4), wrap=False)
+        g = pod.topology_graph(SliceId("s"), level="cube")
+        assert g.number_of_edges() == 3  # chain of 4, no wrap, no unit dims
+
+    def test_unknown_level(self):
+        pod, _ = pod_with_slice((1, 1, 2))
+        with pytest.raises(ConfigurationError):
+            pod.topology_graph(SliceId("s"), level="rack")
+
+
+class TestChipGraph:
+    @pytest.fixture(scope="class")
+    def graph_and_shape(self):
+        pod, topo = pod_with_slice((2, 2, 2))
+        return pod.topology_graph(SliceId("s"), level="chip"), topo.chip_shape
+
+    def test_regular_degree_six(self, graph_and_shape):
+        g, _ = graph_and_shape
+        degrees = {d for _, d in g.degree()}
+        assert degrees == {6}  # every chip has 2 links per dimension
+
+    def test_edge_count(self, graph_and_shape):
+        g, shape = graph_and_shape
+        n = shape[0] * shape[1] * shape[2]
+        assert g.number_of_edges() == 3 * n
+
+    def test_electrical_and_optical_mix(self, graph_and_shape):
+        g, _ = graph_and_shape
+        kinds = {d["kind"] for _, _, d in g.edges(data=True)}
+        assert kinds == {"electrical", "optical"}
+
+    def test_networkx_diameter_matches_metric(self, graph_and_shape):
+        g, shape = graph_and_shape
+        assert nx.diameter(g) == torus_diameter(shape)
+
+    @given(
+        st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7)),
+        st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_distances_match_metric(self, a, b):
+        pod, topo = pod_with_slice((2, 2, 2))
+        g = pod.topology_graph(SliceId("s"), level="chip")
+        assert nx.shortest_path_length(g, a, b) == torus_hop_distance(
+            a, b, topo.chip_shape
+        )
+
+    def test_connected(self, graph_and_shape):
+        g, _ = graph_and_shape
+        assert nx.is_connected(g)
