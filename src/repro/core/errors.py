@@ -23,7 +23,24 @@ class PortInUseError(CrossConnectError):
 
 
 class CapacityError(ReproError):
-    """A resource request exceeds available capacity (ports, cubes, OCSes)."""
+    """A resource request exceeds available capacity (ports, cubes, OCSes).
+
+    Carries optional context for programmatic handling by remediation
+    code: ``degraded_circuit`` is the (north, south) circuit that needed
+    the capacity, ``attempted_spares`` the spare ports that were tried
+    and rejected before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        degraded_circuit=None,
+        attempted_spares=(),
+    ) -> None:
+        super().__init__(message)
+        self.degraded_circuit = degraded_circuit
+        self.attempted_spares = tuple(attempted_spares)
 
 
 class SchedulingError(ReproError):
@@ -36,3 +53,26 @@ class LinkBudgetError(ReproError):
 
 class ConfigurationError(ReproError):
     """A component was configured with invalid or inconsistent parameters."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault event is malformed or cannot be applied to its target."""
+
+
+class TransactionError(ReproError):
+    """A control-plane transaction exhausted its retries and was rolled back.
+
+    Attributes:
+        ocs_id: the switch whose programming could not be completed.
+        attempts: RPC attempts made against that switch before giving up.
+        rolled_back: whether previously-applied switches were restored to
+            their exact pre-transaction state.
+    """
+
+    def __init__(
+        self, message: str = "", *, ocs_id=None, attempts: int = 0, rolled_back: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.ocs_id = ocs_id
+        self.attempts = attempts
+        self.rolled_back = rolled_back

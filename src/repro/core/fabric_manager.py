@@ -132,6 +132,23 @@ class FabricManager:
         self._links[link_id] = link
         return link
 
+    def adopt_link(self, link_id: LinkId, ocs_id: OcsId, north: int, south: int) -> LogicalLink:
+        """Record a logical link for a circuit that already exists.
+
+        Used after a transaction established the circuit through a
+        reconfiguration plan rather than :meth:`establish`.
+        """
+        if link_id in self._links:
+            raise ConfigurationError(f"link {link_id} already exists")
+        sw = self.switch(ocs_id)
+        if sw.state.south_of(north) != south:
+            raise CrossConnectError(
+                f"{ocs_id}: no circuit N{north} -> S{south} to adopt for {link_id}"
+            )
+        link = LogicalLink(link_id, ocs_id, north, south)
+        self._links[link_id] = link
+        return link
+
     def teardown(self, link_id: LinkId) -> None:
         """Destroy a logical link and its circuit."""
         link = self._links.pop(link_id, None)
@@ -177,14 +194,23 @@ class FabricManager:
         plans = self.plan(targets)
         max_duration = 0.0
         for ocs_id in sorted(plans):
-            plan = plans[ocs_id]
-            duration = self.switch(ocs_id).apply_plan(plan)
-            self.stats.record(plan, duration)
+            duration = self.apply_switch_plan(ocs_id, plans[ocs_id])
             max_duration = max(max_duration, duration)
-        self._drop_stale_links()
+        self.drop_stale_links()
         return max_duration
 
-    def _drop_stale_links(self) -> None:
+    def apply_switch_plan(self, ocs_id: OcsId, plan: ReconfigPlan) -> float:
+        """Apply one switch's plan and record statistics; returns ms.
+
+        The building block resilient transactions retry per switch
+        (:mod:`repro.faults.resilience`); callers composing several
+        switch plans should finish with :meth:`drop_stale_links`.
+        """
+        duration = self.switch(ocs_id).apply_plan(plan)
+        self.stats.record(plan, duration)
+        return duration
+
+    def drop_stale_links(self) -> None:
         """Remove logical-link records whose circuit no longer exists."""
         stale: List[LinkId] = []
         for link_id, link in self._links.items():

@@ -68,6 +68,22 @@ class ReconfigPlan:
         batches = (1 if self.breaks else 0) + (1 if self.makes else 0)
         return control_overhead_ms + batches * switch_time_ms
 
+    def inverse(self) -> "ReconfigPlan":
+        """The plan that exactly undoes this one.
+
+        Applying a plan and then its inverse restores the starting
+        :class:`~repro.core.crossconnect.CrossConnectMap` bit for bit --
+        the rollback primitive of resilient transactions
+        (:mod:`repro.faults.resilience`).  Unchanged circuits stay
+        unchanged, so a rollback is as job-isolating as the forward plan.
+        """
+        return ReconfigPlan(
+            radix=self.radix,
+            breaks=self.makes,
+            makes=self.breaks,
+            unchanged=self.unchanged,
+        )
+
     def apply(self, current: CrossConnectMap) -> None:
         """Mutate ``current`` in place to realize this plan.
 

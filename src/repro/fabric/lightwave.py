@@ -12,12 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.crossconnect import CrossConnectMap
 from repro.core.errors import CapacityError, ConfigurationError, TopologyError
 from repro.core.fabric_manager import FabricManager, SwitchLike
 from repro.core.ids import LinkId, OcsId
 from repro.core.topology import Endpoint
 from repro.fabric.path import OpticalPath
 from repro.fabric.wiring import Attachment, WiringPlan
+from repro.faults.resilience import (
+    ControlPlaneFaults,
+    ResilientReconfigurer,
+    RetryPolicy,
+    TransactionResult,
+)
 from repro.ocs.palomar import PalomarOcs
 from repro.optics.transceiver import TransceiverSpec, transceiver
 
@@ -131,6 +138,61 @@ class LightwaveFabric:
     def disconnect(self, a: str, b: str) -> None:
         """Tear down the circuit between two endpoints."""
         self.manager.teardown(self.link_name(a, b))
+
+    # ------------------------------------------------------------------ #
+    # Resilient transactions
+    # ------------------------------------------------------------------ #
+
+    def transaction(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        faults: Optional[ControlPlaneFaults] = None,
+        seed: int = 0,
+    ) -> ResilientReconfigurer:
+        """A resilient reconfigurer bound to this fabric's manager.
+
+        Programming through it retries per-OCS under injected RPC
+        timeouts / stuck mirrors, backs off with seeded jitter, and
+        rolls back to the exact pre-transaction state on exhaustion.
+        """
+        return ResilientReconfigurer(
+            manager=self.manager,
+            policy=policy or RetryPolicy(),
+            faults=faults,
+            seed=seed,
+        )
+
+    def connect_all(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        policy: Optional[RetryPolicy] = None,
+        faults: Optional[ControlPlaneFaults] = None,
+        seed: int = 0,
+    ) -> Tuple[TransactionResult, Tuple[LinkId, ...]]:
+        """Create several endpoint links in ONE resilient transaction.
+
+        All circuits land atomically: under injected control-plane
+        faults either every pair is connected (after retries) or none is
+        -- and links unrelated to the batch never glitch, even mid-retry.
+        Returns the transaction result and the created link ids.
+        """
+        targets: Dict[OcsId, CrossConnectMap] = {}
+        planned: List[Tuple[LinkId, OcsId, int, int]] = []
+        for a, b in pairs:
+            link_id = self.link_name(a, b)
+            att_a, att_b = self._find_pair(a, b)
+            target = targets.get(att_a.ocs)
+            if target is None:
+                target = self.manager.switch(att_a.ocs).state.copy()
+                targets[att_a.ocs] = target
+            target.connect(att_a.ocs_port, att_b.ocs_port)
+            planned.append((link_id, att_a.ocs, att_a.ocs_port, att_b.ocs_port))
+        result = self.transaction(policy, faults, seed).reconfigure(targets)
+        link_ids = []
+        for link_id, ocs_id, north, south in planned:
+            self.manager.adopt_link(link_id, ocs_id, north, south)
+            link_ids.append(link_id)
+        return result, tuple(link_ids)
 
     def _find_pair(self, a: str, b: str) -> Tuple[Attachment, Attachment]:
         """Locate a north attachment of ``a`` and south attachment of ``b``

@@ -50,13 +50,19 @@ class RepairLoop:
     spare_south_ports: List[int] = field(
         default_factory=lambda: list(range(PALOMAR_USABLE_PORTS, PALOMAR_RADIX))
     )
+    #: A spare whose prospective path shows more than this much excess
+    #: loss over the optics model fails re-qualification and is skipped.
+    requalify_fail_db: float = 1.5
     actions: List[RepairAction] = field(default_factory=list)
     _degradation_db: Dict[Tuple[int, int], float] = field(default_factory=dict, repr=False)
+    _south_degradation_db: Dict[int, float] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         for p in self.spare_south_ports:
             if not 0 <= p < self.ocs.radix:
                 raise ConfigurationError(f"spare port {p} out of range")
+        if self.requalify_fail_db <= 0:
+            raise ConfigurationError("requalification margin must be positive")
 
     # ------------------------------------------------------------------ #
     # Plant degradation (failure injection for tests/benches)
@@ -72,10 +78,27 @@ class RepairLoop:
             self._degradation_db.get((north, south), 0.0) + extra_db
         )
 
+    def degrade_south_port(self, south: int, extra_db: float) -> None:
+        """Inject plant damage on a south pigtail (live or spare).
+
+        Unlike :meth:`degrade_circuit` this needs no live circuit: it
+        models a damaged spare that will fail re-qualification when the
+        repair loop tries to land a circuit on it.
+        """
+        if extra_db < 0:
+            raise ConfigurationError("degradation must be non-negative")
+        if not 0 <= south < self.ocs.radix:
+            raise ConfigurationError(f"south port {south} out of range")
+        self._south_degradation_db[south] = (
+            self._south_degradation_db.get(south, 0.0) + extra_db
+        )
+
     def measured_loss_db(self, north: int, south: int) -> float:
         """Current loss including any injected degradation."""
-        return self.ocs.insertion_loss_db(north, south) + self._degradation_db.get(
-            (north, south), 0.0
+        return (
+            self.ocs.insertion_loss_db(north, south)
+            + self._degradation_db.get((north, south), 0.0)
+            + self._south_degradation_db.get(south, 0.0)
         )
 
     # ------------------------------------------------------------------ #
@@ -93,14 +116,42 @@ class RepairLoop:
                 fired.append(anomaly)
         return fired
 
-    def _free_spare(self) -> int:
+    def _spare_qualifies(self, north: int, spare: int) -> bool:
+        """Re-qualify a spare for the prospective circuit (§4.2.3 style).
+
+        The spare's instrument path is graded before carrying production
+        traffic: excess loss over the optics model's expectation (i.e.
+        plant damage on the spare pigtail) beyond ``requalify_fail_db``
+        fails the spare.
+        """
+        excess = self.measured_loss_db(north, spare) - self.ocs.insertion_loss_db(
+            north, spare
+        )
+        return excess <= self.requalify_fail_db
+
+    def _select_spare(self, north: int, south: int) -> int:
+        """First free spare that passes re-qualification.
+
+        Raises :class:`~repro.core.errors.CapacityError` carrying the
+        degraded circuit and every spare that was attempted (busy or
+        failed re-qualification) when the pool cannot serve the repair.
+        """
+        attempted: List[int] = []
         for spare in self.spare_south_ports:
-            if self.ocs.state.north_of(spare) is None:
+            attempted.append(spare)
+            if self.ocs.state.north_of(spare) is not None:
+                continue
+            if self._spare_qualifies(north, spare):
                 return spare
-        raise CapacityError("repair pool exhausted")
+        raise CapacityError(
+            f"no usable spare for degraded circuit N{north}<->S{south}: "
+            f"attempted {attempted if attempted else 'no'} spare port(s)",
+            degraded_circuit=(north, south),
+            attempted_spares=attempted,
+        )
 
     def remediate(self, anomaly: Anomaly) -> Optional[RepairAction]:
-        """Move the anomalous circuit to a spare south port.
+        """Move the anomalous circuit to a re-qualified spare south port.
 
         Returns the action, or None when the circuit no longer exists
         (already repaired or torn down).
@@ -109,7 +160,7 @@ class RepairLoop:
         if self.ocs.state.south_of(north) != south:
             return None
         before = self.measured_loss_db(north, south)
-        spare = self._free_spare()
+        spare = self._select_spare(north, south)
         self.ocs.disconnect(north)
         self.ocs.connect(north, spare)
         # The endpoint fiber moved with the circuit: plant degradation on

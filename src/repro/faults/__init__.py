@@ -1,0 +1,39 @@
+"""Cross-layer fault injection, resilient control-plane, chaos drills.
+
+The paper's availability story lives in the *interaction* of layers:
+an HV-driver FRU failure drops circuits (§3.2.2), the control plane
+re-lands them, the topology reconverges, and the job survives (§4.2.2,
+Fig 15).  This package provides the shared substrate those layers plug
+into:
+
+- :mod:`repro.faults.events` -- the unified :class:`FaultEvent`
+  taxonomy and deterministic seeded schedules;
+- :mod:`repro.faults.injector` -- the discrete-event timeline existing
+  simulators subscribe to;
+- :mod:`repro.faults.resilience` -- transactional cross-connect
+  programming with bounded retry, exponential backoff + jitter, and
+  exact rollback;
+- :mod:`repro.faults.chaos` -- end-to-end scenario drills emitting
+  goodput/availability timelines cross-checked against the analytic
+  models.
+"""
+
+from repro.faults.events import FaultEvent, FaultKind, schedule_digest
+from repro.faults.injector import FaultInjector
+from repro.faults.resilience import (
+    ControlPlaneFaults,
+    ResilientReconfigurer,
+    RetryPolicy,
+    TransactionResult,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultInjector",
+    "ControlPlaneFaults",
+    "ResilientReconfigurer",
+    "RetryPolicy",
+    "TransactionResult",
+    "schedule_digest",
+]

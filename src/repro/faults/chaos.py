@@ -1,0 +1,534 @@
+"""Chaos scenarios: seeded end-to-end fault drills over the whole stack.
+
+Each scenario builds a real assembly (superpod degradation model,
+LightwaveFabric, repair loop), drives it from one
+:class:`~repro.faults.injector.FaultInjector` timeline, and emits a
+:class:`ChaosReport` -- a goodput/availability timeline plus summary
+metrics, hashable for byte-level determinism checks.
+
+The scenarios double as cross-checks between layers:
+
+- :func:`single_ocs_loss` must reproduce the per-slice step-time hit of
+  :func:`repro.tpu.degradation.step_time_degradation` and, over a long
+  renewal run, the Fig 15 analytic fabric availability
+  (:func:`repro.availability.model.fabric_availability`);
+- :func:`correlated_hv_batch` exercises the resilient transaction path
+  under injected RPC timeouts after a correlated FRU failure burst;
+- :func:`rolling_transceiver_flaps` measures link availability under
+  staggered endpoint optics bounces;
+- :func:`repair_race` races the spare-port repair loop against incoming
+  fiber pinches until the pool runs dry (a contextful
+  :class:`~repro.core.errors.CapacityError`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.availability.model import fabric_availability
+from repro.core.errors import CapacityError, ConfigurationError
+from repro.core.ids import OcsId
+from repro.faults.events import (
+    FaultEvent,
+    FaultKind,
+    circuit_target,
+    endpoint_target,
+    ocs_target,
+    schedule_digest,
+    target_index,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.resilience import ControlPlaneFaults, RetryPolicy
+from repro.ml.models import LLM_ZOO
+from repro.ml.parallelism import ParallelismPlan
+from repro.ml.perfmodel import TrainingStepModel
+from repro.ocs.reliability import SINGLE_OCS_AVAILABILITY, AvailabilityModel
+from repro.tpu.cube import DIMS
+from repro.tpu.degradation import (
+    multi_ocs_step_degradation,
+    ocs_dimension,
+    step_time_degradation,
+)
+from repro.tpu.superpod import NUM_OCSES
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Outcome of one chaos scenario run.
+
+    Attributes:
+        scenario: registry name of the scenario.
+        seed: the injector seed the run used.
+        timeline: (time_s, goodput fraction in [0, 1]) at every state
+            transition, starting at t=0.
+        metrics: scenario-specific summary numbers.
+        schedule: the fault events delivered during the run, in order.
+    """
+
+    scenario: str
+    seed: int
+    timeline: Tuple[Tuple[float, float], ...]
+    metrics: Mapping[str, float]
+    schedule: Tuple[FaultEvent, ...]
+
+    def digest(self) -> str:
+        """SHA-256 over the full report: equal digests mean the runs were
+        byte-identical (timeline, metrics, and fault schedule)."""
+        h = hashlib.sha256()
+        h.update(f"{self.scenario}|{self.seed}\n".encode("utf-8"))
+        for t, g in self.timeline:
+            h.update(f"{t!r},{g!r}\n".encode("utf-8"))
+        for key in sorted(self.metrics):
+            h.update(f"{key}={self.metrics[key]!r}\n".encode("utf-8"))
+        h.update(schedule_digest(self.schedule).encode("utf-8"))
+        return h.hexdigest()
+
+    def mean_goodput(self) -> float:
+        """Time-weighted mean of the goodput timeline."""
+        if len(self.timeline) < 2:
+            return self.timeline[0][1] if self.timeline else 1.0
+        total = self.timeline[-1][0] - self.timeline[0][0]
+        if total <= 0:
+            return self.timeline[-1][1]
+        area = 0.0
+        for (t0, g0), (t1, _) in zip(self.timeline, self.timeline[1:]):
+            area += g0 * (t1 - t0)
+        return area / total
+
+
+# ---------------------------------------------------------------------- #
+# Scenario: single OCS loss (degradation + Fig 15 cross-check)
+# ---------------------------------------------------------------------- #
+
+
+def single_ocs_loss(
+    seed: int = 0,
+    horizon_hours: float = 20000.0,
+    mttr_hours: float = 4.0,
+    ocs_availability: float = SINGLE_OCS_AVAILABILITY,
+    model_name: str = "llm2",
+) -> ChaosReport:
+    """OCS failures on the superpod fabric: step-time hit + availability.
+
+    Two cross-checks in one run.  First, a seeded single-OCS failure is
+    priced through the graceful-degradation path
+    (:func:`~repro.tpu.degradation.multi_ocs_step_degradation`) and
+    compared against the §4.2.2 analytic
+    (:func:`~repro.tpu.degradation.step_time_degradation`).  Second, the
+    injector runs a renewal process over all 48 OCSes (exponential
+    up/down times matching ``ocs_availability`` at ``mttr_hours``) and
+    the observed all-up fraction is compared against the Fig 15 analytic
+    ``A_ocs ** 48``.
+
+    The goodput timeline is the relative training throughput
+    ``t_healthy / t_degraded`` of a full-pod slice under the currently
+    failed OCS set.
+    """
+    injector = FaultInjector(seed=seed)
+    model = LLM_ZOO[model_name]
+    plan = ParallelismPlan.for_shape(model, (16, 16, 16))
+    step_model = TrainingStepModel()
+
+    # -- cross-check 1: one failed OCS vs the analytic degradation -------- #
+    failed_index = int(injector.uniform(0, NUM_OCSES))
+    failed_ocs = OcsId(failed_index)
+    chaos_hit = multi_ocs_step_degradation(plan, step_model, [failed_ocs])
+    axis = DIMS.index(ocs_dimension(failed_ocs))
+    analytic_hit = step_time_degradation(plan, step_model, axis)
+    hit_rel_error = abs(chaos_hit - analytic_hit) / analytic_hit
+
+    # -- cross-check 2: renewal Monte-Carlo vs Fig 15 --------------------- #
+    availability_model = AvailabilityModel.from_availability(
+        ocs_availability, mttr_hours=mttr_hours
+    )
+    horizon_s = horizon_hours * 3600.0
+    for index in range(NUM_OCSES):
+        t_h = 0.0
+        while True:
+            t_h += injector.exponential(availability_model.mtbf_hours)
+            if t_h >= horizon_hours:
+                break
+            repair_h = injector.exponential(availability_model.mttr_hours)
+            injector.schedule(
+                t_h * 3600.0,
+                FaultKind.OCS_HV_DRIVER,
+                ocs_target(index),
+                clear_after_s=min(repair_h, horizon_hours - t_h) * 3600.0,
+            )
+            t_h += repair_h
+
+    goodput_cache: Dict[FrozenSet[int], float] = {}
+
+    def goodput(down: FrozenSet[int]) -> float:
+        if down not in goodput_cache:
+            try:
+                hit = multi_ocs_step_degradation(
+                    plan, step_model, [OcsId(i) for i in sorted(down)]
+                )
+                goodput_cache[down] = 1.0 / (1.0 + hit)
+            except CapacityError:
+                goodput_cache[down] = 0.0  # a whole dimension went dark
+        return goodput_cache[down]
+
+    down: set = set()
+    timeline: List[Tuple[float, float]] = [(0.0, 1.0)]
+    all_up_s = 0.0
+    outages = 0
+    t_prev = 0.0
+    while injector.num_pending:
+        event = injector.pop_next()
+        assert event is not None
+        if not down:
+            all_up_s += event.time_s - t_prev
+        t_prev = event.time_s
+        if event.recovery:
+            down.discard(target_index(event.target))
+        else:
+            down.add(target_index(event.target))
+            outages += 1
+        timeline.append((event.time_s, goodput(frozenset(down))))
+    if not down:
+        all_up_s += horizon_s - t_prev
+    timeline.append((horizon_s, goodput(frozenset(down))))
+
+    availability_mc = all_up_s / horizon_s
+    availability_analytic = fabric_availability(NUM_OCSES, ocs_availability)
+    metrics = {
+        "failed_ocs": float(failed_index),
+        "step_hit_chaos": chaos_hit,
+        "step_hit_analytic": analytic_hit,
+        "step_hit_rel_error": hit_rel_error,
+        "availability_mc": availability_mc,
+        "availability_analytic": availability_analytic,
+        "availability_abs_error": abs(availability_mc - availability_analytic),
+        "outages": float(outages),
+    }
+    return ChaosReport(
+        scenario="single_ocs_loss",
+        seed=seed,
+        timeline=tuple(timeline),
+        metrics=metrics,
+        schedule=injector.delivered(),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Scenario: correlated HV driver-board batch failure
+# ---------------------------------------------------------------------- #
+
+
+def correlated_hv_batch(
+    seed: int = 0,
+    num_ocses: int = 3,
+    circuits_per_ocs: int = 4,
+    board_index: int = 0,
+    rpc_timeouts: int = 2,
+    repair_s: float = 4 * 3600.0,
+) -> ChaosReport:
+    """A bad HV driver-board lot fails across several OCSes at once.
+
+    Each affected switch drops every circuit on the board; after the
+    FRU swaps land, the circuits are re-established through a resilient
+    transaction while the control plane times out ``rpc_timeouts``
+    programming RPCs per switch -- the retries must absorb them without
+    rolling back.  Goodput is the fraction of circuits up.
+    """
+    from repro.fabric.lightwave import LightwaveFabric
+
+    if circuits_per_ocs < 1 or 2 * circuits_per_ocs > 16:
+        raise ConfigurationError("circuits_per_ocs must be in [1, 8]")
+    injector = FaultInjector(seed=seed)
+    faults = ControlPlaneFaults().attach(injector)
+    fabric = LightwaveFabric()
+    pairs: Dict[int, List[Tuple[str, str]]] = {}
+    for i in range(num_ocses):
+        fabric.add_ocs(OcsId(i))
+        pairs[i] = []
+        for j in range(2 * circuits_per_ocs):
+            name = f"srv{i}-{j}"
+            fabric.add_endpoint(name, 2)
+            fabric.wire(name, 0, OcsId(i), "N", j)
+            fabric.wire(name, 1, OcsId(i), "S", j)
+        for k in range(circuits_per_ocs):
+            a, b = f"srv{i}-{2 * k}", f"srv{i}-{2 * k + 1}"
+            fabric.connect(a, b)
+            pairs[i].append((a, b))
+    total = num_ocses * circuits_per_ocs
+
+    # The correlated burst: one board per OCS, seconds apart, then the
+    # FRU swap (recovery edge) and a flaky control plane during re-make.
+    for i in range(num_ocses):
+        t_fail = 60.0 + float(i)
+        injector.schedule(
+            t_fail,
+            FaultKind.OCS_HV_DRIVER,
+            ocs_target(i),
+            severity=float(board_index),
+            clear_after_s=repair_s,
+        )
+        if rpc_timeouts > 0:
+            injector.schedule(
+                t_fail + repair_s - 1.0,
+                FaultKind.RPC_TIMEOUT,
+                ocs_target(i),
+                severity=float(rpc_timeouts),
+            )
+
+    policy = RetryPolicy(max_retries=max(3, rpc_timeouts + 1))
+    up = total
+    dropped_total = restored_total = attempts_total = 0
+    backoff_total = 0.0
+    rollbacks = 0
+    timeline: List[Tuple[float, float]] = [(0.0, 1.0)]
+    while injector.num_pending:
+        event = injector.pop_next()
+        assert event is not None
+        if event.kind is not FaultKind.OCS_HV_DRIVER:
+            continue  # RPC_TIMEOUT feeds ``faults`` via its subscription
+        index = target_index(event.target)
+        device = fabric.ocs(OcsId(index))
+        if not event.recovery:
+            dropped = device.fail_driver_board("north", int(event.severity))
+            fabric.manager.drop_stale_links()
+            dropped_total += len(dropped)
+            up -= len(dropped)
+            timeline.append((event.time_s, up / total))
+            continue
+        device.replace_driver_board("north", int(event.severity))
+        result, link_ids = fabric.connect_all(
+            pairs[index], policy=policy, faults=faults, seed=seed + index
+        )
+        attempts_total += result.total_attempts
+        backoff_total += result.backoff_ms
+        restored_total += len(link_ids)
+        up += len(link_ids)
+        timeline.append((event.time_s, up / total))
+
+    metrics = {
+        "circuits": float(total),
+        "dropped": float(dropped_total),
+        "restored": float(restored_total),
+        "attempts": float(attempts_total),
+        "retries": float(attempts_total - num_ocses),
+        "backoff_ms": backoff_total,
+        "rollbacks": float(rollbacks),
+        "final_up_fraction": up / total,
+    }
+    return ChaosReport(
+        scenario="correlated_hv_batch",
+        seed=seed,
+        timeline=tuple(timeline),
+        metrics=metrics,
+        schedule=injector.delivered(),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Scenario: rolling transceiver flaps
+# ---------------------------------------------------------------------- #
+
+
+def rolling_transceiver_flaps(
+    seed: int = 0,
+    num_links: int = 8,
+    flap_rate_per_s: float = 1.0 / 120.0,
+    flap_duration_s: float = 10.0,
+    horizon_s: float = 900.0,
+) -> ChaosReport:
+    """Endpoint optics bounce across a fabric's links, staggered.
+
+    Each link's A-side endpoint flaps as an independent Poisson stream;
+    a flap darkens the link for ``flap_duration_s``.  Goodput is the
+    fraction of links currently lit, and the metrics summarize flap
+    count, time-weighted availability, and the worst concurrent outage.
+    """
+    from repro.fabric.lightwave import LightwaveFabric
+
+    injector = FaultInjector(seed=seed)
+    fabric = LightwaveFabric()
+    fabric.add_ocs(OcsId(0))
+    targets = []
+    for j in range(num_links):
+        a, b = f"tx{j}-a", f"tx{j}-b"
+        fabric.add_endpoint(a, 1)
+        fabric.add_endpoint(b, 1)
+        fabric.wire(a, 0, OcsId(0), "N", j)
+        fabric.wire(b, 0, OcsId(0), "S", j)
+        fabric.connect(a, b)
+        targets.append(endpoint_target(a))
+    flaps = injector.schedule_poisson(
+        FaultKind.TRANSCEIVER_FLAP,
+        targets,
+        flap_rate_per_s,
+        horizon_s,
+        clear_after_s=flap_duration_s,
+    )
+
+    dark_count: Dict[str, int] = {}
+    timeline: List[Tuple[float, float]] = [(0.0, 1.0)]
+    up_area = 0.0
+    worst_dark = 0
+    t_prev = 0.0
+    while injector.num_pending:
+        event = injector.pop_next()
+        assert event is not None
+        dark = sum(1 for c in dark_count.values() if c > 0)
+        up_area += (num_links - dark) / num_links * (event.time_s - t_prev)
+        t_prev = event.time_s
+        delta = -1 if event.recovery else 1
+        dark_count[event.target] = dark_count.get(event.target, 0) + delta
+        dark = sum(1 for c in dark_count.values() if c > 0)
+        worst_dark = max(worst_dark, dark)
+        timeline.append((event.time_s, (num_links - dark) / num_links))
+    dark = sum(1 for c in dark_count.values() if c > 0)
+    end_s = max(horizon_s, t_prev)
+    up_area += (num_links - dark) / num_links * (end_s - t_prev)
+    timeline.append((end_s, (num_links - dark) / num_links))
+
+    metrics = {
+        "links": float(num_links),
+        "flaps": float(flaps),
+        "link_availability": up_area / end_s,
+        "worst_concurrent_dark": float(worst_dark),
+    }
+    return ChaosReport(
+        scenario="rolling_transceiver_flaps",
+        seed=seed,
+        timeline=tuple(timeline),
+        metrics=metrics,
+        schedule=injector.delivered(),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Scenario: repair loop vs incoming pinches
+# ---------------------------------------------------------------------- #
+
+
+def repair_race(
+    seed: int = 0,
+    num_circuits: int = 6,
+    num_spares: int = 3,
+    damaged_spares: int = 1,
+    pinch_db: float = 1.0,
+    pinch_rate_per_s: float = 1.0 / 60.0,
+    horizon_s: float = 600.0,
+) -> ChaosReport:
+    """Fiber pinches race the spare-port repair loop until the pool dries.
+
+    Pinches arrive as Poisson streams per circuit; each drives the loop
+    through telemetry -> re-qualify -> spare swap.  The pool is small
+    and partially damaged (``damaged_spares`` fail re-qualification), so
+    late repairs exhaust it and surface
+    :class:`~repro.core.errors.CapacityError` with the degraded circuit
+    and attempted spares attached.  Goodput is the fraction of circuits
+    not stuck in an unrepairable state.
+    """
+    from repro.fabric.repair import RepairLoop
+    from repro.ocs.palomar import PALOMAR_USABLE_PORTS, PalomarOcs
+
+    if num_spares < 1 or damaged_spares > num_spares:
+        raise ConfigurationError("need 1+ spares and damaged_spares <= num_spares")
+    injector = FaultInjector(seed=seed)
+    ocs = PalomarOcs.build(name="chaos-repair", seed=seed)
+    spares = list(range(PALOMAR_USABLE_PORTS, PALOMAR_USABLE_PORTS + num_spares))
+    loop = RepairLoop(ocs, spare_south_ports=spares)
+    for d in range(damaged_spares):
+        loop.degrade_south_port(spares[d], loop.requalify_fail_db + 1.5)
+    for j in range(num_circuits):
+        ocs.connect(j, j)
+    pinches = injector.schedule_poisson(
+        FaultKind.FIBER_PINCH,
+        [circuit_target(0, j, j) for j in range(num_circuits)],
+        pinch_rate_per_s,
+        horizon_s,
+        severity=pinch_db,
+    )
+
+    unrepairable: set = set()
+    capacity_errors = 0
+    last_error: Optional[CapacityError] = None
+    timeline: List[Tuple[float, float]] = [(0.0, 1.0)]
+    while injector.num_pending:
+        event = injector.pop_next()
+        assert event is not None
+        # Target "ocs-0/N<j>-S<j>": the pinch lands on the fiber behind
+        # north port j wherever its circuit currently terminates.
+        tail = event.target.partition("/")[2]
+        north = int(tail.split("-", 1)[0][1:])
+        south = ocs.state.south_of(north)
+        if south is None:
+            continue  # circuit stuck unrepaired and torn down; pinch moot
+        loop.degrade_circuit(north, south, event.severity)
+        for anomaly in loop.scan():
+            if anomaly.circuit[0] in unrepairable:
+                continue
+            try:
+                loop.remediate(anomaly)
+            except CapacityError as err:
+                capacity_errors += 1
+                last_error = err
+                unrepairable.add(anomaly.circuit[0])
+        healthy = (num_circuits - len(unrepairable)) / num_circuits
+        timeline.append((event.time_s, healthy))
+
+    metrics = {
+        "circuits": float(num_circuits),
+        "pinches": float(pinches),
+        "repairs": float(len(loop.actions)),
+        "capacity_errors": float(capacity_errors),
+        "unrepairable": float(len(unrepairable)),
+        "attempted_spares_last": float(
+            len(last_error.attempted_spares) if last_error is not None else 0
+        ),
+    }
+    return ChaosReport(
+        scenario="repair_race",
+        seed=seed,
+        timeline=tuple(timeline),
+        metrics=metrics,
+        schedule=injector.delivered(),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+
+Scenario = Callable[..., ChaosReport]
+
+SCENARIOS: Dict[str, Scenario] = {
+    "single_ocs_loss": single_ocs_loss,
+    "correlated_hv_batch": correlated_hv_batch,
+    "rolling_transceiver_flaps": rolling_transceiver_flaps,
+    "repair_race": repair_race,
+}
+
+#: Fast parameterizations for CI smoke runs (< 30 s altogether).
+SMOKE_KWARGS: Dict[str, Dict[str, float]] = {
+    "single_ocs_loss": {"horizon_hours": 2000.0},
+    "correlated_hv_batch": {"num_ocses": 2, "circuits_per_ocs": 2},
+    "rolling_transceiver_flaps": {"num_links": 4, "horizon_s": 300.0},
+    "repair_race": {"num_circuits": 4, "horizon_s": 300.0},
+}
+
+
+def run_scenario(name: str, seed: int = 0, **kwargs) -> ChaosReport:
+    """Run a registered scenario by name."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; have {sorted(SCENARIOS)}"
+        ) from None
+    return scenario(seed=seed, **kwargs)
+
+
+def run_smoke(seed: int = 0) -> Dict[str, ChaosReport]:
+    """Run every scenario with its fast smoke parameters (for CI)."""
+    return {
+        name: run_scenario(name, seed=seed, **SMOKE_KWARGS[name])
+        for name in sorted(SCENARIOS)
+    }

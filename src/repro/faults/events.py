@@ -1,0 +1,212 @@
+"""The unified fault taxonomy and deterministic fault schedules.
+
+Every failure mode the paper's layers model -- OCS FRUs (§3.2.2,
+§4.1.1), plant degradation (Appendix A), host/cube outages (§4.2.2),
+and control-plane RPC flakiness -- is expressed as one
+:class:`FaultEvent` so schedules compose across subsystems: the same
+seeded timeline can pinch a fiber at t=10 s, crash a host at t=30 s,
+and time out a programming RPC at t=31 s.
+
+Determinism is a first-class property: schedules are drawn from a
+seeded generator in a fixed order, every event has a :meth:`canonical
+<FaultEvent.canonical>` byte representation, and
+:func:`schedule_digest` hashes a whole schedule so two runs can be
+compared byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.errors import FaultInjectionError
+
+
+class FaultKind(enum.Enum):
+    """The cross-layer failure taxonomy."""
+
+    #: An HV driver board loses drive; its channels' circuits drop.
+    OCS_HV_DRIVER = "ocs-hv-driver"
+    #: A MEMS mirror stops actuating; makes touching it cannot complete.
+    MIRROR_STUCK = "mirror-stuck"
+    #: Slow plant degradation on a live circuit (collimator aging).
+    CIRCUIT_LOSS_DRIFT = "circuit-loss-drift"
+    #: Endpoint optics bounce: the link goes dark briefly.
+    TRANSCEIVER_FLAP = "transceiver-flap"
+    #: Abrupt plant loss step (a stepped-on or pinched fiber).
+    FIBER_PINCH = "fiber-pinch"
+    #: One host of a cube goes down (the cube needs all 16).
+    HOST_CRASH = "host-crash"
+    #: A whole rack loses power: the cube and its 64 chips are gone.
+    CUBE_POWER_LOSS = "cube-power-loss"
+    #: A control-plane programming RPC times out.
+    RPC_TIMEOUT = "rpc-timeout"
+
+
+ParamValue = Union[int, float, str, bool]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One point on the fault timeline.
+
+    Attributes:
+        time_s: event time on the simulation clock.
+        kind: taxonomy entry.
+        target: canonical target id (see the ``*_target`` helpers).
+        recovery: True for the clearing edge of a fault (repair, power
+            restored, flap over); False for the fault itself.
+        severity: kind-specific magnitude (dB for plant faults, count
+            for RPC timeouts, board index for FRU failures...).
+        params: extra key-value detail, stored sorted for hashability
+            and canonical bytes.
+        seq: schedule order assigned by the injector (tie-break within
+            one timestamp); -1 before scheduling.
+    """
+
+    time_s: float
+    kind: FaultKind
+    target: str
+    recovery: bool = False
+    severity: float = 0.0
+    params: Tuple[Tuple[str, ParamValue], ...] = ()
+    seq: int = -1
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise FaultInjectionError(f"event time must be non-negative, got {self.time_s}")
+        if not self.target:
+            raise FaultInjectionError("event target must be non-empty")
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    def param(self, key: str, default: Optional[ParamValue] = None) -> Optional[ParamValue]:
+        """Look up one params entry."""
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    @property
+    def sort_key(self) -> Tuple[float, int]:
+        return (self.time_s, self.seq)
+
+    def canonical(self) -> str:
+        """Byte-stable one-line representation (used for digests)."""
+        params = ",".join(f"{k}={v!r}" for k, v in self.params)
+        return (
+            f"{self.time_s!r}|{self.kind.value}|{self.target}|"
+            f"{int(self.recovery)}|{self.severity!r}|{params}"
+        )
+
+    def __str__(self) -> str:
+        edge = "clear" if self.recovery else "fault"
+        return f"[{self.time_s:.3f}s {edge}] {self.kind.value} @ {self.target}"
+
+
+# ---------------------------------------------------------------------- #
+# Canonical target ids
+# ---------------------------------------------------------------------- #
+
+
+def ocs_target(index: int) -> str:
+    """Target id for a whole OCS chassis."""
+    return f"ocs-{index}"
+
+
+def mirror_target(ocs_index: int, side: str, port: int) -> str:
+    """Target id for one mirror, e.g. ``ocs-3/N12``."""
+    if side not in ("N", "S"):
+        raise FaultInjectionError(f"side must be 'N' or 'S', got {side!r}")
+    return f"ocs-{ocs_index}/{side}{port}"
+
+
+def circuit_target(ocs_index: int, north: int, south: int) -> str:
+    """Target id for one circuit of one OCS."""
+    return f"ocs-{ocs_index}/N{north}-S{south}"
+
+
+def cube_target(index: int) -> str:
+    """Target id for a whole cube (rack)."""
+    return f"cube-{index}"
+
+
+def host_target(cube_index: int, host_index: int) -> str:
+    """Target id for one host of a cube."""
+    return f"cube-{cube_index}/host-{host_index}"
+
+
+def endpoint_target(name: str) -> str:
+    """Target id for a fabric endpoint (transceiver faults)."""
+    return f"endpoint-{name}"
+
+
+def target_index(target: str) -> int:
+    """The integer index of a top-level target (``ocs-3`` -> 3)."""
+    head = target.split("/", 1)[0]
+    try:
+        return int(head.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        raise FaultInjectionError(f"target {target!r} has no trailing index") from None
+
+
+# ---------------------------------------------------------------------- #
+# Schedule construction and digests
+# ---------------------------------------------------------------------- #
+
+
+def poisson_times(
+    rng: np.random.Generator, rate_per_s: float, horizon_s: float
+) -> List[float]:
+    """Arrival times of a Poisson process on ``[0, horizon_s)``.
+
+    Drawn as cumulative exponential gaps so the sequence for a given
+    generator state is reproducible sample-for-sample.
+    """
+    if rate_per_s <= 0:
+        raise FaultInjectionError(f"rate must be positive, got {rate_per_s}")
+    if horizon_s <= 0:
+        raise FaultInjectionError(f"horizon must be positive, got {horizon_s}")
+    times: List[float] = []
+    t = float(rng.exponential(1.0 / rate_per_s))
+    while t < horizon_s:
+        times.append(t)
+        t += float(rng.exponential(1.0 / rate_per_s))
+    return times
+
+
+def schedule_digest(events: Iterable[FaultEvent]) -> str:
+    """SHA-256 over the canonical bytes of a schedule, in timeline order.
+
+    Two schedules with the same digest are byte-identical: same times,
+    kinds, targets, severities, and parameters in the same order.
+    """
+    h = hashlib.sha256()
+    for event in sorted(events, key=lambda e: e.sort_key):
+        h.update(event.canonical().encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+#: Convenience: per-kind default mean clear times (seconds) used by
+#: rate-based schedules when the caller does not override them.  FRU
+#: swaps take hours; flaps clear in seconds.
+DEFAULT_CLEAR_S: Mapping[FaultKind, float] = {
+    FaultKind.OCS_HV_DRIVER: 4 * 3600.0,
+    FaultKind.MIRROR_STUCK: 4 * 3600.0,
+    FaultKind.TRANSCEIVER_FLAP: 10.0,
+    FaultKind.HOST_CRASH: 3600.0,
+    FaultKind.CUBE_POWER_LOSS: 4 * 3600.0,
+}
+
+
+def validate_trace(events: Sequence[FaultEvent]) -> Tuple[FaultEvent, ...]:
+    """Check an explicit trace is well-formed and return it time-sorted."""
+    out = sorted(events, key=lambda e: e.sort_key)
+    for event in out:
+        if not isinstance(event.kind, FaultKind):
+            raise FaultInjectionError(f"unknown fault kind {event.kind!r}")
+    return tuple(out)

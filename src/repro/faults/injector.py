@@ -1,0 +1,218 @@
+"""The seeded discrete-event fault timeline simulators subscribe to.
+
+One :class:`FaultInjector` owns a single random stream (seeded) and a
+priority queue of pending :class:`~repro.faults.events.FaultEvent`\\ s.
+Schedules come from Poisson rates (:meth:`FaultInjector.schedule_poisson`),
+explicit traces (:meth:`FaultInjector.schedule_trace`), or ad-hoc
+:meth:`FaultInjector.schedule` calls; consumers either pull events in
+timeline order (:meth:`pop_next` / :meth:`advance_to`) or register
+per-kind callbacks with :meth:`subscribe` and let delivery fan out.
+
+Determinism contract: with equal seeds and an equal sequence of
+scheduling calls, two injectors produce byte-identical schedules
+(:meth:`pending_digest`) and byte-identical delivery logs
+(:meth:`delivered_digest`) -- the property ``tests/faults/
+test_determinism.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import FaultInjectionError
+from repro.faults.events import (
+    FaultEvent,
+    FaultKind,
+    ParamValue,
+    poisson_times,
+    schedule_digest,
+    validate_trace,
+)
+
+Callback = Callable[[FaultEvent], None]
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic cross-layer fault scheduler and dispatcher."""
+
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _heap: List[Tuple[float, int, FaultEvent]] = field(
+        init=False, default_factory=list, repr=False
+    )
+    _seq: "itertools.count[int]" = field(init=False, repr=False)
+    _subscribers: Dict[FaultKind, List[Callback]] = field(
+        init=False, default_factory=dict, repr=False
+    )
+    _delivered: List[FaultEvent] = field(init=False, default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # Random draws (shared stream -- the determinism anchor)
+    # ------------------------------------------------------------------ #
+
+    def exponential(self, mean_s: float) -> float:
+        """One exponential draw from the injector's stream."""
+        if mean_s <= 0:
+            raise FaultInjectionError(f"mean must be positive, got {mean_s}")
+        return float(self._rng.exponential(mean_s))
+
+    def uniform(self, low: float, high: float) -> float:
+        """One uniform draw from the injector's stream."""
+        return float(self._rng.uniform(low, high))
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def schedule(
+        self,
+        time_s: float,
+        kind: FaultKind,
+        target: str,
+        *,
+        recovery: bool = False,
+        severity: float = 0.0,
+        params: Sequence[Tuple[str, ParamValue]] = (),
+        clear_after_s: Optional[float] = None,
+    ) -> FaultEvent:
+        """Enqueue one event; optionally its clearing edge too.
+
+        ``clear_after_s`` schedules the paired ``recovery=True`` event
+        at ``time_s + clear_after_s`` (a flap's end, a FRU swap done).
+        Returns the fault event.
+        """
+        event = FaultEvent(
+            time_s=time_s,
+            kind=kind,
+            target=target,
+            recovery=recovery,
+            severity=severity,
+            params=tuple(params),
+            seq=next(self._seq),
+        )
+        heapq.heappush(self._heap, (event.time_s, event.seq, event))
+        if clear_after_s is not None:
+            if clear_after_s <= 0:
+                raise FaultInjectionError("clear_after_s must be positive")
+            if recovery:
+                raise FaultInjectionError("a recovery event cannot itself clear")
+            clear = FaultEvent(
+                time_s=time_s + clear_after_s,
+                kind=kind,
+                target=target,
+                recovery=True,
+                severity=severity,
+                params=tuple(params),
+                seq=next(self._seq),
+            )
+            heapq.heappush(self._heap, (clear.time_s, clear.seq, clear))
+        return event
+
+    def schedule_poisson(
+        self,
+        kind: FaultKind,
+        targets: Sequence[str],
+        rate_per_s: float,
+        horizon_s: float,
+        *,
+        severity: float = 0.0,
+        clear_after_s: Optional[float] = None,
+    ) -> int:
+        """Independent Poisson fault streams, one per target.
+
+        Streams are drawn in the given target order so the schedule is a
+        pure function of (seed, call sequence).  Returns the number of
+        fault events scheduled (excluding clearing edges).
+        """
+        count = 0
+        for target in targets:
+            for t in poisson_times(self._rng, rate_per_s, horizon_s):
+                self.schedule(
+                    t,
+                    kind,
+                    target,
+                    severity=severity,
+                    clear_after_s=clear_after_s,
+                )
+                count += 1
+        return count
+
+    def schedule_trace(self, events: Iterable[FaultEvent]) -> int:
+        """Enqueue an explicit trace (re-sequenced onto this timeline)."""
+        count = 0
+        for event in validate_trace(tuple(events)):
+            self.schedule(
+                event.time_s,
+                event.kind,
+                event.target,
+                recovery=event.recovery,
+                severity=event.severity,
+                params=event.params,
+            )
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Subscription and delivery
+    # ------------------------------------------------------------------ #
+
+    def subscribe(self, kind: FaultKind, callback: Callback) -> None:
+        """Register a callback fired for every delivered event of ``kind``."""
+        self._subscribers.setdefault(kind, []).append(callback)
+
+    def next_time(self) -> Optional[float]:
+        """Time of the next pending event, or None when drained."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_next(self) -> Optional[FaultEvent]:
+        """Deliver the next event (fires subscribers) and return it."""
+        if not self._heap:
+            return None
+        _, _, event = heapq.heappop(self._heap)
+        self._delivered.append(event)
+        for callback in self._subscribers.get(event.kind, ()):
+            callback(event)
+        return event
+
+    def advance_to(self, time_s: float) -> List[FaultEvent]:
+        """Deliver every pending event with ``time <= time_s``, in order."""
+        out: List[FaultEvent] = []
+        while self._heap and self._heap[0][0] <= time_s:
+            event = self.pop_next()
+            assert event is not None
+            out.append(event)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_pending(self) -> int:
+        return len(self._heap)
+
+    def pending_events(self) -> Tuple[FaultEvent, ...]:
+        """Timeline-ordered snapshot of the undelivered schedule."""
+        return tuple(e for _, _, e in sorted(self._heap))
+
+    def delivered(self) -> Tuple[FaultEvent, ...]:
+        """Events already delivered, in delivery order."""
+        return tuple(self._delivered)
+
+    def pending_digest(self) -> str:
+        """Byte-stable digest of the undelivered schedule."""
+        return schedule_digest(self.pending_events())
+
+    def delivered_digest(self) -> str:
+        """Byte-stable digest of everything delivered so far."""
+        return schedule_digest(self._delivered)

@@ -2,9 +2,14 @@
 
 Replays a job trace against an allocation policy with FCFS queueing and
 optional backfill (smaller jobs may jump a blocked head when they fit).
-Optionally injects cube failures: the reconfigurable policy swaps in a
-spare (the job survives); the contiguous/static policy loses the slice
-and requeues the job from scratch.
+Cube failures and repairs come from the shared cross-layer
+:class:`~repro.faults.injector.FaultInjector` timeline: pass one in to
+drive the scheduler from an explicit chaos schedule, or keep the classic
+constructor path (``cube_failure_rate_per_s``) and the simulation arms a
+private injector with the same seeded exponential draws as before.  The
+reconfigurable policy swaps a spare in for a failed cube (the job
+survives); the contiguous/static policy loses the slice and requeues the
+job from scratch.
 
 Metrics: cube-time utilization, mean/95p queue wait, completed jobs, and
 failure outcomes.
@@ -14,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -21,10 +27,15 @@ import numpy as np
 
 from repro.core.errors import ConfigurationError
 from repro.core.ids import CubeId, JobId
+from repro.faults.events import FaultEvent, FaultKind, cube_target, target_index
+from repro.faults.injector import FaultInjector
 from repro.scheduler.requests import JobRequest
 from repro.tpu.superpod import Superpod
 
-_ARRIVAL, _DEPARTURE, _FAILURE, _REPAIR = 0, 1, 2, 3
+_ARRIVAL, _DEPARTURE = 0, 1
+
+#: Injector event kinds the scheduler reacts to (both take a cube down).
+_CUBE_FAULT_KINDS = (FaultKind.CUBE_POWER_LOSS, FaultKind.HOST_CRASH)
 
 
 @dataclass
@@ -67,7 +78,12 @@ class SchedulerSimulation:
         backfill: allow queued jobs behind a blocked head to start when
             they fit (conservative backfill without reservations).
         cube_failure_rate_per_s: per-cube failure hazard; failed cubes
-            repair after ``repair_s`` and may fail again.
+            repair after ``repair_s`` and may fail again.  Arms a
+            private :class:`FaultInjector` when ``injector`` is None.
+        injector: an external fault timeline; its ``CUBE_POWER_LOSS``
+            and ``HOST_CRASH`` events (and their recovery edges) drive
+            cube failures/repairs.  Other kinds are delivered to the
+            injector's subscribers and otherwise ignored here.
         warmup_s: utilization accounting starts here (skips the initial
             pod-filling ramp).
     """
@@ -78,12 +94,12 @@ class SchedulerSimulation:
     repair_s: float = 4 * 3600.0
     warmup_s: float = 0.0
     seed: int = 0
+    injector: Optional[FaultInjector] = None
 
     def run(self, trace: List[JobRequest]) -> SchedulerMetrics:
         if not trace:
             raise ConfigurationError("trace must contain at least one job")
         pod: Superpod = self.allocator.pod
-        rng = np.random.default_rng(self.seed)
         counter = itertools.count()
         events: List[Tuple[float, int, int, object]] = []
 
@@ -94,11 +110,17 @@ class SchedulerSimulation:
             push(job.arrival_s, _ARRIVAL, job)
         last_arrival = max(j.arrival_s for j in trace)
         fail_window = last_arrival + max(j.duration_s for j in trace)
-        if self.cube_failure_rate_per_s > 0:
+
+        injector = self.injector or FaultInjector(seed=self.seed)
+        rate = self.cube_failure_rate_per_s
+        rate_armed = False
+        if rate > 0:
+            rate_armed = True
+            mean_s = 1.0 / rate
             for cube in range(pod.num_cubes):
-                t = float(rng.exponential(1.0 / self.cube_failure_rate_per_s))
+                t = injector.exponential(mean_s)
                 if t < fail_window:
-                    push(t, _FAILURE, CubeId(cube))
+                    injector.schedule(t, FaultKind.CUBE_POWER_LOSS, cube_target(cube))
 
         queue: List[JobRequest] = []
         running: Dict[JobId, JobRequest] = {}
@@ -110,6 +132,13 @@ class SchedulerSimulation:
         now = 0.0
         busy_cubes = 0
         t_prev = 0.0
+
+        def account(t: float) -> None:
+            nonlocal t_prev
+            lo = max(min(t_prev, last_arrival), self.warmup_s)
+            hi = max(min(t, last_arrival), self.warmup_s)
+            metrics.busy_integral_s += busy_cubes * (hi - lo)
+            t_prev = t
 
         def try_start(job: JobRequest, t: float) -> bool:
             if self.allocator.try_allocate(job) is None:
@@ -133,17 +162,69 @@ class SchedulerSimulation:
                     else:
                         i += 1
 
-        while events:
+        def on_cube_fault(event: FaultEvent, t: float) -> None:
+            cube = CubeId(target_index(event.target))
+            if not 0 <= cube.index < pod.num_cubes:
+                return
+            metrics.failures_injected += 1
+            host = int(event.param("host", 0) or 0)
+            pod.cube(cube).fail_host(host)
+            affected = self.allocator.handle_cube_failure(cube)
+            if affected is not None:
+                still_running = any(topo.slice_id == affected for topo in pod.slices())
+                if still_running:
+                    metrics.survived_failures += 1
+                else:
+                    victim = self._job_for_slice(running, affected)
+                    if victim is not None:
+                        del running[victim.job_id]
+                        nonlocal busy_cubes
+                        busy_cubes -= victim.cubes
+                        metrics.cube_busy_s += victim.cubes * (
+                            t - start_times.pop(victim.job_id)
+                        )
+                        metrics.requeued_after_failure += 1
+                        queue.append(victim)
+            injector.schedule(
+                t + self.repair_s, event.kind, event.target, recovery=True,
+                params=event.params,
+            )
+
+        def on_cube_repair(event: FaultEvent, t: float) -> None:
+            cube = CubeId(target_index(event.target))
+            if not 0 <= cube.index < pod.num_cubes:
+                return
+            host = int(event.param("host", 0) or 0)
+            pod.cube(cube).repair_host(host)
+            if rate_armed:
+                nxt = t + injector.exponential(1.0 / rate)
+                if nxt < fail_window:
+                    injector.schedule(nxt, FaultKind.CUBE_POWER_LOSS, event.target)
+            drain_queue(t)
+
+        while events or injector.num_pending:
+            t_heap = events[0][0] if events else math.inf
+            t_inj = injector.next_time()
+            if t_inj is not None and t_inj < t_heap:
+                event = injector.pop_next()
+                assert event is not None
+                now = event.time_s
+                account(now)
+                if event.kind in _CUBE_FAULT_KINDS:
+                    if event.recovery:
+                        on_cube_repair(event, now)
+                    else:
+                        on_cube_fault(event, now)
+                continue
+            if not events:
+                break
             now, kind, _, payload = heapq.heappop(events)
-            lo = max(min(t_prev, last_arrival), self.warmup_s)
-            hi = max(min(now, last_arrival), self.warmup_s)
-            metrics.busy_integral_s += busy_cubes * (hi - lo)
-            t_prev = now
+            account(now)
             if kind == _ARRIVAL:
                 job = payload
                 if not try_start(job, now):
                     queue.append(job)
-            elif kind == _DEPARTURE:
+            else:  # _DEPARTURE
                 job = payload
                 if job.job_id not in running:
                     continue  # slice was killed by a failure; stale event
@@ -152,35 +233,6 @@ class SchedulerSimulation:
                 metrics.completed += 1
                 busy_cubes -= job.cubes
                 metrics.cube_busy_s += job.cubes * (now - start_times.pop(job.job_id))
-                drain_queue(now)
-            elif kind == _FAILURE:
-                cube = payload
-                metrics.failures_injected += 1
-                pod.cube(cube).fail_host(0)
-                affected = self.allocator.handle_cube_failure(cube)
-                if affected is not None:
-                    still_running = any(
-                        t.slice_id == affected for t in pod.slices()
-                    )
-                    if still_running:
-                        metrics.survived_failures += 1
-                    else:
-                        victim = self._job_for_slice(running, affected)
-                        if victim is not None:
-                            del running[victim.job_id]
-                            busy_cubes -= victim.cubes
-                            metrics.cube_busy_s += victim.cubes * (
-                                now - start_times.pop(victim.job_id)
-                            )
-                            metrics.requeued_after_failure += 1
-                            queue.append(victim)
-                push(now + self.repair_s, _REPAIR, cube)
-            else:  # _REPAIR
-                cube = payload
-                pod.cube(cube).repair_host(0)
-                nxt = now + float(rng.exponential(1.0 / self.cube_failure_rate_per_s))
-                if nxt < fail_window:
-                    push(nxt, _FAILURE, cube)
                 drain_queue(now)
 
         metrics.horizon_s = max(now, last_arrival)

@@ -14,14 +14,17 @@ training-step model to a throughput hit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.core.ids import OcsId, SliceId
-from repro.ml.parallelism import ParallelismPlan
-from repro.ml.perfmodel import TrainingStepModel
 from repro.tpu.cube import DIMS, FACE_PORTS
+
+if TYPE_CHECKING:  # repro.ml imports repro.tpu.chip; avoid the cycle at runtime
+    from repro.ml.parallelism import ParallelismPlan
+    from repro.ml.perfmodel import TrainingStepModel
+from repro.tpu.routing import DegradedRouting
 from repro.tpu.slice_topology import SliceTopology
 from repro.tpu.superpod import NUM_OCSES, Superpod
 
@@ -71,6 +74,57 @@ def ocs_failure_impact(
     return out
 
 
+def ocs_face_position(ocs_id: OcsId) -> Tuple[int, int]:
+    """(axis, face position) of a superpod OCS."""
+    if not 0 <= ocs_id.index < NUM_OCSES:
+        raise ConfigurationError(f"{ocs_id} outside the superpod's {NUM_OCSES} OCSes")
+    return ocs_id.index // FACE_PORTS, ocs_id.index % FACE_PORTS
+
+
+def degraded_routing_for(failed_ocses: Sequence[OcsId]) -> DegradedRouting:
+    """Routing re-weighting state after a set of OCS failures.
+
+    The graceful-degradation path: instead of failing multi-cube slices,
+    routing re-spreads each dimension's traffic over the surviving
+    parallel face positions (§4.2.2).
+    """
+    state = DegradedRouting(face_ports=FACE_PORTS)
+    for ocs_id in failed_ocses:
+        axis, pos = ocs_face_position(ocs_id)
+        state = state.fail_position(axis, pos)
+    return state
+
+
+def degraded_step_model(
+    step_model: TrainingStepModel, failed_ocses: Sequence[OcsId]
+) -> TrainingStepModel:
+    """The step-time model seeing the post-failure bandwidth.
+
+    Builds the :class:`~repro.tpu.routing.DegradedRouting` re-weighting
+    for the failed OCSes and feeds its per-dimension surviving-bandwidth
+    scale into the performance model.  Raises
+    :class:`~repro.core.errors.CapacityError` only when a dimension has
+    lost *all* of its parallel faces.
+    """
+    scale = degraded_routing_for(failed_ocses).dim_scale()
+    return replace(step_model, dim_bandwidth_scale=scale)
+
+
+def multi_ocs_step_degradation(
+    model_plan: ParallelismPlan,
+    step_model: TrainingStepModel,
+    failed_ocses: Sequence[OcsId],
+) -> float:
+    """Fractional step-time increase under any set of OCS failures.
+
+    Generalizes :func:`step_time_degradation` beyond a single failure;
+    the two agree exactly when one OCS is down.
+    """
+    healthy = step_model.step_time_s(model_plan)
+    degraded = degraded_step_model(step_model, failed_ocses).step_time_s(model_plan)
+    return degraded / healthy - 1.0
+
+
 def step_time_degradation(
     model_plan: ParallelismPlan,
     step_model: TrainingStepModel,
@@ -87,8 +141,6 @@ def step_time_degradation(
     healthy = step_model.step_time_s(model_plan)
     scale = [1.0, 1.0, 1.0]
     scale[failed_axis] = 1.0 - LINKS_PER_OCS_FRACTION
-    from dataclasses import replace
-
     degraded_model = replace(step_model, dim_bandwidth_scale=tuple(scale))
     degraded = degraded_model.step_time_s(model_plan)
     return degraded / healthy - 1.0

@@ -1,17 +1,24 @@
-"""Deterministic 3D-torus routing and topology metrics.
+"""Deterministic 3D-torus routing, topology metrics, degraded mode.
 
 §4.2.1: "In normal operation, the routing is deterministic and set by the
 slice configuration."  We implement classic dimension-ordered routing with
 shortest-way wraparound, plus the torus metrics (bisection, diameter,
 average hop distance) that drive the slice-shape discussion: the symmetric
 16x16x16 shape maximizes bisection bandwidth among 4096-chip tori.
+
+§4.2.2 adds the *degraded* mode: each torus dimension's inter-cube links
+ride 16 parallel OCS face positions; when an OCS fails, routing re-weights
+traffic over the surviving positions instead of failing the slice.
+:class:`DegradedRouting` tracks failed (axis, face-position) pairs and
+yields the per-dimension bandwidth scales the performance model consumes.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import FrozenSet, List, Sequence, Tuple
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import CapacityError, ConfigurationError
 
 Coord = Tuple[int, int, int]
 
@@ -109,6 +116,86 @@ def torus_average_hops(shape: Sequence[int]) -> float:
     total_mean = sum(ring_mean(s) for s in shape)
     # Convert from mean over all ordered pairs (incl. self) to distinct pairs.
     return total_mean * n / (n - 1)
+
+
+@dataclass(frozen=True)
+class DegradedRouting:
+    """Traffic re-weighting over surviving parallel OCS face positions.
+
+    Each torus dimension's inter-cube bandwidth is striped over
+    ``face_ports`` parallel OCSes (16 on the superpod).  A failure
+    removes one stripe; the deterministic routing re-spreads the
+    dimension's rings over the survivors, so the slice keeps running at
+    ``survivors / face_ports`` of the dimension's bandwidth rather than
+    failing.
+
+    Immutable: :meth:`fail_position` / :meth:`repair_position` return
+    updated copies, so simulators can keep a timeline of states.
+    """
+
+    face_ports: int = 16
+    failed: FrozenSet[Tuple[int, int]] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.face_ports <= 0:
+            raise ConfigurationError("face_ports must be positive")
+        for axis, pos in self.failed:
+            if axis not in (0, 1, 2):
+                raise ConfigurationError(f"axis must be 0, 1, or 2, got {axis}")
+            if not 0 <= pos < self.face_ports:
+                raise ConfigurationError(
+                    f"face position {pos} out of range [0, {self.face_ports})"
+                )
+
+    def fail_position(self, axis: int, pos: int) -> "DegradedRouting":
+        """State after the OCS at (axis, face position) fails."""
+        return replace(self, failed=self.failed | {(axis, pos)})
+
+    def repair_position(self, axis: int, pos: int) -> "DegradedRouting":
+        """State after the OCS at (axis, face position) is repaired."""
+        return replace(self, failed=self.failed - {(axis, pos)})
+
+    def surviving_positions(self, axis: int) -> Tuple[int, ...]:
+        """Face positions of ``axis`` still carrying traffic."""
+        down = {p for a, p in self.failed if a == axis}
+        return tuple(p for p in range(self.face_ports) if p not in down)
+
+    def weights(self, axis: int) -> Tuple[float, ...]:
+        """Per-face-position traffic share for ``axis``.
+
+        Failed positions carry 0; survivors split the dimension's
+        traffic evenly.  Raises :class:`~repro.core.errors.CapacityError`
+        when the dimension has no surviving position -- only then does
+        the slice actually lose connectivity in that dimension.
+        """
+        survivors = self.surviving_positions(axis)
+        if not survivors:
+            raise CapacityError(
+                f"all {self.face_ports} OCS face positions of axis {axis} failed"
+            )
+        share = 1.0 / len(survivors)
+        alive = set(survivors)
+        return tuple(share if p in alive else 0.0 for p in range(self.face_ports))
+
+    def dim_scale(self) -> Tuple[float, float, float]:
+        """Surviving bandwidth fraction per torus dimension.
+
+        Feed this to :class:`repro.ml.perfmodel.TrainingStepModel` as
+        ``dim_bandwidth_scale`` to price the degradation.
+        """
+        scales = []
+        for axis in range(3):
+            survivors = len(self.surviving_positions(axis))
+            if survivors == 0:
+                raise CapacityError(
+                    f"all {self.face_ports} OCS face positions of axis {axis} failed"
+                )
+            scales.append(survivors / self.face_ports)
+        return (scales[0], scales[1], scales[2])
+
+    @property
+    def is_healthy(self) -> bool:
+        return not self.failed
 
 
 def best_bisection_shape(num_chips: int) -> Tuple[int, int, int]:

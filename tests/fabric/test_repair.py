@@ -90,3 +90,47 @@ class TestRemediation:
         ocs = PalomarOcs.build(seed=19)
         with pytest.raises(ConfigurationError):
             RepairLoop(ocs, spare_south_ports=[900])
+        with pytest.raises(ConfigurationError):
+            RepairLoop(ocs, requalify_fail_db=0.0)
+
+
+class TestRequalification:
+    def _degraded_loop(self, spares):
+        ocs = PalomarOcs.build(seed=20)
+        ocs.connect(0, 10)
+        loop = RepairLoop(ocs, spare_south_ports=spares)
+        loop.scan()
+        loop.degrade_circuit(0, 10, 0.9)
+        return loop
+
+    def test_damaged_spare_fails_requalification_next_one_used(self):
+        loop = self._degraded_loop([130, 131])
+        loop.degrade_south_port(130, loop.requalify_fail_db + 1.0)
+        (action,) = loop.run_once()
+        assert action.new_circuit == (0, 131)
+
+    def test_capacity_error_carries_circuit_and_attempted_spares(self):
+        loop = self._degraded_loop([130, 131])
+        loop.degrade_south_port(131, 5.0)
+        loop.ocs.connect(99, 130)  # the only good spare is busy
+        anomalies = loop.scan()
+        with pytest.raises(CapacityError) as err:
+            loop.remediate(anomalies[0])
+        assert err.value.degraded_circuit == (0, 10)
+        assert err.value.attempted_spares == (130, 131)
+        assert "N0<->S10" in str(err.value)
+        # The degraded circuit was left in place, not torn down.
+        assert loop.ocs.state.south_of(0) == 10
+
+    def test_mild_spare_damage_within_margin_still_qualifies(self):
+        loop = self._degraded_loop([130])
+        loop.degrade_south_port(130, loop.requalify_fail_db / 2.0)
+        (action,) = loop.run_once()
+        assert action.new_circuit == (0, 130)
+
+    def test_degrade_south_port_validation(self):
+        loop = self._degraded_loop([130])
+        with pytest.raises(ConfigurationError):
+            loop.degrade_south_port(130, -0.1)
+        with pytest.raises(ConfigurationError):
+            loop.degrade_south_port(900, 0.1)

@@ -1,0 +1,109 @@
+"""Tests for repro.faults.chaos (scenarios + cross-layer acceptance checks)."""
+
+import pytest
+
+from repro.availability.model import fabric_availability
+from repro.core.errors import ConfigurationError
+from repro.faults.chaos import (
+    SCENARIOS,
+    SMOKE_KWARGS,
+    correlated_hv_batch,
+    repair_race,
+    rolling_transceiver_flaps,
+    run_scenario,
+    run_smoke,
+    single_ocs_loss,
+)
+from repro.ocs.reliability import SINGLE_OCS_AVAILABILITY
+from repro.tpu.superpod import NUM_OCSES
+
+
+class TestSingleOcsLoss:
+    def test_step_hit_matches_degradation_model_within_1pct(self):
+        report = single_ocs_loss(seed=3, horizon_hours=2000.0)
+        assert report.metrics["step_hit_chaos"] > 0
+        assert report.metrics["step_hit_rel_error"] < 0.01
+
+    def test_long_run_availability_matches_fig15_analytic(self):
+        report = single_ocs_loss(seed=0, horizon_hours=20000.0)
+        analytic = fabric_availability(NUM_OCSES, SINGLE_OCS_AVAILABILITY)
+        assert report.metrics["availability_analytic"] == pytest.approx(analytic)
+        # Monte-Carlo agreement: ~240 outages over the horizon puts the
+        # sampling noise well under one point of availability.
+        assert report.metrics["availability_abs_error"] < 0.01
+        assert report.metrics["outages"] > 100
+
+    def test_timeline_brackets_goodput(self):
+        report = single_ocs_loss(seed=1, horizon_hours=2000.0)
+        assert report.timeline[0] == (0.0, 1.0)
+        assert all(0.0 <= g <= 1.0 for _, g in report.timeline)
+        times = [t for t, _ in report.timeline]
+        assert times == sorted(times)
+        assert 0.0 < report.mean_goodput() <= 1.0
+
+
+class TestCorrelatedHvBatch:
+    def test_batch_drops_then_resilient_restore(self):
+        report = correlated_hv_batch(seed=0, num_ocses=2, circuits_per_ocs=3)
+        assert report.metrics["dropped"] == 6.0
+        assert report.metrics["restored"] == 6.0
+        assert report.metrics["final_up_fraction"] == 1.0
+        assert report.metrics["rollbacks"] == 0.0
+        # Two injected timeouts per switch cost two retries each.
+        assert report.metrics["retries"] == 4.0
+        assert report.metrics["backoff_ms"] > 0
+        # Goodput dipped below 1 mid-run and recovered.
+        assert min(g for _, g in report.timeline) < 1.0
+        assert report.timeline[-1][1] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            correlated_hv_batch(circuits_per_ocs=9)
+
+
+class TestRollingTransceiverFlaps:
+    def test_availability_accounting(self):
+        report = rolling_transceiver_flaps(seed=2, num_links=4, horizon_s=300.0)
+        assert report.metrics["flaps"] > 0
+        assert 0.0 < report.metrics["link_availability"] <= 1.0
+        assert report.metrics["worst_concurrent_dark"] >= 1.0
+        assert report.timeline[-1][1] == 1.0  # all flaps cleared by the end
+
+
+class TestRepairRace:
+    def test_pool_exhaustion_surfaces_capacity_context(self):
+        report = repair_race(seed=1, num_circuits=4, num_spares=2, horizon_s=400.0)
+        assert report.metrics["repairs"] >= 1.0
+        assert report.metrics["capacity_errors"] >= 1.0
+        # The surfaced CapacityError enumerated the whole (small) pool.
+        assert report.metrics["attempted_spares_last"] == 2.0
+        assert report.timeline[-1][1] < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            repair_race(num_spares=1, damaged_spares=2)
+
+
+class TestRegistry:
+    def test_registry_covers_all_scenarios(self):
+        assert set(SCENARIOS) == {
+            "single_ocs_loss",
+            "correlated_hv_batch",
+            "rolling_transceiver_flaps",
+            "repair_race",
+        }
+        assert set(SMOKE_KWARGS) == set(SCENARIOS)
+
+    def test_run_scenario_dispatch_and_unknown(self):
+        report = run_scenario("repair_race", seed=0, **SMOKE_KWARGS["repair_race"])
+        assert report.scenario == "repair_race"
+        assert report.seed == 0
+        with pytest.raises(ConfigurationError):
+            run_scenario("nope")
+
+    def test_smoke_runs_everything(self):
+        reports = run_smoke(seed=0)
+        assert set(reports) == set(SCENARIOS)
+        for name, report in reports.items():
+            assert report.scenario == name
+            assert len(report.digest()) == 64

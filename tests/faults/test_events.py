@@ -1,0 +1,108 @@
+"""Tests for repro.faults.events (taxonomy, targets, digests)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import FaultInjectionError
+from repro.faults.events import (
+    DEFAULT_CLEAR_S,
+    FaultEvent,
+    FaultKind,
+    circuit_target,
+    cube_target,
+    endpoint_target,
+    host_target,
+    mirror_target,
+    ocs_target,
+    poisson_times,
+    schedule_digest,
+    target_index,
+    validate_trace,
+)
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(FaultInjectionError):
+            FaultEvent(time_s=-1.0, kind=FaultKind.HOST_CRASH, target="cube-0")
+        with pytest.raises(FaultInjectionError):
+            FaultEvent(time_s=0.0, kind=FaultKind.HOST_CRASH, target="")
+
+    def test_params_sorted_and_queryable(self):
+        e = FaultEvent(
+            time_s=1.0,
+            kind=FaultKind.FIBER_PINCH,
+            target="ocs-0/N1-S2",
+            params=(("zeta", 1), ("alpha", "x")),
+        )
+        assert e.params == (("alpha", "x"), ("zeta", 1))
+        assert e.param("alpha") == "x"
+        assert e.param("missing", 7) == 7
+
+    def test_canonical_distinguishes_fields(self):
+        base = dict(time_s=1.0, kind=FaultKind.RPC_TIMEOUT, target="ocs-3")
+        a = FaultEvent(**base)
+        b = FaultEvent(**{**base, "recovery": True})
+        c = FaultEvent(**{**base, "severity": 2.0})
+        assert len({a.canonical(), b.canonical(), c.canonical()}) == 3
+
+    def test_taxonomy_covers_the_paper_failure_modes(self):
+        values = {k.value for k in FaultKind}
+        assert values == {
+            "ocs-hv-driver",
+            "mirror-stuck",
+            "circuit-loss-drift",
+            "transceiver-flap",
+            "fiber-pinch",
+            "host-crash",
+            "cube-power-loss",
+            "rpc-timeout",
+        }
+
+
+class TestTargets:
+    def test_round_trips(self):
+        assert target_index(ocs_target(7)) == 7
+        assert target_index(cube_target(12)) == 12
+        assert target_index(mirror_target(3, "N", 12)) == 3
+        assert target_index(circuit_target(5, 1, 2)) == 5
+        assert target_index(host_target(9, 4)) == 9
+
+    def test_endpoint_and_bad_targets(self):
+        assert endpoint_target("srv") == "endpoint-srv"
+        with pytest.raises(FaultInjectionError):
+            target_index("nonsense")
+        with pytest.raises(FaultInjectionError):
+            mirror_target(0, "X", 1)
+
+
+class TestSchedules:
+    def test_poisson_times_reproducible(self):
+        a = poisson_times(np.random.default_rng(5), 0.1, 100.0)
+        b = poisson_times(np.random.default_rng(5), 0.1, 100.0)
+        assert a == b
+        assert all(0 <= t < 100.0 for t in a)
+        assert a == sorted(a)
+
+    def test_poisson_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(FaultInjectionError):
+            poisson_times(rng, 0.0, 10.0)
+        with pytest.raises(FaultInjectionError):
+            poisson_times(rng, 1.0, 0.0)
+
+    def test_digest_order_independent_but_content_sensitive(self):
+        e1 = FaultEvent(time_s=1.0, kind=FaultKind.HOST_CRASH, target="cube-0", seq=0)
+        e2 = FaultEvent(time_s=2.0, kind=FaultKind.HOST_CRASH, target="cube-1", seq=1)
+        assert schedule_digest([e1, e2]) == schedule_digest([e2, e1])
+        e2b = FaultEvent(time_s=2.0, kind=FaultKind.HOST_CRASH, target="cube-2", seq=1)
+        assert schedule_digest([e1, e2]) != schedule_digest([e1, e2b])
+
+    def test_validate_trace_sorts(self):
+        e1 = FaultEvent(time_s=5.0, kind=FaultKind.FIBER_PINCH, target="ocs-0/N0-S0")
+        e2 = FaultEvent(time_s=1.0, kind=FaultKind.FIBER_PINCH, target="ocs-0/N1-S1")
+        assert validate_trace([e1, e2]) == (e2, e1)
+
+    def test_default_clear_times_sane(self):
+        assert DEFAULT_CLEAR_S[FaultKind.TRANSCEIVER_FLAP] < 60.0
+        assert DEFAULT_CLEAR_S[FaultKind.CUBE_POWER_LOSS] >= 3600.0

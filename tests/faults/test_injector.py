@@ -1,0 +1,106 @@
+"""Tests for repro.faults.injector (timeline, delivery, subscriptions)."""
+
+import pytest
+
+from repro.core.errors import FaultInjectionError
+from repro.faults.events import FaultEvent, FaultKind, cube_target, ocs_target
+from repro.faults.injector import FaultInjector
+
+
+class TestScheduling:
+    def test_schedule_and_pop_in_time_order(self):
+        inj = FaultInjector(seed=0)
+        inj.schedule(5.0, FaultKind.HOST_CRASH, cube_target(1))
+        inj.schedule(1.0, FaultKind.HOST_CRASH, cube_target(2))
+        assert inj.next_time() == 1.0
+        first = inj.pop_next()
+        second = inj.pop_next()
+        assert (first.time_s, second.time_s) == (1.0, 5.0)
+        assert inj.pop_next() is None
+
+    def test_clear_after_schedules_recovery_edge(self):
+        inj = FaultInjector(seed=0)
+        inj.schedule(2.0, FaultKind.TRANSCEIVER_FLAP, "endpoint-a", clear_after_s=3.0)
+        events = [inj.pop_next(), inj.pop_next()]
+        assert [e.recovery for e in events] == [False, True]
+        assert events[1].time_s == 5.0
+        assert events[1].target == events[0].target
+
+    def test_clear_after_validation(self):
+        inj = FaultInjector(seed=0)
+        with pytest.raises(FaultInjectionError):
+            inj.schedule(1.0, FaultKind.HOST_CRASH, "cube-0", clear_after_s=0.0)
+        with pytest.raises(FaultInjectionError):
+            inj.schedule(
+                1.0, FaultKind.HOST_CRASH, "cube-0", recovery=True, clear_after_s=1.0
+            )
+
+    def test_same_time_events_keep_schedule_order(self):
+        inj = FaultInjector(seed=0)
+        for i in range(5):
+            inj.schedule(1.0, FaultKind.RPC_TIMEOUT, ocs_target(i))
+        popped = [inj.pop_next().target for _ in range(5)]
+        assert popped == [ocs_target(i) for i in range(5)]
+
+    def test_poisson_counts_and_horizon(self):
+        inj = FaultInjector(seed=7)
+        n = inj.schedule_poisson(
+            FaultKind.FIBER_PINCH,
+            ["ocs-0/N0-S0", "ocs-0/N1-S1"],
+            rate_per_s=0.1,
+            horizon_s=200.0,
+        )
+        assert n == inj.num_pending > 0
+        assert all(e.time_s < 200.0 for e in inj.pending_events())
+
+    def test_trace_replay(self):
+        trace = [
+            FaultEvent(time_s=3.0, kind=FaultKind.HOST_CRASH, target="cube-1"),
+            FaultEvent(time_s=1.0, kind=FaultKind.HOST_CRASH, target="cube-0"),
+        ]
+        inj = FaultInjector(seed=0)
+        assert inj.schedule_trace(trace) == 2
+        assert [e.target for e in inj.pending_events()] == ["cube-0", "cube-1"]
+
+
+class TestDelivery:
+    def test_subscribers_fire_per_kind(self):
+        inj = FaultInjector(seed=0)
+        seen = []
+        inj.subscribe(FaultKind.HOST_CRASH, lambda e: seen.append(e.target))
+        inj.schedule(1.0, FaultKind.HOST_CRASH, cube_target(3))
+        inj.schedule(2.0, FaultKind.RPC_TIMEOUT, ocs_target(0))
+        inj.pop_next()
+        inj.pop_next()
+        assert seen == [cube_target(3)]
+
+    def test_advance_to_delivers_prefix(self):
+        inj = FaultInjector(seed=0)
+        for t in (1.0, 2.0, 3.0):
+            inj.schedule(t, FaultKind.HOST_CRASH, cube_target(0))
+        out = inj.advance_to(2.0)
+        assert [e.time_s for e in out] == [1.0, 2.0]
+        assert inj.num_pending == 1
+        assert len(inj.delivered()) == 2
+
+    def test_digests_track_pending_vs_delivered(self):
+        inj = FaultInjector(seed=0)
+        inj.schedule(1.0, FaultKind.HOST_CRASH, cube_target(0))
+        inj.schedule(2.0, FaultKind.HOST_CRASH, cube_target(1))
+        before = inj.pending_digest()
+        inj.pop_next()
+        assert inj.pending_digest() != before
+        assert inj.delivered_digest() != inj.pending_digest()
+
+
+class TestDraws:
+    def test_exponential_validation(self):
+        with pytest.raises(FaultInjectionError):
+            FaultInjector(seed=0).exponential(0.0)
+
+    def test_draws_come_from_seeded_stream(self):
+        a, b = FaultInjector(seed=3), FaultInjector(seed=3)
+        assert [a.exponential(10.0) for _ in range(5)] == [
+            b.exponential(10.0) for _ in range(5)
+        ]
+        assert a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)

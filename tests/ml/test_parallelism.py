@@ -85,3 +85,22 @@ class TestFeasibility:
             ParallelismPlan(model=LLM_ZOO["llm0"], tensor=0, data_extents=(4,))
         with pytest.raises(ConfigurationError):
             ParallelismPlan(model=LLM_ZOO["llm0"], tensor=4, data_extents=())
+
+
+class TestImportHygiene:
+    def test_packages_import_standalone_in_either_order(self):
+        """repro.ml and repro.tpu must load in a fresh interpreter in any
+        order (regression: an ml -> tpu -> ml import cycle that only
+        passed when repro.tpu happened to be cached first)."""
+        import subprocess
+        import sys
+
+        for stmt in (
+            "import repro.ml, repro.tpu",
+            "import repro.tpu, repro.ml",
+            "import repro.tpu.degradation",
+        ):
+            proc = subprocess.run(
+                [sys.executable, "-c", stmt], capture_output=True, text=True
+            )
+            assert proc.returncode == 0, f"{stmt!r} failed:\n{proc.stderr}"

@@ -115,3 +115,89 @@ class TestFailures:
         )
         assert 0 <= metrics.utilization <= 1
         assert metrics.p95_wait_s >= 0
+
+
+class TestInjectorBacked:
+    """The simulator sources cube faults from a FaultInjector timeline."""
+
+    def test_explicit_schedule_kills_and_repairs(self):
+        from repro.faults.events import FaultKind, cube_target
+        from repro.faults.injector import FaultInjector
+
+        pod = Superpod(num_cubes=8)
+        injector = FaultInjector(seed=0)
+        # Kill the first cube mid-job; the reconfigurable policy swaps a
+        # spare in, so the job still completes.
+        injector.schedule(500.0, FaultKind.CUBE_POWER_LOSS, cube_target(0))
+        sim = SchedulerSimulation(
+            ReconfigurableAllocator(pod), injector=injector, repair_s=200.0
+        )
+        metrics = sim.run([job("a", 2, 2000.0, 0.0)])
+        assert metrics.failures_injected == 1
+        assert metrics.survived_failures == 1
+        assert metrics.completed == 1
+
+    def test_host_crash_events_also_count(self):
+        from repro.faults.events import FaultKind, host_target
+        from repro.faults.injector import FaultInjector
+
+        pod = Superpod(num_cubes=4)
+        injector = FaultInjector(seed=0)
+        injector.schedule(
+            100.0, FaultKind.HOST_CRASH, host_target(0, 3), params=(("host", 3),)
+        )
+        sim = SchedulerSimulation(
+            ContiguousAllocator(pod), injector=injector, repair_s=50.0
+        )
+        metrics = sim.run([job("a", 4, 1000.0, 0.0)])
+        assert metrics.failures_injected == 1
+        # Static policy loses the slice; the job requeues and finishes late.
+        assert metrics.requeued_after_failure == 1
+        assert metrics.completed == 1
+
+    def test_unrelated_kinds_are_ignored(self):
+        from repro.faults.events import FaultKind
+        from repro.faults.injector import FaultInjector
+
+        pod = Superpod(num_cubes=4)
+        injector = FaultInjector(seed=0)
+        injector.schedule(10.0, FaultKind.RPC_TIMEOUT, "ocs-0")
+        sim = SchedulerSimulation(ReconfigurableAllocator(pod), injector=injector)
+        metrics = sim.run([job("a", 1, 100.0, 0.0)])
+        assert metrics.failures_injected == 0
+        assert metrics.completed == 1
+
+    def test_rate_path_matches_pre_injector_rng_draws(self):
+        """The classic constructor path draws the same seeded schedule the
+        old private-event-code implementation did: one exponential per
+        cube, in cube order, from ``default_rng(seed)``."""
+        import numpy as np
+
+        from repro.faults.injector import FaultInjector
+
+        rate, seed, num_cubes = 1 / 5000.0, 5, 16
+        fail_window = 900.0 + 4000.0
+        injector = FaultInjector(seed=seed)
+        sim = SchedulerSimulation(
+            ReconfigurableAllocator(Superpod(num_cubes=num_cubes)),
+            cube_failure_rate_per_s=rate,
+            repair_s=2000.0,
+            seed=seed,
+            injector=injector,
+        )
+        sim.run([job(f"j{i}", 2, 4000.0, i * 100.0) for i in range(10)])
+        rng = np.random.default_rng(seed)
+        expected = [
+            (i, t)
+            for i in range(num_cubes)
+            for t in [float(rng.exponential(1.0 / rate))]
+            if t < fail_window
+        ]
+        initial = [
+            (int(e.target.rsplit("-", 1)[1]), e.time_s)
+            for e in injector.delivered()
+            if not e.recovery
+        ]
+        # Every initially-armed failure appears verbatim in the delivered log.
+        for item in expected:
+            assert item in initial

@@ -97,3 +97,58 @@ class TestStepTimeDegradation:
     def test_scale_validation(self):
         with pytest.raises(ConfigurationError):
             TrainingStepModel(dim_bandwidth_scale=(1.0, 0.0, 1.0))
+
+
+class TestMultiOcsDegradation:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        plan = ParallelismPlan.for_shape(LLM_ZOO["llm2"], (16, 16, 16))
+        return plan, TrainingStepModel()
+
+    def test_face_position_round_trip(self):
+        from repro.tpu.degradation import ocs_face_position
+
+        assert ocs_face_position(OcsId(0)) == (0, 0)
+        assert ocs_face_position(OcsId(17)) == (1, 1)
+        assert ocs_face_position(OcsId(47)) == (2, 15)
+        with pytest.raises(ConfigurationError):
+            ocs_face_position(OcsId(48))
+
+    def test_single_failure_agrees_with_analytic(self, setup):
+        from repro.tpu.degradation import multi_ocs_step_degradation
+
+        plan, model = setup
+        for ocs in (OcsId(3), OcsId(20), OcsId(40)):
+            axis = ocs.index // 16
+            assert multi_ocs_step_degradation(plan, model, [ocs]) == pytest.approx(
+                step_time_degradation(plan, model, axis)
+            )
+
+    def test_two_failures_same_axis_hurt_more(self, setup):
+        from repro.tpu.degradation import multi_ocs_step_degradation
+
+        plan, model = setup
+        one = multi_ocs_step_degradation(plan, model, [OcsId(0)])
+        two = multi_ocs_step_degradation(plan, model, [OcsId(0), OcsId(1)])
+        assert two > one
+
+    def test_degraded_step_model_scales(self, setup):
+        from repro.tpu.degradation import degraded_step_model
+
+        plan, model = setup
+        degraded = degraded_step_model(model, [OcsId(0), OcsId(16)])
+        assert degraded.dim_bandwidth_scale == (15 / 16, 15 / 16, 1.0)
+
+    def test_degraded_routing_weights(self):
+        from repro.core.errors import CapacityError
+        from repro.tpu.routing import DegradedRouting
+
+        state = DegradedRouting(face_ports=4).fail_position(0, 1)
+        assert state.weights(0) == (1 / 3, 0.0, 1 / 3, 1 / 3)
+        assert state.weights(1) == (0.25,) * 4
+        assert state.dim_scale() == (3 / 4, 1.0, 1.0)
+        state = state.repair_position(0, 1)
+        assert state.is_healthy
+        dead = DegradedRouting(face_ports=1).fail_position(2, 0)
+        with pytest.raises(CapacityError):
+            dead.dim_scale()
