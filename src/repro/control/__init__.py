@@ -1,0 +1,41 @@
+"""The durable, self-healing control plane (§3.2.2).
+
+The paper credits OCS availability to integrating the switches into the
+same control/monitoring infrastructure as electrical switches and to
+telemetry-driven preemptive repair.  This package is that management
+plane for the reproduction:
+
+- :mod:`repro.control.wal` -- an append-only write-ahead log with
+  monotonic sequence numbers, CRC-checked frames, and deterministic
+  crash injection;
+- :mod:`repro.control.journal` -- the :class:`DurableController` that
+  journals every intent mutation before touching hardware, and the
+  crash-recovery protocol (checkpoint + committed-suffix replay,
+  partial multi-OCS transactions rolled forward or back);
+- :mod:`repro.control.reconcile` -- the anti-entropy loop diffing
+  intended links against hardware snapshots and issuing minimal repair
+  plans through the resilient transaction path;
+- :mod:`repro.control.health` -- the fleet link-health watchdog with
+  BGP-style flap damping, preemptive spare steering, and quarantine
+  release after requalification.
+"""
+
+from repro.control.health import DampingPolicy, FleetHealthWatchdog, QuarantineAction
+from repro.control.journal import DurableController, RecoveryReport, recover
+from repro.control.reconcile import Drift, DriftKind, Reconciler
+from repro.control.wal import CrashSchedule, WalRecord, WriteAheadLog
+
+__all__ = [
+    "CrashSchedule",
+    "DampingPolicy",
+    "Drift",
+    "DriftKind",
+    "DurableController",
+    "FleetHealthWatchdog",
+    "QuarantineAction",
+    "Reconciler",
+    "RecoveryReport",
+    "WalRecord",
+    "WriteAheadLog",
+    "recover",
+]

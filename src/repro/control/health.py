@@ -1,0 +1,325 @@
+"""Fleet link-health watchdog: flap damping, quarantine, requalification.
+
+§3.2.2's availability story is *preemptive*: telemetry spots a circuit
+going bad and the control plane moves traffic off it before it fails.
+This module closes that loop fleet-wide with BGP-style flap damping:
+
+- every transceiver flap or telemetry anomaly **charges a penalty** to
+  its circuit's health state;
+- the penalty **decays exponentially** with a configurable half-life;
+- crossing the **suppress threshold** quarantines the circuit: if the
+  OCS has a :class:`~repro.fabric.repair.RepairLoop` with a usable
+  spare, the circuit is *steered* to the spare preemptively (capacity
+  preserved, suspect plant idled); with no spare it is *held out* of
+  service (capacity lost -- feed :meth:`FleetHealthWatchdog.
+  held_out_fraction` into :func:`repro.tpu.degradation.
+  quarantine_step_degradation` and the scheduler's ``fabric_slowdown``
+  hook to price it);
+- once the penalty decays below the **reuse threshold** *and* the
+  **hold-down** has elapsed, the circuit is requalified (§4.2.3 grading
+  via :meth:`~repro.fabric.repair.RepairLoop.port_qualifies`) and
+  released; steered circuits move home when the original port passes
+  requalification, otherwise they stay on the spare.
+
+Bystander circuits are never touched by any of this: quarantine acts on
+exactly one north port at a time through the repair loop's single-
+circuit moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.errors import CapacityError, ConfigurationError
+from repro.fabric.repair import RepairLoop
+from repro.faults.events import FaultEvent, FaultKind
+from repro.ocs.telemetry import Anomaly
+
+#: A circuit's fleet-wide identity: (OCS index, north port).  The north
+#: port is stable across spare steering; the south port is tracked state.
+CircuitKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DampingPolicy:
+    """BGP-style flap-damping parameters.
+
+    Args:
+        flap_penalty: penalty per transceiver flap.
+        anomaly_penalty: penalty per telemetry anomaly (loss drift etc.).
+        suppress_threshold: decayed penalty at which a circuit is
+            quarantined.
+        reuse_threshold: decayed penalty below which a quarantined
+            circuit becomes eligible for release.
+        half_life_s: exponential decay half-life of the penalty.
+        max_penalty: ceiling on the accumulated penalty (bounds the
+            maximum suppression time, as in BGP).
+        hold_down_s: minimum quarantine duration regardless of decay.
+    """
+
+    flap_penalty: float = 1000.0
+    anomaly_penalty: float = 600.0
+    suppress_threshold: float = 2500.0
+    reuse_threshold: float = 800.0
+    half_life_s: float = 60.0
+    max_penalty: float = 8000.0
+    hold_down_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.flap_penalty <= 0 or self.anomaly_penalty <= 0:
+            raise ConfigurationError("penalties must be positive")
+        if not 0 < self.reuse_threshold < self.suppress_threshold:
+            raise ConfigurationError(
+                "need 0 < reuse_threshold < suppress_threshold"
+            )
+        if self.suppress_threshold > self.max_penalty:
+            raise ConfigurationError("suppress_threshold must be <= max_penalty")
+        if self.half_life_s <= 0:
+            raise ConfigurationError("half_life_s must be positive")
+        if self.hold_down_s < 0:
+            raise ConfigurationError("hold_down_s must be non-negative")
+
+    def decayed(self, penalty: float, dt_s: float) -> float:
+        """The penalty after ``dt_s`` seconds of exponential decay."""
+        if dt_s <= 0:
+            return penalty
+        return penalty * 0.5 ** (dt_s / self.half_life_s)
+
+    def max_suppress_s(self) -> float:
+        """Longest possible suppression from a single release condition:
+        time for ``max_penalty`` to decay to ``reuse_threshold``."""
+        import math
+
+        return self.half_life_s * math.log2(self.max_penalty / self.reuse_threshold)
+
+
+@dataclass
+class CircuitHealth:
+    """Damping state of one watched circuit."""
+
+    key: CircuitKey
+    south: int
+    home_south: int
+    penalty: float = 0.0
+    updated_s: float = 0.0
+    flaps: int = 0
+    anomalies: int = 0
+    quarantined_since_s: Optional[float] = None
+    steered_to: Optional[int] = None
+
+    @property
+    def quarantined(self) -> bool:
+        return self.quarantined_since_s is not None
+
+    @property
+    def held_out(self) -> bool:
+        """Quarantined with no spare carrying the traffic: capacity lost."""
+        return self.quarantined and self.steered_to is None
+
+
+@dataclass(frozen=True)
+class QuarantineAction:
+    """One watchdog decision, for the audit trail."""
+
+    time_s: float
+    key: CircuitKey
+    action: str  # "steer" | "hold-out" | "release" | "release-home"
+    penalty: float
+    detail: str = ""
+
+
+@dataclass
+class FleetHealthWatchdog:
+    """Damping, quarantine, and release across a fleet of OCSes.
+
+    Wire it up with :meth:`watch_circuit` (one call per production
+    circuit), optionally give each OCS a repair loop with
+    :meth:`add_repair_loop` (enables preemptive spare steering), map
+    endpoint fault targets with :meth:`map_endpoint`, and either
+    :meth:`attach` it to a :class:`~repro.faults.injector.FaultInjector`
+    or feed observations directly.  Call :meth:`poll` on the simulation
+    clock to execute quarantine/release decisions.
+    """
+
+    policy: DampingPolicy = field(default_factory=DampingPolicy)
+    actions: List[QuarantineAction] = field(default_factory=list)
+    _circuits: Dict[CircuitKey, CircuitHealth] = field(default_factory=dict, repr=False)
+    _repairs: Dict[int, RepairLoop] = field(default_factory=dict, repr=False)
+    _endpoints: Dict[str, CircuitKey] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def watch_circuit(self, ocs_index: int, north: int, south: int) -> CircuitKey:
+        """Start tracking health for one circuit."""
+        key = (ocs_index, north)
+        if key in self._circuits:
+            raise ConfigurationError(f"circuit {key} already watched")
+        self._circuits[key] = CircuitHealth(key=key, south=south, home_south=south)
+        return key
+
+    def add_repair_loop(self, ocs_index: int, loop: RepairLoop) -> None:
+        """Enable preemptive spare steering for one OCS."""
+        self._repairs[ocs_index] = loop
+
+    def map_endpoint(self, fault_target: str, ocs_index: int, north: int) -> None:
+        """Route a fault-event target (e.g. ``endpoint-tx3-a``) to its circuit."""
+        self._endpoints[fault_target] = (ocs_index, north)
+
+    def attach(self, injector) -> "FleetHealthWatchdog":
+        """Subscribe to transceiver-flap events on an injector timeline."""
+        injector.subscribe(FaultKind.TRANSCEIVER_FLAP, self._on_flap_event)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Observations
+    # ------------------------------------------------------------------ #
+
+    def _on_flap_event(self, event: FaultEvent) -> None:
+        if event.recovery:
+            return
+        key = self._endpoints.get(event.target)
+        if key is not None and key in self._circuits:
+            self.observe_flap(key[0], key[1], event.time_s)
+
+    def _charge(self, state: CircuitHealth, amount: float, now_s: float) -> None:
+        decayed = self.policy.decayed(state.penalty, now_s - state.updated_s)
+        state.penalty = min(decayed + amount, self.policy.max_penalty)
+        state.updated_s = now_s
+
+    def observe_flap(self, ocs_index: int, north: int, now_s: float) -> float:
+        """Charge one transceiver flap; returns the new decayed penalty."""
+        state = self._state(ocs_index, north)
+        state.flaps += 1
+        self._charge(state, self.policy.flap_penalty, now_s)
+        return state.penalty
+
+    def observe_anomaly(self, ocs_index: int, anomaly: Anomaly, now_s: float) -> float:
+        """Charge one telemetry anomaly (loss drift / over-max)."""
+        state = self._state(ocs_index, anomaly.circuit[0])
+        state.anomalies += 1
+        self._charge(state, self.policy.anomaly_penalty, now_s)
+        return state.penalty
+
+    def _state(self, ocs_index: int, north: int) -> CircuitHealth:
+        try:
+            return self._circuits[(ocs_index, north)]
+        except KeyError:
+            raise ConfigurationError(
+                f"circuit (ocs {ocs_index}, N{north}) is not watched"
+            ) from None
+
+    def penalty(self, ocs_index: int, north: int, now_s: float) -> float:
+        """Current decayed penalty of one circuit."""
+        state = self._state(ocs_index, north)
+        return self.policy.decayed(state.penalty, now_s - state.updated_s)
+
+    # ------------------------------------------------------------------ #
+    # The decision loop
+    # ------------------------------------------------------------------ #
+
+    def poll(self, now_s: float) -> List[QuarantineAction]:
+        """Execute pending quarantine / release decisions at ``now_s``."""
+        executed: List[QuarantineAction] = []
+        for key in sorted(self._circuits):
+            state = self._circuits[key]
+            p = self.policy.decayed(state.penalty, now_s - state.updated_s)
+            if not state.quarantined and p >= self.policy.suppress_threshold:
+                executed.append(self._quarantine(state, p, now_s))
+            elif (
+                state.quarantined
+                and now_s - state.quarantined_since_s >= self.policy.hold_down_s
+                and p <= self.policy.reuse_threshold
+            ):
+                action = self._release(state, p, now_s)
+                if action is not None:
+                    executed.append(action)
+        self.actions.extend(executed)
+        return executed
+
+    def _quarantine(
+        self, state: CircuitHealth, penalty: float, now_s: float
+    ) -> QuarantineAction:
+        ocs_index, north = state.key
+        state.quarantined_since_s = now_s
+        loop = self._repairs.get(ocs_index)
+        if loop is not None and loop.ocs.state.south_of(north) == state.south:
+            try:
+                action = loop.preemptive_move(north, reason="quarantine")
+            except CapacityError as err:
+                return QuarantineAction(
+                    now_s, state.key, "hold-out", penalty,
+                    f"no usable spare ({err}); capacity lost",
+                )
+            state.steered_to = action.new_circuit[1]
+            state.south = action.new_circuit[1]
+            return QuarantineAction(
+                now_s, state.key, "steer", penalty,
+                f"steered to spare S{state.south}",
+            )
+        return QuarantineAction(
+            now_s, state.key, "hold-out", penalty, "no repair loop; capacity lost"
+        )
+
+    def _release(
+        self, state: CircuitHealth, penalty: float, now_s: float
+    ) -> Optional[QuarantineAction]:
+        ocs_index, north = state.key
+        loop = self._repairs.get(ocs_index)
+        if state.steered_to is not None and loop is not None:
+            home_free = loop.ocs.state.north_of(state.home_south) is None
+            if home_free and loop.port_qualifies(north, state.home_south):
+                loop.move_circuit(north, state.home_south, reason="requalified")
+                state.south = state.home_south
+                state.steered_to = None
+                state.quarantined_since_s = None
+                return QuarantineAction(
+                    now_s, state.key, "release-home", penalty,
+                    f"home port S{state.home_south} requalified",
+                )
+            # Home plant still bad: the spare becomes the circuit's seat.
+            state.quarantined_since_s = None
+            return QuarantineAction(
+                now_s, state.key, "release", penalty,
+                f"stays on spare S{state.south} (home failed requalification)",
+            )
+        if loop is not None and not loop.port_qualifies(north, state.south):
+            return None  # held-out circuit still fails grading: stay dark
+        state.quarantined_since_s = None
+        return QuarantineAction(now_s, state.key, "release", penalty, "requalified")
+
+    # ------------------------------------------------------------------ #
+    # Capacity feeds (degradation model / scheduler)
+    # ------------------------------------------------------------------ #
+
+    def quarantined(self) -> Tuple[CircuitKey, ...]:
+        """Keys of every circuit currently quarantined."""
+        return tuple(k for k in sorted(self._circuits) if self._circuits[k].quarantined)
+
+    def held_out(self) -> Tuple[CircuitKey, ...]:
+        """Quarantined circuits with no spare carrying them (capacity lost)."""
+        return tuple(k for k in sorted(self._circuits) if self._circuits[k].held_out)
+
+    @property
+    def num_watched(self) -> int:
+        return len(self._circuits)
+
+    def held_out_fraction(self, ocs_index: Optional[int] = None) -> float:
+        """Fraction of watched circuits currently out of service.
+
+        Feed into :func:`repro.tpu.degradation.quarantine_step_degradation`
+        (per-OCS) or a scheduler ``fabric_slowdown`` hook (fleet-wide).
+        """
+        keys = [
+            k for k in self._circuits if ocs_index is None or k[0] == ocs_index
+        ]
+        if not keys:
+            return 0.0
+        out = sum(1 for k in keys if self._circuits[k].held_out)
+        return out / len(keys)
+
+    def circuit(self, ocs_index: int, north: int) -> CircuitHealth:
+        """Live health state of one circuit (read-only use)."""
+        return self._state(ocs_index, north)

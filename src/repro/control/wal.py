@@ -1,0 +1,314 @@
+"""An append-only write-ahead log for control-plane intent.
+
+Every intent mutation of the durable fabric manager
+(:mod:`repro.control.journal`) is serialized into one :class:`WalRecord`
+and framed into a byte log before any switch is touched.  The format is
+deliberately boring -- the recovery properties come from its discipline:
+
+- **monotonic sequence numbers**: each record carries ``seq`` one above
+  its predecessor; a gap or regression marks the log corrupt from that
+  point on;
+- **checksums**: every frame ends in a CRC-32 of its body; a flipped
+  bit is detected on replay instead of being applied;
+- **atomic commit markers**: multi-record transactions end in a commit
+  record, and a record only counts once its *whole* frame landed -- a
+  torn final write (controller died mid-append) is recognized as a
+  truncated tail and discarded, exactly like a real WAL's tail scan.
+
+Frame layout (big-endian)::
+
+    +------+-----------+------------------+-----------+
+    | "WR" | len(body) |   body (JSON)    | CRC32(body)|
+    | 2 B  |   4 B     |   len(body) B    |    4 B     |
+    +------+-----------+------------------+-----------+
+
+The body is canonical JSON (``sort_keys``, no whitespace) of
+``{"seq": int, "kind": str, "payload": {...}}``, so a whole log has a
+byte-stable :meth:`~WriteAheadLog.digest`.
+
+Crash injection is deterministic: a :class:`CrashSchedule` counts the
+instrumented steps of the controller (WAL appends, hardware applies) and
+raises :class:`~repro.core.errors.ControllerCrash` at exactly the
+configured step -- optionally landing only a prefix of the in-flight
+frame to model a torn write.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.errors import ConfigurationError, ControllerCrash, WalError
+
+#: Frame magic: marks the start of every record.
+MAGIC = b"WR"
+
+#: Bytes of framing around the body: magic + length prefix + CRC suffix.
+FRAME_OVERHEAD = len(MAGIC) + 4 + 4
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable intent record.
+
+    Attributes:
+        seq: monotonic sequence number (``+1`` per append, surviving
+            compaction).
+        kind: record type tag (``op``/``txn-begin``/``txn-apply``/
+            ``txn-commit``/``checkpoint``).
+        payload: JSON-serializable record detail.
+        offset: byte offset of the frame in the log it was read from
+            (``-1`` for records just appended).
+    """
+
+    seq: int
+    kind: str
+    payload: Mapping[str, object]
+    offset: int = -1
+
+    def body(self) -> bytes:
+        """Canonical JSON bytes of the record (what gets checksummed)."""
+        return json.dumps(
+            {"kind": self.kind, "payload": self.payload, "seq": self.seq},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+
+@dataclass
+class CrashSchedule:
+    """Deterministic controller-crash trigger for recovery drills.
+
+    The durable controller ticks this schedule at every instrumented
+    step (each WAL append, each per-switch hardware apply).  When the
+    1-based step counter reaches ``at_step`` the schedule raises
+    :class:`~repro.core.errors.ControllerCrash` -- once; subsequent
+    steps proceed normally so the same object can finish a drill.
+
+    ``torn_bytes`` models a torn write: if the fatal step is a WAL
+    append, that many bytes of the in-flight frame still land before
+    the crash, leaving a truncated final record for recovery to discard.
+    """
+
+    at_step: Optional[int] = None
+    torn_bytes: int = 0
+    steps_taken: int = 0
+    fired_label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.at_step is not None and self.at_step < 1:
+            raise ConfigurationError("crash step is 1-based")
+        if self.torn_bytes < 0:
+            raise ConfigurationError("torn_bytes must be non-negative")
+
+    def _fire(self, label: str) -> None:
+        self.at_step = None
+        self.fired_label = label
+        raise ControllerCrash(
+            f"injected controller crash at step {self.steps_taken} ({label})",
+            step=self.steps_taken,
+            label=label,
+        )
+
+    def step(self, label: str) -> None:
+        """Tick one controller-level step (e.g. after a hardware apply)."""
+        if self.at_step is None:
+            return
+        self.steps_taken += 1
+        if self.steps_taken >= self.at_step:
+            self._fire(label)
+
+    def append_point(self, storage: bytearray, frame: bytes) -> None:
+        """Tick the pre-durability point of one WAL append.
+
+        A crash here means the frame never landed -- except for the
+        torn-write prefix, which is written before raising (never the
+        whole frame: a fully-landed frame is not torn).
+        """
+        if self.at_step is None:
+            return
+        self.steps_taken += 1
+        if self.steps_taken >= self.at_step:
+            if self.torn_bytes > 0:
+                storage.extend(frame[: min(self.torn_bytes, len(frame) - 1)])
+            self._fire("wal-append")
+
+
+@dataclass(frozen=True)
+class WalReadResult:
+    """Outcome of scanning a log: the valid prefix plus tail diagnosis."""
+
+    records: Tuple[WalRecord, ...]
+    valid_bytes: int
+    truncated: bool = False
+    corrupt: bool = False
+    detail: str = ""
+
+
+@dataclass
+class WriteAheadLog:
+    """The append-only byte log (storage survives controller crashes).
+
+    The backing ``storage`` bytearray stands in for the durable device:
+    hand the same object to a new :class:`WriteAheadLog` to model a
+    controller restart over surviving media.
+    """
+
+    storage: bytearray = field(default_factory=bytearray)
+    crash: Optional[CrashSchedule] = None
+    _next_seq: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        # Reopening existing media: continue the sequence after the last
+        # valid record (the torn/corrupt tail never claims seq numbers).
+        scan = self.scan()
+        if scan.records:
+            self._next_seq = scan.records[-1].seq + 1
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def encode(record: WalRecord) -> bytes:
+        """Frame one record: magic + length + body + CRC32."""
+        body = record.body()
+        return (
+            MAGIC
+            + struct.pack(">I", len(body))
+            + body
+            + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
+        )
+
+    def append(self, kind: str, payload: Mapping[str, object]) -> WalRecord:
+        """Durably append one record; returns it with its assigned seq.
+
+        The frame lands atomically (or, under an injected torn-write
+        crash, as a recognizable truncated tail).
+        """
+        record = WalRecord(seq=self._next_seq, kind=kind, payload=dict(payload))
+        frame = self.encode(record)
+        if self.crash is not None:
+            self.crash.append_point(self.storage, frame)
+        offset = len(self.storage)
+        self.storage.extend(frame)
+        self._next_seq += 1
+        return WalRecord(record.seq, record.kind, record.payload, offset=offset)
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+
+    def scan(self, strict: bool = False) -> WalReadResult:
+        """Walk the log from the start, validating every frame.
+
+        Returns the longest valid record prefix.  A truncated final
+        frame (torn write) or a checksum/framing/sequence violation ends
+        the scan; ``strict=True`` raises :class:`~repro.core.errors.
+        WalError` for the latter instead of reporting it.
+        """
+        records: List[WalRecord] = []
+        data = bytes(self.storage)
+        pos = 0
+        expected_seq: Optional[int] = None
+
+        def bad(detail: str, *, truncated: bool = False) -> WalReadResult:
+            if strict and not truncated:
+                raise WalError(detail, offset=pos)
+            return WalReadResult(
+                records=tuple(records),
+                valid_bytes=pos,
+                truncated=truncated,
+                corrupt=not truncated,
+                detail=detail,
+            )
+
+        while pos < len(data):
+            header_end = pos + len(MAGIC) + 4
+            if header_end > len(data):
+                return bad(f"truncated frame header at offset {pos}", truncated=True)
+            if data[pos : pos + len(MAGIC)] != MAGIC:
+                return bad(f"bad magic at offset {pos}")
+            (body_len,) = struct.unpack(">I", data[pos + len(MAGIC) : header_end])
+            frame_end = header_end + body_len + 4
+            if frame_end > len(data):
+                return bad(f"truncated frame body at offset {pos}", truncated=True)
+            body = data[header_end : header_end + body_len]
+            (crc,) = struct.unpack(">I", data[frame_end - 4 : frame_end])
+            if zlib.crc32(body) & 0xFFFFFFFF != crc:
+                return bad(f"checksum mismatch at offset {pos}")
+            try:
+                decoded = json.loads(body.decode("utf-8"))
+                record = WalRecord(
+                    seq=int(decoded["seq"]),
+                    kind=str(decoded["kind"]),
+                    payload=decoded["payload"],
+                    offset=pos,
+                )
+            except (KeyError, TypeError, ValueError) as err:
+                return bad(f"undecodable body at offset {pos}: {err}")
+            if expected_seq is not None and record.seq != expected_seq:
+                return bad(
+                    f"sequence break at offset {pos}: "
+                    f"expected {expected_seq}, found {record.seq}"
+                )
+            expected_seq = record.seq + 1
+            records.append(record)
+            pos = frame_end
+        return WalReadResult(records=tuple(records), valid_bytes=pos)
+
+    def records(self, strict: bool = False) -> Tuple[WalRecord, ...]:
+        """The valid record prefix (see :meth:`scan`)."""
+        return self.scan(strict=strict).records
+
+    def __iter__(self) -> Iterator[WalRecord]:
+        return iter(self.records())
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def repair_tail(self) -> int:
+        """Drop any truncated/corrupt tail; returns bytes discarded.
+
+        This is the reopen-after-crash step: everything after the last
+        whole, checksummed record is garbage by definition (the append
+        it belonged to never committed).
+        """
+        scan = self.scan()
+        dropped = len(self.storage) - scan.valid_bytes
+        if dropped:
+            del self.storage[scan.valid_bytes :]
+        return dropped
+
+    def compact(self, keep_from_seq: int) -> int:
+        """Drop records below ``keep_from_seq`` (post-checkpoint GC).
+
+        Sequence numbers keep counting across compaction so monotonicity
+        checks still hold.  Returns the number of records dropped.
+        """
+        scan = self.scan()
+        keep = [r for r in scan.records if r.seq >= keep_from_seq]
+        dropped = len(scan.records) - len(keep)
+        fresh = bytearray()
+        for record in keep:
+            fresh.extend(self.encode(record))
+        del self.storage[:]
+        self.storage.extend(fresh)
+        return dropped
+
+    @property
+    def byte_size(self) -> int:
+        return len(self.storage)
+
+    def digest(self) -> str:
+        """SHA-256 over the valid record prefix (byte-stable)."""
+        scan = self.scan()
+        return hashlib.sha256(bytes(self.storage[: scan.valid_bytes])).hexdigest()

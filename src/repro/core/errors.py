@@ -76,3 +76,61 @@ class TransactionError(ReproError):
         self.ocs_id = ocs_id
         self.attempts = attempts
         self.rolled_back = rolled_back
+
+
+class PartialTransactionError(TransactionError):
+    """A multi-OCS transaction failed with some switches already programmed.
+
+    Raised by :meth:`repro.core.fabric_manager.FabricManager.reconfigure`
+    when one switch's ``apply_plan`` raises mid-transaction.  The manager
+    restores the already-applied switches from the pre-transaction
+    snapshot before raising; ``rolled_back`` reports whether that restore
+    itself succeeded.
+
+    Attributes:
+        applied: switches that had been programmed before the failure
+            (and were restored when ``rolled_back`` is True).
+        unapplied: switches never reached, including the failing one.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        ocs_id=None,
+        applied=(),
+        unapplied=(),
+        rolled_back: bool = False,
+    ) -> None:
+        super().__init__(message, ocs_id=ocs_id, rolled_back=rolled_back)
+        self.applied = tuple(applied)
+        self.unapplied = tuple(unapplied)
+
+
+class WalError(ReproError):
+    """A write-ahead-log record is malformed (bad frame, checksum mismatch)."""
+
+    def __init__(self, message: str = "", *, offset: int = -1) -> None:
+        super().__init__(message)
+        self.offset = offset
+
+
+class RecoveryError(ReproError):
+    """Controller crash recovery could not reach a consistent state."""
+
+
+class ControllerCrash(ReproError):
+    """An injected controller crash (``FaultKind.CONTROLLER_CRASH``).
+
+    Raised at an instrumented crash point inside the durable control
+    plane; drills catch it, then recover from the WAL.
+
+    Attributes:
+        step: the instrumented step index at which the crash fired.
+        label: the crash point's label (e.g. ``wal-append`` / ``hw-apply``).
+    """
+
+    def __init__(self, message: str = "", *, step: int = -1, label: str = "") -> None:
+        super().__init__(message)
+        self.step = step
+        self.label = label

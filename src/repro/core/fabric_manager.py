@@ -14,11 +14,18 @@ lightweight map-only switches in tests.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Tuple
 
 from repro.core.crossconnect import CrossConnectMap
-from repro.core.errors import ConfigurationError, CrossConnectError, TopologyError
+from repro.core.errors import (
+    ConfigurationError,
+    CrossConnectError,
+    PartialTransactionError,
+    TopologyError,
+)
 from repro.core.ids import LinkId, OcsId
 from repro.core.reconfig import ReconfigPlan, ReconfigStats, plan_reconfiguration
 
@@ -150,11 +157,24 @@ class FabricManager:
         return link
 
     def teardown(self, link_id: LinkId) -> None:
-        """Destroy a logical link and its circuit."""
-        link = self._links.pop(link_id, None)
+        """Destroy a logical link and its circuit.
+
+        Validates first, then mutates: the circuit is disconnected before
+        the logical-link record is dropped, so a failure (unknown switch,
+        circuit already gone) leaves the record in place where
+        :meth:`verify_links` and the reconciler can still see the drift.
+        """
+        link = self._links.get(link_id)
         if link is None:
             raise TopologyError(f"unknown link {link_id}")
-        self.switch(link.ocs).state.disconnect(link.north)
+        sw = self.switch(link.ocs)  # may raise; record intentionally kept
+        if sw.state.south_of(link.north) != link.south:
+            raise CrossConnectError(
+                f"{link_id}: circuit N{link.north} -> S{link.south} not present "
+                f"on {link.ocs} (drift); record kept for reconciliation"
+            )
+        sw.state.disconnect(link.north)
+        del self._links[link_id]
 
     def link(self, link_id: LinkId) -> LogicalLink:
         """Look up a logical link by id."""
@@ -187,17 +207,59 @@ class FabricManager:
         """Atomically drive a set of switches to target maps.
 
         All plans are computed first (so a bad target aborts the whole
-        transaction with no partial state), then applied.  Switches
-        reconfigure in parallel in the real system; the returned duration is
+        transaction with no partial state), then applied.  If a switch's
+        ``apply_plan`` raises mid-transaction, every switch already
+        programmed is restored from the pre-transaction snapshot and a
+        :class:`~repro.core.errors.PartialTransactionError` is raised
+        listing the applied and unapplied switches.  Switches reconfigure
+        in parallel in the real system; the returned duration is
         therefore the *maximum* per-switch duration, not the sum.
         """
         plans = self.plan(targets)
+        order = sorted(plans)
+        pre_state = {ocs_id: self.switch(ocs_id).state.copy() for ocs_id in order}
+        applied: List[OcsId] = []
         max_duration = 0.0
-        for ocs_id in sorted(plans):
-            duration = self.apply_switch_plan(ocs_id, plans[ocs_id])
+        for i, ocs_id in enumerate(order):
+            try:
+                duration = self.apply_switch_plan(ocs_id, plans[ocs_id])
+            except Exception as err:
+                rolled_back = self._restore_applied(applied, pre_state)
+                raise PartialTransactionError(
+                    f"programming {ocs_id} raised mid-transaction ({err}); "
+                    f"applied switches {'restored' if rolled_back else 'NOT restored'}",
+                    ocs_id=ocs_id,
+                    applied=applied,
+                    unapplied=order[i:],
+                    rolled_back=rolled_back,
+                ) from err
+            applied.append(ocs_id)
             max_duration = max(max_duration, duration)
         self.drop_stale_links()
         return max_duration
+
+    def _restore_applied(
+        self, applied: List[OcsId], pre_state: Mapping[OcsId, CrossConnectMap]
+    ) -> bool:
+        """Drive already-applied switches back to their pre-transaction maps.
+
+        Returns True when every switch verifiably matches its snapshot
+        again; restore failures are swallowed (the caller is already
+        raising) and reported as ``False``.
+        """
+        ok = True
+        for ocs_id in reversed(applied):
+            sw = self.switch(ocs_id)
+            try:
+                undo = plan_reconfiguration(sw.state, pre_state[ocs_id])
+                if not undo.is_noop:
+                    sw.apply_plan(undo)
+            except Exception:
+                ok = False
+                continue
+            if sw.state != pre_state[ocs_id]:
+                ok = False
+        return ok
 
     def apply_switch_plan(self, ocs_id: OcsId, plan: ReconfigPlan) -> float:
         """Apply one switch's plan and record statistics; returns ms.
@@ -236,3 +298,72 @@ class FabricManager:
             if sw is None or sw.state.south_of(link.north) != link.south:
                 bad.append(link_id)
         return tuple(bad)
+
+    # ------------------------------------------------------------------ #
+    # Durability (checkpoint / restore / digests)
+    # ------------------------------------------------------------------ #
+
+    def replace_links(self, links: Iterable[LogicalLink]) -> None:
+        """Overwrite the logical-link table (recovery / reconciliation).
+
+        Unlike :meth:`establish` this records intent without touching any
+        switch: recovery rebuilds the table from the journal and then
+        drives hardware toward it.
+        """
+        self._links = {link.link_id: link for link in links}
+
+    def checkpoint(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the full control-plane state.
+
+        Captures every switch's circuits and the logical-link table in a
+        canonical (sorted) form; feed it back to :meth:`restore`, or hash
+        it with :meth:`state_digest`.
+        """
+        return {
+            "switches": {
+                str(ocs_id.index): {
+                    "radix": sw.radix,
+                    "circuits": [[n, s] for n, s in sorted(sw.state.circuits)],
+                }
+                for ocs_id, sw in sorted(self._switches.items())
+            },
+            "links": [
+                [str(link.link_id), link.ocs.index, link.north, link.south]
+                for link in (self._links[k] for k in sorted(self._links))
+            ],
+        }
+
+    def restore(self, snapshot: Mapping[str, object]) -> None:
+        """Drive registered switches and the link table to a checkpoint.
+
+        Every switch named in the snapshot must already be registered
+        with a matching radix (devices survive a controller crash; only
+        the controller's volatile state is being restored).  Hardware is
+        moved with hitless plans, so circuits already in the checkpointed
+        position are not disturbed.
+        """
+        switches: Mapping[str, Mapping[str, object]] = snapshot["switches"]  # type: ignore[assignment]
+        for key, entry in sorted(switches.items()):
+            ocs_id = OcsId(int(key))
+            sw = self.switch(ocs_id)
+            if sw.radix != entry["radix"]:
+                raise ConfigurationError(
+                    f"{ocs_id}: checkpoint radix {entry['radix']} != switch "
+                    f"radix {sw.radix}"
+                )
+            target = CrossConnectMap.from_circuits(
+                sw.radix, {int(n): int(s) for n, s in entry["circuits"]}
+            )
+            undo = plan_reconfiguration(sw.state, target)
+            if not undo.is_noop:
+                sw.apply_plan(undo)
+        self.replace_links(
+            LogicalLink(LinkId(str(name)), OcsId(int(ocs)), int(n), int(s))
+            for name, ocs, n, s in snapshot["links"]  # type: ignore[union-attr]
+        )
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical checkpoint: equal digests mean the
+        switch states and link tables are byte-identical."""
+        payload = json.dumps(self.checkpoint(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -116,18 +116,22 @@ class RepairLoop:
                 fired.append(anomaly)
         return fired
 
-    def _spare_qualifies(self, north: int, spare: int) -> bool:
-        """Re-qualify a spare for the prospective circuit (§4.2.3 style).
+    def port_qualifies(self, north: int, south: int) -> bool:
+        """Re-qualify a prospective circuit path (§4.2.3 style).
 
-        The spare's instrument path is graded before carrying production
-        traffic: excess loss over the optics model's expectation (i.e.
-        plant damage on the spare pigtail) beyond ``requalify_fail_db``
-        fails the spare.
+        The path is graded before carrying production traffic: excess
+        loss over the optics model's expectation (i.e. plant damage on
+        the south pigtail) beyond ``requalify_fail_db`` fails it.  Used
+        both for spares about to take traffic and for original ports a
+        quarantined circuit wants to return to.
         """
-        excess = self.measured_loss_db(north, spare) - self.ocs.insertion_loss_db(
-            north, spare
+        excess = self.measured_loss_db(north, south) - self.ocs.insertion_loss_db(
+            north, south
         )
         return excess <= self.requalify_fail_db
+
+    # Backwards-compatible internal alias.
+    _spare_qualifies = port_qualifies
 
     def _select_spare(self, north: int, south: int) -> int:
         """First free spare that passes re-qualification.
@@ -150,6 +154,44 @@ class RepairLoop:
             attempted_spares=attempted,
         )
 
+    def move_circuit(self, north: int, to_south: int, reason: str) -> RepairAction:
+        """Re-land the circuit on ``north`` at ``to_south`` and record it.
+
+        The endpoint fiber moves with the circuit: plant degradation on
+        the old south pigtail stays behind.
+        """
+        south = self.ocs.state.south_of(north)
+        if south is None:
+            raise ConfigurationError(f"north port {north} has no circuit to move")
+        if self.ocs.state.north_of(to_south) is not None:
+            raise ConfigurationError(f"south port {to_south} is busy")
+        before = self.measured_loss_db(north, south)
+        self.ocs.disconnect(north)
+        self.ocs.connect(north, to_south)
+        action = RepairAction(
+            circuit=(north, south),
+            new_circuit=(north, to_south),
+            reason=reason,
+            loss_before_db=before,
+            loss_after_db=self.measured_loss_db(north, to_south),
+        )
+        self.actions.append(action)
+        return action
+
+    def preemptive_move(self, north: int, reason: str = "quarantine") -> RepairAction:
+        """Steer a (still-working) circuit to a re-qualified spare.
+
+        The health watchdog's quarantine path: unlike :meth:`remediate`
+        no anomaly needs to have fired -- the circuit is moved before it
+        degrades into one.  Raises :class:`~repro.core.errors.
+        CapacityError` when the pool has no usable spare.
+        """
+        south = self.ocs.state.south_of(north)
+        if south is None:
+            raise ConfigurationError(f"north port {north} has no circuit to steer")
+        spare = self._select_spare(north, south)
+        return self.move_circuit(north, spare, reason)
+
     def remediate(self, anomaly: Anomaly) -> Optional[RepairAction]:
         """Move the anomalous circuit to a re-qualified spare south port.
 
@@ -159,22 +201,8 @@ class RepairLoop:
         north, south = anomaly.circuit
         if self.ocs.state.south_of(north) != south:
             return None
-        before = self.measured_loss_db(north, south)
         spare = self._select_spare(north, south)
-        self.ocs.disconnect(north)
-        self.ocs.connect(north, spare)
-        # The endpoint fiber moved with the circuit: plant degradation on
-        # the old south pigtail stays behind.
-        after = self.measured_loss_db(north, spare)
-        action = RepairAction(
-            circuit=(north, south),
-            new_circuit=(north, spare),
-            reason=anomaly.kind,
-            loss_before_db=before,
-            loss_after_db=after,
-        )
-        self.actions.append(action)
-        return action
+        return self.move_circuit(north, spare, anomaly.kind)
 
     def run_once(self) -> List[RepairAction]:
         """One scan-and-remediate pass; returns the executed actions."""

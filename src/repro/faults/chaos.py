@@ -15,10 +15,16 @@ The scenarios double as cross-checks between layers:
 - :func:`correlated_hv_batch` exercises the resilient transaction path
   under injected RPC timeouts after a correlated FRU failure burst;
 - :func:`rolling_transceiver_flaps` measures link availability under
-  staggered endpoint optics bounces;
+  staggered endpoint optics bounces -- and, with ``damping=True``, runs
+  the fleet health watchdog's flap-damping/quarantine loop against them,
+  pricing held-out capacity through the §4.2.2 degradation analytic;
 - :func:`repair_race` races the spare-port repair loop against incoming
   fiber pinches until the pool runs dry (a contextful
-  :class:`~repro.core.errors.CapacityError`).
+  :class:`~repro.core.errors.CapacityError`);
+- :func:`controller_crash_recovery` kills the durable controller at
+  every WAL offset of a multi-OCS reconfiguration and checks that
+  recovery + anti-entropy reconciliation converge to byte-identical
+  state digests.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.faults.events import (
     FaultEvent,
     FaultKind,
     circuit_target,
+    controller_target,
     endpoint_target,
     ocs_target,
     schedule_digest,
@@ -49,6 +56,7 @@ from repro.tpu.cube import DIMS
 from repro.tpu.degradation import (
     multi_ocs_step_degradation,
     ocs_dimension,
+    quarantine_step_degradation,
     step_time_degradation,
 )
 from repro.tpu.superpod import NUM_OCSES
@@ -336,6 +344,9 @@ def rolling_transceiver_flaps(
     flap_rate_per_s: float = 1.0 / 120.0,
     flap_duration_s: float = 10.0,
     horizon_s: float = 900.0,
+    damping: bool = False,
+    spares: int = 1,
+    model_name: str = "llm2",
 ) -> ChaosReport:
     """Endpoint optics bounce across a fabric's links, staggered.
 
@@ -343,9 +354,30 @@ def rolling_transceiver_flaps(
     a flap darkens the link for ``flap_duration_s``.  Goodput is the
     fraction of links currently lit, and the metrics summarize flap
     count, time-weighted availability, and the worst concurrent outage.
+
+    With ``damping=True`` the scenario instead runs the fleet health
+    watchdog (:mod:`repro.control.health`) against a single flapping
+    link (bystanders stay quiet): BGP-style flap damping quarantines the
+    circuit once its penalty crosses the suppress threshold, steering it
+    to one of ``spares`` re-qualified spare ports -- or holding it out of
+    service when ``spares=0``, with the capacity loss priced through
+    :func:`repro.tpu.degradation.quarantine_step_degradation` for
+    ``model_name`` -- then releases it after the hold-down once the
+    penalty decays below reuse.  Defaults (``damping=False``) preserve
+    the classic timeline and digest exactly.
     """
     from repro.fabric.lightwave import LightwaveFabric
 
+    if damping:
+        return _rolling_flaps_damped(
+            seed=seed,
+            num_links=num_links,
+            flap_rate_per_s=flap_rate_per_s,
+            flap_duration_s=flap_duration_s,
+            horizon_s=horizon_s,
+            spares=spares,
+            model_name=model_name,
+        )
     injector = FaultInjector(seed=seed)
     fabric = LightwaveFabric()
     fabric.add_ocs(OcsId(0))
@@ -392,6 +424,141 @@ def rolling_transceiver_flaps(
         "flaps": float(flaps),
         "link_availability": up_area / end_s,
         "worst_concurrent_dark": float(worst_dark),
+    }
+    return ChaosReport(
+        scenario="rolling_transceiver_flaps",
+        seed=seed,
+        timeline=tuple(timeline),
+        metrics=metrics,
+        schedule=injector.delivered(),
+    )
+
+
+def _rolling_flaps_damped(
+    seed: int,
+    num_links: int,
+    flap_rate_per_s: float,
+    flap_duration_s: float,
+    horizon_s: float,
+    spares: int,
+    model_name: str,
+) -> ChaosReport:
+    """The ``damping=True`` arm of :func:`rolling_transceiver_flaps`."""
+    from repro.control.health import DampingPolicy, FleetHealthWatchdog
+    from repro.fabric.lightwave import LightwaveFabric
+    from repro.fabric.repair import RepairLoop
+    from repro.ocs.palomar import PALOMAR_USABLE_PORTS
+
+    if num_links < 2:
+        raise ConfigurationError("damped drill needs a bystander: num_links >= 2")
+    if spares < 0:
+        raise ConfigurationError("spares must be non-negative")
+    injector = FaultInjector(seed=seed)
+    fabric = LightwaveFabric()
+    fabric.add_ocs(OcsId(0))
+    device = fabric.ocs(OcsId(0))
+    policy = DampingPolicy()
+    watchdog = FleetHealthWatchdog(policy=policy)
+    loop = RepairLoop(
+        device,
+        spare_south_ports=list(
+            range(PALOMAR_USABLE_PORTS, PALOMAR_USABLE_PORTS + spares)
+        ),
+    )
+    if spares > 0:
+        watchdog.add_repair_loop(0, loop)
+    for j in range(num_links):
+        a, b = f"tx{j}-a", f"tx{j}-b"
+        fabric.add_endpoint(a, 1)
+        fabric.add_endpoint(b, 1)
+        fabric.wire(a, 0, OcsId(0), "N", j)
+        fabric.wire(b, 0, OcsId(0), "S", j)
+        fabric.connect(a, b)
+        watchdog.watch_circuit(0, j, j)
+        watchdog.map_endpoint(endpoint_target(a), 0, j)
+    watchdog.attach(injector)
+    bystander_souths = {j: device.state.south_of(j) for j in range(1, num_links)}
+
+    # One flapping link, deterministic train: the gap is chosen so the
+    # decayed penalty crosses suppress on the third flap (bystanders
+    # never flap -- the drill checks they are never disturbed either).
+    flap_gap_s = max(1.0 / flap_rate_per_s / 8.0, flap_duration_s + 1.0)
+    num_flaps = 4
+    for k in range(num_flaps):
+        injector.schedule(
+            30.0 + k * flap_gap_s,
+            FaultKind.TRANSCEIVER_FLAP,
+            endpoint_target("tx0-a"),
+            clear_after_s=flap_duration_s,
+        )
+
+    model = LLM_ZOO[model_name]
+    plan = ParallelismPlan.for_shape(model, (16, 16, 16))
+    step_model = TrainingStepModel()
+
+    def goodput_now() -> float:
+        frac = watchdog.held_out_fraction(0)
+        if frac == 0.0:
+            return 1.0
+        return 1.0 / (1.0 + quarantine_step_degradation(plan, step_model, 0, frac))
+
+    timeline: List[Tuple[float, float]] = [(0.0, 1.0)]
+    quarantine_t = release_t = -1.0
+    quarantines = steered = released = released_home = 0
+    held_out_max = 0.0
+    goodput_during_quarantine = 1.0
+    now = 0.0
+
+    def act(t: float) -> None:
+        nonlocal quarantine_t, release_t, quarantines, steered
+        nonlocal released, released_home, held_out_max, goodput_during_quarantine
+        for action in watchdog.poll(t):
+            if action.action in ("steer", "hold-out"):
+                quarantines += 1
+                quarantine_t = t if quarantine_t < 0 else quarantine_t
+                steered += 1 if action.action == "steer" else 0
+            else:
+                released += 1
+                released_home += 1 if action.action == "release-home" else 0
+                release_t = t
+        held_out_max = max(held_out_max, watchdog.held_out_fraction(0))
+        g = goodput_now()
+        if watchdog.quarantined():
+            goodput_during_quarantine = min(goodput_during_quarantine, g)
+        timeline.append((t, g))
+
+    while injector.num_pending:
+        event = injector.pop_next()
+        assert event is not None
+        now = event.time_s
+        act(now)
+    # Keep polling past the flap train until the hold-down and penalty
+    # decay release the circuit (bounded by the policy's worst case).
+    deadline = now + policy.hold_down_s + policy.max_suppress_s() + horizon_s
+    poll_gap_s = 15.0
+    while watchdog.quarantined() and now < deadline:
+        now += poll_gap_s
+        act(now)
+    timeline.append((now, goodput_now()))
+
+    bystanders_disturbed = sum(
+        1
+        for j, south in bystander_souths.items()
+        if device.state.south_of(j) != south
+    )
+    metrics = {
+        "links": float(num_links),
+        "flaps": float(num_flaps),
+        "quarantines": float(quarantines),
+        "steered": float(steered),
+        "released": float(released),
+        "released_home": float(released_home),
+        "quarantine_t_s": quarantine_t,
+        "release_t_s": release_t,
+        "bystanders_disturbed": float(bystanders_disturbed),
+        "held_out_max_fraction": held_out_max,
+        "goodput_during_quarantine": goodput_during_quarantine,
+        "final_goodput": timeline[-1][1],
     }
     return ChaosReport(
         scenario="rolling_transceiver_flaps",
@@ -494,6 +661,146 @@ def repair_race(
 
 
 # ---------------------------------------------------------------------- #
+# Scenario: controller crash sweep over a 3-OCS reconfiguration
+# ---------------------------------------------------------------------- #
+
+
+def controller_crash_recovery(
+    seed: int = 0,
+    num_ocses: int = 3,
+    links_per_ocs: int = 6,
+    moved_per_ocs: int = 4,
+) -> ChaosReport:
+    """Kill the durable controller at every step of a reconfiguration.
+
+    One WAL-backed controller (:mod:`repro.control.journal`) establishes
+    ``links_per_ocs`` links on each of ``num_ocses`` switches, then runs
+    a multi-OCS reconfiguration moving ``moved_per_ocs`` circuits per
+    switch.  The drill sweeps a deterministic crash through **every**
+    instrumented step of that transaction -- each WAL append (including
+    the one the crash tears) and each per-switch hardware apply.  After
+    each crash a fresh controller recovers from the surviving WAL bytes
+    and the hardware the dead one left behind; the run checks that
+
+    - :meth:`~repro.core.fabric_manager.FabricManager.verify_links` is
+      empty after recovery (intent == hardware),
+    - the anti-entropy :class:`~repro.control.reconcile.Reconciler`
+      converges with nothing to do,
+    - every crash *after* the commit marker recovers to the one
+      rolled-forward state digest, every crash *before* it to the one
+      rolled-back digest -- byte-determinism across all crash points.
+
+    Goodput is the fraction of links realized after each recovery (1.0
+    at every point, or the drill failed); metrics count the crash
+    points and distinct digests.
+    """
+    from repro.control import CrashSchedule, DurableController, Reconciler, recover
+    from repro.core.crossconnect import CrossConnectMap
+    from repro.core.errors import ControllerCrash
+    from repro.core.fabric_manager import FabricManager
+    from repro.core.ids import LinkId
+    from repro.ocs.palomar import PalomarOcs
+
+    if num_ocses < 1 or links_per_ocs < 1 or not 0 < moved_per_ocs <= links_per_ocs:
+        raise ConfigurationError(
+            "need >=1 OCS, >=1 link, and 0 < moved_per_ocs <= links_per_ocs"
+        )
+    injector = FaultInjector(seed=seed)
+
+    def build() -> FabricManager:
+        mgr = FabricManager()
+        for i in range(num_ocses):
+            mgr.add_switch(OcsId(i), PalomarOcs.build(name=f"crash-ocs{i}", seed=seed + i))
+        return mgr
+
+    def targets_for(mgr: FabricManager) -> Dict[OcsId, CrossConnectMap]:
+        out: Dict[OcsId, CrossConnectMap] = {}
+        for i in range(num_ocses):
+            sw = mgr.switch(OcsId(i))
+            circuits = dict(sw.state.circuits)
+            moved = {
+                n: n + 2 * links_per_ocs for n in sorted(circuits)[:moved_per_ocs]
+            }
+            merged = {n: s for n, s in circuits.items() if n not in moved}
+            merged.update(moved)
+            out[OcsId(i)] = CrossConnectMap.from_circuits(sw.radix, merged)
+        return out
+
+    # Straight-line run: the WAL bytes after adoption, and the digest a
+    # committed transaction must recover to.
+    mgr0 = build()
+    ctl0 = DurableController(manager=mgr0)
+    for i in range(num_ocses):
+        for n in range(links_per_ocs):
+            ctl0.establish(LinkId(f"lk-{i}-{n}"), OcsId(i), n, n + links_per_ocs)
+    wal_after_adopt = bytes(ctl0.wal.storage)
+    ctl0.reconfigure(targets_for(mgr0))
+    committed_digest = ctl0.state_digest()
+    total_links = num_ocses * links_per_ocs
+
+    timeline: List[Tuple[float, float]] = [(0.0, 1.0)]
+    forward_digests: set = set()
+    rollback_digests: set = set()
+    recoveries_ok = 0
+    reconciles_converged = 0
+    tail_bytes_total = 0
+    step = 1
+    while True:
+        mgr = build()
+        storage = bytearray(wal_after_adopt)
+        ctl, _ = recover(mgr, storage)
+        crash = CrashSchedule(at_step=step)
+        ctl.crash = crash
+        ctl.wal.crash = crash
+        try:
+            ctl.reconfigure(targets_for(mgr))
+        except ControllerCrash:
+            injector.schedule(
+                float(step), FaultKind.CONTROLLER_CRASH, controller_target(0),
+                severity=float(step),
+            )
+            injector.pop_next()
+            _, report = recover(mgr, storage)
+            surviving = total_links - len(mgr.verify_links())
+            if surviving == total_links:
+                recoveries_ok += 1
+            if Reconciler(manager=mgr, drop_orphans=False).run().converged:
+                reconciles_converged += 1
+            tail_bytes_total += report.tail_bytes_dropped
+            if report.open_txn == "rolled-forward":
+                forward_digests.add(report.state_digest)
+            else:
+                rollback_digests.add(report.state_digest)
+            timeline.append((float(step), surviving / total_links))
+            step += 1
+            continue
+        break
+
+    crash_points = step - 1
+    metrics = {
+        "crash_points": float(crash_points),
+        "recoveries_ok": float(recoveries_ok),
+        "reconciles_converged": float(reconciles_converged),
+        "forward_digests": float(len(forward_digests)),
+        "rollback_digests": float(len(rollback_digests)),
+        "forward_matches_committed": float(
+            forward_digests in ({committed_digest}, set())
+        ),
+        "tail_bytes_dropped": float(tail_bytes_total),
+        "deterministic": float(
+            len(forward_digests) <= 1 and len(rollback_digests) <= 1
+        ),
+    }
+    return ChaosReport(
+        scenario="controller_crash_recovery",
+        seed=seed,
+        timeline=tuple(timeline),
+        metrics=metrics,
+        schedule=injector.delivered(),
+    )
+
+
+# ---------------------------------------------------------------------- #
 # Registry
 # ---------------------------------------------------------------------- #
 
@@ -504,6 +811,7 @@ SCENARIOS: Dict[str, Scenario] = {
     "correlated_hv_batch": correlated_hv_batch,
     "rolling_transceiver_flaps": rolling_transceiver_flaps,
     "repair_race": repair_race,
+    "controller_crash_recovery": controller_crash_recovery,
 }
 
 #: Fast parameterizations for CI smoke runs (< 30 s altogether).
@@ -512,6 +820,7 @@ SMOKE_KWARGS: Dict[str, Dict[str, float]] = {
     "correlated_hv_batch": {"num_ocses": 2, "circuits_per_ocs": 2},
     "rolling_transceiver_flaps": {"num_links": 4, "horizon_s": 300.0},
     "repair_race": {"num_circuits": 4, "horizon_s": 300.0},
+    "controller_crash_recovery": {"num_ocses": 2, "links_per_ocs": 4},
 }
 
 

@@ -45,6 +45,8 @@ class FaultKind(enum.Enum):
     CUBE_POWER_LOSS = "cube-power-loss"
     #: A control-plane programming RPC times out.
     RPC_TIMEOUT = "rpc-timeout"
+    #: The fabric-manager controller process dies (volatile state lost).
+    CONTROLLER_CRASH = "controller-crash"
 
 
 ParamValue = Union[int, float, str, bool]
@@ -144,6 +146,11 @@ def endpoint_target(name: str) -> str:
     return f"endpoint-{name}"
 
 
+def controller_target(index: int = 0) -> str:
+    """Target id for a fabric-manager controller instance."""
+    return f"controller-{index}"
+
+
 def target_index(target: str) -> int:
     """The integer index of a top-level target (``ocs-3`` -> 3)."""
     head = target.split("/", 1)[0]
@@ -200,6 +207,7 @@ DEFAULT_CLEAR_S: Mapping[FaultKind, float] = {
     FaultKind.TRANSCEIVER_FLAP: 10.0,
     FaultKind.HOST_CRASH: 3600.0,
     FaultKind.CUBE_POWER_LOSS: 4 * 3600.0,
+    FaultKind.CONTROLLER_CRASH: 60.0,
 }
 
 

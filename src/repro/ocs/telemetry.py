@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 from repro.ocs.optics_model import INSERTION_LOSS_MAX_DB
 
@@ -48,8 +48,18 @@ class OcsTelemetry:
     _loss_history_db: Dict[Tuple[int, int], Deque[float]] = field(
         default_factory=dict, repr=False
     )
-    _anomalies: List[Anomaly] = field(default_factory=list, repr=False)
+    #: Latest anomaly per (circuit, kind) -- repeats of the same anomaly
+    #: replace the stored instance and bump its count instead of growing
+    #: the list without bound (a flapping circuit can fire thousands).
+    _anomalies: Dict[Tuple[Tuple[int, int], str], Anomaly] = field(
+        default_factory=dict, repr=False
+    )
+    _anomaly_counts: Dict[Tuple[Tuple[int, int], str], int] = field(
+        default_factory=dict, repr=False
+    )
     history_depth: int = 64
+    #: Cap on distinct retained (circuit, kind) anomalies; oldest evicted.
+    max_anomalies: int = 1024
 
     # ------------------------------------------------------------------ #
     # Recording hooks (called by the device)
@@ -65,6 +75,10 @@ class OcsTelemetry:
         self.disconnects += 1
         self._loss_baseline_db.pop((north, south), None)
         self._loss_history_db.pop((north, south), None)
+        # The circuit is gone: its current anomalies are stale.  Counts
+        # survive -- flap frequency outlives any one landing.
+        for key in [k for k in self._anomalies if k[0] == (north, south)]:
+            del self._anomalies[key]
 
     def record_reconfig(self, plan, duration_ms: float) -> None:
         self.reconfig_transactions += 1
@@ -104,12 +118,32 @@ class OcsTelemetry:
                 f"loss {loss_db:.2f} dB drifted {loss_db - baseline:.2f} dB over baseline",
             )
         if anomaly is not None:
-            self._anomalies.append(anomaly)
+            key = (circuit, anomaly.kind)
+            if key not in self._anomalies and len(self._anomalies) >= self.max_anomalies:
+                oldest = next(iter(self._anomalies))
+                self._anomalies.pop(oldest)
+            self._anomalies.pop(key, None)  # refresh insertion order
+            self._anomalies[key] = anomaly
+            self._anomaly_counts[key] = self._anomaly_counts.get(key, 0) + 1
         return anomaly
 
     @property
     def anomalies(self) -> Tuple[Anomaly, ...]:
-        return tuple(self._anomalies)
+        """Distinct current anomalies, one per (circuit, kind), oldest first."""
+        return tuple(self._anomalies.values())
+
+    def anomaly_count(self, north: int, south: int, kind: Optional[str] = None) -> int:
+        """Observations of anomalies on one circuit (flap-frequency feed).
+
+        Counts every firing, including repeats the dedup collapsed; with
+        ``kind=None`` sums across kinds.
+        """
+        circuit = (north, south)
+        return sum(
+            count
+            for (key_circuit, key_kind), count in self._anomaly_counts.items()
+            if key_circuit == circuit and (kind is None or key_kind == kind)
+        )
 
     @property
     def mean_alignment_iterations(self) -> float:

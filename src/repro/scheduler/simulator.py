@@ -21,7 +21,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -86,6 +86,12 @@ class SchedulerSimulation:
             injector's subscribers and otherwise ignored here.
         warmup_s: utilization accounting starts here (skips the initial
             pod-filling ramp).
+        fabric_slowdown: optional hook sampled when each job starts,
+            returning the fractional step-time increase the fabric's
+            current health imposes (e.g. :func:`repro.tpu.degradation.
+            quarantine_step_degradation` of the watchdog's held-out
+            fraction).  The job's runtime is stretched by ``1 + value``.
+            None preserves the classic behavior (and digests) exactly.
     """
 
     allocator: object
@@ -95,6 +101,7 @@ class SchedulerSimulation:
     warmup_s: float = 0.0
     seed: int = 0
     injector: Optional[FaultInjector] = None
+    fabric_slowdown: Optional[Callable[[], float]] = None
 
     def run(self, trace: List[JobRequest]) -> SchedulerMetrics:
         if not trace:
@@ -146,7 +153,13 @@ class SchedulerSimulation:
             running[job.job_id] = job
             start_times[job.job_id] = t
             metrics.waits_s.append(t - job.arrival_s)
-            push(t + job.duration_s, _DEPARTURE, job)
+            duration = job.duration_s
+            if self.fabric_slowdown is not None:
+                slowdown = self.fabric_slowdown()
+                if slowdown < 0:
+                    raise ConfigurationError("fabric_slowdown must be >= 0")
+                duration *= 1.0 + slowdown
+            push(t + duration, _DEPARTURE, job)
             nonlocal busy_cubes
             busy_cubes += job.cubes
             return True

@@ -146,6 +146,36 @@ def step_time_degradation(
     return degraded / healthy - 1.0
 
 
+def quarantine_step_degradation(
+    model_plan: ParallelismPlan,
+    step_model: TrainingStepModel,
+    quarantined_axis: int,
+    held_out_fraction: float,
+) -> float:
+    """Fractional step-time increase from health-driven quarantine.
+
+    The fleet watchdog (:class:`repro.control.health.FleetHealthWatchdog`)
+    holds circuits out of service when it cannot steer them to spares;
+    ``held_out_fraction`` is the fraction of the quarantining OCS's
+    circuits that are dark.  The OCS carries 1/16 of the axis's links, so
+    the axis keeps ``1 - fraction/16`` of its bandwidth.  At fraction 1.0
+    (the whole OCS dark) this equals :func:`step_time_degradation`
+    exactly -- quarantine of everything is a failure.
+    """
+    if quarantined_axis not in (0, 1, 2):
+        raise ConfigurationError("axis must be 0, 1, or 2")
+    if not 0.0 <= held_out_fraction <= 1.0:
+        raise ConfigurationError("held_out_fraction must be in [0, 1]")
+    if held_out_fraction == 0.0:
+        return 0.0
+    healthy = step_model.step_time_s(model_plan)
+    scale = [1.0, 1.0, 1.0]
+    scale[quarantined_axis] = 1.0 - held_out_fraction * LINKS_PER_OCS_FRACTION
+    degraded_model = replace(step_model, dim_bandwidth_scale=tuple(scale))
+    degraded = degraded_model.step_time_s(model_plan)
+    return degraded / healthy - 1.0
+
+
 def worst_case_step_degradation(
     model_plan: ParallelismPlan, step_model: TrainingStepModel
 ) -> Tuple[int, float]:

@@ -1,0 +1,209 @@
+"""Tests for repro.control.health (flap damping, quarantine, release)."""
+
+import pytest
+
+from repro.control.health import CircuitHealth, DampingPolicy, FleetHealthWatchdog
+from repro.core.errors import ConfigurationError
+from repro.fabric.repair import RepairLoop
+from repro.faults.events import FaultKind, endpoint_target
+from repro.faults.injector import FaultInjector
+from repro.ocs.palomar import PALOMAR_USABLE_PORTS, PalomarOcs
+from repro.ocs.telemetry import Anomaly
+
+POLICY = DampingPolicy(
+    flap_penalty=1000.0,
+    anomaly_penalty=600.0,
+    suppress_threshold=2500.0,
+    reuse_threshold=800.0,
+    half_life_s=60.0,
+    max_penalty=8000.0,
+    hold_down_s=120.0,
+)
+
+
+@pytest.fixture
+def ocs():
+    device = PalomarOcs.build(name="health", seed=7)
+    for j in range(4):
+        device.connect(j, j)
+    return device
+
+
+@pytest.fixture
+def loop(ocs):
+    return RepairLoop(ocs, spare_south_ports=[PALOMAR_USABLE_PORTS])
+
+
+@pytest.fixture
+def dog(ocs, loop):
+    w = FleetHealthWatchdog(policy=POLICY)
+    for j in range(4):
+        w.watch_circuit(0, j, j)
+    w.add_repair_loop(0, loop)
+    return w
+
+
+class TestDampingPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DampingPolicy(reuse_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            DampingPolicy(reuse_threshold=3000.0, suppress_threshold=2500.0)
+        with pytest.raises(ConfigurationError):
+            DampingPolicy(suppress_threshold=9000.0, max_penalty=8000.0)
+        with pytest.raises(ConfigurationError):
+            DampingPolicy(half_life_s=0.0)
+
+    def test_exponential_decay(self):
+        assert POLICY.decayed(1000.0, 60.0) == pytest.approx(500.0)
+        assert POLICY.decayed(1000.0, 120.0) == pytest.approx(250.0)
+        assert POLICY.decayed(1000.0, 0.0) == 1000.0
+
+    def test_max_suppress_bounded(self):
+        # From the ceiling, penalty reaches reuse in a bounded time.
+        t = POLICY.max_suppress_s()
+        assert POLICY.decayed(POLICY.max_penalty, t) == pytest.approx(
+            POLICY.reuse_threshold
+        )
+
+
+class TestPenaltyAccounting:
+    def test_flaps_accumulate_with_decay(self, dog):
+        assert dog.observe_flap(0, 0, 0.0) == pytest.approx(1000.0)
+        assert dog.observe_flap(0, 0, 60.0) == pytest.approx(1500.0)
+        assert dog.penalty(0, 0, 120.0) == pytest.approx(750.0)
+
+    def test_penalty_capped(self, dog):
+        for k in range(20):
+            dog.observe_flap(0, 0, float(k))
+        assert dog.penalty(0, 0, 19.0) <= POLICY.max_penalty
+
+    def test_anomaly_charges_its_own_penalty(self, dog):
+        anomaly = Anomaly(circuit=(1, 1), kind="loss-drift", detail="x")
+        assert dog.observe_anomaly(0, anomaly, 0.0) == pytest.approx(600.0)
+
+    def test_unwatched_circuit_rejected(self, dog):
+        with pytest.raises(ConfigurationError):
+            dog.observe_flap(0, 99, 0.0)
+        with pytest.raises(ConfigurationError):
+            dog.watch_circuit(0, 0, 0)  # duplicate
+
+    def test_injector_attach_feeds_flaps(self, dog):
+        injector = FaultInjector(seed=0)
+        dog.map_endpoint(endpoint_target("tx0-a"), 0, 0)
+        dog.attach(injector)
+        injector.schedule(
+            5.0, FaultKind.TRANSCEIVER_FLAP, endpoint_target("tx0-a"),
+            clear_after_s=1.0,
+        )
+        injector.pop_next()  # flap edge
+        injector.pop_next()  # recovery edge (ignored)
+        assert dog.penalty(0, 0, 5.0) == pytest.approx(1000.0)
+        assert dog.circuit(0, 0).flaps == 1
+
+
+class TestQuarantine:
+    def flap_to_suppress(self, dog, t0=0.0):
+        """Three rapid flaps push the penalty past suppress."""
+        for k in range(3):
+            dog.observe_flap(0, 0, t0 + k * 1.0)
+
+    def test_quarantine_steers_to_spare(self, dog, ocs):
+        self.flap_to_suppress(dog)
+        (action,) = dog.poll(3.0)
+        assert action.action == "steer"
+        assert ocs.state.south_of(0) == PALOMAR_USABLE_PORTS
+        assert dog.quarantined() == ((0, 0),)
+        assert dog.held_out() == ()  # capacity preserved
+
+    def test_bystanders_untouched(self, dog, ocs):
+        self.flap_to_suppress(dog)
+        dog.poll(3.0)
+        for j in range(1, 4):
+            assert ocs.state.south_of(j) == j
+
+    def test_hold_out_when_pool_dry(self, ocs):
+        w = FleetHealthWatchdog(policy=POLICY)
+        for j in range(4):
+            w.watch_circuit(0, j, j)
+        w.add_repair_loop(0, RepairLoop(ocs, spare_south_ports=[]))
+        for k in range(3):
+            w.observe_flap(0, 0, float(k))
+        (action,) = w.poll(3.0)
+        assert action.action == "hold-out"
+        assert w.held_out() == ((0, 0),)
+        assert w.held_out_fraction(0) == pytest.approx(0.25)
+        assert ocs.state.south_of(0) == 0  # nothing moved
+
+    def test_no_double_quarantine(self, dog):
+        self.flap_to_suppress(dog)
+        assert len(dog.poll(3.0)) == 1
+        assert dog.poll(4.0) == []  # already quarantined
+
+    def test_below_suppress_never_quarantines(self, dog):
+        dog.observe_flap(0, 0, 0.0)
+        dog.observe_flap(0, 0, 1.0)  # 2000 < 2500
+        assert dog.poll(2.0) == []
+
+
+class TestRelease:
+    def arm(self, dog):
+        for k in range(3):
+            dog.observe_flap(0, 0, float(k))
+        dog.poll(3.0)
+
+    def test_release_waits_for_hold_down_and_decay(self, dog):
+        self.arm(dog)
+        # Penalty ~2832 at t=3; reaches reuse (800) after ~110 s of decay,
+        # but the hold-down keeps it quarantined until t >= 123.
+        assert dog.poll(100.0) == []
+        actions = dog.poll(3.0 + POLICY.hold_down_s + 120.0)
+        assert [a.action for a in actions] == ["release-home"]
+        assert dog.quarantined() == ()
+
+    def test_release_home_restores_original_port(self, dog, ocs):
+        self.arm(dog)
+        assert ocs.state.south_of(0) == PALOMAR_USABLE_PORTS
+        dog.poll(400.0)
+        assert ocs.state.south_of(0) == 0
+        assert dog.circuit(0, 0).steered_to is None
+
+    def test_release_stays_on_spare_when_home_fails_requalification(
+        self, dog, ocs, loop
+    ):
+        self.arm(dog)
+        loop.degrade_south_port(0, loop.requalify_fail_db + 2.0)  # home plant bad
+        (action,) = dog.poll(400.0)
+        assert action.action == "release"
+        assert ocs.state.south_of(0) == PALOMAR_USABLE_PORTS  # stays put
+        assert dog.quarantined() == ()
+
+    def test_held_out_release_requires_requalification(self, ocs):
+        dry = RepairLoop(ocs, spare_south_ports=[])
+        w = FleetHealthWatchdog(policy=POLICY)
+        w.watch_circuit(0, 0, 0)
+        w.add_repair_loop(0, dry)
+        for k in range(3):
+            w.observe_flap(0, 0, float(k))
+        w.poll(3.0)
+        dry.degrade_south_port(0, dry.requalify_fail_db + 2.0)
+        assert w.poll(400.0) == []  # still dark: plant fails grading
+        assert w.held_out_fraction() == pytest.approx(1.0)
+
+    def test_actions_audit_trail(self, dog):
+        self.arm(dog)
+        dog.poll(400.0)
+        assert [a.action for a in dog.actions] == ["steer", "release-home"]
+        assert all(a.key == (0, 0) for a in dog.actions)
+
+
+class TestCapacityFeeds:
+    def test_fraction_scopes(self, dog):
+        assert dog.held_out_fraction() == 0.0
+        assert dog.held_out_fraction(ocs_index=5) == 0.0  # nothing watched there
+
+    def test_state_objects_exposed(self, dog):
+        state = dog.circuit(0, 2)
+        assert isinstance(state, CircuitHealth)
+        assert (state.south, state.home_south) == (2, 2)
+        assert not state.quarantined

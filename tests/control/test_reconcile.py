@@ -1,0 +1,147 @@
+"""Tests for repro.control.reconcile (anti-entropy drift repair)."""
+
+import pytest
+
+from repro.control import Drift, DriftKind, Reconciler
+from repro.core.fabric_manager import FabricManager, SimpleSwitch
+from repro.core.ids import LinkId, OcsId
+from repro.faults.events import FaultKind, ocs_target
+from repro.faults.injector import FaultInjector
+from repro.faults.resilience import ControlPlaneFaults, RetryPolicy
+
+RADIX = 16
+
+
+@pytest.fixture
+def mgr():
+    m = FabricManager()
+    m.add_switch(OcsId(0), SimpleSwitch(RADIX))
+    m.add_switch(OcsId(1), SimpleSwitch(RADIX))
+    m.establish(LinkId("a"), OcsId(0), 0, 8)
+    m.establish(LinkId("b"), OcsId(0), 1, 9)
+    m.establish(LinkId("c"), OcsId(1), 0, 8)
+    return m
+
+
+@pytest.fixture
+def rec(mgr):
+    return Reconciler(manager=mgr)
+
+
+class TestDiff:
+    def test_clean_fabric_has_no_drift(self, rec):
+        assert rec.diff() == ()
+
+    def test_missing_circuit(self, mgr, rec):
+        mgr.switch(OcsId(0)).state.disconnect(0)
+        (drift,) = rec.diff()
+        assert drift.kind is DriftKind.MISSING_CIRCUIT
+        assert drift.link_id == LinkId("a")
+        assert (drift.north, drift.want_south, drift.have_south) == (0, 8, None)
+
+    def test_wrong_peer(self, mgr, rec):
+        state = mgr.switch(OcsId(0)).state
+        state.disconnect(0)
+        state.connect(0, 12)
+        (drift,) = rec.diff()
+        assert drift.kind is DriftKind.WRONG_PEER
+        assert (drift.want_south, drift.have_south) == (8, 12)
+
+    def test_orphan_circuit(self, mgr, rec):
+        mgr.switch(OcsId(1)).state.connect(5, 13)
+        (drift,) = rec.diff()
+        assert drift.kind is DriftKind.ORPHAN_CIRCUIT
+        assert drift.link_id is None
+        assert (drift.ocs, drift.north, drift.have_south) == (OcsId(1), 5, 13)
+
+    def test_str_is_informative(self, mgr, rec):
+        mgr.switch(OcsId(0)).state.disconnect(0)
+        text = str(rec.diff()[0])
+        assert "missing-circuit" in text and "want S8" in text
+
+
+class TestRepair:
+    def test_missing_circuit_restored(self, mgr, rec):
+        mgr.switch(OcsId(0)).state.disconnect(0)
+        report = rec.run()
+        assert report.converged
+        assert report.rounds == 1
+        assert mgr.switch(OcsId(0)).state.south_of(0) == 8
+        assert mgr.verify_links() == ()
+
+    def test_wrong_peer_rehomed_without_touching_bystanders(self, mgr, rec):
+        state = mgr.switch(OcsId(0)).state
+        state.disconnect(0)
+        state.connect(0, 12)
+        report = rec.run()
+        assert report.converged
+        assert state.south_of(0) == 8
+        assert state.south_of(1) == 9  # bystander on the same switch
+        assert mgr.switch(OcsId(1)).state.south_of(0) == 8  # other switch
+        # Only the drifted circuit was disturbed.
+        assert report.repaired_circuits <= 2
+
+    def test_orphans_dropped_by_default(self, mgr, rec):
+        mgr.switch(OcsId(1)).state.connect(5, 13)
+        report = rec.run()
+        assert report.converged
+        assert mgr.switch(OcsId(1)).state.south_of(5) is None
+
+    def test_orphans_kept_when_configured(self, mgr):
+        rec = Reconciler(manager=mgr, drop_orphans=False)
+        mgr.switch(OcsId(1)).state.connect(5, 13)
+        report = rec.run()
+        assert report.converged  # nothing actionable remains
+        assert report.rounds == 0
+        assert mgr.switch(OcsId(1)).state.south_of(5) == 13  # left in place
+        assert len(rec.diff()) == 1  # still reported
+
+    def test_untouched_switch_not_in_targets(self, mgr, rec):
+        mgr.switch(OcsId(0)).state.disconnect(0)
+        targets = rec.repair_targets(rec.diff())
+        assert set(targets) == {OcsId(0)}
+
+    def test_multi_switch_drift_repaired_in_one_round(self, mgr, rec):
+        mgr.switch(OcsId(0)).state.disconnect(0)
+        mgr.switch(OcsId(1)).state.disconnect(0)
+        report = rec.run()
+        assert report.converged and report.rounds == 1
+        assert mgr.verify_links() == ()
+
+    def test_initial_drifts_recorded(self, mgr, rec):
+        mgr.switch(OcsId(0)).state.disconnect(0)
+        report = rec.run()
+        assert len(report.initial_drifts) == 1
+        assert isinstance(report.initial_drifts[0], Drift)
+
+
+class TestRepairUnderFaults:
+    def test_rpc_timeouts_absorbed_by_retries(self, mgr):
+        injector = FaultInjector(seed=3)
+        faults = ControlPlaneFaults().attach(injector)
+        injector.schedule(0.0, FaultKind.RPC_TIMEOUT, ocs_target(0), severity=2.0)
+        injector.pop_next()
+        mgr.switch(OcsId(0)).state.disconnect(0)
+        rec = Reconciler(
+            manager=mgr, policy=RetryPolicy(max_retries=4), faults=faults, seed=3
+        )
+        report = rec.run()
+        assert report.converged
+        assert report.rollbacks == 0
+        assert mgr.verify_links() == ()
+
+    def test_exhausted_retries_roll_back_and_retry_next_round(self, mgr):
+        injector = FaultInjector(seed=3)
+        faults = ControlPlaneFaults().attach(injector)
+        injector.schedule(0.0, FaultKind.RPC_TIMEOUT, ocs_target(0), severity=2.0)
+        injector.pop_next()
+        mgr.switch(OcsId(0)).state.disconnect(0)
+        rec = Reconciler(
+            manager=mgr, policy=RetryPolicy(max_retries=1), faults=faults, seed=3
+        )
+        report = rec.run()
+        # First round exhausts retries and rolls back; a later round
+        # (timeouts spent) lands the repair.
+        assert report.rollbacks >= 1
+        assert report.converged
+        assert mgr.verify_links() == ()

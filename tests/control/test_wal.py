@@ -1,0 +1,173 @@
+"""Tests for repro.control.wal (framing, tail repair, crash schedules)."""
+
+import struct
+
+import pytest
+
+from repro.control.wal import FRAME_OVERHEAD, MAGIC, CrashSchedule, WalRecord, WriteAheadLog
+from repro.core.errors import ConfigurationError, ControllerCrash, WalError
+
+
+@pytest.fixture
+def wal():
+    return WriteAheadLog()
+
+
+class TestFraming:
+    def test_append_assigns_monotonic_seq(self, wal):
+        r0 = wal.append("op", {"x": 1})
+        r1 = wal.append("op", {"x": 2})
+        assert (r0.seq, r1.seq) == (0, 1)
+        assert [r.seq for r in wal] == [0, 1]
+
+    def test_frame_layout(self, wal):
+        record = wal.append("op", {"x": 1})
+        body = record.body()
+        frame = bytes(wal.storage)
+        assert frame[:2] == MAGIC
+        assert struct.unpack(">I", frame[2:6])[0] == len(body)
+        assert len(frame) == len(body) + FRAME_OVERHEAD
+
+    def test_roundtrip_payload(self, wal):
+        wal.append("op", {"op": "establish", "north": 3, "south": 41})
+        (record,) = wal.records()
+        assert record.kind == "op"
+        assert record.payload == {"op": "establish", "north": 3, "south": 41}
+
+    def test_offsets_recorded(self, wal):
+        r0 = wal.append("op", {})
+        r1 = wal.append("op", {})
+        scanned = wal.records()
+        assert scanned[0].offset == r0.offset == 0
+        assert scanned[1].offset == r1.offset > 0
+
+    def test_reopen_continues_sequence(self, wal):
+        wal.append("op", {"x": 1})
+        wal.append("op", {"x": 2})
+        reopened = WriteAheadLog(wal.storage)
+        r = reopened.append("op", {"x": 3})
+        assert r.seq == 2
+
+    def test_digest_stable_and_sensitive(self, wal):
+        wal.append("op", {"x": 1})
+        other = WriteAheadLog()
+        other.append("op", {"x": 1})
+        assert wal.digest() == other.digest()
+        other.append("op", {"x": 2})
+        assert wal.digest() != other.digest()
+
+
+class TestTailDiagnosis:
+    def test_truncated_final_record_is_dropped(self, wal):
+        wal.append("op", {"x": 1})
+        keep = len(wal.storage)
+        wal.append("op", {"x": 2})
+        del wal.storage[keep + 5 :]  # torn mid-frame
+        scan = wal.scan()
+        assert scan.truncated and not scan.corrupt
+        assert len(scan.records) == 1
+        assert wal.repair_tail() == 5
+        assert len(wal.storage) == keep
+
+    def test_checksum_mismatch_is_corrupt(self, wal):
+        wal.append("op", {"x": 1})
+        keep = len(wal.storage)
+        wal.append("op", {"x": 2})
+        wal.storage[keep + 8] ^= 0xFF  # flip a body byte
+        scan = wal.scan()
+        assert scan.corrupt and not scan.truncated
+        assert "checksum" in scan.detail
+        assert len(scan.records) == 1
+
+    def test_strict_raises_on_corrupt_not_truncated(self, wal):
+        wal.append("op", {"x": 1})
+        keep = len(wal.storage)
+        wal.append("op", {"x": 2})
+        wal.storage[keep + 8] ^= 0xFF
+        with pytest.raises(WalError) as exc:
+            wal.records(strict=True)
+        assert exc.value.offset == keep
+        del wal.storage[keep + 9 :]  # now merely truncated
+        wal.storage[keep + 8] ^= 0xFF
+        assert len(wal.records(strict=True)) == 1
+
+    def test_bad_magic_is_corrupt(self, wal):
+        wal.append("op", {"x": 1})
+        wal.storage[0] ^= 0xFF
+        scan = wal.scan()
+        assert scan.corrupt
+        assert scan.records == ()
+
+    def test_sequence_break_detected(self, wal):
+        wal.append("op", {"x": 1})
+        rogue = WriteAheadLog.encode(WalRecord(seq=7, kind="op", payload={}))
+        wal.storage.extend(rogue)
+        scan = wal.scan()
+        assert scan.corrupt and "sequence" in scan.detail
+        assert len(scan.records) == 1
+
+    def test_repair_tail_noop_on_clean_log(self, wal):
+        wal.append("op", {"x": 1})
+        assert wal.repair_tail() == 0
+
+
+class TestCompaction:
+    def test_compact_drops_below_seq_and_keeps_numbering(self, wal):
+        for i in range(5):
+            wal.append("op", {"i": i})
+        assert wal.compact(keep_from_seq=3) == 3
+        assert [r.seq for r in wal] == [3, 4]
+        assert wal.append("op", {}).seq == 5
+
+    def test_compact_everything(self, wal):
+        wal.append("op", {})
+        wal.compact(keep_from_seq=10)
+        assert wal.byte_size == 0
+        assert wal.append("op", {}).seq == 1  # seq survives emptiness
+
+
+class TestCrashSchedule:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CrashSchedule(at_step=0)
+        with pytest.raises(ConfigurationError):
+            CrashSchedule(torn_bytes=-1)
+
+    def test_fires_once_at_step(self):
+        crash = CrashSchedule(at_step=2)
+        crash.step("a")
+        with pytest.raises(ControllerCrash) as exc:
+            crash.step("b")
+        assert exc.value.step == 2
+        assert exc.value.label == "b"
+        assert crash.fired_label == "b"
+        crash.step("c")  # disarmed after firing
+
+    def test_append_crash_lands_nothing_by_default(self):
+        crash = CrashSchedule(at_step=1)
+        wal = WriteAheadLog(crash=crash)
+        with pytest.raises(ControllerCrash):
+            wal.append("op", {"x": 1})
+        assert wal.byte_size == 0
+
+    def test_torn_write_lands_prefix(self):
+        crash = CrashSchedule(at_step=1, torn_bytes=7)
+        wal = WriteAheadLog(crash=crash)
+        with pytest.raises(ControllerCrash):
+            wal.append("op", {"x": 1})
+        assert wal.byte_size == 7
+        assert wal.scan().truncated
+        assert wal.repair_tail() == 7
+
+    def test_torn_bytes_never_land_whole_frame(self):
+        crash = CrashSchedule(at_step=1, torn_bytes=10_000)
+        wal = WriteAheadLog(crash=crash)
+        with pytest.raises(ControllerCrash):
+            wal.append("op", {"x": 1})
+        assert wal.scan().truncated  # strictly less than the full frame
+        assert wal.records() == ()
+
+    def test_no_schedule_is_free(self):
+        wal = WriteAheadLog()
+        wal.append("op", {})
+        assert len(wal) == 1

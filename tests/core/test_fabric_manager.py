@@ -3,9 +3,28 @@
 import pytest
 
 from repro.core.crossconnect import CrossConnectMap
-from repro.core.errors import ConfigurationError, CrossConnectError, TopologyError
+from repro.core.errors import (
+    ConfigurationError,
+    CrossConnectError,
+    PartialTransactionError,
+    TopologyError,
+)
 from repro.core.fabric_manager import FabricManager, SimpleSwitch
 from repro.core.ids import LinkId, OcsId
+
+
+class FlakySwitch(SimpleSwitch):
+    """A switch whose apply_plan raises on command (programming fault)."""
+
+    def __init__(self, radix: int):
+        super().__init__(radix)
+        self.fail_next = False
+
+    def apply_plan(self, plan):
+        if self.fail_next:
+            self.fail_next = False
+            raise RuntimeError("injected programming failure")
+        return super().apply_plan(plan)
 
 
 @pytest.fixture
@@ -115,3 +134,100 @@ class TestTransactions:
         snap = mgr.snapshot()
         snap[OcsId(0)].disconnect(0)
         assert mgr.switch(OcsId(0)).state.south_of(0) == 5
+
+
+class TestPartialTransactionRollback:
+    @pytest.fixture
+    def flaky_mgr(self):
+        m = FabricManager()
+        for i in range(3):
+            m.add_switch(OcsId(i), FlakySwitch(8))
+            m.establish(LinkId(f"l{i}"), OcsId(i), 0, 4)
+        return m
+
+    def test_failure_on_second_switch_restores_first(self, flaky_mgr):
+        targets = {
+            OcsId(i): CrossConnectMap.from_circuits(8, {0: 5}) for i in range(3)
+        }
+        flaky_mgr.switch(OcsId(1)).fail_next = True
+        with pytest.raises(PartialTransactionError) as exc:
+            flaky_mgr.reconfigure(targets)
+        err = exc.value
+        assert err.ocs_id == OcsId(1)
+        assert err.applied == (OcsId(0),)
+        assert err.unapplied == (OcsId(1), OcsId(2))
+        assert err.rolled_back
+        # Every switch is back at its pre-transaction state: no partial
+        # application survives, and the link table still verifies clean.
+        for i in range(3):
+            assert flaky_mgr.switch(OcsId(i)).state.south_of(0) == 4
+        assert flaky_mgr.verify_links() == ()
+
+    def test_failure_on_first_switch_rolls_nothing(self, flaky_mgr):
+        targets = {OcsId(0): CrossConnectMap.from_circuits(8, {0: 5})}
+        flaky_mgr.switch(OcsId(0)).fail_next = True
+        with pytest.raises(PartialTransactionError) as exc:
+            flaky_mgr.reconfigure(targets)
+        assert exc.value.applied == ()
+        assert exc.value.rolled_back  # vacuously restored
+        assert flaky_mgr.switch(OcsId(0)).state.south_of(0) == 4
+
+    def test_chains_original_cause(self, flaky_mgr):
+        flaky_mgr.switch(OcsId(0)).fail_next = True
+        with pytest.raises(PartialTransactionError) as exc:
+            flaky_mgr.reconfigure({OcsId(0): CrossConnectMap.from_circuits(8, {0: 5})})
+        assert isinstance(exc.value.__cause__, RuntimeError)
+
+
+class TestTeardownValidatesFirst:
+    def test_drifted_circuit_keeps_record(self, mgr):
+        mgr.establish(LinkId("x"), OcsId(0), 0, 5)
+        state = mgr.switch(OcsId(0)).state
+        state.disconnect(0)
+        state.connect(0, 6)  # out-of-band drift to the wrong peer
+        with pytest.raises(CrossConnectError):
+            mgr.teardown(LinkId("x"))
+        # The record survives for the reconciler, and the wrong-peer
+        # circuit was not torn down blindly.
+        assert mgr.link(LinkId("x")).south == 5
+        assert state.south_of(0) == 6
+        assert mgr.verify_links() == (LinkId("x"),)
+
+    def test_missing_circuit_keeps_record(self, mgr):
+        mgr.establish(LinkId("x"), OcsId(0), 0, 5)
+        mgr.switch(OcsId(0)).state.disconnect(0)
+        with pytest.raises(CrossConnectError):
+            mgr.teardown(LinkId("x"))
+        assert mgr.link(LinkId("x")).south == 5
+
+
+class TestDurability:
+    def test_checkpoint_restore_roundtrip(self, mgr):
+        mgr.establish(LinkId("x"), OcsId(0), 0, 5)
+        mgr.establish(LinkId("y"), OcsId(1), 2, 3)
+        snapshot = mgr.checkpoint()
+        digest = mgr.state_digest()
+        fresh = FabricManager()
+        fresh.add_switch(OcsId(0), SimpleSwitch(8))
+        fresh.add_switch(OcsId(1), SimpleSwitch(8))
+        fresh.restore(snapshot)
+        assert fresh.state_digest() == digest
+        assert fresh.link(LinkId("y")).north == 2
+        assert fresh.verify_links() == ()
+
+    def test_restore_rejects_radix_mismatch(self, mgr):
+        snapshot = mgr.checkpoint()
+        bad = FabricManager()
+        bad.add_switch(OcsId(0), SimpleSwitch(4))
+        bad.add_switch(OcsId(1), SimpleSwitch(4))
+        with pytest.raises(ConfigurationError):
+            bad.restore(snapshot)
+
+    def test_digest_tracks_links_not_just_hardware(self, mgr):
+        mgr.establish(LinkId("x"), OcsId(0), 0, 5)
+        with_link = mgr.state_digest()
+        other = FabricManager()
+        other.add_switch(OcsId(0), SimpleSwitch(8))
+        other.add_switch(OcsId(1), SimpleSwitch(8))
+        other.switch(OcsId(0)).state.connect(0, 5)  # same circuit, no link
+        assert other.state_digest() != with_link

@@ -7,6 +7,7 @@ from repro.core.errors import ConfigurationError
 from repro.faults.chaos import (
     SCENARIOS,
     SMOKE_KWARGS,
+    controller_crash_recovery,
     correlated_hv_batch,
     repair_race,
     rolling_transceiver_flaps,
@@ -14,7 +15,11 @@ from repro.faults.chaos import (
     run_smoke,
     single_ocs_loss,
 )
+from repro.ml.models import LLM_ZOO
+from repro.ml.parallelism import ParallelismPlan
+from repro.ml.perfmodel import TrainingStepModel
 from repro.ocs.reliability import SINGLE_OCS_AVAILABILITY
+from repro.tpu.degradation import quarantine_step_degradation
 from repro.tpu.superpod import NUM_OCSES
 
 
@@ -70,6 +75,73 @@ class TestRollingTransceiverFlaps:
         assert report.timeline[-1][1] == 1.0  # all flaps cleared by the end
 
 
+class TestDampedFlaps:
+    def test_quarantine_on_third_flap_and_release_after_hold_down(self):
+        report = rolling_transceiver_flaps(
+            seed=2, num_links=4, horizon_s=300.0, damping=True, spares=1
+        )
+        # The penalty crosses suppress exactly on the third flap of the
+        # deterministic train (30 + 2*15 = 60 s).
+        assert report.metrics["quarantine_t_s"] == 60.0
+        assert report.metrics["quarantines"] == 1.0
+        assert report.metrics["steered"] == 1.0
+        # Release waits for the hold-down plus penalty decay, then the
+        # circuit goes home.
+        assert report.metrics["release_t_s"] >= 60.0 + 120.0
+        assert report.metrics["released"] == 1.0
+        assert report.metrics["released_home"] == 1.0
+
+    def test_bystanders_never_disturbed(self):
+        report = rolling_transceiver_flaps(
+            seed=2, num_links=4, horizon_s=300.0, damping=True, spares=1
+        )
+        assert report.metrics["bystanders_disturbed"] == 0.0
+        # Steering kept capacity: nothing was held out of service.
+        assert report.metrics["held_out_max_fraction"] == 0.0
+        assert report.metrics["goodput_during_quarantine"] == 1.0
+
+    def test_hold_out_goodput_matches_degradation_analytic(self):
+        report = rolling_transceiver_flaps(
+            seed=2, num_links=4, horizon_s=300.0, damping=True, spares=0
+        )
+        # With no spares the quarantine holds 1 of 4 watched circuits out.
+        assert report.metrics["held_out_max_fraction"] == 0.25
+        plan = ParallelismPlan.for_shape(LLM_ZOO["llm2"], (16, 16, 16))
+        analytic = 1.0 / (
+            1.0 + quarantine_step_degradation(plan, TrainingStepModel(), 0, 0.25)
+        )
+        observed = report.metrics["goodput_during_quarantine"]
+        assert abs(observed - analytic) / analytic < 0.01
+        assert report.metrics["final_goodput"] == 1.0  # released by the end
+
+    def test_undamped_path_byte_identical_to_classic(self):
+        classic = rolling_transceiver_flaps(seed=2, num_links=4, horizon_s=300.0)
+        explicit = rolling_transceiver_flaps(
+            seed=2, num_links=4, horizon_s=300.0, damping=False
+        )
+        assert explicit.digest() == classic.digest()
+
+
+class TestControllerCrashRecovery:
+    def test_every_crash_point_recovers_deterministically(self):
+        report = controller_crash_recovery(seed=0, num_ocses=2, links_per_ocs=4)
+        points = report.metrics["crash_points"]
+        assert points == 10.0  # 2-OCS txn has 10 instrumented steps
+        assert report.metrics["recoveries_ok"] == points
+        assert report.metrics["reconciles_converged"] == points
+        assert report.metrics["deterministic"] == 1.0
+        # Every pre-commit crash rolls back to one digest; the lone
+        # post-commit crash rolls forward to the committed digest.
+        assert report.metrics["rollback_digests"] == 1.0
+        assert report.metrics["forward_digests"] == 1.0
+        assert report.metrics["forward_matches_committed"] == 1.0
+
+    def test_report_digest_stable(self):
+        a = controller_crash_recovery(seed=0, num_ocses=2, links_per_ocs=4)
+        b = controller_crash_recovery(seed=0, num_ocses=2, links_per_ocs=4)
+        assert a.digest() == b.digest()
+
+
 class TestRepairRace:
     def test_pool_exhaustion_surfaces_capacity_context(self):
         report = repair_race(seed=1, num_circuits=4, num_spares=2, horizon_s=400.0)
@@ -91,6 +163,7 @@ class TestRegistry:
             "correlated_hv_batch",
             "rolling_transceiver_flaps",
             "repair_race",
+            "controller_crash_recovery",
         }
         assert set(SMOKE_KWARGS) == set(SCENARIOS)
 

@@ -57,6 +57,7 @@ class TestFaultEvent:
             "host-crash",
             "cube-power-loss",
             "rpc-timeout",
+            "controller-crash",
         }
 
 

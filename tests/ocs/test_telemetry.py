@@ -62,3 +62,38 @@ class TestLossMonitoring:
     def test_anomaly_str(self):
         a = Anomaly((1, 2), "loss-drift", "x")
         assert "N1<->S2" in str(a)
+
+
+class TestAnomalyDedup:
+    def test_repeats_collapse_but_count_accumulates(self, tel):
+        tel.record_connect(0, 1, 1.0)
+        for _ in range(5):
+            tel.observe_loss(0, 1, 1.0 + DRIFT_THRESHOLD_DB + 0.1)
+        assert len(tel.anomalies) == 1
+        assert tel.anomaly_count(0, 1, "loss-drift") == 5
+
+    def test_distinct_kinds_kept_separately(self, tel):
+        tel.record_connect(0, 1, 1.0)
+        tel.observe_loss(0, 1, 1.0 + DRIFT_THRESHOLD_DB + 0.1)  # drift
+        tel.observe_loss(0, 1, 3.5)  # over max
+        assert {a.kind for a in tel.anomalies} == {"loss-drift", "loss-over-max"}
+        assert tel.anomaly_count(0, 1) == 2
+
+    def test_stored_anomalies_bounded(self):
+        tel = OcsTelemetry(max_anomalies=4)
+        for n in range(6):
+            tel.record_connect(n, n, 1.0)
+            tel.observe_loss(n, n, 1.0 + DRIFT_THRESHOLD_DB + 0.1)
+        assert len(tel.anomalies) == 4
+        # The oldest circuits were evicted, the newest retained.
+        assert {a.circuit for a in tel.anomalies} == {(n, n) for n in range(2, 6)}
+
+    def test_disconnect_clears_anomalies_but_keeps_counts(self, tel):
+        tel.record_connect(0, 1, 1.0)
+        tel.observe_loss(0, 1, 1.0 + DRIFT_THRESHOLD_DB + 0.1)
+        tel.record_disconnect(0, 1)
+        assert tel.anomalies == ()
+        assert tel.anomaly_count(0, 1) == 1  # flap frequency survives
+
+    def test_count_zero_for_clean_circuit(self, tel):
+        assert tel.anomaly_count(3, 3) == 0

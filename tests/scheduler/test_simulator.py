@@ -117,6 +117,53 @@ class TestFailures:
         assert metrics.p95_wait_s >= 0
 
 
+class TestFabricSlowdown:
+    """Held-out fabric capacity stretches job runtimes (health feed)."""
+
+    def test_slowdown_stretches_durations(self):
+        pod = Superpod(num_cubes=8)
+        sim = SchedulerSimulation(
+            ReconfigurableAllocator(pod), fabric_slowdown=lambda: 0.25
+        )
+        metrics = sim.run([job("a", 4, 100.0, 0.0)])
+        assert metrics.completed == 1
+        # 100 s of work at 1.25x step time busies 4 cubes for 125 s.
+        assert metrics.cube_busy_s == pytest.approx(500.0)
+
+    def test_none_hook_preserves_baseline(self):
+        trace = [job("a", 4, 100.0, 0.0), job("b", 4, 100.0, 10.0)]
+        base = SchedulerSimulation(
+            ReconfigurableAllocator(Superpod(num_cubes=4))
+        ).run(trace)
+        hooked = SchedulerSimulation(
+            ReconfigurableAllocator(Superpod(num_cubes=4)),
+            fabric_slowdown=lambda: 0.0,
+        ).run(trace)
+        assert hooked.cube_busy_s == base.cube_busy_s
+        assert hooked.waits_s == base.waits_s
+
+    def test_slowdown_sampled_at_start_time(self):
+        # The hook is consulted when each job starts, so quarantines
+        # lifted between arrivals stop charging new jobs.
+        charges = iter([0.5, 0.0])
+        pod = Superpod(num_cubes=4)
+        sim = SchedulerSimulation(
+            ReconfigurableAllocator(pod), fabric_slowdown=lambda: next(charges)
+        )
+        metrics = sim.run([job("a", 4, 100.0, 0.0), job("b", 4, 100.0, 10.0)])
+        # Job a ran 150 s, job b (started after a ended) ran 100 s.
+        assert metrics.cube_busy_s == pytest.approx(4 * 250.0)
+        assert metrics.waits_s[1] == pytest.approx(140.0)
+
+    def test_negative_slowdown_rejected(self):
+        pod = Superpod(num_cubes=4)
+        sim = SchedulerSimulation(
+            ReconfigurableAllocator(pod), fabric_slowdown=lambda: -0.1
+        )
+        with pytest.raises(ConfigurationError):
+            sim.run([job("a", 1, 10.0, 0.0)])
+
+
 class TestInjectorBacked:
     """The simulator sources cube faults from a FaultInjector timeline."""
 

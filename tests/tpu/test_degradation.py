@@ -11,6 +11,7 @@ from repro.tpu.degradation import (
     LINKS_PER_OCS_FRACTION,
     ocs_dimension,
     ocs_failure_impact,
+    quarantine_step_degradation,
     step_time_degradation,
     worst_case_step_degradation,
 )
@@ -97,6 +98,38 @@ class TestStepTimeDegradation:
     def test_scale_validation(self):
         with pytest.raises(ConfigurationError):
             TrainingStepModel(dim_bandwidth_scale=(1.0, 0.0, 1.0))
+
+
+class TestQuarantineDegradation:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        plan = ParallelismPlan.for_shape(LLM_ZOO["llm2"], (16, 16, 16))
+        return plan, TrainingStepModel()
+
+    def test_full_hold_out_equals_one_ocs_loss(self, setup):
+        """A fully held-out OCS costs exactly the §4.2.2 one-OCS hit."""
+        plan, model = setup
+        for axis in range(3):
+            assert quarantine_step_degradation(
+                plan, model, axis, 1.0
+            ) == step_time_degradation(plan, model, axis)
+
+    def test_no_hold_out_is_free(self, setup):
+        plan, model = setup
+        assert quarantine_step_degradation(plan, model, 0, 0.0) == 0.0
+
+    def test_partial_hold_out_between_bounds(self, setup):
+        plan, model = setup
+        half = quarantine_step_degradation(plan, model, 0, 0.5)
+        full = quarantine_step_degradation(plan, model, 0, 1.0)
+        assert 0.0 < half < full
+
+    def test_validation(self, setup):
+        plan, model = setup
+        with pytest.raises(ConfigurationError):
+            quarantine_step_degradation(plan, model, 5, 0.5)
+        with pytest.raises(ConfigurationError):
+            quarantine_step_degradation(plan, model, 0, 1.5)
 
 
 class TestMultiOcsDegradation:
