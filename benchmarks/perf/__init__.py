@@ -1,0 +1,33 @@
+"""Perf-regression harness for the vectorized hot-path kernels.
+
+Every case times a vectorized kernel against the scalar reference
+implementation it replaced (the scalar paths are kept in-tree as
+numerical oracles) on a pinned workload size, checks numerical parity,
+and reports ops/sec, wall time, and speedup.
+
+Entry points:
+
+- ``python -m benchmarks.perf.run`` -- full pinned sizes, writes
+  ``BENCH_PERF.json`` at the repo root.
+- ``python -m benchmarks.perf.run --smoke --check`` -- reduced sizes for
+  CI; fails when any case regresses more than 30% against the committed
+  ``benchmarks/perf/baselines.json``.
+- ``pytest benchmarks/perf`` -- the same smoke suite as a test.
+"""
+
+from benchmarks.perf.harness import (
+    REGRESSION_TOLERANCE,
+    check_against_baselines,
+    run_suite,
+    write_report,
+)
+from benchmarks.perf.cases import CASES, PerfCase
+
+__all__ = [
+    "CASES",
+    "PerfCase",
+    "REGRESSION_TOLERANCE",
+    "check_against_baselines",
+    "run_suite",
+    "write_report",
+]

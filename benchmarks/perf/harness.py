@@ -1,0 +1,130 @@
+"""Timing, reporting, and baseline-regression logic for the perf suite."""
+
+from __future__ import annotations
+
+import json
+import timeit
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from benchmarks.perf.cases import CASES, PerfCase
+
+#: A case fails the regression check when its measured speedup drops more
+#: than 30% below the committed baseline (speedup ratios are much more
+#: stable across machines than absolute wall times).
+REGRESSION_TOLERANCE = 0.30
+
+_BASELINES_PATH = Path(__file__).resolve().parent / "baselines.json"
+_REPORT_PATH = Path(__file__).resolve().parents[2] / "BENCH_PERF.json"
+
+
+def measure_seconds(fn, repeats: int = 3, slow_threshold_s: float = 2.0) -> float:
+    """Best-of wall time per call.
+
+    ``timeit.autorange`` calibrates an inner-loop count so sub-millisecond
+    kernels are measured over >=0.2 s of work; slow reference paths (one
+    call already above ``slow_threshold_s``) are not re-run.
+    """
+    timer = timeit.Timer(fn)
+    number, total = timer.autorange()
+    per_call = total / number
+    if per_call >= slow_threshold_s:
+        return per_call
+    best = total
+    for _ in range(repeats - 1):
+        best = min(best, timer.timeit(number))
+    return best / number
+
+
+def run_case(case: PerfCase, smoke: bool) -> Dict[str, object]:
+    """Build, parity-check, and time one case."""
+    pair = case.build(smoke)
+    vec_result = pair.vectorized()
+    ref_result = pair.reference()
+    max_rel_err = pair.parity(vec_result, ref_result)
+    vec_s = measure_seconds(pair.vectorized)
+    ref_s = measure_seconds(pair.reference)
+    return {
+        "case": case.name,
+        "figure": case.figure,
+        "mode": "smoke" if smoke else "full",
+        "size": pair.size,
+        "vectorized_s": vec_s,
+        "reference_s": ref_s,
+        "vectorized_ops_per_s": 1.0 / vec_s,
+        "reference_ops_per_s": 1.0 / ref_s,
+        "speedup": ref_s / vec_s,
+        "target_speedup": case.target_speedup,
+        "parity_max_rel_err": max_rel_err,
+    }
+
+
+def run_suite(
+    smoke: bool = False, cases: Sequence[PerfCase] = CASES, verbose: bool = True
+) -> List[Dict[str, object]]:
+    results = []
+    for case in cases:
+        if verbose:
+            print(f"[perf] {case.name} ({'smoke' if smoke else 'full'}) ...", flush=True)
+        result = run_case(case, smoke)
+        if verbose:
+            print(
+                f"[perf]   vec {result['vectorized_s']:.4f}s "
+                f"ref {result['reference_s']:.4f}s "
+                f"speedup {result['speedup']:.1f}x "
+                f"parity {result['parity_max_rel_err']:.2e}",
+                flush=True,
+            )
+        results.append(result)
+    return results
+
+
+def write_report(
+    results: Sequence[Dict[str, object]],
+    smoke: bool,
+    path: Optional[Path] = None,
+) -> Path:
+    """Write the ``BENCH_PERF.json`` artifact."""
+    out = path or _REPORT_PATH
+    payload = {
+        "suite": "benchmarks/perf",
+        "mode": "smoke" if smoke else "full",
+        "regression_tolerance": REGRESSION_TOLERANCE,
+        "results": list(results),
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
+
+
+def load_baselines(path: Optional[Path] = None) -> Dict[str, Dict[str, float]]:
+    source = path or _BASELINES_PATH
+    return json.loads(source.read_text())
+
+
+def check_against_baselines(
+    results: Sequence[Dict[str, object]],
+    baselines: Optional[Dict[str, Dict[str, float]]] = None,
+) -> List[str]:
+    """Compare measured speedups against the committed baselines.
+
+    Returns a list of human-readable failures (empty when everything is
+    within tolerance).  A missing baseline entry is itself a failure so
+    new cases must be baselined when added.
+    """
+    if baselines is None:
+        baselines = load_baselines()
+    failures = []
+    for result in results:
+        name, mode = str(result["case"]), str(result["mode"])
+        baseline = baselines.get(name, {}).get(mode)
+        if baseline is None:
+            failures.append(f"{name}: no {mode} baseline recorded")
+            continue
+        floor = baseline * (1.0 - REGRESSION_TOLERANCE)
+        speedup = float(result["speedup"])
+        if speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x below floor {floor:.2f}x "
+                f"(baseline {baseline:.2f}x, tolerance {REGRESSION_TOLERANCE:.0%})"
+            )
+    return failures

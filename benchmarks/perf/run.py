@@ -1,0 +1,47 @@
+"""CLI entry point: ``python -m benchmarks.perf.run [--smoke] [--check]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from benchmarks.perf.harness import check_against_baselines, run_suite, write_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run at reduced CI sizes instead of the pinned full sizes",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when any speedup regresses >30%% vs benchmarks/perf/baselines.json",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write BENCH_PERF.json (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite(smoke=args.smoke)
+    report = write_report(results, smoke=args.smoke, path=args.output)
+    print(f"[perf] wrote {report}")
+
+    if args.check:
+        failures = check_against_baselines(results)
+        if failures:
+            for failure in failures:
+                print(f"[perf] REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("[perf] all cases within regression tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""Smoke tests for the perf harness: every case builds, runs, and the
+vectorized kernel matches its scalar oracle within the 1e-12 contract.
+
+Wall-time regression checking is deliberately left to the CLI
+(``python -m benchmarks.perf.run --smoke --check``) so this test stays
+deterministic under pytest; here we only pin numerical parity and the
+report/baseline plumbing.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.perf.cases import CASES
+from benchmarks.perf.harness import check_against_baselines, load_baselines, write_report
+
+#: The vectorized-kernel numerical contract from the issue: results match
+#: the scalar oracles to 1e-12 relative.
+PARITY_RTOL = 1e-12
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+def test_case_parity_at_smoke_size(case):
+    pair = case.build(True)
+    err = pair.parity(pair.vectorized(), pair.reference())
+    assert err <= PARITY_RTOL, f"{case.name}: max rel err {err:.2e}"
+
+
+def test_every_case_has_baselines():
+    baselines = load_baselines()
+    for case in CASES:
+        assert set(baselines[case.name]) == {"smoke", "full"}
+
+
+def test_report_and_regression_check(tmp_path):
+    results = [
+        {"case": c.name, "mode": "smoke", "speedup": 1e9} for c in CASES
+    ]
+    path = write_report(results, smoke=True, path=tmp_path / "BENCH_PERF.json")
+    payload = json.loads(path.read_text())
+    assert payload["mode"] == "smoke"
+    assert len(payload["results"]) == len(CASES)
+    assert check_against_baselines(results) == []
+
+
+def test_regression_check_flags_slowdowns():
+    results = [{"case": CASES[0].name, "mode": "smoke", "speedup": 0.01}]
+    failures = check_against_baselines(results)
+    assert len(failures) == 1 and CASES[0].name in failures[0]
+
+
+def test_regression_check_flags_missing_baseline():
+    failures = check_against_baselines(
+        [{"case": "brand_new_case", "mode": "smoke", "speedup": 100.0}]
+    )
+    assert failures and "no smoke baseline" in failures[0]

@@ -17,7 +17,12 @@ from repro.dcn.spinefree import SpineFreeFabric, uniform_mesh_trunks
 from repro.dcn.traffic import TrafficMatrix, gravity_matrix, hotspot_matrix, uniform_matrix
 from repro.dcn.topology_engineering import engineer_trunks
 from repro.dcn.traffic_engineering import RoutingSolution, route_demand
-from repro.dcn.flowsim import Flow, FlowSimulator
+from repro.dcn.flowsim import (
+    Flow,
+    FlowSimulator,
+    max_min_rates,
+    max_min_rates_reference,
+)
 from repro.dcn.costmodel import DcnCostModel
 from repro.dcn.campus import CampusStudy, service_epochs
 from repro.dcn.striping import (
@@ -42,6 +47,8 @@ __all__ = [
     "route_demand",
     "Flow",
     "FlowSimulator",
+    "max_min_rates",
+    "max_min_rates_reference",
     "DcnCostModel",
     "CampusStudy",
     "service_epochs",

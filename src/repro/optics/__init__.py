@@ -24,9 +24,15 @@ from repro.optics.transceiver import (
 from repro.optics.link_budget import LinkBudget, LossElement
 from repro.optics.mpi import MpiSource, aggregate_mpi_db, beat_noise_sigma_w
 from repro.optics.oim import OimDsp
-from repro.optics.pam4 import Pam4LinkModel
+from repro.optics.pam4 import Pam4LinkModel, ber_batch
 from repro.optics.fec import ConcatenatedFec, InnerSoftFec, KP4_BER_THRESHOLD, Kp4OuterCode
-from repro.optics.ber import BerCurve, LinkBerSimulator, receiver_sensitivity_dbm
+from repro.optics.ber import (
+    BerCurve,
+    LinkBerSimulator,
+    receiver_sensitivity_batch,
+    receiver_sensitivity_dbm,
+    receiver_sensitivity_reference,
+)
 from repro.optics.fleet import FleetBerSampler
 from repro.optics.wdm_link import LaneResult, WdmLinkModel
 from repro.optics.eye import EyeReport, eye_margin_db, eye_report
@@ -49,6 +55,7 @@ __all__ = [
     "beat_noise_sigma_w",
     "OimDsp",
     "Pam4LinkModel",
+    "ber_batch",
     "ConcatenatedFec",
     "InnerSoftFec",
     "Kp4OuterCode",
@@ -56,6 +63,8 @@ __all__ = [
     "BerCurve",
     "LinkBerSimulator",
     "receiver_sensitivity_dbm",
+    "receiver_sensitivity_batch",
+    "receiver_sensitivity_reference",
     "FleetBerSampler",
     "WdmLinkModel",
     "LaneResult",

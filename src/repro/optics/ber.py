@@ -3,7 +3,10 @@
 Ties together the PAM4 slicer model, the OIM DSP, and the FEC chain:
 
 - :func:`receiver_sensitivity_dbm` -- minimum received power achieving a
-  target slicer BER (bisection over the analytic PAM4 model).
+  target slicer BER (vectorized bisection over the analytic PAM4 model,
+  LRU-cached for the repeated solves in fleet/qualification paths).
+- :func:`receiver_sensitivity_batch` -- the same solve over many
+  (model, target) pairs simultaneously.
 - :class:`BerCurve` -- a sampled BER-vs-power waterfall with
   interpolation helpers.
 - :class:`LinkBerSimulator` -- produces the paper's evaluation curves:
@@ -14,6 +17,7 @@ Ties together the PAM4 slicer model, the OIM DSP, and the FEC chain:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,20 +29,93 @@ from repro.optics.fec import (
     kp4_channel_threshold,
 )
 from repro.optics.oim import OimDsp
-from repro.optics.pam4 import DEFAULT_THERMAL_NOISE_W, Pam4LinkModel
+from repro.optics.pam4 import DEFAULT_THERMAL_NOISE_W, Pam4LinkModel, ber_batch
+
+#: Bisection steps used by every sensitivity solve (scalar and batch).
+_BISECTION_STEPS = 60
+
+#: Cached (model, target, bracket) -> sensitivity solves.  Fleet
+#: qualification sweeps re-solve identical pairs thousands of times;
+#: ``Pam4LinkModel`` is frozen/hashable so the pair is a perfect key.
+_SENSITIVITY_CACHE_SIZE = 4096
 
 
-def receiver_sensitivity_dbm(
+def _model_params(
+    models: Sequence[Pam4LinkModel],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stack model parameters into arrays (``nan`` marks no-MPI)."""
+    mpi = np.array(
+        [float("nan") if m.mpi_db is None else m.mpi_db for m in models], dtype=float
+    )
+    thermal = np.array([m.thermal_noise_w for m in models], dtype=float)
+    suppression = np.array([m.oim_suppression_db for m in models], dtype=float)
+    eq = np.array([m.equalizer_enhancement for m in models], dtype=float)
+    return mpi, thermal, suppression, eq
+
+
+def receiver_sensitivity_batch(
+    models: Sequence[Pam4LinkModel],
+    target_bers: "np.typing.ArrayLike" = KP4_BER_THRESHOLD,
+    lo_dbm: float = -25.0,
+    hi_dbm: float = 5.0,
+) -> np.ndarray:
+    """Solve many (model, target) sensitivity pairs in one bisection.
+
+    All pairs advance through the same :data:`_BISECTION_STEPS` bisection
+    iterations simultaneously, each BER evaluation a single
+    :func:`~repro.optics.pam4.ber_batch` pass over every still-open
+    bracket.  Semantics match :func:`receiver_sensitivity_dbm` pairwise:
+    unreachable targets (MPI-induced BER floor above the target) raise,
+    and targets already met at ``lo_dbm`` return ``lo_dbm``.
+
+    Args:
+        models: the PAM4 link models to solve.
+        target_bers: scalar or per-model array of target slicer BERs.
+
+    Returns:
+        Sensitivities in dBm, shape ``(len(models),)``.
+    """
+    if len(models) == 0:
+        return np.empty(0)
+    targets = np.broadcast_to(
+        np.asarray(target_bers, dtype=float), (len(models),)
+    ).copy()
+    if np.any((targets <= 0.0) | (targets >= 0.5)):
+        raise ConfigurationError("target BER must be in (0, 0.5)")
+    mpi, thermal, suppression, eq = _model_params(models)
+
+    floor = ber_batch(hi_dbm, mpi, thermal, suppression, eq)
+    bad = floor > targets
+    if np.any(bad):
+        i = int(np.argmax(bad))
+        raise ConfigurationError(
+            f"BER floor {floor[i]:.2e} above target {targets[i]:.2e}: "
+            "link cannot reach the target at any power"
+        )
+    at_lo = ber_batch(lo_dbm, mpi, thermal, suppression, eq) < targets
+
+    lo = np.full(len(models), lo_dbm)
+    hi = np.full(len(models), hi_dbm)
+    for _ in range(_BISECTION_STEPS):
+        mid = (lo + hi) / 2.0
+        too_high = ber_batch(mid, mpi, thermal, suppression, eq) > targets
+        lo = np.where(too_high, mid, lo)
+        hi = np.where(too_high, hi, mid)
+    return np.where(at_lo, lo_dbm, (lo + hi) / 2.0)
+
+
+def receiver_sensitivity_reference(
     model: Pam4LinkModel,
     target_ber: float = KP4_BER_THRESHOLD,
     lo_dbm: float = -25.0,
     hi_dbm: float = 5.0,
 ) -> float:
-    """Received power at which the slicer BER equals ``target_ber``.
+    """Scalar-oracle sensitivity solve: one :meth:`Pam4LinkModel.ber` call
+    per bisection step.
 
-    BER decreases monotonically with power; solved by bisection.  Raises
-    when the target is unreachable inside the bracket (e.g. an MPI-induced
-    BER floor above the target).
+    This is the original implementation, kept as the reference the
+    vectorized/cached :func:`receiver_sensitivity_dbm` is property-tested
+    and benchmarked against.
     """
     if not 0.0 < target_ber < 0.5:
         raise ConfigurationError("target BER must be in (0, 0.5)")
@@ -50,13 +127,39 @@ def receiver_sensitivity_dbm(
     if model.ber(lo_dbm) < target_ber:
         return lo_dbm
     lo, hi = lo_dbm, hi_dbm
-    for _ in range(60):
+    for _ in range(_BISECTION_STEPS):
         mid = (lo + hi) / 2.0
         if model.ber(mid) > target_ber:
             lo = mid
         else:
             hi = mid
     return (lo + hi) / 2.0
+
+
+@lru_cache(maxsize=_SENSITIVITY_CACHE_SIZE)
+def _sensitivity_cached(
+    model: Pam4LinkModel, target_ber: float, lo_dbm: float, hi_dbm: float
+) -> float:
+    return float(
+        receiver_sensitivity_batch([model], target_ber, lo_dbm, hi_dbm)[0]
+    )
+
+
+def receiver_sensitivity_dbm(
+    model: Pam4LinkModel,
+    target_ber: float = KP4_BER_THRESHOLD,
+    lo_dbm: float = -25.0,
+    hi_dbm: float = 5.0,
+) -> float:
+    """Received power at which the slicer BER equals ``target_ber``.
+
+    BER decreases monotonically with power; solved by bisection on the
+    vectorized kernel and LRU-cached on the (frozen, hashable) model and
+    target -- fleet and qualification paths re-solve the same pairs
+    constantly.  Raises when the target is unreachable inside the bracket
+    (e.g. an MPI-induced BER floor above the target).
+    """
+    return _sensitivity_cached(model, float(target_ber), float(lo_dbm), float(hi_dbm))
 
 
 @dataclass(frozen=True)
@@ -85,14 +188,22 @@ class BerCurve:
             raise ConfigurationError(
                 f"{self.label}: curve floor {10 ** logs.min():.2e} above target"
             )
-        # BER is non-increasing in power; find the first crossing.
+        # BER is non-increasing in power, so log-BER sorted by power is
+        # monotone non-increasing: the first sample at or below the target
+        # is found by searchsorted on the negated (non-decreasing) samples.
         order = np.argsort(self.rx_powers_dbm)
         powers, logs = self.rx_powers_dbm[order], logs[order]
-        for i in range(len(powers) - 1):
-            if logs[i] >= target >= logs[i + 1]:
-                frac = (logs[i] - target) / (logs[i] - logs[i + 1])
-                return float(powers[i] + frac * (powers[i + 1] - powers[i]))
-        return float(powers[0] if logs[0] <= target else powers[-1])
+        k = int(np.searchsorted(-logs, -target, side="left"))
+        if k == 0:
+            return float(powers[0])
+        if k == len(logs):
+            # Non-monotone data can leave the floor check satisfied while
+            # no sorted sample sits below the target; mirror the old
+            # scan's fallback.
+            return float(powers[0] if logs[0] <= target else powers[-1])
+        i = k - 1
+        frac = (logs[i] - target) / (logs[i] - logs[i + 1])
+        return float(powers[i] + frac * (powers[i + 1] - powers[i]))
 
 
 @dataclass
@@ -131,10 +242,23 @@ class LinkBerSimulator:
             np.linspace(-14.0, -6.0, 17) if rx_powers_dbm is None else rx_powers_dbm
         )
         curves: Dict[Tuple[Optional[float], bool], BerCurve] = {}
-        for mpi_db in mpi_levels_db:
-            for oim_on in (False, True):
-                model = self._model(mpi_db, oim_on)
+        if not monte_carlo:
+            # The whole (mpi level, oim state, power) grid is one
+            # broadcastable ber_batch evaluation: shape (n_mpi, 2, n_pow).
+            mpi_grid = np.array(
+                [float("nan") if m is None else m for m in mpi_levels_db], dtype=float
+            )
+            suppression = np.array([0.0, self.oim.effective_suppression_db])
+            grid = ber_batch(
+                np.asarray(powers, dtype=float)[np.newaxis, np.newaxis, :],
+                mpi_db=mpi_grid[:, np.newaxis, np.newaxis],
+                thermal_noise_w=self.thermal_noise_w,
+                oim_suppression_db=suppression[np.newaxis, :, np.newaxis],
+            )
+        for mi, mpi_db in enumerate(mpi_levels_db):
+            for oi, oim_on in enumerate((False, True)):
                 if monte_carlo:
+                    model = self._model(mpi_db, oim_on)
                     bers = np.array(
                         [
                             model.monte_carlo_ber(float(p), num_symbols, seed=17)
@@ -142,7 +266,7 @@ class LinkBerSimulator:
                         ]
                     )
                 else:
-                    bers = model.ber_curve(powers)
+                    bers = grid[mi, oi]
                 label = (
                     f"MPI={'off' if mpi_db is None else f'{mpi_db:g}dB'}, "
                     f"OIM={'on' if oim_on else 'off'}"
@@ -199,7 +323,7 @@ class LinkBerSimulator:
             model = self._model(mpi_db, oim_on=False)
             raw = model.ber_curve(powers)
             out[(mpi_db, False)] = BerCurve(f"MPI={mpi_db}, no SFEC", powers, raw)
-            inner = np.array([self.fec.inner.output_ber(min(b, 0.5)) for b in raw])
+            inner = self.fec.inner.output_ber_batch(np.minimum(raw, 0.5))
             out[(mpi_db, True)] = BerCurve(f"MPI={mpi_db}, SFEC", powers, inner)
         return out
 

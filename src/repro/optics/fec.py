@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
 from scipy.stats import binom
 
 from repro.core.errors import ConfigurationError
@@ -139,6 +140,19 @@ class InnerSoftFec:
         n, t = self.block_bits, self.t_eff
         expected_bad = n * input_ber * float(binom.sf(t - 1, n - 1, input_ber))
         return expected_bad / n
+
+    def output_ber_batch(self, input_bers: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`output_ber` over an array of channel BERs.
+
+        One ``binom.sf`` pass for a whole waterfall; matches the scalar
+        transfer function elementwise (zeros map to zeros).
+        """
+        bers = np.asarray(input_bers, dtype=float)
+        if np.any((bers < 0.0) | (bers > 1.0)):
+            raise ConfigurationError("BER must lie in [0, 1]")
+        n, t = self.block_bits, self.t_eff
+        expected_bad = n * bers * binom.sf(t - 1, n - 1, bers)
+        return np.where(bers == 0.0, 0.0, expected_bad / n)
 
 
 @dataclass(frozen=True)

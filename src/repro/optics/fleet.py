@@ -13,14 +13,14 @@ evaluates the analytic PAM4 BER for each port with OIM enabled.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.errors import ConfigurationError
 from repro.optics.fec import KP4_BER_THRESHOLD
 from repro.optics.oim import OimDsp
-from repro.optics.pam4 import DEFAULT_THERMAL_NOISE_W, Pam4LinkModel
+from repro.optics.pam4 import DEFAULT_THERMAL_NOISE_W, Pam4LinkModel, ber_batch
 
 #: Fig 13 port count: 16 ports/face x 6 faces x 64 cubes.
 SUPERPOD_RX_PORTS = 16 * 6 * 64
@@ -46,7 +46,7 @@ class FleetBerSampler:
     mpi_sigma_db: float = 1.0
     mpi_worst_db: float = -30.0
     thermal_sigma_fraction: float = 0.05
-    oim: OimDsp = None  # type: ignore[assignment]
+    oim: Optional[OimDsp] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -55,8 +55,8 @@ class FleetBerSampler:
         if self.oim is None:
             self.oim = OimDsp()
 
-    def sample(self) -> np.ndarray:
-        """Per-port pre-FEC BER (OIM on), shape ``(num_ports,)``."""
+    def _draw_port_variations(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Seeded per-port (rx power dBm, MPI dB, thermal noise W) draws."""
         rng = np.random.default_rng(self.seed)
         rx_powers = rng.normal(self.rx_power_mean_dbm, self.rx_power_sigma_db, self.num_ports)
         mpi = np.minimum(
@@ -66,6 +66,32 @@ class FleetBerSampler:
         thermal = DEFAULT_THERMAL_NOISE_W * rng.lognormal(
             0.0, self.thermal_sigma_fraction, self.num_ports
         )
+        return rx_powers, mpi, thermal
+
+    def sample(self) -> np.ndarray:
+        """Per-port pre-FEC BER (OIM on), shape ``(num_ports,)``.
+
+        All 6,144 superpod ports are evaluated in one :func:`ber_batch`
+        pass -- no per-port model construction.  :meth:`sample_reference`
+        is the scalar oracle this path is property-tested against.
+        """
+        assert self.oim is not None
+        rx_powers, mpi, thermal = self._draw_port_variations()
+        return ber_batch(
+            rx_powers,
+            mpi_db=mpi,
+            thermal_noise_w=thermal,
+            oim_suppression_db=self.oim.effective_suppression_db,
+        )
+
+    def sample_reference(self) -> np.ndarray:
+        """Scalar oracle for :meth:`sample`: one ``Pam4LinkModel`` per port.
+
+        Kept for the property suite and the perf-regression harness; same
+        seeded draws, same analytic expression, evaluated port by port.
+        """
+        assert self.oim is not None
+        rx_powers, mpi, thermal = self._draw_port_variations()
         bers = np.empty(self.num_ports)
         for i in range(self.num_ports):
             model = Pam4LinkModel(
@@ -76,7 +102,7 @@ class FleetBerSampler:
             bers[i] = model.ber(float(rx_powers[i]))
         return bers
 
-    def summarize(self, bers: np.ndarray = None) -> Dict[str, float]:
+    def summarize(self, bers: Optional[np.ndarray] = None) -> Dict[str, float]:
         """Fleet statistics: medians, worst case, and margin to KP4."""
         if bers is None:
             bers = self.sample()

@@ -50,6 +50,81 @@ def _q_function(x: np.ndarray) -> np.ndarray:
     return 0.5 * erfc(np.asarray(x, dtype=float) / math.sqrt(2.0))
 
 
+def ber_batch(
+    rx_power_dbm: "np.typing.ArrayLike",
+    mpi_db: "Optional[np.typing.ArrayLike]" = None,
+    thermal_noise_w: "np.typing.ArrayLike" = DEFAULT_THERMAL_NOISE_W,
+    oim_suppression_db: "np.typing.ArrayLike" = 0.0,
+    equalizer_enhancement: "np.typing.ArrayLike" = 1.2,
+) -> np.ndarray:
+    """Analytic PAM4 pre-FEC BER over arbitrary broadcastable arrays.
+
+    Evaluates the exact expression of :meth:`Pam4LinkModel.ber` -- four
+    equally spaced levels, level-dependent Gaussian noise (thermal plus
+    MPI beat), Gray mapping -- in a single NumPy pass over the broadcast
+    of all five parameter arrays.  The arithmetic mirrors the scalar
+    oracle operation-for-operation, so results agree to the last ulp;
+    the property suite pins the two paths together at 1e-12 relative
+    tolerance.
+
+    Args:
+        rx_power_dbm: received average power(s), dBm.
+        mpi_db: aggregate interferer level(s) relative to OMA.  ``None``
+            or non-finite entries (``nan``/``-inf``) mean no MPI, matching
+            the scalar model's ``mpi_db=None`` convention.
+        thermal_noise_w: receiver noise RMS, optical-equivalent watts.
+        oim_suppression_db: beat-power suppression(s), dB (0 = OIM off).
+        equalizer_enhancement: FFE narrow-band beat enhancement factor(s).
+
+    Returns:
+        Array of BERs with the broadcast shape of the inputs.
+    """
+    rx = np.asarray(rx_power_dbm, dtype=float)
+    thermal = np.asarray(thermal_noise_w, dtype=float)
+    suppression_db = np.asarray(oim_suppression_db, dtype=float)
+    eq = np.asarray(equalizer_enhancement, dtype=float)
+    if mpi_db is None:
+        mpi = np.full((), -np.inf)
+    else:
+        mpi = np.where(
+            np.isfinite(np.asarray(mpi_db, dtype=float)),
+            np.asarray(mpi_db, dtype=float),
+            -np.inf,
+        )
+
+    shape = np.broadcast_shapes(
+        rx.shape, mpi.shape, thermal.shape, suppression_db.shape, eq.shape
+    )
+    rx, mpi, thermal, suppression_db, eq = (
+        np.broadcast_to(a, shape)[..., np.newaxis]
+        for a in (rx, mpi, thermal, suppression_db, eq)
+    )
+
+    p_avg = dbm_to_w(rx)
+    # Same op order as Pam4LinkModel.levels_w / oma_w / _interferer_w.
+    levels = np.array([0.0, 1.0, 2.0, 3.0]) * (2.0 * p_avg / 3.0)
+    oma = 2.0 * p_avg
+    p_i = np.where(np.isfinite(mpi), oma * db_to_linear(mpi) * eq, 0.0)
+    beat_var = 2.0 * levels * p_i * db_to_linear(-suppression_db)
+    sigmas = np.sqrt(thermal ** 2 + beat_var)
+
+    thresholds = (levels[..., :-1] + levels[..., 1:]) / 2.0
+    q_up = _q_function((thresholds - levels[..., :-1]) / sigmas[..., :-1])
+    q_down = _q_function((levels[..., 1:] - thresholds) / sigmas[..., 1:])
+    # Accumulate in the scalar loop's order (u0, u1, d1, u2, d2, d3) so
+    # the sum is bit-identical to the oracle.
+    symbol_error = (
+        q_up[..., 0]
+        + q_up[..., 1]
+        + q_down[..., 0]
+        + q_up[..., 2]
+        + q_down[..., 1]
+        + q_down[..., 2]
+    )
+    ser = symbol_error / 4.0
+    return np.minimum(0.5, ser / BITS_PER_SYMBOL)
+
+
 @dataclass(frozen=True)
 class Pam4LinkModel:
     """One PAM4 lane with thermal noise and optional MPI.
@@ -141,8 +216,21 @@ class Pam4LinkModel:
         return min(0.5, ser / BITS_PER_SYMBOL)
 
     def ber_curve(self, rx_powers_dbm: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`ber` over an array of received powers."""
-        return np.array([self.ber(float(p)) for p in np.asarray(rx_powers_dbm)])
+        """Vectorized :meth:`ber` over an array of received powers.
+
+        One :func:`ber_batch` pass -- no per-power Python loop.
+        """
+        return self.ber_batch(
+            np.asarray(rx_powers_dbm, dtype=float),
+            mpi_db=self.mpi_db,
+            thermal_noise_w=self.thermal_noise_w,
+            oim_suppression_db=self.oim_suppression_db,
+            equalizer_enhancement=self.equalizer_enhancement,
+        )
+
+    #: Batched BER kernel, exposed on the class for discoverability:
+    #: ``Pam4LinkModel.ber_batch(rx_powers, mpi_db=mpi_array, ...)``.
+    ber_batch = staticmethod(ber_batch)
 
     # ------------------------------------------------------------------ #
     # Monte Carlo

@@ -1,0 +1,204 @@
+"""Property suite pinning the vectorized optics kernels to their scalar
+oracles.
+
+The perf rewrite keeps every original scalar implementation in-tree
+(``Pam4LinkModel.ber``, ``FleetBerSampler.sample_reference``,
+``receiver_sensitivity_reference``); these tests assert the vectorized
+paths reproduce them to 1e-12 relative over randomized parameter grids.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.optics.ber import (
+    BerCurve,
+    LinkBerSimulator,
+    receiver_sensitivity_batch,
+    receiver_sensitivity_dbm,
+    receiver_sensitivity_reference,
+)
+from repro.optics.fleet import FleetBerSampler
+from repro.optics.pam4 import DEFAULT_THERMAL_NOISE_W, Pam4LinkModel, ber_batch
+
+#: Contract from the issue: vectorized kernels match the scalar oracles
+#: to 1e-12 relative.
+RTOL = 1e-12
+
+powers = st.floats(min_value=-20.0, max_value=0.0)
+mpis = st.one_of(st.none(), st.floats(min_value=-45.0, max_value=-25.0))
+suppressions = st.floats(min_value=0.0, max_value=20.0)
+thermal_mults = st.floats(min_value=0.5, max_value=2.0)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _assert_close(vec, ref):
+    np.testing.assert_allclose(np.asarray(vec), np.asarray(ref), rtol=RTOL, atol=0.0)
+
+
+class TestBerBatch:
+    @given(
+        st.lists(powers, min_size=1, max_size=8),
+        mpis,
+        suppressions,
+        thermal_mults,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_over_power_grid(self, pows, mpi, supp, mult):
+        model = Pam4LinkModel(
+            mpi_db=mpi,
+            oim_suppression_db=supp,
+            thermal_noise_w=DEFAULT_THERMAL_NOISE_W * mult,
+        )
+        vec = ber_batch(
+            np.array(pows),
+            mpi_db=np.nan if mpi is None else mpi,
+            thermal_noise_w=model.thermal_noise_w,
+            oim_suppression_db=supp,
+        )
+        _assert_close(vec, [model.ber(p) for p in pows])
+
+    @given(seeds, st.integers(min_value=1, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_scalar_over_mixed_parameter_grid(self, seed, n):
+        rng = np.random.default_rng(seed)
+        pows = rng.uniform(-20.0, 0.0, n)
+        mpi = np.where(rng.random(n) < 0.3, np.nan, rng.uniform(-45.0, -25.0, n))
+        thermal = DEFAULT_THERMAL_NOISE_W * rng.uniform(0.5, 2.0, n)
+        supp = rng.uniform(0.0, 20.0, n)
+        vec = ber_batch(pows, mpi_db=mpi, thermal_noise_w=thermal, oim_suppression_db=supp)
+        ref = [
+            Pam4LinkModel(
+                mpi_db=None if np.isnan(mpi[i]) else float(mpi[i]),
+                oim_suppression_db=float(supp[i]),
+                thermal_noise_w=float(thermal[i]),
+            ).ber(float(pows[i]))
+            for i in range(n)
+        ]
+        _assert_close(vec, ref)
+
+    def test_broadcasts_like_numpy(self):
+        pows = np.linspace(-15.0, -5.0, 7)[np.newaxis, :]
+        mpi = np.array([-35.0, -30.0])[:, np.newaxis]
+        assert ber_batch(pows, mpi_db=mpi).shape == (2, 7)
+
+    def test_none_and_nan_both_mean_no_mpi(self):
+        _assert_close(
+            ber_batch(-11.0, mpi_db=None), ber_batch(-11.0, mpi_db=np.nan)
+        )
+
+    def test_curve_method_uses_batch_kernel(self):
+        model = Pam4LinkModel(mpi_db=-32.0)
+        pows = np.linspace(-14.0, -6.0, 9)
+        _assert_close(model.ber_curve(pows), [model.ber(p) for p in pows])
+
+
+class TestFleetSampler:
+    @given(seeds, st.integers(min_value=1, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_sample_matches_reference(self, seed, ports):
+        sampler = FleetBerSampler(num_ports=ports, seed=seed)
+        _assert_close(sampler.sample(), sampler.sample_reference())
+
+    def test_summarize_accepts_external_bers(self):
+        sampler = FleetBerSampler(num_ports=32, seed=1)
+        assert sampler.summarize(sampler.sample()) == sampler.summarize()
+
+
+class TestSensitivityBatch:
+    @given(mpis, suppressions, thermal_mults, st.floats(min_value=1e-6, max_value=1e-2))
+    @settings(max_examples=30, deadline=None)
+    def test_batch_matches_scalar_reference(self, mpi, supp, mult, target):
+        model = Pam4LinkModel(
+            mpi_db=mpi,
+            oim_suppression_db=supp,
+            thermal_noise_w=DEFAULT_THERMAL_NOISE_W * mult,
+        )
+        try:
+            ref = receiver_sensitivity_reference(model, target)
+        except ConfigurationError:
+            with pytest.raises(ConfigurationError):
+                receiver_sensitivity_batch([model], target)
+            return
+        vec = receiver_sensitivity_batch([model], target)
+        cached = receiver_sensitivity_dbm(model, target)
+        assert vec[0] == pytest.approx(ref, rel=1e-9, abs=1e-9)
+        assert cached == pytest.approx(ref, rel=1e-9, abs=1e-9)
+
+    def test_per_model_targets_broadcast(self):
+        models = [Pam4LinkModel(), Pam4LinkModel(mpi_db=-32.0)]
+        targets = np.array([2e-4, 1e-3])
+        vec = receiver_sensitivity_batch(models, targets)
+        ref = [
+            receiver_sensitivity_reference(m, float(t))
+            for m, t in zip(models, targets)
+        ]
+        np.testing.assert_allclose(vec, ref, rtol=1e-9)
+
+    def test_empty_batch(self):
+        assert receiver_sensitivity_batch([]).size == 0
+
+
+class TestPowerAtBer:
+    @staticmethod
+    def _reference_power_at_ber(curve, target_ber):
+        # The pre-searchsorted linear scan, kept inline as the oracle.
+        logs = np.log10(np.maximum(curve.bers, 1e-30))
+        target = np.log10(target_ber)
+        if logs.min() > target:
+            raise ConfigurationError("floor above target")
+        order = np.argsort(curve.rx_powers_dbm)
+        powers, logs = curve.rx_powers_dbm[order], logs[order]
+        for i in range(len(logs) - 1):
+            if logs[i] >= target >= logs[i + 1]:
+                frac = (logs[i] - target) / (logs[i] - logs[i + 1])
+                return float(powers[i] + frac * (powers[i + 1] - powers[i]))
+        return float(powers[0] if logs[0] <= target else powers[-1])
+
+    @given(seeds, st.floats(min_value=1e-8, max_value=1e-2))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_linear_scan_on_waterfalls(self, seed, target):
+        rng = np.random.default_rng(seed)
+        pows = np.linspace(-16.0, -4.0, int(rng.integers(4, 40)))
+        model = Pam4LinkModel(mpi_db=float(rng.uniform(-40.0, -28.0)))
+        curve = BerCurve("wf", pows, model.ber_curve(pows))
+        try:
+            ref = self._reference_power_at_ber(curve, target)
+        except ConfigurationError:
+            with pytest.raises(ConfigurationError):
+                curve.power_at_ber(target)
+            return
+        assert curve.power_at_ber(target) == pytest.approx(ref, abs=1e-12)
+
+    def test_matches_scan_on_flat_segments(self):
+        # Repeated BER values exercise the side="left" tie-break.
+        pows = np.linspace(-10.0, -5.0, 6)
+        bers = np.array([1e-2, 1e-4, 1e-4, 1e-4, 1e-6, 1e-8])
+        curve = BerCurve("flat", pows, bers)
+        ref = self._reference_power_at_ber(curve, 1e-4)
+        assert curve.power_at_ber(1e-4) == pytest.approx(ref, abs=1e-12)
+
+
+class TestCurveGeneration:
+    def test_mpi_sweep_matches_scalar_models(self):
+        sim = LinkBerSimulator()
+        pows = np.linspace(-14.0, -6.0, 9)
+        curves = sim.mpi_sweep(rx_powers_dbm=pows)
+        for (mpi, oim_on), curve in curves.items():
+            model = sim._model(mpi, oim_on)
+            _assert_close(curve.bers, [model.ber(float(p)) for p in pows])
+
+    def test_sfec_curves_match_scalar_transfer(self):
+        sim = LinkBerSimulator()
+        pows = np.linspace(-15.0, -7.0, 9)
+        curves = sim.sfec_curves(rx_powers_dbm=pows)
+        for mpi in (-36.0, -32.0):
+            model = sim._model(mpi, oim_on=False)
+            raw = [model.ber(float(p)) for p in pows]
+            _assert_close(curves[(mpi, False)].bers, raw)
+            _assert_close(
+                curves[(mpi, True)].bers,
+                [sim.fec.inner.output_ber(min(b, 0.5)) for b in raw],
+            )
