@@ -8,6 +8,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from benchmarks.perf.cases import CASES, PerfCase
+from repro.obs import Observability
 
 #: A case fails the regression check when its measured speedup drops more
 #: than 30% below the committed baseline (speedup ratios are much more
@@ -37,13 +38,27 @@ def measure_seconds(fn, repeats: int = 3, slow_threshold_s: float = 2.0) -> floa
 
 
 def run_case(case: PerfCase, smoke: bool) -> Dict[str, object]:
-    """Build, parity-check, and time one case."""
-    pair = case.build(smoke)
-    vec_result = pair.vectorized()
-    ref_result = pair.reference()
-    max_rel_err = pair.parity(vec_result, ref_result)
-    vec_s = measure_seconds(pair.vectorized)
-    ref_s = measure_seconds(pair.reference)
+    """Build, parity-check, and time one case.
+
+    Each stage runs under a wall-clock span so the report entry carries a
+    per-phase breakdown; the spans wrap the measurement loops from the
+    outside and never touch the timed callables themselves.
+    """
+    obs = Observability.wall()
+    with obs.tracer.span("perf.build", case=case.name):
+        pair = case.build(smoke)
+    with obs.tracer.span("perf.parity", case=case.name):
+        vec_result = pair.vectorized()
+        ref_result = pair.reference()
+        max_rel_err = pair.parity(vec_result, ref_result)
+    with obs.tracer.span("perf.time_vectorized", case=case.name):
+        vec_s = measure_seconds(pair.vectorized)
+    with obs.tracer.span("perf.time_reference", case=case.name):
+        ref_s = measure_seconds(pair.reference)
+    phases = {
+        span.name.removeprefix("perf."): round(span.duration_ms, 3)
+        for span in obs.tracer.spans()
+    }
     return {
         "case": case.name,
         "figure": case.figure,
@@ -56,6 +71,7 @@ def run_case(case: PerfCase, smoke: bool) -> Dict[str, object]:
         "speedup": ref_s / vec_s,
         "target_speedup": case.target_speedup,
         "parity_max_rel_err": max_rel_err,
+        "phases": phases,
     }
 
 

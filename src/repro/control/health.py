@@ -34,6 +34,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.core.errors import CapacityError, ConfigurationError
 from repro.fabric.repair import RepairLoop
 from repro.faults.events import FaultEvent, FaultKind
+from repro.obs import NULL_OBS, Observability
 from repro.ocs.telemetry import Anomaly
 
 #: A circuit's fleet-wide identity: (OCS index, north port).  The north
@@ -144,9 +145,14 @@ class FleetHealthWatchdog:
 
     policy: DampingPolicy = field(default_factory=DampingPolicy)
     actions: List[QuarantineAction] = field(default_factory=list)
+    obs: Optional[Observability] = field(default=None, repr=False)
     _circuits: Dict[CircuitKey, CircuitHealth] = field(default_factory=dict, repr=False)
     _repairs: Dict[int, RepairLoop] = field(default_factory=dict, repr=False)
     _endpoints: Dict[str, CircuitKey] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.obs is None:
+            self.obs = NULL_OBS  # type: ignore[assignment]
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -194,6 +200,7 @@ class FleetHealthWatchdog:
         state = self._state(ocs_index, north)
         state.flaps += 1
         self._charge(state, self.policy.flap_penalty, now_s)
+        self.obs.metrics.counter("health.observations", kind="flap").inc()
         return state.penalty
 
     def observe_anomaly(self, ocs_index: int, anomaly: Anomaly, now_s: float) -> float:
@@ -201,6 +208,7 @@ class FleetHealthWatchdog:
         state = self._state(ocs_index, anomaly.circuit[0])
         state.anomalies += 1
         self._charge(state, self.policy.anomaly_penalty, now_s)
+        self.obs.metrics.counter("health.observations", kind="anomaly").inc()
         return state.penalty
 
     def _state(self, ocs_index: int, north: int) -> CircuitHealth:
@@ -223,20 +231,33 @@ class FleetHealthWatchdog:
     def poll(self, now_s: float) -> List[QuarantineAction]:
         """Execute pending quarantine / release decisions at ``now_s``."""
         executed: List[QuarantineAction] = []
-        for key in sorted(self._circuits):
-            state = self._circuits[key]
-            p = self.policy.decayed(state.penalty, now_s - state.updated_s)
-            if not state.quarantined and p >= self.policy.suppress_threshold:
-                executed.append(self._quarantine(state, p, now_s))
-            elif (
-                state.quarantined
-                and now_s - state.quarantined_since_s >= self.policy.hold_down_s
-                and p <= self.policy.reuse_threshold
-            ):
-                action = self._release(state, p, now_s)
-                if action is not None:
-                    executed.append(action)
-        self.actions.extend(executed)
+        with self.obs.tracer.span("health.poll", now_s=now_s) as span:
+            for key in sorted(self._circuits):
+                state = self._circuits[key]
+                p = self.policy.decayed(state.penalty, now_s - state.updated_s)
+                if not state.quarantined and p >= self.policy.suppress_threshold:
+                    executed.append(self._quarantine(state, p, now_s))
+                elif (
+                    state.quarantined
+                    and now_s - state.quarantined_since_s >= self.policy.hold_down_s
+                    and p <= self.policy.reuse_threshold
+                ):
+                    action = self._release(state, p, now_s)
+                    if action is not None:
+                        executed.append(action)
+            self.actions.extend(executed)
+            span.set_attr("actions", len(executed))
+            for action in executed:
+                self.obs.metrics.counter(
+                    "health.actions", action=action.action
+                ).inc()
+                self.obs.tracer.event(
+                    f"{action.action} ocs{action.key[0]}/N{action.key[1]}: "
+                    f"{action.detail}"
+                )
+            self.obs.metrics.gauge("health.held_out.fraction").set(
+                self.held_out_fraction()
+            )
         return executed
 
     def _quarantine(

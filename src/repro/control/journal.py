@@ -48,6 +48,7 @@ from repro.core.fabric_manager import FabricManager, LogicalLink
 from repro.core.ids import LinkId, OcsId
 from repro.core.reconfig import plan_reconfiguration
 from repro.control.wal import CrashSchedule, WalRecord, WriteAheadLog
+from repro.obs import NULL_OBS, Observability
 
 #: WAL record kinds written by the controller.
 KIND_CHECKPOINT = "checkpoint"
@@ -86,8 +87,11 @@ class DurableController:
     manager: FabricManager
     wal: WriteAheadLog = field(default_factory=WriteAheadLog)
     crash: Optional[CrashSchedule] = None
+    obs: Optional[Observability] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
+        if self.obs is None:
+            self.obs = NULL_OBS  # type: ignore[assignment]
         self.wal.crash = self.crash
         if self.wal.byte_size == 0:
             # Adoption bootstrap: the genesis checkpoint records the state
@@ -126,14 +130,16 @@ class DurableController:
             raise PortInUseError(
                 f"{ocs_id}: N{north} or S{south} already carries a circuit"
             )
-        self.wal.append(
-            KIND_OP,
-            {"op": "establish", "link": str(link_id), "ocs": ocs_id.index,
-             "north": north, "south": south},
-        )
-        self._step("op-durable")
-        link = self.manager.establish(link_id, ocs_id, north, south)
-        self._step("op-applied")
+        with self.obs.tracer.span("control.op", op="establish", link=link_id):
+            self.wal.append(
+                KIND_OP,
+                {"op": "establish", "link": str(link_id), "ocs": ocs_id.index,
+                 "north": north, "south": south},
+            )
+            self._step("op-durable")
+            link = self.manager.establish(link_id, ocs_id, north, south)
+            self._step("op-applied")
+        self.obs.metrics.counter("control.journal.ops", op="establish").inc()
         return link
 
     def adopt_link(
@@ -146,27 +152,31 @@ class DurableController:
             raise CrossConnectError(
                 f"{ocs_id}: no circuit N{north} -> S{south} to adopt for {link_id}"
             )
-        self.wal.append(
-            KIND_OP,
-            {"op": "adopt", "link": str(link_id), "ocs": ocs_id.index,
-             "north": north, "south": south},
-        )
-        self._step("op-durable")
-        link = self.manager.adopt_link(link_id, ocs_id, north, south)
-        self._step("op-applied")
+        with self.obs.tracer.span("control.op", op="adopt", link=link_id):
+            self.wal.append(
+                KIND_OP,
+                {"op": "adopt", "link": str(link_id), "ocs": ocs_id.index,
+                 "north": north, "south": south},
+            )
+            self._step("op-durable")
+            link = self.manager.adopt_link(link_id, ocs_id, north, south)
+            self._step("op-applied")
+        self.obs.metrics.counter("control.journal.ops", op="adopt").inc()
         return link
 
     def teardown(self, link_id: LinkId) -> None:
         """Journal then destroy a logical link and its circuit."""
         link = self.manager.link(link_id)
-        self.wal.append(
-            KIND_OP,
-            {"op": "teardown", "link": str(link_id), "ocs": link.ocs.index,
-             "north": link.north, "south": link.south},
-        )
-        self._step("op-durable")
-        self.manager.teardown(link_id)
-        self._step("op-applied")
+        with self.obs.tracer.span("control.op", op="teardown", link=link_id):
+            self.wal.append(
+                KIND_OP,
+                {"op": "teardown", "link": str(link_id), "ocs": link.ocs.index,
+                 "north": link.north, "south": link.south},
+            )
+            self._step("op-durable")
+            self.manager.teardown(link_id)
+            self._step("op-applied")
+        self.obs.metrics.counter("control.journal.ops", op="teardown").inc()
 
     # ------------------------------------------------------------------ #
     # Multi-OCS transactions
@@ -201,15 +211,17 @@ class DurableController:
         )
         self._step("txn-begin-durable")
         max_duration = 0.0
-        for ocs_id in order:
-            duration = self.manager.apply_switch_plan(ocs_id, plans[ocs_id])
-            max_duration = max(max_duration, duration)
-            self._step("txn-switch-applied")
-            self.wal.append(KIND_TXN_APPLY, {"ocs": ocs_id.index})
-            self._step("txn-apply-durable")
-        self.wal.append(KIND_TXN_COMMIT, {})
-        self._step("txn-commit-durable")
-        self.manager.drop_stale_links()
+        with self.obs.tracer.span("control.txn", switches=len(order)):
+            for ocs_id in order:
+                duration = self.manager.apply_switch_plan(ocs_id, plans[ocs_id])
+                max_duration = max(max_duration, duration)
+                self._step("txn-switch-applied")
+                self.wal.append(KIND_TXN_APPLY, {"ocs": ocs_id.index})
+                self._step("txn-apply-durable")
+            self.wal.append(KIND_TXN_COMMIT, {})
+            self._step("txn-commit-durable")
+            self.manager.drop_stale_links()
+            self.obs.metrics.counter("control.txn.commits").inc()
         return max_duration
 
     # ------------------------------------------------------------------ #
@@ -218,9 +230,11 @@ class DurableController:
 
     def checkpoint(self) -> WalRecord:
         """Snapshot the control plane into the log and compact behind it."""
-        record = self.wal.append(KIND_CHECKPOINT, self.manager.checkpoint())
-        self._step("checkpoint-durable")
-        self.wal.compact(record.seq)
+        with self.obs.tracer.span("control.checkpoint"):
+            record = self.wal.append(KIND_CHECKPOINT, self.manager.checkpoint())
+            self._step("checkpoint-durable")
+            self.wal.compact(record.seq)
+        self.obs.metrics.counter("control.checkpoint.writes").inc()
         return record
 
     def state_digest(self) -> str:
@@ -334,6 +348,7 @@ def recover(
     storage: bytearray,
     *,
     crash: Optional[CrashSchedule] = None,
+    obs: Optional[Observability] = None,
 ) -> Tuple[DurableController, RecoveryReport]:
     """Restart the controller from surviving WAL media.
 
@@ -343,45 +358,67 @@ def recover(
     deterministic report; raises :class:`~repro.core.errors.
     RecoveryError` if the recovered intent cannot be realized.
     """
-    wal = WriteAheadLog(storage)
-    tail_dropped = wal.repair_tail()
-    records = wal.records(strict=True)
-    links, intended, checkpoint_seq, open_txn, replayed = _replay_intent(records)
-
-    switches_repaired = 0
-    circuits_driven = 0
-    for index in sorted(intended):
-        ocs_id = OcsId(index)
-        try:
-            sw = manager.switch(ocs_id)
-        except TopologyError:
-            raise RecoveryError(
-                f"journal names {ocs_id} but it is not registered with the manager"
-            ) from None
-        target = CrossConnectMap.from_circuits(sw.radix, intended[index])
-        plan = plan_reconfiguration(sw.state, target)
-        if not plan.is_noop:
-            sw.apply_plan(plan)
-            switches_repaired += 1
-            circuits_driven += plan.num_disturbed
-    manager.replace_links(
-        LogicalLink(LinkId(name), OcsId(ocs), north, south)
-        for name, (ocs, north, south) in sorted(links.items())
-    )
-    bad = manager.verify_links()
-    if bad:
-        raise RecoveryError(
-            f"recovery left {len(bad)} link(s) unrealized: "
-            f"{', '.join(str(b) for b in bad)}"
+    if obs is None:
+        obs = NULL_OBS  # type: ignore[assignment]
+    with obs.tracer.span("control.recover") as span:
+        start_ms = obs.clock.now()
+        wal = WriteAheadLog(storage)
+        tail_dropped = wal.repair_tail()
+        records = wal.records(strict=True)
+        links, intended, checkpoint_seq, open_txn, replayed = _replay_intent(
+            records
         )
-    controller = DurableController(manager=manager, wal=wal, crash=crash)
-    report = RecoveryReport(
-        records_replayed=replayed,
-        checkpoint_seq=checkpoint_seq,
-        tail_bytes_dropped=tail_dropped,
-        open_txn=open_txn,
-        switches_repaired=switches_repaired,
-        circuits_driven=circuits_driven,
-        state_digest=manager.state_digest(),
-    )
+
+        switches_repaired = 0
+        circuits_driven = 0
+        for index in sorted(intended):
+            ocs_id = OcsId(index)
+            try:
+                sw = manager.switch(ocs_id)
+            except TopologyError:
+                raise RecoveryError(
+                    f"journal names {ocs_id} but it is not registered with the manager"
+                ) from None
+            target = CrossConnectMap.from_circuits(sw.radix, intended[index])
+            plan = plan_reconfiguration(sw.state, target)
+            if not plan.is_noop:
+                with obs.tracer.span(
+                    "control.recover.drive", ocs=ocs_id,
+                    disturbed=plan.num_disturbed,
+                ):
+                    obs.clock.advance(sw.apply_plan(plan))
+                switches_repaired += 1
+                circuits_driven += plan.num_disturbed
+        manager.replace_links(
+            LogicalLink(LinkId(name), OcsId(ocs), north, south)
+            for name, (ocs, north, south) in sorted(links.items())
+        )
+        bad = manager.verify_links()
+        if bad:
+            raise RecoveryError(
+                f"recovery left {len(bad)} link(s) unrealized: "
+                f"{', '.join(str(b) for b in bad)}"
+            )
+        controller = DurableController(
+            manager=manager, wal=wal, crash=crash, obs=obs
+        )
+        report = RecoveryReport(
+            records_replayed=replayed,
+            checkpoint_seq=checkpoint_seq,
+            tail_bytes_dropped=tail_dropped,
+            open_txn=open_txn,
+            switches_repaired=switches_repaired,
+            circuits_driven=circuits_driven,
+            state_digest=manager.state_digest(),
+        )
+        span.set_attr("records_replayed", replayed)
+        span.set_attr("open_txn", open_txn)
+        span.set_attr("switches_repaired", switches_repaired)
+        obs.metrics.counter("control.recover.runs").inc()
+        obs.metrics.counter("control.recover.records_replayed").inc(replayed)
+        obs.metrics.counter("control.recover.circuits_driven").inc(circuits_driven)
+        obs.metrics.counter("control.recover.txn_outcome", outcome=open_txn).inc()
+        obs.metrics.histogram("control.recover.duration_ms").observe(
+            obs.clock.now() - start_ms
+        )
     return controller, report

@@ -45,6 +45,7 @@ from repro.faults.resilience import (
     ResilientReconfigurer,
     RetryPolicy,
 )
+from repro.obs import NULL_OBS, Observability
 
 
 class DriftKind(enum.Enum):
@@ -118,6 +119,11 @@ class Reconciler:
     faults: Optional[ControlPlaneFaults] = None
     seed: int = 0
     drop_orphans: bool = True
+    obs: Optional[Observability] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.obs is None:
+            self.obs = NULL_OBS  # type: ignore[assignment]
 
     # ------------------------------------------------------------------ #
     # Diff
@@ -229,23 +235,35 @@ class Reconciler:
         back repair transaction (injected faults exhausted the retries)
         leaves the fabric for the next round.
         """
-        drifts = self.diff()
-        if not any(self._repairable(d) for d in drifts):
-            return drifts, 0, False
-        targets = self.repair_targets(drifts)
-        if not targets:
-            return drifts, 0, False
-        reconfigurer = ResilientReconfigurer(
-            manager=self.manager,
-            policy=self.policy,
-            faults=self.faults,
-            seed=self.seed,
-        )
-        try:
-            result = reconfigurer.reconfigure(targets)
-        except TransactionError:
-            return drifts, 0, True
-        return drifts, result.circuits_disturbed, False
+        with self.obs.tracer.span("reconcile.round") as span:
+            drifts = self.diff()
+            span.set_attr("drifts", len(drifts))
+            for drift in drifts:
+                self.obs.metrics.counter(
+                    "reconcile.drifts", kind=drift.kind.value
+                ).inc()
+            if not any(self._repairable(d) for d in drifts):
+                return drifts, 0, False
+            targets = self.repair_targets(drifts)
+            if not targets:
+                return drifts, 0, False
+            reconfigurer = ResilientReconfigurer(
+                manager=self.manager,
+                policy=self.policy,
+                faults=self.faults,
+                seed=self.seed,
+                obs=self.obs,
+            )
+            try:
+                result = reconfigurer.reconfigure(targets)
+            except TransactionError:
+                self.obs.metrics.counter("reconcile.rollbacks").inc()
+                span.set_attr("rolled_back", True)
+                return drifts, 0, True
+            self.obs.metrics.counter("reconcile.repaired_circuits").inc(
+                result.circuits_disturbed
+            )
+            return drifts, result.circuits_disturbed, False
 
     def run(self, max_rounds: int = 5) -> ReconcileReport:
         """Diff and repair until clean or ``max_rounds`` is exhausted."""
@@ -254,21 +272,27 @@ class Reconciler:
         transactions = 0
         rollbacks = 0
         rounds = 0
-        for round_index in range(max_rounds):
-            drifts, disturbed, rolled_back = self.run_once()
-            if round_index == 0:
-                initial = drifts
-            if not any(self._repairable(d) for d in drifts):
-                break
-            rounds += 1
-            transactions += 1
-            repaired += disturbed
-            rollbacks += 1 if rolled_back else 0
-        # Convergence ignores drift the loop is configured not to act on
-        # (orphans under drop_orphans=False, unregistered switches).
-        converged = not any(
-            self._repairable(d) for d in self.diff()
-        ) and not self.manager.verify_links()
+        with self.obs.tracer.span("reconcile.run", max_rounds=max_rounds) as span:
+            for round_index in range(max_rounds):
+                drifts, disturbed, rolled_back = self.run_once()
+                if round_index == 0:
+                    initial = drifts
+                if not any(self._repairable(d) for d in drifts):
+                    break
+                rounds += 1
+                transactions += 1
+                repaired += disturbed
+                rollbacks += 1 if rolled_back else 0
+            # Convergence ignores drift the loop is configured not to act on
+            # (orphans under drop_orphans=False, unregistered switches).
+            converged = not any(
+                self._repairable(d) for d in self.diff()
+            ) and not self.manager.verify_links()
+            span.set_attr("rounds", rounds)
+            span.set_attr("converged", converged)
+            self.obs.metrics.counter("reconcile.runs").inc()
+            if not converged:
+                self.obs.metrics.counter("reconcile.unconverged_runs").inc()
         return ReconcileReport(
             rounds=rounds,
             initial_drifts=initial,

@@ -28,6 +28,7 @@ from repro.core.errors import (
 )
 from repro.core.ids import LinkId, OcsId
 from repro.core.reconfig import ReconfigPlan, ReconfigStats, plan_reconfiguration
+from repro.obs import NULL_OBS, Observability
 
 
 class SwitchLike(Protocol):
@@ -94,10 +95,13 @@ class FabricManager:
         mgr.reconfigure({OcsId(0): target_map})
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Observability] = None) -> None:
         self._switches: Dict[OcsId, SwitchLike] = {}
         self._links: Dict[LinkId, LogicalLink] = {}
         self.stats = ReconfigStats()
+        #: Observability bundle; NULL_OBS (shared no-op) when not supplied,
+        #: so the instrumented paths cost one no-op call each.
+        self.obs = obs if obs is not None else NULL_OBS
 
     # ------------------------------------------------------------------ #
     # Inventory
@@ -137,6 +141,7 @@ class FabricManager:
         sw.state.connect(north, south)
         link = LogicalLink(link_id, ocs_id, north, south)
         self._links[link_id] = link
+        self.obs.metrics.counter("fabric.link.establish").inc()
         return link
 
     def adopt_link(self, link_id: LinkId, ocs_id: OcsId, north: int, south: int) -> LogicalLink:
@@ -175,6 +180,7 @@ class FabricManager:
             )
         sw.state.disconnect(link.north)
         del self._links[link_id]
+        self.obs.metrics.counter("fabric.link.teardown").inc()
 
     def link(self, link_id: LinkId) -> LogicalLink:
         """Look up a logical link by id."""
@@ -220,22 +226,33 @@ class FabricManager:
         pre_state = {ocs_id: self.switch(ocs_id).state.copy() for ocs_id in order}
         applied: List[OcsId] = []
         max_duration = 0.0
-        for i, ocs_id in enumerate(order):
-            try:
-                duration = self.apply_switch_plan(ocs_id, plans[ocs_id])
-            except Exception as err:
-                rolled_back = self._restore_applied(applied, pre_state)
-                raise PartialTransactionError(
-                    f"programming {ocs_id} raised mid-transaction ({err}); "
-                    f"applied switches {'restored' if rolled_back else 'NOT restored'}",
-                    ocs_id=ocs_id,
-                    applied=applied,
-                    unapplied=order[i:],
-                    rolled_back=rolled_back,
-                ) from err
-            applied.append(ocs_id)
-            max_duration = max(max_duration, duration)
-        self.drop_stale_links()
+        with self.obs.tracer.span(
+            "fabric.reconfigure", switches=len(order)
+        ) as span:
+            for i, ocs_id in enumerate(order):
+                try:
+                    duration = self.apply_switch_plan(ocs_id, plans[ocs_id])
+                except Exception as err:
+                    rolled_back = self._restore_applied(applied, pre_state)
+                    self.obs.metrics.counter("fabric.reconfig.rollbacks").inc()
+                    span.set_attr("rolled_back", rolled_back)
+                    raise PartialTransactionError(
+                        f"programming {ocs_id} raised mid-transaction ({err}); "
+                        f"applied switches {'restored' if rolled_back else 'NOT restored'}",
+                        ocs_id=ocs_id,
+                        applied=applied,
+                        unapplied=order[i:],
+                        rolled_back=rolled_back,
+                    ) from err
+                applied.append(ocs_id)
+                max_duration = max(max_duration, duration)
+            self.drop_stale_links()
+            self.obs.metrics.counter("fabric.reconfig.commits").inc()
+            # The returned latency models parallel switch programming
+            # (max, not the span's serialized sum).
+            self.obs.metrics.histogram("fabric.reconfig.duration_ms").observe(
+                max_duration
+            )
         return max_duration
 
     def _restore_applied(
@@ -268,8 +285,14 @@ class FabricManager:
         (:mod:`repro.faults.resilience`); callers composing several
         switch plans should finish with :meth:`drop_stale_links`.
         """
-        duration = self.switch(ocs_id).apply_plan(plan)
+        with self.obs.tracer.span(
+            "fabric.apply_plan", ocs=ocs_id, disturbed=plan.num_disturbed
+        ):
+            duration = self.switch(ocs_id).apply_plan(plan)
+            self.obs.clock.advance(duration)
         self.stats.record(plan, duration)
+        self.obs.metrics.counter("fabric.plan.applies").inc()
+        self.obs.metrics.histogram("fabric.plan.duration_ms").observe(duration)
         return duration
 
     def drop_stale_links(self) -> None:
@@ -281,6 +304,8 @@ class FabricManager:
                 stale.append(link_id)
         for link_id in stale:
             del self._links[link_id]
+        if stale:
+            self.obs.metrics.counter("fabric.link.dropped_stale").inc(len(stale))
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -670,6 +670,7 @@ def controller_crash_recovery(
     num_ocses: int = 3,
     links_per_ocs: int = 6,
     moved_per_ocs: int = 4,
+    obs=None,
 ) -> ChaosReport:
     """Kill the durable controller at every step of a reconfiguration.
 
@@ -693,6 +694,10 @@ def controller_crash_recovery(
     Goodput is the fraction of links realized after each recovery (1.0
     at every point, or the drill failed); metrics count the crash
     points and distinct digests.
+
+    Pass an :class:`~repro.obs.Observability` bundle as ``obs`` to trace
+    the whole sweep (transaction, crash, recovery, reconcile spans) --
+    the report and its digest are identical with or without it.
     """
     from repro.control import CrashSchedule, DurableController, Reconciler, recover
     from repro.core.crossconnect import CrossConnectMap
@@ -705,10 +710,10 @@ def controller_crash_recovery(
         raise ConfigurationError(
             "need >=1 OCS, >=1 link, and 0 < moved_per_ocs <= links_per_ocs"
         )
-    injector = FaultInjector(seed=seed)
+    injector = FaultInjector(seed=seed, obs=obs)
 
     def build() -> FabricManager:
-        mgr = FabricManager()
+        mgr = FabricManager(obs=obs)
         for i in range(num_ocses):
             mgr.add_switch(OcsId(i), PalomarOcs.build(name=f"crash-ocs{i}", seed=seed + i))
         return mgr
@@ -729,7 +734,7 @@ def controller_crash_recovery(
     # Straight-line run: the WAL bytes after adoption, and the digest a
     # committed transaction must recover to.
     mgr0 = build()
-    ctl0 = DurableController(manager=mgr0)
+    ctl0 = DurableController(manager=mgr0, obs=obs)
     for i in range(num_ocses):
         for n in range(links_per_ocs):
             ctl0.establish(LinkId(f"lk-{i}-{n}"), OcsId(i), n, n + links_per_ocs)
@@ -748,7 +753,7 @@ def controller_crash_recovery(
     while True:
         mgr = build()
         storage = bytearray(wal_after_adopt)
-        ctl, _ = recover(mgr, storage)
+        ctl, _ = recover(mgr, storage, obs=obs)
         crash = CrashSchedule(at_step=step)
         ctl.crash = crash
         ctl.wal.crash = crash
@@ -760,11 +765,11 @@ def controller_crash_recovery(
                 severity=float(step),
             )
             injector.pop_next()
-            _, report = recover(mgr, storage)
+            _, report = recover(mgr, storage, obs=obs)
             surviving = total_links - len(mgr.verify_links())
             if surviving == total_links:
                 recoveries_ok += 1
-            if Reconciler(manager=mgr, drop_orphans=False).run().converged:
+            if Reconciler(manager=mgr, drop_orphans=False, obs=obs).run().converged:
                 reconciles_converged += 1
             tail_bytes_total += report.tail_bytes_dropped
             if report.open_txn == "rolled-forward":

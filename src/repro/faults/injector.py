@@ -25,6 +25,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.errors import FaultInjectionError
+from repro.obs import Observability
 from repro.faults.events import (
     FaultEvent,
     FaultKind,
@@ -42,6 +43,9 @@ class FaultInjector:
     """Deterministic cross-layer fault scheduler and dispatcher."""
 
     seed: int = 0
+    #: Optional observability bundle; event delivery is a hot loop, so
+    #: instrumentation is counters-only and guarded on ``None``.
+    obs: Optional[Observability] = field(default=None, repr=False)
     _rng: np.random.Generator = field(init=False, repr=False)
     _heap: List[Tuple[float, int, FaultEvent]] = field(
         init=False, default_factory=list, repr=False
@@ -180,6 +184,12 @@ class FaultInjector:
             return None
         _, _, event = heapq.heappop(self._heap)
         self._delivered.append(event)
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "faults.events.delivered",
+                kind=event.kind.value,
+                edge="recovery" if event.recovery else "fault",
+            ).inc()
         for callback in self._subscribers.get(event.kind, ()):
             callback(event)
         return event

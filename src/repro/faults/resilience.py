@@ -32,6 +32,7 @@ from repro.core.fabric_manager import FabricManager
 from repro.core.ids import OcsId
 from repro.core.reconfig import ReconfigPlan
 from repro.faults.events import FaultEvent, FaultKind, target_index
+from repro.obs import NULL_OBS, Observability
 
 
 @dataclass(frozen=True)
@@ -204,9 +205,12 @@ class ResilientReconfigurer:
     policy: RetryPolicy = field(default_factory=RetryPolicy)
     faults: Optional[ControlPlaneFaults] = None
     seed: int = 0
+    obs: Optional[Observability] = field(default=None, repr=False)
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        if self.obs is None:
+            self.obs = NULL_OBS  # type: ignore[assignment]
         self._rng = np.random.default_rng(self.seed)
 
     def reconfigure(
@@ -220,31 +224,49 @@ class ResilientReconfigurer:
         backoff_total = 0.0
         max_duration = 0.0
         disturbed = preserved = 0
-        for ocs_id in sorted(plans):
-            plan = plans[ocs_id]
-            attempt = 0
-            while True:
-                attempt += 1
-                failure = self._attempt_failure(ocs_id, plan)
-                if failure is None:
-                    duration = self.manager.apply_switch_plan(ocs_id, plan)
-                    max_duration = max(max_duration, duration)
-                    attempts[ocs_id] = attempt
-                    applied.append((ocs_id, plan))
-                    disturbed += plan.num_disturbed
-                    preserved += len(plan.unchanged)
-                    break
-                if attempt > self.policy.max_retries:
-                    self._rollback(applied, pre_state)
-                    raise TransactionError(
-                        f"programming {ocs_id} failed after {attempt} attempt(s) "
-                        f"({failure}); transaction rolled back",
-                        ocs_id=ocs_id,
-                        attempts=attempt,
-                        rolled_back=True,
+        with self.obs.tracer.span(
+            "resilience.txn", switches=len(plans)
+        ) as span:
+            for ocs_id in sorted(plans):
+                plan = plans[ocs_id]
+                attempt = 0
+                while True:
+                    attempt += 1
+                    failure = self._attempt_failure(ocs_id, plan)
+                    if failure is None:
+                        duration = self.manager.apply_switch_plan(ocs_id, plan)
+                        max_duration = max(max_duration, duration)
+                        attempts[ocs_id] = attempt
+                        applied.append((ocs_id, plan))
+                        disturbed += plan.num_disturbed
+                        preserved += len(plan.unchanged)
+                        break
+                    self.obs.metrics.counter(
+                        "resilience.attempt.failures",
+                        reason="rpc-timeout" if failure.startswith("rpc")
+                        else "mirror-stuck",
+                    ).inc()
+                    self.obs.tracer.event(f"{ocs_id} attempt {attempt}: {failure}")
+                    if attempt > self.policy.max_retries:
+                        self._rollback(applied, pre_state)
+                        self.obs.metrics.counter("resilience.rollbacks").inc()
+                        span.set_attr("rolled_back", True)
+                        raise TransactionError(
+                            f"programming {ocs_id} failed after {attempt} attempt(s) "
+                            f"({failure}); transaction rolled back",
+                            ocs_id=ocs_id,
+                            attempts=attempt,
+                            rolled_back=True,
+                        )
+                    backoff = self.policy.backoff_ms(attempt, self._rng)
+                    backoff_total += backoff
+                    self.obs.clock.advance(backoff)
+                    self.obs.metrics.counter("resilience.retries").inc()
+                    self.obs.metrics.histogram("resilience.backoff_ms").observe(
+                        backoff
                     )
-                backoff_total += self.policy.backoff_ms(attempt, self._rng)
-        self.manager.drop_stale_links()
+            self.manager.drop_stale_links()
+            self.obs.metrics.counter("resilience.commits").inc()
         return TransactionResult(
             attempts=attempts,
             backoff_ms=backoff_total,

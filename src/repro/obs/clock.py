@@ -1,0 +1,67 @@
+"""Clocks that drive the observability subsystem.
+
+Traces must be reproducible under a fixed seed (§3.2.2's telemetry loop
+is only debuggable because the same incident can be replayed), so span
+timing never comes from the wall: the default :class:`SimClock` is a
+plain accumulator the instrumented code advances by *modeled* durations
+(a reconfiguration plan's ``duration_ms``, a recovery replay's applied
+plans, a watchdog poll interval).  Two runs with equal seeds therefore
+produce byte-identical span trees.
+
+:class:`WallClock` implements the same interface against
+``time.perf_counter`` for the one place real time is wanted: the perf
+harness's per-phase breakdown (``benchmarks/perf``), where the artifact
+is a measurement, not a reproducible trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass
+class SimClock:
+    """Deterministic milliseconds accumulator (the default trace clock)."""
+
+    now_ms: float = 0.0
+
+    def now(self) -> float:
+        """Current simulation time in ms."""
+        return self.now_ms
+
+    def advance(self, dt_ms: float) -> float:
+        """Move the clock forward by ``dt_ms`` (must be non-negative)."""
+        if dt_ms < 0:
+            raise ConfigurationError(f"clock cannot run backward ({dt_ms} ms)")
+        self.now_ms += dt_ms
+        return self.now_ms
+
+    def advance_to(self, t_ms: float) -> float:
+        """Move the clock forward to an absolute time (never backward)."""
+        self.now_ms = max(self.now_ms, t_ms)
+        return self.now_ms
+
+
+@dataclass
+class WallClock:
+    """Real elapsed time, for measurement artifacts (perf harness only).
+
+    ``advance`` is a no-op: wall time moves on its own.  The epoch is the
+    clock's construction, so span starts stay small readable numbers.
+    """
+
+    _epoch_s: float = field(default_factory=time.perf_counter)
+
+    def now(self) -> float:
+        return (time.perf_counter() - self._epoch_s) * 1e3
+
+    def advance(self, dt_ms: float) -> float:
+        del dt_ms
+        return self.now()
+
+    def advance_to(self, t_ms: float) -> float:
+        del t_ms
+        return self.now()

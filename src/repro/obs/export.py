@@ -1,0 +1,65 @@
+"""JSONL export/import for traces and metric snapshots.
+
+One record per line, plain JSON -- greppable, diffable, and small enough
+to upload as a CI artifact from every recovery drill.  The first line of
+each file is a ``meta`` record identifying the stream so a reader can
+tell a trace file from a metrics file without trusting the filename.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+PathLike = Union[str, Path]
+
+
+def write_jsonl(
+    path: PathLike, records: Sequence[Mapping[str, object]]
+) -> Path:
+    """Write records one-per-line; returns the resolved path."""
+    out = Path(path)
+    with out.open("w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+            fh.write("\n")
+    return out
+
+
+def read_jsonl(path: PathLike) -> List[Dict[str, object]]:
+    """Read every record back (inverse of :func:`write_jsonl`)."""
+    records: List[Dict[str, object]] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def export_trace(path: PathLike, tracer: Tracer, **meta: object) -> Path:
+    """Write one tracer's span tree as JSONL (meta line + span records)."""
+    head: Dict[str, object] = {
+        "type": "meta",
+        "stream": "trace",
+        "spans": tracer.num_spans,
+        "digest": tracer.tree_digest(),
+    }
+    head.update(meta)
+    return write_jsonl(path, [head, *tracer.to_records()])
+
+
+def export_metrics(path: PathLike, registry: MetricsRegistry, **meta: object) -> Path:
+    """Write one registry snapshot as JSONL (meta line + series records)."""
+    head: Dict[str, object] = {
+        "type": "meta",
+        "stream": "metrics",
+        "series": registry.num_series,
+        "digest": registry.digest(),
+    }
+    head.update(meta)
+    return write_jsonl(path, [head, *registry.to_records()])

@@ -1,0 +1,269 @@
+"""A deterministic metrics registry: counters, gauges, histograms.
+
+The fleet only works in production because every control-plane action is
+counted somewhere a NOC dashboard can see it (§3.2.2, §3.4).  This is
+that substrate for the reproduction: one :class:`MetricsRegistry` holds
+every series, keyed by a metric name (``subsystem.object.verb`` by
+convention, see ``docs/SYSTEMS.md`` §10) plus a small sorted label set.
+
+Three instrument kinds:
+
+- :class:`Counter` -- monotonically non-decreasing totals (``inc``/``add``);
+- :class:`Gauge` -- last-write-wins level (``set``/``add``);
+- :class:`Histogram` -- exponential-bucket distribution (``observe``),
+  with a quantile estimator for SLO reporting.
+
+Everything is plain Python and insertion-ordered, so a
+:meth:`MetricsRegistry.snapshot` is a pure function of the recorded
+operations and :meth:`MetricsRegistry.digest` is byte-stable across
+equal-seed runs -- the property the tracing-determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+
+#: A series' label set, canonicalized: sorted (key, value) pairs.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _canon_labels(labels: Mapping[str, object]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def series_key(name: str, labels: LabelSet) -> str:
+    """Render ``name{k=v,...}`` (just ``name`` when unlabeled)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """A monotonically non-decreasing total."""
+
+    name: str
+    labels: LabelSet = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> float:
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name} cannot decrease")
+        self.value += amount
+        return self.value
+
+    #: ``add`` reads better at call sites accumulating batch totals.
+    add = inc
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins level (may go up or down)."""
+
+    name: str
+    labels: LabelSet = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+    def add(self, delta: float) -> float:
+        self.value += delta
+        return self.value
+
+
+#: Default exponential bucket ladder: 0.001 * 2**i upper bounds.  40
+#: buckets span 1e-3 .. ~5.5e8, covering microsecond kernels through
+#: multi-hour repair horizons in ms without tuning.
+DEFAULT_BUCKET_START = 1e-3
+DEFAULT_BUCKET_FACTOR = 2.0
+DEFAULT_BUCKET_COUNT = 40
+
+
+def exponential_bounds(
+    start: float = DEFAULT_BUCKET_START,
+    factor: float = DEFAULT_BUCKET_FACTOR,
+    count: int = DEFAULT_BUCKET_COUNT,
+) -> Tuple[float, ...]:
+    """Upper bounds of an exponential bucket ladder."""
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ConfigurationError("need start > 0, factor > 1, count >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+@dataclass
+class Histogram:
+    """An exponential-bucket distribution of observed values.
+
+    ``counts[i]`` holds observations with ``value <= bounds[i]`` (and
+    above ``bounds[i-1]``); the implicit final bucket is +inf overflow.
+    """
+
+    name: str
+    labels: LabelSet = ()
+    bounds: Tuple[float, ...] = field(default_factory=exponential_bounds)
+    counts: List[int] = field(init=False)
+    count: int = 0
+    sum: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        self.counts[index] += 1
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Conservative quantile estimate: the upper bound of the bucket
+        where the cumulative count crosses ``q`` (``max`` for overflow).
+
+        Good enough for SLO gating -- the estimate never understates the
+        true quantile by more than one bucket's width.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index < len(self.bounds):
+                    return min(self.bounds[index], self.max)
+                return self.max
+        return self.max
+
+
+class MetricsRegistry:
+    """All metric series of one run, get-or-create by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelSet], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelSet], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelSet], Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # Instrument accessors
+    # ------------------------------------------------------------------ #
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _canon_labels(labels))
+        series = self._counters.get(key)
+        if series is None:
+            series = self._counters[key] = Counter(name, key[1])
+        return series
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _canon_labels(labels))
+        series = self._gauges.get(key)
+        if series is None:
+            series = self._gauges[key] = Gauge(name, key[1])
+        return series
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Tuple[float, ...]] = None,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _canon_labels(labels))
+        series = self._histograms.get(key)
+        if series is None:
+            series = self._histograms[key] = Histogram(
+                name, key[1], bounds=bounds or exponential_bounds()
+            )
+        return series
+
+    # ------------------------------------------------------------------ #
+    # Query API
+    # ------------------------------------------------------------------ #
+
+    def value(self, name: str, **labels: object) -> float:
+        """Current value of one counter or gauge series (0.0 if absent)."""
+        key = (name, _canon_labels(labels))
+        series = self._counters.get(key) or self._gauges.get(key)
+        return series.value if series is not None else 0.0
+
+    def counters(
+        self, name: Optional[str] = None, **labels: object
+    ) -> Iterator[Counter]:
+        """Counter series matching a name and a label subset."""
+        want = dict(_canon_labels(labels))
+        for (series_name, series_labels), series in self._counters.items():
+            if name is not None and series_name != name:
+                continue
+            have = dict(series_labels)
+            if all(have.get(k) == v for k, v in want.items()):
+                yield series
+
+    def sum_counters(self, name: str, **labels: object) -> float:
+        """Total across every counter series matching the filters."""
+        return sum(series.value for series in self.counters(name, **labels))
+
+    @property
+    def num_series(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots / export
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Canonical (sorted) view of every series, JSON-serializable."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for (name, labels), c in sorted(self._counters.items()):
+            out["counters"][series_key(name, labels)] = c.value
+        for (name, labels), g in sorted(self._gauges.items()):
+            out["gauges"][series_key(name, labels)] = g.value
+        for (name, labels), h in sorted(self._histograms.items()):
+            out["histograms"][series_key(name, labels)] = {
+                "count": h.count,
+                "sum": h.sum,
+                "min": h.min if h.count else 0.0,
+                "max": h.max if h.count else 0.0,
+                # Sparse: only occupied buckets, as [upper_bound, count].
+                "buckets": [
+                    [h.bounds[i] if i < len(h.bounds) else "inf", n]
+                    for i, n in enumerate(h.counts)
+                    if n
+                ],
+            }
+        return out
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """Flat per-series records for the JSONL exporter."""
+        records: List[Dict[str, object]] = []
+        snapshot = self.snapshot()
+        for kind in ("counters", "gauges"):
+            for key, value in snapshot[kind].items():
+                records.append({"type": kind[:-1], "series": key, "value": value})
+        for key, hist in snapshot["histograms"].items():
+            records.append({"type": "histogram", "series": key, **hist})
+        return records
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical snapshot: equal digests mean every
+        series recorded byte-identical values."""
+        payload = json.dumps(self.snapshot(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

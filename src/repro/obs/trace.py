@@ -1,0 +1,192 @@
+"""Structured tracing: nested spans on the simulation clock.
+
+A :class:`Tracer` produces a tree of :class:`Span` records through the
+``span(name, **attrs)`` context manager.  Start/end times come from the
+tracer's clock (:mod:`repro.obs.clock`), which instrumented code
+advances by *modeled* durations -- so the span tree, including every
+timestamp, is a pure function of the seed.  ``tree_digest()`` pins that
+down for the determinism tests.
+
+The in-memory query API (:meth:`Tracer.find`, :meth:`Tracer.slowest`,
+:meth:`Tracer.children`) is what the NOC report and the tests consume;
+the JSONL exporter (:mod:`repro.obs.export`) is the CI artifact path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.clock import SimClock
+
+#: Span attributes, canonicalized: sorted (key, rendered value) pairs.
+AttrSet = Tuple[Tuple[str, str], ...]
+
+
+def _canon_attrs(attrs: Dict[str, object]) -> AttrSet:
+    return tuple(sorted((str(k), str(v)) for k, v in attrs.items()))
+
+
+@dataclass
+class Span:
+    """One traced operation (mutable while open, frozen by convention
+    after its context manager exits)."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_ms: float
+    end_ms: Optional[float] = None
+    attrs: AttrSet = ()
+    status: str = "ok"
+    #: Timestamped point annotations added while the span was open.
+    events: Tuple[Tuple[float, str], ...] = ()
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.end_ms - self.start_ms) if self.end_ms is not None else 0.0
+
+    def attr(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        for k, v in self.attrs:
+            if k == key:
+                return v
+        return default
+
+    def set_attr(self, key: str, value: object) -> None:
+        """Attach/overwrite one attribute on an open span."""
+        self.attrs = _canon_attrs({**dict(self.attrs), key: value})
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+            "events": [list(e) for e in self.events],
+        }
+
+
+class Tracer:
+    """Produces and stores the span tree of one run."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._spans: List[Span] = []  # in start order, stable across runs
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a nested span; closes (with error status) on exception."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent,
+            name=name,
+            start_ms=self.clock.now(),
+            attrs=_canon_attrs(attrs),
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as err:
+            span.status = "error"
+            span.set_attr("error", type(err).__name__)
+            raise
+        finally:
+            self._stack.pop()
+            span.end_ms = self.clock.now()
+
+    def event(self, message: str) -> None:
+        """Timestamped annotation on the innermost open span (dropped
+        when no span is open -- events are trace detail, not state)."""
+        if self._stack:
+            span = self._stack[-1]
+            span.events = span.events + ((self.clock.now(), message),)
+
+    # ------------------------------------------------------------------ #
+    # Query API
+    # ------------------------------------------------------------------ #
+
+    def spans(self) -> Tuple[Span, ...]:
+        """Every recorded span, in start order."""
+        return tuple(self._spans)
+
+    def find(
+        self,
+        name: Optional[str] = None,
+        t0_ms: Optional[float] = None,
+        t1_ms: Optional[float] = None,
+        **attrs: object,
+    ) -> Tuple[Span, ...]:
+        """Spans filtered by name, time overlap, and attribute subset.
+
+        A span matches a time range when its [start, end] interval
+        overlaps [t0, t1]; open spans are treated as ending now.
+        """
+        want = dict(_canon_attrs(attrs))
+        out: List[Span] = []
+        for span in self._spans:
+            if name is not None and span.name != name:
+                continue
+            end = span.end_ms if span.end_ms is not None else self.clock.now()
+            if t0_ms is not None and end < t0_ms:
+                continue
+            if t1_ms is not None and span.start_ms > t1_ms:
+                continue
+            have = dict(span.attrs)
+            if not all(have.get(k) == v for k, v in want.items()):
+                continue
+            out.append(span)
+        return tuple(out)
+
+    def slowest(self, k: int = 10, name: Optional[str] = None) -> Tuple[Span, ...]:
+        """Top-``k`` spans by duration (ties broken by start order)."""
+        pool = self.find(name=name) if name is not None else self.spans()
+        closed = [s for s in pool if s.end_ms is not None]
+        return tuple(
+            sorted(closed, key=lambda s: (-s.duration_ms, s.span_id))[:k]
+        )
+
+    def children(self, span: Span) -> Tuple[Span, ...]:
+        return tuple(s for s in self._spans if s.parent_id == span.span_id)
+
+    def roots(self) -> Tuple[Span, ...]:
+        return tuple(s for s in self._spans if s.parent_id is None)
+
+    @property
+    def num_spans(self) -> int:
+        return len(self._spans)
+
+    # ------------------------------------------------------------------ #
+    # Determinism / export
+    # ------------------------------------------------------------------ #
+
+    def tree_digest(self) -> str:
+        """SHA-256 over every span's identity, structure, timing, attrs,
+        and events: equal digests mean byte-identical traces."""
+        h = hashlib.sha256()
+        for s in self._spans:
+            attrs = ",".join(f"{k}={v}" for k, v in s.attrs)
+            events = ";".join(f"{t!r}:{m}" for t, m in s.events)
+            h.update(
+                f"{s.span_id}|{s.parent_id}|{s.name}|{s.start_ms!r}|"
+                f"{s.end_ms!r}|{s.status}|{attrs}|{events}\n".encode("utf-8")
+            )
+        return h.hexdigest()
+
+    def to_records(self) -> List[Dict[str, object]]:
+        return [s.to_record() for s in self._spans]

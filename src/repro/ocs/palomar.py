@@ -75,8 +75,18 @@ class PalomarOcs:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def build(cls, name: str = "palomar", seed: int = 0) -> "PalomarOcs":
-        """Fabricate a Palomar OCS with seeded randomness."""
+    def build(
+        cls,
+        name: str = "palomar",
+        seed: int = 0,
+        telemetry: Optional[OcsTelemetry] = None,
+    ) -> "PalomarOcs":
+        """Fabricate a Palomar OCS with seeded randomness.
+
+        Pass ``telemetry`` to land this switch's counters on a shared
+        :class:`~repro.obs.metrics.MetricsRegistry` (fleet aggregation);
+        by default each switch gets its own private telemetry.
+        """
         rng = np.random.default_rng(seed)
         array_north = MirrorArray.fabricate(f"{name}/mems-A", rng)
         array_south = MirrorArray.fabricate(f"{name}/mems-B", rng)
@@ -94,6 +104,7 @@ class PalomarOcs:
             drivers_north=DriverBank.build(array_north.num_ports),
             drivers_south=DriverBank.build(array_south.num_ports),
             rng=rng,
+            telemetry=telemetry if telemetry is not None else OcsTelemetry(),
         )
 
     # ------------------------------------------------------------------ #

@@ -5,6 +5,14 @@ because OCSes have a large blast radius (§3.2.2).  This module keeps
 counters for every control-plane action, a loss-sample history per circuit,
 and a simple anomaly detector that flags circuits whose insertion loss
 drifts above a threshold or jumps relative to their own baseline.
+
+All counters live on a :class:`repro.obs.metrics.MetricsRegistry` under
+``ocs.*`` series names; one telemetry object defaults to a private
+registry, and a fleet can hand every switch the same shared registry
+(labeled by ``ocs=<name>``) so a NOC report sums across the fleet.  The
+historical attribute access (``tel.connects`` etc.) is preserved as
+properties reading those series, so values are identical to the old
+plain-int fields.
 """
 
 from __future__ import annotations
@@ -13,9 +21,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.ocs.optics_model import INSERTION_LOSS_MAX_DB
 
 #: Loss increase over a circuit's own baseline that triggers an anomaly (dB).
+#: Module default; individual telemetry instances may override via
+#: ``drift_threshold_db``.
 DRIFT_THRESHOLD_DB = 0.5
 
 
@@ -32,47 +43,66 @@ class Anomaly:
         return f"[{self.kind}] N{n}<->S{s}: {self.detail}"
 
 
+def _circuit_label(north: int, south: int) -> str:
+    return f"N{north}-S{south}"
+
+
 @dataclass
 class OcsTelemetry:
-    """Counters and monitoring history for one OCS."""
+    """Counters and monitoring history for one OCS.
 
-    connects: int = 0
-    disconnects: int = 0
-    reconfig_transactions: int = 0
-    circuits_disturbed: int = 0
-    board_failures: int = 0
-    circuits_dropped_by_failures: int = 0
-    alignment_iterations_total: int = 0
-    alignment_runs: int = 0
+    ``registry`` defaults to a private :class:`MetricsRegistry`; pass a
+    shared one (plus a distinguishing ``ocs`` name) to aggregate a fleet
+    onto a single metric surface.  ``drift_threshold_db`` overrides the
+    module-level :data:`DRIFT_THRESHOLD_DB` for this instance.
+    """
+
+    history_depth: int = 64
+    #: Cap on distinct retained (circuit, kind) anomalies; oldest evicted.
+    max_anomalies: int = 1024
+    registry: Optional[MetricsRegistry] = field(default=None, repr=False)
+    #: Label distinguishing this switch on a shared registry.
+    ocs: Optional[str] = None
+    #: Per-instance drift threshold; ``None`` falls back to the module global.
+    drift_threshold_db: Optional[float] = None
     _loss_baseline_db: Dict[Tuple[int, int], float] = field(default_factory=dict, repr=False)
     _loss_history_db: Dict[Tuple[int, int], Deque[float]] = field(
         default_factory=dict, repr=False
     )
     #: Latest anomaly per (circuit, kind) -- repeats of the same anomaly
-    #: replace the stored instance and bump its count instead of growing
-    #: the list without bound (a flapping circuit can fire thousands).
+    #: replace the stored instance and bump its count (an ``ocs.anomaly.fired``
+    #: counter series) instead of growing the list without bound (a
+    #: flapping circuit can fire thousands).
     _anomalies: Dict[Tuple[Tuple[int, int], str], Anomaly] = field(
         default_factory=dict, repr=False
     )
-    _anomaly_counts: Dict[Tuple[Tuple[int, int], str], int] = field(
-        default_factory=dict, repr=False
-    )
-    history_depth: int = 64
-    #: Cap on distinct retained (circuit, kind) anomalies; oldest evicted.
-    max_anomalies: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.registry is None:
+            self.registry = MetricsRegistry()
+        self._labels = {} if self.ocs is None else {"ocs": self.ocs}
+
+    @property
+    def effective_drift_threshold_db(self) -> float:
+        if self.drift_threshold_db is not None:
+            return self.drift_threshold_db
+        return DRIFT_THRESHOLD_DB
 
     # ------------------------------------------------------------------ #
     # Recording hooks (called by the device)
     # ------------------------------------------------------------------ #
 
+    def _inc(self, name: str, amount: float = 1.0) -> None:
+        self.registry.counter(name, **self._labels).inc(amount)
+
     def record_connect(self, north: int, south: int, loss_db: float) -> None:
-        self.connects += 1
+        self._inc("ocs.circuit.connect")
         circuit = (north, south)
         self._loss_baseline_db[circuit] = loss_db
         self._loss_history_db[circuit] = deque([loss_db], maxlen=self.history_depth)
 
     def record_disconnect(self, north: int, south: int) -> None:
-        self.disconnects += 1
+        self._inc("ocs.circuit.disconnect")
         self._loss_baseline_db.pop((north, south), None)
         self._loss_history_db.pop((north, south), None)
         # The circuit is gone: its current anomalies are stale.  Counts
@@ -81,16 +111,58 @@ class OcsTelemetry:
             del self._anomalies[key]
 
     def record_reconfig(self, plan, duration_ms: float) -> None:
-        self.reconfig_transactions += 1
-        self.circuits_disturbed += plan.num_disturbed
+        self._inc("ocs.reconfig.transactions")
+        self._inc("ocs.reconfig.circuits_disturbed", plan.num_disturbed)
+        self.registry.histogram("ocs.reconfig.duration_ms", **self._labels).observe(
+            duration_ms
+        )
 
     def record_alignment(self, iterations: int) -> None:
-        self.alignment_runs += 1
-        self.alignment_iterations_total += iterations
+        self._inc("ocs.alignment.runs")
+        self._inc("ocs.alignment.iterations", iterations)
 
     def record_board_failure(self, side: str, board_index: int, dropped: int) -> None:
-        self.board_failures += 1
-        self.circuits_dropped_by_failures += dropped
+        self._inc("ocs.board.failures")
+        self._inc("ocs.board.circuits_dropped", dropped)
+
+    # ------------------------------------------------------------------ #
+    # Counter views (the historical attribute surface)
+    # ------------------------------------------------------------------ #
+
+    def _count(self, name: str) -> int:
+        return int(self.registry.value(name, **self._labels))
+
+    @property
+    def connects(self) -> int:
+        return self._count("ocs.circuit.connect")
+
+    @property
+    def disconnects(self) -> int:
+        return self._count("ocs.circuit.disconnect")
+
+    @property
+    def reconfig_transactions(self) -> int:
+        return self._count("ocs.reconfig.transactions")
+
+    @property
+    def circuits_disturbed(self) -> int:
+        return self._count("ocs.reconfig.circuits_disturbed")
+
+    @property
+    def board_failures(self) -> int:
+        return self._count("ocs.board.failures")
+
+    @property
+    def circuits_dropped_by_failures(self) -> int:
+        return self._count("ocs.board.circuits_dropped")
+
+    @property
+    def alignment_iterations_total(self) -> int:
+        return self._count("ocs.alignment.iterations")
+
+    @property
+    def alignment_runs(self) -> int:
+        return self._count("ocs.alignment.runs")
 
     # ------------------------------------------------------------------ #
     # Monitoring
@@ -99,6 +171,7 @@ class OcsTelemetry:
     def observe_loss(self, north: int, south: int, loss_db: float) -> Optional[Anomaly]:
         """Feed one loss measurement; returns an anomaly if one fired."""
         circuit = (north, south)
+        self._inc("ocs.loss.observations")
         history = self._loss_history_db.setdefault(
             circuit, deque(maxlen=self.history_depth)
         )
@@ -111,7 +184,7 @@ class OcsTelemetry:
                 "loss-over-max",
                 f"loss {loss_db:.2f} dB exceeds budget {INSERTION_LOSS_MAX_DB:.1f} dB",
             )
-        elif loss_db - baseline > DRIFT_THRESHOLD_DB:
+        elif loss_db - baseline > self.effective_drift_threshold_db:
             anomaly = Anomaly(
                 circuit,
                 "loss-drift",
@@ -124,7 +197,12 @@ class OcsTelemetry:
                 self._anomalies.pop(oldest)
             self._anomalies.pop(key, None)  # refresh insertion order
             self._anomalies[key] = anomaly
-            self._anomaly_counts[key] = self._anomaly_counts.get(key, 0) + 1
+            self.registry.counter(
+                "ocs.anomaly.fired",
+                circuit=_circuit_label(north, south),
+                kind=anomaly.kind,
+                **self._labels,
+            ).inc()
         return anomaly
 
     @property
@@ -138,12 +216,19 @@ class OcsTelemetry:
         Counts every firing, including repeats the dedup collapsed; with
         ``kind=None`` sums across kinds.
         """
-        circuit = (north, south)
-        return sum(
-            count
-            for (key_circuit, key_kind), count in self._anomaly_counts.items()
-            if key_circuit == circuit and (kind is None or key_kind == kind)
-        )
+        labels = dict(self._labels, circuit=_circuit_label(north, south))
+        if kind is not None:
+            labels["kind"] = kind
+        return int(self.registry.sum_counters("ocs.anomaly.fired", **labels))
+
+    def total_anomaly_firings(self) -> int:
+        """Every anomaly firing on this telemetry object, across circuits."""
+        return int(self.registry.sum_counters("ocs.anomaly.fired", **self._labels))
+
+    @property
+    def loss_observations(self) -> int:
+        """Loss measurements fed in (denominator of the BER-anomaly rate)."""
+        return self._count("ocs.loss.observations")
 
     @property
     def mean_alignment_iterations(self) -> float:

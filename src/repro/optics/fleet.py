@@ -18,6 +18,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.errors import ConfigurationError
+from repro.obs import Observability
 from repro.optics.fec import KP4_BER_THRESHOLD
 from repro.optics.oim import OimDsp
 from repro.optics.pam4 import DEFAULT_THERMAL_NOISE_W, Pam4LinkModel, ber_batch
@@ -48,6 +49,9 @@ class FleetBerSampler:
     thermal_sigma_fraction: float = 0.05
     oim: Optional[OimDsp] = None
     seed: int = 0
+    #: Optional observability bundle; the vectorized sweep is a perf-tested
+    #: hot path, so instrumentation is fully skipped when this is None.
+    obs: Optional[Observability] = None
 
     def __post_init__(self) -> None:
         if self.num_ports <= 0:
@@ -76,13 +80,31 @@ class FleetBerSampler:
         is the scalar oracle this path is property-tested against.
         """
         assert self.oim is not None
-        rx_powers, mpi, thermal = self._draw_port_variations()
-        return ber_batch(
-            rx_powers,
-            mpi_db=mpi,
-            thermal_noise_w=thermal,
-            oim_suppression_db=self.oim.effective_suppression_db,
-        )
+        if self.obs is None:
+            rx_powers, mpi, thermal = self._draw_port_variations()
+            return ber_batch(
+                rx_powers,
+                mpi_db=mpi,
+                thermal_noise_w=thermal,
+                oim_suppression_db=self.oim.effective_suppression_db,
+            )
+        with self.obs.tracer.span("optics.ber_sweep", ports=self.num_ports):
+            rx_powers, mpi, thermal = self._draw_port_variations()
+            bers = ber_batch(
+                rx_powers,
+                mpi_db=mpi,
+                thermal_noise_w=thermal,
+                oim_suppression_db=self.oim.effective_suppression_db,
+            )
+            self.obs.metrics.counter("optics.ber.sweeps").inc()
+            self.obs.metrics.counter("optics.ber.ports_sampled").inc(
+                self.num_ports
+            )
+            floored = np.maximum(bers, 1e-30)
+            self.obs.metrics.gauge("optics.ber.worst_margin_decades").set(
+                float(np.log10(KP4_BER_THRESHOLD) - np.log10(floored.max()))
+            )
+        return bers
 
     def sample_reference(self) -> np.ndarray:
         """Scalar oracle for :meth:`sample`: one ``Pam4LinkModel`` per port.

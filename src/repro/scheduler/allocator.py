@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.core.errors import SchedulingError
 from repro.core.ids import CubeId, SliceId
+from repro.obs import Observability
 from repro.scheduler.requests import JobRequest
 from repro.tpu.slice_topology import SliceTopology
 from repro.tpu.superpod import Superpod
@@ -46,6 +47,11 @@ class ReconfigurableAllocator:
 
     pod: Superpod
     reconfigurations: int = 0
+    obs: Optional[Observability] = field(default=None, repr=False)
+
+    def _count(self, name: str, **labels: object) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(name, policy="reconfigurable", **labels).inc()
 
     def placement_options(self, job: JobRequest) -> int:
         """How many distinct cube sets could host the job (binomial count
@@ -58,11 +64,13 @@ class ReconfigurableAllocator:
     def try_allocate(self, job: JobRequest) -> Optional[SliceId]:
         free = self.pod.healthy_free_cubes()
         if len(free) < job.cubes:
+            self._count("scheduler.alloc.blocked")
             return None
         chosen = free[: job.cubes]
         topology = SliceTopology.compose(_slice_id(job), job.shape, chosen)
         self.pod.configure_slice(topology)
         self.reconfigurations += 1
+        self._count("scheduler.alloc.placed")
         return topology.slice_id
 
     def release(self, job: JobRequest) -> None:
@@ -84,9 +92,11 @@ class ReconfigurableAllocator:
             return None
         if not self.pod.healthy_free_cubes():
             self.pod.release_slice(slice_id)
+            self._count("scheduler.alloc.slices_lost")
             return slice_id
         self.pod.swap_cube(slice_id, cube)
         self.reconfigurations += 1
+        self._count("scheduler.alloc.cube_swaps")
         return slice_id
 
 
@@ -100,6 +110,11 @@ class ContiguousAllocator:
     """
 
     pod: Superpod
+    obs: Optional[Observability] = field(default=None, repr=False)
+
+    def _count(self, name: str, **labels: object) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(name, policy="contiguous", **labels).inc()
 
     def _free_runs(self) -> List[Tuple[int, int]]:
         """Maximal runs of idle+healthy cube indices as (start, length)."""
@@ -117,7 +132,9 @@ class ContiguousAllocator:
                 chosen = [CubeId(start + i) for i in range(job.cubes)]
                 topology = SliceTopology.compose(_slice_id(job), job.shape, chosen)
                 self.pod.configure_slice(topology)
+                self._count("scheduler.alloc.placed")
                 return topology.slice_id
+        self._count("scheduler.alloc.blocked")
         return None
 
     def release(self, job: JobRequest) -> None:
@@ -132,5 +149,6 @@ class ContiguousAllocator:
         for topo in self.pod.slices():
             if cube in topo.cube_ids:
                 self.pod.release_slice(topo.slice_id)
+                self._count("scheduler.alloc.slices_lost")
                 return topo.slice_id
         return None

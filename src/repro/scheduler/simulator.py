@@ -29,6 +29,7 @@ from repro.core.errors import ConfigurationError
 from repro.core.ids import CubeId, JobId
 from repro.faults.events import FaultEvent, FaultKind, cube_target, target_index
 from repro.faults.injector import FaultInjector
+from repro.obs import NULL_OBS, Observability
 from repro.scheduler.requests import JobRequest
 from repro.tpu.superpod import Superpod
 
@@ -102,10 +103,12 @@ class SchedulerSimulation:
     seed: int = 0
     injector: Optional[FaultInjector] = None
     fabric_slowdown: Optional[Callable[[], float]] = None
+    obs: Optional[Observability] = None
 
     def run(self, trace: List[JobRequest]) -> SchedulerMetrics:
         if not trace:
             raise ConfigurationError("trace must contain at least one job")
+        obs = self.obs if self.obs is not None else NULL_OBS
         pod: Superpod = self.allocator.pod
         counter = itertools.count()
         events: List[Tuple[float, int, int, object]] = []
@@ -118,7 +121,7 @@ class SchedulerSimulation:
         last_arrival = max(j.arrival_s for j in trace)
         fail_window = last_arrival + max(j.duration_s for j in trace)
 
-        injector = self.injector or FaultInjector(seed=self.seed)
+        injector = self.injector or FaultInjector(seed=self.seed, obs=self.obs)
         rate = self.cube_failure_rate_per_s
         rate_armed = False
         if rate > 0:
@@ -153,6 +156,8 @@ class SchedulerSimulation:
             running[job.job_id] = job
             start_times[job.job_id] = t
             metrics.waits_s.append(t - job.arrival_s)
+            obs.metrics.counter("scheduler.jobs.started").inc()
+            obs.metrics.histogram("scheduler.wait_s").observe(t - job.arrival_s)
             duration = job.duration_s
             if self.fabric_slowdown is not None:
                 slowdown = self.fabric_slowdown()
@@ -180,6 +185,7 @@ class SchedulerSimulation:
             if not 0 <= cube.index < pod.num_cubes:
                 return
             metrics.failures_injected += 1
+            obs.metrics.counter("scheduler.cube.failures").inc()
             host = int(event.param("host", 0) or 0)
             pod.cube(cube).fail_host(host)
             affected = self.allocator.handle_cube_failure(cube)
@@ -187,6 +193,7 @@ class SchedulerSimulation:
                 still_running = any(topo.slice_id == affected for topo in pod.slices())
                 if still_running:
                     metrics.survived_failures += 1
+                    obs.metrics.counter("scheduler.jobs.survived_failure").inc()
                 else:
                     victim = self._job_for_slice(running, affected)
                     if victim is not None:
@@ -197,6 +204,7 @@ class SchedulerSimulation:
                             t - start_times.pop(victim.job_id)
                         )
                         metrics.requeued_after_failure += 1
+                        obs.metrics.counter("scheduler.jobs.requeued").inc()
                         queue.append(victim)
             injector.schedule(
                 t + self.repair_s, event.kind, event.target, recovery=True,
@@ -215,40 +223,59 @@ class SchedulerSimulation:
                     injector.schedule(nxt, FaultKind.CUBE_POWER_LOSS, event.target)
             drain_queue(t)
 
-        while events or injector.num_pending:
-            t_heap = events[0][0] if events else math.inf
-            t_inj = injector.next_time()
-            if t_inj is not None and t_inj < t_heap:
-                event = injector.pop_next()
-                assert event is not None
-                now = event.time_s
+        with obs.tracer.span(
+            "scheduler.run",
+            jobs=len(trace),
+            policy=type(self.allocator).__name__,
+        ) as span:
+            while events or injector.num_pending:
+                t_heap = events[0][0] if events else math.inf
+                t_inj = injector.next_time()
+                if t_inj is not None and t_inj < t_heap:
+                    event = injector.pop_next()
+                    assert event is not None
+                    now = event.time_s
+                    account(now)
+                    if event.kind in _CUBE_FAULT_KINDS:
+                        if event.recovery:
+                            on_cube_repair(event, now)
+                        else:
+                            on_cube_fault(event, now)
+                    continue
+                if not events:
+                    break
+                now, kind, _, payload = heapq.heappop(events)
                 account(now)
-                if event.kind in _CUBE_FAULT_KINDS:
-                    if event.recovery:
-                        on_cube_repair(event, now)
-                    else:
-                        on_cube_fault(event, now)
-                continue
-            if not events:
-                break
-            now, kind, _, payload = heapq.heappop(events)
-            account(now)
-            if kind == _ARRIVAL:
-                job = payload
-                if not try_start(job, now):
-                    queue.append(job)
-            else:  # _DEPARTURE
-                job = payload
-                if job.job_id not in running:
-                    continue  # slice was killed by a failure; stale event
-                del running[job.job_id]
-                self.allocator.release(job)
-                metrics.completed += 1
-                busy_cubes -= job.cubes
-                metrics.cube_busy_s += job.cubes * (now - start_times.pop(job.job_id))
-                drain_queue(now)
+                if kind == _ARRIVAL:
+                    job = payload
+                    if not try_start(job, now):
+                        queue.append(job)
+                else:  # _DEPARTURE
+                    job = payload
+                    if job.job_id not in running:
+                        continue  # slice was killed by a failure; stale event
+                    del running[job.job_id]
+                    self.allocator.release(job)
+                    metrics.completed += 1
+                    obs.metrics.counter("scheduler.jobs.completed").inc()
+                    busy_cubes -= job.cubes
+                    metrics.cube_busy_s += job.cubes * (
+                        now - start_times.pop(job.job_id)
+                    )
+                    drain_queue(now)
 
-        metrics.horizon_s = max(now, last_arrival)
+            metrics.horizon_s = max(now, last_arrival)
+            # The simulation clock runs in seconds; reflect its horizon on
+            # the trace clock (ms) so the run's span has a modeled width.
+            obs.clock.advance(metrics.horizon_s * 1e3)
+            span.set_attr("completed", metrics.completed)
+            span.set_attr("utilization", round(metrics.utilization, 6))
+            if self.obs is not None:
+                from repro.scheduler.defrag import fragmentation
+
+                obs.metrics.gauge("scheduler.fragmentation").set(
+                    fragmentation(pod)
+                )
         return metrics
 
     @staticmethod

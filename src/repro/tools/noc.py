@@ -1,0 +1,210 @@
+"""Fleet NOC report: the observability subsystem on one screen.
+
+``python -m repro.tools.noc`` runs the observed fabric drill
+(:func:`repro.obs.drill.run_fabric_drill`), then renders what a network
+operations center would watch: the metric snapshot, the slowest spans,
+per-OCS telemetry summaries, quarantine state, and an SLO section
+checked against the committed thresholds in
+``benchmarks/slo_thresholds.json``.  With ``--check`` an SLO regression
+exits non-zero (the CI gate); ``--trace-out`` / ``--metrics-out`` export
+the run's spans and metrics as JSONL for offline queries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import render_table
+from repro.obs.drill import DrillReport, run_fabric_drill
+from repro.obs.export import export_metrics, export_trace
+
+#: Default location of the committed SLO thresholds (repo root relative).
+DEFAULT_THRESHOLDS = Path(__file__).resolve().parents[3] / "benchmarks" / "slo_thresholds.json"
+
+
+def _split_series(series: str) -> Tuple[str, Dict[str, str]]:
+    """``name{k=v,...}`` -> (name, labels)."""
+    if "{" not in series:
+        return series, {}
+    name, _, rest = series.partition("{")
+    labels = dict(pair.split("=", 1) for pair in rest.rstrip("}").split(","))
+    return name, labels
+
+
+def compute_slos(report: DrillReport) -> Dict[str, float]:
+    """The three headline SLOs, straight off the drill's registry."""
+    registry = report.obs.metrics
+    loss_obs = registry.sum_counters("ocs.loss.observations")
+    anomalies = registry.sum_counters("ocs.anomaly.fired")
+    return {
+        "reconfig_p99_ms": registry.histogram("fabric.plan.duration_ms").quantile(0.99),
+        "recovery_p99_ms": registry.histogram("control.recover.duration_ms").quantile(0.99),
+        "ber_anomaly_rate": anomalies / loss_obs if loss_obs else 0.0,
+    }
+
+
+def check_slos(
+    slos: Dict[str, float], thresholds: Dict[str, float]
+) -> List[Tuple[str, float, float, bool]]:
+    """(slo, value, max allowed, ok) per threshold; unknown SLOs fail."""
+    rows = []
+    for name in sorted(thresholds):
+        limit = float(thresholds[name])
+        value = slos.get(name)
+        rows.append((name, value if value is not None else float("nan"),
+                     limit, value is not None and value <= limit))
+    return rows
+
+
+def _section(title: str) -> None:
+    print()
+    print(f"== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def render_report(report: DrillReport, slo_rows, top: int) -> None:
+    tracer, registry = report.obs.tracer, report.obs.metrics
+    trace_digest, metrics_digest = report.digests()
+    print(f"FLEET NOC REPORT  seed={report.seed}"
+          f"  mode={'smoke' if report.smoke else 'full'}")
+    print(f"spans={tracer.num_spans}  series={registry.num_series}"
+          f"  clock={report.obs.clock.now():.1f} ms")
+    print(f"trace digest   {trace_digest}")
+    print(f"metrics digest {metrics_digest}")
+
+    _section("SLOs")
+    print(render_table(
+        ["slo", "value", "max allowed", "status"],
+        [[name, f"{value:.4f}", f"{limit:.4f}", "ok" if ok else "REGRESSED"]
+         for name, value, limit, ok in slo_rows],
+    ))
+
+    _section(f"Slowest spans (top {top})")
+    print(render_table(
+        ["span", "duration (ms)", "start (ms)", "attrs"],
+        [[s.name, f"{s.duration_ms:.1f}", f"{s.start_ms:.1f}",
+          ",".join(f"{k}={v}" for k, v in s.attrs) or "-"]
+         for s in tracer.slowest(top)],
+    ))
+
+    _section("Per-OCS telemetry")
+    per_ocs: Dict[str, Dict[str, float]] = {}
+    for record in registry.to_records():
+        if record["type"] != "counter":
+            continue
+        name, labels = _split_series(str(record["series"]))
+        ocs = labels.get("ocs")
+        if ocs is None or not name.startswith("ocs."):
+            continue
+        per_ocs.setdefault(ocs, {})
+        per_ocs[ocs][name] = per_ocs[ocs].get(name, 0.0) + float(record["value"])
+    print(render_table(
+        ["ocs", "connects", "reconfigs", "disturbed", "loss obs", "anomalies"],
+        [[ocs,
+          f"{row.get('ocs.circuit.connect', 0):.0f}",
+          f"{row.get('ocs.reconfig.transactions', 0):.0f}",
+          f"{row.get('ocs.reconfig.circuits_disturbed', 0):.0f}",
+          f"{row.get('ocs.loss.observations', 0):.0f}",
+          f"{row.get('ocs.anomaly.fired', 0):.0f}"]
+         for ocs, row in sorted(per_ocs.items())],
+    ))
+
+    _section("Quarantine / health")
+    actions = {}
+    for record in registry.to_records():
+        name, labels = _split_series(str(record["series"]))
+        if name == "health.actions":
+            actions[labels.get("action", "?")] = float(record["value"])
+    held_out = registry.value("health.held_out.fraction")
+    if actions:
+        print(render_table(
+            ["action", "count"],
+            [[a, f"{c:.0f}"] for a, c in sorted(actions.items())],
+        ))
+    print(f"held-out fraction: {held_out:.3f}")
+
+    _section("Metric snapshot (counters and gauges)")
+    rows = []
+    for record in registry.to_records():
+        if record["type"] == "histogram":
+            continue
+        rows.append([str(record["series"]), record["type"],
+                     f"{float(record['value']):g}"])
+    print(render_table(["series", "type", "value"], rows))
+
+    _section("Latency histograms")
+    hist_rows = []
+    for record in registry.to_records():
+        if record["type"] != "histogram":
+            continue
+        name = _split_series(str(record["series"]))[0]
+        hist = registry.histogram(name, **_split_series(str(record["series"]))[1])
+        hist_rows.append([str(record["series"]), f"{hist.count}",
+                          f"{hist.quantile(0.5):.2f}", f"{hist.quantile(0.99):.2f}",
+                          f"{hist.max:.2f}"])
+    print(render_table(["series", "count", "p50", "p99", "max"], hist_rows))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.noc", description=__doc__
+    )
+    parser.add_argument("--seed", type=int, default=0, help="drill seed")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast drill (the CI parameterization)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="slowest spans to show")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if any SLO exceeds its threshold")
+    parser.add_argument("--thresholds", type=Path, default=DEFAULT_THRESHOLDS,
+                        help="SLO thresholds JSON")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        help="write the span tree as JSONL")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="write the metric snapshot as JSONL")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable summary instead of tables")
+    args = parser.parse_args(argv)
+
+    report = run_fabric_drill(seed=args.seed, smoke=args.smoke)
+    slos = compute_slos(report)
+    thresholds: Dict[str, float] = {}
+    if args.thresholds.exists():
+        thresholds = json.loads(args.thresholds.read_text())
+    slo_rows = check_slos(slos, thresholds)
+
+    if args.trace_out is not None:
+        export_trace(args.trace_out, report.obs.tracer,
+                     seed=report.seed, smoke=report.smoke)
+    if args.metrics_out is not None:
+        export_metrics(args.metrics_out, report.obs.metrics,
+                       seed=report.seed, smoke=report.smoke)
+
+    if args.json:
+        trace_digest, metrics_digest = report.digests()
+        print(json.dumps({
+            "seed": report.seed,
+            "smoke": report.smoke,
+            "slos": slos,
+            "slo_ok": all(ok for *_, ok in slo_rows),
+            "notes": report.notes,
+            "num_spans": report.obs.tracer.num_spans,
+            "num_series": report.obs.metrics.num_series,
+            "trace_digest": trace_digest,
+            "metrics_digest": metrics_digest,
+        }, indent=2, sort_keys=True))
+    else:
+        render_report(report, slo_rows, top=args.top)
+
+    if args.check and not all(ok for *_, ok in slo_rows):
+        print("SLO REGRESSION: one or more SLOs exceed their thresholds",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

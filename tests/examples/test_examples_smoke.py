@@ -1,0 +1,41 @@
+"""Every example script imports cleanly; the observatory drill runs.
+
+The examples guard their ``main()`` behind ``__name__``, so importing a
+module executes only its setup code -- a fast check that the public API
+surface every example exercises still exists.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_PATHS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesImport:
+    def test_examples_exist(self):
+        assert len(EXAMPLE_PATHS) >= 11  # the ten originals + observatory
+
+    @pytest.mark.parametrize("path", EXAMPLE_PATHS, ids=lambda p: p.stem)
+    def test_imports_and_defines_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None)), path.name
+
+
+class TestObservatoryRuns:
+    def test_observatory_main_runs(self, capsys):
+        module = _load(EXAMPLES_DIR / "fabric_observatory.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "trace digest" in out
+        assert "control.recover" in out
+        assert "SLOs" in out

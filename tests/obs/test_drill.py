@@ -1,0 +1,82 @@
+"""The observed drill: lifecycle coverage and tracing determinism."""
+
+import pytest
+
+from repro.faults.chaos import controller_crash_recovery
+from repro.obs import Observability
+from repro.obs.drill import PHASES, run_fabric_drill
+
+
+@pytest.fixture(scope="module")
+def drill():
+    return run_fabric_drill(seed=0, smoke=True)
+
+
+class TestLifecycleCoverage:
+    def test_every_phase_has_a_span(self, drill):
+        names = {s.name for s in drill.obs.tracer.spans()}
+        for phase in PHASES:
+            assert f"drill.{phase}" in names
+
+    def test_transaction_retry_rollback_recovery_queryable(self, drill):
+        tracer = drill.obs.tracer
+        committed = tracer.find("resilience.txn")
+        assert any(s.status == "ok" for s in committed)
+        rolled_back = tracer.find("resilience.txn", rolled_back=True)
+        assert len(rolled_back) == 1
+        # The retry trail is on the span as timestamped events.
+        assert any("rpc timeout" in msg for _, msg in rolled_back[0].events)
+        recoveries = tracer.find("control.recover")
+        assert recoveries
+        drives = tracer.children(recoveries[0])
+        assert all(d.name == "control.recover.drive" for d in drives)
+
+    def test_notes_report_the_expected_outcomes(self, drill):
+        assert drill.notes["rollback_seen"] == 1.0
+        assert drill.notes["reconcile_converged"] == 1.0
+        assert drill.notes["retry_attempts"] >= 3.0
+        assert drill.notes["anomaly_firings"] == 2.0
+
+    def test_metrics_reconcile_with_subreports(self, drill):
+        registry = drill.obs.metrics
+        assert registry.sum_counters("scheduler.jobs.completed") == (
+            drill.scheduler.completed
+        )
+        assert registry.sum_counters("reconcile.repaired_circuits") == (
+            drill.reconcile.repaired_circuits
+        )
+        assert registry.sum_counters("resilience.rollbacks") == 1.0
+        assert registry.sum_counters("ocs.anomaly.fired") == 2.0
+
+    def test_slo_histograms_populated(self, drill):
+        registry = drill.obs.metrics
+        assert registry.histogram("fabric.plan.duration_ms").count > 0
+        assert registry.histogram("control.recover.duration_ms").count > 0
+        assert registry.sum_counters("ocs.loss.observations") > 0
+
+
+class TestTracingDeterminism:
+    def test_drill_digests_reproduce(self, drill):
+        again = run_fabric_drill(seed=0, smoke=True)
+        assert again.digests() == drill.digests()
+
+    def test_drill_seed_changes_digests(self, drill):
+        other = run_fabric_drill(seed=1, smoke=True)
+        assert other.digests() != drill.digests()
+
+    def test_crash_recovery_span_tree_reproduces(self):
+        def run():
+            obs = Observability.sim()
+            report = controller_crash_recovery(
+                seed=3, num_ocses=2, links_per_ocs=4, obs=obs
+            )
+            return report.digest(), obs.tracer.tree_digest(), obs.metrics.digest()
+
+        assert run() == run()
+
+    def test_chaos_digest_unchanged_by_observation(self):
+        bare = controller_crash_recovery(seed=3, num_ocses=2, links_per_ocs=4)
+        observed = controller_crash_recovery(
+            seed=3, num_ocses=2, links_per_ocs=4, obs=Observability.sim()
+        )
+        assert bare.digest() == observed.digest()

@@ -1,0 +1,162 @@
+"""MetricsRegistry: instruments, labels, snapshots, digests."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs import NULL_OBS, Observability
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    exponential_bounds,
+    series_key,
+)
+
+
+class TestCounter:
+    def test_inc_and_add(self):
+        reg = MetricsRegistry()
+        c = reg.counter("fabric.connect.total")
+        c.inc()
+        c.add(4)
+        assert c.value == 5
+
+    def test_get_or_create_returns_same_series(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x", ocs="a") is not reg.counter("x", ocs="b")
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", ocs="a", kind="m")
+        b = reg.counter("x", kind="m", ocs="a")
+        assert a is b
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("x").inc(-1)
+
+    def test_value_query(self):
+        reg = MetricsRegistry()
+        reg.counter("x", ocs="a").inc(3)
+        assert reg.value("x", ocs="a") == 3
+        assert reg.value("x", ocs="zzz") == 0.0
+
+    def test_sum_counters_label_subset(self):
+        reg = MetricsRegistry()
+        reg.counter("drift", ocs="a", kind="m").inc(2)
+        reg.counter("drift", ocs="b", kind="m").inc(3)
+        reg.counter("drift", ocs="a", kind="n").inc(10)
+        assert reg.sum_counters("drift") == 15
+        assert reg.sum_counters("drift", kind="m") == 5
+        assert reg.sum_counters("drift", ocs="a") == 12
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("fleet.held_out.fraction")
+        g.set(0.25)
+        g.add(-0.05)
+        assert g.value == pytest.approx(0.20)
+
+
+class TestHistogram:
+    def test_exponential_bounds_shape(self):
+        bounds = exponential_bounds(1.0, 2.0, 4)
+        assert bounds == (1.0, 2.0, 4.0, 8.0)
+        with pytest.raises(ConfigurationError):
+            exponential_bounds(0.0, 2.0, 4)
+
+    def test_observe_stats(self):
+        h = Histogram("d", bounds=exponential_bounds(1.0, 2.0, 4))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.0)
+        assert h.min == 0.5
+        assert h.max == 100.0
+        assert h.mean == pytest.approx(105.0 / 4)
+        # 0.5 -> bucket<=1, 1.5 -> <=2, 3.0 -> <=4, 100 -> overflow
+        assert h.counts == [1, 1, 1, 0, 1]
+
+    def test_quantile_is_conservative_bucket_bound(self):
+        h = Histogram("d", bounds=exponential_bounds(1.0, 2.0, 8))
+        for v in (1.0, 1.0, 1.0, 7.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        # p99 lands in the 7.0 bucket (bound 8.0), clamped to max.
+        assert h.quantile(0.99) == 7.0
+        assert h.quantile(0.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+
+    def test_empty_quantile(self):
+        h = Histogram("d")
+        assert h.quantile(0.99) == 0.0
+
+
+class TestSnapshot:
+    def test_series_key_render(self):
+        assert series_key("x", ()) == "x"
+        assert series_key("x", (("a", "1"), ("b", "2"))) == "x{a=1,b=2}"
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", ocs="a").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=exponential_bounds(1.0, 2.0, 2)).observe(10.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c{ocs=a}": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["buckets"] == [["inf", 1]]
+
+    def test_digest_stable_and_sensitive(self):
+        def build(n):
+            reg = MetricsRegistry()
+            reg.counter("c").inc(n)
+            return reg.digest()
+
+        assert build(3) == build(3)
+        assert build(3) != build(4)
+
+    def test_digest_ignores_creation_order(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        a.counter("y").inc()
+        b = MetricsRegistry()
+        b.counter("y").inc()
+        b.counter("x").inc()
+        assert a.digest() == b.digest()
+
+    def test_to_records_roundtrip_types(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(1.0)
+        kinds = sorted(r["type"] for r in reg.to_records())
+        assert kinds == ["counter", "gauge", "histogram"]
+
+
+class TestNullObs:
+    def test_null_surface_is_inert(self):
+        NULL_OBS.metrics.counter("x", ocs="a").inc(5)
+        NULL_OBS.metrics.gauge("g").set(9)
+        NULL_OBS.metrics.histogram("h").observe(1.0)
+        assert NULL_OBS.metrics.value("x", ocs="a") == 0.0
+        assert NULL_OBS.metrics.num_series == 0
+        assert not NULL_OBS.enabled
+
+    def test_null_span_does_not_swallow(self):
+        with pytest.raises(ValueError):
+            with NULL_OBS.tracer.span("op"):
+                raise ValueError("boom")
+
+    def test_real_bundle_digests(self):
+        obs = Observability.sim()
+        obs.metrics.counter("x").inc()
+        with obs.tracer.span("op"):
+            obs.clock.advance(5.0)
+        trace_digest, metrics_digest = obs.digests()
+        assert len(trace_digest) == 64
+        assert len(metrics_digest) == 64

@@ -1,0 +1,126 @@
+"""Tracer: nesting, clock-driven timing, query API, determinism."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs.clock import SimClock, WallClock
+from repro.obs.export import export_metrics, export_trace, read_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def build_tree(clock=None):
+    tracer = Tracer(clock=clock)
+    with tracer.span("reconfigure", ocs="a") as outer:
+        tracer.clock.advance(2.0)
+        with tracer.span("apply", plan="p1"):
+            tracer.clock.advance(5.0)
+        with tracer.span("apply", plan="p2"):
+            tracer.clock.advance(3.0)
+            tracer.event("mirror settled")
+        outer.set_attr("applied", 2)
+    return tracer
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.now() == 0.0
+        clock.advance(10.0)
+        clock.advance_to(5.0)  # never backward
+        assert clock.now() == 10.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimClock().advance(-1.0)
+
+    def test_wall_clock_moves_on_its_own(self):
+        clock = WallClock()
+        t0 = clock.now()
+        clock.advance(1_000_000.0)  # no-op
+        assert clock.now() >= t0
+        assert clock.now() < 60_000.0
+
+
+class TestSpans:
+    def test_nesting_and_timing(self):
+        tracer = build_tree()
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["reconfigure", "apply", "apply"]
+        root, a1, a2 = spans
+        assert root.parent_id is None
+        assert a1.parent_id == root.span_id and a2.parent_id == root.span_id
+        assert (root.start_ms, root.end_ms) == (0.0, 10.0)
+        assert (a1.start_ms, a1.end_ms) == (2.0, 7.0)
+        assert a2.duration_ms == 3.0
+        assert root.attr("applied") == "2"
+        assert tracer.children(root) == (a1, a2)
+        assert tracer.roots() == (root,)
+
+    def test_event_lands_on_innermost_open_span(self):
+        tracer = build_tree()
+        assert tracer.spans()[2].events == ((10.0, "mirror settled"),)
+
+    def test_error_status_and_reraise(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("op"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans()
+        assert span.status == "error"
+        assert span.attr("error") == "RuntimeError"
+        assert span.end_ms is not None
+
+    def test_find_by_name_attrs_and_time(self):
+        tracer = build_tree()
+        assert len(tracer.find("apply")) == 2
+        assert len(tracer.find("apply", plan="p2")) == 1
+        # Interval overlap: [0, 1] only touches the root span.
+        assert [s.name for s in tracer.find(t0_ms=0.0, t1_ms=1.0)] == [
+            "reconfigure"
+        ]
+        assert len(tracer.find(t0_ms=6.5)) == 3
+
+    def test_slowest(self):
+        tracer = build_tree()
+        top = tracer.slowest(2)
+        assert [s.duration_ms for s in top] == [10.0, 5.0]
+        assert [s.duration_ms for s in tracer.slowest(5, name="apply")] == [
+            5.0,
+            3.0,
+        ]
+
+
+class TestDeterminism:
+    def test_equal_trees_equal_digests(self):
+        assert build_tree().tree_digest() == build_tree().tree_digest()
+
+    def test_digest_sensitive_to_timing(self):
+        a = build_tree()
+        b = Tracer()
+        with b.span("reconfigure", ocs="a"):
+            b.clock.advance(11.0)
+        assert a.tree_digest() != b.tree_digest()
+
+
+class TestExport:
+    def test_trace_jsonl_roundtrip(self, tmp_path):
+        tracer = build_tree()
+        path = export_trace(tmp_path / "trace.jsonl", tracer, seed=7)
+        records = read_jsonl(path)
+        meta, spans = records[0], records[1:]
+        assert meta["stream"] == "trace"
+        assert meta["spans"] == 3
+        assert meta["digest"] == tracer.tree_digest()
+        assert meta["seed"] == 7
+        assert [r["name"] for r in spans] == ["reconfigure", "apply", "apply"]
+        assert spans[1]["attrs"] == {"plan": "p1"}
+
+    def test_metrics_jsonl_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c", ocs="a").inc(2)
+        path = export_metrics(tmp_path / "metrics.jsonl", reg, seed=7)
+        meta, *rest = read_jsonl(path)
+        assert meta["stream"] == "metrics"
+        assert meta["digest"] == reg.digest()
+        assert rest == [{"type": "counter", "series": "c{ocs=a}", "value": 2}]

@@ -97,3 +97,63 @@ class TestAnomalyDedup:
 
     def test_count_zero_for_clean_circuit(self, tel):
         assert tel.anomaly_count(3, 3) == 0
+
+
+class TestRegistryBacking:
+    def test_counters_live_on_registry(self, tel):
+        tel.record_connect(0, 1, 1.5)
+        tel.record_alignment(7)
+        assert tel.registry.value("ocs.circuit.connect") == 1
+        assert tel.registry.value("ocs.alignment.iterations") == 7
+        assert tel.connects == 1  # property view agrees
+
+    def test_loss_observations_counted(self, tel):
+        tel.record_connect(0, 1, 1.0)
+        tel.observe_loss(0, 1, 1.1)
+        tel.observe_loss(0, 1, 1.2)
+        assert tel.loss_observations == 2
+
+    def test_shared_registry_with_ocs_labels(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        a = OcsTelemetry(registry=reg, ocs="a")
+        b = OcsTelemetry(registry=reg, ocs="b")
+        a.record_connect(0, 1, 1.0)
+        a.record_connect(2, 3, 1.0)
+        b.record_connect(0, 1, 1.0)
+        assert a.connects == 2
+        assert b.connects == 1
+        assert reg.sum_counters("ocs.circuit.connect") == 3
+
+    def test_anomaly_counts_isolated_per_switch(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        a = OcsTelemetry(registry=reg, ocs="a")
+        b = OcsTelemetry(registry=reg, ocs="b")
+        a.record_connect(0, 1, 1.0)
+        a.observe_loss(0, 1, 1.0 + DRIFT_THRESHOLD_DB + 0.1)
+        assert a.anomaly_count(0, 1) == 1
+        assert b.anomaly_count(0, 1) == 0
+        assert a.total_anomaly_firings() == 1
+
+
+class TestDriftThresholdOverride:
+    def test_instance_override_tightens(self):
+        tel = OcsTelemetry(drift_threshold_db=0.1)
+        tel.record_connect(0, 1, 1.0)
+        anomaly = tel.observe_loss(0, 1, 1.2)  # below module default 0.5
+        assert anomaly is not None and anomaly.kind == "loss-drift"
+
+    def test_instance_override_loosens(self):
+        tel = OcsTelemetry(drift_threshold_db=2.0)
+        tel.record_connect(0, 1, 1.0)
+        assert tel.observe_loss(0, 1, 1.0 + DRIFT_THRESHOLD_DB + 0.1) is None
+
+    def test_module_global_still_honored(self, tel, monkeypatch):
+        import repro.ocs.telemetry as mod
+
+        monkeypatch.setattr(mod, "DRIFT_THRESHOLD_DB", 0.05)
+        tel.record_connect(0, 1, 1.0)
+        assert tel.observe_loss(0, 1, 1.1) is not None

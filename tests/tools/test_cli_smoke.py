@@ -1,0 +1,53 @@
+"""The operator CLIs run end-to-end and exit 0."""
+
+import json
+
+from repro.tools.noc import main as noc_main
+from repro.tools.report import main as report_main
+
+
+class TestReportCli:
+    def test_runs_and_exits_zero(self, capsys):
+        assert report_main([]) == 0
+        out = capsys.readouterr().out
+        assert "headline report" in out
+
+
+class TestNocCli:
+    def test_smoke_report_exits_zero(self, capsys):
+        assert noc_main(["--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "FLEET NOC REPORT" in out
+        assert "SLOs" in out
+        assert "Per-OCS telemetry" in out
+
+    def test_check_passes_committed_thresholds(self, capsys):
+        assert noc_main(["--smoke", "--check"]) == 0
+        capsys.readouterr()
+
+    def test_check_fails_on_regressed_threshold(self, tmp_path, capsys):
+        tight = tmp_path / "slo.json"
+        tight.write_text(json.dumps({"reconfig_p99_ms": 0.001}))
+        assert noc_main(["--smoke", "--check", "--thresholds", str(tight)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_json_mode(self, capsys):
+        assert noc_main(["--smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["slo_ok"] is True
+        assert set(payload["slos"]) == {
+            "reconfig_p99_ms", "recovery_p99_ms", "ber_anomaly_rate"
+        }
+        assert payload["num_spans"] > 0
+
+    def test_exports_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        assert noc_main([
+            "--smoke", "--trace-out", str(trace), "--metrics-out", str(metrics)
+        ]) == 0
+        capsys.readouterr()
+        head = json.loads(trace.read_text().splitlines()[0])
+        assert head["type"] == "meta" and head["stream"] == "trace"
+        head = json.loads(metrics.read_text().splitlines()[0])
+        assert head["type"] == "meta" and head["stream"] == "metrics"
