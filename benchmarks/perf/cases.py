@@ -1,15 +1,26 @@
-"""The pinned perf cases: vectorized kernel vs scalar oracle.
+"""The pinned perf cases: optimized path vs reference oracle.
 
 Each case builds a deterministic workload at one of two sizes (``full``
-for the committed ``BENCH_PERF.json``, ``smoke`` for CI) and exposes a
-vectorized thunk, a reference thunk, and a parity function measuring the
-maximum relative error between the two results.
+for the committed ``BENCH_PERF.json``, ``smoke`` for CI) and exposes an
+optimized thunk (vectorized kernel, parallel sweep, or warm cache), a
+reference thunk, and a parity function measuring the maximum relative
+error between the two results.
+
+Builders take ``(smoke, jobs=None)``; ``jobs`` is the engine worker
+count for the parallel-sweep cases (None = ``os.cpu_count()``) and is
+ignored by the single-process kernel cases.  Cases with
+``requires_cores > 1`` only have meaningful speedups on machines with at
+least that many cores -- the harness records the machine's
+``cpu_count`` in each result and the baseline check skips gated cases
+on smaller machines.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass
-from typing import Callable, Dict, List, NamedTuple, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -28,7 +39,10 @@ from repro.optics.ber import (
     receiver_sensitivity_reference,
 )
 from repro.optics.fleet import SUPERPOD_RX_PORTS, FleetBerSampler
+from repro.optics.mc_sweep import monte_carlo_ber_grid, monte_carlo_ber_grid_serial
 from repro.optics.pam4 import DEFAULT_THERMAL_NOISE_W, Pam4LinkModel
+from repro.faults.ensemble import chaos_ensemble, chaos_ensemble_serial
+from repro.parallel import ResultCache, SweepEngine
 
 
 class CasePair(NamedTuple):
@@ -42,12 +56,18 @@ class CasePair(NamedTuple):
 
 @dataclass(frozen=True)
 class PerfCase:
-    """A named kernel benchmark with its acceptance floor."""
+    """A named benchmark with its acceptance floor.
+
+    ``requires_cores`` gates the baseline check: a parallel-speedup case
+    cannot beat its serial oracle on fewer cores, so machines below the
+    floor record the measurement but are not held to the baseline.
+    """
 
     name: str
     figure: str
     target_speedup: float
-    build: Callable[[bool], CasePair]
+    build: Callable[..., CasePair]
+    requires_cores: int = 1
 
 
 def _max_rel_err(a: np.ndarray, b: np.ndarray) -> float:
@@ -61,7 +81,8 @@ def _max_rel_err(a: np.ndarray, b: np.ndarray) -> float:
 # --------------------------------------------------------------------- #
 
 
-def _build_fleet(smoke: bool) -> CasePair:
+def _build_fleet(smoke: bool, jobs: Optional[int] = None) -> CasePair:
+    del jobs  # single-process kernel case
     ports = 768 if smoke else SUPERPOD_RX_PORTS
     sampler = FleetBerSampler(num_ports=ports, seed=7)
     return CasePair(
@@ -118,7 +139,8 @@ def _curves_parity(vec: object, ref: object) -> float:
     return max(_max_rel_err(vec[k], ref[k]) for k in vec)
 
 
-def _build_curves(smoke: bool) -> CasePair:
+def _build_curves(smoke: bool, jobs: Optional[int] = None) -> CasePair:
+    del jobs  # single-process kernel case
     points = 33 if smoke else 241
     powers = np.linspace(-15.0, -2.0, points)
     sim = LinkBerSimulator()
@@ -135,7 +157,8 @@ def _build_curves(smoke: bool) -> CasePair:
 # --------------------------------------------------------------------- #
 
 
-def _build_sensitivity(smoke: bool) -> CasePair:
+def _build_sensitivity(smoke: bool, jobs: Optional[int] = None) -> CasePair:
+    del jobs  # single-process kernel case
     n_mpi, n_thermal = (8, 6) if smoke else (32, 16)
     models = [
         Pam4LinkModel(
@@ -174,7 +197,8 @@ def _random_allocation_instance(
     return flow_paths, capacity
 
 
-def _build_max_min(smoke: bool) -> CasePair:
+def _build_max_min(smoke: bool, jobs: Optional[int] = None) -> CasePair:
+    del jobs  # single-process kernel case
     num_flows, num_links = (600, 120) if smoke else (8000, 600)
     flow_paths, capacity = _random_allocation_instance(num_flows, num_links, seed=11)
 
@@ -194,7 +218,8 @@ def _build_max_min(smoke: bool) -> CasePair:
 # --------------------------------------------------------------------- #
 
 
-def _build_flowsim(smoke: bool) -> CasePair:
+def _build_flowsim(smoke: bool, jobs: Optional[int] = None) -> CasePair:
+    del jobs  # single-process kernel case
     num_flows = 400 if smoke else 2000
     fabric = SpineFreeFabric.uniform(
         [AggregationBlock(i, uplinks=16) for i in range(16)]
@@ -219,10 +244,114 @@ def _build_flowsim(smoke: bool) -> CasePair:
     )
 
 
+# --------------------------------------------------------------------- #
+# Parallel sweeps: SweepEngine fan-out vs the serial oracle
+# --------------------------------------------------------------------- #
+
+
+def _sweep_jobs(jobs: Optional[int]) -> int:
+    return jobs if jobs is not None else (os.cpu_count() or 1)
+
+
+def _exact_parity(vec: object, ref: object) -> float:
+    """Sweeps are bit-identical by contract: equal -> 0.0, else inf."""
+    import pickle
+
+    vec_list, ref_list = list(vec), list(ref)
+    same = len(vec_list) == len(ref_list) and all(
+        pickle.dumps(a) == pickle.dumps(b) for a, b in zip(vec_list, ref_list)
+    )
+    return 0.0 if same else float("inf")
+
+
+def _build_chaos_ensemble(smoke: bool, jobs: Optional[int] = None) -> CasePair:
+    workers = _sweep_jobs(jobs)
+    # The crash-recovery sweep is the heaviest scenario per member
+    # (~50-100 ms), so per-chunk work dominates pool startup.
+    scenario = "controller_crash_recovery"
+    num_seeds = 4 if smoke else 8
+    seeds = list(range(num_seeds))
+    kwargs = {} if smoke else {"num_ocses": 4, "links_per_ocs": 8}
+    engine = SweepEngine(workers=workers, chunk_size=1)
+
+    def _digests(reports) -> np.ndarray:
+        return np.array([int(r.digest()[:15], 16) for r in reports], dtype=float)
+
+    return CasePair(
+        vectorized=lambda: chaos_ensemble(
+            scenario, seeds, kwargs=kwargs, engine=engine
+        ),
+        reference=lambda: chaos_ensemble_serial(scenario, seeds, kwargs=kwargs),
+        parity=lambda a, b: _max_rel_err(_digests(a), _digests(b)),
+        size={"scenario": scenario, "seeds": num_seeds, "jobs": workers},
+    )
+
+
+def _build_mc_ber_grid(smoke: bool, jobs: Optional[int] = None) -> CasePair:
+    workers = _sweep_jobs(jobs)
+    points, symbols = (8, 500_000) if smoke else (8, 2_000_000)
+    model = Pam4LinkModel()
+    powers = np.linspace(-12.0, -6.0, points)
+    engine = SweepEngine(workers=workers, chunk_size=1)
+    return CasePair(
+        vectorized=lambda: monte_carlo_ber_grid(
+            model, powers, num_symbols=symbols, seed=7, engine=engine
+        ),
+        reference=lambda: monte_carlo_ber_grid_serial(
+            model, powers, num_symbols=symbols, seed=7
+        ),
+        parity=_exact_parity,
+        size={"points": points, "symbols": symbols, "jobs": workers},
+    )
+
+
+# --------------------------------------------------------------------- #
+# Result cache: warm content-addressed lookups vs recomputation
+# --------------------------------------------------------------------- #
+
+
+def _build_cache_warm(smoke: bool, jobs: Optional[int] = None) -> CasePair:
+    del jobs  # warm lookups are serial either way
+    points, symbols = (6, 50_000) if smoke else (8, 200_000)
+    model = Pam4LinkModel()
+    powers = np.linspace(-12.0, -6.0, points)
+    # The tempdir handle rides in the closures so the cache outlives
+    # the builder; it is reclaimed when the CasePair is dropped.
+    tmp = tempfile.TemporaryDirectory(prefix="perf-sweep-cache-")
+    monte_carlo_ber_grid(
+        model, powers, num_symbols=symbols, seed=7,
+        engine=SweepEngine(workers=1, cache=ResultCache(tmp.name)),
+    )
+
+    def warm(_tmp=tmp):
+        engine = SweepEngine(workers=1, cache=ResultCache(_tmp.name))
+        return monte_carlo_ber_grid(
+            model, powers, num_symbols=symbols, seed=7, engine=engine
+        )
+
+    return CasePair(
+        vectorized=warm,
+        reference=lambda: monte_carlo_ber_grid_serial(
+            model, powers, num_symbols=symbols, seed=7
+        ),
+        parity=_exact_parity,
+        size={"points": points, "symbols": symbols},
+    )
+
+
 CASES: Tuple[PerfCase, ...] = (
     PerfCase("fleet_ber_fig13", "Fig 13", 20.0, _build_fleet),
     PerfCase("ber_curves_fig11_12", "Fig 11/12", 5.0, _build_curves),
     PerfCase("receiver_sensitivity", "Fig 11/12 solves", 5.0, _build_sensitivity),
     PerfCase("max_min_rates", "§5 flow fairness", 5.0, _build_max_min),
     PerfCase("flowsim_run", "§5 FCT simulation", 5.0, _build_flowsim),
+    PerfCase(
+        "chaos_ensemble_pmap", "chaos ensembles", 1.7, _build_chaos_ensemble,
+        requires_cores=2,
+    ),
+    PerfCase(
+        "mc_ber_grid_pmap", "Fig 11a MC grid", 1.7, _build_mc_ber_grid,
+        requires_cores=2,
+    ),
+    PerfCase("sweep_cache_warm", "result cache", 5.0, _build_cache_warm),
 )

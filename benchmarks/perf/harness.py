@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 import timeit
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -37,16 +38,19 @@ def measure_seconds(fn, repeats: int = 3, slow_threshold_s: float = 2.0) -> floa
     return best / number
 
 
-def run_case(case: PerfCase, smoke: bool) -> Dict[str, object]:
+def run_case(
+    case: PerfCase, smoke: bool, jobs: Optional[int] = None
+) -> Dict[str, object]:
     """Build, parity-check, and time one case.
 
     Each stage runs under a wall-clock span so the report entry carries a
     per-phase breakdown; the spans wrap the measurement loops from the
-    outside and never touch the timed callables themselves.
+    outside and never touch the timed callables themselves.  ``jobs``
+    sets the worker count for parallel-sweep cases (None = cpu count).
     """
     obs = Observability.wall()
     with obs.tracer.span("perf.build", case=case.name):
-        pair = case.build(smoke)
+        pair = case.build(smoke, jobs)
     with obs.tracer.span("perf.parity", case=case.name):
         vec_result = pair.vectorized()
         ref_result = pair.reference()
@@ -71,18 +75,33 @@ def run_case(case: PerfCase, smoke: bool) -> Dict[str, object]:
         "speedup": ref_s / vec_s,
         "target_speedup": case.target_speedup,
         "parity_max_rel_err": max_rel_err,
+        "requires_cores": case.requires_cores,
+        "cpu_count": os.cpu_count() or 1,
+        "jobs": jobs,
         "phases": phases,
     }
 
 
+def filter_cases(
+    pattern: Optional[str], cases: Sequence[PerfCase] = CASES
+) -> List[PerfCase]:
+    """Cases whose name contains ``pattern`` (None/empty = all)."""
+    if not pattern:
+        return list(cases)
+    return [case for case in cases if pattern in case.name]
+
+
 def run_suite(
-    smoke: bool = False, cases: Sequence[PerfCase] = CASES, verbose: bool = True
+    smoke: bool = False,
+    cases: Sequence[PerfCase] = CASES,
+    verbose: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     results = []
     for case in cases:
         if verbose:
             print(f"[perf] {case.name} ({'smoke' if smoke else 'full'}) ...", flush=True)
-        result = run_case(case, smoke)
+        result = run_case(case, smoke, jobs)
         if verbose:
             print(
                 f"[perf]   vec {result['vectorized_s']:.4f}s "
@@ -125,13 +144,20 @@ def check_against_baselines(
 
     Returns a list of human-readable failures (empty when everything is
     within tolerance).  A missing baseline entry is itself a failure so
-    new cases must be baselined when added.
+    new cases must be baselined when added.  Cases whose
+    ``requires_cores`` exceeds the machine's core count are skipped --
+    a parallel sweep cannot beat its serial oracle on one core -- so
+    those baselines only bind on CI runners with enough cores.
     """
     if baselines is None:
         baselines = load_baselines()
     failures = []
     for result in results:
         name, mode = str(result["case"]), str(result["mode"])
+        required = int(result.get("requires_cores", 1) or 1)
+        available = int(result.get("cpu_count", os.cpu_count() or 1) or 1)
+        if available < required:
+            continue
         baseline = baselines.get(name, {}).get(mode)
         if baseline is None:
             failures.append(f"{name}: no {mode} baseline recorded")

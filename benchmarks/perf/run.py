@@ -1,4 +1,5 @@
-"""CLI entry point: ``python -m benchmarks.perf.run [--smoke] [--check]``."""
+"""CLI entry point: ``python -m benchmarks.perf.run [--smoke] [--check]
+[--jobs N] [--filter SUBSTR]``."""
 
 from __future__ import annotations
 
@@ -6,7 +7,12 @@ import argparse
 import sys
 from pathlib import Path
 
-from benchmarks.perf.harness import check_against_baselines, run_suite, write_report
+from benchmarks.perf.harness import (
+    check_against_baselines,
+    filter_cases,
+    run_suite,
+    write_report,
+)
 
 
 def main(argv=None) -> int:
@@ -27,9 +33,25 @@ def main(argv=None) -> int:
         default=None,
         help="where to write BENCH_PERF.json (default: repo root)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for parallel-sweep cases (default: cpu count)",
+    )
+    parser.add_argument(
+        "--filter",
+        default=None,
+        metavar="SUBSTR",
+        help="only run cases whose name contains SUBSTR",
+    )
     args = parser.parse_args(argv)
 
-    results = run_suite(smoke=args.smoke)
+    cases = filter_cases(args.filter)
+    if not cases:
+        print(f"[perf] no cases match --filter {args.filter!r}", file=sys.stderr)
+        return 2
+    results = run_suite(smoke=args.smoke, cases=cases, jobs=args.jobs)
     report = write_report(results, smoke=args.smoke, path=args.output)
     print(f"[perf] wrote {report}")
 

@@ -12,7 +12,12 @@ import json
 import pytest
 
 from benchmarks.perf.cases import CASES
-from benchmarks.perf.harness import check_against_baselines, load_baselines, write_report
+from benchmarks.perf.harness import (
+    check_against_baselines,
+    filter_cases,
+    load_baselines,
+    write_report,
+)
 
 #: The vectorized-kernel numerical contract from the issue: results match
 #: the scalar oracles to 1e-12 relative.
@@ -24,6 +29,18 @@ def test_case_parity_at_smoke_size(case):
     pair = case.build(True)
     err = pair.parity(pair.vectorized(), pair.reference())
     assert err <= PARITY_RTOL, f"{case.name}: max rel err {err:.2e}"
+
+
+@pytest.mark.parametrize(
+    "case", [c for c in CASES if c.requires_cores > 1],
+    ids=[c.name for c in CASES if c.requires_cores > 1],
+)
+def test_parallel_cases_parity_with_two_workers(case):
+    """Parallel sweeps stay bit-identical under an explicit worker count
+    even on one core (the pool path still runs)."""
+    pair = case.build(True, 2)
+    err = pair.parity(pair.vectorized(), pair.reference())
+    assert err == 0.0, f"{case.name}: parallel result diverged"
 
 
 def test_every_case_has_baselines():
@@ -54,3 +71,29 @@ def test_regression_check_flags_missing_baseline():
         [{"case": "brand_new_case", "mode": "smoke", "speedup": 100.0}]
     )
     assert failures and "no smoke baseline" in failures[0]
+
+
+def test_regression_check_skips_core_gated_cases():
+    """A requires_cores=2 case is not held to its baseline on one core."""
+    results = [
+        {
+            "case": "chaos_ensemble_pmap",
+            "mode": "smoke",
+            "speedup": 0.5,
+            "requires_cores": 2,
+            "cpu_count": 1,
+        }
+    ]
+    assert check_against_baselines(results) == []
+    results[0]["cpu_count"] = 2
+    failures = check_against_baselines(results)
+    assert len(failures) == 1 and "chaos_ensemble_pmap" in failures[0]
+
+
+def test_filter_cases():
+    assert [c.name for c in filter_cases("pmap")] == [
+        "chaos_ensemble_pmap",
+        "mc_ber_grid_pmap",
+    ]
+    assert filter_cases(None) == list(CASES)
+    assert filter_cases("no_such_case") == []

@@ -20,7 +20,12 @@ from repro.availability.goodput import (
     reconfigurable_goodput,
     static_goodput,
 )
-from repro.availability.montecarlo import GoodputMonteCarlo
+from repro.availability.montecarlo import (
+    AvailabilityTask,
+    GoodputMonteCarlo,
+    availability_grid,
+    availability_grid_serial,
+)
 
 __all__ = [
     "TransceiverTech",
@@ -32,4 +37,7 @@ __all__ = [
     "reconfigurable_goodput",
     "static_goodput",
     "GoodputMonteCarlo",
+    "AvailabilityTask",
+    "availability_grid",
+    "availability_grid_serial",
 ]

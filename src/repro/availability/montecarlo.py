@@ -9,7 +9,7 @@ static fixed-partition survival probabilities match the binomial math.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,7 +20,14 @@ from repro.availability.goodput import (
     cube_availability,
     spares_for_slice,
 )
+from repro.parallel import SweepEngine
 from repro.tpu.cube import HOSTS_PER_CUBE
+
+#: Upper bound on the transient host-sample buffer.  The naive draw is
+#: trials x cubes x 16 doubles (~650 MB at 256 cubes, 20k trials); the
+#: chunked sampler below holds at most this many bytes of uniforms at a
+#: time while producing the identical RNG stream.
+SAMPLE_BUDGET_BYTES = 32 * 2**20
 
 
 @dataclass
@@ -38,7 +45,34 @@ class GoodputMonteCarlo:
             raise ConfigurationError("need at least one trial")
 
     def _cube_states(self, rng: np.random.Generator, num_cubes: int) -> np.ndarray:
-        """(trials, num_cubes) booleans: cube up iff all 16 hosts up."""
+        """(trials, num_cubes) booleans: cube up iff all 16 hosts up.
+
+        Samples in bounded trial chunks: ``Generator.random`` fills its
+        output sequentially in C order, so drawing consecutive slices
+        along the trial axis consumes exactly the stream the one-shot
+        draw would -- :meth:`_cube_states_reference` stays the oracle and
+        the results are bit-identical, at ~20x less peak memory.
+        """
+        row_bytes = num_cubes * HOSTS_PER_CUBE * 8
+        chunk = max(1, SAMPLE_BUDGET_BYTES // row_bytes)
+        if chunk >= self.trials:
+            return self._cube_states_reference(rng, num_cubes)
+        states = np.empty((self.trials, num_cubes), dtype=bool)
+        for start in range(0, self.trials, chunk):
+            stop = min(start + chunk, self.trials)
+            # Single expression: holding the chunk in a local would keep
+            # it alive across the next draw and double the peak.
+            states[start:stop] = np.all(
+                rng.random((stop - start, num_cubes, HOSTS_PER_CUBE))
+                < self.server_availability,
+                axis=2,
+            )
+        return states
+
+    def _cube_states_reference(
+        self, rng: np.random.Generator, num_cubes: int
+    ) -> np.ndarray:
+        """The original one-shot sampler, kept as the RNG-stream oracle."""
         hosts = rng.random((self.trials, num_cubes, HOSTS_PER_CUBE))
         return np.all(hosts < self.server_availability, axis=2)
 
@@ -76,3 +110,90 @@ class GoodputMonteCarlo:
         per_slice = states.reshape(self.trials, num_slices, cubes_per_slice)
         slices_up = np.all(per_slice, axis=2).sum(axis=1)
         return float((slices_up >= k).mean())
+
+
+# ---------------------------------------------------------------------- #
+# Availability x shape grids over the sweep engine (Fig 15b)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class AvailabilityTask:
+    """One grid point: a (server availability, slice shape) evaluation.
+
+    Each point carries its own explicit seed, so the grid's values do
+    not depend on the engine's seed splitting -- adding rows or columns
+    never changes existing cells, and cached cells survive grid growth.
+    """
+
+    server_availability: float
+    cubes_per_slice: int
+    trials: int
+    seed: int
+    target: float = DEFAULT_TARGET
+
+
+def _availability_point(task: AvailabilityTask) -> Tuple[float, int]:
+    """Worker: empirical availability and spare count for one point."""
+    mc = GoodputMonteCarlo(
+        server_availability=task.server_availability,
+        seed=task.seed,
+        trials=task.trials,
+    )
+    return mc.reconfigurable_slice_availability(task.cubes_per_slice, task.target)
+
+
+def _grid_tasks(
+    server_availabilities: Sequence[float],
+    cubes_per_slice: Sequence[int],
+    trials: int,
+    seed: int,
+    target: float,
+) -> List[AvailabilityTask]:
+    return [
+        AvailabilityTask(float(sa), int(cps), int(trials), int(seed), float(target))
+        for sa in server_availabilities
+        for cps in cubes_per_slice
+    ]
+
+
+def availability_grid(
+    server_availabilities: Sequence[float],
+    cubes_per_slice: Sequence[int],
+    trials: int = 20_000,
+    seed: int = 0,
+    target: float = DEFAULT_TARGET,
+    engine: Optional[SweepEngine] = None,
+    cache_tag: Optional[str] = "availability.grid",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical (availability, spares) over an availability x shape grid.
+
+    Returns two arrays of shape ``(len(server_availabilities),
+    len(cubes_per_slice))`` -- the Fig 15b validation surface, fanned out
+    through the engine.  Bit-identical to :func:`availability_grid_serial`
+    for any worker count or chunk size.
+    """
+    engine = engine if engine is not None else SweepEngine(workers=1)
+    tasks = _grid_tasks(server_availabilities, cubes_per_slice, trials, seed, target)
+    tag = cache_tag if engine.cache is not None else None
+    results = engine.pmap(_availability_point, tasks, cache_tag=tag)
+    shape = (len(server_availabilities), len(cubes_per_slice))
+    availability = np.array([a for a, _ in results]).reshape(shape)
+    spares = np.array([s for _, s in results], dtype=int).reshape(shape)
+    return availability, spares
+
+
+def availability_grid_serial(
+    server_availabilities: Sequence[float],
+    cubes_per_slice: Sequence[int],
+    trials: int = 20_000,
+    seed: int = 0,
+    target: float = DEFAULT_TARGET,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The plain-loop oracle for :func:`availability_grid`."""
+    tasks = _grid_tasks(server_availabilities, cubes_per_slice, trials, seed, target)
+    results = [_availability_point(t) for t in tasks]
+    shape = (len(server_availabilities), len(cubes_per_slice))
+    availability = np.array([a for a, _ in results]).reshape(shape)
+    spares = np.array([s for _, s in results], dtype=int).reshape(shape)
+    return availability, spares

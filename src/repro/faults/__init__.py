@@ -18,6 +18,12 @@ into:
   models.
 """
 
+from repro.faults.ensemble import (
+    ChaosTask,
+    chaos_ensemble,
+    chaos_ensemble_serial,
+    ensemble_digest,
+)
 from repro.faults.events import FaultEvent, FaultKind, schedule_digest
 from repro.faults.injector import FaultInjector
 from repro.faults.resilience import (
@@ -36,4 +42,8 @@ __all__ = [
     "RetryPolicy",
     "TransactionResult",
     "schedule_digest",
+    "ChaosTask",
+    "chaos_ensemble",
+    "chaos_ensemble_serial",
+    "ensemble_digest",
 ]

@@ -1,0 +1,98 @@
+"""Multi-seed chaos ensembles over the sweep engine.
+
+A single chaos run answers "does the stack survive this seed"; an
+ensemble answers "what does the goodput distribution look like" -- the
+same scenario run across many injector seeds, embarrassingly parallel.
+This module fans those ensembles through
+:class:`~repro.parallel.SweepEngine`:
+
+- each (scenario, seed, kwargs) triple is one content-addressable task,
+  so re-running an ensemble after touching one scenario recomputes only
+  that scenario's members;
+- scenarios seed themselves from the task's explicit ``seed`` field
+  (the injector owns its RNG), so the engine runs with ``seed=None``
+  and chunking/worker count cannot perturb any member;
+- :func:`chaos_ensemble_serial` is the plain-loop oracle, and
+  :func:`ensemble_digest` hashes a whole ensemble for byte-level
+  determinism checks across worker counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.faults.chaos import SCENARIOS, ChaosReport, run_scenario
+from repro.parallel import SweepEngine
+
+
+@dataclass(frozen=True)
+class ChaosTask:
+    """One ensemble member: a scenario name, a seed, and its kwargs.
+
+    ``kwargs`` is stored as a sorted tuple of pairs so the task is
+    hashable, picklable, and canonically digestible.
+    """
+
+    scenario: str
+    seed: int
+    kwargs: Tuple[Tuple[str, object], ...] = field(default=())
+
+    @classmethod
+    def make(cls, scenario: str, seed: int, **kwargs) -> "ChaosTask":
+        if scenario not in SCENARIOS:
+            raise ConfigurationError(
+                f"unknown scenario {scenario!r}; have {sorted(SCENARIOS)}"
+            )
+        return cls(scenario, int(seed), tuple(sorted(kwargs.items())))
+
+
+def _run_chaos(task: ChaosTask) -> ChaosReport:
+    """Worker: run one ensemble member."""
+    return run_scenario(task.scenario, seed=task.seed, **dict(task.kwargs))
+
+
+def _ensemble_tasks(
+    scenario: str, seeds: Sequence[int], kwargs: Optional[Dict[str, object]]
+) -> List[ChaosTask]:
+    kwargs = kwargs or {}
+    return [ChaosTask.make(scenario, s, **kwargs) for s in seeds]
+
+
+def chaos_ensemble(
+    scenario: str,
+    seeds: Sequence[int],
+    kwargs: Optional[Dict[str, object]] = None,
+    engine: Optional[SweepEngine] = None,
+    cache_tag: Optional[str] = "faults.chaos",
+) -> List[ChaosReport]:
+    """Run one scenario across many seeds, fanned out over the engine.
+
+    Returns reports aligned with ``seeds``.  Bit-identical to
+    :func:`chaos_ensemble_serial` for any engine configuration -- pin it
+    with :func:`ensemble_digest`.
+    """
+    engine = engine if engine is not None else SweepEngine(workers=1)
+    tasks = _ensemble_tasks(scenario, seeds, kwargs)
+    tag = cache_tag if engine.cache is not None else None
+    return engine.pmap(_run_chaos, tasks, cache_tag=tag)
+
+
+def chaos_ensemble_serial(
+    scenario: str,
+    seeds: Sequence[int],
+    kwargs: Optional[Dict[str, object]] = None,
+) -> List[ChaosReport]:
+    """The plain-loop oracle for :func:`chaos_ensemble`."""
+    return [_run_chaos(t) for t in _ensemble_tasks(scenario, seeds, kwargs)]
+
+
+def ensemble_digest(reports: Sequence[ChaosReport]) -> str:
+    """SHA-256 over every member digest, in ensemble order."""
+    h = hashlib.sha256()
+    for report in reports:
+        h.update(report.digest().encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()

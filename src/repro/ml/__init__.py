@@ -16,7 +16,13 @@ from repro.ml.collectives import (
     ring_reduce_scatter_time_s,
 )
 from repro.ml.perfmodel import StepTimeBreakdown, TrainingStepModel
-from repro.ml.shape_search import ShapeSearchResult, SliceShapeSearch
+from repro.ml.shape_search import (
+    ShapeSearchResult,
+    ShapeSearchTask,
+    SliceShapeSearch,
+    shape_search_grid,
+    shape_search_grid_serial,
+)
 from repro.ml.hybrid import HybridClusterSpec, cross_pod_all_reduce_time_s
 from repro.ml.reshaping import ReshapingPlan, ReshapingStudy, TrainingPhase
 from repro.ml.collective_sim import RingCollectiveSim, simulate_hierarchical_all_reduce
@@ -33,6 +39,9 @@ __all__ = [
     "StepTimeBreakdown",
     "SliceShapeSearch",
     "ShapeSearchResult",
+    "ShapeSearchTask",
+    "shape_search_grid",
+    "shape_search_grid_serial",
     "HybridClusterSpec",
     "cross_pod_all_reduce_time_s",
     "ReshapingStudy",

@@ -10,12 +10,13 @@ symmetric 16x16x16 slice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError
-from repro.ml.models import LlmConfig
+from repro.ml.models import LLM_ZOO, LlmConfig
 from repro.ml.parallelism import ParallelismPlan
 from repro.ml.perfmodel import TrainingStepModel
+from repro.parallel import SweepEngine
 
 Shape = Tuple[int, int, int]
 
@@ -168,3 +169,81 @@ class SliceShapeSearch:
                 results.append((shape, t))
         results.sort(key=lambda st: st[1])
         return results[:top]
+
+
+# ---------------------------------------------------------------------- #
+# Shape-search grids over the sweep engine
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ShapeSearchTask:
+    """One grid point: a model from the zoo x a chip budget."""
+
+    model_name: str
+    num_chips: int = 4096
+    min_extent: int = 4
+
+    def __post_init__(self) -> None:
+        if self.model_name not in LLM_ZOO:
+            raise ConfigurationError(
+                f"unknown model {self.model_name!r}; have {sorted(LLM_ZOO)}"
+            )
+
+
+def _search_point(task: ShapeSearchTask) -> Dict[str, object]:
+    """Worker: one exhaustive search, summarized as plain data."""
+    search = SliceShapeSearch(
+        step_model=TrainingStepModel(),
+        num_chips=task.num_chips,
+        min_extent=task.min_extent,
+    )
+    result = search.search(LLM_ZOO[task.model_name])
+    return {
+        "model": task.model_name,
+        "best_shape": result.best_shape,
+        "best_step_time_s": result.best_step_time_s,
+        "baseline_step_time_s": result.baseline_step_time_s,
+        "speedup_vs_baseline": result.speedup_vs_baseline,
+        "evaluated": result.evaluated,
+        "infeasible": result.infeasible,
+    }
+
+
+def _grid_tasks(
+    model_names: Sequence[str], num_chips: Sequence[int], min_extent: int
+) -> List[ShapeSearchTask]:
+    return [
+        ShapeSearchTask(str(name), int(chips), int(min_extent))
+        for name in model_names
+        for chips in num_chips
+    ]
+
+
+def shape_search_grid(
+    model_names: Sequence[str],
+    num_chips: Sequence[int] = (4096,),
+    min_extent: int = 4,
+    engine: Optional[SweepEngine] = None,
+    cache_tag: Optional[str] = "ml.shape_search",
+) -> List[Dict[str, object]]:
+    """Exhaustive shape searches over a model x chip-budget grid.
+
+    Returns summaries in row-major (model, chips) order.  Each search is
+    deterministic (no RNG), so the engine runs unseeded and the grid is
+    bit-identical to :func:`shape_search_grid_serial` for any engine
+    configuration.
+    """
+    engine = engine if engine is not None else SweepEngine(workers=1)
+    tasks = _grid_tasks(model_names, num_chips, min_extent)
+    tag = cache_tag if engine.cache is not None else None
+    return engine.pmap(_search_point, tasks, cache_tag=tag)
+
+
+def shape_search_grid_serial(
+    model_names: Sequence[str],
+    num_chips: Sequence[int] = (4096,),
+    min_extent: int = 4,
+) -> List[Dict[str, object]]:
+    """The plain-loop oracle for :func:`shape_search_grid`."""
+    return [_search_point(t) for t in _grid_tasks(model_names, num_chips, min_extent)]

@@ -48,6 +48,7 @@ PHASES: Tuple[str, ...] = (
     "telemetry",
     "ber_sweep",
     "scheduler",
+    "sweep",
 )
 
 
@@ -227,6 +228,30 @@ def run_fabric_drill(
             obs=obs,
         )
         sched = sim.run(WorkloadGenerator(seed=seed).generate(jobs))
+
+    # -- sweep: the parallel engine + result cache, cold then warm.  A
+    # serial engine on an in-memory cache keeps the phase hermetic; the
+    # task advances the sim clock so chunk spans have deterministic
+    # widths, and the warm pass must be 100% hits.
+    with obs.tracer.span("drill.sweep"):
+        from repro.parallel import ResultCache, SweepEngine
+
+        sweep_tasks = list(range(8 if smoke else 12))
+
+        def _sweep_task(task: int, task_seed) -> float:
+            obs.clock.advance(2.0)
+            del task_seed  # identity comes from the task; width from the clock
+            return float(task * task)
+
+        engine = SweepEngine(
+            workers=1, chunk_size=4, cache=ResultCache.in_memory(obs=obs),
+            obs=obs,
+        )
+        cold = engine.pmap(_sweep_task, sweep_tasks, seed=seed, cache_tag="drill")
+        warm = engine.pmap(_sweep_task, sweep_tasks, seed=seed, cache_tag="drill")
+        notes["sweep_tasks"] = float(len(sweep_tasks))
+        notes["sweep_warm_hits"] = float(engine.last_run.cache_hits)
+        notes["sweep_results_equal"] = float(cold == warm)
 
     return DrillReport(
         seed=seed,

@@ -24,6 +24,11 @@ from repro.optics.transceiver import (
 from repro.optics.link_budget import LinkBudget, LossElement
 from repro.optics.mpi import MpiSource, aggregate_mpi_db, beat_noise_sigma_w
 from repro.optics.oim import OimDsp
+from repro.optics.mc_sweep import (
+    McBerTask,
+    monte_carlo_ber_grid,
+    monte_carlo_ber_grid_serial,
+)
 from repro.optics.pam4 import Pam4LinkModel, ber_batch
 from repro.optics.fec import ConcatenatedFec, InnerSoftFec, KP4_BER_THRESHOLD, Kp4OuterCode
 from repro.optics.ber import (
@@ -56,6 +61,9 @@ __all__ = [
     "OimDsp",
     "Pam4LinkModel",
     "ber_batch",
+    "McBerTask",
+    "monte_carlo_ber_grid",
+    "monte_carlo_ber_grid_serial",
     "ConcatenatedFec",
     "InnerSoftFec",
     "Kp4OuterCode",

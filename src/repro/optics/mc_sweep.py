@@ -1,0 +1,99 @@
+"""Monte-Carlo PAM4 BER grids over the sweep engine (Fig 11a).
+
+The Fig 11a validation runs :meth:`Pam4LinkModel.monte_carlo_ber` at
+every received-power point -- hundreds of thousands of simulated symbols
+per point, embarrassingly parallel across the grid.  This module fans
+the grid out through :class:`~repro.parallel.SweepEngine`:
+
+- each grid point is one task carrying the full model spec (so results
+  are content-addressable -- rerunning a grid after a parameter tweak
+  recomputes only what changed);
+- per-point RNG streams come from the engine's positional seed
+  splitting, so the grid is bit-identical for any worker count;
+- :func:`monte_carlo_ber_grid_serial` is the plain-loop oracle using the
+  same :meth:`~repro.parallel.SweepEngine.task_seeds` contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.optics.pam4 import Pam4LinkModel
+from repro.parallel import SweepEngine
+
+
+@dataclass(frozen=True)
+class McBerTask:
+    """One Monte-Carlo grid point: a model spec plus a power and budget."""
+
+    rx_power_dbm: float
+    num_symbols: int
+    mpi_db: Optional[float]
+    oim_suppression_db: float
+    thermal_noise_w: float
+    equalizer_enhancement: float
+
+
+def _mc_ber_point(task: McBerTask, seed: np.random.SeedSequence) -> float:
+    """Worker: rebuild the model and run one Monte-Carlo BER estimate."""
+    model = Pam4LinkModel(
+        mpi_db=task.mpi_db,
+        oim_suppression_db=task.oim_suppression_db,
+        thermal_noise_w=task.thermal_noise_w,
+        equalizer_enhancement=task.equalizer_enhancement,
+    )
+    # ``monte_carlo_ber`` feeds its seed straight to ``default_rng``,
+    # which accepts a SeedSequence -- the stream is the child's.
+    return model.monte_carlo_ber(
+        task.rx_power_dbm, num_symbols=task.num_symbols, seed=seed
+    )
+
+
+def _grid_tasks(
+    model: Pam4LinkModel, rx_powers_dbm, num_symbols: int
+) -> list:
+    return [
+        McBerTask(
+            rx_power_dbm=float(p),
+            num_symbols=int(num_symbols),
+            mpi_db=model.mpi_db,
+            oim_suppression_db=model.oim_suppression_db,
+            thermal_noise_w=model.thermal_noise_w,
+            equalizer_enhancement=model.equalizer_enhancement,
+        )
+        for p in np.asarray(rx_powers_dbm, dtype=float)
+    ]
+
+
+def monte_carlo_ber_grid(
+    model: Pam4LinkModel,
+    rx_powers_dbm,
+    num_symbols: int = 200_000,
+    seed: int = 0,
+    engine: Optional[SweepEngine] = None,
+    cache_tag: Optional[str] = "optics.mc_ber",
+) -> np.ndarray:
+    """Monte-Carlo BER at every power point, fanned out over the engine.
+
+    Returns an array aligned with ``rx_powers_dbm``.  Bit-identical to
+    :func:`monte_carlo_ber_grid_serial` for any engine configuration.
+    """
+    engine = engine if engine is not None else SweepEngine(workers=1)
+    tasks = _grid_tasks(model, rx_powers_dbm, num_symbols)
+    tag = cache_tag if engine.cache is not None else None
+    return np.array(engine.pmap(_mc_ber_point, tasks, seed=seed, cache_tag=tag))
+
+
+def monte_carlo_ber_grid_serial(
+    model: Pam4LinkModel,
+    rx_powers_dbm,
+    num_symbols: int = 200_000,
+    seed: int = 0,
+) -> np.ndarray:
+    """The plain-loop oracle: same seed-splitting, no engine, no cache."""
+    tasks = _grid_tasks(model, rx_powers_dbm, num_symbols)
+    seeds = SweepEngine.task_seeds(seed, len(tasks))
+    return np.array([_mc_ber_point(t, s) for t, s in zip(tasks, seeds)])

@@ -1,0 +1,129 @@
+"""The CI cache-smoke gate: ``python -m repro.parallel.smoke``.
+
+Runs one Monte-Carlo BER grid twice against an on-disk result cache --
+cold, then warm through a fresh :class:`~repro.parallel.ResultCache` on
+the same root (so the second run exercises real disk lookups, not the
+first run's memory) -- and enforces the cache contract end to end:
+
+1. the warm results are byte-identical to the cold ones;
+2. the warm run is 100% cache hits (zero tasks computed);
+3. the warm run is at least ``--min-speedup`` (default 5x) faster.
+
+Exit code 0 when every check passes, 1 otherwise; ``--out`` writes the
+measured stats as JSON for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.optics.mc_sweep import monte_carlo_ber_grid
+from repro.optics.pam4 import Pam4LinkModel
+from repro.parallel.cache import ResultCache
+from repro.parallel.engine import SweepEngine
+
+
+def run_smoke(
+    cache_root: Path,
+    jobs: int = 1,
+    points: int = 8,
+    num_symbols: int = 100_000,
+    min_speedup: float = 5.0,
+    seed: int = 0,
+) -> dict:
+    """Cold + warm sweep against ``cache_root``; returns the stats dict."""
+    model = Pam4LinkModel()
+    powers = np.linspace(-12.0, -6.0, points)
+
+    def sweep(cache: ResultCache):
+        engine = SweepEngine(workers=jobs, cache=cache)
+        t0 = time.perf_counter()
+        results = monte_carlo_ber_grid(
+            model, powers, num_symbols=num_symbols, seed=seed, engine=engine
+        )
+        return results, time.perf_counter() - t0, engine.last_run
+
+    cold, cold_s, cold_run = sweep(ResultCache(cache_root))
+    warm, warm_s, warm_run = sweep(ResultCache(cache_root))
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    identical = pickle.dumps(list(cold)) == pickle.dumps(list(warm))
+    all_hits = warm_run.cache_hits == len(powers) and warm_run.computed == 0
+    return {
+        "jobs": jobs,
+        "points": points,
+        "num_symbols": num_symbols,
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(speedup, 3),
+        "min_speedup": min_speedup,
+        "cold_computed": cold_run.computed,
+        "warm_cache_hits": warm_run.cache_hits,
+        "warm_computed": warm_run.computed,
+        "results_identical": identical,
+        "all_hits": all_hits,
+        "ok": bool(identical and all_hits and speedup >= min_speedup),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1, help="engine workers")
+    parser.add_argument("--points", type=int, default=8, help="grid points")
+    parser.add_argument(
+        "--symbols", type=int, default=100_000, help="MC symbols per point"
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=5.0,
+        help="required warm-over-cold speedup",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cache root (default: a fresh temporary directory)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write stats JSON here"
+    )
+    args = parser.parse_args(argv)
+
+    if args.cache_dir is not None:
+        stats = run_smoke(
+            args.cache_dir, args.jobs, args.points, args.symbols,
+            args.min_speedup,
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="sweep-cache-") as tmp:
+            stats = run_smoke(
+                Path(tmp), args.jobs, args.points, args.symbols,
+                args.min_speedup,
+            )
+
+    payload = json.dumps(stats, indent=2, sort_keys=True)
+    print(payload)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(payload + "\n")
+    if not stats["results_identical"]:
+        print("FAIL: warm results differ from cold", file=sys.stderr)
+    if not stats["all_hits"]:
+        print("FAIL: warm run was not 100% cache hits", file=sys.stderr)
+    if stats["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: warm speedup {stats['speedup']:.2f}x "
+            f"< required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+    return 0 if stats["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

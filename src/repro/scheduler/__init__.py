@@ -20,6 +20,12 @@ from repro.scheduler.simulator import SchedulerMetrics, SchedulerSimulation
 from repro.scheduler.defrag import compact_contiguous, fragmentation
 from repro.scheduler.deployment import DeploymentModel, DeploymentOutcome
 from repro.scheduler.model_aware import ModelAwareAllocator, ModelPlacement
+from repro.scheduler.sweeps import (
+    SchedulerSweepPoint,
+    sweep_points,
+    utilization_sweep,
+    utilization_sweep_serial,
+)
 
 __all__ = [
     "JobRequest",
@@ -36,4 +42,8 @@ __all__ = [
     "DeploymentOutcome",
     "ModelAwareAllocator",
     "ModelPlacement",
+    "SchedulerSweepPoint",
+    "sweep_points",
+    "utilization_sweep",
+    "utilization_sweep_serial",
 ]

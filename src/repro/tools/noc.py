@@ -36,14 +36,19 @@ def _split_series(series: str) -> Tuple[str, Dict[str, str]]:
 
 
 def compute_slos(report: DrillReport) -> Dict[str, float]:
-    """The three headline SLOs, straight off the drill's registry."""
+    """The headline SLOs, straight off the drill's registry."""
     registry = report.obs.metrics
     loss_obs = registry.sum_counters("ocs.loss.observations")
     anomalies = registry.sum_counters("ocs.anomaly.fired")
+    hits = registry.sum_counters("sweep.cache.hits")
+    misses = registry.sum_counters("sweep.cache.misses")
+    lookups = hits + misses
     return {
         "reconfig_p99_ms": registry.histogram("fabric.plan.duration_ms").quantile(0.99),
         "recovery_p99_ms": registry.histogram("control.recover.duration_ms").quantile(0.99),
         "ber_anomaly_rate": anomalies / loss_obs if loss_obs else 0.0,
+        "sweep_cache_miss_rate": misses / lookups if lookups else 0.0,
+        "sweep_chunk_p99_ms": registry.histogram("sweep.chunk.duration_ms").quantile(0.99),
     }
 
 

@@ -1,11 +1,20 @@
 """Tests for repro.availability.montecarlo."""
 
+import tracemalloc
+
+import numpy as np
 import pytest
 from scipy.stats import binom
 
 from repro.core.errors import ConfigurationError
 from repro.availability.goodput import cube_availability
-from repro.availability.montecarlo import GoodputMonteCarlo
+from repro.availability.montecarlo import (
+    AvailabilityTask,
+    GoodputMonteCarlo,
+    availability_grid,
+    availability_grid_serial,
+)
+from repro.parallel import SweepEngine
 
 
 class TestMonteCarlo:
@@ -49,3 +58,66 @@ class TestMonteCarlo:
         mc = GoodputMonteCarlo(server_availability=0.99, trials=10)
         with pytest.raises(ConfigurationError):
             mc.static_partition_survival(16, k=-1)
+
+
+class TestChunkedSampling:
+    """The bounded-memory sampler must be invisible except in footprint."""
+
+    def test_chunked_matches_reference_bitwise(self):
+        """Chunked draws consume the identical RNG stream as one shot."""
+        mc = GoodputMonteCarlo(server_availability=0.995, seed=11, trials=20_000)
+        chunked = mc._cube_states(np.random.default_rng(11), 256)
+        reference = mc._cube_states_reference(np.random.default_rng(11), 256)
+        assert chunked.tobytes() == reference.tobytes()
+
+    def test_small_draws_delegate_to_reference(self):
+        mc = GoodputMonteCarlo(server_availability=0.995, seed=5, trials=500)
+        chunked = mc._cube_states(np.random.default_rng(5), 16)
+        reference = mc._cube_states_reference(np.random.default_rng(5), 16)
+        assert chunked.tobytes() == reference.tobytes()
+
+    def test_peak_memory_bounded(self):
+        """256 cubes x 20k trials stays under 64 MB peak (was ~650 MB)."""
+        mc = GoodputMonteCarlo(server_availability=0.995, seed=1, trials=20_000)
+        tracemalloc.start()
+        try:
+            mc.empirical_cube_availability()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak <= 64 * 2**20
+
+    def test_public_results_unchanged(self):
+        """Seeded public results are identical to the reference sampler."""
+        mc = GoodputMonteCarlo(server_availability=0.999, seed=2, trials=20_000)
+        availability, spares = mc.reconfigurable_slice_availability(16)
+        states = mc._cube_states_reference(
+            np.random.default_rng(2), 16 + spares
+        )
+        failures = (~states).sum(axis=1)
+        assert availability == float((failures <= spares).mean())
+
+
+class TestAvailabilityGrid:
+    def test_grid_matches_serial_for_any_workers(self):
+        ref_a, ref_s = availability_grid_serial(
+            [0.995, 0.99], [4, 16], trials=2000, seed=1
+        )
+        for workers in (1, 2, 4):
+            a, s = availability_grid(
+                [0.995, 0.99], [4, 16], trials=2000, seed=1,
+                engine=SweepEngine(workers=workers, chunk_size=1),
+            )
+            assert a.tobytes() == ref_a.tobytes()
+            assert np.array_equal(s, ref_s)
+
+    def test_grid_matches_pointwise_montecarlo(self):
+        a, s = availability_grid([0.995], [16], trials=2000, seed=3)
+        mc = GoodputMonteCarlo(server_availability=0.995, seed=3, trials=2000)
+        availability, spares = mc.reconfigurable_slice_availability(16)
+        assert a[0, 0] == availability
+        assert s[0, 0] == spares
+
+    def test_tasks_carry_explicit_seeds(self):
+        task = AvailabilityTask(0.99, 4, 1000, 7)
+        assert task.seed == 7

@@ -1,0 +1,112 @@
+"""Tests for repro.parallel.cache: the content-addressed result store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs import Observability
+from repro.parallel.cache import CACHE_SCHEMA_VERSION, ResultCache
+
+
+class TestKeys:
+    def test_key_depends_on_tag_and_spec(self):
+        assert ResultCache.key("a", {"x": 1}) != ResultCache.key("b", {"x": 1})
+        assert ResultCache.key("a", {"x": 1}) != ResultCache.key("a", {"x": 2})
+
+    def test_key_is_stable(self):
+        assert ResultCache.key("t", {"x": 1}) == ResultCache.key("t", {"x": 1})
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache.key("", {"x": 1})
+
+
+class TestInMemory:
+    def test_miss_then_hit(self):
+        cache = ResultCache.in_memory()
+        key = cache.key("t", {"x": 1})
+        hit, value = cache.get(key)
+        assert not hit and value is None
+        cache.put(key, [1.0, 2.0])
+        hit, value = cache.get(key)
+        assert hit and value == [1.0, 2.0]
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_pickle_round_trip_exact(self):
+        cache = ResultCache.in_memory()
+        payload = {"arr": np.linspace(0, 1, 7), "f": 0.1 + 0.2}
+        key = cache.key("t", {"p": 1})
+        cache.put(key, payload)
+        _, value = cache.get(key)
+        assert value["arr"].tobytes() == payload["arr"].tobytes()
+        assert value["f"].hex() == payload["f"].hex()
+
+    def test_invalidate_by_tag(self):
+        cache = ResultCache.in_memory()
+        k1, k2 = cache.key("a", 1), cache.key("b", 2)
+        cache.put(k1, "one", tag="a")
+        cache.put(k2, "two", tag="b")
+        assert cache.invalidate("a") == 1
+        assert not cache.get(k1)[0]
+        assert cache.get(k2)[0]
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = ResultCache.in_memory()
+        cache.put(cache.key("t", 1), "v", tag="t")
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestOnDisk:
+    def test_layout_and_reload(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("t", {"x": 1})
+        cache.put(key, 3.14, tag="t")
+        assert (tmp_path / "objects" / f"{key}.pkl").exists()
+        manifest = (tmp_path / "manifest.jsonl").read_text().splitlines()
+        record = json.loads(manifest[0])
+        assert record["key"] == key
+        assert record["tag"] == "t"
+        assert record["version"] == CACHE_SCHEMA_VERSION
+
+        reloaded = ResultCache(tmp_path)
+        hit, value = reloaded.get(key)
+        assert hit and value == 3.14
+        assert len(reloaded) == 1
+
+    def test_invalidate_rewrites_manifest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ka, kb = cache.key("a", 1), cache.key("b", 2)
+        cache.put(ka, "one", tag="a")
+        cache.put(kb, "two", tag="b")
+        assert cache.invalidate("a") == 1
+        assert not (tmp_path / "objects" / f"{ka}.pkl").exists()
+        reloaded = ResultCache(tmp_path)
+        assert [r["tag"] for r in reloaded.entries()] == ["b"]
+        assert not reloaded.get(ka)[0]
+        assert reloaded.get(kb)[0]
+
+    def test_entries_filter(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache.key("a", 1), 1, tag="a")
+        cache.put(cache.key("b", 2), 2, tag="b")
+        assert len(cache.entries("a")) == 1
+        assert len(cache.entries()) == 2
+
+
+class TestObservability:
+    def test_counters_land(self):
+        obs = Observability.sim()
+        cache = ResultCache.in_memory(obs=obs)
+        key = cache.key("t", {"x": 1})
+        cache.get(key, tag="t")
+        cache.put(key, 1, tag="t")
+        cache.get(key, tag="t")
+        reg = obs.metrics
+        assert reg.counter("sweep.cache.misses", tag="t").value == 1
+        assert reg.counter("sweep.cache.hits", tag="t").value == 1
+        assert reg.counter("sweep.cache.stores", tag="t").value == 1

@@ -1,0 +1,80 @@
+"""Tests for repro.parallel.canon: the canonical encoding and digests."""
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.parallel.canon import canonical_bytes, fn_identity, spec_digest
+
+
+@dataclass(frozen=True)
+class Spec:
+    x: float
+    n: int
+
+
+class Color(Enum):
+    RED = 1
+    BLUE = 2
+
+
+class TestCanonicalBytes:
+    def test_deterministic(self):
+        spec = {"a": 1, "b": [1.5, None, True], "c": (np.float64(2.0),)}
+        assert canonical_bytes(spec) == canonical_bytes(spec)
+
+    def test_dict_order_irrelevant(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes(
+            {"b": 2, "a": 1}
+        )
+
+    def test_type_tags_distinguish(self):
+        """1, 1.0, True, and "1" must not collide."""
+        encodings = {
+            canonical_bytes(1),
+            canonical_bytes(1.0),
+            canonical_bytes(True),
+            canonical_bytes("1"),
+        }
+        assert len(encodings) == 4
+
+    def test_float_bit_exact(self):
+        a = canonical_bytes(0.1 + 0.2)
+        b = canonical_bytes(0.3)
+        assert a != b  # 0.1 + 0.2 != 0.3 bitwise; hex encoding preserves it
+
+    def test_ndarray_includes_dtype_and_shape(self):
+        x = np.zeros(4, dtype=np.float64)
+        assert canonical_bytes(x) != canonical_bytes(x.astype(np.float32))
+        assert canonical_bytes(x) != canonical_bytes(x.reshape(2, 2))
+
+    def test_dataclass_qualname_scoped(self):
+        assert b"Spec" in canonical_bytes(Spec(1.0, 2))
+
+    def test_enum(self):
+        assert canonical_bytes(Color.RED) != canonical_bytes(Color.BLUE)
+
+    def test_seed_sequence_identity(self):
+        root = np.random.SeedSequence(42)
+        a, b = root.spawn(2)
+        assert canonical_bytes(a) != canonical_bytes(b)
+        again = np.random.SeedSequence(42).spawn(2)[0]
+        assert canonical_bytes(a) == canonical_bytes(again)
+
+    def test_unencodable_raises(self):
+        with pytest.raises(ConfigurationError):
+            canonical_bytes(object())
+
+
+class TestDigests:
+    def test_spec_digest_is_hex_sha256(self):
+        d = spec_digest({"k": 1})
+        assert len(d) == 64
+        int(d, 16)  # parses as hex
+
+    def test_fn_identity(self):
+        assert fn_identity(canonical_bytes).endswith("canonical_bytes")
+        assert "repro.parallel.canon" in fn_identity(canonical_bytes)

@@ -1,0 +1,169 @@
+"""Property suite: pmap is bit-identical for any worker count/chunking.
+
+The tentpole guarantee -- ``SweepEngine.pmap`` returns byte-identical
+results for any worker count and any chunk size, with ``pmap_serial``
+as the oracle -- checked with Hypothesis over random task lists, seeds,
+chunk sizes, and worker counts {1, 2, 4}, and over the real sweep
+surfaces.  Equality is on pickled bytes per element (floats compare
+bit-exact; no tolerance anywhere).
+"""
+
+import pickle
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import ResultCache, SweepEngine
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _draw_stats(task, seed):
+    """Seeded worker: summary stats of the task's own stream."""
+    rng = np.random.default_rng(seed)
+    x = rng.random(int(task) % 17 + 3)
+    return {"task": task, "mean": float(x.mean()), "first": float(x[0])}
+
+
+def _collatz_len(task):
+    """Unseeded worker: deterministic, uneven per-task cost."""
+    n = int(task) + 1
+    steps = 0
+    while n != 1 and steps < 1000:
+        n = n // 2 if n % 2 == 0 else 3 * n + 1
+        steps += 1
+    return steps
+
+
+def _dumps(results):
+    return [pickle.dumps(r) for r in results]
+
+
+class TestPmapProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_tasks=st.integers(min_value=0, max_value=25),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        chunk_size=st.one_of(st.none(), st.integers(min_value=1, max_value=9)),
+        workers=st.sampled_from(WORKER_COUNTS),
+    )
+    def test_seeded_pmap_matches_oracle(self, num_tasks, seed, chunk_size, workers):
+        tasks = list(range(num_tasks))
+        ref = SweepEngine(workers=1).pmap_serial(_draw_stats, tasks, seed=seed)
+        engine = SweepEngine(workers=workers, chunk_size=chunk_size)
+        got = engine.pmap(_draw_stats, tasks, seed=seed)
+        assert _dumps(got) == _dumps(ref)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        tasks=st.lists(st.integers(min_value=0, max_value=500), max_size=20),
+        chunk_size=st.one_of(st.none(), st.integers(min_value=1, max_value=7)),
+        workers=st.sampled_from(WORKER_COUNTS),
+    )
+    def test_unseeded_pmap_matches_oracle(self, tasks, chunk_size, workers):
+        ref = SweepEngine(workers=1).pmap_serial(_collatz_len, tasks)
+        engine = SweepEngine(workers=workers, chunk_size=chunk_size)
+        assert _dumps(engine.pmap(_collatz_len, tasks)) == _dumps(ref)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        num_tasks=st.integers(min_value=1, max_value=15),
+        seed=st.integers(min_value=0, max_value=1000),
+        workers=st.sampled_from(WORKER_COUNTS),
+    )
+    def test_cache_round_trip_exact(self, num_tasks, seed, workers):
+        """A warm cached run returns byte-identical values, computing 0."""
+        tasks = list(range(num_tasks))
+        cache = ResultCache.in_memory()
+        cold_engine = SweepEngine(workers=workers, chunk_size=1, cache=cache)
+        cold = cold_engine.pmap(_draw_stats, tasks, seed=seed, cache_tag="p")
+        warm_engine = SweepEngine(workers=1, cache=cache)
+        warm = warm_engine.pmap(_draw_stats, tasks, seed=seed, cache_tag="p")
+        assert warm_engine.last_run.computed == 0
+        assert warm_engine.last_run.cache_hits == num_tasks
+        assert _dumps(warm) == _dumps(cold)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        prefix=st.integers(min_value=1, max_value=8),
+        extra=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_grid_extension_reuses_prefix(self, prefix, extra, seed):
+        """Positional seed splitting: growing a task list keeps the
+        cached prefix valid and bit-identical."""
+        cache = ResultCache.in_memory()
+        engine = SweepEngine(workers=1, cache=cache)
+        small = engine.pmap(
+            _draw_stats, list(range(prefix)), seed=seed, cache_tag="p"
+        )
+        large = engine.pmap(
+            _draw_stats, list(range(prefix + extra)), seed=seed, cache_tag="p"
+        )
+        assert engine.last_run.cache_hits == prefix
+        assert engine.last_run.computed == extra
+        assert _dumps(large[:prefix]) == _dumps(small)
+
+
+class TestSurfaceDeterminism:
+    """The real sweep surfaces, pinned to their serial oracles."""
+
+    def test_optics_grid(self):
+        from repro.optics import Pam4LinkModel
+        from repro.optics.mc_sweep import (
+            monte_carlo_ber_grid,
+            monte_carlo_ber_grid_serial,
+        )
+
+        model = Pam4LinkModel()
+        powers = np.linspace(-12.0, -7.0, 5)
+        ref = monte_carlo_ber_grid_serial(model, powers, num_symbols=5000, seed=3)
+        for workers in WORKER_COUNTS:
+            got = monte_carlo_ber_grid(
+                model, powers, num_symbols=5000, seed=3,
+                engine=SweepEngine(workers=workers, chunk_size=1),
+            )
+            assert got.tobytes() == ref.tobytes()
+
+    def test_chaos_ensemble(self):
+        from repro.faults import chaos_ensemble, chaos_ensemble_serial, ensemble_digest
+        from repro.faults.chaos import SMOKE_KWARGS
+
+        kwargs = SMOKE_KWARGS["repair_race"]
+        seeds = [0, 1, 2]
+        ref = ensemble_digest(
+            chaos_ensemble_serial("repair_race", seeds, kwargs=kwargs)
+        )
+        for workers in WORKER_COUNTS:
+            got = chaos_ensemble(
+                "repair_race", seeds, kwargs=kwargs,
+                engine=SweepEngine(workers=workers, chunk_size=1),
+            )
+            assert ensemble_digest(got) == ref
+
+    def test_scheduler_sweep(self):
+        from repro.scheduler import (
+            sweep_points,
+            utilization_sweep,
+            utilization_sweep_serial,
+        )
+
+        points = sweep_points([1 / 270.0], num_jobs=60, warmup_s=2000.0)
+        ref = utilization_sweep_serial(points)
+        for workers in WORKER_COUNTS:
+            got = utilization_sweep(
+                points, engine=SweepEngine(workers=workers, chunk_size=1)
+            )
+            assert _dumps(got) == _dumps(ref)
+
+    def test_shape_search_grid(self):
+        from repro.ml import shape_search_grid, shape_search_grid_serial
+
+        ref = shape_search_grid_serial(["llm2"], num_chips=(1024, 4096))
+        for workers in WORKER_COUNTS:
+            got = shape_search_grid(
+                ["llm2"], num_chips=(1024, 4096),
+                engine=SweepEngine(workers=workers, chunk_size=1),
+            )
+            assert _dumps(got) == _dumps(ref)

@@ -1,0 +1,140 @@
+"""Tests for repro.parallel.engine: the deterministic fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs import Observability
+from repro.parallel import ResultCache, SweepEngine
+
+
+def _draw(task, seed):
+    """A seeded task: the first uniform of the task's stream."""
+    return (task, float(np.random.default_rng(seed).random()))
+
+
+def _square(task):
+    return task * task
+
+
+class TestTaskSeeds:
+    def test_positional_children(self):
+        """Seed i is always child i: growing the grid keeps a prefix."""
+        short = SweepEngine.task_seeds(42, 3)
+        long = SweepEngine.task_seeds(42, 5)
+        for a, b in zip(short, long):
+            assert a.entropy == b.entropy and a.spawn_key == b.spawn_key
+
+    def test_none_seed(self):
+        assert SweepEngine.task_seeds(None, 3) == [None, None, None]
+
+
+class TestPmap:
+    def test_unseeded_matches_serial(self):
+        engine = SweepEngine(workers=2, chunk_size=2)
+        tasks = list(range(7))
+        assert engine.pmap(_square, tasks) == engine.pmap_serial(_square, tasks)
+
+    def test_seeded_matches_serial(self):
+        engine = SweepEngine(workers=4, chunk_size=3)
+        tasks = list(range(9))
+        got = engine.pmap(_draw, tasks, seed=5)
+        ref = engine.pmap_serial(_draw, tasks, seed=5)
+        assert [g[1].hex() for g in got] == [r[1].hex() for r in ref]
+
+    def test_order_preserved(self):
+        engine = SweepEngine(workers=2, chunk_size=1)
+        assert engine.pmap(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_tasks(self):
+        engine = SweepEngine(workers=2)
+        assert engine.pmap(_square, []) == []
+        assert engine.last_run.tasks == 0
+
+    def test_run_stats(self):
+        engine = SweepEngine(workers=2, chunk_size=2)
+        engine.pmap(_square, list(range(6)))
+        stats = engine.last_run
+        assert stats.tasks == 6
+        assert stats.computed == 6
+        assert stats.chunks == 3
+        assert stats.parallel
+
+    def test_single_chunk_stays_serial(self):
+        engine = SweepEngine(workers=4, chunk_size=100)
+        engine.pmap(_square, list(range(5)))
+        assert not engine.last_run.parallel
+
+    def test_serial_accepts_closures(self):
+        """workers=1 never pickles, so lambdas are fine."""
+        engine = SweepEngine(workers=1)
+        assert engine.pmap(lambda t: t + 1, [1, 2]) == [2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SweepEngine(workers=0)
+        with pytest.raises(ConfigurationError):
+            SweepEngine(chunk_size=0)
+
+
+class TestPmapCache:
+    def test_warm_run_computes_nothing(self):
+        cache = ResultCache.in_memory()
+        engine = SweepEngine(workers=1, cache=cache)
+        tasks = list(range(5))
+        cold = engine.pmap(_draw, tasks, seed=1, cache_tag="t")
+        assert engine.last_run.cache_misses == 5
+        warm = engine.pmap(_draw, tasks, seed=1, cache_tag="t")
+        assert engine.last_run.cache_hits == 5
+        assert engine.last_run.computed == 0
+        assert [c[1].hex() for c in cold] == [w[1].hex() for w in warm]
+
+    def test_partial_hits_compute_only_missing(self):
+        cache = ResultCache.in_memory()
+        engine = SweepEngine(workers=1, cache=cache)
+        engine.pmap(_draw, list(range(4)), seed=1, cache_tag="t")
+        engine.pmap(_draw, list(range(6)), seed=1, cache_tag="t")
+        assert engine.last_run.cache_hits == 4
+        assert engine.last_run.computed == 2
+
+    def test_different_seed_misses(self):
+        cache = ResultCache.in_memory()
+        engine = SweepEngine(workers=1, cache=cache)
+        engine.pmap(_draw, [0, 1], seed=1, cache_tag="t")
+        engine.pmap(_draw, [0, 1], seed=2, cache_tag="t")
+        assert engine.last_run.cache_hits == 0
+
+    def test_invalidate_forces_recompute(self):
+        cache = ResultCache.in_memory()
+        engine = SweepEngine(workers=1, cache=cache)
+        engine.pmap(_draw, [0, 1], seed=1, cache_tag="t")
+        cache.invalidate("t")
+        engine.pmap(_draw, [0, 1], seed=1, cache_tag="t")
+        assert engine.last_run.computed == 2
+
+    def test_no_tag_means_no_cache(self):
+        cache = ResultCache.in_memory()
+        engine = SweepEngine(workers=1, cache=cache)
+        engine.pmap(_draw, [0, 1], seed=1)
+        assert len(cache) == 0
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        cold = SweepEngine(workers=1, cache=ResultCache(tmp_path))
+        a = cold.pmap(_draw, list(range(3)), seed=7, cache_tag="t")
+        warm = SweepEngine(workers=2, chunk_size=1, cache=ResultCache(tmp_path))
+        b = warm.pmap(_draw, list(range(3)), seed=7, cache_tag="t")
+        assert warm.last_run.cache_hits == 3
+        assert [x[1].hex() for x in a] == [y[1].hex() for y in b]
+
+
+class TestObservability:
+    def test_spans_and_counters(self):
+        obs = Observability.sim()
+        engine = SweepEngine(workers=1, chunk_size=2, obs=obs)
+        engine.pmap(_square, list(range(5)))
+        assert len(obs.tracer.find("sweep.pmap")) == 1
+        assert len(obs.tracer.find("sweep.chunk")) == 3
+        assert obs.metrics.sum_counters("sweep.tasks.completed") == 5.0
+        assert obs.metrics.sum_counters("sweep.chunks.completed") == 3.0
+        hist = obs.metrics.histogram("sweep.chunk.duration_ms")
+        assert hist.count == 3

@@ -1,0 +1,37 @@
+"""Tests for the ``python -m repro.parallel.smoke`` cache gate."""
+
+import json
+
+from repro.parallel.smoke import main, run_smoke
+
+
+class TestSmokeCli:
+    def test_run_smoke_passes(self, tmp_path):
+        stats = run_smoke(tmp_path / "cache", points=4, num_symbols=20_000)
+        assert stats["ok"]
+        assert stats["results_identical"]
+        assert stats["all_hits"]
+        assert stats["speedup"] >= 5.0
+
+    def test_main_writes_artifact(self, tmp_path):
+        out = tmp_path / "artifacts" / "cache_smoke.json"
+        code = main(
+            [
+                "--points", "4", "--symbols", "20000",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        stats = json.loads(out.read_text())
+        assert stats["ok"] and stats["warm_computed"] == 0
+
+    def test_unreachable_speedup_fails(self, tmp_path):
+        code = main(
+            [
+                "--points", "2", "--symbols", "5000",
+                "--min-speedup", "1e12",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 1

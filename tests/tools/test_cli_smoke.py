@@ -36,8 +36,11 @@ class TestNocCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["slo_ok"] is True
         assert set(payload["slos"]) == {
-            "reconfig_p99_ms", "recovery_p99_ms", "ber_anomaly_rate"
+            "reconfig_p99_ms", "recovery_p99_ms", "ber_anomaly_rate",
+            "sweep_cache_miss_rate", "sweep_chunk_p99_ms",
         }
+        assert payload["slos"]["sweep_cache_miss_rate"] == 0.5
+        assert payload["notes"]["sweep_warm_hits"] == payload["notes"]["sweep_tasks"]
         assert payload["num_spans"] > 0
 
     def test_exports_trace_and_metrics(self, tmp_path, capsys):
