@@ -43,6 +43,8 @@ from repro.optics.mc_sweep import monte_carlo_ber_grid, monte_carlo_ber_grid_ser
 from repro.optics.pam4 import DEFAULT_THERMAL_NOISE_W, Pam4LinkModel
 from repro.faults.ensemble import chaos_ensemble, chaos_ensemble_serial
 from repro.parallel import ResultCache, SweepEngine
+from repro.serve import FabricService, ServeConfig, ServeWorkload
+from repro.serve.requests import RequestKind
 
 
 class CasePair(NamedTuple):
@@ -339,6 +341,56 @@ def _build_cache_warm(smoke: bool, jobs: Optional[int] = None) -> CasePair:
     )
 
 
+# --------------------------------------------------------------------- #
+# Serving soak: brownout (cached telemetry) vs fresh digests per query
+# --------------------------------------------------------------------- #
+
+
+def _build_serve_soak(smoke: bool, jobs: Optional[int] = None) -> CasePair:
+    del jobs  # the serving loop is serial by design (deterministic)
+    primaries = 600 if smoke else 4_000
+    # Below-capacity, fault-free soak.  The mix has no retargeting ops,
+    # so both brownout levels commit the same intents in the same order
+    # and the final fabric digests must match bit for bit; the only
+    # difference is how telemetry is answered (cached vs a fresh
+    # ``state_digest`` hash per query -- the dominant soak-path cost).
+    workload = ServeWorkload(
+        seed=7,
+        rate_per_s=250.0,
+        num_tenants=64,
+        mix={RequestKind.TELEMETRY_QUERY: 0.92, RequestKind.SLICE_ALLOC: 0.08},
+        deadlines_s={
+            RequestKind.TELEMETRY_QUERY: 5.0,
+            RequestKind.SLICE_ALLOC: 5.0,
+            RequestKind.SLICE_RELEASE: 5.0,
+        },
+        slice_cubes=(1, 2),
+        slice_hold_mean_s=1.0,
+    )
+    requests = workload.generate(primaries)
+
+    def _soak(pinned_level: int):
+        config = ServeConfig(
+            num_tenants=64,
+            global_rate_per_s=10_000.0,
+            global_burst=2_000.0,
+            tenant_rate_per_s=1_000.0,
+            tenant_burst=200.0,
+            queue_capacity=4_096,
+            pinned_brownout=pinned_level,
+            seed=7,
+        )
+        report = FabricService(config).run(requests)
+        return (report.state_digest, len(report.commit_log))
+
+    return CasePair(
+        vectorized=lambda: _soak(2),
+        reference=lambda: _soak(0),
+        parity=_exact_parity,
+        size={"primaries": primaries, "requests": len(requests)},
+    )
+
+
 CASES: Tuple[PerfCase, ...] = (
     PerfCase("fleet_ber_fig13", "Fig 13", 20.0, _build_fleet),
     PerfCase("ber_curves_fig11_12", "Fig 11/12", 5.0, _build_curves),
@@ -354,4 +406,5 @@ CASES: Tuple[PerfCase, ...] = (
         requires_cores=2,
     ),
     PerfCase("sweep_cache_warm", "result cache", 5.0, _build_cache_warm),
+    PerfCase("serve_soak", "serving brownout", 1.2, _build_serve_soak),
 )

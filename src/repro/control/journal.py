@@ -66,6 +66,10 @@ def _circuits_from_payload(entry) -> Dict[int, int]:
     return {int(n): int(s) for n, s in entry}
 
 
+#: Sentinel distinguishing "token unknown" from a committed None result.
+_TOKEN_MISS = object()
+
+
 @dataclass
 class DurableController:
     """WAL-backed front end to a fabric manager.
@@ -82,12 +86,26 @@ class DurableController:
             crash to :func:`recover` instead of building directly.
         crash: optional deterministic crash schedule shared with the
             WAL (drills); every append and hardware apply is a step.
+        token_table_cap: retained idempotency tokens (oldest evicted).
+
+    **Idempotency tokens.**  Every intent mutation accepts an optional
+    ``token``.  The token rides in the journaled payload, so "this
+    request committed" and "this token is burned" are the same durable
+    fact: retrying a committed request with its original token replays
+    the committed result without appending a second journal entry or
+    touching hardware again.  Recovery rebuilds the token table from the
+    WAL (and checkpoints persist it across compaction), so a client that
+    crashed mid-retry can safely retry against the recovered controller.
     """
 
     manager: FabricManager
     wal: WriteAheadLog = field(default_factory=WriteAheadLog)
     crash: Optional[CrashSchedule] = None
     obs: Optional[Observability] = field(default=None, repr=False)
+    token_table_cap: int = 4096
+    _tokens: Dict[str, Tuple[object, ...]] = field(
+        init=False, default_factory=dict, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.obs is None:
@@ -110,6 +128,37 @@ class DurableController:
             self.crash.step(label)
 
     # ------------------------------------------------------------------ #
+    # Idempotency tokens
+    # ------------------------------------------------------------------ #
+
+    def _token_replay(self, token: Optional[str], op: str):
+        """Committed result for ``token``, or ``_TOKEN_MISS`` if unseen."""
+        if token is None:
+            return _TOKEN_MISS
+        spec = self._tokens.get(token)
+        if spec is None:
+            return _TOKEN_MISS
+        self.obs.metrics.counter("control.journal.token_replays", op=op).inc()
+        if spec[0] == "link":
+            return LogicalLink(
+                LinkId(str(spec[1])), OcsId(int(spec[2])), int(spec[3]), int(spec[4])
+            )
+        if spec[0] == "duration":
+            return float(spec[1])
+        return None  # committed teardown
+
+    def _remember(self, token: Optional[str], spec: Tuple[object, ...]) -> None:
+        if token is None:
+            return
+        self._tokens[token] = spec
+        while len(self._tokens) > self.token_table_cap:
+            self._tokens.pop(next(iter(self._tokens)))
+
+    @property
+    def known_tokens(self) -> int:
+        return len(self._tokens)
+
+    # ------------------------------------------------------------------ #
     # Single-record ops (the record is the commit marker)
     # ------------------------------------------------------------------ #
 
@@ -121,9 +170,18 @@ class DurableController:
         raise ConfigurationError(f"link {link_id} already exists")
 
     def establish(
-        self, link_id: LinkId, ocs_id: OcsId, north: int, south: int
+        self,
+        link_id: LinkId,
+        ocs_id: OcsId,
+        north: int,
+        south: int,
+        *,
+        token: Optional[str] = None,
     ) -> LogicalLink:
         """Journal then create one circuit + logical link."""
+        replay = self._token_replay(token, "establish")
+        if replay is not _TOKEN_MISS:
+            return replay  # type: ignore[return-value]
         self._check_new_link(link_id)
         sw = self.manager.switch(ocs_id)
         if sw.state.south_of(north) is not None or sw.state.north_of(south) is not None:
@@ -131,11 +189,12 @@ class DurableController:
                 f"{ocs_id}: N{north} or S{south} already carries a circuit"
             )
         with self.obs.tracer.span("control.op", op="establish", link=link_id):
-            self.wal.append(
-                KIND_OP,
-                {"op": "establish", "link": str(link_id), "ocs": ocs_id.index,
-                 "north": north, "south": south},
-            )
+            payload = {"op": "establish", "link": str(link_id), "ocs": ocs_id.index,
+                       "north": north, "south": south}
+            if token is not None:
+                payload["token"] = token
+            self.wal.append(KIND_OP, payload)
+            self._remember(token, ("link", str(link_id), ocs_id.index, north, south))
             self._step("op-durable")
             link = self.manager.establish(link_id, ocs_id, north, south)
             self._step("op-applied")
@@ -143,9 +202,18 @@ class DurableController:
         return link
 
     def adopt_link(
-        self, link_id: LinkId, ocs_id: OcsId, north: int, south: int
+        self,
+        link_id: LinkId,
+        ocs_id: OcsId,
+        north: int,
+        south: int,
+        *,
+        token: Optional[str] = None,
     ) -> LogicalLink:
         """Journal then record intent for an already-existing circuit."""
+        replay = self._token_replay(token, "adopt")
+        if replay is not _TOKEN_MISS:
+            return replay  # type: ignore[return-value]
         self._check_new_link(link_id)
         sw = self.manager.switch(ocs_id)
         if sw.state.south_of(north) != south:
@@ -153,26 +221,31 @@ class DurableController:
                 f"{ocs_id}: no circuit N{north} -> S{south} to adopt for {link_id}"
             )
         with self.obs.tracer.span("control.op", op="adopt", link=link_id):
-            self.wal.append(
-                KIND_OP,
-                {"op": "adopt", "link": str(link_id), "ocs": ocs_id.index,
-                 "north": north, "south": south},
-            )
+            payload = {"op": "adopt", "link": str(link_id), "ocs": ocs_id.index,
+                       "north": north, "south": south}
+            if token is not None:
+                payload["token"] = token
+            self.wal.append(KIND_OP, payload)
+            self._remember(token, ("link", str(link_id), ocs_id.index, north, south))
             self._step("op-durable")
             link = self.manager.adopt_link(link_id, ocs_id, north, south)
             self._step("op-applied")
         self.obs.metrics.counter("control.journal.ops", op="adopt").inc()
         return link
 
-    def teardown(self, link_id: LinkId) -> None:
+    def teardown(self, link_id: LinkId, *, token: Optional[str] = None) -> None:
         """Journal then destroy a logical link and its circuit."""
+        replay = self._token_replay(token, "teardown")
+        if replay is not _TOKEN_MISS:
+            return None
         link = self.manager.link(link_id)
         with self.obs.tracer.span("control.op", op="teardown", link=link_id):
-            self.wal.append(
-                KIND_OP,
-                {"op": "teardown", "link": str(link_id), "ocs": link.ocs.index,
-                 "north": link.north, "south": link.south},
-            )
+            payload = {"op": "teardown", "link": str(link_id), "ocs": link.ocs.index,
+                       "north": link.north, "south": link.south}
+            if token is not None:
+                payload["token"] = token
+            self.wal.append(KIND_OP, payload)
+            self._remember(token, ("none",))
             self._step("op-durable")
             self.manager.teardown(link_id)
             self._step("op-applied")
@@ -182,33 +255,43 @@ class DurableController:
     # Multi-OCS transactions
     # ------------------------------------------------------------------ #
 
-    def reconfigure(self, targets: Mapping[OcsId, CrossConnectMap]) -> float:
+    def reconfigure(
+        self,
+        targets: Mapping[OcsId, CrossConnectMap],
+        *,
+        token: Optional[str] = None,
+    ) -> float:
         """Journaled multi-OCS reconfiguration.
 
         ``txn-begin`` (targets + pre-state) -> per-switch apply +
-        ``txn-apply`` -> ``txn-commit``.  A crash at any point recovers
+        ``txn-commit``.  A crash at any point recovers
         deterministically: forward past the commit marker, back before
-        it.
+        it.  The token (if any) rides on ``txn-begin`` but is only
+        burned by the commit marker -- a rolled-back transaction leaves
+        its token spendable, so the retry re-executes.
         """
+        replay = self._token_replay(token, "reconfigure")
+        if replay is not _TOKEN_MISS:
+            return float(replay)  # type: ignore[arg-type]
         plans = self.manager.plan(targets)
         order = sorted(plans)
-        self.wal.append(
-            KIND_TXN_BEGIN,
-            {
-                "targets": {
-                    str(ocs_id.index): _circuits_payload(
-                        dict(targets[ocs_id].circuits)
-                    )
-                    for ocs_id in order
-                },
-                "pre": {
-                    str(ocs_id.index): _circuits_payload(
-                        dict(self.manager.switch(ocs_id).state.circuits)
-                    )
-                    for ocs_id in order
-                },
+        begin_payload = {
+            "targets": {
+                str(ocs_id.index): _circuits_payload(
+                    dict(targets[ocs_id].circuits)
+                )
+                for ocs_id in order
             },
-        )
+            "pre": {
+                str(ocs_id.index): _circuits_payload(
+                    dict(self.manager.switch(ocs_id).state.circuits)
+                )
+                for ocs_id in order
+            },
+        }
+        if token is not None:
+            begin_payload["token"] = token
+        self.wal.append(KIND_TXN_BEGIN, begin_payload)
         self._step("txn-begin-durable")
         max_duration = 0.0
         with self.obs.tracer.span("control.txn", switches=len(order)):
@@ -219,6 +302,7 @@ class DurableController:
                 self.wal.append(KIND_TXN_APPLY, {"ocs": ocs_id.index})
                 self._step("txn-apply-durable")
             self.wal.append(KIND_TXN_COMMIT, {})
+            self._remember(token, ("duration", max_duration))
             self._step("txn-commit-durable")
             self.manager.drop_stale_links()
             self.obs.metrics.counter("control.txn.commits").inc()
@@ -229,9 +313,18 @@ class DurableController:
     # ------------------------------------------------------------------ #
 
     def checkpoint(self) -> WalRecord:
-        """Snapshot the control plane into the log and compact behind it."""
+        """Snapshot the control plane into the log and compact behind it.
+
+        The idempotency-token table rides in the checkpoint payload
+        (insertion order preserved, for eviction), so compaction cannot
+        forget which requests already committed.
+        """
         with self.obs.tracer.span("control.checkpoint"):
-            record = self.wal.append(KIND_CHECKPOINT, self.manager.checkpoint())
+            payload = dict(self.manager.checkpoint())
+            payload["tokens"] = [
+                [tok, *spec] for tok, spec in self._tokens.items()
+            ]
+            record = self.wal.append(KIND_CHECKPOINT, payload)
             self._step("checkpoint-durable")
             self.wal.compact(record.seq)
         self.obs.metrics.counter("control.checkpoint.writes").inc()
@@ -275,14 +368,22 @@ class RecoveryReport:
 
 def _replay_intent(
     records: Tuple[WalRecord, ...],
-) -> Tuple[Dict[str, Tuple[int, int, int]], Dict[int, Dict[int, int]], int, str, int]:
+) -> Tuple[
+    Dict[str, Tuple[int, int, int]],
+    Dict[int, Dict[int, int]],
+    int,
+    str,
+    int,
+    Dict[str, Tuple[object, ...]],
+]:
     """Fold the committed record suffix into the intent model.
 
     Returns ``(links, intended_circuits_per_switch, checkpoint_seq,
-    open_txn_outcome, replayed_count)``.
+    open_txn_outcome, replayed_count, tokens)``.
     """
     links: Dict[str, Tuple[int, int, int]] = {}
     intended: Dict[int, Dict[int, int]] = {}
+    tokens: Dict[str, Tuple[object, ...]] = {}
     checkpoint_seq = -1
     open_txn: Optional[Mapping[str, object]] = None
     last_outcome = "none"
@@ -301,6 +402,7 @@ def _replay_intent(
         if record.kind == KIND_CHECKPOINT:
             links.clear()
             intended.clear()
+            tokens.clear()
             open_txn = None
             last_outcome = "none"
             replayed = 0
@@ -309,6 +411,8 @@ def _replay_intent(
                 intended[int(key)] = _circuits_from_payload(entry["circuits"])
             for name, ocs, n, s in record.payload["links"]:  # type: ignore[index]
                 links[str(name)] = (int(ocs), int(n), int(s))
+            for tok, *spec in record.payload.get("tokens", []):  # type: ignore[union-attr]
+                tokens[str(tok)] = tuple(spec)
             continue
         replayed += 1
         if record.kind == KIND_OP:
@@ -317,11 +421,15 @@ def _replay_intent(
             if p["op"] in ("establish", "adopt"):
                 intended.setdefault(ocs, {})[north] = south
                 links[str(p["link"])] = (ocs, north, south)
+                if "token" in p:
+                    tokens[str(p["token"])] = ("link", str(p["link"]), ocs, north, south)
             else:  # teardown
                 circuits = intended.get(ocs, {})
                 if circuits.get(north) == south:
                     del circuits[north]
                 links.pop(str(p["link"]), None)
+                if "token" in p:
+                    tokens[str(p["token"])] = ("none",)
         elif record.kind == KIND_TXN_BEGIN:
             open_txn = record.payload
         elif record.kind == KIND_TXN_APPLY:
@@ -331,6 +439,10 @@ def _replay_intent(
                 for key, entry in sorted(open_txn["targets"].items()):  # type: ignore[index]
                     intended[int(key)] = _circuits_from_payload(entry)
                 drop_stale_links()
+                if "token" in open_txn:
+                    # Replayed transactions report zero duration: the
+                    # hardware work happened in the committed execution.
+                    tokens[str(open_txn["token"])] = ("duration", 0.0)
                 open_txn = None
                 last_outcome = "rolled-forward"
         else:
@@ -340,7 +452,7 @@ def _replay_intent(
         # Hardware the crash left half-programmed is driven back to the
         # journaled pre-state by the reconcile pass below.
         last_outcome = "rolled-back"
-    return links, intended, checkpoint_seq, last_outcome, replayed
+    return links, intended, checkpoint_seq, last_outcome, replayed, tokens
 
 
 def recover(
@@ -365,7 +477,7 @@ def recover(
         wal = WriteAheadLog(storage)
         tail_dropped = wal.repair_tail()
         records = wal.records(strict=True)
-        links, intended, checkpoint_seq, open_txn, replayed = _replay_intent(
+        links, intended, checkpoint_seq, open_txn, replayed, tokens = _replay_intent(
             records
         )
 
@@ -402,6 +514,9 @@ def recover(
         controller = DurableController(
             manager=manager, wal=wal, crash=crash, obs=obs
         )
+        # The token table is durable state: rebuilt from the journal so
+        # a client retrying across the crash replays, never re-applies.
+        controller._tokens = tokens
         report = RecoveryReport(
             records_replayed=replayed,
             checkpoint_seq=checkpoint_seq,

@@ -47,6 +47,11 @@ class SchedulingError(ReproError):
     """The scheduler cannot satisfy a slice request."""
 
 
+class ServeError(ReproError):
+    """The serving layer violated one of its invariants (replay
+    divergence, double-terminal outcome, non-monotonic service time)."""
+
+
 class LinkBudgetError(ReproError):
     """An optical path does not close its link budget."""
 

@@ -49,6 +49,7 @@ PHASES: Tuple[str, ...] = (
     "ber_sweep",
     "scheduler",
     "sweep",
+    "serve",
 )
 
 
@@ -252,6 +253,26 @@ def run_fabric_drill(
         notes["sweep_tasks"] = float(len(sweep_tasks))
         notes["sweep_warm_hits"] = float(engine.last_run.cache_hits)
         notes["sweep_results_equal"] = float(cold == warm)
+
+    # -- serve: the overload-burst serving drill (admission, shedding,
+    # retry budget, breaker, brownout) on the shared registry, with the
+    # replay-equivalence check built in.
+    with obs.tracer.span("drill.serve"):
+        from repro.serve.drill import run_serve_drill
+
+        serve_out = run_serve_drill(
+            seed=seed, smoke=True, obs=obs,
+            num_primaries=1_200 if smoke else 2_400,
+        )
+        serve_summary = serve_out["summary"]
+        notes["serve_offered"] = float(serve_summary["offered"])
+        notes["serve_ok"] = float(serve_summary["ok"])
+        notes["serve_shed"] = float(serve_summary["shed"])
+        notes["serve_breaker_trips"] = float(serve_summary["breaker_trips"])
+        notes["serve_recoveries"] = float(serve_summary["recoveries"])
+        notes["serve_replay_equal"] = float(
+            serve_summary["replay_digest"] == serve_summary["state_digest"]
+        )
 
     return DrillReport(
         seed=seed,

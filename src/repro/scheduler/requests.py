@@ -9,7 +9,7 @@ and log-normal durations, seeded for reproducibility.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
@@ -120,6 +120,45 @@ class WorkloadGenerator:
             )
             for i in range(num_jobs)
         ]
+
+    def open_loop(self) -> Iterator[JobRequest]:
+        """Endless open-loop stream of the same seeded workload.
+
+        Unlike :meth:`generate` (one vectorized batch of a known size),
+        the open-loop form yields forever and is **prefix-stable**: the
+        first *k* jobs are identical whatever else is consumed, and they
+        match any other ``open_loop()`` with the same parameters.  Each
+        random quantity (inter-arrival, duration, size) draws from its
+        own :class:`numpy.random.SeedSequence`-spawned child stream,
+        one sample per job in lockstep, so no draw's position depends
+        on another stream's consumption.
+
+        This is the arrival model the serving layer's overload drills
+        are built on: requests keep coming at the configured rate no
+        matter how the consumer is doing.
+        """
+        children = np.random.SeedSequence(self.seed).spawn(3)
+        inter_rng, duration_rng, size_rng = (
+            np.random.default_rng(c) for c in children
+        )
+        sizes = sorted(self.size_mix)
+        weights = np.array([self.size_mix[s] for s in sizes], dtype=float)
+        weights /= weights.sum()
+        sigma = 0.8
+        mu = np.log(self.mean_duration_s) - sigma ** 2 / 2.0
+        t = 0.0
+        i = 0
+        while True:
+            t += float(inter_rng.exponential(1.0 / self.arrival_rate_per_s))
+            duration = float(duration_rng.lognormal(mu, sigma))
+            cubes = int(sizes[int(size_rng.choice(len(sizes), p=weights))])
+            yield JobRequest(
+                job_id=JobId(f"job-{i:05d}"),
+                cubes=cubes,
+                duration_s=duration,
+                arrival_s=t,
+            )
+            i += 1
 
     def offered_load_cubes(self) -> float:
         """Mean concurrent cube demand (Little's law)."""

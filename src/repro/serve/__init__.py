@@ -1,0 +1,61 @@
+"""The overload-robust fabric serving layer (admission, backpressure,
+retry budgets, circuit breaking, graceful brownout).
+
+Entry points:
+
+- :class:`~repro.serve.service.FabricService` -- the deterministic
+  serving loop (see its module docstring for the defense pipeline);
+- :class:`~repro.serve.workload.ServeWorkload` -- seeded open-loop
+  tenant request streams;
+- :func:`~repro.serve.drill.run_serve_drill` -- the overload-burst
+  drill CI and the NOC report run.
+"""
+
+from repro.serve.admission import FairAdmission, TokenBucket
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.brownout import BrownoutController
+from repro.serve.drill import run_serve_drill
+from repro.serve.queueing import BoundedPriorityQueue, ShedRecord
+from repro.serve.requests import (
+    ADMITTED_OUTCOMES,
+    Outcome,
+    RequestKind,
+    RequestRecord,
+    TenantRequest,
+    outcomes_digest,
+)
+from repro.serve.retry import RetryBudget
+from repro.serve.service import (
+    CommitEntry,
+    FabricService,
+    ServeConfig,
+    ServeReport,
+    build_serve_manager,
+    replay_committed,
+)
+from repro.serve.workload import ServeWorkload
+
+__all__ = [
+    "ADMITTED_OUTCOMES",
+    "BoundedPriorityQueue",
+    "BreakerState",
+    "BrownoutController",
+    "CircuitBreaker",
+    "CommitEntry",
+    "FabricService",
+    "FairAdmission",
+    "Outcome",
+    "RequestKind",
+    "RequestRecord",
+    "RetryBudget",
+    "ServeConfig",
+    "ServeReport",
+    "ServeWorkload",
+    "ShedRecord",
+    "TenantRequest",
+    "TokenBucket",
+    "build_serve_manager",
+    "outcomes_digest",
+    "replay_committed",
+    "run_serve_drill",
+]

@@ -1,0 +1,129 @@
+"""Token-bucket admission control with per-tenant fairness.
+
+The first line of overload defense: work the service cannot afford is
+refused at the door, cheaply, before it consumes queue slots or
+controller attempts.  Two layers of buckets:
+
+- a **global** bucket caps the aggregate admitted rate at what the
+  control plane can actually serve (plus bounded burst);
+- a **per-tenant** bucket caps any single tenant at its fair share, so
+  one tenant's retry storm or runaway client cannot starve the rest --
+  the quiet tenants' buckets stay full and their requests keep passing.
+
+Buckets refill lazily from elapsed simulation time, so admission is a
+pure function of (config, arrival timeline) -- no wall clock anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.obs import NULL_OBS, Observability
+
+
+@dataclass
+class TokenBucket:
+    """The classic leaky bucket: ``rate`` tokens/s, ``burst`` capacity.
+
+    Starts full.  :meth:`take` refills from elapsed time then consumes
+    one token if available; time must be non-decreasing across calls.
+    """
+
+    rate_per_s: float
+    burst: float
+    _level: float = field(init=False)
+    _last_s: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ConfigurationError("bucket rate must be positive")
+        if self.burst < 1:
+            raise ConfigurationError("bucket burst must be at least one token")
+        self._level = self.burst
+
+    def _refill(self, now_s: float) -> None:
+        if now_s < self._last_s:
+            raise ConfigurationError(
+                f"bucket time ran backward ({now_s} < {self._last_s})"
+            )
+        self._level = min(self.burst, self._level + (now_s - self._last_s) * self.rate_per_s)
+        self._last_s = now_s
+
+    def take(self, now_s: float) -> bool:
+        """Consume one token at ``now_s`` if the bucket holds one."""
+        self._refill(now_s)
+        if self._level >= 1.0:
+            self._level -= 1.0
+            return True
+        return False
+
+    def level(self, now_s: float) -> float:
+        """Current token level after refilling to ``now_s``."""
+        self._refill(now_s)
+        return self._level
+
+
+@dataclass
+class FairAdmission:
+    """Two-layer token-bucket admission: global rate, per-tenant share.
+
+    Args:
+        global_rate_per_s: aggregate admitted request rate.
+        global_burst: aggregate burst tolerance (tokens).
+        tenant_rate_per_s: each tenant's sustained fair share.
+        tenant_burst: each tenant's burst tolerance.
+
+    Tenant buckets are created lazily on first sight, full -- a new
+    tenant starts with its whole burst available.  The tenant bucket is
+    checked *first* so a hot tenant is charged to its own bucket before
+    it can drain the shared one.
+    """
+
+    global_rate_per_s: float
+    global_burst: float
+    tenant_rate_per_s: float
+    tenant_burst: float
+    obs: Optional[Observability] = field(default=None, repr=False)
+    _global: TokenBucket = field(init=False, repr=False)
+    _tenants: Dict[str, TokenBucket] = field(init=False, default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.obs is None:
+            self.obs = NULL_OBS  # type: ignore[assignment]
+        self._global = TokenBucket(self.global_rate_per_s, self.global_burst)
+
+    def _tenant_bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._tenants.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.tenant_rate_per_s, self.tenant_burst)
+            self._tenants[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, now_s: float) -> Tuple[bool, str]:
+        """Admission verdict for one arrival: ``(admitted, reason)``.
+
+        ``reason`` is ``"ok"``, ``"tenant-rate"`` (the tenant exceeded
+        its fair share), or ``"global-rate"`` (aggregate overload).  A
+        tenant-rate refusal does not consume a global token, so an
+        aggressive tenant cannot burn shared capacity by being refused.
+        """
+        if not self._tenant_bucket(tenant).take(now_s):
+            self.obs.metrics.counter(
+                "serve.admission.decisions", verdict="reject", reason="tenant-rate"
+            ).inc()
+            return False, "tenant-rate"
+        if not self._global.take(now_s):
+            self.obs.metrics.counter(
+                "serve.admission.decisions", verdict="reject", reason="global-rate"
+            ).inc()
+            return False, "global-rate"
+        self.obs.metrics.counter(
+            "serve.admission.decisions", verdict="admit", reason="ok"
+        ).inc()
+        return True, "ok"
+
+    @property
+    def num_tenants_seen(self) -> int:
+        return len(self._tenants)

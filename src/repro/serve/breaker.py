@@ -1,0 +1,112 @@
+"""A circuit breaker around the durable controller.
+
+When the controller is down (``CONTROLLER_CRASH``) or its RPCs are
+timing out in a burst (``RPC_TIMEOUT``), continuing to launch attempts
+only burns retry budget and stretches the queue.  The breaker converts
+a failure burst into *fast failures*:
+
+- **closed**: attempts flow; ``failure_threshold`` consecutive failures
+  trip the breaker;
+- **open**: every attempt is refused instantly (no downstream load, no
+  budget spend) until ``cooldown_s`` of simulation time has passed;
+- **half-open**: exactly one probe attempt is allowed through; success
+  re-closes the breaker, failure re-opens it for another cooldown.
+
+All transitions are driven by the simulation clock passed into each
+call, so the breaker's trajectory is a pure function of the
+success/failure timeline -- deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+from repro.obs import NULL_OBS, Observability
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single half-open probe."""
+
+    failure_threshold: int = 5
+    cooldown_s: float = 1.0
+    obs: Optional[Observability] = field(default=None, repr=False)
+    _state: BreakerState = field(init=False, default=BreakerState.CLOSED)
+    _consecutive_failures: int = field(init=False, default=0)
+    _open_until_s: float = field(init=False, default=0.0)
+    _probe_in_flight: bool = field(init=False, default=False)
+    _trips: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be at least 1")
+        if self.cooldown_s <= 0:
+            raise ConfigurationError("cooldown must be positive")
+        if self.obs is None:
+            self.obs = NULL_OBS  # type: ignore[assignment]
+
+    def _transition(self, state: BreakerState) -> None:
+        if state is self._state:
+            return
+        self._state = state
+        self.obs.metrics.counter("serve.breaker.transitions", to=state.value).inc()
+
+    def state(self, now_s: float) -> BreakerState:
+        """Current state, resolving an elapsed cooldown to half-open."""
+        if self._state is BreakerState.OPEN and now_s >= self._open_until_s:
+            self._transition(BreakerState.HALF_OPEN)
+            self._probe_in_flight = False
+        return self._state
+
+    def allow(self, now_s: float) -> bool:
+        """May an attempt be launched at ``now_s``?
+
+        Open: no.  Half-open: only the first caller (the probe).
+        Closed: yes.
+        """
+        state = self.state(now_s)
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.HALF_OPEN and not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        return False
+
+    def record_success(self, now_s: float) -> None:
+        """An attempt completed: reset failures, close from half-open."""
+        del now_s
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+        self._transition(BreakerState.CLOSED)
+
+    def record_failure(self, now_s: float) -> None:
+        """An attempt failed: count toward the trip, or re-open a probe."""
+        if self._state is BreakerState.HALF_OPEN:
+            self._trip(now_s)
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip(now_s)
+
+    def _trip(self, now_s: float) -> None:
+        self._open_until_s = now_s + self.cooldown_s
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+        self._trips += 1
+        self._transition(BreakerState.OPEN)
+
+    @property
+    def trips(self) -> int:
+        return self._trips

@@ -1,0 +1,160 @@
+"""The overload-burst serving drill: 3x admission capacity plus a
+controller-crash / RPC-timeout fault storm, end to end.
+
+One call builds the workload (seeded, open-loop), the fault timeline,
+and a :class:`~repro.serve.service.FabricService`, runs the stream, and
+verifies the run's two hard invariants before returning:
+
+- **partition**: shed + admitted + rejected exactly covers offered load
+  (the service itself raises :class:`~repro.core.errors.ServeError` on
+  a double or missing terminal outcome);
+- **replay equivalence**: serially replaying the commit log against a
+  fresh manager reproduces the live ``state_digest`` byte for byte.
+
+Same seed => identical per-request outcomes (``outcomes_digest``),
+identical commit log, identical digests.  The smoke profile is the CI
+shape; the full profile is the one the NOC report quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.errors import ServeError
+from repro.faults.events import FaultKind, controller_target
+from repro.faults.injector import FaultInjector
+from repro.obs import NULL_OBS, Observability
+from repro.serve.requests import Outcome
+from repro.serve.service import FabricService, ServeConfig, replay_committed
+from repro.serve.workload import ServeWorkload
+
+
+def build_fault_timeline(
+    injector: FaultInjector, horizon_s: float
+) -> None:
+    """Deterministic controller-crash + RPC-timeout storm.
+
+    A crash outage and two timeout bursts recur every ~2 simulated
+    seconds, scaled to the drill horizon, so every profile crosses
+    breaker trips, brownout entry, recovery, and the calm after.
+    """
+    period_s = 2.0
+    cycle = 0
+    t = 0.35
+    while t + 0.6 < horizon_s:
+        injector.schedule(
+            t,
+            FaultKind.RPC_TIMEOUT,
+            controller_target(),
+            severity=6.0,
+            clear_after_s=0.25,
+        )
+        injector.schedule(
+            t + 0.6,
+            FaultKind.CONTROLLER_CRASH,
+            controller_target(),
+            clear_after_s=0.35,
+        )
+        if cycle % 2 == 1:
+            injector.schedule(
+                t + 1.3,
+                FaultKind.RPC_TIMEOUT,
+                controller_target(),
+                severity=10.0,
+                clear_after_s=0.2,
+            )
+        t += period_s
+        cycle += 1
+
+
+def run_serve_drill(
+    seed: int = 0,
+    smoke: bool = True,
+    obs: Optional[Observability] = None,
+    pinned_brownout: Optional[int] = None,
+    num_primaries: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the overload drill; returns the JSON-ready result dict.
+
+    ``pinned_brownout`` freezes the brownout ladder (perf comparisons);
+    leave ``None`` for the adaptive drill.  ``num_primaries`` overrides
+    the profile's stream length (the NOC drill runs a short one).
+    """
+    if obs is None:
+        obs = NULL_OBS
+    if num_primaries is None:
+        num_primaries = 1_500 if smoke else 100_000
+    config = ServeConfig(seed=seed, pinned_brownout=pinned_brownout)
+    workload = ServeWorkload(seed=seed, rate_per_s=1_200.0, num_tenants=config.num_tenants)
+    with obs.tracer.span("serve.drill", smoke=smoke, seed=seed):
+        requests = workload.generate(num_primaries)
+        horizon_s = requests[-1].arrival_s
+        injector = FaultInjector(seed=seed, obs=obs)
+        build_fault_timeline(injector, horizon_s)
+        service = FabricService(config, obs=obs)
+        report = service.run(requests, faults=injector)
+
+        replay_digest = replay_committed(config, report.commit_log)
+        if replay_digest != report.state_digest:
+            raise ServeError(
+                "replay divergence: live state "
+                f"{report.state_digest[:12]} != replayed {replay_digest[:12]}"
+            )
+
+    summary = report.summary()
+    summary["replay_digest"] = replay_digest
+    summary["offered_rate_per_s"] = round(report.offered / horizon_s, 3)
+    summary["horizon_s"] = round(horizon_s, 6)
+    summary["seed"] = seed
+    summary["smoke"] = smoke
+    return {
+        "summary": summary,
+        "report": report,
+    }
+
+
+def report_jsonl_lines(report) -> List[str]:
+    """Per-request JSONL lines (the CI artifact)."""
+    import json
+
+    lines = []
+    for record in report.records:
+        request = record.request
+        lines.append(
+            json.dumps(
+                {
+                    "seq": request.seq,
+                    "id": request.request_id,
+                    "tenant": request.tenant,
+                    "kind": request.kind.value,
+                    "arrival_s": round(request.arrival_s, 9),
+                    "deadline_s": round(request.deadline_s, 9),
+                    "outcome": record.outcome.value,
+                    "finish_s": round(record.finish_s, 9),
+                    "latency_ms": round(record.latency_ms, 6),
+                    "attempts": record.attempts,
+                    "detail": record.detail,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return lines
+
+
+def drill_slos(summary: Dict[str, object]) -> Dict[str, float]:
+    """The serve SLOs in the shape the NOC / CI gate consumes."""
+    return {
+        "serve_p99_ms": float(summary["serve_p99_ms"]),
+        "serve_shed_rate": float(summary["serve_shed_rate"]),
+        "serve_retry_amplification": float(summary["serve_retry_amplification"]),
+    }
+
+
+__all__ = [
+    "build_fault_timeline",
+    "run_serve_drill",
+    "report_jsonl_lines",
+    "drill_slos",
+    "Outcome",
+]

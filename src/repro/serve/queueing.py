@@ -1,0 +1,103 @@
+"""Bounded priority queues with explicit, reported load shedding.
+
+Admission caps the *rate*; the queue caps the *backlog*.  A bounded
+queue is what keeps admitted-request latency finite under a stall (a
+controller crash, a retry storm absorbed downstream): waiting time can
+never exceed ``capacity x worst service time``, because the queue sheds
+instead of growing.
+
+Shedding is never silent: every eviction produces a :class:`ShedRecord`
+naming the victim and the arrival that displaced it, and the policy is
+deterministic -- the *worst* entry (highest service class, then newest
+arrival) is dropped, so a telemetry query is always sacrificed before a
+slice mutation, and older work is preferred over newer within a class
+(the oldest request has waited longest and is closest to its deadline,
+but dropping the newest keeps FIFO fairness for work already accepted).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.serve.requests import TenantRequest
+
+
+@dataclass(frozen=True)
+class ShedRecord:
+    """One explicit load-shed: who was dropped and why."""
+
+    victim: TenantRequest
+    displaced_by: Optional[TenantRequest]
+    time_s: float
+    queue_depth: int
+
+
+@dataclass
+class BoundedPriorityQueue:
+    """A capacity-bounded priority queue ordered by (class, arrival).
+
+    :meth:`push` either accepts the request (returning ``None``) or
+    returns the :class:`ShedRecord` of whoever lost the slot -- the
+    incoming request itself when it is the worst candidate.  :meth:`pop`
+    returns the best (lowest class, oldest) entry.
+    """
+
+    capacity: int
+    _heap: List[Tuple[int, int, str, TenantRequest]] = field(
+        init=False, default_factory=list, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError("queue capacity must be at least 1")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction in [0, 1] -- the brownout controller's signal."""
+        return len(self._heap) / self.capacity
+
+    def push(self, request: TenantRequest, now_s: float) -> Optional[ShedRecord]:
+        """Enqueue, shedding the worst entry when full."""
+        key = (request.priority, request.seq, request.request_id, request)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, key)
+            return None
+        worst = max(self._heap)
+        if key >= worst:
+            # The arrival is the worst candidate: shed it directly.
+            return ShedRecord(
+                victim=request,
+                displaced_by=None,
+                time_s=now_s,
+                queue_depth=len(self._heap),
+            )
+        self._heap.remove(worst)
+        heapq.heapify(self._heap)
+        heapq.heappush(self._heap, key)
+        return ShedRecord(
+            victim=worst[3],
+            displaced_by=request,
+            time_s=now_s,
+            queue_depth=len(self._heap),
+        )
+
+    def pop(self) -> Optional[TenantRequest]:
+        """Dequeue the best entry, or None when empty."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[3]
+
+    def drain(self) -> List[TenantRequest]:
+        """Remove and return everything, best first (shutdown path)."""
+        out: List[TenantRequest] = []
+        while self._heap:
+            request = self.pop()
+            assert request is not None
+            out.append(request)
+        return out

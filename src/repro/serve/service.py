@@ -1,0 +1,903 @@
+"""The overload-robust fabric serving layer.
+
+:class:`FabricService` is a deterministic, simulation-clocked front end
+to the durable control plane: tenants stream slice allocations, topology
+reconfigurations, traffic-matrix updates, and telemetry queries at it,
+open-loop, and it must stay correct -- and explicit about what it drops
+-- whatever the offered load and fault timeline look like.
+
+The defenses compose in a fixed order, and every request leaves through
+exactly one of them (the *partition invariant*):
+
+1. **admission** (:class:`~repro.serve.admission.FairAdmission`):
+   token buckets, per-tenant then global -> ``REJECTED``;
+2. **queueing** (:class:`~repro.serve.queueing.BoundedPriorityQueue`):
+   bounded, priority-ordered, deterministic worst-victim eviction ->
+   ``SHED`` (never silent: every eviction is a :class:`ShedRecord`);
+3. **deadline propagation**: a request that cannot finish by its
+   deadline is never started, and an attempt that cannot fit is never
+   launched -> ``TIMEOUT`` (a timed-out request never commits);
+4. **retry budget + circuit breaker** around the
+   :class:`~repro.control.journal.DurableController` -> ``ERROR``
+   (fast-failed or budget-capped, with the reason recorded);
+5. everything else commits and completes -> ``OK``.
+
+Under pressure the :class:`~repro.serve.brownout.BrownoutController`
+degrades quality before work: maintenance defers, traffic-matrix
+updates coalesce into one batched controller transaction per window
+(last-writer-wins per circuit, in arrival order), and telemetry answers
+come from a bounded-staleness cache.
+
+**Determinism and replay.**  The service is a serial discrete-event
+loop over (arrival, batch-flush, maintenance, serve) events; all
+randomness is seeded (retry jitter) or injected
+(:class:`~repro.faults.injector.FaultInjector`).  Same seed => byte
+identical per-request outcomes (``outcomes_digest``) and the same
+commit log; replaying that log serially against a fresh manager
+(:func:`replay_committed`) must reproduce ``state_digest()`` exactly.
+
+**Tenant -> fabric mapping.**  Tenant *i* owns north port
+``i // num_traffic_ocses`` on traffic OCS ``i % num_traffic_ocses``,
+with two private south ports (bank 0/1) -- retargets are collision-free
+by construction, so any interleaving of committed updates is
+serializable.  Slices get circuits on a dedicated slice OCS and cubes
+from a :class:`~repro.scheduler.allocator.ReconfigurableAllocator`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.control import journal
+from repro.control.journal import DurableController
+from repro.core.errors import ConfigurationError, ServeError
+from repro.core.fabric_manager import FabricManager, SimpleSwitch
+from repro.core.ids import JobId, LinkId, OcsId
+from repro.faults.events import FaultKind
+from repro.faults.injector import FaultInjector
+from repro.faults.resilience import RetryPolicy
+from repro.obs import NULL_OBS, Observability
+from repro.scheduler.allocator import ReconfigurableAllocator
+from repro.scheduler.requests import JobRequest
+from repro.serve.admission import FairAdmission
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.brownout import BrownoutController
+from repro.serve.queueing import BoundedPriorityQueue, ShedRecord
+from repro.serve.requests import (
+    ADMITTED_OUTCOMES,
+    Outcome,
+    RequestKind,
+    RequestRecord,
+    TenantRequest,
+    outcomes_digest,
+)
+from repro.serve.retry import RetryBudget
+from repro.tpu.superpod import Superpod
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that shapes the serving layer's behavior.
+
+    Service times are deterministic per kind (milliseconds of simulated
+    server occupancy); capacity is their admission-weighted mean.
+    """
+
+    # Fabric shape.
+    num_traffic_ocses: int = 4
+    num_tenants: int = 256
+    slice_radix: int = 64
+    allocator_cubes: int = 64
+
+    # Admission (requests per simulated second).
+    global_rate_per_s: float = 400.0
+    global_burst: float = 120.0
+    tenant_rate_per_s: float = 8.0
+    tenant_burst: float = 16.0
+
+    # Queueing.
+    queue_capacity: int = 64
+
+    # Retry budget / breaker.
+    retry_ratio: float = 0.5
+    max_attempts: int = 4
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 0.5
+
+    # Brownout ladder.
+    brownout_enter_1: float = 0.5
+    brownout_exit_1: float = 0.3
+    brownout_enter_2: float = 0.8
+    brownout_exit_2: float = 0.6
+    pinned_brownout: Optional[int] = None
+
+    # Deterministic service times (ms).
+    telemetry_fresh_ms: float = 2.0
+    telemetry_cached_ms: float = 0.2
+    traffic_update_ms: float = 2.5
+    reconfigure_ms: float = 3.0
+    slice_alloc_ms: float = 5.0
+    slice_release_ms: float = 2.0
+    noop_ms: float = 0.5
+    batch_member_ms: float = 0.3
+    batch_flush_ms: float = 4.0
+    rpc_timeout_ms: float = 25.0
+    maintenance_ms: float = 6.0
+
+    # Coalescing / maintenance / telemetry cache.
+    batch_window_s: float = 0.2
+    batch_max_updates: int = 32
+    maintenance_interval_s: float = 5.0
+    telemetry_ttl_s: float = 0.5
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_traffic_ocses < 1 or self.num_tenants < 1:
+            raise ConfigurationError("need at least one OCS and one tenant")
+        if self.traffic_radix > 512:
+            raise ConfigurationError(
+                f"traffic radix {self.traffic_radix} unreasonably large; "
+                "add traffic OCSes instead"
+            )
+        if self.slice_radix < 1:
+            raise ConfigurationError("slice OCS needs at least one port")
+        if self.queue_capacity < 1:
+            raise ConfigurationError("queue capacity must be positive")
+        if self.batch_window_s <= 0 or self.batch_max_updates < 1:
+            raise ConfigurationError("batch window and size must be positive")
+        if self.maintenance_interval_s <= 0 or self.telemetry_ttl_s <= 0:
+            raise ConfigurationError("maintenance interval and ttl must be positive")
+        if (
+            self.global_rate_per_s <= 0
+            or self.global_burst < 1
+            or self.tenant_rate_per_s <= 0
+            or self.tenant_burst < 1
+        ):
+            raise ConfigurationError("admission rates and bursts must be positive")
+        for name in (
+            "telemetry_fresh_ms", "telemetry_cached_ms", "traffic_update_ms",
+            "reconfigure_ms", "slice_alloc_ms", "slice_release_ms", "noop_ms",
+            "batch_member_ms", "batch_flush_ms", "rpc_timeout_ms",
+            "maintenance_ms",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @property
+    def tenants_per_ocs(self) -> int:
+        return math.ceil(self.num_tenants / self.num_traffic_ocses)
+
+    @property
+    def traffic_radix(self) -> int:
+        # Two south banks per tenant slot.
+        return 2 * self.tenants_per_ocs
+
+    @property
+    def slice_ocs(self) -> OcsId:
+        return OcsId(self.num_traffic_ocses)
+
+    def tenant_circuit(self, tenant: str) -> Tuple[OcsId, int]:
+        """(ocs, north port) owned by ``tenant`` (id ``t-<index>``)."""
+        index = int(tenant.rsplit("-", 1)[1])
+        if not 0 <= index < self.num_tenants:
+            raise ConfigurationError(f"tenant {tenant} outside population")
+        return OcsId(index % self.num_traffic_ocses), index // self.num_traffic_ocses
+
+    def south_for_bank(self, north: int, bank: int) -> int:
+        if bank not in (0, 1):
+            raise ConfigurationError(f"bank must be 0 or 1, got {bank}")
+        return north + bank * self.tenants_per_ocs
+
+
+def build_serve_manager(
+    config: ServeConfig, obs: Optional[Observability] = None
+) -> FabricManager:
+    """The serving fabric: traffic OCSes (provisioned one circuit per
+    tenant, bank 0) plus one dedicated slice OCS.
+
+    Shared by the live service and :func:`replay_committed`, so both
+    start from the identical provisioned state.
+    """
+    manager = FabricManager(obs=obs)
+    for i in range(config.num_traffic_ocses):
+        manager.add_switch(OcsId(i), SimpleSwitch(config.traffic_radix))
+    manager.add_switch(config.slice_ocs, SimpleSwitch(config.slice_radix))
+    for t in range(config.num_tenants):
+        ocs, north = config.tenant_circuit(f"t-{t:03d}")
+        manager.switch(ocs).state.connect(north, config.south_for_bank(north, 0))
+    return manager
+
+
+@dataclass(frozen=True)
+class CommitEntry:
+    """One committed state-changing operation, in commit order.
+
+    ``op`` is ``retarget`` (ints = ocs, north, south), ``slice-alloc``
+    (ints = port), or ``slice-release`` (ref = the alloc's request id).
+    """
+
+    op: str
+    request_id: str
+    ints: Tuple[int, ...] = ()
+    ref: str = ""
+
+    def canonical(self) -> str:
+        ints = ",".join(str(i) for i in self.ints)
+        return f"{self.op}|{self.request_id}|{ints}|{self.ref}"
+
+
+@dataclass
+class ServeReport:
+    """Everything one service run produced, deterministically."""
+
+    config: ServeConfig
+    records: List[RequestRecord]
+    shed_records: List[ShedRecord]
+    commit_log: List[CommitEntry]
+    offered: int
+    downstream_attempts: int
+    deposits: int
+    retries_granted: int
+    retries_denied: int
+    breaker_trips: int
+    breaker_fast_fails: int
+    brownout_transitions: Tuple[Tuple[float, int], ...]
+    maintenance_runs: int
+    maintenance_deferred: int
+    batches_flushed: int
+    telemetry_cache_hits: int
+    telemetry_cache_misses: int
+    recoveries: int
+    state_digest: str
+    faults_digest: str
+
+    def count(self, outcome: Outcome) -> int:
+        return sum(1 for r in self.records if r.outcome is outcome)
+
+    @property
+    def admitted(self) -> int:
+        return sum(1 for r in self.records if r.outcome in ADMITTED_OUTCOMES)
+
+    @property
+    def retry_amplification(self) -> float:
+        """Observed downstream attempts per service start; provably
+        bounded by ``1 + retry_ratio`` (see :mod:`repro.serve.retry`)."""
+        return self.downstream_attempts / max(1, self.deposits)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.count(Outcome.SHED) / max(1, self.offered)
+
+    def latency_percentile_ms(self, q: float, outcome: Outcome = Outcome.OK) -> float:
+        lat = sorted(r.latency_ms for r in self.records if r.outcome is outcome)
+        if not lat:
+            return 0.0
+        return lat[min(len(lat) - 1, int(math.ceil(q * len(lat))) - 1)]
+
+    def outcomes_digest(self) -> str:
+        return outcomes_digest(self.records)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat, JSON-ready roll-up (what the NOC / CI gate consumes)."""
+        return {
+            "offered": self.offered,
+            "ok": self.count(Outcome.OK),
+            "rejected": self.count(Outcome.REJECTED),
+            "shed": self.count(Outcome.SHED),
+            "timeout": self.count(Outcome.TIMEOUT),
+            "error": self.count(Outcome.ERROR),
+            "admitted": self.admitted,
+            "serve_p50_ms": round(self.latency_percentile_ms(0.50), 6),
+            "serve_p99_ms": round(self.latency_percentile_ms(0.99), 6),
+            "serve_shed_rate": round(self.shed_rate, 6),
+            "serve_retry_amplification": round(self.retry_amplification, 6),
+            "downstream_attempts": self.downstream_attempts,
+            "deposits": self.deposits,
+            "retries_granted": self.retries_granted,
+            "retries_denied": self.retries_denied,
+            "breaker_trips": self.breaker_trips,
+            "breaker_fast_fails": self.breaker_fast_fails,
+            "brownout_transitions": len(self.brownout_transitions),
+            "maintenance_runs": self.maintenance_runs,
+            "maintenance_deferred": self.maintenance_deferred,
+            "batches_flushed": self.batches_flushed,
+            "telemetry_cache_hits": self.telemetry_cache_hits,
+            "telemetry_cache_misses": self.telemetry_cache_misses,
+            "recoveries": self.recoveries,
+            "commits": len(self.commit_log),
+            "outcomes_digest": self.outcomes_digest(),
+            "state_digest": self.state_digest,
+            "faults_digest": self.faults_digest,
+        }
+
+
+class FabricService:
+    """Serial, deterministic serving loop over tenant requests."""
+
+    def __init__(
+        self, config: ServeConfig, obs: Optional[Observability] = None
+    ) -> None:
+        self.config = config
+        self.obs = obs if obs is not None else NULL_OBS
+        self.manager = build_serve_manager(config, obs=self.obs)
+        self.controller = DurableController(manager=self.manager, obs=self.obs)
+        self.admission = FairAdmission(
+            global_rate_per_s=config.global_rate_per_s,
+            global_burst=config.global_burst,
+            tenant_rate_per_s=config.tenant_rate_per_s,
+            tenant_burst=config.tenant_burst,
+            obs=self.obs,
+        )
+        self.queue = BoundedPriorityQueue(config.queue_capacity)
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_threshold,
+            cooldown_s=config.breaker_cooldown_s,
+            obs=self.obs,
+        )
+        self.brownout = BrownoutController(
+            enter_1=config.brownout_enter_1,
+            exit_1=config.brownout_exit_1,
+            enter_2=config.brownout_enter_2,
+            exit_2=config.brownout_exit_2,
+            pinned_level=config.pinned_brownout,
+            obs=self.obs,
+        )
+        self.budget = RetryBudget(
+            retry_ratio=config.retry_ratio,
+            max_attempts=config.max_attempts,
+            obs=self.obs,
+        )
+        self.allocator = ReconfigurableAllocator(
+            Superpod(num_cubes=config.allocator_cubes)
+        )
+        self._retry_policy = RetryPolicy()
+        self._rng = np.random.default_rng(config.seed)
+
+        # Mutable run state.
+        self._records: List[RequestRecord] = []
+        self._terminal: Dict[str, Outcome] = {}
+        self._shed_records: List[ShedRecord] = []
+        self._commit_log: List[CommitEntry] = []
+        self._allocs: Dict[str, Tuple[JobRequest, int]] = {}
+        self._batch: List[TenantRequest] = []
+        self._batch_due_s = 0.0
+        self._batch_seq = 0
+        self._controller_down = False
+        self._pending_rpc_timeouts = 0
+        self._recoveries = 0
+        self._downstream_attempts = 0
+        self._breaker_fast_fails = 0
+        self._maintenance_runs = 0
+        self._maintenance_deferred = 0
+        self._batches_flushed = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._telemetry_cache: Optional[Tuple[str, float]] = None
+        self._offered = 0
+
+    # ------------------------------------------------------------------ #
+    # Fault wiring
+    # ------------------------------------------------------------------ #
+
+    def attach_faults(self, injector: FaultInjector) -> None:
+        injector.subscribe(FaultKind.CONTROLLER_CRASH, self._on_controller_event)
+        injector.subscribe(FaultKind.RPC_TIMEOUT, self._on_rpc_timeout_event)
+
+    def _on_controller_event(self, event) -> None:
+        if event.recovery:
+            storage = self.controller.wal.storage
+            self.controller, _report = journal.recover(
+                self.manager, storage, obs=self.obs
+            )
+            self._controller_down = False
+            self._recoveries += 1
+            self.obs.metrics.counter("serve.controller.recoveries").inc()
+        else:
+            self._controller_down = True
+            self.obs.metrics.counter("serve.controller.crashes").inc()
+
+    def _on_rpc_timeout_event(self, event) -> None:
+        if event.recovery:
+            self._pending_rpc_timeouts = 0
+        else:
+            self._pending_rpc_timeouts += max(1, int(event.severity))
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _record(
+        self,
+        request: TenantRequest,
+        outcome: Outcome,
+        finish_s: float,
+        *,
+        attempts: int = 0,
+        detail: str = "",
+    ) -> None:
+        if request.request_id in self._terminal:
+            raise ServeError(
+                f"{request.request_id} reached a second terminal outcome "
+                f"({self._terminal[request.request_id].value} then {outcome.value})"
+            )
+        self._terminal[request.request_id] = outcome
+        self._records.append(
+            RequestRecord(
+                request=request,
+                outcome=outcome,
+                finish_s=finish_s,
+                attempts=attempts,
+                detail=detail,
+            )
+        )
+        self.obs.metrics.counter(
+            "serve.outcomes", outcome=outcome.value, kind=request.kind.value
+        ).inc()
+        self.obs.metrics.histogram(
+            "serve.latency_ms", outcome=outcome.value
+        ).observe(max(0.0, (finish_s - request.arrival_s) * 1e3))
+
+    def _observe_pressure(self, now_s: float) -> None:
+        occupancy = self.queue.occupancy / self.config.queue_capacity
+        breaker_open = self.breaker.state(now_s) is BreakerState.OPEN
+        self.brownout.observe(occupancy, breaker_open, now_s)
+
+    # ------------------------------------------------------------------ #
+    # Downstream attempts (retry budget + breaker + deadline, shared by
+    # every controller-touching path)
+    # ------------------------------------------------------------------ #
+
+    def _attempt_failure(self) -> Optional[str]:
+        """Injected-fault view of one RPC attempt; consumes one pending
+        timeout when the burst is active."""
+        if self._controller_down:
+            return "controller-down"
+        if self._pending_rpc_timeouts > 0:
+            self._pending_rpc_timeouts -= 1
+            return "rpc-timeout"
+        return None
+
+    def _run_attempts(
+        self, t: float, deadline_s: float, work_ms: float, apply_fn
+    ) -> Tuple[Outcome, float, int, str]:
+        """Drive one downstream operation to a terminal outcome.
+
+        Returns ``(outcome, time_after, attempts, detail)``.  ``apply_fn``
+        runs only on the successful attempt (and must not raise for
+        reasons the fault model covers -- real exceptions propagate,
+        they are bugs, not overload).
+        """
+        attempts = 0
+        detail = ""
+        while True:
+            if t + work_ms / 1e3 > deadline_s:
+                return Outcome.TIMEOUT, t, attempts, detail or "deadline"
+            if not self.breaker.allow(t):
+                self._breaker_fast_fails += 1
+                self.obs.metrics.counter("serve.breaker.fast_fails").inc()
+                return Outcome.ERROR, t, attempts, "breaker-open"
+            attempts += 1
+            self._downstream_attempts += 1
+            self.obs.metrics.counter("serve.attempts").inc()
+            failure = self._attempt_failure()
+            if failure is None:
+                apply_fn()
+                self.breaker.record_success(t)
+                return Outcome.OK, t + work_ms / 1e3, attempts, detail
+            detail = failure
+            self.breaker.record_failure(t)
+            t += self.config.rpc_timeout_ms / 1e3
+            if attempts >= self.budget.max_attempts:
+                return Outcome.ERROR, t, attempts, "retries-exhausted"
+            if not self.budget.try_spend():
+                return Outcome.ERROR, t, attempts, "retry-budget"
+            t += self._retry_policy.backoff_ms(attempts, self._rng) / 1e3
+
+    # ------------------------------------------------------------------ #
+    # Per-kind dispatch
+    # ------------------------------------------------------------------ #
+
+    def _retarget_target(
+        self, request: TenantRequest
+    ) -> Tuple[OcsId, int, int]:
+        ocs, north = self.config.tenant_circuit(request.tenant)
+        south = self.config.south_for_bank(north, int(request.param("bank", 0)))
+        return ocs, north, south
+
+    def _apply_retarget(
+        self, changes: Dict[Tuple[OcsId, int], int], token: str
+    ) -> None:
+        targets: Dict[OcsId, object] = {}
+        for (ocs, north), south in changes.items():
+            if ocs not in targets:
+                targets[ocs] = self.manager.switch(ocs).state.copy()
+            tmap = targets[ocs]
+            if tmap.south_of(north) is not None:
+                tmap.disconnect(north)
+            if tmap.north_of(south) is not None:
+                tmap.disconnect(tmap.north_of(south))
+            tmap.connect(north, south)
+        self.controller.reconfigure(targets, token=token)  # type: ignore[arg-type]
+
+    def _dispatch_retarget(self, request: TenantRequest, t: float) -> float:
+        ocs, north, south = self._retarget_target(request)
+        work_ms = (
+            self.config.reconfigure_ms
+            if request.kind is RequestKind.RECONFIGURE
+            else self.config.traffic_update_ms
+        )
+        self.budget.deposit()
+
+        def apply() -> None:
+            self._apply_retarget({(ocs, north): south}, token=request.request_id)
+            self._commit_log.append(
+                CommitEntry(
+                    "retarget", request.request_id, (ocs.index, north, south)
+                )
+            )
+
+        outcome, t_end, attempts, detail = self._run_attempts(
+            t, request.deadline_s, work_ms, apply
+        )
+        self._record(request, outcome, t_end, attempts=attempts, detail=detail)
+        return t_end
+
+    def _free_slice_port(self) -> Optional[int]:
+        state = self.manager.switch(self.config.slice_ocs).state
+        for port in range(self.config.slice_radix):
+            if state.south_of(port) is None and state.north_of(port) is None:
+                return port
+        return None
+
+    def _dispatch_slice_alloc(self, request: TenantRequest, t: float) -> float:
+        cubes = int(request.param("cubes", 1))
+        job = JobRequest(
+            job_id=JobId(request.request_id),
+            cubes=cubes,
+            duration_s=3600.0,
+            arrival_s=request.arrival_s,
+        )
+        port = self._free_slice_port()
+        if port is None or self.allocator.try_allocate(job) is None:
+            t_end = t + self.config.noop_ms / 1e3
+            self._record(request, Outcome.ERROR, t_end, detail="capacity")
+            return t_end
+        self.budget.deposit()
+
+        def apply() -> None:
+            self.controller.establish(
+                LinkId(f"sl-{request.request_id}"),
+                self.config.slice_ocs,
+                port,
+                port,
+                token=request.request_id,
+            )
+            self._allocs[request.request_id] = (job, port)
+            self._commit_log.append(
+                CommitEntry("slice-alloc", request.request_id, (port,))
+            )
+
+        outcome, t_end, attempts, detail = self._run_attempts(
+            t, request.deadline_s, self.config.slice_alloc_ms, apply
+        )
+        if outcome is not Outcome.OK:
+            # The cube reservation never committed downstream; give it back.
+            self.allocator.release(job)
+        self._record(request, outcome, t_end, attempts=attempts, detail=detail)
+        return t_end
+
+    def _dispatch_slice_release(self, request: TenantRequest, t: float) -> float:
+        alloc_id = str(request.param("slice", ""))
+        held = self._allocs.get(alloc_id)
+        if held is None:
+            # Alloc was rejected/shed/timed out (or already released):
+            # releasing nothing is success, explicitly.
+            t_end = t + self.config.noop_ms / 1e3
+            self._record(request, Outcome.OK, t_end, detail="noop")
+            return t_end
+        job, _port = held
+        self.budget.deposit()
+
+        def apply() -> None:
+            self.controller.teardown(
+                LinkId(f"sl-{alloc_id}"), token=request.request_id
+            )
+            self.allocator.release(job)
+            del self._allocs[alloc_id]
+            self._commit_log.append(
+                CommitEntry("slice-release", request.request_id, ref=alloc_id)
+            )
+
+        outcome, t_end, attempts, detail = self._run_attempts(
+            t, request.deadline_s, self.config.slice_release_ms, apply
+        )
+        self._record(request, outcome, t_end, attempts=attempts, detail=detail)
+        return t_end
+
+    def _dispatch_telemetry(self, request: TenantRequest, t: float) -> float:
+        cached = self._telemetry_cache
+        if (
+            self.brownout.serve_cached_telemetry
+            and cached is not None
+            and t - cached[1] <= self.config.telemetry_ttl_s
+        ):
+            self._cache_hits += 1
+            self.obs.metrics.counter("serve.telemetry", source="cache").inc()
+            t_end = t + self.config.telemetry_cached_ms / 1e3
+            self._record(request, Outcome.OK, t_end, detail="cached")
+            return t_end
+        digest = self.manager.state_digest()
+        self._telemetry_cache = (digest, t)
+        self._cache_misses += 1
+        self.obs.metrics.counter("serve.telemetry", source="fresh").inc()
+        t_end = t + self.config.telemetry_fresh_ms / 1e3
+        self._record(request, Outcome.OK, t_end, detail="fresh")
+        return t_end
+
+    # ------------------------------------------------------------------ #
+    # Batched (coalesced) traffic updates
+    # ------------------------------------------------------------------ #
+
+    def _enqueue_batch_member(self, request: TenantRequest, t: float) -> float:
+        if not self._batch:
+            self._batch_due_s = t + self.config.batch_window_s
+        self._batch.append(request)
+        t_end = t + self.config.batch_member_ms / 1e3
+        if len(self._batch) >= self.config.batch_max_updates:
+            t_end = self._flush_batch(t_end)
+        return t_end
+
+    def _flush_batch(self, t: float) -> float:
+        """One controller transaction for the whole window, last-writer
+        wins per circuit; members that cannot make their deadline are
+        timed out (explicitly) before each attempt."""
+        members = self._batch
+        self._batch = []
+        self._batch_seq += 1
+        token = f"batch-{self._batch_seq:05d}"
+        flush_s = self.config.batch_flush_ms / 1e3
+        for _ in members:  # every member enters service here
+            self.budget.deposit()
+        attempts = 0
+        while True:
+            live = [m for m in members if t + flush_s <= m.deadline_s]
+            for expired in (m for m in members if m not in live):
+                self._record(
+                    expired, Outcome.TIMEOUT, t, attempts=attempts,
+                    detail="batch-deadline",
+                )
+            members = live
+            if not members:
+                return t
+            if not self.breaker.allow(t):
+                self._breaker_fast_fails += 1
+                self.obs.metrics.counter("serve.breaker.fast_fails").inc()
+                for m in members:
+                    self._record(
+                        m, Outcome.ERROR, t, attempts=attempts,
+                        detail="breaker-open",
+                    )
+                return t
+            attempts += 1
+            self._downstream_attempts += 1
+            self.obs.metrics.counter("serve.attempts").inc()
+            failure = self._attempt_failure()
+            if failure is None:
+                changes: Dict[Tuple[OcsId, int], int] = {}
+                for m in members:  # arrival order: last writer wins
+                    ocs, north, south = self._retarget_target(m)
+                    changes[(ocs, north)] = south
+                self._apply_retarget(changes, token=token)
+                for m in members:
+                    ocs, north, south = self._retarget_target(m)
+                    self._commit_log.append(
+                        CommitEntry("retarget", m.request_id, (ocs.index, north, south))
+                    )
+                self.breaker.record_success(t)
+                t_end = t + flush_s
+                for m in members:
+                    self._record(
+                        m, Outcome.OK, t_end, attempts=attempts, detail="batched"
+                    )
+                self._batches_flushed += 1
+                self.obs.metrics.counter("serve.batches.flushed").inc()
+                self.obs.metrics.histogram("serve.batch.size").observe(
+                    float(len(members))
+                )
+                return t_end
+            self.breaker.record_failure(t)
+            t += self.config.rpc_timeout_ms / 1e3
+            if attempts >= self.budget.max_attempts:
+                for m in members:
+                    self._record(
+                        m, Outcome.ERROR, t, attempts=attempts,
+                        detail="retries-exhausted",
+                    )
+                return t
+            if not self.budget.try_spend():
+                for m in members:
+                    self._record(
+                        m, Outcome.ERROR, t, attempts=attempts, detail="retry-budget"
+                    )
+                return t
+            t += self._retry_policy.backoff_ms(attempts, self._rng) / 1e3
+
+    # ------------------------------------------------------------------ #
+    # Event loop
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, request: TenantRequest, t: float) -> float:
+        kind = request.kind
+        if kind is RequestKind.TELEMETRY_QUERY:
+            return self._dispatch_telemetry(request, t)
+        if kind is RequestKind.TRAFFIC_UPDATE and self.brownout.coalesce_updates:
+            return self._enqueue_batch_member(request, t)
+        if kind in (RequestKind.TRAFFIC_UPDATE, RequestKind.RECONFIGURE):
+            return self._dispatch_retarget(request, t)
+        if kind is RequestKind.SLICE_ALLOC:
+            return self._dispatch_slice_alloc(request, t)
+        return self._dispatch_slice_release(request, t)
+
+    def run(
+        self,
+        requests: Sequence[TenantRequest],
+        faults: Optional[FaultInjector] = None,
+    ) -> ServeReport:
+        """Serve the whole stream; returns the deterministic report."""
+        if faults is not None:
+            self.attach_faults(faults)
+
+        def advance(t: float) -> None:
+            if faults is not None:
+                faults.advance_to(t)
+
+        with self.obs.tracer.span("serve.run", requests=len(requests)):
+            i, n = 0, len(requests)
+            now = 0.0
+            server_free = 0.0
+            next_maintenance = self.config.maintenance_interval_s
+            while i < n or self.queue.occupancy or self._batch:
+                candidates: List[Tuple[float, int]] = []
+                if i < n:
+                    candidates.append((requests[i].arrival_s, 0))
+                if self._batch:
+                    candidates.append((self._batch_due_s, 1))
+                if self.queue.occupancy:
+                    candidates.append((max(server_free, now), 3))
+                horizon = min(candidates)[0]
+                if next_maintenance <= horizon:
+                    candidates.append((next_maintenance, 2))
+                when, what = min(candidates)
+                now = max(now, when)
+                advance(when)
+                if what == 0:
+                    request = requests[i]
+                    i += 1
+                    self._offered += 1
+                    ok, reason = self.admission.admit(request.tenant, when)
+                    if not ok:
+                        self._record(request, Outcome.REJECTED, when, detail=reason)
+                    else:
+                        shed = self.queue.push(request, when)
+                        if shed is not None:
+                            self._shed_records.append(shed)
+                            self._record(
+                                shed.victim, Outcome.SHED, when,
+                                detail=f"displaced-by:{shed.displaced_by}",
+                            )
+                    self._observe_pressure(when)
+                elif what == 1:
+                    start = max(when, server_free)
+                    advance(start)
+                    server_free = self._flush_batch(start)
+                elif what == 2:
+                    next_maintenance += self.config.maintenance_interval_s
+                    if self.brownout.defer_maintenance or self._controller_down:
+                        self._maintenance_deferred += 1
+                        self.obs.metrics.counter("serve.maintenance.deferred").inc()
+                    else:
+                        self.controller.checkpoint()
+                        self._maintenance_runs += 1
+                        self.obs.metrics.counter("serve.maintenance.runs").inc()
+                        server_free = (
+                            max(when, server_free) + self.config.maintenance_ms / 1e3
+                        )
+                else:
+                    start = max(when, server_free)
+                    advance(start)
+                    request = self.queue.pop()
+                    if start > request.deadline_s:
+                        self._record(
+                            request, Outcome.TIMEOUT, start,
+                            detail="expired-in-queue",
+                        )
+                        server_free = start
+                    else:
+                        server_free = self._dispatch(request, start)
+                    self._observe_pressure(server_free)
+
+            if len(self._records) != self._offered:
+                raise ServeError(
+                    f"partition violated: {self._offered} offered, "
+                    f"{len(self._records)} terminal outcomes"
+                )
+            report = ServeReport(
+                config=self.config,
+                records=sorted(self._records, key=lambda r: r.request.seq),
+                shed_records=list(self._shed_records),
+                commit_log=list(self._commit_log),
+                offered=self._offered,
+                downstream_attempts=self._downstream_attempts,
+                deposits=self.budget.deposits,
+                retries_granted=self.budget.retries_granted,
+                retries_denied=self.budget.retries_denied,
+                breaker_trips=self.breaker.trips,
+                breaker_fast_fails=self._breaker_fast_fails,
+                brownout_transitions=self.brownout.transitions,
+                maintenance_runs=self._maintenance_runs,
+                maintenance_deferred=self._maintenance_deferred,
+                batches_flushed=self._batches_flushed,
+                telemetry_cache_hits=self._cache_hits,
+                telemetry_cache_misses=self._cache_misses,
+                recoveries=self._recoveries,
+                state_digest=self.manager.state_digest(),
+                faults_digest=(
+                    faults.delivered_digest() if faults is not None else ""
+                ),
+            )
+            self.obs.metrics.gauge("serve.offered").set(float(report.offered))
+            self.obs.metrics.gauge("serve.admitted").set(float(report.admitted))
+        return report
+
+
+def replay_committed(config: ServeConfig, commit_log: Sequence[CommitEntry]) -> str:
+    """Serially replay the commit log against a fresh manager.
+
+    Returns the resulting state digest, which must equal the live run's
+    ``state_digest`` -- the acceptance bar for "no silent drops, no
+    divergence".  Slice ports are re-derived from replayed state and
+    checked against the recorded port, so a drifted port chooser is an
+    explicit :class:`~repro.core.errors.ServeError`, not a silently
+    different-but-valid fabric.
+    """
+    manager = build_serve_manager(config)
+    for entry in commit_log:
+        if entry.op == "retarget":
+            ocs_index, north, south = entry.ints
+            state = manager.switch(OcsId(ocs_index)).state
+            if state.south_of(north) != south:
+                if state.south_of(north) is not None:
+                    state.disconnect(north)
+                other = state.north_of(south)
+                if other is not None:
+                    state.disconnect(other)
+                state.connect(north, south)
+        elif entry.op == "slice-alloc":
+            (port,) = entry.ints
+            state = manager.switch(config.slice_ocs).state
+            expected = next(
+                (
+                    p
+                    for p in range(config.slice_radix)
+                    if state.south_of(p) is None and state.north_of(p) is None
+                ),
+                None,
+            )
+            if expected != port:
+                raise ServeError(
+                    f"replay diverged: {entry.request_id} committed port {port} "
+                    f"but replay would choose {expected}"
+                )
+            manager.establish(
+                LinkId(f"sl-{entry.request_id}"), config.slice_ocs, port, port
+            )
+        elif entry.op == "slice-release":
+            manager.teardown(LinkId(f"sl-{entry.ref}"))
+        else:
+            raise ServeError(f"unknown commit-log op {entry.op!r}")
+    return manager.state_digest()

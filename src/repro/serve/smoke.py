@@ -1,0 +1,78 @@
+"""CI gate for the serving layer: run the overload-burst drill, check
+the serve SLOs against the committed thresholds, export artifacts.
+
+``python -m repro.serve.smoke --check --out serve_requests.jsonl``
+runs the smoke profile (1.5k primaries at 3x admission capacity with a
+controller-crash + RPC-timeout storm), prints the summary, writes the
+per-request outcome log as JSONL, and exits non-zero when an SLO
+regresses or determinism breaks (the drill is run twice and the
+outcome digests must match byte for byte).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.serve.drill import drill_slos, report_jsonl_lines, run_serve_drill
+from repro.tools.noc import DEFAULT_THRESHOLDS, check_slos
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.smoke", description=__doc__
+    )
+    parser.add_argument("--seed", type=int, default=0, help="drill seed")
+    parser.add_argument("--full", action="store_true",
+                        help="full profile (100k primaries) instead of smoke")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 on SLO regression or nondeterminism")
+    parser.add_argument("--thresholds", type=Path, default=DEFAULT_THRESHOLDS,
+                        help="SLO thresholds JSON")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write per-request outcomes as JSONL")
+    parser.add_argument("--summary-out", type=Path, default=None,
+                        help="write the run summary as JSON")
+    args = parser.parse_args(argv)
+
+    smoke = not args.full
+    result = run_serve_drill(seed=args.seed, smoke=smoke)
+    summary: Dict[str, object] = result["summary"]
+
+    deterministic = True
+    if smoke:
+        # Cheap enough to prove, so prove it: same seed, same bytes.
+        second = run_serve_drill(seed=args.seed, smoke=True)["summary"]
+        deterministic = second == summary
+    summary["deterministic"] = deterministic
+
+    thresholds: Dict[str, float] = {}
+    if args.thresholds.exists():
+        thresholds = json.loads(args.thresholds.read_text())
+    serve_thresholds = {k: v for k, v in thresholds.items() if k.startswith("serve_")}
+    slo_rows = check_slos(drill_slos(summary), serve_thresholds)
+
+    if args.out is not None:
+        args.out.write_text("\n".join(report_jsonl_lines(result["report"])) + "\n")
+    if args.summary_out is not None:
+        args.summary_out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    for name, value, limit, ok in slo_rows:
+        print(f"{name}: {value:.4f} (max {limit:.4f}) "
+              f"{'ok' if ok else 'REGRESSED'}", file=sys.stderr)
+
+    failed = not all(ok for *_, ok in slo_rows)
+    if not deterministic:
+        print("NONDETERMINISM: same seed produced different outcomes",
+              file=sys.stderr)
+    if args.check and (failed or not deterministic):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

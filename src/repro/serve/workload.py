@@ -1,0 +1,186 @@
+"""Seeded open-loop tenant request streams for the serving layer.
+
+Open-loop means arrivals do not wait for responses: the stream keeps
+coming at its configured rate whatever the service's backlog looks like
+-- exactly the regime admission control and load shedding exist for.
+
+Determinism contract (the same discipline as
+:meth:`repro.scheduler.requests.WorkloadGenerator.open_loop`): every
+random quantity comes from its own child of one
+``np.random.SeedSequence``, and exactly one sample per primary request
+is drawn from each stream, in lockstep.  The first *k* requests of a
+``generate(n)`` call are therefore identical for every ``n >= k``
+(prefix stability), and two generators with equal seeds produce
+byte-identical streams.
+
+The mix spans the four tenant verbs of the serving layer; every
+``SLICE_ALLOC`` is paired with a ``SLICE_RELEASE`` scheduled one
+exponential holding time later (dropped if it would land after the
+last primary arrival -- the service drains whatever is still held).
+A configurable ``hot_tenant_share`` concentrates load on tenant 0 so
+per-tenant fairness has something to push back on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.serve.requests import RequestKind, TenantRequest
+
+#: Default request mix: telemetry-heavy, mutation-meaningful.
+DEFAULT_MIX: Dict[RequestKind, float] = {
+    RequestKind.TELEMETRY_QUERY: 0.55,
+    RequestKind.TRAFFIC_UPDATE: 0.30,
+    RequestKind.RECONFIGURE: 0.09,
+    RequestKind.SLICE_ALLOC: 0.06,
+}
+
+#: Default per-kind deadlines (seconds after arrival).
+DEFAULT_DEADLINES_S: Dict[RequestKind, float] = {
+    RequestKind.TELEMETRY_QUERY: 0.40,
+    RequestKind.TRAFFIC_UPDATE: 0.60,
+    RequestKind.RECONFIGURE: 0.80,
+    RequestKind.SLICE_ALLOC: 1.00,
+    RequestKind.SLICE_RELEASE: 1.00,
+}
+
+
+@dataclass
+class ServeWorkload:
+    """Open-loop Poisson tenant-request stream (seeded, prefix-stable).
+
+    Args:
+        rate_per_s: mean primary-request arrival rate.
+        num_tenants: tenant population; requests carry ``t-<i>`` ids.
+        mix: {kind: weight} over the primary kinds (``SLICE_RELEASE``
+            is derived, never drawn).
+        deadlines_s: per-kind deadline offsets.
+        hot_tenant_share: probability mass concentrated on tenant 0
+            (the noisy neighbor); the rest is uniform over the others.
+        slice_cubes: cube sizes a slice request may ask for.
+        slice_hold_mean_s: mean slice holding time (exponential).
+    """
+
+    seed: int = 0
+    rate_per_s: float = 1000.0
+    num_tenants: int = 64
+    mix: Dict[RequestKind, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    deadlines_s: Dict[RequestKind, float] = field(
+        default_factory=lambda: dict(DEFAULT_DEADLINES_S)
+    )
+    hot_tenant_share: float = 0.2
+    slice_cubes: Tuple[int, ...] = (1, 2, 4)
+    slice_hold_mean_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if self.num_tenants < 1:
+            raise ConfigurationError("need at least one tenant")
+        if not self.mix or any(w < 0 for w in self.mix.values()):
+            raise ConfigurationError("mix weights must be non-negative")
+        if sum(self.mix.values()) <= 0:
+            raise ConfigurationError("mix must have positive total weight")
+        if RequestKind.SLICE_RELEASE in self.mix:
+            raise ConfigurationError("SLICE_RELEASE is derived, not drawn")
+        if not 0.0 <= self.hot_tenant_share < 1.0:
+            raise ConfigurationError("hot_tenant_share must be in [0, 1)")
+        for kind in set(self.mix) | {RequestKind.SLICE_RELEASE}:
+            if self.deadlines_s.get(kind, 0.0) <= 0:
+                raise ConfigurationError(f"deadline for {kind.value} must be positive")
+
+    def _streams(self) -> Tuple[np.random.Generator, ...]:
+        children = np.random.SeedSequence(self.seed).spawn(6)
+        return tuple(np.random.default_rng(c) for c in children)
+
+    def generate(self, num_requests: int) -> List[TenantRequest]:
+        """The first ``num_requests`` primaries plus their derived
+        releases, merged in arrival order with final seq numbers."""
+        if num_requests <= 0:
+            raise ConfigurationError("need at least one request")
+        inter_rng, tenant_rng, kind_rng, bank_rng, cube_rng, hold_rng = self._streams()
+        kinds = sorted(self.mix, key=lambda k: k.value)
+        weights = np.array([self.mix[k] for k in kinds], dtype=float)
+        weights /= weights.sum()
+
+        raw: List[Tuple[float, int, TenantRequest]] = []
+        t = 0.0
+        for i in range(num_requests):
+            # One draw per stream per primary, unconditionally: streams
+            # stay in lockstep, so the prefix is stable in num_requests.
+            t += float(inter_rng.exponential(1.0 / self.rate_per_s))
+            hot = float(tenant_rng.uniform()) < self.hot_tenant_share
+            tenant_idx = (
+                0
+                if hot or self.num_tenants == 1
+                else 1 + int(tenant_rng.integers(self.num_tenants - 1))
+            )
+            kind = kinds[int(kind_rng.choice(len(kinds), p=weights))]
+            bank = int(bank_rng.integers(2))
+            cubes = int(self.slice_cubes[int(cube_rng.integers(len(self.slice_cubes)))])
+            hold_s = float(hold_rng.exponential(self.slice_hold_mean_s))
+
+            request_id = f"rq-{i:06d}"
+            tenant = f"t-{tenant_idx:03d}"
+            params: Tuple[Tuple[str, object], ...]
+            if kind in (RequestKind.TRAFFIC_UPDATE, RequestKind.RECONFIGURE):
+                params = (("bank", bank),)
+            elif kind is RequestKind.SLICE_ALLOC:
+                params = (("cubes", cubes),)
+            else:
+                params = ()
+            raw.append(
+                (
+                    t,
+                    2 * i,
+                    TenantRequest(
+                        request_id=request_id,
+                        tenant=tenant,
+                        kind=kind,
+                        arrival_s=t,
+                        deadline_s=t + self.deadlines_s[kind],
+                        params=params,  # type: ignore[arg-type]
+                    ),
+                )
+            )
+            if kind is RequestKind.SLICE_ALLOC:
+                release_t = t + hold_s
+                raw.append(
+                    (
+                        release_t,
+                        2 * i + 1,
+                        TenantRequest(
+                            request_id=f"rl-{i:06d}",
+                            tenant=tenant,
+                            kind=RequestKind.SLICE_RELEASE,
+                            arrival_s=release_t,
+                            deadline_s=release_t
+                            + self.deadlines_s[RequestKind.SLICE_RELEASE],
+                            params=(("slice", request_id),),
+                        ),
+                    )
+                )
+
+        # Drop releases past the last primary arrival (open-loop end);
+        # the horizon is the final *primary*'s arrival time.
+        horizon = max(t0 for t0, order, _ in raw if order % 2 == 0)
+        merged = sorted(
+            (entry for entry in raw if entry[0] <= horizon or entry[1] % 2 == 0),
+            key=lambda entry: (entry[0], entry[1]),
+        )
+        return [
+            TenantRequest(
+                request_id=req.request_id,
+                tenant=req.tenant,
+                kind=req.kind,
+                arrival_s=req.arrival_s,
+                deadline_s=req.deadline_s,
+                params=req.params,
+                seq=seq,
+            )
+            for seq, (_, _, req) in enumerate(merged)
+        ]

@@ -43,12 +43,21 @@ def compute_slos(report: DrillReport) -> Dict[str, float]:
     hits = registry.sum_counters("sweep.cache.hits")
     misses = registry.sum_counters("sweep.cache.misses")
     lookups = hits + misses
+    serve_offered = registry.sum_counters("serve.outcomes")
+    serve_shed = registry.sum_counters("serve.outcomes", outcome="shed")
+    serve_attempts = registry.sum_counters("serve.attempts")
+    serve_deposits = registry.sum_counters("serve.retry.deposits")
     return {
         "reconfig_p99_ms": registry.histogram("fabric.plan.duration_ms").quantile(0.99),
         "recovery_p99_ms": registry.histogram("control.recover.duration_ms").quantile(0.99),
         "ber_anomaly_rate": anomalies / loss_obs if loss_obs else 0.0,
         "sweep_cache_miss_rate": misses / lookups if lookups else 0.0,
         "sweep_chunk_p99_ms": registry.histogram("sweep.chunk.duration_ms").quantile(0.99),
+        "serve_p99_ms": registry.histogram("serve.latency_ms", outcome="ok").quantile(0.99),
+        "serve_shed_rate": serve_shed / serve_offered if serve_offered else 0.0,
+        "serve_retry_amplification": (
+            serve_attempts / serve_deposits if serve_deposits else 0.0
+        ),
     }
 
 

@@ -1,0 +1,158 @@
+"""Tests for DurableController idempotency tokens.
+
+A retried intent mutation carrying its original token must replay the
+committed result from the journal -- one WAL record, one hardware
+apply, no double effect -- including across a crash-recovery boundary
+(the crash-mid-retry scenario the serving layer's retry loop depends
+on).
+"""
+
+import pytest
+
+from repro.control import CrashSchedule, DurableController, recover
+from repro.control.journal import KIND_OP
+from repro.core.errors import ControllerCrash, PortInUseError
+from repro.core.fabric_manager import FabricManager, SimpleSwitch
+from repro.core.ids import LinkId, OcsId
+
+RADIX = 16
+
+
+def build_manager(num_ocses: int = 2) -> FabricManager:
+    mgr = FabricManager()
+    for i in range(num_ocses):
+        mgr.add_switch(OcsId(i), SimpleSwitch(RADIX))
+    return mgr
+
+
+def op_records(ctl: DurableController):
+    return [r for r in ctl.wal.records() if r.kind == KIND_OP]
+
+
+class TestTokenReplay:
+    def test_retried_establish_replays_without_new_record(self):
+        ctl = DurableController(manager=build_manager())
+        first = ctl.establish(LinkId("lk-a"), OcsId(0), 0, 8, token="tok-1")
+        records_before = len(op_records(ctl))
+        again = ctl.establish(LinkId("lk-a"), OcsId(0), 0, 8, token="tok-1")
+        assert again == first
+        assert len(op_records(ctl)) == records_before
+        assert ctl.manager.switch(OcsId(0)).state.south_of(0) == 8
+
+    def test_untokened_retry_still_fails_loudly(self):
+        ctl = DurableController(manager=build_manager())
+        ctl.establish(LinkId("lk-a"), OcsId(0), 0, 8)
+        with pytest.raises(Exception):
+            ctl.establish(LinkId("lk-a"), OcsId(0), 0, 8)
+
+    def test_retried_teardown_is_idempotent(self):
+        ctl = DurableController(manager=build_manager())
+        ctl.establish(LinkId("lk-a"), OcsId(0), 0, 8, token="t-est")
+        ctl.teardown(LinkId("lk-a"), token="t-down")
+        records_before = len(op_records(ctl))
+        ctl.teardown(LinkId("lk-a"), token="t-down")  # replay, not an error
+        assert len(op_records(ctl)) == records_before
+        assert ctl.manager.switch(OcsId(0)).state.south_of(0) is None
+
+    def test_retried_reconfigure_replays_committed_duration(self):
+        mgr = build_manager()
+        ctl = DurableController(manager=mgr)
+        ctl.establish(LinkId("lk-a"), OcsId(0), 0, 8, token="t-est")
+        sw = mgr.switch(OcsId(0))
+        target = sw.state.copy()
+        target.disconnect(0)
+        target.connect(0, 9)
+        first = ctl.reconfigure({OcsId(0): target}, token="t-rc")
+        records_before = len(ctl.wal.records())
+        again = ctl.reconfigure({OcsId(0): target}, token="t-rc")
+        assert again == first
+        assert len(ctl.wal.records()) == records_before
+        assert sw.state.south_of(0) == 9
+
+    def test_distinct_tokens_do_not_collide(self):
+        ctl = DurableController(manager=build_manager())
+        ctl.establish(LinkId("lk-a"), OcsId(0), 0, 8, token="tok-a")
+        with pytest.raises(PortInUseError):
+            ctl.establish(LinkId("lk-b"), OcsId(0), 0, 8, token="tok-b")
+
+    def test_token_table_is_bounded(self):
+        ctl = DurableController(manager=build_manager(), token_table_cap=4)
+        for n in range(6):
+            ctl.establish(LinkId(f"lk-{n}"), OcsId(0), n, n + 8, token=f"tok-{n}")
+        assert ctl.known_tokens == 4
+
+
+class TestCrashMidRetry:
+    def test_crash_after_journal_then_retry_does_not_double_apply(self):
+        # Crash exactly at the "op-durable" step: the WAL record landed,
+        # the hardware apply did not.  Recovery rolls the op forward;
+        # the client's retry with the same token must replay, not
+        # re-journal or re-apply.
+        mgr = build_manager()
+        crash = CrashSchedule(at_step=2)  # step 1 = wal-append, step 2 = op-durable
+        ctl = DurableController(manager=mgr, crash=crash)
+        with pytest.raises(ControllerCrash):
+            ctl.establish(LinkId("lk-a"), OcsId(0), 0, 8, token="tok-1")
+        assert crash.fired_label == "op-durable"
+
+        ctl2, report = recover(mgr, ctl.wal.storage)
+        assert report.state_digest
+        # Recovery rolled the journaled intent forward onto hardware.
+        assert mgr.switch(OcsId(0)).state.south_of(0) == 8
+
+        records_before = len(op_records(ctl2))
+        link = ctl2.establish(LinkId("lk-a"), OcsId(0), 0, 8, token="tok-1")
+        assert str(link.link_id) == "lk-a"
+        assert len(op_records(ctl2)) == records_before
+        assert mgr.switch(OcsId(0)).state.south_of(0) == 8
+
+    def test_rolled_back_transaction_leaves_token_spendable(self):
+        # A txn token is only burned at txn-commit; a failed/rolled-back
+        # transaction must leave the retry free to re-execute.
+        mgr = build_manager()
+        ctl = DurableController(manager=mgr)
+        ctl.establish(LinkId("lk-a"), OcsId(0), 0, 8, token="t-est")
+        sw = mgr.switch(OcsId(0))
+        target = sw.state.copy()
+        target.disconnect(0)
+        target.connect(0, 9)
+        crash = CrashSchedule(at_step=2)  # txn-begin durable, apply crashes
+        ctl.crash = crash
+        ctl.wal.crash = crash
+        with pytest.raises(ControllerCrash):
+            ctl.reconfigure({OcsId(0): target}, token="t-rc")
+
+        ctl2, _ = recover(mgr, ctl.wal.storage)
+        # The token was never burned: the retry re-executes for real.
+        duration = ctl2.reconfigure({OcsId(0): target}, token="t-rc")
+        assert duration >= 0.0
+        assert sw.state.south_of(0) == 9
+        # And now it *is* burned: a further retry replays.
+        records_before = len(ctl2.wal.records())
+        assert ctl2.reconfigure({OcsId(0): target}, token="t-rc") == duration
+        assert len(ctl2.wal.records()) == records_before
+
+
+class TestTokenPersistence:
+    def test_tokens_survive_recovery_from_ops(self):
+        mgr = build_manager()
+        ctl = DurableController(manager=mgr)
+        first = ctl.establish(LinkId("lk-a"), OcsId(0), 0, 8, token="tok-1")
+        ctl2, _ = recover(mgr, ctl.wal.storage)
+        records_before = len(op_records(ctl2))
+        again = ctl2.establish(LinkId("lk-a"), OcsId(0), 0, 8, token="tok-1")
+        assert (again.link_id, again.north, again.south) == (
+            first.link_id, first.north, first.south
+        )
+        assert len(op_records(ctl2)) == records_before
+
+    def test_tokens_survive_checkpoint_compaction(self):
+        mgr = build_manager()
+        ctl = DurableController(manager=mgr)
+        ctl.establish(LinkId("lk-a"), OcsId(0), 0, 8, token="tok-1")
+        ctl.checkpoint()
+        ctl2, _ = recover(mgr, ctl.wal.storage)
+        assert ctl2.known_tokens == ctl.known_tokens
+        records_before = len(op_records(ctl2))
+        ctl2.establish(LinkId("lk-a"), OcsId(0), 0, 8, token="tok-1")
+        assert len(op_records(ctl2)) == records_before

@@ -88,3 +88,32 @@ class TestWorkloadGenerator:
             WorkloadGenerator(size_mix={1: -1.0})
         with pytest.raises(ConfigurationError):
             WorkloadGenerator().generate(0)
+
+
+class TestOpenLoop:
+    def test_prefix_stable_across_consumption_lengths(self):
+        from itertools import islice
+
+        gen = WorkloadGenerator(seed=6)
+        short = list(islice(gen.open_loop(), 20))
+        long = list(islice(gen.open_loop(), 60))
+        assert long[:20] == short
+
+    def test_matches_between_instances(self):
+        from itertools import islice
+
+        a = list(islice(WorkloadGenerator(seed=7).open_loop(), 30))
+        b = list(islice(WorkloadGenerator(seed=7).open_loop(), 30))
+        assert a == b
+        c = list(islice(WorkloadGenerator(seed=8).open_loop(), 30))
+        assert a != c
+
+    def test_arrivals_increase_and_jobs_are_valid(self):
+        from itertools import islice
+
+        jobs = list(islice(WorkloadGenerator(seed=9).open_loop(), 50))
+        arrivals = [j.arrival_s for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert len({j.job_id for j in jobs}) == len(jobs)
+        sizes = set(WorkloadGenerator().size_mix)
+        assert all(j.cubes in sizes and j.duration_s > 0 for j in jobs)

@@ -1,0 +1,89 @@
+"""Tests for repro.serve.admission (token buckets + tenant fairness)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.serve.admission import FairAdmission, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=3.0)
+        assert [bucket.take(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_from_elapsed_time(self):
+        bucket = TokenBucket(rate_per_s=2.0, burst=2.0)
+        assert bucket.take(0.0) and bucket.take(0.0)
+        assert not bucket.take(0.0)
+        # 0.5 s at 2 tokens/s banks exactly one token.
+        assert bucket.take(0.5)
+        assert not bucket.take(0.5)
+
+    def test_refill_clamps_at_burst(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=2.0)
+        assert bucket.level(1_000.0) == pytest.approx(2.0)
+
+    def test_time_regression_raises(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=1.0)
+        bucket.take(5.0)
+        with pytest.raises(ConfigurationError):
+            bucket.take(4.0)
+
+    @pytest.mark.parametrize("rate,burst", [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.5)])
+    def test_invalid_config(self, rate, burst):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_per_s=rate, burst=burst)
+
+
+class TestFairAdmission:
+    def build(self) -> FairAdmission:
+        return FairAdmission(
+            global_rate_per_s=100.0,
+            global_burst=50.0,
+            tenant_rate_per_s=2.0,
+            tenant_burst=4.0,
+        )
+
+    def test_reasons(self):
+        adm = self.build()
+        verdicts = [adm.admit("t-0", 0.0) for _ in range(5)]
+        assert verdicts[:4] == [(True, "ok")] * 4
+        assert verdicts[4] == (False, "tenant-rate")
+
+    def test_hot_tenant_cannot_starve_quiet_ones(self):
+        adm = self.build()
+        # The hot tenant fires 100 times at t=0: only its burst passes.
+        hot = sum(adm.admit("hot", 0.0)[0] for _ in range(100))
+        assert hot == 4
+        # Quiet tenants still see full fair-share admission afterwards.
+        assert all(adm.admit(f"q-{i}", 0.0) == (True, "ok") for i in range(10))
+
+    def test_tenant_refusal_spares_global_tokens(self):
+        adm = FairAdmission(
+            global_rate_per_s=1.0, global_burst=5.0,
+            tenant_rate_per_s=1.0, tenant_burst=2.0,
+        )
+        for _ in range(50):
+            adm.admit("hot", 0.0)
+        # Only the hot tenant's 2 admitted requests consumed global
+        # tokens; 3 of 5 remain for everyone else.
+        assert adm.admit("quiet-a", 0.0) == (True, "ok")
+        assert adm.admit("quiet-b", 0.0) == (True, "ok")
+        assert adm.admit("quiet-c", 0.0) == (True, "ok")
+        assert adm.admit("quiet-d", 0.0) == (False, "global-rate")
+
+    def test_global_exhaustion_reason(self):
+        adm = FairAdmission(
+            global_rate_per_s=1.0, global_burst=1.0,
+            tenant_rate_per_s=100.0, tenant_burst=100.0,
+        )
+        assert adm.admit("a", 0.0) == (True, "ok")
+        assert adm.admit("b", 0.0) == (False, "global-rate")
+
+    def test_tenant_buckets_created_lazily(self):
+        adm = self.build()
+        assert adm.num_tenants_seen == 0
+        adm.admit("a", 0.0)
+        adm.admit("b", 0.0)
+        adm.admit("a", 0.0)
+        assert adm.num_tenants_seen == 2

@@ -1,0 +1,66 @@
+"""Tests for repro.serve.breaker (the controller circuit breaker)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.serve.breaker import BreakerState, CircuitBreaker
+
+
+class TestCircuitBreaker:
+    def build(self) -> CircuitBreaker:
+        return CircuitBreaker(failure_threshold=3, cooldown_s=1.0)
+
+    def test_trips_on_consecutive_failures(self):
+        brk = self.build()
+        for _ in range(2):
+            brk.record_failure(0.0)
+        assert brk.state(0.0) is BreakerState.CLOSED
+        brk.record_failure(0.0)
+        assert brk.state(0.0) is BreakerState.OPEN
+        assert brk.trips == 1
+        assert not brk.allow(0.5)
+
+    def test_success_resets_the_failure_count(self):
+        brk = self.build()
+        brk.record_failure(0.0)
+        brk.record_failure(0.0)
+        brk.record_success(0.0)
+        brk.record_failure(0.0)
+        brk.record_failure(0.0)
+        assert brk.state(0.0) is BreakerState.CLOSED
+
+    def test_cooldown_elapses_to_single_probe(self):
+        brk = self.build()
+        for _ in range(3):
+            brk.record_failure(0.0)
+        assert not brk.allow(0.99)
+        # Cooldown over: exactly one probe passes.
+        assert brk.allow(1.0)
+        assert brk.state(1.0) is BreakerState.HALF_OPEN
+        assert not brk.allow(1.0)
+        assert not brk.allow(1.5)
+
+    def test_probe_success_closes(self):
+        brk = self.build()
+        for _ in range(3):
+            brk.record_failure(0.0)
+        assert brk.allow(1.0)
+        brk.record_success(1.0)
+        assert brk.state(1.0) is BreakerState.CLOSED
+        assert brk.allow(1.0)
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        brk = self.build()
+        for _ in range(3):
+            brk.record_failure(0.0)
+        assert brk.allow(1.0)
+        brk.record_failure(1.0)
+        assert brk.state(1.0) is BreakerState.OPEN
+        assert brk.trips == 2
+        assert not brk.allow(1.5)
+        assert brk.allow(2.0)  # the next probe, one cooldown later
+
+    @pytest.mark.parametrize("kwargs", [{"failure_threshold": 0}, {"cooldown_s": 0.0}])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(**kwargs)

@@ -1,0 +1,81 @@
+"""Hypothesis properties of the serving layer.
+
+For *any* injected fault timeline (crashes and timeout bursts at
+arbitrary instants):
+
+- total downstream attempts never exceed the retry budget's provable
+  cap, ``(1 + retry_ratio) x requests entering service`` (and hence
+  ``cap x admitted``);
+- shed + admitted + rejected exactly partitions the offered load, with
+  every request reaching exactly one terminal outcome;
+- serially replaying the commit log reproduces the live state digest.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.events import FaultKind, controller_target
+from repro.faults.injector import FaultInjector
+from repro.serve.requests import ADMITTED_OUTCOMES, Outcome
+from repro.serve.service import FabricService, ServeConfig, replay_committed
+from repro.serve.workload import ServeWorkload
+
+fault_events = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1.5),
+        st.sampled_from([FaultKind.CONTROLLER_CRASH, FaultKind.RPC_TIMEOUT]),
+        st.floats(min_value=1.0, max_value=12.0),   # severity
+        st.floats(min_value=0.05, max_value=0.5),   # clear_after_s
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+def run_with_timeline(events, seed: int):
+    config = ServeConfig(
+        num_traffic_ocses=2, num_tenants=16, allocator_cubes=8, seed=seed
+    )
+    requests = ServeWorkload(
+        seed=seed, rate_per_s=800.0, num_tenants=16
+    ).generate(150)
+    injector = FaultInjector(seed=seed)
+    for time_s, kind, severity, clear_after_s in sorted(
+        events, key=lambda e: (e[0], e[1].value)
+    ):
+        injector.schedule(
+            time_s, kind, controller_target(),
+            severity=severity, clear_after_s=clear_after_s,
+        )
+    report = FabricService(config, obs=None).run(requests, faults=injector)
+    return config, report
+
+
+@settings(max_examples=15, deadline=None)
+@given(events=fault_events, seed=st.integers(min_value=0, max_value=50))
+def test_attempts_bounded_for_any_fault_timeline(events, seed):
+    _, report = run_with_timeline(events, seed)
+    cap = 1.0 + report.config.retry_ratio
+    admitted = report.admitted
+    assert report.deposits <= admitted
+    assert report.downstream_attempts <= cap * report.deposits
+    assert report.downstream_attempts <= cap * admitted
+
+
+@settings(max_examples=15, deadline=None)
+@given(events=fault_events, seed=st.integers(min_value=0, max_value=50))
+def test_outcomes_partition_offered_load(events, seed):
+    _, report = run_with_timeline(events, seed)
+    counts = {o: report.count(o) for o in Outcome}
+    assert sum(counts.values()) == report.offered == len(report.records)
+    admitted = sum(counts[o] for o in ADMITTED_OUTCOMES)
+    assert counts[Outcome.SHED] + counts[Outcome.REJECTED] + admitted == report.offered
+    ids = [r.request.request_id for r in report.records]
+    assert len(ids) == len(set(ids)), "a request got two terminal outcomes"
+
+
+@settings(max_examples=10, deadline=None)
+@given(events=fault_events, seed=st.integers(min_value=0, max_value=50))
+def test_replay_matches_live_state_for_any_fault_timeline(events, seed):
+    config, report = run_with_timeline(events, seed)
+    assert replay_committed(config, report.commit_log) == report.state_digest

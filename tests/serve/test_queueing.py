@@ -1,0 +1,82 @@
+"""Tests for repro.serve.queueing (bounded queue, explicit shedding)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.serve.queueing import BoundedPriorityQueue
+from repro.serve.requests import RequestKind, TenantRequest
+
+
+def request(seq: int, kind: RequestKind = RequestKind.TELEMETRY_QUERY) -> TenantRequest:
+    return TenantRequest(
+        request_id=f"rq-{seq:04d}",
+        tenant="t-000",
+        kind=kind,
+        arrival_s=float(seq),
+        deadline_s=float(seq) + 1.0,
+        seq=seq,
+    )
+
+
+class TestBoundedPriorityQueue:
+    def test_pops_by_class_then_arrival(self):
+        q = BoundedPriorityQueue(capacity=8)
+        a = request(0, RequestKind.TELEMETRY_QUERY)   # class 2
+        b = request(1, RequestKind.TRAFFIC_UPDATE)    # class 1
+        c = request(2, RequestKind.SLICE_ALLOC)       # class 0
+        d = request(3, RequestKind.SLICE_RELEASE)     # class 0, newer
+        for req in (a, b, c, d):
+            assert q.push(req, now_s=0.0) is None
+        assert [q.pop() for _ in range(4)] == [c, d, b, a]
+
+    def test_full_queue_sheds_worst_not_newest(self):
+        q = BoundedPriorityQueue(capacity=2)
+        telemetry = request(0, RequestKind.TELEMETRY_QUERY)
+        mutation = request(1, RequestKind.SLICE_ALLOC)
+        assert q.push(telemetry, 0.0) is None
+        assert q.push(mutation, 0.0) is None
+        newcomer = request(2, RequestKind.RECONFIGURE)
+        shed = q.push(newcomer, 0.5)
+        assert shed is not None
+        # The telemetry query loses its slot to the arriving mutation.
+        assert shed.victim is telemetry
+        assert shed.displaced_by is newcomer
+        assert shed.time_s == 0.5
+        assert len(q) == 2
+        assert q.pop() is mutation
+        assert q.pop() is newcomer
+
+    def test_worst_arrival_is_shed_directly(self):
+        q = BoundedPriorityQueue(capacity=2)
+        q.push(request(0, RequestKind.SLICE_ALLOC), 0.0)
+        q.push(request(1, RequestKind.TRAFFIC_UPDATE), 0.0)
+        late_telemetry = request(2, RequestKind.TELEMETRY_QUERY)
+        shed = q.push(late_telemetry, 1.0)
+        assert shed is not None
+        assert shed.victim is late_telemetry
+        assert shed.displaced_by is None
+        assert len(q) == 2
+
+    def test_within_class_newest_is_shed(self):
+        q = BoundedPriorityQueue(capacity=2)
+        old = request(0)
+        mid = request(1)
+        new = request(2)
+        q.push(old, 0.0)
+        q.push(mid, 0.0)
+        shed = q.push(new, 0.0)
+        assert shed is not None and shed.victim is new
+
+    def test_occupancy_and_drain(self):
+        q = BoundedPriorityQueue(capacity=4)
+        assert q.occupancy == 0.0
+        for i in range(3):
+            q.push(request(i), 0.0)
+        assert q.occupancy == pytest.approx(0.75)
+        drained = q.drain()
+        assert [r.seq for r in drained] == [0, 1, 2]
+        assert len(q) == 0 and q.pop() is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            BoundedPriorityQueue(capacity=0)

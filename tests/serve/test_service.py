@@ -1,0 +1,203 @@
+"""Tests for repro.serve.service (the serving loop end to end)."""
+
+import pytest
+
+from repro.faults.events import FaultKind, controller_target
+from repro.faults.injector import FaultInjector
+from repro.serve.requests import ADMITTED_OUTCOMES, Outcome, RequestKind
+from repro.serve.service import FabricService, ServeConfig, replay_committed
+from repro.serve.workload import ServeWorkload
+
+
+def small_config(**overrides) -> ServeConfig:
+    defaults = dict(
+        num_traffic_ocses=2,
+        num_tenants=32,
+        allocator_cubes=16,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def small_workload(seed: int = 0, rate_per_s: float = 300.0) -> ServeWorkload:
+    return ServeWorkload(seed=seed, rate_per_s=rate_per_s, num_tenants=32)
+
+
+class TestPartitionInvariant:
+    def test_every_request_gets_exactly_one_outcome(self):
+        config = small_config()
+        requests = small_workload().generate(400)
+        report = FabricService(config).run(requests)
+        assert report.offered == len(requests)
+        assert len(report.records) == report.offered
+        by_outcome = {o: report.count(o) for o in Outcome}
+        assert sum(by_outcome.values()) == report.offered
+        # shed + rejected + admitted partitions the offered load.
+        admitted = sum(by_outcome[o] for o in ADMITTED_OUTCOMES)
+        assert (
+            by_outcome[Outcome.SHED] + by_outcome[Outcome.REJECTED] + admitted
+            == report.offered
+        )
+        # Each record's request is unique (no double terminals).
+        ids = [r.request.request_id for r in report.records]
+        assert len(ids) == len(set(ids))
+
+    def test_sheds_are_reported_never_silent(self):
+        config = small_config(queue_capacity=4, global_rate_per_s=2_000.0,
+                              global_burst=500.0, tenant_rate_per_s=500.0,
+                              tenant_burst=100.0)
+        requests = small_workload(rate_per_s=3_000.0).generate(600)
+        report = FabricService(config).run(requests)
+        shed_ids = {r.request.request_id for r in report.records
+                    if r.outcome is Outcome.SHED}
+        assert report.count(Outcome.SHED) > 0
+        # Every queue eviction names its victim, and every shed outcome
+        # traces back to exactly one eviction record.
+        victims = {s.victim.request_id for s in report.shed_records}
+        assert victims == shed_ids
+
+
+class TestReplayEquivalence:
+    def test_replay_reproduces_live_digest(self):
+        config = small_config()
+        report = FabricService(config).run(small_workload().generate(500))
+        assert report.commit_log, "expected committed mutations"
+        assert replay_committed(config, report.commit_log) == report.state_digest
+
+    def test_replay_holds_under_faults(self):
+        config = small_config()
+        requests = small_workload().generate(500)
+        injector = FaultInjector(seed=1)
+        injector.schedule(0.2, FaultKind.CONTROLLER_CRASH, controller_target(),
+                          clear_after_s=0.3)
+        injector.schedule(0.9, FaultKind.RPC_TIMEOUT, controller_target(),
+                          severity=8.0, clear_after_s=0.2)
+        report = FabricService(config).run(requests, faults=injector)
+        assert report.recoveries >= 1
+        assert replay_committed(config, report.commit_log) == report.state_digest
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcomes_digest(self):
+        def run():
+            injector = FaultInjector(seed=2)
+            injector.schedule(0.3, FaultKind.CONTROLLER_CRASH,
+                              controller_target(), clear_after_s=0.25)
+            return FabricService(small_config()).run(
+                small_workload(seed=2).generate(400), faults=injector
+            )
+
+        a, b = run(), run()
+        assert a.outcomes_digest() == b.outcomes_digest()
+        assert a.state_digest == b.state_digest
+        assert [e.canonical() for e in a.commit_log] == [
+            e.canonical() for e in b.commit_log
+        ]
+
+
+class TestOverloadBehaviors:
+    def test_hot_tenant_is_throttled_before_quiet_ones(self):
+        config = small_config()
+        requests = ServeWorkload(
+            seed=4, rate_per_s=1_500.0, num_tenants=32, hot_tenant_share=0.5
+        ).generate(800)
+        report = FabricService(config).run(requests)
+
+        def reject_rate(tenant_filter):
+            mine = [r for r in report.records if tenant_filter(r.request.tenant)]
+            rejected = sum(1 for r in mine if r.outcome is Outcome.REJECTED)
+            return rejected / max(1, len(mine))
+
+        hot = reject_rate(lambda t: t == "t-000")
+        quiet = reject_rate(lambda t: t != "t-000")
+        assert hot > quiet
+
+    def test_breaker_fast_fails_without_downstream_attempts(self):
+        config = small_config(breaker_threshold=2, breaker_cooldown_s=5.0)
+        requests = small_workload(seed=5).generate(300)
+        injector = FaultInjector(seed=5)
+        # Controller down for the entire run: after the trip, requests
+        # fail fast with zero downstream attempts.
+        injector.schedule(0.0, FaultKind.CONTROLLER_CRASH, controller_target(),
+                          clear_after_s=10_000.0)
+        report = FabricService(config).run(requests, faults=injector)
+        fast_failed = [r for r in report.records
+                       if r.outcome is Outcome.ERROR and r.detail == "breaker-open"]
+        assert report.breaker_trips >= 1
+        assert report.breaker_fast_fails > 0
+        # A breaker-open verdict can follow attempts made before the
+        # trip, but the steady state is a pure fast fail: zero launched.
+        assert any(r.attempts == 0 for r in fast_failed)
+        assert all(r.attempts < config.max_attempts for r in fast_failed)
+        # With the controller down only local work can succeed:
+        # read-only telemetry and no-op releases.  No mutation commits.
+        for r in report.records:
+            if r.outcome is Outcome.OK:
+                assert r.request.kind in (
+                    RequestKind.TELEMETRY_QUERY, RequestKind.SLICE_RELEASE
+                )
+        assert not report.commit_log
+
+    def test_retry_amplification_never_exceeds_the_cap(self):
+        config = small_config()
+        requests = small_workload(seed=6, rate_per_s=1_000.0).generate(600)
+        injector = FaultInjector(seed=6)
+        for k in range(4):
+            injector.schedule(0.1 + 0.4 * k, FaultKind.RPC_TIMEOUT,
+                              controller_target(), severity=8.0,
+                              clear_after_s=0.15)
+        report = FabricService(config).run(requests, faults=injector)
+        assert report.downstream_attempts > 0
+        cap = 1.0 + config.retry_ratio
+        assert report.downstream_attempts <= cap * report.deposits
+        assert report.retry_amplification <= cap
+
+    def test_pinned_brownout_serves_cached_telemetry(self):
+        config = small_config(pinned_brownout=2)
+        requests = ServeWorkload(
+            seed=7, rate_per_s=200.0, num_tenants=32,
+            mix={RequestKind.TELEMETRY_QUERY: 1.0},
+        ).generate(150)
+        report = FabricService(config).run(requests)
+        details = {r.detail for r in report.records if r.outcome is Outcome.OK}
+        assert "cached" in details
+        assert report.telemetry_cache_hits > report.telemetry_cache_misses
+
+    def test_pinned_level_1_batches_traffic_updates(self):
+        config = small_config(pinned_brownout=1)
+        requests = ServeWorkload(
+            seed=8, rate_per_s=400.0, num_tenants=32,
+            mix={RequestKind.TRAFFIC_UPDATE: 1.0},
+        ).generate(200)
+        report = FabricService(config).run(requests)
+        assert report.batches_flushed > 0
+        batched_ok = sum(1 for r in report.records
+                         if r.outcome is Outcome.OK and r.detail == "batched")
+        assert batched_ok > 0
+        assert replay_committed(config, report.commit_log) == report.state_digest
+
+
+class TestConfigValidation:
+    def test_tenant_circuit_mapping_is_collision_free(self):
+        config = small_config()
+        seen = set()
+        for i in range(config.num_tenants):
+            circuit = config.tenant_circuit(f"t-{i:03d}")
+            assert circuit not in seen
+            seen.add(circuit)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_tenants": 0},
+            {"queue_capacity": 0},
+            {"global_rate_per_s": 0.0},
+            {"rpc_timeout_ms": 0.0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            small_config(**kwargs)

@@ -1,0 +1,78 @@
+"""Tests for repro.serve.workload (seeded open-loop request streams)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.serve.requests import RequestKind
+from repro.serve.workload import ServeWorkload
+
+
+class TestServeWorkload:
+    def test_same_seed_same_bytes(self):
+        a = ServeWorkload(seed=11).generate(300)
+        b = ServeWorkload(seed=11).generate(300)
+        assert [r.canonical() for r in a] == [r.canonical() for r in b]
+
+    def test_different_seeds_differ(self):
+        a = ServeWorkload(seed=1).generate(100)
+        b = ServeWorkload(seed=2).generate(100)
+        assert [r.canonical() for r in a] != [r.canonical() for r in b]
+
+    def test_prefix_stability_of_primaries(self):
+        # The first k primary requests are identical whatever the
+        # stream length: each random stream draws once per primary.
+        short = ServeWorkload(seed=3).generate(80)
+        long = ServeWorkload(seed=3).generate(240)
+        short_primaries = [r for r in short if r.request_id.startswith("rq-")]
+        long_primaries = [r for r in long if r.request_id.startswith("rq-")]
+        assert [r.canonical() for r in short_primaries] == [
+            r.canonical() for r in long_primaries[: len(short_primaries)]
+        ]
+
+    def test_merged_stream_is_ordered_with_dense_seqs(self):
+        requests = ServeWorkload(seed=5).generate(200)
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert [r.seq for r in requests] == list(range(len(requests)))
+
+    def test_every_alloc_release_pair_is_consistent(self):
+        requests = ServeWorkload(seed=7, slice_hold_mean_s=0.01).generate(400)
+        allocs = {r.request_id for r in requests if r.kind is RequestKind.SLICE_ALLOC}
+        releases = [r for r in requests if r.kind is RequestKind.SLICE_RELEASE]
+        assert releases, "expected derived releases in a 400-request stream"
+        for release in releases:
+            target = release.param("slice")
+            assert target in allocs
+            alloc = next(r for r in requests if r.request_id == target)
+            assert release.arrival_s > alloc.arrival_s
+            assert release.tenant == alloc.tenant
+
+    def test_hot_tenant_concentration(self):
+        requests = ServeWorkload(seed=9, hot_tenant_share=0.5).generate(500)
+        hot = sum(1 for r in requests if r.tenant == "t-000")
+        assert hot / len(requests) > 0.35
+
+    def test_deadlines_follow_the_kind_table(self):
+        wl = ServeWorkload(seed=1)
+        for r in wl.generate(100):
+            assert r.deadline_s - r.arrival_s == pytest.approx(
+                wl.deadlines_s[r.kind]
+            )
+
+    def test_release_not_drawable(self):
+        with pytest.raises(ConfigurationError):
+            ServeWorkload(mix={RequestKind.SLICE_RELEASE: 1.0})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_per_s": 0.0},
+            {"num_tenants": 0},
+            {"mix": {}},
+            {"hot_tenant_share": 1.0},
+            {"deadlines_s": {RequestKind.TELEMETRY_QUERY: 0.0}},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServeWorkload(**kwargs)

@@ -38,6 +38,7 @@ class TestNocCli:
         assert set(payload["slos"]) == {
             "reconfig_p99_ms", "recovery_p99_ms", "ber_anomaly_rate",
             "sweep_cache_miss_rate", "sweep_chunk_p99_ms",
+            "serve_p99_ms", "serve_shed_rate", "serve_retry_amplification",
         }
         assert payload["slos"]["sweep_cache_miss_rate"] == 0.5
         assert payload["notes"]["sweep_warm_hits"] == payload["notes"]["sweep_tasks"]
