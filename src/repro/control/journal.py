@@ -40,6 +40,7 @@ from repro.core.crossconnect import CrossConnectMap
 from repro.core.errors import (
     ConfigurationError,
     CrossConnectError,
+    IdempotencyError,
     PortInUseError,
     RecoveryError,
     TopologyError,
@@ -86,7 +87,14 @@ class DurableController:
             crash to :func:`recover` instead of building directly.
         crash: optional deterministic crash schedule shared with the
             WAL (drills); every append and hardware apply is a step.
-        token_table_cap: retained idempotency tokens (oldest evicted).
+        token_table_cap: retained idempotency tokens.  This cap is a
+            **correctness bound**, not a tuning knob: once the table
+            overflows, the oldest token is evicted (observable via the
+            ``control.journal.token_evictions`` counter and
+            :attr:`tokens_evicted`), and a retry that presents an
+            evicted token raises :class:`~repro.core.errors.
+            IdempotencyError` instead of silently double-applying.
+            Size it above the maximum in-flight retry window.
 
     **Idempotency tokens.**  Every intent mutation accepts an optional
     ``token``.  The token rides in the journaled payload, so "this
@@ -106,6 +114,7 @@ class DurableController:
     _tokens: Dict[str, Tuple[object, ...]] = field(
         init=False, default_factory=dict, repr=False
     )
+    _evicted_tokens: set = field(init=False, default_factory=set, repr=False)
 
     def __post_init__(self) -> None:
         if self.obs is None:
@@ -132,11 +141,26 @@ class DurableController:
     # ------------------------------------------------------------------ #
 
     def _token_replay(self, token: Optional[str], op: str):
-        """Committed result for ``token``, or ``_TOKEN_MISS`` if unseen."""
+        """Committed result for ``token``, or ``_TOKEN_MISS`` if unseen.
+
+        A token whose table entry was evicted raises loudly: replaying
+        it would re-execute a committed mutation, which is exactly the
+        double-apply the tokens exist to prevent.
+        """
         if token is None:
             return _TOKEN_MISS
         spec = self._tokens.get(token)
         if spec is None:
+            if token in self._evicted_tokens:
+                self.obs.metrics.counter(
+                    "control.journal.token_replay_after_eviction", op=op
+                ).inc()
+                raise IdempotencyError(
+                    f"token {token!r} ({op}) was evicted from the idempotency "
+                    f"table (cap {self.token_table_cap}); its committed result "
+                    "can no longer be replayed safely -- raise token_table_cap "
+                    "above the in-flight retry window"
+                )
             return _TOKEN_MISS
         self.obs.metrics.counter("control.journal.token_replays", op=op).inc()
         if spec[0] == "link":
@@ -151,12 +175,22 @@ class DurableController:
         if token is None:
             return
         self._tokens[token] = spec
+        self._evicted_tokens.discard(token)
         while len(self._tokens) > self.token_table_cap:
-            self._tokens.pop(next(iter(self._tokens)))
+            evicted = next(iter(self._tokens))
+            self._tokens.pop(evicted)
+            self._evicted_tokens.add(evicted)
+            self.obs.metrics.counter("control.journal.token_evictions").inc()
 
     @property
     def known_tokens(self) -> int:
         return len(self._tokens)
+
+    @property
+    def tokens_evicted(self) -> int:
+        """Tokens dropped past :attr:`token_table_cap` -- each one is a
+        request id that can no longer be retried safely."""
+        return len(self._evicted_tokens)
 
     # ------------------------------------------------------------------ #
     # Single-record ops (the record is the commit marker)
@@ -324,6 +358,9 @@ class DurableController:
             payload["tokens"] = [
                 [tok, *spec] for tok, spec in self._tokens.items()
             ]
+            # Evicted tokens are durable too: compaction must not turn
+            # "evicted, unsafe to retry" back into "never seen".
+            payload["evicted_tokens"] = sorted(self._evicted_tokens)
             record = self.wal.append(KIND_CHECKPOINT, payload)
             self._step("checkpoint-durable")
             self.wal.compact(record.seq)
@@ -375,15 +412,17 @@ def _replay_intent(
     str,
     int,
     Dict[str, Tuple[object, ...]],
+    set,
 ]:
     """Fold the committed record suffix into the intent model.
 
     Returns ``(links, intended_circuits_per_switch, checkpoint_seq,
-    open_txn_outcome, replayed_count, tokens)``.
+    open_txn_outcome, replayed_count, tokens, evicted_tokens)``.
     """
     links: Dict[str, Tuple[int, int, int]] = {}
     intended: Dict[int, Dict[int, int]] = {}
     tokens: Dict[str, Tuple[object, ...]] = {}
+    evicted: set = set()
     checkpoint_seq = -1
     open_txn: Optional[Mapping[str, object]] = None
     last_outcome = "none"
@@ -403,6 +442,7 @@ def _replay_intent(
             links.clear()
             intended.clear()
             tokens.clear()
+            evicted.clear()
             open_txn = None
             last_outcome = "none"
             replayed = 0
@@ -413,6 +453,10 @@ def _replay_intent(
                 links[str(name)] = (int(ocs), int(n), int(s))
             for tok, *spec in record.payload.get("tokens", []):  # type: ignore[union-attr]
                 tokens[str(tok)] = tuple(spec)
+            evicted.update(
+                str(tok)
+                for tok in record.payload.get("evicted_tokens", [])  # type: ignore[union-attr]
+            )
             continue
         replayed += 1
         if record.kind == KIND_OP:
@@ -452,7 +496,10 @@ def _replay_intent(
         # Hardware the crash left half-programmed is driven back to the
         # journaled pre-state by the reconcile pass below.
         last_outcome = "rolled-back"
-    return links, intended, checkpoint_seq, last_outcome, replayed, tokens
+    # A record after the checkpoint resurrects its token's committed
+    # result, which makes the token replayable again.
+    evicted.difference_update(tokens)
+    return links, intended, checkpoint_seq, last_outcome, replayed, tokens, evicted
 
 
 def recover(
@@ -477,9 +524,9 @@ def recover(
         wal = WriteAheadLog(storage)
         tail_dropped = wal.repair_tail()
         records = wal.records(strict=True)
-        links, intended, checkpoint_seq, open_txn, replayed, tokens = _replay_intent(
-            records
-        )
+        (
+            links, intended, checkpoint_seq, open_txn, replayed, tokens, evicted,
+        ) = _replay_intent(records)
 
         switches_repaired = 0
         circuits_driven = 0
@@ -516,7 +563,9 @@ def recover(
         )
         # The token table is durable state: rebuilt from the journal so
         # a client retrying across the crash replays, never re-applies.
+        # The evicted set rides along so "unsafe to retry" survives too.
         controller._tokens = tokens
+        controller._evicted_tokens = evicted
         report = RecoveryReport(
             records_replayed=replayed,
             checkpoint_seq=checkpoint_seq,

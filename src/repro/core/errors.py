@@ -124,6 +124,14 @@ class RecoveryError(ReproError):
     """Controller crash recovery could not reach a consistent state."""
 
 
+class IdempotencyError(ReproError):
+    """An idempotency token was presented after its table entry was
+    evicted: the controller can no longer tell a retry of a committed
+    mutation from a new request, so re-executing would risk a silent
+    double-apply.  Size ``token_table_cap`` above the maximum in-flight
+    retry window instead of retrying through this error."""
+
+
 class ControllerCrash(ReproError):
     """An injected controller crash (``FaultKind.CONTROLLER_CRASH``).
 

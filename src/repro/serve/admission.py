@@ -105,11 +105,16 @@ class FairAdmission:
         """Admission verdict for one arrival: ``(admitted, reason)``.
 
         ``reason`` is ``"ok"``, ``"tenant-rate"`` (the tenant exceeded
-        its fair share), or ``"global-rate"`` (aggregate overload).  A
-        tenant-rate refusal does not consume a global token, so an
-        aggressive tenant cannot burn shared capacity by being refused.
+        its fair share), or ``"global-rate"`` (aggregate overload).
+        Refusals consume nothing: a tenant-rate refusal leaves the
+        global bucket untouched (an aggressive tenant cannot burn shared
+        capacity by being refused), and a global-rate refusal leaves the
+        tenant bucket untouched (global overload cannot burn a quiet
+        tenant's fair-share tokens on requests that were never admitted).
+        Tokens are only spent on admission, one from each bucket.
         """
-        if not self._tenant_bucket(tenant).take(now_s):
+        tenant_bucket = self._tenant_bucket(tenant)
+        if tenant_bucket.level(now_s) < 1.0:
             self.obs.metrics.counter(
                 "serve.admission.decisions", verdict="reject", reason="tenant-rate"
             ).inc()
@@ -119,6 +124,10 @@ class FairAdmission:
                 "serve.admission.decisions", verdict="reject", reason="global-rate"
             ).inc()
             return False, "global-rate"
+        # Guaranteed by the level() peek above: at the same now_s the
+        # refill is a no-op, so the tenant token is still there to take.
+        if not tenant_bucket.take(now_s):
+            raise ConfigurationError("tenant bucket drained between peek and take")
         self.obs.metrics.counter(
             "serve.admission.decisions", verdict="admit", reason="ok"
         ).inc()

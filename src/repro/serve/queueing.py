@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.errors import ConfigurationError
 from repro.serve.requests import TenantRequest
@@ -35,6 +35,26 @@ class ShedRecord:
     queue_depth: int
 
 
+@dataclass(order=True)
+class _HeapEntry:
+    """Heap node ordered by (class, arrival seq, id) only.
+
+    The request itself is excluded from comparison: two entries that tie
+    on the whole key (nothing forbids externally built requests sharing
+    seq and id) compare equal instead of falling through to
+    :class:`TenantRequest`, which defines no ordering.
+    """
+
+    priority: int
+    seq: int
+    request_id: str
+    request: TenantRequest = field(compare=False)
+
+
+def _entry_for(request: TenantRequest) -> _HeapEntry:
+    return _HeapEntry(request.priority, request.seq, request.request_id, request)
+
+
 @dataclass
 class BoundedPriorityQueue:
     """A capacity-bounded priority queue ordered by (class, arrival).
@@ -46,9 +66,7 @@ class BoundedPriorityQueue:
     """
 
     capacity: int
-    _heap: List[Tuple[int, int, str, TenantRequest]] = field(
-        init=False, default_factory=list, repr=False
-    )
+    _heap: List[_HeapEntry] = field(init=False, default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -64,12 +82,15 @@ class BoundedPriorityQueue:
 
     def push(self, request: TenantRequest, now_s: float) -> Optional[ShedRecord]:
         """Enqueue, shedding the worst entry when full."""
-        key = (request.priority, request.seq, request.request_id, request)
+        entry = _entry_for(request)
         if len(self._heap) < self.capacity:
-            heapq.heappush(self._heap, key)
+            heapq.heappush(self._heap, entry)
             return None
-        worst = max(self._heap)
-        if key >= worst:
+        worst_index = max(
+            range(len(self._heap)), key=lambda i: self._heap[i]
+        )
+        worst = self._heap[worst_index]
+        if entry >= worst:
             # The arrival is the worst candidate: shed it directly.
             return ShedRecord(
                 victim=request,
@@ -77,11 +98,11 @@ class BoundedPriorityQueue:
                 time_s=now_s,
                 queue_depth=len(self._heap),
             )
-        self._heap.remove(worst)
+        del self._heap[worst_index]
         heapq.heapify(self._heap)
-        heapq.heappush(self._heap, key)
+        heapq.heappush(self._heap, entry)
         return ShedRecord(
-            victim=worst[3],
+            victim=worst.request,
             displaced_by=request,
             time_s=now_s,
             queue_depth=len(self._heap),
@@ -91,7 +112,7 @@ class BoundedPriorityQueue:
         """Dequeue the best entry, or None when empty."""
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)[3]
+        return heapq.heappop(self._heap).request
 
     def drain(self) -> List[TenantRequest]:
         """Remove and return everything, best first (shutdown path)."""

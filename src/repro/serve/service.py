@@ -443,7 +443,9 @@ class FabricService:
         ).observe(max(0.0, (finish_s - request.arrival_s) * 1e3))
 
     def _observe_pressure(self, now_s: float) -> None:
-        occupancy = self.queue.occupancy / self.config.queue_capacity
+        # BoundedPriorityQueue.occupancy is already a fill fraction in
+        # [0, 1]; feed it to the brownout ladder undiluted.
+        occupancy = self.queue.occupancy
         breaker_open = self.breaker.state(now_s) is BreakerState.OPEN
         self.brownout.observe(occupancy, breaker_open, now_s)
 
@@ -820,6 +822,11 @@ class FabricService:
                     else:
                         server_free = self._dispatch(request, start)
                     self._observe_pressure(server_free)
+
+            # The service was occupied until server_free: deliver every
+            # fault (and recovery) that fired while it was still busy,
+            # so a clear scheduled during the final drain is not lost.
+            advance(max(now, server_free))
 
             if len(self._records) != self._offered:
                 raise ServeError(

@@ -11,7 +11,7 @@ import pytest
 
 from repro.control import CrashSchedule, DurableController, recover
 from repro.control.journal import KIND_OP
-from repro.core.errors import ControllerCrash, PortInUseError
+from repro.core.errors import ControllerCrash, IdempotencyError, PortInUseError
 from repro.core.fabric_manager import FabricManager, SimpleSwitch
 from repro.core.ids import LinkId, OcsId
 
@@ -80,6 +80,56 @@ class TestTokenReplay:
         for n in range(6):
             ctl.establish(LinkId(f"lk-{n}"), OcsId(0), n, n + 8, token=f"tok-{n}")
         assert ctl.known_tokens == 4
+
+
+class TestTokenEviction:
+    def test_replay_after_eviction_raises_loudly(self):
+        # Once a token falls off the table the controller can no longer
+        # tell a retry from a new request: re-executing would silently
+        # double-apply, so presenting an evicted token must raise.
+        ctl = DurableController(manager=build_manager(), token_table_cap=4)
+        for n in range(6):
+            ctl.establish(LinkId(f"lk-{n}"), OcsId(0), n, n + 8, token=f"tok-{n}")
+        assert ctl.known_tokens == 4
+        assert ctl.tokens_evicted == 2
+        with pytest.raises(IdempotencyError):
+            ctl.establish(LinkId("lk-0"), OcsId(0), 0, 8, token="tok-0")
+        # A retained token still replays without a new record.
+        records_before = len(op_records(ctl))
+        ctl.establish(LinkId("lk-5"), OcsId(0), 5, 13, token="tok-5")
+        assert len(op_records(ctl)) == records_before
+
+    def test_eviction_survives_checkpoint_and_recovery(self):
+        # Checkpoint compaction drops the evicted token's op record, so
+        # without durable eviction state a post-recovery retry would
+        # look brand new and re-execute.  The checkpoint carries the
+        # evicted set; the recovered controller still refuses.
+        mgr = build_manager()
+        ctl = DurableController(manager=mgr, token_table_cap=2)
+        for n in range(4):
+            ctl.establish(LinkId(f"lk-{n}"), OcsId(0), n, n + 8, token=f"tok-{n}")
+        assert ctl.tokens_evicted == 2
+        ctl.checkpoint()
+        ctl2, _ = recover(mgr, ctl.wal.storage)
+        assert ctl2.tokens_evicted == 2
+        with pytest.raises(IdempotencyError):
+            ctl2.establish(LinkId("lk-0"), OcsId(0), 0, 8, token="tok-0")
+
+    def test_uncompacted_records_resurrect_evicted_tokens(self):
+        # Without a checkpoint the evicted token's op record is still in
+        # the WAL, so recovery legitimately rebuilds its committed
+        # result -- the retry replays instead of erroring.
+        mgr = build_manager()
+        ctl = DurableController(manager=mgr, token_table_cap=2)
+        for n in range(4):
+            ctl.establish(LinkId(f"lk-{n}"), OcsId(0), n, n + 8, token=f"tok-{n}")
+        assert ctl.tokens_evicted == 2
+        ctl2, _ = recover(mgr, ctl.wal.storage)
+        assert ctl2.tokens_evicted == 0
+        records_before = len(op_records(ctl2))
+        link = ctl2.establish(LinkId("lk-0"), OcsId(0), 0, 8, token="tok-0")
+        assert str(link.link_id) == "lk-0"
+        assert len(op_records(ctl2)) == records_before
 
 
 class TestCrashMidRetry:

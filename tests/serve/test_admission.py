@@ -72,6 +72,28 @@ class TestFairAdmission:
         assert adm.admit("quiet-c", 0.0) == (True, "ok")
         assert adm.admit("quiet-d", 0.0) == (False, "global-rate")
 
+    def test_global_refusal_spares_tenant_tokens(self):
+        adm = FairAdmission(
+            # Refill overshoots the burst between probe times, so each
+            # step banks exactly one whole global token (no float dust).
+            global_rate_per_s=1_000.0, global_burst=1.0,
+            tenant_rate_per_s=0.001, tenant_burst=3.0,
+        )
+        assert adm.admit("hog", 0.0) == (True, "ok")  # drains the global bucket
+        # Sustained global overload: every refusal is global-rate and
+        # costs the quiet tenant nothing -- none of its fair-share
+        # tokens burn on requests that were never admitted.
+        assert [adm.admit("quiet", 0.0) for _ in range(10)] == [
+            (False, "global-rate")
+        ] * 10
+        # Once the global bucket refills, the quiet tenant still has its
+        # whole burst (tenant refill is negligible at 0.001/s): three
+        # straight admissions, then an honest tenant-rate refusal.
+        assert adm.admit("quiet", 0.01) == (True, "ok")
+        assert adm.admit("quiet", 0.02) == (True, "ok")
+        assert adm.admit("quiet", 0.03) == (True, "ok")
+        assert adm.admit("quiet", 0.04) == (False, "tenant-rate")
+
     def test_global_exhaustion_reason(self):
         adm = FairAdmission(
             global_rate_per_s=1.0, global_burst=1.0,

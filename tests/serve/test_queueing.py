@@ -77,6 +77,32 @@ class TestBoundedPriorityQueue:
         assert [r.seq for r in drained] == [0, 1, 2]
         assert len(q) == 0 and q.pop() is None
 
+    def test_tied_keys_never_compare_requests(self):
+        # Externally built requests can share (priority, seq,
+        # request_id) -- nothing enforces uniqueness at push time.  The
+        # heap must order on the key alone, never falling through to
+        # TenantRequest (which defines no ordering -> TypeError).
+        q = BoundedPriorityQueue(capacity=2)
+        twins = [
+            TenantRequest(
+                request_id="rq-dup",
+                tenant="t-000",
+                kind=RequestKind.TELEMETRY_QUERY,
+                arrival_s=0.0,
+                deadline_s=1.0,
+            )
+            for _ in range(3)
+        ]
+        assert q.push(twins[0], 0.0) is None
+        assert q.push(twins[1], 0.0) is None
+        shed = q.push(twins[2], 0.0)  # full + fully tied: sheds, no raise
+        assert shed is not None
+        assert shed.victim is twins[2]
+        assert shed.displaced_by is None
+        popped = [q.pop(), q.pop()]
+        assert all(p is twins[0] or p is twins[1] for p in popped)
+        assert q.pop() is None
+
     def test_capacity_validated(self):
         with pytest.raises(ConfigurationError):
             BoundedPriorityQueue(capacity=0)

@@ -153,6 +153,23 @@ class TestOverloadBehaviors:
         assert report.downstream_attempts <= cap * report.deposits
         assert report.retry_amplification <= cap
 
+    def test_queue_pressure_triggers_brownout_unpinned(self):
+        # No faults, no pinned level: sustained overload alone must push
+        # queue occupancy through the enter thresholds and engage the
+        # adaptive brownout ladder (the breaker never opens here, so any
+        # transition is occupancy-driven).
+        config = small_config(
+            queue_capacity=16,
+            global_rate_per_s=2_000.0, global_burst=500.0,
+            tenant_rate_per_s=500.0, tenant_burst=100.0,
+        )
+        requests = small_workload(rate_per_s=3_000.0).generate(600)
+        report = FabricService(config).run(requests)
+        assert report.breaker_trips == 0
+        levels = [level for _, level in report.brownout_transitions]
+        assert levels, "expected occupancy-driven brownout transitions"
+        assert max(levels) >= 1
+
     def test_pinned_brownout_serves_cached_telemetry(self):
         config = small_config(pinned_brownout=2)
         requests = ServeWorkload(
