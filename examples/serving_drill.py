@@ -17,7 +17,7 @@ and shows every overload defense firing in sequence:
 6. the commit log replays to the exact live fabric state (nothing
    silently dropped, nothing double-applied).
 
-Run: ``python examples/serving_drill.py [--seed N] [--full]``
+Run: ``python examples/serving_drill.py [--seed N] [--full] [--tenants N]``
 """
 
 import argparse
@@ -33,9 +33,13 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--full", action="store_true",
                         help="the 100k-request profile instead of the smoke one")
+    parser.add_argument("--tenants", type=int, default=None,
+                        help="tenant population override (default: pinned profile)")
     args = parser.parse_args()
 
-    result = run_serve_drill(seed=args.seed, smoke=not args.full)
+    result = run_serve_drill(
+        seed=args.seed, smoke=not args.full, num_tenants=args.tenants
+    )
     summary = result["summary"]
     report = result["report"]
 

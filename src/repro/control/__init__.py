@@ -17,25 +17,47 @@ plane for the reproduction:
   plans through the resilient transaction path;
 - :mod:`repro.control.health` -- the fleet link-health watchdog with
   BGP-style flap damping, preemptive spare steering, and quarantine
-  release after requalification.
+  release after requalification;
+- :mod:`repro.control.replication` -- the replicated control plane:
+  lease-based leader election over a quorum, monotonic epoch fencing
+  tokens, whole-suffix log shipping, and partition/skew-tolerant
+  failover accounting.
 """
 
 from repro.control.health import DampingPolicy, FleetHealthWatchdog, QuarantineAction
 from repro.control.journal import DurableController, RecoveryReport, recover
+from repro.control.replication import (
+    CommitRecord,
+    LogEntry,
+    ReplicaNode,
+    ReplicationGroup,
+    Role,
+    apply_entry,
+    log_digest,
+    serial_replay_digest,
+)
 from repro.control.reconcile import Drift, DriftKind, Reconciler
 from repro.control.wal import CrashSchedule, WalRecord, WriteAheadLog
 
 __all__ = [
+    "CommitRecord",
     "CrashSchedule",
     "DampingPolicy",
     "Drift",
     "DriftKind",
     "DurableController",
     "FleetHealthWatchdog",
+    "LogEntry",
     "QuarantineAction",
     "Reconciler",
     "RecoveryReport",
+    "ReplicaNode",
+    "ReplicationGroup",
+    "Role",
     "WalRecord",
     "WriteAheadLog",
+    "apply_entry",
+    "log_digest",
     "recover",
+    "serial_replay_digest",
 ]

@@ -299,7 +299,14 @@ class WriteAheadLog:
         dropped = len(scan.records) - len(keep)
         fresh = bytearray()
         for record in keep:
+            # Crash points while the old log is still fully intact: the
+            # rewrite is staged off to the side and swapped in at once,
+            # so a crash anywhere in here leaves the pre-compaction log.
+            if self.crash is not None:
+                self.crash.step("compact-record")
             fresh.extend(self.encode(record))
+        if self.crash is not None:
+            self.crash.step("compact-swap")
         del self.storage[:]
         self.storage.extend(fresh)
         return dropped

@@ -132,6 +132,28 @@ class IdempotencyError(ReproError):
     retry window instead of retrying through this error."""
 
 
+class ReplicationError(ReproError):
+    """Base class for replicated-control-plane failures."""
+
+
+class NotLeaderError(ReplicationError):
+    """A mutation was routed to a replica that is not the current leader
+    (or whose lease has lapsed); redirect to the leader and retry."""
+
+
+class FencingError(ReplicationError):
+    """A write carried a stale fencing token (epoch): the writer was
+    deposed after the write left it, and applying it would double-apply
+    against the new leader's history.  The write must be rejected, never
+    merged."""
+
+
+class QuorumError(ReplicationError):
+    """The replica group could not assemble a quorum (election or
+    commit): too many peers are down, partitioned away, or promised to a
+    higher epoch."""
+
+
 class ControllerCrash(ReproError):
     """An injected controller crash (``FaultKind.CONTROLLER_CRASH``).
 

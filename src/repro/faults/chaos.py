@@ -24,7 +24,12 @@ The scenarios double as cross-checks between layers:
 - :func:`controller_crash_recovery` kills the durable controller at
   every WAL offset of a multi-OCS reconfiguration and checks that
   recovery + anti-entropy reconciliation converge to byte-identical
-  state digests.
+  state digests;
+- :func:`partition_failover` runs the replicated control plane
+  (:mod:`repro.control.replication`) through a rolling crash /
+  network-partition / clock-skew storm and checks the HA invariants:
+  no committed op lost, at most one leader per epoch, and a final
+  state digest byte-identical to serial replay of the committed log.
 """
 
 from __future__ import annotations
@@ -42,7 +47,9 @@ from repro.faults.events import (
     circuit_target,
     controller_target,
     endpoint_target,
+    network_target,
     ocs_target,
+    partition_groups_param,
     schedule_digest,
     target_index,
 )
@@ -806,6 +813,191 @@ def controller_crash_recovery(
 
 
 # ---------------------------------------------------------------------- #
+# Scenario: replicated control plane under a partition/skew/crash storm
+# ---------------------------------------------------------------------- #
+
+
+def partition_failover(
+    seed: int = 0,
+    num_replicas: int = 3,
+    horizon_s: float = 60.0,
+    storm_period_s: float = 6.0,
+    submit_gap_s: float = 0.25,
+    lease_s: float = 1.0,
+    skew_rate_per_s: float = 0.01,
+    obs=None,
+) -> ChaosReport:
+    """Partition/skew/crash storm against the replicated control plane.
+
+    A :class:`~repro.control.replication.ReplicationGroup` of
+    ``num_replicas`` controllers serves a steady client stream (one
+    retarget every ``submit_gap_s``) while a rolling storm, one cycle
+    per ``storm_period_s``, (a) crashes the cycle's victim replica,
+    (b) maroons a second replica behind a network partition, and
+    (c) skews a third replica's clock -- the three new failure modes of
+    the HA control plane, all driven through one injector timeline.  A
+    background Poisson stream of additional clock-skew events adds
+    seed-dependent jitter on top of the deterministic storm.
+
+    The client mirrors the serving layer's breaker edge: when a submit
+    bounces (dead or deposed leader, lost quorum) it sweeps the
+    client-reachable live replicas for one election attempt and retries
+    once.  Goodput at each tick is the commit indicator, so the
+    timeline shows the election gaps carved by each storm cycle.
+
+    After the storm clears, the run checks the invariants the
+    replication layer exists to provide:
+
+    - ``committed_ops_lost == 0``: every client-acked commit is in the
+      surviving log, byte-for-byte (fencing kept deposed leaders out);
+    - ``digest_match == 1``: the final fabric state digest equals a
+      from-scratch serial replay of the committed log;
+    - at most one leader per epoch (the group raises internally on a
+      violation, so finishing at all certifies it; ``epochs`` counts
+      the distinct epochs the storm forced).
+    """
+    from repro.control.replication import ReplicationGroup
+    from repro.core.errors import NotLeaderError, QuorumError
+    from repro.core.fabric_manager import FabricManager, SimpleSwitch
+
+    if num_replicas < 3 or num_replicas % 2 == 0:
+        raise ConfigurationError("need an odd replica group of 3+")
+    if horizon_s <= 0 or storm_period_s <= 0 or submit_gap_s <= 0 or lease_s <= 0:
+        raise ConfigurationError("horizon, storm period, gap, lease must be > 0")
+
+    injector = FaultInjector(seed=seed, obs=obs)
+
+    def build() -> FabricManager:
+        mgr = FabricManager(obs=obs)
+        mgr.add_switch(OcsId(0), SimpleSwitch(16))
+        return mgr
+
+    group = ReplicationGroup(
+        num_replicas=num_replicas,
+        manager_factory=build,
+        lease_s=lease_s,
+        obs=obs,
+    )
+    group.elect(0, 0.0)
+    group.attach_faults(injector)
+
+    # The deterministic storm: victim/marooned/skewed roles rotate each
+    # cycle so every replica sees every failure mode.
+    storm_cycles = 0
+    t = storm_period_s / 2.0
+    while t + storm_period_s * 0.9 < horizon_s:
+        cycle = storm_cycles
+        victim = cycle % num_replicas
+        marooned = (cycle + 1) % num_replicas
+        skewed = (cycle + 2) % num_replicas
+        injector.schedule(
+            t, FaultKind.CONTROLLER_CRASH, controller_target(victim),
+            severity=1.0, clear_after_s=storm_period_s * 0.4,
+        )
+        rest = sorted(set(range(num_replicas)) - {marooned})
+        injector.schedule(
+            t + storm_period_s * 0.25, FaultKind.NETWORK_PARTITION,
+            network_target("control"),
+            params=(partition_groups_param([[marooned], rest]),),
+            clear_after_s=storm_period_s * 0.3,
+        )
+        injector.schedule(
+            t + storm_period_s * 0.5, FaultKind.CLOCK_SKEW,
+            controller_target(skewed),
+            severity=2.0 if cycle % 2 == 0 else -2.0,
+            clear_after_s=storm_period_s * 0.4,
+        )
+        storm_cycles += 1
+        t += storm_period_s
+    # Seed-dependent background skew on top of the deterministic storm.
+    extra_skews = injector.schedule_poisson(
+        FaultKind.CLOCK_SKEW,
+        [controller_target(i) for i in range(num_replicas)],
+        skew_rate_per_s,
+        horizon_s,
+        severity=1.5,
+        clear_after_s=2.0 * lease_s,
+    )
+
+    def submit_with_failover(payload: Dict[str, object], now_s: float,
+                             token: str) -> bool:
+        # Mirrors FabricService._gate_attempt: a bounced submit earns one
+        # election sweep over the client-reachable live replicas, then
+        # one retry against the new leader.
+        for _ in range(2):
+            try:
+                group.submit(payload, now_s, token=token)
+                return True
+            except (NotLeaderError, QuorumError):
+                pass
+            elected = False
+            for i in range(num_replicas):
+                node = group.nodes[i]
+                if not node.up or not group.client_reachable(i):
+                    continue
+                try:
+                    group.elect(i, now_s)
+                    elected = True
+                    break
+                except QuorumError:
+                    continue
+            if not elected:
+                return False
+        return False
+
+    offered = 0
+    committed = 0
+    timeline: List[Tuple[float, float]] = [(0.0, 1.0)]
+    now = 0.0
+    k = 0
+    while now + submit_gap_s <= horizon_s:
+        now = round(now + submit_gap_s, 9)
+        injector.advance_to(now)
+        payload = {
+            "op": "retarget",
+            "changes": [[0, k % 8, 8 + ((k // 8 + k) % 8)]],
+        }
+        offered += 1
+        ok = submit_with_failover(payload, now, token=f"op-{k}")
+        committed += 1 if ok else 0
+        timeline.append((now, 1.0 if ok else 0.0))
+        k += 1
+
+    # Let the last clears land, settle with a final barrier commit, then
+    # close any open outage window before accounting.
+    settle_s = horizon_s + storm_period_s
+    injector.advance_to(settle_s)
+    settled = submit_with_failover({"op": "noop"}, settle_s, token="settle")
+    group.finalize_outage(settle_s)
+    timeline.append((settle_s, 1.0 if settled else 0.0))
+
+    metrics = {
+        "replicas": float(num_replicas),
+        "storm_cycles": float(storm_cycles),
+        "extra_skews": float(extra_skews),
+        "ops_offered": float(offered),
+        "ops_committed": float(committed),
+        "goodput": committed / offered if offered else 1.0,
+        "elections": float(group.elections),
+        "election_failures": float(group.election_failures),
+        "fencing_rejections": float(group.fencing_rejections),
+        "lease_refusals": float(group.lease_refusals),
+        "epochs": float(len(group.epoch_leaders())),
+        "committed_ops_lost": float(group.committed_ops_lost()),
+        "digest_match": float(group.state_digest() == group.replay_digest()),
+        "settled": float(settled),
+        "availability": group.availability(settle_s),
+    }
+    return ChaosReport(
+        scenario="partition_failover",
+        seed=seed,
+        timeline=tuple(timeline),
+        metrics=metrics,
+        schedule=injector.delivered(),
+    )
+
+
+# ---------------------------------------------------------------------- #
 # Registry
 # ---------------------------------------------------------------------- #
 
@@ -817,6 +1009,7 @@ SCENARIOS: Dict[str, Scenario] = {
     "rolling_transceiver_flaps": rolling_transceiver_flaps,
     "repair_race": repair_race,
     "controller_crash_recovery": controller_crash_recovery,
+    "partition_failover": partition_failover,
 }
 
 #: Fast parameterizations for CI smoke runs (< 30 s altogether).
@@ -826,6 +1019,7 @@ SMOKE_KWARGS: Dict[str, Dict[str, float]] = {
     "rolling_transceiver_flaps": {"num_links": 4, "horizon_s": 300.0},
     "repair_race": {"num_circuits": 4, "horizon_s": 300.0},
     "controller_crash_recovery": {"num_ocses": 2, "links_per_ocs": 4},
+    "partition_failover": {"horizon_s": 24.0},
 }
 
 

@@ -47,6 +47,13 @@ class FaultKind(enum.Enum):
     RPC_TIMEOUT = "rpc-timeout"
     #: The fabric-manager controller process dies (volatile state lost).
     CONTROLLER_CRASH = "controller-crash"
+    #: The control network partitions: either one controller replica is
+    #: isolated (``controller-<i>`` target) or the replica set splits
+    #: into groups (``net-<name>`` target with a ``groups`` param).
+    NETWORK_PARTITION = "network-partition"
+    #: A controller replica's local clock skews from true time by
+    #: ``skew_s`` seconds (lease judgments drift; safety must not).
+    CLOCK_SKEW = "clock-skew"
 
 
 ParamValue = Union[int, float, str, bool]
@@ -151,6 +158,46 @@ def controller_target(index: int = 0) -> str:
     return f"controller-{index}"
 
 
+def network_target(name: str = "control") -> str:
+    """Target id for a network-wide event (group partitions)."""
+    return f"net-{name}"
+
+
+def partition_groups_param(groups: Sequence[Sequence[int]]) -> Tuple[str, str]:
+    """The ``("groups", "0,1|2,3")`` param encoding a group partition.
+
+    Each group is a set of controller indices that can still reach each
+    other; nodes in different groups cannot communicate.  Groups are
+    canonicalized (sorted within and across) so equal partitions encode
+    to equal params.
+    """
+    if not groups:
+        raise FaultInjectionError("a partition needs at least one group")
+    canon = sorted(tuple(sorted(set(int(i) for i in g))) for g in groups)
+    seen: set = set()
+    for group in canon:
+        if not group:
+            raise FaultInjectionError("partition groups must be non-empty")
+        if seen & set(group):
+            raise FaultInjectionError("partition groups must be disjoint")
+        seen.update(group)
+    return "groups", "|".join(",".join(str(i) for i in g) for g in canon)
+
+
+def parse_partition_groups(encoded: str) -> Tuple[Tuple[int, ...], ...]:
+    """Decode a ``groups`` param back into index tuples."""
+    try:
+        return tuple(
+            tuple(int(i) for i in part.split(","))
+            for part in encoded.split("|")
+            if part
+        )
+    except ValueError:
+        raise FaultInjectionError(
+            f"malformed partition groups {encoded!r}"
+        ) from None
+
+
 def target_index(target: str) -> int:
     """The integer index of a top-level target (``ocs-3`` -> 3)."""
     head = target.split("/", 1)[0]
@@ -208,6 +255,8 @@ DEFAULT_CLEAR_S: Mapping[FaultKind, float] = {
     FaultKind.HOST_CRASH: 3600.0,
     FaultKind.CUBE_POWER_LOSS: 4 * 3600.0,
     FaultKind.CONTROLLER_CRASH: 60.0,
+    FaultKind.NETWORK_PARTITION: 30.0,
+    FaultKind.CLOCK_SKEW: 300.0,
 }
 
 

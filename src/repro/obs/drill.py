@@ -50,6 +50,7 @@ PHASES: Tuple[str, ...] = (
     "scheduler",
     "sweep",
     "serve",
+    "failover",
 )
 
 
@@ -273,6 +274,32 @@ def run_fabric_drill(
         notes["serve_replay_equal"] = float(
             serve_summary["replay_digest"] == serve_summary["state_digest"]
         )
+
+    # -- failover: the replicated-controller partition storm.  Runs on
+    # an isolated bundle (its storm latencies would otherwise pollute
+    # the shared serve.latency_ms percentile), then republishes only the
+    # failover gauges the NOC SLO gate reads.
+    with obs.tracer.span("drill.failover"):
+        from repro.serve.drill import run_failover_drill
+
+        failover_obs = Observability.sim()
+        failover_out = run_failover_drill(
+            seed=seed, smoke=True, obs=failover_obs,
+            num_primaries=1_200 if smoke else 2_400,
+        )
+        for gauge in (
+            "serve.failover.p99_s",
+            "serve.failover.committed_ops_lost",
+            "serve.failover.unavailability",
+        ):
+            obs.metrics.gauge(gauge).set(failover_obs.metrics.value(gauge))
+        failover_summary = failover_out["summary"]
+        notes["failover_failovers"] = float(failover_summary["failovers"])
+        notes["failover_elections"] = float(failover_summary["elections"])
+        notes["failover_committed_ops_lost"] = float(
+            failover_summary["committed_ops_lost"]
+        )
+        notes["failover_availability"] = float(failover_summary["availability"])
 
     return DrillReport(
         seed=seed,

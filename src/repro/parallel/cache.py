@@ -27,10 +27,9 @@ from __future__ import annotations
 import json
 import os
 import pickle
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.obs import NULL_OBS
@@ -74,11 +73,22 @@ class ResultCache:
         obs: optional :class:`~repro.obs.Observability` bundle; lookups
             and stores land on ``sweep.cache.*`` counters labeled by the
             surface tag.
+        now_fn: optional clock for manifest ``created_s`` stamps.  The
+            default stamps each record with its store ordinal, so two
+            runs that store the same results write byte-identical
+            manifests; pass ``time.time`` to record wall-clock
+            provenance instead (at the cost of that determinism).
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None, obs=None) -> None:
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        obs=None,
+        now_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
         self.root = Path(root) if root is not None else None
         self.obs = obs if obs is not None else NULL_OBS
+        self._now_fn = now_fn
         self.stats = CacheStats()
         self._memory: Dict[str, bytes] = {}
         self._manifest: List[Dict[str, object]] = []
@@ -142,7 +152,13 @@ class ResultCache:
             self._memory[key] = blob
             self._manifest.append(record)
         else:
-            record["created_s"] = round(time.time(), 3)
+            # Deterministic by default: the stamp is the store ordinal,
+            # not wall-clock, so same stores => same manifest bytes.
+            record["created_s"] = (
+                float(len(self._manifest))
+                if self._now_fn is None
+                else round(self._now_fn(), 3)
+            )
             path = self._object_path(key)
             tmp = path.with_suffix(".tmp")
             tmp.write_bytes(blob)

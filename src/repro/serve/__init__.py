@@ -8,13 +8,21 @@ Entry points:
 - :class:`~repro.serve.workload.ServeWorkload` -- seeded open-loop
   tenant request streams;
 - :func:`~repro.serve.drill.run_serve_drill` -- the overload-burst
-  drill CI and the NOC report run.
+  drill CI and the NOC report run;
+- :func:`~repro.serve.drill.run_failover_drill` -- the replicated
+  control plane (``num_controller_replicas > 1``) riding out a rolling
+  crash / partition / clock-skew storm via lease-based failover.
 """
 
 from repro.serve.admission import FairAdmission, TokenBucket
 from repro.serve.breaker import BreakerState, CircuitBreaker
 from repro.serve.brownout import BrownoutController
-from repro.serve.drill import run_serve_drill
+from repro.serve.drill import (
+    build_failover_timeline,
+    failover_slos,
+    run_failover_drill,
+    run_serve_drill,
+)
 from repro.serve.queueing import BoundedPriorityQueue, ShedRecord
 from repro.serve.requests import (
     ADMITTED_OUTCOMES,
@@ -54,8 +62,11 @@ __all__ = [
     "ShedRecord",
     "TenantRequest",
     "TokenBucket",
+    "build_failover_timeline",
     "build_serve_manager",
+    "failover_slos",
     "outcomes_digest",
     "replay_committed",
+    "run_failover_drill",
     "run_serve_drill",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.errors import ConfigurationError
 from repro.obs import NULL_OBS, Observability
@@ -40,6 +40,10 @@ class CircuitBreaker:
     failure_threshold: int = 5
     cooldown_s: float = 1.0
     obs: Optional[Observability] = field(default=None, repr=False)
+    #: Invoked with ``now_s`` on every open edge.  The replicated serve
+    #: layer hangs leader failover here: instead of cooling down against
+    #: a dead primary, trip -> elect a standby -> :meth:`reset`.
+    on_trip: Optional[Callable[[float], None]] = field(default=None, repr=False)
     _state: BreakerState = field(init=False, default=BreakerState.CLOSED)
     _consecutive_failures: int = field(init=False, default=0)
     _open_until_s: float = field(init=False, default=0.0)
@@ -106,6 +110,17 @@ class CircuitBreaker:
         self._probe_in_flight = False
         self._trips += 1
         self._transition(BreakerState.OPEN)
+        if self.on_trip is not None:
+            self.on_trip(now_s)
+
+    def reset(self) -> None:
+        """Force-close after the failure cause was repaired out-of-band
+        (e.g. a leader failover replaced the dead downstream): pending
+        cooldown and failure counts are discarded."""
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+        self._open_until_s = 0.0
+        self._transition(BreakerState.CLOSED)
 
     @property
     def trips(self) -> int:

@@ -21,7 +21,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.errors import ServeError
-from repro.faults.events import FaultKind, controller_target
+from repro.faults.events import (
+    FaultKind,
+    controller_target,
+    network_target,
+    partition_groups_param,
+)
 from repro.faults.injector import FaultInjector
 from repro.obs import NULL_OBS, Observability
 from repro.serve.requests import Outcome
@@ -77,18 +82,26 @@ def run_serve_drill(
     obs: Optional[Observability] = None,
     pinned_brownout: Optional[int] = None,
     num_primaries: Optional[int] = None,
+    num_tenants: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run the overload drill; returns the JSON-ready result dict.
 
     ``pinned_brownout`` freezes the brownout ladder (perf comparisons);
     leave ``None`` for the adaptive drill.  ``num_primaries`` overrides
     the profile's stream length (the NOC drill runs a short one).
+    ``num_tenants`` scales the tenant population toward the ROADMAP's
+    thousands-of-tenants target; ``None`` keeps the pinned profile.
     """
     if obs is None:
         obs = NULL_OBS
     if num_primaries is None:
         num_primaries = 1_500 if smoke else 100_000
-    config = ServeConfig(seed=seed, pinned_brownout=pinned_brownout)
+    if num_tenants is None:
+        config = ServeConfig(seed=seed, pinned_brownout=pinned_brownout)
+    else:
+        config = ServeConfig(
+            seed=seed, pinned_brownout=pinned_brownout, num_tenants=num_tenants
+        )
     workload = ServeWorkload(seed=seed, rate_per_s=1_200.0, num_tenants=config.num_tenants)
     with obs.tracer.span("serve.drill", smoke=smoke, seed=seed):
         requests = workload.generate(num_primaries)
@@ -111,6 +124,133 @@ def run_serve_drill(
     summary["horizon_s"] = round(horizon_s, 6)
     summary["seed"] = seed
     summary["smoke"] = smoke
+    return {
+        "summary": summary,
+        "report": report,
+    }
+
+
+def build_failover_timeline(
+    injector: FaultInjector, horizon_s: float, num_replicas: int = 3
+) -> None:
+    """A rolling partition storm over the replica group.
+
+    Each ~1.2 s cycle kills the replica most recently likely to lead,
+    splits the network so a different replica is marooned with a
+    minority, and skews a third replica's clock -- the triple the
+    fencing/lease machinery exists to survive.  All deterministic.
+    """
+    period_s = 1.2
+    cycle = 0
+    t = 0.2
+    while t + 0.5 < horizon_s:
+        victim = cycle % num_replicas
+        marooned = (cycle + 1) % num_replicas
+        skewed = (cycle + 2) % num_replicas
+        injector.schedule(
+            t,
+            FaultKind.CONTROLLER_CRASH,
+            controller_target(victim),
+            clear_after_s=0.5,
+        )
+        rest = [i for i in range(num_replicas) if i != marooned]
+        injector.schedule(
+            t + 0.3,
+            FaultKind.NETWORK_PARTITION,
+            network_target(),
+            params=[partition_groups_param([[marooned], rest])],
+            clear_after_s=0.4,
+        )
+        injector.schedule(
+            t + 0.5,
+            FaultKind.CLOCK_SKEW,
+            controller_target(skewed),
+            severity=2.0 if cycle % 2 == 0 else -2.0,
+            clear_after_s=0.6,
+        )
+        if cycle % 2 == 1:
+            injector.schedule(
+                t + 0.7,
+                FaultKind.RPC_TIMEOUT,
+                controller_target(),
+                severity=4.0,
+                clear_after_s=0.2,
+            )
+        t += period_s
+        cycle += 1
+
+
+def run_failover_drill(
+    seed: int = 0,
+    smoke: bool = True,
+    obs: Optional[Observability] = None,
+    num_primaries: Optional[int] = None,
+    num_tenants: Optional[int] = None,
+    num_replicas: int = 3,
+) -> Dict[str, object]:
+    """The partition-storm failover drill over a replicated controller.
+
+    Same workload shape as the overload drill, but the fault timeline is
+    a rolling crash/partition/skew storm against a ``num_replicas``
+    controller group, and the acceptance bar is the HA story: the
+    serving layer keeps admitting through leader handoffs, no
+    client-acknowledged commit is ever lost, and the surviving leader's
+    state equals a serial replay byte-for-byte.
+    """
+    if obs is None:
+        obs = NULL_OBS
+    if num_primaries is None:
+        num_primaries = 1_500 if smoke else 100_000
+    config = ServeConfig(
+        seed=seed,
+        num_controller_replicas=num_replicas,
+        replica_lease_s=0.15,
+        **({} if num_tenants is None else {"num_tenants": num_tenants}),
+    )
+    workload = ServeWorkload(
+        seed=seed, rate_per_s=1_200.0, num_tenants=config.num_tenants
+    )
+    with obs.tracer.span("serve.failover_drill", smoke=smoke, seed=seed):
+        requests = workload.generate(num_primaries)
+        horizon_s = requests[-1].arrival_s
+        injector = FaultInjector(seed=seed, obs=obs)
+        build_failover_timeline(injector, horizon_s, num_replicas)
+        service = FabricService(config, obs=obs)
+        report = service.run(requests, faults=injector)
+
+        replay_digest = replay_committed(config, report.commit_log)
+        if replay_digest != report.state_digest:
+            raise ServeError(
+                "replay divergence: live state "
+                f"{report.state_digest[:12]} != replayed {replay_digest[:12]}"
+            )
+        group = service.replication
+        assert group is not None
+        if group.state_digest() != group.replay_digest():
+            raise ServeError("replica log replay diverged from leader state")
+        if report.committed_ops_lost:
+            raise ServeError(
+                f"{report.committed_ops_lost} client-acked commits lost"
+            )
+
+    summary = report.summary()
+    summary["replay_digest"] = replay_digest
+    summary["offered_rate_per_s"] = round(report.offered / horizon_s, 3)
+    summary["horizon_s"] = round(horizon_s, 6)
+    summary["seed"] = seed
+    summary["smoke"] = smoke
+    summary["num_replicas"] = num_replicas
+    unavailability = report.failover_unavailable_s / horizon_s
+    summary["failover_unavailability"] = round(unavailability, 6)
+    summary["availability"] = round(1.0 - unavailability, 6)
+    # Publish the NOC-facing gauges on the shared registry.
+    obs.metrics.gauge("serve.failover.committed_ops_lost").set(
+        float(report.committed_ops_lost)
+    )
+    obs.metrics.gauge("serve.failover.unavailability").set(unavailability)
+    obs.metrics.gauge("serve.failover.p99_s").set(
+        report.failover_percentile_s(0.99)
+    )
     return {
         "summary": summary,
         "report": report,
@@ -155,10 +295,23 @@ def drill_slos(summary: Dict[str, object]) -> Dict[str, float]:
     }
 
 
+def failover_slos(summary: Dict[str, object]) -> Dict[str, float]:
+    """The failover-drill SLOs (``check_slos`` bounds are upper bounds,
+    so availability is gated as unavailability)."""
+    return {
+        "failover_p99_s": float(summary["failover_p99_s"]),
+        "committed_ops_lost": float(summary["committed_ops_lost"]),
+        "failover_unavailability": float(summary["failover_unavailability"]),
+    }
+
+
 __all__ = [
     "build_fault_timeline",
+    "build_failover_timeline",
     "run_serve_drill",
+    "run_failover_drill",
     "report_jsonl_lines",
     "drill_slos",
+    "failover_slos",
     "Outcome",
 ]

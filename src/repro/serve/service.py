@@ -54,7 +54,13 @@ import numpy as np
 
 from repro.control import journal
 from repro.control.journal import DurableController
-from repro.core.errors import ConfigurationError, ServeError
+from repro.control.replication import ReplicationGroup
+from repro.core.errors import (
+    ConfigurationError,
+    QuorumError,
+    ReplicationError,
+    ServeError,
+)
 from repro.core.fabric_manager import FabricManager, SimpleSwitch
 from repro.core.ids import JobId, LinkId, OcsId
 from repro.faults.events import FaultKind
@@ -134,6 +140,13 @@ class ServeConfig:
     maintenance_interval_s: float = 5.0
     telemetry_ttl_s: float = 0.5
 
+    # Replicated control plane.  1 = the PR-6 single DurableController
+    # (byte-identical behavior); >= 3 routes every mutation through a
+    # lease-held, epoch-fenced ReplicationGroup and turns controller
+    # loss into leader failover instead of refusal.
+    num_controller_replicas: int = 1
+    replica_lease_s: float = 2.0
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -159,6 +172,15 @@ class ServeConfig:
             or self.tenant_burst < 1
         ):
             raise ConfigurationError("admission rates and bursts must be positive")
+        if self.num_controller_replicas < 1:
+            raise ConfigurationError("need at least one controller replica")
+        if self.num_controller_replicas > 1 and self.num_controller_replicas % 2 == 0:
+            raise ConfigurationError(
+                "replica count must be odd (an even group tolerates no more "
+                "failures than the next odd size down, but splits worse)"
+            )
+        if self.replica_lease_s <= 0:
+            raise ConfigurationError("replica lease must be positive")
         for name in (
             "telemetry_fresh_ms", "telemetry_cached_ms", "traffic_update_ms",
             "reconfigure_ms", "slice_alloc_ms", "slice_release_ms", "noop_ms",
@@ -256,6 +278,14 @@ class ServeReport:
     state_digest: str
     faults_digest: str
 
+    # Replicated-control-plane accounting (all zero in single mode).
+    failovers: int = 0
+    elections: int = 0
+    fencing_rejections: int = 0
+    committed_ops_lost: int = 0
+    failover_durations_s: Tuple[float, ...] = ()
+    failover_unavailable_s: float = 0.0
+
     def count(self, outcome: Outcome) -> int:
         return sum(1 for r in self.records if r.outcome is outcome)
 
@@ -282,8 +312,29 @@ class ServeReport:
     def outcomes_digest(self) -> str:
         return outcomes_digest(self.records)
 
+    def failover_percentile_s(self, q: float) -> float:
+        durations = sorted(self.failover_durations_s)
+        if not durations:
+            return 0.0
+        return durations[min(len(durations) - 1, int(math.ceil(q * len(durations))) - 1)]
+
     def summary(self) -> Dict[str, object]:
         """Flat, JSON-ready roll-up (what the NOC / CI gate consumes)."""
+        out = self._base_summary()
+        if self.config.num_controller_replicas > 1:
+            out.update(
+                {
+                    "failovers": self.failovers,
+                    "elections": self.elections,
+                    "fencing_rejections": self.fencing_rejections,
+                    "committed_ops_lost": self.committed_ops_lost,
+                    "failover_p99_s": round(self.failover_percentile_s(0.99), 6),
+                    "failover_unavailable_s": round(self.failover_unavailable_s, 6),
+                }
+            )
+        return out
+
+    def _base_summary(self) -> Dict[str, object]:
         return {
             "offered": self.offered,
             "ok": self.count(Outcome.OK),
@@ -324,8 +375,24 @@ class FabricService:
     ) -> None:
         self.config = config
         self.obs = obs if obs is not None else NULL_OBS
-        self.manager = build_serve_manager(config, obs=self.obs)
-        self.controller = DurableController(manager=self.manager, obs=self.obs)
+        self.replication: Optional[ReplicationGroup] = None
+        self.controller: Optional[DurableController] = None
+        if config.num_controller_replicas > 1:
+            # Each replica owns a full provisioned fabric image; the
+            # leader's is the one reads and port scans see.
+            self.replication = ReplicationGroup(
+                num_replicas=config.num_controller_replicas,
+                manager_factory=lambda: build_serve_manager(config),
+                lease_s=config.replica_lease_s,
+                obs=self.obs,
+            )
+            self.replication.elect(0, 0.0)
+            self._solo_manager: Optional[FabricManager] = None
+        else:
+            self._solo_manager = build_serve_manager(config, obs=self.obs)
+            self.controller = DurableController(
+                manager=self._solo_manager, obs=self.obs
+            )
         self.admission = FairAdmission(
             global_rate_per_s=config.global_rate_per_s,
             global_burst=config.global_burst,
@@ -379,16 +446,36 @@ class FabricService:
         self._cache_misses = 0
         self._telemetry_cache: Optional[Tuple[str, float]] = None
         self._offered = 0
+        self._sim_now = 0.0
+        self._failovers = 0
+        if self.replication is not None:
+            # Open edge of the breaker = leader is gone: elect a standby
+            # and re-close, instead of cooling down against a dead primary.
+            self.breaker.on_trip = self._on_breaker_trip
+
+    @property
+    def manager(self) -> FabricManager:
+        """The authoritative fabric view: the replication leader's state
+        machine when replicated, the solo manager otherwise."""
+        if self.replication is not None:
+            return self.replication.live_manager()
+        assert self._solo_manager is not None
+        return self._solo_manager
 
     # ------------------------------------------------------------------ #
     # Fault wiring
     # ------------------------------------------------------------------ #
 
     def attach_faults(self, injector: FaultInjector) -> None:
-        injector.subscribe(FaultKind.CONTROLLER_CRASH, self._on_controller_event)
+        if self.replication is not None:
+            # Crash / partition / skew semantics live with the group.
+            self.replication.attach_faults(injector)
+        else:
+            injector.subscribe(FaultKind.CONTROLLER_CRASH, self._on_controller_event)
         injector.subscribe(FaultKind.RPC_TIMEOUT, self._on_rpc_timeout_event)
 
     def _on_controller_event(self, event) -> None:
+        assert self.controller is not None  # single-mode only
         if event.recovery:
             storage = self.controller.wal.storage
             self.controller, _report = journal.recover(
@@ -454,15 +541,78 @@ class FabricService:
     # every controller-touching path)
     # ------------------------------------------------------------------ #
 
-    def _attempt_failure(self) -> Optional[str]:
+    def _attempt_failure(self, t: float) -> Optional[str]:
         """Injected-fault view of one RPC attempt; consumes one pending
-        timeout when the burst is active."""
+        timeout when the burst is active.
+
+        In replicated mode a dead or unreachable leader is not a hard
+        failure: the attempt first tries to fail over to a standby, and
+        only reports ``controller-down`` when no electable replica is
+        reachable (no quorum anywhere the client can see)."""
+        if self.replication is not None:
+            if not self.replication.leader_serviceable():
+                if not self._try_failover(t):
+                    return "controller-down"
+            if self._pending_rpc_timeouts > 0:
+                self._pending_rpc_timeouts -= 1
+                return "rpc-timeout"
+            return None
         if self._controller_down:
             return "controller-down"
         if self._pending_rpc_timeouts > 0:
             self._pending_rpc_timeouts -= 1
             return "rpc-timeout"
         return None
+
+    def _try_failover(self, t: float) -> bool:
+        """Elect the first client-reachable replica; True on success."""
+        assert self.replication is not None
+        if self.replication.leader_serviceable():
+            return True
+        self.replication.note_outage(t)
+        for index in range(self.replication.num_replicas):
+            node = self.replication.nodes[index]
+            if not node.up or not self.replication.client_reachable(index):
+                continue
+            try:
+                self.replication.elect(index, t)
+            except QuorumError:
+                continue
+            self._failovers += 1
+            self.obs.metrics.counter("serve.failovers").inc()
+            return True
+        return False
+
+    def _gate_attempt(self, t: float) -> bool:
+        """Breaker gate with failover redirection on the open edge.
+
+        A closed (or probing half-open) breaker admits the attempt.  An
+        open breaker normally fast-fails -- but in replicated mode, if
+        the reason it opened is a dead/unreachable leader, electing a
+        standby repairs the cause, so the gate retries the election and
+        re-closes on success instead of refusing work for a cooldown.
+        """
+        if self.breaker.allow(t):
+            return True
+        if (
+            self.replication is not None
+            and not self.replication.leader_serviceable()
+            and self._try_failover(t)
+        ):
+            self.breaker.reset()
+            return True
+        return False
+
+    def _on_breaker_trip(self, now_s: float) -> None:
+        if self.replication is None or self.replication.leader_serviceable():
+            # Genuine downstream flakiness (e.g. an RPC-timeout burst
+            # against a healthy leader): let the breaker cool down.
+            return
+        if self._try_failover(now_s):
+            # The failure cause (a dead leader) was repaired by the
+            # election: keep admitting instead of fast-failing through
+            # the cooldown.
+            self.breaker.reset()
 
     def _run_attempts(
         self, t: float, deadline_s: float, work_ms: float, apply_fn
@@ -479,18 +629,25 @@ class FabricService:
         while True:
             if t + work_ms / 1e3 > deadline_s:
                 return Outcome.TIMEOUT, t, attempts, detail or "deadline"
-            if not self.breaker.allow(t):
+            if not self._gate_attempt(t):
                 self._breaker_fast_fails += 1
                 self.obs.metrics.counter("serve.breaker.fast_fails").inc()
                 return Outcome.ERROR, t, attempts, "breaker-open"
             attempts += 1
             self._downstream_attempts += 1
             self.obs.metrics.counter("serve.attempts").inc()
-            failure = self._attempt_failure()
+            failure = self._attempt_failure(t)
             if failure is None:
-                apply_fn()
-                self.breaker.record_success(t)
-                return Outcome.OK, t + work_ms / 1e3, attempts, detail
+                self._sim_now = t
+                try:
+                    apply_fn()
+                except ReplicationError:
+                    # The commit could not reach quorum (partition mid-
+                    # attempt): a retryable failure, not a bug.
+                    failure = "no-quorum"
+                else:
+                    self.breaker.record_success(t)
+                    return Outcome.OK, t + work_ms / 1e3, attempts, detail
             detail = failure
             self.breaker.record_failure(t)
             t += self.config.rpc_timeout_ms / 1e3
@@ -514,6 +671,17 @@ class FabricService:
     def _apply_retarget(
         self, changes: Dict[Tuple[OcsId, int], int], token: str
     ) -> None:
+        if self.replication is not None:
+            payload = {
+                "op": "retarget",
+                "changes": sorted(
+                    [ocs.index, north, south]
+                    for (ocs, north), south in changes.items()
+                ),
+            }
+            self.replication.submit(payload, self._sim_now, token=token)
+            return
+        assert self.controller is not None
         targets: Dict[OcsId, object] = {}
         for (ocs, north), south in changes.items():
             if ocs not in targets:
@@ -572,13 +740,27 @@ class FabricService:
         self.budget.deposit()
 
         def apply() -> None:
-            self.controller.establish(
-                LinkId(f"sl-{request.request_id}"),
-                self.config.slice_ocs,
-                port,
-                port,
-                token=request.request_id,
-            )
+            if self.replication is not None:
+                self.replication.submit(
+                    {
+                        "op": "establish",
+                        "link": f"sl-{request.request_id}",
+                        "ocs": self.config.slice_ocs.index,
+                        "north": port,
+                        "south": port,
+                    },
+                    self._sim_now,
+                    token=request.request_id,
+                )
+            else:
+                assert self.controller is not None
+                self.controller.establish(
+                    LinkId(f"sl-{request.request_id}"),
+                    self.config.slice_ocs,
+                    port,
+                    port,
+                    token=request.request_id,
+                )
             self._allocs[request.request_id] = (job, port)
             self._commit_log.append(
                 CommitEntry("slice-alloc", request.request_id, (port,))
@@ -606,9 +788,17 @@ class FabricService:
         self.budget.deposit()
 
         def apply() -> None:
-            self.controller.teardown(
-                LinkId(f"sl-{alloc_id}"), token=request.request_id
-            )
+            if self.replication is not None:
+                self.replication.submit(
+                    {"op": "teardown", "link": f"sl-{alloc_id}"},
+                    self._sim_now,
+                    token=request.request_id,
+                )
+            else:
+                assert self.controller is not None
+                self.controller.teardown(
+                    LinkId(f"sl-{alloc_id}"), token=request.request_id
+                )
             self.allocator.release(job)
             del self._allocs[alloc_id]
             self._commit_log.append(
@@ -676,7 +866,7 @@ class FabricService:
             members = live
             if not members:
                 return t
-            if not self.breaker.allow(t):
+            if not self._gate_attempt(t):
                 self._breaker_fast_fails += 1
                 self.obs.metrics.counter("serve.breaker.fast_fails").inc()
                 for m in members:
@@ -688,30 +878,37 @@ class FabricService:
             attempts += 1
             self._downstream_attempts += 1
             self.obs.metrics.counter("serve.attempts").inc()
-            failure = self._attempt_failure()
+            failure = self._attempt_failure(t)
             if failure is None:
+                self._sim_now = t
                 changes: Dict[Tuple[OcsId, int], int] = {}
                 for m in members:  # arrival order: last writer wins
                     ocs, north, south = self._retarget_target(m)
                     changes[(ocs, north)] = south
-                self._apply_retarget(changes, token=token)
-                for m in members:
-                    ocs, north, south = self._retarget_target(m)
-                    self._commit_log.append(
-                        CommitEntry("retarget", m.request_id, (ocs.index, north, south))
+                try:
+                    self._apply_retarget(changes, token=token)
+                except ReplicationError:
+                    failure = "no-quorum"
+                else:
+                    for m in members:
+                        ocs, north, south = self._retarget_target(m)
+                        self._commit_log.append(
+                            CommitEntry(
+                                "retarget", m.request_id, (ocs.index, north, south)
+                            )
+                        )
+                    self.breaker.record_success(t)
+                    t_end = t + flush_s
+                    for m in members:
+                        self._record(
+                            m, Outcome.OK, t_end, attempts=attempts, detail="batched"
+                        )
+                    self._batches_flushed += 1
+                    self.obs.metrics.counter("serve.batches.flushed").inc()
+                    self.obs.metrics.histogram("serve.batch.size").observe(
+                        float(len(members))
                     )
-                self.breaker.record_success(t)
-                t_end = t + flush_s
-                for m in members:
-                    self._record(
-                        m, Outcome.OK, t_end, attempts=attempts, detail="batched"
-                    )
-                self._batches_flushed += 1
-                self.obs.metrics.counter("serve.batches.flushed").inc()
-                self.obs.metrics.histogram("serve.batch.size").observe(
-                    float(len(members))
-                )
-                return t_end
+                    return t_end
             self.breaker.record_failure(t)
             t += self.config.rpc_timeout_ms / 1e3
             if attempts >= self.budget.max_attempts:
@@ -799,10 +996,26 @@ class FabricService:
                     server_free = self._flush_batch(start)
                 elif what == 2:
                     next_maintenance += self.config.maintenance_interval_s
-                    if self.brownout.defer_maintenance or self._controller_down:
+                    if self.replication is not None:
+                        # Maintenance in replicated mode is the lease
+                        # heartbeat: renew + catch stragglers up.
+                        if self.brownout.defer_maintenance or not self.replication.heartbeat(when):
+                            self._maintenance_deferred += 1
+                            self.obs.metrics.counter(
+                                "serve.maintenance.deferred"
+                            ).inc()
+                        else:
+                            self._maintenance_runs += 1
+                            self.obs.metrics.counter("serve.maintenance.runs").inc()
+                            server_free = (
+                                max(when, server_free)
+                                + self.config.maintenance_ms / 1e3
+                            )
+                    elif self.brownout.defer_maintenance or self._controller_down:
                         self._maintenance_deferred += 1
                         self.obs.metrics.counter("serve.maintenance.deferred").inc()
                     else:
+                        assert self.controller is not None
                         self.controller.checkpoint()
                         self._maintenance_runs += 1
                         self.obs.metrics.counter("serve.maintenance.runs").inc()
@@ -827,6 +1040,8 @@ class FabricService:
             # fault (and recovery) that fired while it was still busy,
             # so a clear scheduled during the final drain is not lost.
             advance(max(now, server_free))
+            if self.replication is not None:
+                self.replication.finalize_outage(max(now, server_free))
 
             if len(self._records) != self._offered:
                 raise ServeError(
@@ -855,6 +1070,30 @@ class FabricService:
                 state_digest=self.manager.state_digest(),
                 faults_digest=(
                     faults.delivered_digest() if faults is not None else ""
+                ),
+                failovers=self._failovers,
+                elections=(
+                    self.replication.elections if self.replication is not None else 0
+                ),
+                fencing_rejections=(
+                    self.replication.fencing_rejections
+                    if self.replication is not None
+                    else 0
+                ),
+                committed_ops_lost=(
+                    self.replication.committed_ops_lost()
+                    if self.replication is not None
+                    else 0
+                ),
+                failover_durations_s=(
+                    tuple(self.replication.failover_durations_s)
+                    if self.replication is not None
+                    else ()
+                ),
+                failover_unavailable_s=(
+                    self.replication.unavailable_s
+                    if self.replication is not None
+                    else 0.0
                 ),
             )
             self.obs.metrics.gauge("serve.offered").set(float(report.offered))

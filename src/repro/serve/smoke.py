@@ -1,12 +1,19 @@
-"""CI gate for the serving layer: run the overload-burst drill, check
-the serve SLOs against the committed thresholds, export artifacts.
+"""CI gate for the serving layer: run a seeded drill, check its SLOs
+against the committed thresholds, export artifacts.
 
 ``python -m repro.serve.smoke --check --out serve_requests.jsonl``
-runs the smoke profile (1.5k primaries at 3x admission capacity with a
-controller-crash + RPC-timeout storm), prints the summary, writes the
-per-request outcome log as JSONL, and exits non-zero when an SLO
-regresses or determinism breaks (the drill is run twice and the
-outcome digests must match byte for byte).
+runs the overload smoke profile (1.5k primaries at 3x admission
+capacity with a controller-crash + RPC-timeout storm);
+``--profile failover`` runs the replicated-control-plane drill instead
+(a 3-replica group under a rolling crash/partition/clock-skew storm,
+gated on ``failover_p99_s``, ``committed_ops_lost`` and availability).
+Both print the summary, write the per-request outcome log as JSONL,
+and exit non-zero when an SLO regresses or determinism breaks (the
+drill is run twice and the outcome digests must match byte for byte).
+
+``--tenants`` scales the tenant population toward the ROADMAP's
+thousands-of-tenants target; the default leaves the pinned profile
+untouched.
 """
 
 from __future__ import annotations
@@ -17,7 +24,13 @@ import sys
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
-from repro.serve.drill import drill_slos, report_jsonl_lines, run_serve_drill
+from repro.serve.drill import (
+    drill_slos,
+    failover_slos,
+    report_jsonl_lines,
+    run_failover_drill,
+    run_serve_drill,
+)
 from repro.tools.noc import DEFAULT_THRESHOLDS, check_slos
 
 
@@ -28,6 +41,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="drill seed")
     parser.add_argument("--full", action="store_true",
                         help="full profile (100k primaries) instead of smoke")
+    parser.add_argument("--profile", choices=("overload", "failover"),
+                        default="overload",
+                        help="overload = PR-6 burst drill (default); "
+                             "failover = replicated-controller partition storm")
+    parser.add_argument("--tenants", type=int, default=None,
+                        help="tenant population override (default: pinned profile)")
     parser.add_argument("--check", action="store_true",
                         help="exit 1 on SLO regression or nondeterminism")
     parser.add_argument("--thresholds", type=Path, default=DEFAULT_THRESHOLDS,
@@ -39,21 +58,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     smoke = not args.full
-    result = run_serve_drill(seed=args.seed, smoke=smoke)
+    if args.profile == "failover":
+        def run():
+            return run_failover_drill(
+                seed=args.seed, smoke=smoke, num_tenants=args.tenants
+            )
+    else:
+        def run():
+            return run_serve_drill(
+                seed=args.seed, smoke=smoke, num_tenants=args.tenants
+            )
+
+    result = run()
     summary: Dict[str, object] = result["summary"]
 
     deterministic = True
     if smoke:
         # Cheap enough to prove, so prove it: same seed, same bytes.
-        second = run_serve_drill(seed=args.seed, smoke=True)["summary"]
+        second = run()["summary"]
         deterministic = second == summary
     summary["deterministic"] = deterministic
 
     thresholds: Dict[str, float] = {}
     if args.thresholds.exists():
         thresholds = json.loads(args.thresholds.read_text())
-    serve_thresholds = {k: v for k, v in thresholds.items() if k.startswith("serve_")}
-    slo_rows = check_slos(drill_slos(summary), serve_thresholds)
+    if args.profile == "failover":
+        gate = {
+            k: v
+            for k, v in thresholds.items()
+            if k.startswith("failover_") or k == "committed_ops_lost"
+        }
+        slo_rows = check_slos(failover_slos(summary), gate)
+    else:
+        gate = {k: v for k, v in thresholds.items() if k.startswith("serve_")}
+        slo_rows = check_slos(drill_slos(summary), gate)
 
     if args.out is not None:
         args.out.write_text("\n".join(report_jsonl_lines(result["report"])) + "\n")

@@ -58,6 +58,10 @@ def compute_slos(report: DrillReport) -> Dict[str, float]:
         "serve_retry_amplification": (
             serve_attempts / serve_deposits if serve_deposits else 0.0
         ),
+        # Replicated-control-plane HA (published by the failover drill).
+        "failover_p99_s": registry.value("serve.failover.p99_s"),
+        "committed_ops_lost": registry.value("serve.failover.committed_ops_lost"),
+        "failover_unavailability": registry.value("serve.failover.unavailability"),
     }
 
 

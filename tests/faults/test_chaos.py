@@ -9,6 +9,7 @@ from repro.faults.chaos import (
     SMOKE_KWARGS,
     controller_crash_recovery,
     correlated_hv_batch,
+    partition_failover,
     repair_race,
     rolling_transceiver_flaps,
     run_scenario,
@@ -156,6 +157,40 @@ class TestRepairRace:
             repair_race(num_spares=1, damaged_spares=2)
 
 
+class TestPartitionFailover:
+    def test_invariants_hold_under_storm(self):
+        report = partition_failover(seed=0, horizon_s=24.0)
+        # The storm forced real failovers...
+        assert report.metrics["storm_cycles"] >= 3.0
+        assert report.metrics["elections"] >= report.metrics["storm_cycles"]
+        assert report.metrics["epochs"] >= 3.0
+        # ...yet the HA invariants held.
+        assert report.metrics["committed_ops_lost"] == 0.0
+        assert report.metrics["digest_match"] == 1.0
+        assert report.metrics["settled"] == 1.0
+        # Most ticks commit; election gaps carve the rest.
+        assert 0.5 < report.metrics["goodput"] < 1.0
+        assert 0.0 < report.metrics["availability"] <= 1.0
+        assert min(g for _, g in report.timeline) == 0.0
+        assert report.timeline[-1][1] == 1.0
+
+    def test_report_digest_stable(self):
+        a = partition_failover(seed=3, horizon_s=24.0)
+        b = partition_failover(seed=3, horizon_s=24.0)
+        assert a.digest() == b.digest()
+
+    def test_seed_perturbs_background_skew(self):
+        a = partition_failover(seed=0, horizon_s=24.0, skew_rate_per_s=0.05)
+        b = partition_failover(seed=7, horizon_s=24.0, skew_rate_per_s=0.05)
+        assert a.schedule != b.schedule
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            partition_failover(num_replicas=2)
+        with pytest.raises(ConfigurationError):
+            partition_failover(horizon_s=0.0)
+
+
 class TestRegistry:
     def test_registry_covers_all_scenarios(self):
         assert set(SCENARIOS) == {
@@ -164,6 +199,7 @@ class TestRegistry:
             "rolling_transceiver_flaps",
             "repair_race",
             "controller_crash_recovery",
+            "partition_failover",
         }
         assert set(SMOKE_KWARGS) == set(SCENARIOS)
 

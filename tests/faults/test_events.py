@@ -13,7 +13,10 @@ from repro.faults.events import (
     endpoint_target,
     host_target,
     mirror_target,
+    network_target,
     ocs_target,
+    parse_partition_groups,
+    partition_groups_param,
     poisson_times,
     schedule_digest,
     target_index,
@@ -58,6 +61,8 @@ class TestFaultEvent:
             "cube-power-loss",
             "rpc-timeout",
             "controller-crash",
+            "network-partition",
+            "clock-skew",
         }
 
 
@@ -75,6 +80,25 @@ class TestTargets:
             target_index("nonsense")
         with pytest.raises(FaultInjectionError):
             mirror_target(0, "X", 1)
+
+    def test_partition_groups_round_trip_and_canonical(self):
+        assert network_target() == "net-control"
+        key, encoded = partition_groups_param([[2, 1], [0]])
+        assert key == "groups"
+        assert encoded == "0|1,2"  # sorted within and across groups
+        assert parse_partition_groups(encoded) == ((0,), (1, 2))
+        # Equal partitions encode equally regardless of input order.
+        assert partition_groups_param([[0], [1, 2]]) == (key, encoded)
+
+    def test_partition_groups_validation(self):
+        with pytest.raises(FaultInjectionError):
+            partition_groups_param([])
+        with pytest.raises(FaultInjectionError):
+            partition_groups_param([[0], []])
+        with pytest.raises(FaultInjectionError):
+            partition_groups_param([[0, 1], [1, 2]])
+        with pytest.raises(FaultInjectionError):
+            parse_partition_groups("0,x|2")
 
 
 class TestSchedules:

@@ -97,6 +97,31 @@ class TestOnDisk:
         assert len(cache.entries("a")) == 1
         assert len(cache.entries()) == 2
 
+    def test_manifest_byte_identical_across_runs(self, tmp_path):
+        """Same stores => same manifest bytes: the default ``created_s``
+        stamp is the store ordinal, not wall-clock."""
+
+        def populate(root):
+            cache = ResultCache(root)
+            for k in range(3):
+                cache.put(cache.key("sweep", {"x": k}), float(k), tag="sweep")
+            return (root / "manifest.jsonl").read_bytes()
+
+        a = populate(tmp_path / "run_a")
+        b = populate(tmp_path / "run_b")
+        assert a == b
+        stamps = [
+            json.loads(line)["created_s"] for line in a.decode().splitlines()
+        ]
+        assert stamps == [0.0, 1.0, 2.0]
+
+    def test_injected_clock_stamps_wall_time(self, tmp_path):
+        ticks = iter([100.0004, 200.0])
+        cache = ResultCache(tmp_path, now_fn=lambda: next(ticks))
+        cache.put(cache.key("t", 1), 1, tag="t")
+        cache.put(cache.key("t", 2), 2, tag="t")
+        assert [r["created_s"] for r in cache.entries()] == [100.0, 200.0]
+
 
 class TestObservability:
     def test_counters_land(self):

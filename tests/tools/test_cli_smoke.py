@@ -39,6 +39,7 @@ class TestNocCli:
             "reconfig_p99_ms", "recovery_p99_ms", "ber_anomaly_rate",
             "sweep_cache_miss_rate", "sweep_chunk_p99_ms",
             "serve_p99_ms", "serve_shed_rate", "serve_retry_amplification",
+            "failover_p99_s", "committed_ops_lost", "failover_unavailability",
         }
         assert payload["slos"]["sweep_cache_miss_rate"] == 0.5
         assert payload["notes"]["sweep_warm_hits"] == payload["notes"]["sweep_tasks"]
