@@ -32,7 +32,7 @@ from repro.dcn.flowsim import (
 )
 from repro.dcn.spinefree import AggregationBlock, SpineFreeFabric
 from repro.dcn.traffic import gravity_matrix
-from repro.dcn.traffic_engineering import route_demand
+from repro.dcn.traffic_engineering import RoutingSolution, route_demand
 from repro.optics.ber import (
     LinkBerSimulator,
     receiver_sensitivity_batch,
@@ -247,6 +247,103 @@ def _build_flowsim(smoke: bool, jobs: Optional[int] = None) -> CasePair:
 
 
 # --------------------------------------------------------------------- #
+# 100k-flow / 65k-port FCT: incremental frontier engine vs per-event
+# full solve
+# --------------------------------------------------------------------- #
+
+
+def _metro_routing(
+    blocks: int, seed: int
+) -> Tuple[SpineFreeFabric, RoutingSolution, np.ndarray]:
+    """A synthetic engineered metro at ``blocks`` x 64 uplinks.
+
+    ``route_demand`` is O(n^3) per matrix and infeasible at 1024 blocks,
+    so the routing solution is constructed directly: blocks form
+    8-block neighborhoods with an in-group ring (1-hop pairs), 2-hop
+    paths that bridge adjacent ring links, and a low-rate 2-hop
+    cross-group path per neighborhood.  Link sharing -- the thing the
+    incremental engine's frontier walk follows -- therefore stays
+    mostly neighborhood-local, which is the locality structure
+    engineered fabrics actually exhibit.  Trunk capacities come in
+    three discrete rates (mixed 300/400/500G bundles, as real metros
+    stripe them) rather than a continuum: tied links freeze in shared
+    water-filling rounds, which keeps the per-event full solve's round
+    count -- and therefore the reference path's wall time at 1,024
+    blocks -- bounded.
+    """
+    group = 8
+    rng = np.random.default_rng(seed)
+    capacity = np.zeros((blocks, blocks))
+    demand = np.zeros((blocks, blocks))
+    paths: Dict[Tuple[int, int], List[Tuple[Tuple[int, ...], float]]] = {}
+    for base in range(0, blocks, group):
+        for k in range(group):
+            b = base + k
+            n1 = base + (k + 1) % group
+            n2 = base + (k + 2) % group
+            capacity[b, n1] = float(rng.choice([300.0, 400.0, 500.0]))
+            paths[(b, n1)] = [((b, n1), 1.0)]
+            demand[b, n1] = 3.0
+            paths[(b, n2)] = [((b, n1, n2), 1.0)]
+            demand[b, n2] = 2.0
+        nxt = (base + group) % blocks
+        capacity[base + group - 1, nxt] = float(rng.choice([300.0, 400.0, 500.0]))
+        paths[(base + group - 2, nxt)] = [
+            ((base + group - 2, base + group - 1, nxt), 1.0)
+        ]
+        demand[base + group - 2, nxt] = 0.3
+    fabric = SpineFreeFabric.uniform(
+        [AggregationBlock(i, uplinks=64) for i in range(blocks)]
+    )
+    routing = RoutingSolution(
+        served_gbps=demand.copy(),
+        residual_gbps=np.zeros_like(demand),
+        link_load_gbps=np.zeros_like(capacity),
+        link_capacity_gbps=capacity,
+        paths=paths,
+    )
+    return fabric, routing, demand
+
+
+def _build_flowsim_100k(smoke: bool, jobs: Optional[int] = None) -> CasePair:
+    del jobs  # single-process kernel case
+    blocks, num_flows, duration_s = (64, 3_000, 15.0) if smoke else (
+        1024,
+        100_000,
+        30.0,
+    )
+    fabric, routing, demand = _metro_routing(blocks, seed=17)
+    flows = generate_flows(
+        demand, num_flows, mean_size_gbit=15.0, duration_s=duration_s, seed=23
+    )
+
+    def _records_parity(vec: object, ref: object) -> float:
+        assert [r.flow.flow_id for r in vec] == [r.flow.flow_id for r in ref]
+        return _max_rel_err(
+            np.array([r.finish_s for r in vec]), np.array([r.finish_s for r in ref])
+        )
+
+    def _sim() -> FlowSimulator:
+        # crossover=0 pins the full-solve baseline to the vectorized
+        # matrix kernel (its fastest honest configuration at this scale;
+        # the dict kernel would copy a multi-thousand-entry capacity
+        # dict per event).
+        return FlowSimulator(fabric, routing, seed=7, dict_kernel_crossover=0)
+
+    return CasePair(
+        vectorized=lambda: _sim().run(flows),
+        reference=lambda: _sim().run_full_solve(flows),
+        parity=_records_parity,
+        size={
+            "flows": num_flows,
+            "blocks": blocks,
+            "ports": blocks * 64,
+            "links": int(np.count_nonzero(routing.link_capacity_gbps)),
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
 # Parallel sweeps: SweepEngine fan-out vs the serial oracle
 # --------------------------------------------------------------------- #
 
@@ -304,6 +401,44 @@ def _build_mc_ber_grid(smoke: bool, jobs: Optional[int] = None) -> CasePair:
         ),
         parity=_exact_parity,
         size={"points": points, "symbols": symbols, "jobs": workers},
+    )
+
+
+# --------------------------------------------------------------------- #
+# Zero-copy task shipping: shm arena vs per-chunk pickling
+# --------------------------------------------------------------------- #
+
+
+def _shm_row_stat(task: Dict[str, object], seed) -> float:
+    """A cheap per-task statistic over one row of the shared grid --
+    shipping cost, not compute, must dominate this case."""
+    rng = np.random.default_rng(seed)
+    grid = task["grid"]
+    row = grid[int(task["row"]) % grid.shape[0]]
+    idx = rng.integers(0, row.size, size=4096)
+    return float(row[idx].sum() + np.quantile(row, 0.5))
+
+
+def _build_pmap_shm(smoke: bool, jobs: Optional[int] = None) -> CasePair:
+    workers = _sweep_jobs(jobs)
+    side, num_tasks = (512, 8) if smoke else (1448, 16)
+    rng = np.random.default_rng(13)
+    # One grid shared by every task: the pickle engine re-ships it with
+    # every chunk (chunk_size=1 -> num_tasks copies through the pipe);
+    # the shm engine packs it into the arena once.
+    grid = rng.standard_normal((side, side))
+    tasks = [{"grid": grid, "row": i} for i in range(num_tasks)]
+    shm_engine = SweepEngine(workers=workers, chunk_size=1, ship="shm")
+    pickle_engine = SweepEngine(workers=workers, chunk_size=1)
+    return CasePair(
+        vectorized=lambda: shm_engine.pmap(_shm_row_stat, tasks, seed=5),
+        reference=lambda: pickle_engine.pmap(_shm_row_stat, tasks, seed=5),
+        parity=_exact_parity,
+        size={
+            "grid_mb": round(grid.nbytes / 1e6, 1),
+            "tasks": num_tasks,
+            "jobs": workers,
+        },
     )
 
 
@@ -397,12 +532,17 @@ CASES: Tuple[PerfCase, ...] = (
     PerfCase("receiver_sensitivity", "Fig 11/12 solves", 5.0, _build_sensitivity),
     PerfCase("max_min_rates", "§5 flow fairness", 5.0, _build_max_min),
     PerfCase("flowsim_run", "§5 FCT simulation", 5.0, _build_flowsim),
+    PerfCase("flowsim_100k", "§5 FCT at 100k flows", 20.0, _build_flowsim_100k),
     PerfCase(
         "chaos_ensemble_pmap", "chaos ensembles", 1.7, _build_chaos_ensemble,
         requires_cores=2,
     ),
     PerfCase(
         "mc_ber_grid_pmap", "Fig 11a MC grid", 1.7, _build_mc_ber_grid,
+        requires_cores=2,
+    ),
+    PerfCase(
+        "pmap_shm", "zero-copy shipping", 1.5, _build_pmap_shm,
         requires_cores=2,
     ),
     PerfCase("sweep_cache_warm", "result cache", 5.0, _build_cache_warm),

@@ -47,7 +47,25 @@ def run_case(
     per-phase breakdown; the spans wrap the measurement loops from the
     outside and never touch the timed callables themselves.  ``jobs``
     sets the worker count for parallel-sweep cases (None = cpu count).
+
+    A case whose ``requires_cores`` exceeds this machine's core count is
+    not run at all: a parallel speedup measured on too few cores is
+    noise, and silently recording it would look like coverage.  The
+    report instead carries an explicit ``skipped: insufficient_cores``
+    record.
     """
+    available = os.cpu_count() or 1
+    if available < case.requires_cores:
+        return {
+            "case": case.name,
+            "figure": case.figure,
+            "mode": "smoke" if smoke else "full",
+            "skipped": "insufficient_cores",
+            "target_speedup": case.target_speedup,
+            "requires_cores": case.requires_cores,
+            "cpu_count": available,
+            "jobs": jobs,
+        }
     obs = Observability.wall()
     with obs.tracer.span("perf.build", case=case.name):
         pair = case.build(smoke, jobs)
@@ -103,13 +121,21 @@ def run_suite(
             print(f"[perf] {case.name} ({'smoke' if smoke else 'full'}) ...", flush=True)
         result = run_case(case, smoke, jobs)
         if verbose:
-            print(
-                f"[perf]   vec {result['vectorized_s']:.4f}s "
-                f"ref {result['reference_s']:.4f}s "
-                f"speedup {result['speedup']:.1f}x "
-                f"parity {result['parity_max_rel_err']:.2e}",
-                flush=True,
-            )
+            if result.get("skipped"):
+                print(
+                    f"[perf]   SKIPPED ({result['skipped']}): needs "
+                    f"{result['requires_cores']} cores, have "
+                    f"{result['cpu_count']}",
+                    flush=True,
+                )
+            else:
+                print(
+                    f"[perf]   vec {result['vectorized_s']:.4f}s "
+                    f"ref {result['reference_s']:.4f}s "
+                    f"speedup {result['speedup']:.1f}x "
+                    f"parity {result['parity_max_rel_err']:.2e}",
+                    flush=True,
+                )
         results.append(result)
     return results
 
@@ -144,16 +170,19 @@ def check_against_baselines(
 
     Returns a list of human-readable failures (empty when everything is
     within tolerance).  A missing baseline entry is itself a failure so
-    new cases must be baselined when added.  Cases whose
-    ``requires_cores`` exceeds the machine's core count are skipped --
-    a parallel sweep cannot beat its serial oracle on one core -- so
-    those baselines only bind on CI runners with enough cores.
+    new cases must be baselined when added.  Results carrying an
+    explicit ``skipped`` marker (``requires_cores`` gating on a small
+    machine -- a parallel sweep cannot beat its serial oracle on one
+    core) are exempt, so those baselines only bind on CI runners with
+    enough cores.
     """
     if baselines is None:
         baselines = load_baselines()
     failures = []
     for result in results:
         name, mode = str(result["case"]), str(result["mode"])
+        if result.get("skipped"):
+            continue
         required = int(result.get("requires_cores", 1) or 1)
         available = int(result.get("cpu_count", os.cpu_count() or 1) or 1)
         if available < required:

@@ -90,10 +90,30 @@ def test_regression_check_skips_core_gated_cases():
     assert len(failures) == 1 and "chaos_ensemble_pmap" in failures[0]
 
 
+def test_run_case_emits_skip_record_on_small_machines(monkeypatch):
+    """A core-gated case on a too-small machine yields an explicit
+    ``skipped: insufficient_cores`` record instead of a noise speedup,
+    and the baseline check exempts it."""
+    import os
+
+    from benchmarks.perf import harness
+
+    gated = next(c for c in CASES if c.requires_cores > 1)
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    monkeypatch.setattr(harness.os, "cpu_count", lambda: 1)
+    record = harness.run_case(gated, smoke=True)
+    assert record["skipped"] == "insufficient_cores"
+    assert record["requires_cores"] == gated.requires_cores
+    assert record["cpu_count"] == 1
+    assert "speedup" not in record
+    assert check_against_baselines([record]) == []
+
+
 def test_filter_cases():
     assert [c.name for c in filter_cases("pmap")] == [
         "chaos_ensemble_pmap",
         "mc_ber_grid_pmap",
+        "pmap_shm",
     ]
     assert filter_cases(None) == list(CASES)
     assert filter_cases("no_such_case") == []

@@ -7,33 +7,79 @@ standard fluid approximation for TCP-like sharing.  Comparing FCTs on an
 engineered vs a uniform mesh reproduces the §4.2 "10% improvement in
 flow completion time" result.
 
-The allocation runs on a link x flow incidence structure with NumPy
-array ops (:func:`max_min_rates`); :func:`max_min_rates_reference` is
-the original dict-loop oracle the matrix kernel is property-tested
-against.  :meth:`FlowSimulator.run` keeps the incidence structure alive
-across arrival/completion events instead of rebuilding per-event state;
-:meth:`FlowSimulator.run_reference` is its scalar oracle.
+Three implementations of the event loop coexist, fastest first:
+
+- :meth:`FlowSimulator.run` -- the **incremental water-filling engine**.
+  Per-link active counts, the per-flow rate vector, and a completion
+  calendar persist across events; an arrival/departure re-solves only
+  the connected component of the flow/link interaction graph reachable
+  from the touched links (the affected-subgraph trick), falling back to
+  a full solve when that frontier exceeds a threshold.  Max-min
+  progressive filling decomposes exactly over components -- the per-link
+  subtraction sequence is identical whether a component is solved alone
+  or interleaved in a global solve -- so the incremental allocations are
+  bit-exact against the full per-event solve.
+- :meth:`FlowSimulator.run_full_solve` -- the previous vectorized path:
+  one :meth:`_IncidenceSystem.fill_rates` pass per event over a
+  persistent link x flow incidence structure (with a dict-kernel
+  fallback below :attr:`FlowSimulator.dict_kernel_crossover` active
+  flows).  Kept as the perf-regression baseline the incremental engine
+  is measured against.
+- :meth:`FlowSimulator.run_reference` -- the original per-event dict
+  loop: the bit-exact oracle for both of the above.
+
+The allocation kernels follow the same pattern:
+:func:`max_min_rates` is the incidence-matrix water-filler and
+:func:`max_min_rates_reference` its dict-loop oracle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.errors import ConfigurationError
 from repro.dcn.spinefree import SpineFreeFabric
 from repro.dcn.traffic_engineering import RoutingSolution
+from repro.obs import NULL_OBS, resolve_obs
 
 Link = Tuple[int, int]
 
-#: Below this many concurrently active flows the per-event allocation
-#: falls back to the dict kernel: NumPy per-call overhead only pays off
-#: once the incidence arrays have some width.  Both kernels produce
-#: identical allocations (the property suite pins them together), so the
-#: crossover is purely a performance knob.
+#: A per-event allocation probe: ``probe(now_s, {flow_id: rate_gbps})``
+#: fired once per event iteration with the allocation for the current
+#: active set.  The incremental/full/reference parity suites use it to
+#: pin allocations at every event boundary.
+RateProbe = Callable[[float, Dict[int, float]], None]
+
+#: Below this many concurrently active flows the full-solve path falls
+#: back to the dict kernel: NumPy per-call overhead only pays off once
+#: the incidence arrays have some width.  Both kernels produce identical
+#: allocations (the property suite pins them together), so the crossover
+#: is purely a performance knob -- now a :class:`FlowSimulator` field so
+#: perf cases can sweep it without monkeypatching.
 _DICT_KERNEL_CROSSOVER = 32
+
+#: Default incremental-engine fallback threshold: when the affected
+#: component (the "dirty set") reachable from an event's touched links
+#: exceeds this many flows, the engine stops walking and re-solves the
+#: whole active set with :meth:`_IncidenceSystem.fill_rates` instead.
+#: Allocations are identical either way; this bounds the Python frontier
+#: walk so pathological all-connected workloads degrade gracefully to
+#: the vectorized full solve.
+_INCREMENTAL_MAX_FRONTIER = 96
+
+#: Relative half-width of the calendar's pop re-evaluation window.  Heap
+#: keys are projected absolute finish times computed when a flow's rate
+#: last changed; the freshly recomputed value can drift from the key by
+#: accumulated float rounding (~2^-52 per drain event, so ~1e-11
+#: relative after 10^5 events).  Popping every entry within this much of
+#: the top and re-evaluating with the oracle's exact arithmetic keeps
+#: completion picks bit-identical to a per-event argmin while leaving
+#: >100x margin over the drift bound.
+_CALENDAR_REL_WINDOW = 4e-9
 
 
 @dataclass(frozen=True)
@@ -73,31 +119,58 @@ def _links_of(path: Tuple[int, ...]) -> List[Link]:
 
 
 class _IncidenceSystem:
-    """A link x flow incidence structure in flat CSR-like arrays.
+    """A link x flow incidence structure in flat CSR arrays.
 
     ``flat`` holds the link index of every (flow, link) membership and
-    ``owner`` the flow index of the same entry.  Entries are indexed both
-    ways -- grouped by flow (``flow_start``/``flow_len``) and by link
-    (``link_order``/``link_start``) -- so per-link active counts are one
-    ``np.bincount`` pass and each filling round touches only the entries
-    it actually freezes.  Built once and reused across events by the
-    simulator.
+    ``owner`` the flow index of the same entry, both ``int32`` so 65k-port
+    link sets stay hot in cache.  Entries are indexed both ways --
+    grouped by flow (``flow_start``/``flow_len``) and, lazily, by link
+    (``link_start``/``link_len``/``link_owner``) -- so per-link active
+    counts are one ``np.bincount`` pass, each filling round touches only
+    the entries it actually freezes, and the incremental engine can walk
+    link -> flows adjacency without rebuilding anything.  Built once and
+    reused across events by the simulator.
     """
 
-    __slots__ = ("flat", "owner", "num_flows", "capacity")
+    __slots__ = (
+        "flat",
+        "owner",
+        "num_flows",
+        "capacity",
+        "flow_start",
+        "flow_len",
+        "_link_csr",
+    )
 
     def __init__(self, cols: Sequence[np.ndarray], capacity: np.ndarray) -> None:
         self.num_flows = len(cols)
         self.capacity = np.asarray(capacity, dtype=float)
+        lens = np.array([len(c) for c in cols], dtype=np.int32)
         if cols:
-            self.flat = np.concatenate(cols).astype(np.intp, copy=False)
+            self.flat = np.concatenate(cols).astype(np.int32, copy=False)
             self.owner = np.repeat(
-                np.arange(self.num_flows, dtype=np.intp),
-                [len(c) for c in cols],
+                np.arange(self.num_flows, dtype=np.int32), lens
             )
         else:
-            self.flat = np.empty(0, dtype=np.intp)
-            self.owner = np.empty(0, dtype=np.intp)
+            self.flat = np.empty(0, dtype=np.int32)
+            self.owner = np.empty(0, dtype=np.int32)
+        self.flow_len = lens
+        self.flow_start = np.concatenate(
+            ([0], np.cumsum(lens[:-1]))
+        ).astype(np.int32) if len(cols) else np.empty(0, dtype=np.int32)
+        self._link_csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def link_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(link_start, link_len, link_owner)``: entries grouped by link."""
+        if self._link_csr is None:
+            num_links = self.capacity.size
+            order = np.argsort(self.flat, kind="stable")
+            link_owner = self.owner[order]
+            link_len = np.bincount(self.flat, minlength=num_links).astype(np.int32)
+            link_start = np.zeros(num_links, dtype=np.int64)
+            np.cumsum(link_len[:-1], out=link_start[1:])
+            self._link_csr = (link_start, link_len, link_owner)
+        return self._link_csr
 
     def fill_rates(self, active: np.ndarray) -> np.ndarray:
         """Progressive-filling max-min allocation over the active flows.
@@ -115,8 +188,12 @@ class _IncidenceSystem:
         num_links = self.capacity.size
         rates = np.zeros(self.num_flows)
         selected = active[self.owner]
-        flat = self.flat[selected]
-        owner = self.owner[selected]
+        # Storage is int32 (cache footprint at 65k-port link sets); the
+        # water-filling rounds index with these arrays repeatedly, and
+        # NumPy re-casts non-intp index arrays on every use -- one
+        # up-front cast of the compacted entries wins it back.
+        flat = self.flat[selected].astype(np.intp, copy=False)
+        owner = self.owner[selected].astype(np.intp, copy=False)
         if not flat.size:
             return rates
         remaining = self.capacity.copy()
@@ -168,7 +245,7 @@ def max_min_rates(
     link_index, capacity = _index_links(flow_paths, link_capacity)
     fids = list(flow_paths)
     cols = [
-        np.array([link_index[link] for link in flow_paths[fid]], dtype=np.intp)
+        np.array([link_index[link] for link in flow_paths[fid]], dtype=np.int32)
         for fid in fids
     ]
     system = _IncidenceSystem(cols, capacity)
@@ -220,19 +297,38 @@ class FlowSimulator:
             highest-weight routed path; ``"wcmp"`` hashes each flow onto
             one of the pair's routed paths with probability proportional
             to the routed weight (flow-level weighted-cost multipath).
+        dict_kernel_crossover: active-flow count below which
+            :meth:`run_full_solve` uses the dict allocation kernel
+            instead of the incidence-matrix kernel (perf knob; both
+            kernels allocate identically).
+        incremental_max_frontier: dirty-set size (in flows) above which
+            :meth:`run` abandons the component walk for one event and
+            re-solves the whole active set (perf knob; allocations are
+            identical either way).
+        obs: optional :class:`repro.obs.Observability` bundle; the
+            incremental engine lands frontier sizes, dirty fractions,
+            full-solve fallbacks, and calendar traffic on it.
     """
 
     fabric: SpineFreeFabric
     routing: RoutingSolution
     path_policy: str = "primary"
     seed: int = 0
+    dict_kernel_crossover: int = _DICT_KERNEL_CROSSOVER
+    incremental_max_frontier: int = _INCREMENTAL_MAX_FRONTIER
+    obs: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.path_policy not in ("primary", "wcmp"):
             raise ConfigurationError(
                 f"path policy must be 'primary' or 'wcmp', got {self.path_policy!r}"
             )
+        if self.dict_kernel_crossover < 0:
+            raise ConfigurationError("dict_kernel_crossover must be >= 0")
+        if self.incremental_max_frontier < 1:
+            raise ConfigurationError("incremental_max_frontier must be >= 1")
         self._path_rng = np.random.default_rng(self.seed)
+        self._obs = resolve_obs(self.obs)
 
     def _path_for(self, src: int, dst: int) -> Tuple[int, ...]:
         """Route one flow of the pair per the path policy."""
@@ -249,14 +345,21 @@ class FlowSimulator:
         return options[idx][0]
 
     def _capacities(self) -> Dict[Link, float]:
-        cap = {}
-        c = self.routing.link_capacity_gbps
-        n = c.shape[0]
-        for i in range(n):
-            for j in range(n):
-                if i != j and c[i, j] > 0:
-                    cap[(i, j)] = float(c[i, j])
-        return cap
+        """Lit-link capacities as a dict, in row-major link order.
+
+        One ``np.nonzero`` pass over the capacity matrix instead of the
+        O(n^2) Python double loop -- at 65k-port (1k-block) fabrics the
+        matrix scan is pure NumPy and only lit links pay Python cost.
+        """
+        c = np.asarray(self.routing.link_capacity_gbps, dtype=float)
+        rows, cols = np.nonzero(c > 0.0)
+        keep = rows != cols
+        rows, cols = rows[keep], cols[keep]
+        values = c[rows, cols]
+        return {
+            (int(i), int(j)): float(v)
+            for i, j, v in zip(rows.tolist(), cols.tolist(), values.tolist())
+        }
 
     def _routed_paths(
         self, flows: Sequence[Flow], capacity: Dict[Link, float]
@@ -271,33 +374,334 @@ class FlowSimulator:
                     )
         return paths
 
-    def run(self, flows: Sequence[Flow]) -> List[FlowRecord]:
+    def _prepare(
+        self, flows: Sequence[Flow]
+    ) -> Tuple[Dict[Link, float], Dict[int, List[Link]], List[Flow], List[List[int]], np.ndarray]:
+        """Shared event-loop setup: capacities, routes, arrival order,
+        and per-flow link-index columns (plain lists; callers lift to
+        arrays as needed)."""
+        if not flows:
+            raise ConfigurationError("need at least one flow")
+        capacity = self._capacities()
+        paths = self._routed_paths(flows, capacity)
+        ordered = sorted(flows, key=lambda f: f.arrival_s)
+        link_index, cap_vector = _index_links(
+            {f.flow_id: paths[f.flow_id] for f in ordered}, capacity
+        )
+        cols = [
+            [link_index[link] for link in paths[f.flow_id]] for f in ordered
+        ]
+        return capacity, paths, ordered, cols, cap_vector
+
+    # ------------------------------------------------------------------ #
+    # The incremental water-filling engine
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self, flows: Sequence[Flow], rate_probe: Optional[RateProbe] = None
+    ) -> List[FlowRecord]:
         """Simulate until every flow finishes; returns completion records.
+
+        The incremental engine.  Per-event work is proportional to the
+        **affected component** -- the flows and links reachable from the
+        arriving/completing flow's links through shared active links --
+        not to the whole active set:
+
+        - per-link active counts, the rate vector, and each flow's
+          remaining volume persist across events;
+        - an arrival/departure walks the affected component and re-runs
+          progressive filling on it alone (max-min allocations decompose
+          exactly over components, so this is bit-identical to the full
+          per-event solve of :meth:`run_full_solve`);
+        - when the walk exceeds :attr:`incremental_max_frontier` flows
+          it falls back to one vectorized full solve for that event;
+        - projected completions live in an indexed heap with lazy
+          invalidation (absolute finish times are invariant while a
+          flow's rate is unchanged); pops re-evaluate an epsilon-window
+          of candidates with the oracle's exact arithmetic, so the
+          winning flow and its finish time are bit-identical to the
+          per-event argmin of :meth:`run_reference`.
+
+        ``rate_probe`` (if given) fires once per event iteration with
+        the current allocation; the property suite uses it to pin
+        incremental == full-solve == reference at every event boundary.
+        """
+        _, _, ordered, cols_py, cap_vector = self._prepare(flows)
+        num_flows = len(ordered)
+        num_links = int(cap_vector.size)
+        system = _IncidenceSystem(
+            [np.asarray(c, dtype=np.int32) for c in cols_py], cap_vector
+        )
+        link_start_np, link_len_np, link_owner_np = system.link_csr()
+        # Python-side mirrors: the frontier walk and small-component
+        # fills run on plain ints/floats -- at typical component sizes
+        # (a handful of flows) interpreter ops beat NumPy call overhead.
+        link_start_py = link_start_np.tolist()
+        link_len_py = link_len_np.tolist()
+        link_owner_py = link_owner_np.tolist()
+        capacity_py = cap_vector.tolist()
+        arrivals_py = [f.arrival_s for f in ordered]
+
+        active_np = np.zeros(num_flows, dtype=bool)
+        active_py = bytearray(num_flows)
+        remaining = np.zeros(num_flows)
+        start = np.zeros(num_flows)
+        rates = np.zeros(num_flows)
+        version = [0] * num_flows
+        heap: List[Tuple[float, int, int]] = []
+        link_active = [0] * num_links
+        # Compact active-index array (swap-remove) for the sparse drain.
+        act_idx = np.empty(num_flows, dtype=np.int32)
+        act_pos = [0] * num_flows
+        # Scratch for the component walk, reset via touched lists.
+        flow_seen = bytearray(num_flows)
+        link_seen = bytearray(num_links)
+
+        obs = self._obs
+        metrics = obs.metrics
+        events_ctr = metrics.counter("flowsim.events")
+        fallback_ctr = metrics.counter("flowsim.full_solve_fallbacks")
+        stale_ctr = metrics.counter("flowsim.calendar.stale_pops")
+        push_ctr = metrics.counter("flowsim.calendar.pushes")
+        frontier_hist = metrics.histogram("flowsim.frontier.flows")
+        dirty_hist = metrics.histogram("flowsim.dirty_fraction")
+
+        max_frontier = self.incremental_max_frontier
+        cursor = 0
+        num_active = 0
+        now = 0.0
+        records: List[FlowRecord] = []
+        inf = float("inf")
+
+        def component_from(f: int) -> Optional[Tuple[List[int], List[int]]]:
+            """Active flows/links reachable from ``f``'s links, or None
+            when the walk exceeds the fallback threshold."""
+            comp_links: List[int] = []
+            comp_flows: List[int] = []
+            stack: List[int] = []
+            for l in cols_py[f]:
+                if not link_seen[l]:
+                    link_seen[l] = 1
+                    comp_links.append(l)
+                    stack.append(l)
+            overflow = False
+            while stack:
+                l = stack.pop()
+                if not link_active[l]:
+                    continue
+                s = link_start_py[l]
+                for k in range(s, s + link_len_py[l]):
+                    o = link_owner_py[k]
+                    if flow_seen[o] or not active_py[o]:
+                        continue
+                    flow_seen[o] = 1
+                    comp_flows.append(o)
+                    if len(comp_flows) > max_frontier:
+                        overflow = True
+                        stack.clear()
+                        break
+                    for l2 in cols_py[o]:
+                        if not link_seen[l2]:
+                            link_seen[l2] = 1
+                            comp_links.append(l2)
+                            stack.append(l2)
+            for l in comp_links:
+                link_seen[l] = 0
+            for o in comp_flows:
+                flow_seen[o] = 0
+            if overflow:
+                return None
+            return comp_flows, comp_links
+
+        def fill_component(
+            comp_flows: List[int], comp_links: List[int]
+        ) -> Dict[int, float]:
+            """Progressive filling restricted to one component, with the
+            same float arithmetic as :meth:`_IncidenceSystem.fill_rates`
+            (shares as remaining/count, tied bottlenecks frozen together,
+            remaining clamped at zero)."""
+            rem = {l: capacity_py[l] for l in comp_links}
+            alive = dict.fromkeys(comp_flows)
+            out: Dict[int, float] = {}
+            while alive:
+                counts: Dict[int, int] = {}
+                for o in alive:
+                    for l in cols_py[o]:
+                        counts[l] = counts.get(l, 0) + 1
+                fair = inf
+                for l, cnt in counts.items():
+                    s = rem[l] / cnt
+                    if s < fair:
+                        fair = s
+                frozen = [
+                    o
+                    for o in alive
+                    if any(rem[l] / counts[l] == fair for l in cols_py[o])
+                ]
+                dec: Dict[int, int] = {}
+                for o in frozen:
+                    for l in cols_py[o]:
+                        dec[l] = dec.get(l, 0) + 1
+                for l, d in dec.items():
+                    r = rem[l] - fair * d
+                    rem[l] = r if r > 0.0 else 0.0
+                for o in frozen:
+                    out[o] = fair
+                    del alive[o]
+            return out
+
+        def reallocate(f: int) -> None:
+            """Refresh rates after ``f`` arrived/departed: solve the
+            affected component (or everything, past the threshold) and
+            re-key the calendar for flows whose rate changed."""
+            comp = component_from(f)
+            if comp is None:
+                fallback_ctr.inc()
+                frontier_hist.observe(float(num_active))
+                dirty_hist.observe(1.0)
+                new = system.fill_rates(active_np)
+                changed = np.flatnonzero(new != rates)
+                rates[:] = new
+                for ii in changed.tolist():
+                    version[ii] += 1
+                    r = new[ii]
+                    if r > 0.0:
+                        push_ctr.inc()
+                        heappush(
+                            heap,
+                            (now + float(remaining[ii]) / float(r), ii, version[ii]),
+                        )
+                return
+            comp_flows, _comp_links = comp
+            frontier_hist.observe(float(len(comp_flows)))
+            if num_active:
+                dirty_hist.observe(len(comp_flows) / num_active)
+            if not comp_flows:
+                return
+            for o, r in fill_component(comp_flows, _comp_links).items():
+                if r != rates[o]:
+                    rates[o] = r
+                    version[o] += 1
+                    if r > 0.0:
+                        push_ctr.inc()
+                        heappush(
+                            heap, (now + float(remaining[o]) / r, o, version[o])
+                        )
+
+        def next_finish() -> Optional[Tuple[float, int]]:
+            """Earliest projected completion, re-evaluated freshly.
+
+            Pops every live entry within the drift window of the top and
+            recomputes ``now + remaining/rate`` (the oracle's formula on
+            the eagerly-drained state); ties resolve to the lowest flow
+            index, matching the reference argmin."""
+            while heap and heap[0][2] != version[heap[0][1]]:
+                heappop(heap)
+                stale_ctr.inc()
+            if not heap:
+                return None
+            k0 = heap[0][0]
+            mag = k0 if k0 > 1.0 else 1.0
+            limit = k0 + _CALENDAR_REL_WINDOW * mag
+            cands: List[int] = []
+            while heap and heap[0][0] <= limit:
+                k, i, v = heappop(heap)
+                if v == version[i]:
+                    cands.append(i)
+                else:
+                    stale_ctr.inc()
+            best_t, best_i = inf, -1
+            fresh: List[Tuple[float, int]] = []
+            for i in cands:
+                t = now + float(remaining[i]) / float(rates[i])
+                fresh.append((t, i))
+                if t < best_t or (t == best_t and i < best_i):
+                    best_t, best_i = t, i
+            for t, i in fresh:
+                heappush(heap, (t, i, version[i]))
+            return best_t, best_i
+
+        while cursor < num_flows or num_active > 0:
+            events_ctr.inc()
+            if rate_probe is not None:
+                rate_probe(
+                    now,
+                    {
+                        ordered[int(i)].flow_id: float(rates[int(i)])
+                        for i in act_idx[:num_active]
+                    },
+                )
+            next_arrival = arrivals_py[cursor] if cursor < num_flows else inf
+            nf = next_finish()
+            if nf is None or next_arrival <= nf[0]:
+                if cursor >= num_flows:
+                    raise ConfigurationError(
+                        "deadlock: active flows with zero rate and no arrivals"
+                    )
+                elapsed = next_arrival - now
+                if num_active:
+                    sel = act_idx[:num_active]
+                    remaining[sel] -= rates[sel] * elapsed
+                now = next_arrival
+                i = cursor
+                cursor += 1
+                active_np[i] = True
+                active_py[i] = 1
+                act_pos[i] = num_active
+                act_idx[num_active] = i
+                num_active += 1
+                remaining[i] = ordered[i].size_gbit
+                start[i] = now
+                for l in cols_py[i]:
+                    link_active[l] += 1
+                reallocate(i)
+            else:
+                finish_t, w = nf
+                elapsed = finish_t - now
+                sel = act_idx[:num_active]
+                remaining[sel] -= rates[sel] * elapsed
+                now = finish_t
+                active_np[w] = False
+                active_py[w] = 0
+                p = act_pos[w]
+                last = int(act_idx[num_active - 1])
+                act_idx[p] = last
+                act_pos[last] = p
+                num_active -= 1
+                for l in cols_py[w]:
+                    link_active[l] -= 1
+                version[w] += 1
+                rates[w] = 0.0
+                records.append(
+                    FlowRecord(flow=ordered[w], start_s=float(start[w]), finish_s=now)
+                )
+                reallocate(w)
+        return records
+
+    # ------------------------------------------------------------------ #
+    # The per-event full-solve path (perf baseline)
+    # ------------------------------------------------------------------ #
+
+    def run_full_solve(
+        self, flows: Sequence[Flow], rate_probe: Optional[RateProbe] = None
+    ) -> List[FlowRecord]:
+        """The previous vectorized event loop: one full allocation solve
+        per event.
 
         The link x flow incidence structure is built once and carried
         across events: arrivals and completions only flip bits in the
         active-flow mask, the next arrival is an index cursor into the
         arrival-sorted flow array, and each event's max-min allocation is
-        one :meth:`_IncidenceSystem.fill_rates` pass.  Property-tested
-        against the per-event dict oracle :meth:`run_reference`.
+        one :meth:`_IncidenceSystem.fill_rates` pass (or the dict kernel
+        below :attr:`dict_kernel_crossover` active flows).  Kept as the
+        measured baseline the incremental :meth:`run` is compared
+        against; property-tested against :meth:`run_reference`.
         """
-        if not flows:
-            raise ConfigurationError("need at least one flow")
-        capacity = self._capacities()
-        paths = self._routed_paths(flows, capacity)
-
-        ordered = sorted(flows, key=lambda f: f.arrival_s)
+        capacity, paths, ordered, cols_py, cap_vector = self._prepare(flows)
         num_flows = len(ordered)
-        link_index, cap_vector = _index_links(
-            {f.flow_id: paths[f.flow_id] for f in ordered}, capacity
+        system = _IncidenceSystem(
+            [np.asarray(c, dtype=np.int32) for c in cols_py], cap_vector
         )
-        cols = [
-            np.array(
-                [link_index[link] for link in paths[f.flow_id]], dtype=np.intp
-            )
-            for f in ordered
-        ]
-        system = _IncidenceSystem(cols, cap_vector)
 
         links_by_idx = [paths[f.flow_id] for f in ordered]
         active = np.zeros(num_flows, dtype=bool)
@@ -310,7 +714,7 @@ class FlowSimulator:
         records: List[FlowRecord] = []
 
         while cursor < num_flows or num_active > 0:
-            if 0 < num_active <= _DICT_KERNEL_CROSSOVER:
+            if 0 < num_active <= self.dict_kernel_crossover:
                 indices = np.flatnonzero(active)
                 rate_map = max_min_rates_reference(
                     {int(i): links_by_idx[int(i)] for i in indices}, capacity
@@ -320,6 +724,14 @@ class FlowSimulator:
                     rates[i] = rate
             else:
                 rates = system.fill_rates(active)
+            if rate_probe is not None:
+                rate_probe(
+                    now,
+                    {
+                        ordered[int(i)].flow_id: float(rates[int(i)])
+                        for i in np.flatnonzero(active)
+                    },
+                )
             next_arrival = arrivals[cursor] if cursor < num_flows else float("inf")
             # Earliest projected completion among active flows with a
             # positive rate; ties resolve to the lowest (earliest-arrived)
@@ -332,7 +744,10 @@ class FlowSimulator:
                 k = int(np.argmin(t))
                 finish_idx = int(flowing[k])
                 next_finish = float(t[k])
-            if next_arrival <= next_finish:
+            # The cursor guard matters when every active flow is starved
+            # at rate 0 with no arrivals left: both candidate times are
+            # inf, and only the completion branch can raise the deadlock.
+            if cursor < num_flows and next_arrival <= next_finish:
                 elapsed = next_arrival - now
                 # Inactive flows all carry rate 0.0, so the drain is one
                 # unmasked vector op.
@@ -362,7 +777,9 @@ class FlowSimulator:
                 )
         return records
 
-    def run_reference(self, flows: Sequence[Flow]) -> List[FlowRecord]:
+    def run_reference(
+        self, flows: Sequence[Flow], rate_probe: Optional[RateProbe] = None
+    ) -> List[FlowRecord]:
         """Scalar oracle for :meth:`run`: the original per-event dict loop.
 
         Rebuilds the active-flow dict and re-runs the dict-based
@@ -385,6 +802,8 @@ class FlowSimulator:
             rates = max_min_rates_reference(
                 {fid: paths[fid] for fid in remaining}, capacity
             )
+            if rate_probe is not None:
+                rate_probe(now, dict(rates))
             next_arrival = pending[0].arrival_s if pending else float("inf")
             next_finish, finish_id = float("inf"), None
             for fid, left in remaining.items():
@@ -393,9 +812,10 @@ class FlowSimulator:
                     t = now + left / rate
                     if t < next_finish:
                         next_finish, finish_id = t, fid
-            if not remaining and not pending:
-                break
-            if next_arrival <= next_finish:
+            # ``pending`` guard: with every active flow starved at rate 0
+            # and no arrivals left both times are inf, and the completion
+            # branch owns the deadlock raise.
+            if pending and next_arrival <= next_finish:
                 elapsed = next_arrival - now
                 for fid in list(remaining):
                     remaining[fid] -= rates.get(fid, 0.0) * elapsed

@@ -16,6 +16,11 @@ through one engine:
   spec digest, with explicit invalidation.
 - :mod:`repro.parallel.canon` -- the canonical byte encoding behind the
   digests.
+- :mod:`repro.parallel.shm` -- zero-copy ndarray shipping: large task
+  payloads are packed once into a ``multiprocessing.shared_memory``
+  arena and workers rebuild read-only views from a tiny header spec,
+  so shipping cost stops scaling with ``chunks x payload``
+  (``SweepEngine(ship="shm")``).
 - ``python -m repro.parallel.smoke`` -- the CI cache-smoke gate: one
   sweep run cold then warm, asserting 100% hits and a >=5x speedup.
 
@@ -26,14 +31,26 @@ contract, and the cache key/invalidation rules.
 from repro.parallel.cache import CACHE_SCHEMA_VERSION, CacheStats, ResultCache
 from repro.parallel.canon import canonical_bytes, fn_identity, spec_digest
 from repro.parallel.engine import SweepEngine, SweepRunStats
+from repro.parallel.shm import (
+    ArenaSpec,
+    ArrayRef,
+    ShmArena,
+    extract_arrays,
+    restore_arrays,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "ArenaSpec",
+    "ArrayRef",
     "CacheStats",
     "ResultCache",
+    "ShmArena",
     "SweepEngine",
     "SweepRunStats",
     "canonical_bytes",
+    "extract_arrays",
     "fn_identity",
+    "restore_arrays",
     "spec_digest",
 ]

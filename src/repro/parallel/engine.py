@@ -60,6 +60,13 @@ from repro.core.errors import ConfigurationError
 from repro.obs import NULL_OBS
 from repro.parallel.cache import ResultCache
 from repro.parallel.canon import fn_identity
+from repro.parallel.shm import (
+    DEFAULT_MIN_BYTES,
+    ArenaSpec,
+    ShmArena,
+    extract_arrays,
+    restore_arrays,
+)
 
 #: One task as shipped to a worker: (index, task, per-task seed or None).
 _Item = Tuple[int, object, Optional[np.random.SeedSequence]]
@@ -79,6 +86,35 @@ def _run_chunk(payload: Tuple[Callable, List[_Item]]):
     return results, (time.perf_counter() - t0) * 1e3
 
 
+#: Arenas this worker process has attached, by segment name.  A pool
+#: worker attaches each arena once and holds the mapping until process
+#: exit (pools are per-pmap-call, so exit promptly follows the drain);
+#: keeping the mapping open also makes it safe for task results to alias
+#: arena views -- they are pickled for the trip home while the mapping
+#: is still live.
+_ATTACHED: dict = {}
+
+
+def _attached_arena(spec: ArenaSpec) -> ShmArena:
+    arena = _ATTACHED.get(spec.name)
+    if arena is None:
+        arena = ShmArena.attach(spec)
+        _ATTACHED[spec.name] = arena
+    return arena
+
+
+def _run_chunk_shm(payload: Tuple[Callable, ArenaSpec, List[_Item]]):
+    """Worker entry point for shm shipping: attach, rebuild views, run."""
+    fn, spec, items = payload
+    views = _attached_arena(spec).views()
+    t0 = time.perf_counter()
+    results = [
+        (index, _apply(fn, restore_arrays(task, views), seed))
+        for index, task, seed in items
+    ]
+    return results, (time.perf_counter() - t0) * 1e3
+
+
 @dataclass
 class SweepRunStats:
     """What the last :meth:`SweepEngine.pmap` call did."""
@@ -90,6 +126,8 @@ class SweepRunStats:
     chunks: int = 0
     workers: int = 1
     parallel: bool = False
+    shm_arrays: int = 0
+    shm_bytes: int = 0
 
 
 class SweepEngine:
@@ -110,6 +148,18 @@ class SweepEngine:
             runs require ``fn`` and tasks to be picklable -- module-level
             functions and plain-data specs; the serial path has no such
             constraint.
+        ship: ``"pickle"`` ships task specs whole through the pool pipe;
+            ``"shm"`` extracts large ndarrays into one shared-memory
+            arena per call (see :mod:`repro.parallel.shm`) and ships
+            tiny placeholders instead, so a payload referenced by every
+            task crosses the process boundary once instead of once per
+            chunk.  Tasks with no qualifying arrays fall back to plain
+            pickle shipping automatically.  Results are unaffected
+            (workers return values through the normal pipe); cache keys
+            are computed on the original, un-stripped specs, so a cached
+            value is ship-mode independent.
+        shm_min_bytes: minimum ndarray payload size worth a slot in the
+            arena; smaller arrays ride the pickle pipe.
     """
 
     def __init__(
@@ -119,11 +169,19 @@ class SweepEngine:
         cache: Optional[ResultCache] = None,
         obs=None,
         mp_context: Optional[str] = None,
+        ship: str = "pickle",
+        shm_min_bytes: int = DEFAULT_MIN_BYTES,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
+        if ship not in ("pickle", "shm"):
+            raise ConfigurationError(
+                f"ship must be 'pickle' or 'shm', got {ship!r}"
+            )
+        if shm_min_bytes < 1:
+            raise ConfigurationError("shm_min_bytes must be >= 1")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.chunk_size = chunk_size
         self.cache = cache
@@ -135,6 +193,8 @@ class SweepEngine:
                 else "spawn"
             )
         self.mp_context = mp_context
+        self.ship = ship
+        self.shm_min_bytes = shm_min_bytes
         self.last_run = SweepRunStats()
 
     # ------------------------------------------------------------------ #
@@ -226,37 +286,90 @@ class SweepEngine:
                     float(stats.cache_hits)
                 )
 
-            chunks = self._chunk(
-                [(i, items[i], seeds[i]) for i in pending]
-            )
+            # Zero-copy shipping: pull big ndarrays out of the pending
+            # specs into one shared-memory arena; chunks carry tiny
+            # placeholders.  Cache keys above were computed on the
+            # original specs, so caching is ship-mode independent.
+            arena: Optional[ShmArena] = None
+            if self.ship == "shm" and pending:
+                stripped, arrays = extract_arrays(
+                    [items[i] for i in pending], self.shm_min_bytes
+                )
+                if arrays:
+                    arena = ShmArena.pack(arrays)
+                    stats.shm_arrays = len(arrays)
+                    stats.shm_bytes = sum(int(a.nbytes) for a in arrays)
+                    obs.metrics.counter("sweep.shm.arenas", tag=tag).inc()
+                    obs.metrics.counter("sweep.shm.arrays", tag=tag).add(
+                        float(stats.shm_arrays)
+                    )
+                    obs.metrics.counter("sweep.shm.bytes", tag=tag).add(
+                        float(stats.shm_bytes)
+                    )
+                    pending_items = [
+                        (i, stripped[k], seeds[i]) for k, i in enumerate(pending)
+                    ]
+            if arena is None:
+                pending_items = [(i, items[i], seeds[i]) for i in pending]
+            chunks = self._chunk(pending_items)
             stats.chunks = len(chunks)
             stats.computed = len(pending)
             parallel = self.workers > 1 and len(chunks) > 1
             stats.parallel = parallel
 
-            if parallel:
-                ctx = multiprocessing.get_context(self.mp_context)
-                with ctx.Pool(processes=min(self.workers, len(chunks))) as pool:
-                    for chunk_results, wall_ms in pool.imap(
-                        _run_chunk, [(fn, chunk) for chunk in chunks]
-                    ):
-                        for index, value in chunk_results:
-                            results[index] = value
+            try:
+                if parallel:
+                    ctx = multiprocessing.get_context(self.mp_context)
+                    with ctx.Pool(
+                        processes=min(self.workers, len(chunks))
+                    ) as pool:
+                        if arena is not None:
+                            payloads = [
+                                (fn, arena.spec, chunk) for chunk in chunks
+                            ]
+                            runner = _run_chunk_shm
+                        else:
+                            payloads = [(fn, chunk) for chunk in chunks]
+                            runner = _run_chunk
+                        for chunk_results, wall_ms in pool.imap(runner, payloads):
+                            for index, value in chunk_results:
+                                results[index] = value
+                            obs.metrics.histogram(
+                                "sweep.chunk.duration_ms"
+                            ).observe(wall_ms)
+                            obs.metrics.counter(
+                                "sweep.chunks.completed", tag=tag
+                            ).inc()
+                else:
+                    views: List[np.ndarray] = []
+                    if arena is not None:
+                        # The serial parity twin: round-trip through the
+                        # arena bytes exactly as a worker would, but copy
+                        # the views (still read-only) so in-process
+                        # results may safely alias them after teardown.
+                        twin = ShmArena.attach(arena.spec)
+                        try:
+                            for v in twin.views():
+                                c = v.copy()
+                                c.flags.writeable = False
+                                views.append(c)
+                        finally:
+                            twin.close()
+                    for chunk in chunks:
+                        with obs.tracer.span(
+                            "sweep.chunk", size=len(chunk), tag=tag
+                        ) as chunk_span:
+                            for index, task, s in chunk:
+                                if arena is not None:
+                                    task = restore_arrays(task, views)
+                                results[index] = _apply(fn, task, s)
                         obs.metrics.histogram("sweep.chunk.duration_ms").observe(
-                            wall_ms
+                            chunk_span.duration_ms
                         )
                         obs.metrics.counter("sweep.chunks.completed", tag=tag).inc()
-            else:
-                for chunk in chunks:
-                    with obs.tracer.span(
-                        "sweep.chunk", size=len(chunk), tag=tag
-                    ) as chunk_span:
-                        for index, task, s in chunk:
-                            results[index] = _apply(fn, task, s)
-                    obs.metrics.histogram("sweep.chunk.duration_ms").observe(
-                        chunk_span.duration_ms
-                    )
-                    obs.metrics.counter("sweep.chunks.completed", tag=tag).inc()
+            finally:
+                if arena is not None:
+                    arena.destroy()
 
             if use_cache:
                 assert self.cache is not None

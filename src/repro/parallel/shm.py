@@ -1,0 +1,264 @@
+"""Zero-copy ndarray shipping for :mod:`repro.parallel`: the shm arena.
+
+Why
+---
+
+``SweepEngine.pmap`` ships chunks to workers by pickling ``(fn, items)``
+through a pipe.  For plain-data task specs that is fine; for tasks
+carrying large ndarrays (a shared BER grid, a fleet telemetry cube) the
+parent serializes the same megabytes once per chunk and every worker
+deserializes its own private copy -- shipping cost grows with
+``chunks x payload`` and quickly dwarfs compute.  The arena makes array
+payloads cost ``O(payload)`` once, total:
+
+1. The parent walks the pending task specs, pulls out every ndarray at
+   least :data:`DEFAULT_MIN_BYTES` big (deduplicated by object
+   identity, so a grid shared by 100 tasks ships once), and packs them
+   back-to-back into one :class:`multiprocessing.shared_memory.SharedMemory`
+   segment.
+2. Each extracted array position is replaced by a tiny picklable
+   :class:`ArrayRef` placeholder; the stripped specs ship through the
+   normal pipe as before.
+3. Workers attach the segment by name (header + view reconstruction:
+   an :class:`ArenaSpec` of ``(offset, dtype, shape)`` slots is enough
+   to rebuild every array as a **read-only view** of the mapping -- no
+   copy), substitute views for placeholders, and run the chunk.
+
+Ownership rules
+---------------
+
+The *creator* (the parent) owns the segment: it alone calls
+:meth:`ShmArena.unlink` (destroy), always after the pool has drained.
+Workers and the serial twin only ever :meth:`ShmArena.close` (detach).
+Attachments suppress CPython ``resource_tracker`` registration -- before
+3.13 the tracker wrongly assumes ownership of attachments and would
+destroy the segment when the first worker exits.
+Views handed to tasks are read-only: a worker that wants to mutate a
+shipped array must copy it, which keeps the "same bytes for every
+worker" determinism contract trivially true.
+
+The serial parity twin
+----------------------
+
+``SweepEngine(ship="shm", workers=1)`` round-trips every chunk through
+pack -> spec -> attach -> restore *in-process*, so the exact
+strip/restore path the pool exercises is also the path the
+bit-identical serial oracle runs -- byte-level divergence cannot hide
+behind the transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker
+from multiprocessing.shared_memory import SharedMemory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+#: Arrays smaller than this ship through the ordinary pickle pipe: below
+#: a page or two, placeholder bookkeeping costs more than copying.
+DEFAULT_MIN_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Placeholder left where an ndarray was extracted: arena slot index."""
+
+    slot: int
+
+
+@dataclass(frozen=True)
+class ArenaSlot:
+    """One packed array: where it lives and how to view it."""
+
+    offset: int
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Everything a worker needs to rebuild the views: name + headers.
+
+    Picklable and tiny -- this is what ships through the pipe instead of
+    the array bytes.
+    """
+
+    name: str
+    size: int
+    slots: Tuple[ArenaSlot, ...]
+
+
+def _attach_untracked(name: str) -> SharedMemory:
+    """Attach to a segment without resource-tracker 'ownership'.
+
+    CPython < 3.13 registers every ``SharedMemory(name=...)`` attachment
+    with the resource tracker, which then unlinks the segment when the
+    attaching process exits -- destroying it under the real owner (and,
+    with a fork-shared tracker, un-registering after the fact clobbers
+    the owner's own registration).  Suppressing registration during the
+    attach leaves the owner's explicit :meth:`ShmArena.unlink` as the
+    only destroy path.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+class ShmArena:
+    """A packed shared-memory segment of ndarrays; see module docstring."""
+
+    def __init__(self, shm: SharedMemory, spec: ArenaSpec, owner: bool) -> None:
+        self._shm = shm
+        self.spec = spec
+        self.owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def pack(cls, arrays: Sequence[np.ndarray]) -> "ShmArena":
+        """Create a segment holding copies of ``arrays``, C-contiguous.
+
+        The creator owns the segment and must eventually call both
+        :meth:`close` and :meth:`unlink` (or use :meth:`destroy`).
+        """
+        if not arrays:
+            raise ConfigurationError("cannot pack an empty arena")
+        slots: List[ArenaSlot] = []
+        offset = 0
+        contiguous: List[np.ndarray] = []
+        for a in arrays:
+            c = np.ascontiguousarray(a)
+            contiguous.append(c)
+            slots.append(
+                ArenaSlot(offset=offset, dtype=c.dtype.str, shape=c.shape)
+            )
+            offset += c.nbytes
+        # A zero-byte segment is an OS error; arenas with only empty
+        # arrays still need one addressable byte.
+        shm = SharedMemory(create=True, size=max(offset, 1))
+        spec = ArenaSpec(name=shm.name, size=max(offset, 1), slots=tuple(slots))
+        for slot, c in zip(slots, contiguous):
+            if c.nbytes:
+                dst = np.ndarray(
+                    c.shape, dtype=c.dtype, buffer=shm.buf, offset=slot.offset
+                )
+                dst[...] = c
+        return cls(shm, spec, owner=True)
+
+    @classmethod
+    def attach(cls, spec: ArenaSpec) -> "ShmArena":
+        """Attach to an existing segment by spec; attachments never unlink."""
+        return cls(_attach_untracked(spec.name), spec, owner=False)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    def views(self) -> List[np.ndarray]:
+        """Read-only ndarray views over the mapping, one per slot, no copy.
+
+        Views are valid only while this arena object stays referenced
+        and open: dropping or closing it unmaps the segment underneath
+        them.  The engine's worker-side cache and serial twin both
+        uphold this; external callers must too.
+        """
+        if self._closed:
+            raise ConfigurationError("arena is closed")
+        out: List[np.ndarray] = []
+        for slot in self.spec.slots:
+            v = np.ndarray(
+                slot.shape,
+                dtype=np.dtype(slot.dtype),
+                buffer=self._shm.buf,
+                offset=slot.offset,
+            )
+            v.flags.writeable = False
+            out.append(v)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Detach this process's mapping (safe to call twice)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment.  Owner only."""
+        if not self.owner:
+            raise ConfigurationError("only the arena owner may unlink")
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def destroy(self) -> None:
+        """Owner teardown: detach and destroy."""
+        self.close()
+        if self.owner:
+            self.unlink()
+
+
+# ---------------------------------------------------------------------- #
+# Strip / restore over task specs
+# ---------------------------------------------------------------------- #
+
+
+def extract_arrays(
+    tasks: Sequence[object], min_bytes: int = DEFAULT_MIN_BYTES
+) -> Tuple[List[object], List[np.ndarray]]:
+    """Replace big ndarrays in task specs with :class:`ArrayRef` markers.
+
+    Walks dicts, lists, and tuples recursively.  Arrays are deduplicated
+    by object identity: the same grid referenced by every task occupies
+    one slot and ships once.  Returns the rewritten specs plus the slot
+    arrays (in slot order); an empty array list means nothing qualified
+    and the specs came back unchanged.
+    """
+    slot_of: Dict[int, int] = {}
+    arrays: List[np.ndarray] = []
+
+    def strip(obj: object) -> object:
+        if isinstance(obj, np.ndarray) and obj.nbytes >= min_bytes:
+            key = id(obj)
+            slot = slot_of.get(key)
+            if slot is None:
+                slot = len(arrays)
+                slot_of[key] = slot
+                arrays.append(obj)
+            return ArrayRef(slot)
+        if isinstance(obj, dict):
+            return {k: strip(v) for k, v in obj.items()}
+        if isinstance(obj, list):
+            return [strip(v) for v in obj]
+        if isinstance(obj, tuple):
+            return tuple(strip(v) for v in obj)
+        return obj
+
+    return [strip(t) for t in tasks], arrays
+
+
+def restore_arrays(obj: object, views: Sequence[np.ndarray]) -> object:
+    """Inverse of :func:`extract_arrays`: swap markers for arena views."""
+    if isinstance(obj, ArrayRef):
+        return views[obj.slot]
+    if isinstance(obj, dict):
+        return {k: restore_arrays(v, views) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [restore_arrays(v, views) for v in obj]
+    if isinstance(obj, tuple):
+        return tuple(restore_arrays(v, views) for v in obj)
+    return obj

@@ -1,0 +1,202 @@
+"""Property suite for zero-copy shared-memory shipping.
+
+Two contracts:
+
+1. **Round-trip is byte-identical.**  Any ndarray packed into a
+   :class:`ShmArena` and rebuilt from the attached spec must come back
+   with the same dtype, shape, and bytes -- across dtypes (ints,
+   floats, complex, bools), shapes (0-d scalars, empty axes, ragged
+   mixes), and non-contiguous inputs.
+2. **Ship mode is invisible.**  ``SweepEngine(ship="shm")`` must return
+   results bit-identical to pickle shipping and to the serial oracle,
+   for any worker count, with caching composing unchanged (keys are
+   computed on the original specs).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.parallel import ResultCache, SweepEngine
+from repro.parallel.shm import (
+    ArrayRef,
+    ShmArena,
+    extract_arrays,
+    restore_arrays,
+)
+
+DTYPES = ["u1", "i2", "i4", "i8", "f4", "f8", "c16", "?"]
+
+shapes = st.lists(st.integers(min_value=0, max_value=7), min_size=0, max_size=3).map(
+    tuple
+)
+
+
+@st.composite
+def arrays(draw):
+    dtype = np.dtype(draw(st.sampled_from(DTYPES)))
+    shape = draw(shapes)
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    raw = rng.integers(0, 255, size=shape, dtype=np.uint8)
+    count = int(np.prod(shape)) if shape else 1
+    nbytes = count * dtype.itemsize
+    buf = rng.integers(0, 255, size=max(nbytes, 1), dtype=np.uint8).tobytes()
+    a = np.frombuffer(buf[:nbytes], dtype=dtype).reshape(shape).copy()
+    del raw
+    return a
+
+
+class TestArenaRoundTrip:
+    @given(st.lists(arrays(), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_pack_attach_views_byte_identical(self, arrs):
+        arena = ShmArena.pack(arrs)
+        try:
+            twin = ShmArena.attach(arena.spec)
+            try:
+                views = twin.views()
+                assert len(views) == len(arrs)
+                for a, v in zip(arrs, views):
+                    c = np.ascontiguousarray(a)
+                    assert v.dtype == c.dtype
+                    assert v.shape == c.shape
+                    assert v.tobytes() == c.tobytes()
+                    assert not v.flags.writeable
+            finally:
+                twin.close()
+        finally:
+            arena.destroy()
+
+    def test_non_contiguous_input_packs_contiguously(self):
+        base = np.arange(100, dtype=np.float64).reshape(10, 10)
+        sliced = base[::2, ::3]
+        arena = ShmArena.pack([sliced])
+        try:
+            # Views are valid only while their arena is referenced and
+            # open -- dropping the arena unmaps the segment under them.
+            twin = ShmArena.attach(arena.spec)
+            try:
+                (v,) = twin.views()
+                assert np.array_equal(v, sliced)
+            finally:
+                twin.close()
+        finally:
+            arena.destroy()
+
+    def test_views_are_read_only(self):
+        arena = ShmArena.pack([np.zeros(8)])
+        try:
+            (v,) = arena.views()
+            with pytest.raises(ValueError):
+                v[0] = 1.0
+        finally:
+            arena.destroy()
+
+    def test_only_owner_may_unlink(self):
+        arena = ShmArena.pack([np.ones(4)])
+        try:
+            twin = ShmArena.attach(arena.spec)
+            with pytest.raises(ConfigurationError):
+                twin.unlink()
+            twin.close()
+        finally:
+            arena.destroy()
+
+    def test_empty_arena_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShmArena.pack([])
+
+
+class TestExtractRestore:
+    def test_round_trips_nested_structures(self):
+        big = np.arange(2048, dtype=np.float64)
+        spec = {
+            "grid": big,
+            "nested": [{"again": big}, (1, "x", big)],
+            "small": np.ones(2),
+            "scalar": 3.5,
+        }
+        stripped, arrs = extract_arrays([spec], min_bytes=1024)
+        assert len(arrs) == 1 and arrs[0] is big
+        # Dedup: the same object became the same slot everywhere.
+        s = stripped[0]
+        assert s["grid"] == ArrayRef(0)
+        assert s["nested"][0]["again"] == ArrayRef(0)
+        assert s["nested"][1][2] == ArrayRef(0)
+        # Small arrays and scalars ride along untouched.
+        assert s["small"] is spec["small"]
+        assert s["scalar"] == 3.5
+        restored = restore_arrays(s, [big])
+        assert restored["grid"] is big
+        assert restored["nested"][0]["again"] is big
+
+    def test_min_bytes_threshold(self):
+        a = np.zeros(10, dtype=np.float64)  # 80 bytes
+        stripped, arrs = extract_arrays([{"a": a}], min_bytes=81)
+        assert arrs == [] and stripped[0]["a"] is a
+        stripped, arrs = extract_arrays([{"a": a}], min_bytes=80)
+        assert len(arrs) == 1 and stripped[0]["a"] == ArrayRef(0)
+
+
+def _row_stat(task, seed):
+    rng = np.random.default_rng(seed)
+    row = task["grid"][task["row"]]
+    return float(row.sum() + np.quantile(row, task["q"]) + rng.standard_normal())
+
+
+class TestEngineShipParity:
+    @pytest.fixture()
+    def tasks(self):
+        rng = np.random.default_rng(42)
+        grid = rng.standard_normal((64, 257))
+        return [{"grid": grid, "row": i % 64, "q": 0.25} for i in range(12)]
+
+    def test_shm_matches_pickle_and_serial(self, tasks):
+        oracle = SweepEngine(workers=1).pmap_serial(_row_stat, tasks, seed=9)
+        for workers in (1, 2, 4):
+            for ship in ("pickle", "shm"):
+                got = SweepEngine(workers=workers, ship=ship).pmap(
+                    _row_stat, tasks, seed=9
+                )
+                assert got == oracle, (workers, ship)
+
+    def test_shm_stats_recorded(self, tasks):
+        eng = SweepEngine(workers=2, ship="shm")
+        eng.pmap(_row_stat, tasks, seed=9)
+        assert eng.last_run.shm_arrays == 1  # the grid deduped to one slot
+        assert eng.last_run.shm_bytes == tasks[0]["grid"].nbytes
+
+    def test_no_qualifying_arrays_falls_back_to_pickle(self):
+        tasks = [{"x": float(i)} for i in range(8)]
+
+        def f(t, s):
+            return t["x"] * 2
+
+        eng = SweepEngine(workers=1, ship="shm")
+        got = eng.pmap(f, tasks, seed=1)
+        assert got == [t["x"] * 2 for t in tasks]
+        assert eng.last_run.shm_arrays == 0
+
+    def test_cache_keys_are_ship_mode_independent(self, tasks, tmp_path):
+        cache = ResultCache(tmp_path)
+        warm = SweepEngine(workers=1, cache=cache, ship="pickle")
+        a = warm.pmap(_row_stat, tasks, seed=9, cache_tag="shmtest")
+        assert warm.last_run.cache_misses == len(tasks)
+        replay = SweepEngine(workers=1, cache=cache, ship="shm")
+        b = replay.pmap(_row_stat, tasks, seed=9, cache_tag="shmtest")
+        assert replay.last_run.cache_hits == len(tasks)
+        assert a == b
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=8, deadline=None)
+    def test_chunking_never_affects_shm_results(self, workers, chunk_size):
+        rng = np.random.default_rng(3)
+        grid = rng.standard_normal((16, 311))
+        tasks = [{"grid": grid, "row": i, "q": 0.5} for i in range(16)]
+        oracle = SweepEngine(workers=1).pmap_serial(_row_stat, tasks, seed=5)
+        got = SweepEngine(
+            workers=workers, chunk_size=chunk_size, ship="shm"
+        ).pmap(_row_stat, tasks, seed=5)
+        assert got == oracle
