@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Digital-twin operations: record, forecast, and rehearse a change.
+
+The pre-commit workflow an OCS fleet operator runs before pushing a
+policy change (§3.2.2's telemetry loop, Mission Apollo's qualification
+discipline), end to end:
+
+1. **record** -- run the overload serving drill and capture its fleet
+   timeline (offered/ok/shed counts, per-bucket p99, brownout level)
+   together with the replay parameters that make it reconstructible;
+2. **stream** -- push the timeline through the windowed time-series
+   pipeline and read off the derived series a dashboard would show
+   (EWMA-smoothed p99, shed rate);
+3. **forecast** -- train the availability forecaster on a chaos
+   ensemble and score it against the naive last-value bar on held-out
+   members;
+4. **rehearse** -- price candidate policies in the what-if planner and
+   show each one's predicted SLO deltas, then ask the approval gate
+   whether the committed thresholds would let it ship.
+
+Everything is seeded and sim-clocked: run it twice and every digest
+printed at the end is byte-identical.
+
+Run: ``python examples/twin_operations.py``
+"""
+
+import argparse
+
+from repro.analysis.tables import render_table
+from repro.faults.ensemble import chaos_ensemble_serial
+from repro.obs.timeseries import TimeSeriesPipeline, WindowSpec
+from repro.twin import (
+    TwinPolicy,
+    WhatIfPlanner,
+    record_fleet_timeline,
+    train_availability_forecaster,
+)
+from repro.twin.drill import ENSEMBLE_KWARGS, ENSEMBLE_SCENARIO
+
+CANDIDATES = (
+    TwinPolicy(name="pin_brownout_2", pinned_brownout=2),
+    TwinPolicy(name="quarantine_quarter", quarantine_fraction=0.25),
+    TwinPolicy(name="halve_admission", global_rate_scale=0.5,
+               tenant_rate_scale=0.5),
+)
+
+#: The thresholds the approval gate consults (the serving SLOs from
+#: benchmarks/slo_thresholds.json, in the twin_plan_ namespace).
+GATE = {"twin_plan_serve_p99_ms": 350.0, "twin_plan_serve_shed_rate": 0.25}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--primaries", type=int, default=1_500)
+    args = parser.parse_args()
+
+    # 1. Record the fleet timeline from one overload drill.
+    timeline = record_fleet_timeline(
+        seed=args.seed, num_primaries=args.primaries, name="change-window"
+    )
+    print(f"recorded {len(timeline.samples)} samples over "
+          f"{timeline.horizon_s:.2f}s  (digest {timeline.digest()[:16]})")
+    print(render_table(
+        ["baseline SLO", "value"],
+        [[k, f"{v:.6g}"] for k, v in sorted(timeline.baseline.items())],
+    ))
+
+    # 2. Stream it through the windowed-aggregation pipeline.
+    pipeline = TimeSeriesPipeline(WindowSpec(width_ms=200.0))
+    pipeline.replay(timeline.to_records())
+    pipeline.flush()
+    p99 = pipeline.ewma("serve.latency_p99_ms", alpha=0.4)
+    print(f"\n{len(pipeline.aggregates())} window aggregates "
+          f"(digest {pipeline.digest()[:16]}); "
+          f"EWMA p99 ends at {p99[-1][1]:.1f} ms")
+
+    # 3. Train + score the availability forecaster.
+    reports = chaos_ensemble_serial(
+        ENSEMBLE_SCENARIO,
+        [args.seed * 1_000 + i for i in range(24)],
+        dict(ENSEMBLE_KWARGS),
+    )
+    evaluation = train_availability_forecaster(reports)
+    print(f"\nforecaster: {evaluation.model_name}  "
+          f"model MAE {evaluation.model_mae:.5f} vs "
+          f"naive {evaluation.naive_mae:.5f}  "
+          f"(beats naive: {evaluation.beats_naive}, "
+          f"coverage {evaluation.coverage:.0%})")
+
+    # 4. Rehearse the candidate policies in the what-if planner.
+    planner = WhatIfPlanner(timeline)
+    rows = []
+    for policy in CANDIDATES:
+        ok, violations, report = planner.approve(policy, GATE)
+        rows.append([
+            policy.name,
+            f"{report.predicted['serve_p99_ms']:.1f}",
+            f"{report.deltas['serve_p99_ms']:+.1f}",
+            f"{report.deltas['availability']:+.4f}",
+            "ship" if ok else "HOLD: " + ",".join(v[0] for v in violations),
+            report.digest()[:12],
+        ])
+    print("\nWhat-if rehearsal (predicted before commit):")
+    print(render_table(
+        ["policy", "p99 ms", "Δp99", "Δavail", "gate", "plan digest"], rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

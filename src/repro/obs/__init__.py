@@ -12,6 +12,8 @@ reports through:
 - :mod:`repro.obs.trace` -- the :class:`Tracer` producing nested,
   reproducible span trees via ``span(name, **attrs)``;
 - :mod:`repro.obs.export` -- JSONL exporters (the CI artifacts);
+- :mod:`repro.obs.timeseries` -- the streaming windowed-aggregation
+  pipeline over timestamped samples (the digital twin's substrate);
 - :mod:`repro.obs.drill` -- the seeded, fully-instrumented chaos drill
   behind ``python -m repro.tools.noc``.
 
@@ -29,8 +31,22 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional, Tuple
 
 from repro.obs.clock import SimClock, WallClock
-from repro.obs.export import export_metrics, export_trace, read_jsonl, write_jsonl
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    JsonlRecords,
+    export_metrics,
+    export_timeline,
+    export_trace,
+    read_jsonl,
+    write_jsonl,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timeseries import (
+    Sample,
+    TimeSeriesPipeline,
+    WindowAggregate,
+    WindowSpec,
+)
 from repro.obs.trace import Span, Tracer
 
 
@@ -227,14 +243,21 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonlRecords",
     "MetricsRegistry",
     "NULL_OBS",
     "Observability",
+    "SCHEMA_VERSION",
+    "Sample",
     "SimClock",
     "Span",
+    "TimeSeriesPipeline",
     "Tracer",
     "WallClock",
+    "WindowAggregate",
+    "WindowSpec",
     "export_metrics",
+    "export_timeline",
     "export_trace",
     "read_jsonl",
     "resolve_obs",

@@ -51,6 +51,7 @@ PHASES: Tuple[str, ...] = (
     "sweep",
     "serve",
     "failover",
+    "twin",
 )
 
 
@@ -300,6 +301,33 @@ def run_fabric_drill(
             failover_summary["committed_ops_lost"]
         )
         notes["failover_availability"] = float(failover_summary["availability"])
+
+    # -- twin: the predictive loop -- record a fleet timeline, stream it
+    # through the windowed-aggregation pipeline, train the availability
+    # forecaster on a chaos ensemble, and what-if-replay candidate
+    # policies.  Runs on an isolated bundle (its replays would pollute
+    # the serve percentiles), then republishes the twin SLO gauges.
+    with obs.tracer.span("drill.twin"):
+        from repro.twin.drill import run_twin_drill
+
+        twin_obs = Observability.sim()
+        twin_out = run_twin_drill(seed=seed, smoke=True, obs=twin_obs)
+        for gauge in (
+            "twin.forecast.miss_rate",
+            "twin.forecast.mae_excess",
+            "twin.plan.divergence",
+        ):
+            obs.metrics.gauge(gauge).set(twin_obs.metrics.value(gauge))
+        twin_summary = twin_out["summary"]
+        notes["twin_timeline_samples"] = float(twin_summary["timeline_samples"])
+        notes["twin_aggregates"] = float(twin_summary["aggregates"])
+        notes["twin_forecast_beats_naive"] = float(
+            twin_summary["twin_forecast_mae_excess"] < 0.0
+        )
+        notes["twin_plan_divergence"] = float(
+            twin_summary["twin_plan_divergence"]
+        )
+        notes["twin_policies"] = float(len(twin_out["plans"]))
 
     return DrillReport(
         seed=seed,

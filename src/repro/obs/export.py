@@ -1,9 +1,20 @@
-"""JSONL export/import for traces and metric snapshots.
+"""JSONL export/import for traces, metric snapshots, and timelines.
 
 One record per line, plain JSON -- greppable, diffable, and small enough
 to upload as a CI artifact from every recovery drill.  The first line of
 each file is a ``meta`` record identifying the stream so a reader can
 tell a trace file from a metrics file without trusting the filename.
+
+Meta records carry a ``schema_version`` (:data:`SCHEMA_VERSION`);
+readers must tolerate unknown fields on any record so a newer writer
+never strands an older reader.
+
+A drill killed mid-write leaves a torn final line.  :func:`read_jsonl`
+skips that tail instead of raising -- every downstream consumer (the NOC
+report, the time-series replay, the twin's timeline loader) keeps
+working on the records that did land -- and surfaces the count on the
+returned list's ``truncated_records`` attribute.  Corruption anywhere
+*before* the tail still raises: that is damage, not a torn write.
 """
 
 from __future__ import annotations
@@ -12,10 +23,27 @@ import json
 from pathlib import Path
 from typing import Dict, List, Mapping, Sequence, Union
 
+from repro.core.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
 PathLike = Union[str, Path]
+
+#: Version stamped into every export's meta record.  Bump when a
+#: record's meaning changes; adding fields is not a bump (readers
+#: ignore unknown fields).
+SCHEMA_VERSION = 1
+
+
+class JsonlRecords(List[Dict[str, object]]):
+    """The records of one JSONL stream, plus read diagnostics.
+
+    A plain ``list`` everywhere it matters, with one extra attribute:
+    ``truncated_records`` -- how many torn trailing lines were skipped
+    (0 for a cleanly closed file).
+    """
+
+    truncated_records: int = 0
 
 
 def write_jsonl(
@@ -30,14 +58,29 @@ def write_jsonl(
     return out
 
 
-def read_jsonl(path: PathLike) -> List[Dict[str, object]]:
-    """Read every record back (inverse of :func:`write_jsonl`)."""
-    records: List[Dict[str, object]] = []
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+def read_jsonl(path: PathLike) -> JsonlRecords:
+    """Read every record back (inverse of :func:`write_jsonl`).
+
+    Tolerant of a torn tail: an unparseable *final* line (a writer
+    killed mid-record) is skipped and counted on the result's
+    ``truncated_records``.  An unparseable line with complete records
+    after it is corruption and raises."""
+    records = JsonlRecords()
+    lines = Path(path).read_text(encoding="utf-8").split("\n")
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            if all(not later.strip() for later in lines[index + 1:]):
+                records.truncated_records += 1
+                break
+            raise ConfigurationError(
+                f"{path}: corrupt JSONL record on line {index + 1} "
+                "with complete records after it"
+            ) from err
     return records
 
 
@@ -46,6 +89,7 @@ def export_trace(path: PathLike, tracer: Tracer, **meta: object) -> Path:
     head: Dict[str, object] = {
         "type": "meta",
         "stream": "trace",
+        "schema_version": SCHEMA_VERSION,
         "spans": tracer.num_spans,
         "digest": tracer.tree_digest(),
     }
@@ -58,8 +102,17 @@ def export_metrics(path: PathLike, registry: MetricsRegistry, **meta: object) ->
     head: Dict[str, object] = {
         "type": "meta",
         "stream": "metrics",
+        "schema_version": SCHEMA_VERSION,
         "series": registry.num_series,
         "digest": registry.digest(),
     }
     head.update(meta)
     return write_jsonl(path, [head, *registry.to_records()])
+
+
+def export_timeline(path: PathLike, samples: Sequence, **meta: object) -> Path:
+    """Write timestamped :class:`~repro.obs.timeseries.Sample` records as
+    a timeline stream (the twin's recording artifact)."""
+    from repro.obs.timeseries import samples_to_records
+
+    return write_jsonl(path, samples_to_records(samples, **meta))

@@ -153,13 +153,50 @@ class Histogram:
         return self.max
 
 
-class MetricsRegistry:
-    """All metric series of one run, get-or-create by (name, labels)."""
+#: Default series-cardinality warning bound.  Drills run a few hundred
+#: series; crossing this means a label set is being fed unbounded values
+#: (request ids, timestamps, ...) -- the classic cardinality explosion.
+DEFAULT_SERIES_WARN_LIMIT = 4096
 
-    def __init__(self) -> None:
+
+class MetricsRegistry:
+    """All metric series of one run, get-or-create by (name, labels).
+
+    A configurable cardinality guard makes runaway label sets loud:
+    the first time ``num_series`` crosses ``series_warn_limit`` a
+    ``RuntimeWarning`` fires (once per registry) and the
+    ``obs.registry.series_high_water`` gauge starts tracking the peak.
+    """
+
+    def __init__(
+        self, series_warn_limit: int = DEFAULT_SERIES_WARN_LIMIT
+    ) -> None:
+        if series_warn_limit < 1:
+            raise ConfigurationError("series_warn_limit must be >= 1")
         self._counters: Dict[Tuple[str, LabelSet], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelSet], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelSet], Histogram] = {}
+        self.series_warn_limit = series_warn_limit
+        self._series_warned = False
+
+    def _series_created(self) -> None:
+        """Cardinality guard, called on every get-or-create miss."""
+        if self.num_series <= self.series_warn_limit:
+            return
+        first_crossing = not self._series_warned
+        # Set the flag before touching the gauge: the gauge itself is a
+        # new series and would otherwise recurse through this guard.
+        self._series_warned = True
+        self.gauge("obs.registry.series_high_water").set(self.num_series)
+        if first_crossing:
+            import warnings
+
+            warnings.warn(
+                f"metrics registry crossed {self.series_warn_limit} series "
+                f"({self.num_series}); a label set is likely unbounded",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # ------------------------------------------------------------------ #
     # Instrument accessors
@@ -170,6 +207,7 @@ class MetricsRegistry:
         series = self._counters.get(key)
         if series is None:
             series = self._counters[key] = Counter(name, key[1])
+            self._series_created()
         return series
 
     def gauge(self, name: str, **labels: object) -> Gauge:
@@ -177,6 +215,7 @@ class MetricsRegistry:
         series = self._gauges.get(key)
         if series is None:
             series = self._gauges[key] = Gauge(name, key[1])
+            self._series_created()
         return series
 
     def histogram(
@@ -191,6 +230,7 @@ class MetricsRegistry:
             series = self._histograms[key] = Histogram(
                 name, key[1], bounds=bounds or exponential_bounds()
             )
+            self._series_created()
         return series
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,510 @@
+"""Streaming time-series pipeline over the observability substrate.
+
+`repro.obs` exports are snapshots: one value per series at the moment
+the registry was dumped.  Operating a fleet (Mission Apollo's deployment
+experience, PAPERS.md) is about *trends* -- what a counter did over the
+last hour, not what it reads now.  This module turns timestamped metric
+samples into windowed aggregates the NOC and the digital twin
+(:mod:`repro.twin`) can forecast and plan against:
+
+- :class:`TimeSeriesPipeline` ingests ``(t_ms, series, value)`` samples
+  in sim-clock order, assigns them to **tumbling or sliding windows**
+  (:class:`WindowSpec`), and emits :class:`WindowAggregate` records as
+  the watermark (the latest ingested timestamp) passes each window's
+  end -- a streaming model, not a batch one;
+- per-series **retention bounds** (sample count and age) cap memory, and
+  every drop is counted, never silent;
+- **derived-series operators** -- :meth:`~TimeSeriesPipeline.rate`,
+  :meth:`~TimeSeriesPipeline.delta`, :meth:`~TimeSeriesPipeline.ewma`,
+  :meth:`~TimeSeriesPipeline.rolling_quantile`, and deterministic
+  :meth:`~TimeSeriesPipeline.downsample` -- are computed over the
+  emitted aggregates with pure-Python arithmetic;
+- :meth:`~TimeSeriesPipeline.digest` hashes the canonical emission
+  stream: replaying the same export reproduces a byte-identical digest,
+  which the determinism tests pin.
+
+The pipeline instruments itself through the same ``obs`` bundle it
+serves (``obs.ts.samples``, ``obs.ts.dropped_late``, the
+``obs.ts.window_lag_ms`` histogram, and an ``obs.ts.series`` cardinality
+gauge), so a NOC report can watch the watcher.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+
+#: Schema version stamped on timeline/aggregate JSONL streams (see
+#: :mod:`repro.obs.export`); readers must tolerate unknown future fields.
+TIMESERIES_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One timestamped observation of one series."""
+
+    t_ms: float
+    series: str
+    value: float
+    kind: str = "gauge"  # "counter" | "gauge" | derived kinds
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "type": "sample",
+            "t_ms": self.t_ms,
+            "series": self.series,
+            "value": self.value,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "Sample":
+        """Build from a JSONL record, ignoring unknown future fields."""
+        return cls(
+            t_ms=float(record["t_ms"]),  # type: ignore[arg-type]
+            series=str(record["series"]),
+            value=float(record["value"]),  # type: ignore[arg-type]
+            kind=str(record.get("kind", "gauge")),
+        )
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Window geometry: tumbling when ``step_ms == width_ms`` (the
+    default), sliding (overlapping) when ``step_ms < width_ms``.
+
+    Window ``k`` covers ``[k * step_ms, k * step_ms + width_ms)``.
+    """
+
+    width_ms: float = 1000.0
+    step_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        step = self.step_ms if self.step_ms is not None else self.width_ms
+        if self.width_ms <= 0 or step <= 0:
+            raise ConfigurationError("window width and step must be positive")
+        if step > self.width_ms:
+            raise ConfigurationError(
+                f"step {step} ms larger than width {self.width_ms} ms "
+                "would drop samples between windows"
+            )
+        object.__setattr__(self, "step_ms", step)
+
+    def starts_covering(self, t_ms: float) -> Tuple[float, ...]:
+        """Start times of every window containing ``t_ms``."""
+        step = float(self.step_ms)  # type: ignore[arg-type]
+        last = int(t_ms // step)  # window starting at/just before t
+        starts: List[float] = []
+        k = last
+        while k >= 0 and k * step > t_ms - self.width_ms:
+            starts.append(k * step)
+            k -= 1
+        return tuple(reversed(starts))
+
+
+@dataclass(frozen=True)
+class WindowAggregate:
+    """One closed window of one series."""
+
+    series: str
+    start_ms: float
+    end_ms: float
+    count: int
+    sum: float
+    min: float
+    max: float
+    last: float
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "type": "aggregate",
+            "series": self.series,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "last": self.last,
+        }
+
+
+@dataclass
+class _OpenWindow:
+    count: int = 0
+    sum: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+    last_t_ms: float = float("-inf")
+    last: float = 0.0
+
+    def add(self, t_ms: float, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if t_ms >= self.last_t_ms:
+            self.last_t_ms = t_ms
+            self.last = value
+
+
+@dataclass
+class _SeriesState:
+    kind: str
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+    open_windows: Dict[float, _OpenWindow] = field(default_factory=dict)
+    dropped_retention: int = 0
+    dropped_late: int = 0
+
+
+class TimeSeriesPipeline:
+    """Streaming windowed aggregation over timestamped metric samples.
+
+    Samples must arrive in non-decreasing sim-clock order per call site;
+    a sample older than the watermark minus ``allowed_lateness_ms``
+    whose windows have already closed is dropped and counted
+    (``dropped_late``), never silently folded into a closed aggregate --
+    that is what keeps the emission stream replay-stable.
+    """
+
+    def __init__(
+        self,
+        window: Optional[WindowSpec] = None,
+        *,
+        retention_samples: int = 4096,
+        retention_ms: Optional[float] = None,
+        allowed_lateness_ms: float = 0.0,
+        obs: Optional[object] = None,
+    ) -> None:
+        from repro.obs import NULL_OBS  # local: obs/__init__ imports us
+
+        if retention_samples < 2:
+            raise ConfigurationError("retention_samples must be >= 2")
+        self.window = window if window is not None else WindowSpec()
+        self.retention_samples = retention_samples
+        self.retention_ms = retention_ms
+        self.allowed_lateness_ms = allowed_lateness_ms
+        self.obs = obs if obs is not None else NULL_OBS
+        self.watermark_ms = float("-inf")
+        self._series: Dict[str, _SeriesState] = {}
+        self._emitted: List[WindowAggregate] = []
+        self._ingested = 0
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def ingest(
+        self, t_ms: float, series: str, value: float, kind: str = "gauge"
+    ) -> None:
+        """Feed one sample; may close (emit) windows on every series."""
+        state = self._series.get(series)
+        if state is None:
+            state = self._series[series] = _SeriesState(kind=kind)
+            self.obs.metrics.gauge("obs.ts.series").set(len(self._series))
+        horizon = self.watermark_ms - self.allowed_lateness_ms
+        starts = self.window.starts_covering(t_ms)
+        if not starts or (starts[-1] + self.window.width_ms) <= horizon:
+            # Every window this sample belongs to has already closed.
+            state.dropped_late += 1
+            self.obs.metrics.counter("obs.ts.dropped_late").inc()
+            return
+        self._ingested += 1
+        self.obs.metrics.counter("obs.ts.samples").inc()
+        state.samples.append((t_ms, value))
+        self._retain(state)
+        for start in starts:
+            if start + self.window.width_ms <= horizon:
+                continue  # closed sub-window of a late-but-usable sample
+            state.open_windows.setdefault(start, _OpenWindow()).add(t_ms, value)
+        if t_ms > self.watermark_ms:
+            self.watermark_ms = t_ms
+            self._emit_closed(self.watermark_ms - self.allowed_lateness_ms)
+
+    def ingest_sample(self, sample: Sample) -> None:
+        self.ingest(sample.t_ms, sample.series, sample.value, sample.kind)
+
+    def scrape(
+        self,
+        registry: MetricsRegistry,
+        t_ms: float,
+        prefix: Optional[str] = None,
+    ) -> int:
+        """Snapshot every counter/gauge of a registry as samples at
+        ``t_ms`` (histograms contribute ``.count`` and ``.sum``
+        sub-series).  Returns the number of samples ingested."""
+        snapshot = registry.snapshot()
+        n = 0
+        for kind in ("counters", "gauges"):
+            for key, value in snapshot[kind].items():
+                if prefix is not None and not key.startswith(prefix):
+                    continue
+                self.ingest(t_ms, key, float(value), kind=kind[:-1])
+                n += 1
+        for key, hist in snapshot["histograms"].items():
+            if prefix is not None and not key.startswith(prefix):
+                continue
+            self.ingest(t_ms, f"{key}.count", float(hist["count"]), "counter")
+            self.ingest(t_ms, f"{key}.sum", float(hist["sum"]), "counter")
+            n += 2
+        return n
+
+    def replay(self, records: Iterable[Mapping[str, object]]) -> int:
+        """Ingest a JSONL timeline export (``type == "sample"`` records;
+        meta lines and unknown record types are skipped, and unknown
+        fields on known records are ignored).  Returns samples ingested."""
+        n = 0
+        for record in records:
+            if record.get("type") != "sample":
+                continue
+            self.ingest_sample(Sample.from_record(record))
+            n += 1
+        return n
+
+    def flush(self) -> Tuple[WindowAggregate, ...]:
+        """Close every still-open window (end of stream) and return the
+        aggregates emitted by this flush."""
+        before = len(self._emitted)
+        self._emit_closed(float("inf"))
+        return tuple(self._emitted[before:])
+
+    # ------------------------------------------------------------------ #
+    # Window bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _retain(self, state: _SeriesState) -> None:
+        samples = state.samples
+        if self.retention_ms is not None:
+            cutoff = self.watermark_ms - self.retention_ms
+            drop = 0
+            while drop < len(samples) and samples[drop][0] < cutoff:
+                drop += 1
+            if drop:
+                del samples[:drop]
+                state.dropped_retention += drop
+        if len(samples) > self.retention_samples:
+            # Deterministic decimation: keep the last sample of each
+            # adjacent pair, halving resolution (gauge/counter-correct:
+            # the retained point is the newest of the pair).
+            kept = samples[1::2]
+            state.dropped_retention += len(samples) - len(kept)
+            state.samples = kept
+        if state.dropped_retention:
+            self.obs.metrics.counter("obs.ts.dropped_retention").inc(0.0)
+
+    def _emit_closed(self, horizon_ms: float) -> None:
+        """Emit every open window with ``end <= horizon`` in canonical
+        (end, start, series) order."""
+        due: List[Tuple[float, float, str, _OpenWindow]] = []
+        for series in self._series:
+            state = self._series[series]
+            for start, win in state.open_windows.items():
+                if start + self.window.width_ms <= horizon_ms:
+                    due.append(
+                        (start + self.window.width_ms, start, series, win)
+                    )
+        for end, start, series, win in sorted(due, key=lambda d: d[:3]):
+            del self._series[series].open_windows[start]
+            self._emitted.append(
+                WindowAggregate(
+                    series=series,
+                    start_ms=start,
+                    end_ms=end,
+                    count=win.count,
+                    sum=win.sum,
+                    min=win.min,
+                    max=win.max,
+                    last=win.last,
+                )
+            )
+            if self.watermark_ms > float("-inf") and self.watermark_ms >= end:
+                self.obs.metrics.histogram("obs.ts.window_lag_ms").observe(
+                    self.watermark_ms - end
+                )
+
+    # ------------------------------------------------------------------ #
+    # Query / derived series
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_series(self) -> int:
+        return len(self._series)
+
+    @property
+    def num_ingested(self) -> int:
+        return self._ingested
+
+    def dropped(self, series: str) -> Tuple[int, int]:
+        """(late drops, retention drops) for one series."""
+        state = self._series.get(series)
+        if state is None:
+            return (0, 0)
+        return (state.dropped_late, state.dropped_retention)
+
+    def aggregates(self, series: Optional[str] = None) -> Tuple[WindowAggregate, ...]:
+        """Emitted aggregates in emission order (optionally one series)."""
+        if series is None:
+            return tuple(self._emitted)
+        return tuple(a for a in self._emitted if a.series == series)
+
+    def series_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._series))
+
+    def rate(self, series: str) -> Tuple[Tuple[float, float], ...]:
+        """Per-second first difference of window-final values -- the
+        counter-rate operator.  Points are (window end, rate)."""
+        out: List[Tuple[float, float]] = []
+        prev: Optional[WindowAggregate] = None
+        for agg in self.aggregates(series):
+            if prev is not None and agg.end_ms > prev.end_ms:
+                dt_s = (agg.end_ms - prev.end_ms) / 1e3
+                out.append((agg.end_ms, (agg.last - prev.last) / dt_s))
+            prev = agg
+        return tuple(out)
+
+    def delta(self, series: str) -> Tuple[Tuple[float, float], ...]:
+        """Window-over-window change of window-final values."""
+        out: List[Tuple[float, float]] = []
+        prev: Optional[WindowAggregate] = None
+        for agg in self.aggregates(series):
+            if prev is not None:
+                out.append((agg.end_ms, agg.last - prev.last))
+            prev = agg
+        return tuple(out)
+
+    def ewma(self, series: str, alpha: float = 0.3) -> Tuple[Tuple[float, float], ...]:
+        """Exponentially weighted moving average of window means."""
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError("ewma alpha must be in (0, 1]")
+        out: List[Tuple[float, float]] = []
+        level: Optional[float] = None
+        for agg in self.aggregates(series):
+            level = agg.mean if level is None else (
+                alpha * agg.mean + (1.0 - alpha) * level
+            )
+            out.append((agg.end_ms, level))
+        return tuple(out)
+
+    def rolling_quantile(
+        self, series: str, q: float, window: int = 8
+    ) -> Tuple[Tuple[float, float], ...]:
+        """Exact quantile of the last ``window`` window-means (lower
+        interpolation, deterministic)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile must be in [0, 1]")
+        if window < 1:
+            raise ConfigurationError("rolling window must be >= 1")
+        means: List[float] = []
+        out: List[Tuple[float, float]] = []
+        for agg in self.aggregates(series):
+            means.append(agg.mean)
+            tail = sorted(means[-window:])
+            rank = min(len(tail) - 1, int(q * len(tail)))
+            out.append((agg.end_ms, tail[rank]))
+        return tuple(out)
+
+    def downsample(
+        self, series: str, factor: int
+    ) -> Tuple[WindowAggregate, ...]:
+        """Deterministically merge every ``factor`` consecutive
+        aggregates into one (counts/sums add, min/max fold, ``last``
+        from the newest member).  A short tail group is kept."""
+        if factor < 1:
+            raise ConfigurationError("downsample factor must be >= 1")
+        aggs = self.aggregates(series)
+        out: List[WindowAggregate] = []
+        for i in range(0, len(aggs), factor):
+            group = aggs[i : i + factor]
+            out.append(
+                WindowAggregate(
+                    series=series,
+                    start_ms=group[0].start_ms,
+                    end_ms=group[-1].end_ms,
+                    count=sum(g.count for g in group),
+                    sum=sum(g.sum for g in group),
+                    min=min(g.min for g in group),
+                    max=max(g.max for g in group),
+                    last=group[-1].last,
+                )
+            )
+        return tuple(out)
+
+    # ------------------------------------------------------------------ #
+    # Determinism / export
+    # ------------------------------------------------------------------ #
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """Meta line + every emitted aggregate, JSONL-ready."""
+        head: Dict[str, object] = {
+            "type": "meta",
+            "stream": "aggregates",
+            "schema_version": TIMESERIES_SCHEMA_VERSION,
+            "window_width_ms": self.window.width_ms,
+            "window_step_ms": self.window.step_ms,
+            "aggregates": len(self._emitted),
+            "digest": self.digest(),
+        }
+        return [head, *[a.to_record() for a in self._emitted]]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical emission stream plus per-series
+        drop counters: equal digests mean a byte-identical replay."""
+        h = hashlib.sha256()
+        for agg in self._emitted:
+            h.update(
+                json.dumps(agg.to_record(), sort_keys=True,
+                           separators=(",", ":")).encode("utf-8")
+            )
+            h.update(b"\n")
+        for series in sorted(self._series):
+            state = self._series[series]
+            h.update(
+                f"{series}|{state.dropped_late}|{state.dropped_retention}\n"
+                .encode("utf-8")
+            )
+        return h.hexdigest()
+
+
+def samples_to_records(
+    samples: Sequence[Sample], **meta: object
+) -> List[Dict[str, object]]:
+    """Meta line + sample records: the fleet-timeline JSONL stream."""
+    head: Dict[str, object] = {
+        "type": "meta",
+        "stream": "timeline",
+        "schema_version": TIMESERIES_SCHEMA_VERSION,
+        "samples": len(samples),
+    }
+    head.update(meta)
+    return [head, *[s.to_record() for s in samples]]
+
+
+def samples_from_records(
+    records: Iterable[Mapping[str, object]],
+) -> Tuple[Sample, ...]:
+    """Inverse of :func:`samples_to_records`; skips meta/unknown record
+    types and tolerates unknown fields on sample records."""
+    return tuple(
+        Sample.from_record(r) for r in records if r.get("type") == "sample"
+    )
+
+
+__all__ = [
+    "Sample",
+    "TIMESERIES_SCHEMA_VERSION",
+    "TimeSeriesPipeline",
+    "WindowAggregate",
+    "WindowSpec",
+    "samples_from_records",
+    "samples_to_records",
+]

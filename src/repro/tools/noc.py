@@ -8,6 +8,15 @@ checked against the committed thresholds in
 ``benchmarks/slo_thresholds.json``.  With ``--check`` an SLO regression
 exits non-zero (the CI gate); ``--trace-out`` / ``--metrics-out`` export
 the run's spans and metrics as JSONL for offline queries.
+
+``python -m repro.tools.noc twin`` runs the predictive digital-twin
+drill instead (:func:`repro.twin.drill.run_twin_drill`): record a fleet
+timeline, train the availability forecaster on a chaos ensemble, and
+what-if-replay candidate policies, rendering the forecast scorecard and
+per-policy predicted SLO deltas.  ``--timeline-out`` / ``--plans-out`` /
+``--aggregates-out`` write the JSONL artifacts; ``--check`` gates the
+``twin_*`` thresholds (forecast coverage, forecast skill, replay
+divergence).
 """
 
 from __future__ import annotations
@@ -62,6 +71,13 @@ def compute_slos(report: DrillReport) -> Dict[str, float]:
         "failover_p99_s": registry.value("serve.failover.p99_s"),
         "committed_ops_lost": registry.value("serve.failover.committed_ops_lost"),
         "failover_unavailability": registry.value("serve.failover.unavailability"),
+        # Digital twin (published by the twin drill phase): forecast
+        # coverage gated as a miss rate, forecast skill gated as
+        # model-minus-naive MAE (<= 0 means the forecaster earns its
+        # keep), and what-if replay divergence (must be exactly 0).
+        "twin_forecast_miss_rate": registry.value("twin.forecast.miss_rate"),
+        "twin_forecast_mae_excess": registry.value("twin.forecast.mae_excess"),
+        "twin_plan_divergence": registry.value("twin.plan.divergence"),
     }
 
 
@@ -166,7 +182,124 @@ def render_report(report: DrillReport, slo_rows, top: int) -> None:
     print(render_table(["series", "count", "p50", "p99", "max"], hist_rows))
 
 
+def render_twin_report(out: Dict[str, object], slo_rows) -> None:
+    summary: Dict[str, object] = out["summary"]  # type: ignore[assignment]
+    forecast: Dict[str, float] = summary["forecast"]  # type: ignore[assignment]
+    print(f"DIGITAL TWIN REPORT  seed={summary['seed']}"
+          f"  mode={'smoke' if summary['smoke'] else 'full'}")
+    print(f"timeline samples={summary['timeline_samples']}"
+          f"  aggregates={summary['aggregates']}"
+          f"  ensemble members={summary['ensemble_members']}")
+    print(f"timeline digest   {summary['timeline_digest']}")
+    print(f"aggregates digest {summary['aggregates_digest']}")
+
+    _section("Twin SLOs")
+    print(render_table(
+        ["slo", "value", "max allowed", "status"],
+        [[name, f"{value:.4f}", f"{limit:.4f}", "ok" if ok else "REGRESSED"]
+         for name, value, limit, ok in slo_rows],
+    ))
+
+    _section("Availability forecast (held-out chaos ensemble)")
+    print(render_table(
+        ["metric", "value"],
+        [["model", str(summary["forecast_model"])],
+         ["model MAE", f"{forecast['model_mae']:.5f}"],
+         ["naive last-value MAE", f"{forecast['naive_mae']:.5f}"],
+         ["coverage (±{:.2f})".format(forecast["band"]), f"{forecast['coverage']:.3f}"],
+         ["held-out members", f"{forecast['n_heldout']:.0f}"],
+         ["beats naive", "yes" if forecast["beats_naive"] else "NO"]],
+    ))
+
+    _section("What-if plans (predicted SLO deltas vs recorded baseline)")
+    rows = []
+    for plan in out["plans"]:  # type: ignore[union-attr]
+        deltas = plan.deltas
+        rows.append([
+            plan.policy.name,
+            f"{plan.predicted['serve_p99_ms']:.1f}",
+            f"{deltas['serve_p99_ms']:+.1f}",
+            f"{plan.predicted['serve_shed_rate']:.4f}",
+            f"{deltas['serve_shed_rate']:+.4f}",
+            f"{plan.predicted['availability']:.4f}",
+            f"{deltas['availability']:+.4f}",
+            plan.digest()[:12],
+        ])
+    print(render_table(
+        ["policy", "p99 ms", "Δp99", "shed", "Δshed", "avail", "Δavail",
+         "digest"],
+        rows,
+    ))
+
+
+def twin_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.noc twin",
+        description="predictive digital-twin drill: forecast + what-if SLO planning",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="drill seed")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast drill (the CI parameterization)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if any twin SLO exceeds its threshold")
+    parser.add_argument("--thresholds", type=Path, default=DEFAULT_THRESHOLDS,
+                        help="SLO thresholds JSON (twin_* keys gate)")
+    parser.add_argument("--timeline-out", type=Path, default=None,
+                        help="write the recorded fleet timeline as JSONL")
+    parser.add_argument("--plans-out", type=Path, default=None,
+                        help="write the what-if plan reports as JSONL")
+    parser.add_argument("--aggregates-out", type=Path, default=None,
+                        help="write the windowed aggregates as JSONL")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable summary instead of tables")
+    args = parser.parse_args(argv)
+
+    from repro.obs import Observability
+    from repro.obs.export import write_jsonl
+    from repro.twin.drill import run_twin_drill, twin_slos
+
+    obs = Observability.sim()
+    out = run_twin_drill(seed=args.seed, smoke=args.smoke, obs=obs)
+    summary: Dict[str, object] = out["summary"]  # type: ignore[assignment]
+
+    thresholds: Dict[str, float] = {}
+    if args.thresholds.exists():
+        thresholds = json.loads(args.thresholds.read_text())
+    twin_thresholds = {
+        name: limit for name, limit in thresholds.items()
+        if name.startswith("twin_")
+    }
+    slo_rows = check_slos(twin_slos(summary), twin_thresholds)
+
+    timeline = out["timeline"]
+    if args.timeline_out is not None:
+        write_jsonl(args.timeline_out, timeline.to_records())
+    if args.plans_out is not None:
+        write_jsonl(args.plans_out, [p.to_record() for p in out["plans"]])
+    if args.aggregates_out is not None:
+        write_jsonl(args.aggregates_out, out["aggregates"])
+
+    if args.json:
+        print(json.dumps({
+            **{k: v for k, v in summary.items()},
+            "slo_ok": all(ok for *_, ok in slo_rows),
+            "plans": [p.to_record() for p in out["plans"]],
+        }, indent=2, sort_keys=True))
+    else:
+        render_twin_report(out, slo_rows)
+
+    if args.check and not all(ok for *_, ok in slo_rows):
+        print("TWIN SLO REGRESSION: one or more twin SLOs exceed their "
+              "thresholds", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "twin":
+        return twin_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.noc", description=__doc__
     )

@@ -1,0 +1,130 @@
+"""JSONL export hardening: torn tails, schema versions, tolerance."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs import (
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    Observability,
+    export_metrics,
+    export_timeline,
+    export_trace,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.timeseries import Sample
+
+
+def _bundle():
+    obs = Observability.sim()
+    obs.metrics.counter("c").inc(2)
+    with obs.tracer.span("op"):
+        obs.clock.advance(3.0)
+    return obs
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        write_jsonl(path, [{"a": 1}, {"b": 2}])
+        records = read_jsonl(path)
+        assert records == [{"a": 1}, {"b": 2}]
+        assert records.truncated_records == 0
+
+    def test_records_list_behaves_like_a_list(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        write_jsonl(path, [{"a": 1}])
+        records = read_jsonl(path)
+        assert list(records) == [{"a": 1}] and len(records) == 1
+
+
+class TestTornTail:
+    def test_torn_final_line_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"a":1}\n{"b":2}\n{"c":', encoding="utf-8")
+        records = read_jsonl(path)
+        assert records == [{"a": 1}, {"b": 2}]
+        assert records.truncated_records == 1
+
+    def test_torn_tail_followed_by_blank_lines_still_tail(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"a":1}\n{"c":\n\n  \n', encoding="utf-8")
+        records = read_jsonl(path)
+        assert records == [{"a": 1}]
+        assert records.truncated_records == 1
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"a":1}\nnot json\n{"b":2}\n', encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            read_jsonl(path)
+
+
+class TestSchemaVersion:
+    def test_trace_and_metrics_meta_stamped(self, tmp_path):
+        obs = _bundle()
+        trace = read_jsonl(export_trace(tmp_path / "t.jsonl", obs.tracer))
+        metrics = read_jsonl(
+            export_metrics(tmp_path / "m.jsonl", obs.metrics, drill="x")
+        )
+        assert trace[0]["stream"] == "trace"
+        assert trace[0]["schema_version"] == SCHEMA_VERSION
+        assert metrics[0]["stream"] == "metrics"
+        assert metrics[0]["schema_version"] == SCHEMA_VERSION
+        assert metrics[0]["drill"] == "x"  # caller meta survives
+
+    def test_timeline_export(self, tmp_path):
+        samples = [Sample(1.0, "s", 2.0, "gauge")]
+        records = read_jsonl(
+            export_timeline(tmp_path / "tl.jsonl", samples, drill="x")
+        )
+        assert records[0]["stream"] == "timeline"
+        assert records[0]["schema_version"] >= 1
+        assert records[1]["type"] == "sample"
+
+    def test_reader_tolerates_unknown_future_fields(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        write_jsonl(
+            path,
+            [
+                {"type": "meta", "stream": "metrics", "schema_version": 99,
+                 "from_the_future": True},
+                {"type": "counter", "series": "c", "value": 1,
+                 "novel_annotation": "x"},
+            ],
+        )
+        records = read_jsonl(path)
+        assert records[0]["schema_version"] == 99
+        assert records[1]["value"] == 1
+
+
+class TestCardinalityGuard:
+    def test_warns_once_and_tracks_high_water(self):
+        reg = MetricsRegistry(series_warn_limit=4)
+        with pytest.warns(RuntimeWarning, match="cardinality|unbounded"):
+            for i in range(6):
+                reg.counter("c", shard=i).inc()
+        # One warning total; the high-water gauge keeps tracking.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            reg.counter("c", shard=99).inc()
+        high_water = reg.value("obs.registry.series_high_water")
+        assert high_water == reg.num_series
+        assert high_water > 4
+
+    def test_under_limit_is_silent_and_gaugeless(self):
+        import warnings
+
+        reg = MetricsRegistry(series_warn_limit=100)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for i in range(10):
+                reg.gauge("g", shard=i).set(1.0)
+        assert reg.value("obs.registry.series_high_water") == 0.0
+
+    def test_limit_validation(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry(series_warn_limit=0)

@@ -96,6 +96,48 @@ class TestHistogram:
         assert h.quantile(0.99) == 0.0
 
 
+class TestHistogramQuantileEdges:
+    """The degenerate inputs SLO gating actually hits."""
+
+    def test_empty_histogram_is_zero_for_any_q(self):
+        h = Histogram("d")
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_q_zero_returns_first_occupied_bucket(self):
+        h = Histogram("d", bounds=exponential_bounds(1.0, 2.0, 8))
+        for v in (3.0, 3.0, 50.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 4.0  # bound of the 3.0 bucket
+
+    def test_q_one_returns_observed_max(self):
+        h = Histogram("d", bounds=exponential_bounds(1.0, 2.0, 8))
+        for v in (1.0, 3.0, 50.0):
+            h.observe(v)
+        assert h.quantile(1.0) == 50.0
+
+    def test_single_bucket_clamps_to_observed_max(self):
+        h = Histogram("d", bounds=exponential_bounds(10.0, 2.0, 1))
+        h.observe(5.0)
+        # One bucket [0, 10]: the conservative bound would overstate,
+        # so the estimate clamps to the true max.
+        assert h.quantile(0.5) == 5.0
+        assert h.quantile(1.0) == 5.0
+
+    def test_overflow_only_histogram(self):
+        h = Histogram("d", bounds=exponential_bounds(1.0, 2.0, 1))
+        h.observe(100.0)  # lands in the implicit +inf bucket
+        assert h.quantile(0.5) == 100.0
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram("d")
+        h.observe(1.0)
+        for bad in (-0.1, 1.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                h.quantile(bad)
+
+
 class TestSnapshot:
     def test_series_key_render(self):
         assert series_key("x", ()) == "x"

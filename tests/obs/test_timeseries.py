@@ -1,0 +1,230 @@
+"""The streaming time-series pipeline: windows, retention, determinism."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs import MetricsRegistry, Observability
+from repro.obs.timeseries import (
+    Sample,
+    TimeSeriesPipeline,
+    WindowSpec,
+    samples_from_records,
+    samples_to_records,
+)
+
+
+def _feed(pipe, points, series="s"):
+    for t, v in points:
+        pipe.ingest(t, series, v)
+
+
+class TestWindowSpec:
+    def test_tumbling_covers_one_window(self):
+        spec = WindowSpec(width_ms=100.0)
+        assert spec.starts_covering(250.0) == (200.0,)
+        assert spec.starts_covering(0.0) == (0.0,)
+
+    def test_sliding_covers_overlapping_windows(self):
+        spec = WindowSpec(width_ms=100.0, step_ms=50.0)
+        assert spec.starts_covering(120.0) == (50.0, 100.0)
+
+    def test_step_larger_than_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WindowSpec(width_ms=50.0, step_ms=100.0)
+
+    def test_nonpositive_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WindowSpec(width_ms=0.0)
+
+
+class TestTumblingAggregation:
+    def test_windows_close_when_watermark_passes(self):
+        pipe = TimeSeriesPipeline(WindowSpec(width_ms=100.0))
+        _feed(pipe, [(10.0, 1.0), (60.0, 3.0), (110.0, 5.0)])
+        aggs = pipe.aggregates("s")
+        assert len(aggs) == 1  # [0,100) closed by the 110 ms sample
+        agg = aggs[0]
+        assert (agg.start_ms, agg.end_ms) == (0.0, 100.0)
+        assert agg.count == 2 and agg.sum == 4.0
+        assert agg.min == 1.0 and agg.max == 3.0 and agg.last == 3.0
+        assert agg.mean == 2.0
+
+    def test_flush_closes_open_windows(self):
+        pipe = TimeSeriesPipeline(WindowSpec(width_ms=100.0))
+        _feed(pipe, [(10.0, 1.0), (110.0, 5.0)])
+        flushed = pipe.flush()
+        assert [a.start_ms for a in flushed] == [100.0]
+        assert len(pipe.aggregates("s")) == 2
+
+    def test_multiple_series_emit_in_canonical_order(self):
+        pipe = TimeSeriesPipeline(WindowSpec(width_ms=100.0))
+        pipe.ingest(10.0, "b", 1.0)
+        pipe.ingest(10.0, "a", 2.0)
+        pipe.ingest(150.0, "a", 3.0)
+        names = [a.series for a in pipe.aggregates()]
+        assert names == ["a", "b"]  # same window end: series order
+
+    def test_late_sample_dropped_and_counted(self):
+        pipe = TimeSeriesPipeline(WindowSpec(width_ms=100.0))
+        _feed(pipe, [(10.0, 1.0), (250.0, 2.0)])
+        pipe.ingest(20.0, "s", 9.0)  # its window [0,100) already closed
+        assert pipe.dropped("s") == (1, 0)
+        closed = pipe.aggregates("s")[0]
+        assert closed.count == 1 and closed.sum == 1.0
+
+    def test_allowed_lateness_keeps_window_open(self):
+        pipe = TimeSeriesPipeline(
+            WindowSpec(width_ms=100.0), allowed_lateness_ms=200.0
+        )
+        _feed(pipe, [(10.0, 1.0), (250.0, 2.0)])
+        pipe.ingest(20.0, "s", 9.0)  # within lateness: still counted
+        assert pipe.dropped("s") == (0, 0)
+        pipe.flush()
+        first = pipe.aggregates("s")[0]
+        assert first.count == 2 and first.last == 9.0
+
+
+class TestSlidingAggregation:
+    def test_sample_lands_in_every_covering_window(self):
+        pipe = TimeSeriesPipeline(WindowSpec(width_ms=100.0, step_ms=50.0))
+        pipe.ingest(120.0, "s", 7.0)
+        pipe.flush()
+        starts = [a.start_ms for a in pipe.aggregates("s") if a.count]
+        assert starts == [50.0, 100.0]
+
+
+class TestRetention:
+    def test_sample_count_bound_decimates_deterministically(self):
+        pipe = TimeSeriesPipeline(retention_samples=4)
+        _feed(pipe, [(float(i), float(i)) for i in range(6)])
+        # 5th sample pushes past 4: pairs merge keeping the newest.
+        late, dropped = pipe.dropped("s")
+        assert late == 0 and dropped > 0
+
+    def test_age_bound_drops_old_samples(self):
+        pipe = TimeSeriesPipeline(
+            WindowSpec(width_ms=10.0), retention_ms=50.0
+        )
+        _feed(pipe, [(0.0, 1.0), (100.0, 2.0), (110.0, 3.0)])
+        assert pipe.dropped("s")[1] == 1
+
+
+class TestDerivedSeries:
+    def _pipeline(self):
+        pipe = TimeSeriesPipeline(WindowSpec(width_ms=1000.0))
+        # Counter at 0, 10, 30, 60 over consecutive 1 s windows.
+        for i, v in enumerate([0.0, 10.0, 30.0, 60.0]):
+            pipe.ingest(i * 1000.0 + 500.0, "c", v)
+        pipe.flush()
+        return pipe
+
+    def test_rate_is_per_second_difference(self):
+        assert [r for _, r in self._pipeline().rate("c")] == [10.0, 20.0, 30.0]
+
+    def test_delta_is_window_over_window(self):
+        assert [d for _, d in self._pipeline().delta("c")] == [10.0, 20.0, 30.0]
+
+    def test_ewma_smooths_toward_level(self):
+        points = self._pipeline().ewma("c", alpha=0.5)
+        values = [v for _, v in points]
+        assert values[0] == 0.0
+        assert values == sorted(values)  # monotone input -> monotone ewma
+        assert values[-1] < 60.0  # smoothed below the raw level
+
+    def test_rolling_quantile_tracks_window(self):
+        pipe = self._pipeline()
+        q = pipe.rolling_quantile("c", 1.0, window=2)
+        assert [v for _, v in q] == [0.0, 10.0, 30.0, 60.0]
+
+    def test_downsample_merges_groups(self):
+        pipe = self._pipeline()
+        merged = pipe.downsample("c", 2)
+        assert len(merged) == 2
+        assert merged[0].count == 2 and merged[0].last == 10.0
+        assert merged[0].start_ms == 0.0 and merged[0].end_ms == 2000.0
+        assert merged[1].min == 30.0 and merged[1].max == 60.0
+
+    def test_operator_validation(self):
+        pipe = self._pipeline()
+        with pytest.raises(ConfigurationError):
+            pipe.ewma("c", alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            pipe.rolling_quantile("c", 1.5)
+        with pytest.raises(ConfigurationError):
+            pipe.downsample("c", 0)
+
+
+class TestScrape:
+    def test_counters_gauges_histograms_become_series(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(3)
+        registry.gauge("level").set(2.5)
+        registry.histogram("lat").observe(1.0)
+        pipe = TimeSeriesPipeline(WindowSpec(width_ms=100.0))
+        n = pipe.scrape(registry, 50.0)
+        assert n == 4  # counter + gauge + histogram count/sum
+        pipe.flush()
+        assert {a.series for a in pipe.aggregates()} == {
+            "jobs", "level", "lat.count", "lat.sum",
+        }
+
+    def test_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.ok").inc()
+        registry.counter("other").inc()
+        pipe = TimeSeriesPipeline()
+        assert pipe.scrape(registry, 1.0, prefix="serve.") == 1
+
+
+class TestDeterminism:
+    def _run(self):
+        pipe = TimeSeriesPipeline(WindowSpec(width_ms=100.0, step_ms=50.0))
+        for i in range(40):
+            pipe.ingest(i * 37.0 % 1000.0 + i, f"s{i % 3}", float(i * i))
+        pipe.flush()
+        return pipe
+
+    def test_replaying_the_same_stream_reproduces_the_digest(self):
+        assert self._run().digest() == self._run().digest()
+
+    def test_jsonl_round_trip_preserves_samples(self):
+        samples = tuple(
+            Sample(float(i), "x", float(i * 2), "counter") for i in range(5)
+        )
+        records = samples_to_records(samples, drill="test")
+        assert records[0]["stream"] == "timeline"
+        assert records[0]["schema_version"] >= 1
+        assert samples_from_records(records) == samples
+
+    def test_replay_of_export_matches_direct_ingest(self):
+        direct = self._run()
+        samples = [
+            Sample(i * 37.0 % 1000.0 + i, f"s{i % 3}", float(i * i))
+            for i in range(40)
+        ]
+        replayed = TimeSeriesPipeline(WindowSpec(width_ms=100.0, step_ms=50.0))
+        replayed.replay(samples_to_records(samples))
+        replayed.flush()
+        assert replayed.digest() == direct.digest()
+
+    def test_replay_tolerates_unknown_fields_and_types(self):
+        records = [
+            {"type": "meta", "stream": "timeline", "future_knob": 7},
+            {"type": "sample", "t_ms": 1.0, "series": "s", "value": 2.0,
+             "kind": "gauge", "future_field": "ignored"},
+            {"type": "hologram", "whatever": True},
+        ]
+        pipe = TimeSeriesPipeline()
+        assert pipe.replay(records) == 1
+
+
+class TestInstrumentation:
+    def test_pipeline_reports_through_obs(self):
+        obs = Observability.sim()
+        pipe = TimeSeriesPipeline(WindowSpec(width_ms=100.0), obs=obs)
+        _feed(pipe, [(10.0, 1.0), (250.0, 2.0)])
+        pipe.ingest(20.0, "s", 9.0)  # late
+        assert obs.metrics.value("obs.ts.samples") == 2.0
+        assert obs.metrics.value("obs.ts.dropped_late") == 1.0
+        assert obs.metrics.value("obs.ts.series") == 1.0
+        assert obs.metrics.histogram("obs.ts.window_lag_ms").count == 1

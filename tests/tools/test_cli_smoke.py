@@ -40,6 +40,8 @@ class TestNocCli:
             "sweep_cache_miss_rate", "sweep_chunk_p99_ms",
             "serve_p99_ms", "serve_shed_rate", "serve_retry_amplification",
             "failover_p99_s", "committed_ops_lost", "failover_unavailability",
+            "twin_forecast_miss_rate", "twin_forecast_mae_excess",
+            "twin_plan_divergence",
         }
         assert payload["slos"]["sweep_cache_miss_rate"] == 0.5
         assert payload["notes"]["sweep_warm_hits"] == payload["notes"]["sweep_tasks"]
@@ -54,5 +56,51 @@ class TestNocCli:
         capsys.readouterr()
         head = json.loads(trace.read_text().splitlines()[0])
         assert head["type"] == "meta" and head["stream"] == "trace"
+        assert head["schema_version"] >= 1
         head = json.loads(metrics.read_text().splitlines()[0])
         assert head["type"] == "meta" and head["stream"] == "metrics"
+
+
+class TestNocTwinCli:
+    def test_twin_report_and_check_exit_zero(self, capsys):
+        assert noc_main(["twin", "--smoke", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "DIGITAL TWIN REPORT" in out
+        assert "Twin SLOs" in out
+        assert "What-if plans" in out
+
+    def test_twin_json_mode(self, capsys):
+        assert noc_main(["twin", "--smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["slo_ok"] is True
+        assert payload["twin_plan_divergence"] == 0.0
+        assert payload["twin_forecast_mae_excess"] < 0.0
+        assert {p["policy"]["name"] for p in payload["plans"]} == {
+            "pin_brownout_2", "quarantine_eighth", "replicate_3",
+        }
+
+    def test_twin_writes_jsonl_artifacts(self, tmp_path, capsys):
+        timeline = tmp_path / "timeline.jsonl"
+        plans = tmp_path / "plans.jsonl"
+        aggregates = tmp_path / "aggregates.jsonl"
+        assert noc_main([
+            "twin", "--smoke",
+            "--timeline-out", str(timeline),
+            "--plans-out", str(plans),
+            "--aggregates-out", str(aggregates),
+        ]) == 0
+        capsys.readouterr()
+        head = json.loads(timeline.read_text().splitlines()[0])
+        assert head["type"] == "meta" and head["stream"] == "timeline"
+        plan = json.loads(plans.read_text().splitlines()[0])
+        assert plan["type"] == "plan" and "predicted" in plan
+        head = json.loads(aggregates.read_text().splitlines()[0])
+        assert head["type"] == "meta"
+
+    def test_twin_check_fails_on_tight_threshold(self, tmp_path, capsys):
+        tight = tmp_path / "slo.json"
+        tight.write_text(json.dumps({"twin_forecast_miss_rate": -1.0}))
+        assert noc_main([
+            "twin", "--smoke", "--check", "--thresholds", str(tight)
+        ]) == 1
+        assert "REGRESS" in capsys.readouterr().out

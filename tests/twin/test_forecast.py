@@ -1,0 +1,99 @@
+"""Availability forecasting: accuracy vs the naive bar, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.faults.ensemble import chaos_ensemble_serial
+from repro.twin.drill import ENSEMBLE_KWARGS, ENSEMBLE_SCENARIO
+from repro.twin.forecast import (
+    FEATURE_NAMES,
+    LogisticForecaster,
+    ewma_prediction,
+    naive_last_value,
+    prefix_features,
+    suffix_availability,
+    train_availability_forecaster,
+)
+
+#: A hand-built step timeline: healthy for 40 h, degraded to 0.5 for
+#: 20 h, recovered at 60 h; horizon 100 h, split at 50 h.
+STEP_TIMELINE = [(0.0, 1.0), (40.0, 0.5), (60.0, 1.0), (100.0, 1.0)]
+
+
+class TestFeatures:
+    def test_prefix_feature_vector(self):
+        f = prefix_features(STEP_TIMELINE, 100.0, 0.5)
+        assert len(f) == len(FEATURE_NAMES)
+        assert f[0] == 0.5  # last level at the split
+        # 40 h at 1.0 + 10 h at 0.5 over 50 h observed.
+        assert f[1] == pytest.approx(0.9)
+        assert f[2] == 0.5  # min
+        assert f[3] == pytest.approx(0.2)  # 10 h degraded / 50 h
+        assert f[4] == pytest.approx(1 / 50)  # one transition in prefix
+
+    def test_suffix_availability_ground_truth(self):
+        # 10 h at 0.5 + 40 h at 1.0 over the 50 h suffix.
+        assert suffix_availability(STEP_TIMELINE, 100.0, 0.5) == pytest.approx(0.9)
+
+    def test_naive_and_ewma_read_the_features(self):
+        f = prefix_features(STEP_TIMELINE, 100.0, 0.5)
+        assert naive_last_value(f) == 0.5
+        ewma = ewma_prediction(f, weight=0.7)
+        assert ewma == pytest.approx(0.7 * 0.9 + 0.3 * 0.5)
+
+    def test_prefix_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            prefix_features(STEP_TIMELINE, 100.0, 1.0)
+
+
+class TestLogisticForecaster:
+    def test_seeded_fit_is_deterministic(self):
+        X = np.array([[0.1 * i, 0.5] for i in range(8)])
+        y = np.array([0.2 + 0.08 * i for i in range(8)])
+        a = LogisticForecaster(seed=7).fit(X, y).predict(X)
+        b = LogisticForecaster(seed=7).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+        c = LogisticForecaster(seed=8).fit(X, y).predict(X)
+        assert not np.array_equal(a, c)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogisticForecaster().predict(np.zeros((1, 2)))
+
+
+class TestTrainedForecaster:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return chaos_ensemble_serial(
+            ENSEMBLE_SCENARIO,
+            [1_000 + i for i in range(24)],
+            dict(ENSEMBLE_KWARGS),
+        )
+
+    def test_beats_naive_on_held_out_members(self, reports):
+        """The acceptance pin: the trained availability forecaster beats
+        the naive last-value predictor on held-out chaos-ensemble runs."""
+        evaluation = train_availability_forecaster(reports)
+        assert evaluation.n_heldout >= 4
+        assert evaluation.beats_naive
+        assert evaluation.model_mae < evaluation.naive_mae
+        assert evaluation.mae_excess < 0.0
+
+    def test_training_is_deterministic(self, reports):
+        a = train_availability_forecaster(reports)
+        b = train_availability_forecaster(reports)
+        assert a == b
+
+    def test_scorecard_shape(self, reports):
+        evaluation = train_availability_forecaster(reports)
+        summary = evaluation.summary()
+        assert summary["miss_rate"] == pytest.approx(1.0 - summary["coverage"])
+        assert summary["mae_excess"] == pytest.approx(
+            summary["model_mae"] - summary["naive_mae"]
+        )
+        assert len(evaluation.predictions) == evaluation.n_heldout
+
+    def test_too_few_members_rejected(self, reports):
+        with pytest.raises(ConfigurationError):
+            train_availability_forecaster(reports[:4])
