@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 import os
+import resource
+import sys
 import timeit
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -36,6 +38,19 @@ def measure_seconds(fn, repeats: int = 3, slow_threshold_s: float = 2.0) -> floa
     for _ in range(repeats - 1):
         best = min(best, timer.timeit(number))
     return best / number
+
+
+def peak_rss_mb() -> float:
+    """Process-wide peak resident set size, in MB.
+
+    ``ru_maxrss`` is a high-water mark, so per-case readings within one
+    suite run are monotonic; a flat-memory case is one whose reading
+    does not grow past the cases before it.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KB, macOS bytes.
+    scale = 1e-6 if sys.platform == "darwin" else 1e-3
+    return round(peak * scale, 3)
 
 
 def run_case(
@@ -77,10 +92,13 @@ def run_case(
         vec_s = measure_seconds(pair.vectorized)
     with obs.tracer.span("perf.time_reference", case=case.name):
         ref_s = measure_seconds(pair.reference)
-    phases = {
-        span.name.removeprefix("perf."): round(span.duration_ms, 3)
+    # Normalized to seconds like every other *_s field in the report
+    # (these were milliseconds through PR 9).
+    phases_s = {
+        span.name.removeprefix("perf."): round(span.duration_ms / 1e3, 6)
         for span in obs.tracer.spans()
     }
+    ref_scale = float(getattr(pair, "ref_scale", 1.0))
     return {
         "case": case.name,
         "figure": case.figure,
@@ -88,15 +106,17 @@ def run_case(
         "size": pair.size,
         "vectorized_s": vec_s,
         "reference_s": ref_s,
+        "ref_scale": ref_scale,
         "vectorized_ops_per_s": 1.0 / vec_s,
         "reference_ops_per_s": 1.0 / ref_s,
-        "speedup": ref_s / vec_s,
+        "speedup": ref_s * ref_scale / vec_s,
         "target_speedup": case.target_speedup,
         "parity_max_rel_err": max_rel_err,
         "requires_cores": case.requires_cores,
         "cpu_count": os.cpu_count() or 1,
         "jobs": jobs,
-        "phases": phases,
+        "peak_rss_mb": peak_rss_mb(),
+        "phases_s": phases_s,
     }
 
 

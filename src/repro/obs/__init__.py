@@ -40,7 +40,13 @@ from repro.obs.export import (
     read_jsonl,
     write_jsonl,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SeriesFamily,
+)
 from repro.obs.timeseries import (
     Sample,
     TimeSeriesPipeline,
@@ -95,10 +101,21 @@ class _NullInstrument:
         return 0.0
 
 
+class _NullFamily:
+    """Bound-series family whose every member is the null instrument."""
+
+    _instrument = _NullInstrument()
+
+    def series(self, *label_values: object) -> _NullInstrument:
+        del label_values
+        return self._instrument
+
+
 class _NullRegistry:
     """Get-or-create that always hands back the shared null instrument."""
 
     _instrument = _NullInstrument()
+    _family = _NullFamily()
     num_series = 0
 
     def counter(self, name: str, **labels: object) -> _NullInstrument:
@@ -110,6 +127,14 @@ class _NullRegistry:
     def histogram(self, name: str, bounds=None, **labels: object) -> _NullInstrument:
         del name, bounds, labels
         return self._instrument
+
+    def handle(self, kind: str, name: str, **labels: object) -> _NullInstrument:
+        del kind, name, labels
+        return self._instrument
+
+    def family(self, kind: str, name: str, *label_names: str) -> _NullFamily:
+        del kind, name, label_names
+        return self._family
 
     def value(self, name: str, **labels: object) -> float:
         del name, labels
@@ -249,6 +274,7 @@ __all__ = [
     "Observability",
     "SCHEMA_VERSION",
     "Sample",
+    "SeriesFamily",
     "SimClock",
     "Span",
     "TimeSeriesPipeline",

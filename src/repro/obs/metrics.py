@@ -159,6 +159,56 @@ class Histogram:
 DEFAULT_SERIES_WARN_LIMIT = 4096
 
 
+class SeriesFamily:
+    """A bound handle over one metric name with a fixed label-key set.
+
+    ``registry.counter(name, **labels)`` canonicalizes the label dict on
+    every call (sort + str per key) before the get-or-create lookup --
+    cheap once, hot in a million-request serving loop.  A family is
+    resolved once, outside the loop, and :meth:`series` takes the label
+    *values* positionally (in the order the family was declared with),
+    hitting a plain tuple-keyed dict.  Series created through a family
+    are the same objects the name-based accessors return, so snapshots
+    and digests are unchanged -- this is purely a resolution cache.
+    """
+
+    __slots__ = ("_registry", "_kind", "name", "label_names", "_series")
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        kind: str,
+        name: str,
+        label_names: Tuple[str, ...],
+    ) -> None:
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ConfigurationError(f"unknown instrument kind {kind!r}")
+        if len(set(label_names)) != len(label_names):
+            raise ConfigurationError("family label names must be unique")
+        self._registry = registry
+        self._kind = kind
+        self.name = name
+        self.label_names = label_names
+        self._series: Dict[Tuple[str, ...], object] = {}
+
+    def series(self, *label_values: object):
+        """The instrument for one label-value tuple (get-or-create)."""
+        key = label_values if all(
+            type(v) is str for v in label_values
+        ) else tuple(str(v) for v in label_values)
+        found = self._series.get(key)
+        if found is None:
+            if len(key) != len(self.label_names):
+                raise ConfigurationError(
+                    f"family {self.name} takes {len(self.label_names)} label "
+                    f"values, got {len(key)}"
+                )
+            accessor = getattr(self._registry, self._kind)
+            found = accessor(self.name, **dict(zip(self.label_names, key)))
+            self._series[key] = found
+        return found
+
+
 class MetricsRegistry:
     """All metric series of one run, get-or-create by (name, labels).
 
@@ -232,6 +282,26 @@ class MetricsRegistry:
             )
             self._series_created()
         return series
+
+    # ------------------------------------------------------------------ #
+    # Bound handles (hot-loop resolution cache)
+    # ------------------------------------------------------------------ #
+
+    def handle(self, kind: str, name: str, **labels: object):
+        """Resolve one series once; the returned instrument is a bound
+        handle -- calling ``inc``/``observe`` on it skips every further
+        name+label canonicalization.  ``kind`` is ``counter``, ``gauge``,
+        or ``histogram``; the instrument is identical to what the
+        name-based accessor returns for the same (name, labels)."""
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ConfigurationError(f"unknown instrument kind {kind!r}")
+        return getattr(self, kind)(name, **labels)
+
+    def family(self, kind: str, name: str, *label_names: str) -> SeriesFamily:
+        """A :class:`SeriesFamily` over ``name`` with fixed label keys,
+        for hot loops whose label *values* vary per event (outcome, kind,
+        ...).  ``family.series(v1, v2)`` is one tuple-keyed dict hit."""
+        return SeriesFamily(self, kind, name, label_names)
 
     # ------------------------------------------------------------------ #
     # Query API

@@ -8,7 +8,12 @@ Entry points:
 - :class:`~repro.serve.workload.ServeWorkload` -- seeded open-loop
   tenant request streams;
 - :func:`~repro.serve.drill.run_serve_drill` -- the overload-burst
-  drill CI and the NOC report run;
+  drill CI and the NOC report run (``streaming=True`` swaps the
+  per-record report for a :class:`~repro.serve.sink.StreamingRecordSink`
+  roll-up, flat in memory at 10^6 requests);
+- :func:`~repro.serve.drill.run_serve_drill_sharded` -- the same drill
+  partitioned into tenant cells and fanned out over
+  :class:`~repro.parallel.SweepEngine`, merged deterministically;
 - :func:`~repro.serve.drill.run_failover_drill` -- the replicated
   control plane (``num_controller_replicas > 1``) riding out a rolling
   crash / partition / clock-skew storm via lease-based failover.
@@ -19,9 +24,13 @@ from repro.serve.breaker import BreakerState, CircuitBreaker
 from repro.serve.brownout import BrownoutController
 from repro.serve.drill import (
     build_failover_timeline,
+    drill_config,
     failover_slos,
+    merge_cell_results,
     run_failover_drill,
     run_serve_drill,
+    run_serve_drill_sharded,
+    shard_cell_config,
 )
 from repro.serve.queueing import BoundedPriorityQueue, ShedRecord
 from repro.serve.requests import (
@@ -41,6 +50,7 @@ from repro.serve.service import (
     build_serve_manager,
     replay_committed,
 )
+from repro.serve.sink import FullRecordSink, StreamAggregates, StreamingRecordSink
 from repro.serve.workload import ServeWorkload
 
 __all__ = [
@@ -52,6 +62,7 @@ __all__ = [
     "CommitEntry",
     "FabricService",
     "FairAdmission",
+    "FullRecordSink",
     "Outcome",
     "RequestKind",
     "RequestRecord",
@@ -60,13 +71,19 @@ __all__ = [
     "ServeReport",
     "ServeWorkload",
     "ShedRecord",
+    "StreamAggregates",
+    "StreamingRecordSink",
     "TenantRequest",
     "TokenBucket",
     "build_failover_timeline",
     "build_serve_manager",
+    "drill_config",
     "failover_slos",
+    "merge_cell_results",
     "outcomes_digest",
     "replay_committed",
     "run_failover_drill",
     "run_serve_drill",
+    "run_serve_drill_sharded",
+    "shard_cell_config",
 ]

@@ -64,6 +64,12 @@ class TokenBucket:
         self._refill(now_s)
         return self._level
 
+    def consume_peeked(self) -> None:
+        """Spend one token a :meth:`level` call at the same instant just
+        verified is present -- the refill would be a no-op, so skip it
+        (the admission hot path's second refill pass)."""
+        self._level -= 1.0
+
 
 @dataclass
 class FairAdmission:
@@ -93,6 +99,20 @@ class FairAdmission:
         if self.obs is None:
             self.obs = NULL_OBS  # type: ignore[assignment]
         self._global = TokenBucket(self.global_rate_per_s, self.global_burst)
+        # Bound series handles: the decision counters are resolved once
+        # here, not per arrival (same series objects, same digests).
+        metrics = self.obs.metrics
+        self._reject_tenant = metrics.handle(
+            "counter", "serve.admission.decisions",
+            verdict="reject", reason="tenant-rate",
+        )
+        self._reject_global = metrics.handle(
+            "counter", "serve.admission.decisions",
+            verdict="reject", reason="global-rate",
+        )
+        self._admit_ok = metrics.handle(
+            "counter", "serve.admission.decisions", verdict="admit", reason="ok"
+        )
 
     def _tenant_bucket(self, tenant: str) -> TokenBucket:
         bucket = self._tenants.get(tenant)
@@ -113,24 +133,19 @@ class FairAdmission:
         tenant's fair-share tokens on requests that were never admitted).
         Tokens are only spent on admission, one from each bucket.
         """
-        tenant_bucket = self._tenant_bucket(tenant)
+        tenant_bucket = self._tenants.get(tenant)
+        if tenant_bucket is None:
+            tenant_bucket = self._tenant_bucket(tenant)
         if tenant_bucket.level(now_s) < 1.0:
-            self.obs.metrics.counter(
-                "serve.admission.decisions", verdict="reject", reason="tenant-rate"
-            ).inc()
+            self._reject_tenant.inc()
             return False, "tenant-rate"
         if not self._global.take(now_s):
-            self.obs.metrics.counter(
-                "serve.admission.decisions", verdict="reject", reason="global-rate"
-            ).inc()
+            self._reject_global.inc()
             return False, "global-rate"
         # Guaranteed by the level() peek above: at the same now_s the
-        # refill is a no-op, so the tenant token is still there to take.
-        if not tenant_bucket.take(now_s):
-            raise ConfigurationError("tenant bucket drained between peek and take")
-        self.obs.metrics.counter(
-            "serve.admission.decisions", verdict="admit", reason="ok"
-        ).inc()
+        # refill is a no-op, so the tenant token is still there to spend.
+        tenant_bucket.consume_peeked()
+        self._admit_ok.inc()
         return True, "ok"
 
     @property

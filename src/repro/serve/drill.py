@@ -18,9 +18,14 @@ shape; the full profile is the one the NOC report quotes.
 
 from __future__ import annotations
 
+import hashlib
+import math
+from dataclasses import replace
 from typing import Dict, List, Optional
 
-from repro.core.errors import ServeError
+import numpy as np
+
+from repro.core.errors import ConfigurationError, ServeError
 from repro.faults.events import (
     FaultKind,
     controller_target,
@@ -31,7 +36,29 @@ from repro.faults.injector import FaultInjector
 from repro.obs import NULL_OBS, Observability
 from repro.serve.requests import Outcome
 from repro.serve.service import FabricService, ServeConfig, replay_committed
+from repro.serve.sink import StreamingRecordSink
 from repro.serve.workload import ServeWorkload
+
+
+def drill_config(
+    seed: int = 0,
+    num_tenants: Optional[int] = None,
+    pinned_brownout: Optional[int] = None,
+) -> ServeConfig:
+    """The drill's :class:`ServeConfig` for a tenant population.
+
+    The traffic-OCS count auto-scales (one OCS per 128 tenants, floor 4)
+    so thousands-of-tenants profiles keep a physical per-switch radix;
+    populations up to 512 produce exactly the pinned PR-6 config.
+    """
+    if num_tenants is None:
+        return ServeConfig(seed=seed, pinned_brownout=pinned_brownout)
+    return ServeConfig(
+        seed=seed,
+        pinned_brownout=pinned_brownout,
+        num_tenants=num_tenants,
+        num_traffic_ocses=max(4, math.ceil(num_tenants / 128)),
+    )
 
 
 def build_fault_timeline(
@@ -83,6 +110,7 @@ def run_serve_drill(
     pinned_brownout: Optional[int] = None,
     num_primaries: Optional[int] = None,
     num_tenants: Optional[int] = None,
+    streaming: bool = False,
 ) -> Dict[str, object]:
     """Run the overload drill; returns the JSON-ready result dict.
 
@@ -91,24 +119,36 @@ def run_serve_drill(
     the profile's stream length (the NOC drill runs a short one).
     ``num_tenants`` scales the tenant population toward the ROADMAP's
     thousands-of-tenants target; ``None`` keeps the pinned profile.
+    ``streaming`` feeds the service a lazy request stream through a
+    :class:`~repro.serve.sink.StreamingRecordSink`, so memory stays flat
+    at any stream length -- the returned report then carries
+    ``aggregates`` instead of per-request records, and the summary gains
+    ``peak_pending`` (the reorder-window high-water mark).
     """
     if obs is None:
         obs = NULL_OBS
     if num_primaries is None:
         num_primaries = 1_500 if smoke else 100_000
-    if num_tenants is None:
-        config = ServeConfig(seed=seed, pinned_brownout=pinned_brownout)
-    else:
-        config = ServeConfig(
-            seed=seed, pinned_brownout=pinned_brownout, num_tenants=num_tenants
-        )
+    config = drill_config(
+        seed=seed, num_tenants=num_tenants, pinned_brownout=pinned_brownout
+    )
     workload = ServeWorkload(seed=seed, rate_per_s=1_200.0, num_tenants=config.num_tenants)
     with obs.tracer.span("serve.drill", smoke=smoke, seed=seed):
-        requests = workload.generate(num_primaries)
-        horizon_s = requests[-1].arrival_s
+        if streaming:
+            # Vectorized draws, chunked materialization: same requests as
+            # ``generate`` (pinned in tests/serve/test_workload.py), with
+            # neither the scalar-draw cost nor a full-stream allocation.
+            cols = workload.columns(num_primaries)
+            horizon_s = float(cols["t"][-1])
+            requests = workload.iter_from_columns(cols)
+            sink = StreamingRecordSink(seed=seed)
+        else:
+            requests = workload.generate(num_primaries)
+            horizon_s = requests[-1].arrival_s
+            sink = None
         injector = FaultInjector(seed=seed, obs=obs)
         build_fault_timeline(injector, horizon_s)
-        service = FabricService(config, obs=obs)
+        service = FabricService(config, obs=obs, sink=sink)
         report = service.run(requests, faults=injector)
 
         replay_digest = replay_committed(config, report.commit_log)
@@ -124,9 +164,209 @@ def run_serve_drill(
     summary["horizon_s"] = round(horizon_s, 6)
     summary["seed"] = seed
     summary["smoke"] = smoke
+    if report.aggregates is not None:
+        summary["peak_pending"] = report.aggregates.peak_pending
     return {
         "summary": summary,
         "report": report,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Sharded execution: tenant cells over SweepEngine(ship="shm")
+# --------------------------------------------------------------------- #
+
+
+def shard_cell_config(config: ServeConfig, num_cells: int) -> ServeConfig:
+    """One cell's share of a drill config.
+
+    Global admission rate/burst and queue capacity divide by the cell
+    count (so ``num_cells`` cells jointly approximate one unsharded
+    service's capacity); the fabric shape and per-tenant knobs stay
+    whole, because every cell runs its own full fabric over a disjoint
+    tenant subset.
+    """
+    if num_cells < 1:
+        raise ConfigurationError("need at least one cell")
+    if num_cells == 1:
+        return config
+    return replace(
+        config,
+        global_rate_per_s=config.global_rate_per_s / num_cells,
+        global_burst=max(1.0, config.global_burst / num_cells),
+        queue_capacity=max(4, config.queue_capacity // num_cells),
+    )
+
+
+def _run_drill_cell(task: Dict[str, object], seed_seq=None) -> Dict[str, object]:
+    """SweepEngine worker: one tenant cell of the sharded drill.
+
+    The task carries the shm-shipped workload columns; the worker
+    selects the rows whose primary tenant hashes into its cell, rebuilds
+    the requests (global seq numbers intact), runs the fast service path
+    through a streaming sink, and proves its own commit log replays to
+    the live state digest before returning the per-cell roll-up.
+    """
+    cell = int(task["cell"])
+    num_cells = int(task["num_cells"])
+    workload: ServeWorkload = task["workload"]
+    config: ServeConfig = task["config"]
+    cols: Dict[str, np.ndarray] = task["cols"]
+    horizon_s = float(task["horizon_s"])
+
+    sink_seed = cell
+    if seed_seq is not None:
+        # Positional seed splitting: the engine hands cell i the i-th
+        # child of the root SeedSequence, so the cell's derived seeds
+        # depend only on (root seed, cell index) -- never worker count.
+        lo, hi = (int(x) for x in seed_seq.generate_state(2))
+        config = replace(config, seed=lo % (2**31))
+        sink_seed = hi % (2**31)
+
+    order = cols["order"]
+    tenant_of_entry = cols["tenant_idx"][order >> 1]
+    rows = np.nonzero(tenant_of_entry % num_cells == cell)[0]
+    requests = workload.requests_from_columns(cols, rows)
+
+    injector = FaultInjector(seed=config.seed)
+    build_fault_timeline(injector, horizon_s)
+    sink = StreamingRecordSink(seed=sink_seed)
+    service = FabricService(config, sink=sink)
+    report = service.run(requests, faults=injector)
+
+    replay_digest = replay_committed(config, report.commit_log)
+    if replay_digest != report.state_digest:
+        raise ServeError(
+            f"cell {cell}: replay divergence: live state "
+            f"{report.state_digest[:12]} != replayed {replay_digest[:12]}"
+        )
+    aggregates = report.aggregates
+    assert aggregates is not None
+    return {
+        "cell": cell,
+        "offered": report.offered,
+        "outcomes": {
+            outcome.value: count
+            for outcome, count in sorted(
+                aggregates.outcome_counts.items(), key=lambda kv: kv[0].value
+            )
+        },
+        "admitted": report.admitted,
+        "commits": len(report.commit_log),
+        "outcomes_digest": aggregates.outcomes_digest,
+        "state_digest": report.state_digest,
+        "replay_digest": replay_digest,
+        "peak_pending": aggregates.peak_pending,
+        "p99_ms": report.latency_percentile_ms(0.99),
+        "downstream_attempts": report.downstream_attempts,
+        "deposits": report.deposits,
+        "recoveries": report.recoveries,
+    }
+
+
+def merge_cell_results(cells: List[Dict[str, object]]) -> Dict[str, object]:
+    """Deterministic merge of per-cell drill results.
+
+    Counts sum; the sharded digest hashes every cell's outcome and state
+    digest in cell order, so it is invariant under worker count and
+    chunking (cells are a property of the drill profile, not of the
+    execution) and changes iff any cell's behavior changes.
+    """
+    ordered = sorted(cells, key=lambda c: int(c["cell"]))  # type: ignore[arg-type]
+    digest = hashlib.sha256()
+    outcomes: Dict[str, int] = {}
+    for result in ordered:
+        digest.update(
+            f"{result['cell']}:{result['outcomes_digest']}:"
+            f"{result['state_digest']}\n".encode("utf-8")
+        )
+        for outcome, count in result["outcomes"].items():  # type: ignore[union-attr]
+            outcomes[outcome] = outcomes.get(outcome, 0) + int(count)
+    deposits = sum(int(c["deposits"]) for c in ordered)
+    return {
+        "num_cells": len(ordered),
+        "offered": sum(int(c["offered"]) for c in ordered),
+        "outcomes": outcomes,
+        "admitted": sum(int(c["admitted"]) for c in ordered),
+        "commits": sum(int(c["commits"]) for c in ordered),
+        "serve_p99_ms": round(max(float(c["p99_ms"]) for c in ordered), 6),
+        "serve_retry_amplification": round(
+            sum(int(c["downstream_attempts"]) for c in ordered)
+            / max(1, deposits),
+            6,
+        ),
+        "peak_pending": max(int(c["peak_pending"]) for c in ordered),
+        "sharded_digest": digest.hexdigest(),
+        "cell_digests": [str(c["outcomes_digest"]) for c in ordered],
+    }
+
+
+def run_serve_drill_sharded(
+    seed: int = 0,
+    smoke: bool = True,
+    obs: Optional[Observability] = None,
+    num_primaries: Optional[int] = None,
+    num_tenants: Optional[int] = None,
+    num_cells: int = 8,
+    engine=None,
+) -> Dict[str, object]:
+    """The overload drill partitioned into tenant cells over a pool.
+
+    Tenants hash into ``num_cells`` fixed cells (``tenant_idx %
+    num_cells``); each cell runs a full fast-path service over its
+    requests with a cell-scaled config (see :func:`shard_cell_config`)
+    on a :class:`~repro.parallel.SweepEngine` worker.  The workload is
+    generated once as flat columns and shm-shipped, so a million-request
+    stream crosses the process boundary as a handful of arrays, once.
+
+    Determinism: cells are a property of the profile, not the execution
+    -- per-cell seeds come from positional seed splitting over the fixed
+    cell index, so the merged summary (and its ``sharded_digest``) is
+    byte-identical for any worker count, chunking, or ship mode.
+    """
+    if obs is None:
+        obs = NULL_OBS
+    if num_primaries is None:
+        num_primaries = 10_000 if smoke else 1_000_000
+    if num_tenants is None:
+        num_tenants = 2_048
+    if num_cells < 1:
+        raise ConfigurationError("need at least one cell")
+    config = drill_config(seed=seed, num_tenants=num_tenants)
+    cell_config = shard_cell_config(config, num_cells)
+    workload = ServeWorkload(
+        seed=seed, rate_per_s=1_200.0, num_tenants=num_tenants
+    )
+    if engine is None:
+        from repro.parallel import SweepEngine
+
+        engine = SweepEngine(ship="shm", obs=obs)
+    with obs.tracer.span(
+        "serve.drill_sharded", smoke=smoke, seed=seed, cells=num_cells
+    ):
+        cols = workload.columns(num_primaries)
+        horizon_s = float(cols["t"][-1])
+        tasks = [
+            {
+                "cell": cell,
+                "num_cells": num_cells,
+                "workload": workload,
+                "config": cell_config,
+                "cols": cols,
+                "horizon_s": horizon_s,
+            }
+            for cell in range(num_cells)
+        ]
+        cells = engine.pmap(_run_drill_cell, tasks, seed=seed)
+    summary = merge_cell_results(cells)
+    summary["offered_rate_per_s"] = round(summary["offered"] / horizon_s, 3)
+    summary["horizon_s"] = round(horizon_s, 6)
+    summary["num_tenants"] = num_tenants
+    summary["seed"] = seed
+    summary["smoke"] = smoke
+    return {
+        "summary": summary,
+        "cells": cells,
     }
 
 
@@ -308,9 +548,13 @@ def failover_slos(summary: Dict[str, object]) -> Dict[str, float]:
 __all__ = [
     "build_fault_timeline",
     "build_failover_timeline",
+    "drill_config",
+    "merge_cell_results",
     "run_serve_drill",
+    "run_serve_drill_sharded",
     "run_failover_drill",
     "report_jsonl_lines",
+    "shard_cell_config",
     "drill_slos",
     "failover_slos",
     "Outcome",

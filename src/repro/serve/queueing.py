@@ -25,7 +25,7 @@ from repro.core.errors import ConfigurationError
 from repro.serve.requests import TenantRequest
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShedRecord:
     """One explicit load-shed: who was dropped and why."""
 
@@ -35,7 +35,7 @@ class ShedRecord:
     queue_depth: int
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _HeapEntry:
     """Heap node ordered by (class, arrival seq, id) only.
 

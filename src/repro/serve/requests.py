@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import sys
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple, Union
 
@@ -90,8 +91,14 @@ class Outcome(enum.Enum):
 #: was carried to a service verdict).
 ADMITTED_OUTCOMES = frozenset({Outcome.OK, Outcome.TIMEOUT, Outcome.ERROR})
 
+#: Interned taxonomy strings.  The serving loop renders millions of
+#: canonical outcome lines; interning the per-enum fragments makes every
+#: join a pointer copy and every label lookup an identity-friendly hit.
+KIND_VALUE: dict = {k: sys.intern(k.value) for k in RequestKind}
+OUTCOME_VALUE: dict = {o: sys.intern(o.value) for o in Outcome}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class TenantRequest:
     """One tenant call in the open-loop request stream.
 
@@ -135,12 +142,12 @@ class TenantRequest:
     def canonical(self) -> str:
         params = ",".join(f"{k}={v!r}" for k, v in self.params)
         return (
-            f"{self.request_id}|{self.tenant}|{self.kind.value}|"
+            f"{self.request_id}|{self.tenant}|{KIND_VALUE[self.kind]}|"
             f"{self.arrival_s!r}|{self.deadline_s!r}|{params}"
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestRecord:
     """The terminal accounting entry for one offered request.
 
@@ -162,7 +169,7 @@ class RequestRecord:
 
     def canonical(self) -> str:
         return (
-            f"{self.request.canonical()}|{self.outcome.value}|"
+            f"{self.request.canonical()}|{OUTCOME_VALUE[self.outcome]}|"
             f"{self.finish_s!r}|{self.attempts}|{self.detail}"
         )
 

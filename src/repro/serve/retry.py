@@ -64,6 +64,12 @@ class RetryBudget:
             raise ConfigurationError("pool_cap must be at least 1")
         if self.obs is None:
             self.obs = NULL_OBS  # type: ignore[assignment]
+        # Bound handles: deposit fires once per request entering service,
+        # so the name+label resolution is hoisted out of the hot loop.
+        metrics = self.obs.metrics
+        self._deposit_counter = metrics.handle("counter", "serve.retry.deposits")
+        self._granted_counter = metrics.handle("counter", "serve.retry.granted")
+        self._denied_counter = metrics.handle("counter", "serve.retry.denied")
 
     @property
     def amplification_cap(self) -> float:
@@ -74,17 +80,17 @@ class RetryBudget:
         """Bank this request's retry allowance (once, at service start)."""
         self._tokens = min(self.pool_cap, self._tokens + self.retry_ratio)
         self._deposits += 1
-        self.obs.metrics.counter("serve.retry.deposits").inc()
+        self._deposit_counter.inc()
 
     def try_spend(self) -> bool:
         """Authorize one retry if a whole token is banked."""
         if self._tokens >= 1.0:
             self._tokens -= 1.0
             self._spends += 1
-            self.obs.metrics.counter("serve.retry.granted").inc()
+            self._granted_counter.inc()
             return True
         self._denials += 1
-        self.obs.metrics.counter("serve.retry.denied").inc()
+        self._denied_counter.inc()
         return False
 
     @property

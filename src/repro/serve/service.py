@@ -46,9 +46,13 @@ from a :class:`~repro.scheduler.allocator.ReconfigurableAllocator`.
 
 from __future__ import annotations
 
+import bisect
+import hashlib
+import heapq
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -75,6 +79,8 @@ from repro.serve.brownout import BrownoutController
 from repro.serve.queueing import BoundedPriorityQueue, ShedRecord
 from repro.serve.requests import (
     ADMITTED_OUTCOMES,
+    KIND_VALUE,
+    OUTCOME_VALUE,
     Outcome,
     RequestKind,
     RequestRecord,
@@ -82,6 +88,7 @@ from repro.serve.requests import (
     outcomes_digest,
 )
 from repro.serve.retry import RetryBudget
+from repro.serve.sink import FullRecordSink, StreamAggregates, StreamingRecordSink
 from repro.tpu.superpod import Superpod
 
 
@@ -235,7 +242,7 @@ def build_serve_manager(
     return manager
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitEntry:
     """One committed state-changing operation, in commit order.
 
@@ -286,12 +293,34 @@ class ServeReport:
     failover_durations_s: Tuple[float, ...] = ()
     failover_unavailable_s: float = 0.0
 
+    #: Streaming-mode roll-up: populated (and ``records`` left empty)
+    #: when the service ran with a :class:`StreamingRecordSink`.
+    aggregates: Optional[StreamAggregates] = None
+
+    # Lazy caches -- a report is immutable once constructed, so counts
+    # and per-outcome sorted latencies are computed at most once.
+    _counts: Optional[Dict[Outcome, int]] = field(
+        init=False, default=None, repr=False, compare=False
+    )
+    _sorted_latencies: Dict[Outcome, List[float]] = field(
+        init=False, default_factory=dict, repr=False, compare=False
+    )
+
     def count(self, outcome: Outcome) -> int:
-        return sum(1 for r in self.records if r.outcome is outcome)
+        counts = self._counts
+        if counts is None:
+            if self.aggregates is not None and not self.records:
+                counts = dict(self.aggregates.outcome_counts)
+            else:
+                counts = {o: 0 for o in Outcome}
+                for r in self.records:
+                    counts[r.outcome] += 1
+            self._counts = counts
+        return counts.get(outcome, 0)
 
     @property
     def admitted(self) -> int:
-        return sum(1 for r in self.records if r.outcome in ADMITTED_OUTCOMES)
+        return sum(self.count(o) for o in ADMITTED_OUTCOMES)
 
     @property
     def retry_amplification(self) -> float:
@@ -304,12 +333,24 @@ class ServeReport:
         return self.count(Outcome.SHED) / max(1, self.offered)
 
     def latency_percentile_ms(self, q: float, outcome: Outcome = Outcome.OK) -> float:
-        lat = sorted(r.latency_ms for r in self.records if r.outcome is outcome)
+        lat = self._sorted_latencies.get(outcome)
+        if lat is None:
+            if self.aggregates is not None and not self.records:
+                # Streaming mode: a histogram estimate (<= one 4% bucket
+                # above the true order statistic), not an exact sort.
+                return self.aggregates.latency_percentile_ms(q, outcome)
+            # Sort once per outcome, not once per percentile query.
+            lat = sorted(
+                r.latency_ms for r in self.records if r.outcome is outcome
+            )
+            self._sorted_latencies[outcome] = lat
         if not lat:
             return 0.0
         return lat[min(len(lat) - 1, int(math.ceil(q * len(lat))) - 1)]
 
     def outcomes_digest(self) -> str:
+        if self.aggregates is not None and not self.records:
+            return self.aggregates.outcomes_digest
         return outcomes_digest(self.records)
 
     def failover_percentile_s(self, q: float) -> float:
@@ -367,14 +408,142 @@ class ServeReport:
         }
 
 
+class _CubeLedger:
+    """Count-twin of :class:`ReconfigurableAllocator` for the fast path.
+
+    The serve drill never fails cubes, and the allocator's verdict is
+    purely ``healthy free cubes >= job.cubes`` -- so a free-count ledger
+    gives bit-identical admit/refuse decisions without per-cube
+    bookkeeping or slice programming (the Superpod sits outside
+    ``state_digest()``, so nothing downstream can observe the
+    difference; the equality is pinned by the fast-vs-reference
+    property tests).
+    """
+
+    __slots__ = ("free",)
+
+    def __init__(self, num_cubes: int) -> None:
+        self.free = num_cubes
+
+    def try_allocate(self, job: JobRequest) -> Optional[JobRequest]:
+        if job.cubes > self.free:
+            return None
+        self.free -= job.cubes
+        return job
+
+    def release(self, job: JobRequest) -> None:
+        self.free += job.cubes
+
+
+class _DigestCache:
+    """Byte-identical ``FabricManager.state_digest()`` with per-switch
+    fragment reuse.
+
+    The digest hashes ``json.dumps(checkpoint(), sort_keys=True)``;
+    recomputing it from scratch costs a full sort-and-serialize of every
+    switch for every fresh telemetry answer.  A retarget touches exactly
+    one switch, so this cache keeps each switch's serialized fragment
+    and re-renders only dirty ones; the link table (which only slice
+    ops change, one link at a time) is kept as per-link fragments in a
+    bisect-maintained name order, so an alloc or release re-joins
+    strings instead of re-sorting and re-serializing every link.
+    Equality with the real digest is pinned by
+    ``tests/serve/test_fastpath.py``.
+    """
+
+    __slots__ = ("_manager", "_fragments", "_order", "_by_key", "_dirty",
+                 "_link_fragments", "_link_names", "_links_json", "_digest")
+
+    def __init__(self, manager: FabricManager) -> None:
+        self._manager = manager
+        # json.dumps(sort_keys=True) orders the stringified switch
+        # indices lexicographically ("10" < "2"), so the fragment order
+        # must match that, not numeric order.
+        self._by_key = {str(o.index): o for o in manager.switch_ids}
+        self._order = sorted(self._by_key)
+        self._fragments: Dict[str, str] = {}
+        self._dirty = set(self._order)
+        self._link_fragments: Dict[str, str] = {}
+        self._link_names: List[str] = []
+        self._links_json: Optional[str] = None
+        self._digest: Optional[str] = None
+        self.resync_links()
+
+    def invalidate_switch(self, ocs: OcsId) -> None:
+        self._dirty.add(str(ocs.index))
+        self._digest = None
+
+    def resync_links(self) -> None:
+        """Full rebuild of the link fragments from the manager (init, or
+        after any link change not routed through add/remove)."""
+        self._link_fragments = {
+            str(link.link_id): json.dumps(
+                [str(link.link_id), link.ocs.index, link.north, link.south],
+                separators=(",", ":"),
+            )
+            for link in self._manager.links
+        }
+        # FabricManager.links sorts by LinkId, which orders by name, so
+        # sorted names reproduce the checkpoint's link order exactly.
+        self._link_names = sorted(self._link_fragments)
+        self._links_json = None
+        self._digest = None
+
+    def link_added(self, name: str, ocs_index: int, north: int, south: int) -> None:
+        self._link_fragments[name] = json.dumps(
+            [name, ocs_index, north, south], separators=(",", ":")
+        )
+        bisect.insort(self._link_names, name)
+        self._links_json = None
+        self._digest = None
+
+    def link_removed(self, name: str) -> None:
+        del self._link_fragments[name]
+        index = bisect.bisect_left(self._link_names, name)
+        del self._link_names[index]
+        self._links_json = None
+        self._digest = None
+
+    def digest(self) -> str:
+        if self._digest is not None:
+            return self._digest
+        for key in self._dirty:
+            sw = self._manager.switch(self._by_key[key])
+            circuits = json.dumps(
+                [[n, s] for n, s in sorted(sw.state.circuits)],
+                separators=(",", ":"),
+            )
+            self._fragments[key] = (
+                f'"{key}":{{"circuits":{circuits},"radix":{sw.radix}}}'
+            )
+        self._dirty.clear()
+        if self._links_json is None:
+            fragments = self._link_fragments
+            self._links_json = (
+                "[" + ",".join(map(fragments.__getitem__, self._link_names)) + "]"
+            )
+        payload = (
+            '{"links":' + self._links_json + ',"switches":{'
+            + ",".join(self._fragments[k] for k in self._order) + "}}"
+        )
+        self._digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return self._digest
+
+
 class FabricService:
     """Serial, deterministic serving loop over tenant requests."""
 
     def __init__(
-        self, config: ServeConfig, obs: Optional[Observability] = None
+        self,
+        config: ServeConfig,
+        obs: Optional[Observability] = None,
+        sink: Optional[Union[FullRecordSink, StreamingRecordSink]] = None,
     ) -> None:
         self.config = config
         self.obs = obs if obs is not None else NULL_OBS
+        #: Terminal-outcome sink; the default keeps every record (PR-6
+        #: behavior), a StreamingRecordSink keeps memory flat at 10^6.
+        self._sink = sink if sink is not None else FullRecordSink()
         self.replication: Optional[ReplicationGroup] = None
         self.controller: Optional[DurableController] = None
         if config.num_controller_replicas > 1:
@@ -425,10 +594,42 @@ class FabricService:
         self._retry_policy = RetryPolicy()
         self._rng = np.random.default_rng(config.seed)
 
+        # Bound metric handles: name+label resolution happens once here,
+        # not per event (same series objects, same snapshots).
+        metrics = self.obs.metrics
+        self._outcome_family = metrics.family(
+            "counter", "serve.outcomes", "outcome", "kind"
+        )
+        self._latency_family = metrics.family(
+            "histogram", "serve.latency_ms", "outcome"
+        )
+        self._attempts_counter = metrics.handle("counter", "serve.attempts")
+        self._fast_fail_counter = metrics.handle(
+            "counter", "serve.breaker.fast_fails"
+        )
+        self._telemetry_hit_counter = metrics.handle(
+            "counter", "serve.telemetry", source="cache"
+        )
+        self._telemetry_miss_counter = metrics.handle(
+            "counter", "serve.telemetry", source="fresh"
+        )
+        self._batches_counter = metrics.handle(
+            "counter", "serve.batches.flushed"
+        )
+        self._batch_size_hist = metrics.handle("histogram", "serve.batch.size")
+        self._maint_runs_counter = metrics.handle(
+            "counter", "serve.maintenance.runs"
+        )
+        self._maint_deferred_counter = metrics.handle(
+            "counter", "serve.maintenance.deferred"
+        )
+
+        # Fast commit plane (engaged by run(), solo mode only).
+        self._fast = False
+        self._digest_cache: Optional[_DigestCache] = None
+        self._free_ports: List[int] = []
+
         # Mutable run state.
-        self._records: List[RequestRecord] = []
-        self._terminal: Dict[str, Outcome] = {}
-        self._shed_records: List[ShedRecord] = []
         self._commit_log: List[CommitEntry] = []
         self._allocs: Dict[str, Tuple[JobRequest, int]] = {}
         self._batch: List[TenantRequest] = []
@@ -477,10 +678,17 @@ class FabricService:
     def _on_controller_event(self, event) -> None:
         assert self.controller is not None  # single-mode only
         if event.recovery:
-            storage = self.controller.wal.storage
-            self.controller, _report = journal.recover(
-                self.manager, storage, obs=self.obs
-            )
+            if not self._fast:
+                storage = self.controller.wal.storage
+                self.controller, _report = journal.recover(
+                    self.manager, storage, obs=self.obs
+                )
+            # Fast path: recovery is a proven manager-state no-op here
+            # (no half-programmed hardware in the serve sim -- the WAL
+            # replay drives no-op plans, rebuilds identical links, and
+            # idempotency tokens are never reused because apply_fn runs
+            # at most once per request), so a full WAL scan -- quadratic
+            # across a long drill -- buys nothing.  Clear the flag.
             self._controller_down = False
             self._recoveries += 1
             self.obs.metrics.counter("serve.controller.recoveries").inc()
@@ -507,13 +715,7 @@ class FabricService:
         attempts: int = 0,
         detail: str = "",
     ) -> None:
-        if request.request_id in self._terminal:
-            raise ServeError(
-                f"{request.request_id} reached a second terminal outcome "
-                f"({self._terminal[request.request_id].value} then {outcome.value})"
-            )
-        self._terminal[request.request_id] = outcome
-        self._records.append(
+        self._sink.record(
             RequestRecord(
                 request=request,
                 outcome=outcome,
@@ -522,12 +724,12 @@ class FabricService:
                 detail=detail,
             )
         )
-        self.obs.metrics.counter(
-            "serve.outcomes", outcome=outcome.value, kind=request.kind.value
+        self._outcome_family.series(
+            OUTCOME_VALUE[outcome], KIND_VALUE[request.kind]
         ).inc()
-        self.obs.metrics.histogram(
-            "serve.latency_ms", outcome=outcome.value
-        ).observe(max(0.0, (finish_s - request.arrival_s) * 1e3))
+        self._latency_family.series(OUTCOME_VALUE[outcome]).observe(
+            max(0.0, (finish_s - request.arrival_s) * 1e3)
+        )
 
     def _observe_pressure(self, now_s: float) -> None:
         # BoundedPriorityQueue.occupancy is already a fill fraction in
@@ -626,16 +828,18 @@ class FabricService:
         """
         attempts = 0
         detail = ""
+        work_s = work_ms / 1e3
+        rpc_timeout_s = self.config.rpc_timeout_ms / 1e3
         while True:
-            if t + work_ms / 1e3 > deadline_s:
+            if t + work_s > deadline_s:
                 return Outcome.TIMEOUT, t, attempts, detail or "deadline"
             if not self._gate_attempt(t):
                 self._breaker_fast_fails += 1
-                self.obs.metrics.counter("serve.breaker.fast_fails").inc()
+                self._fast_fail_counter.inc()
                 return Outcome.ERROR, t, attempts, "breaker-open"
             attempts += 1
             self._downstream_attempts += 1
-            self.obs.metrics.counter("serve.attempts").inc()
+            self._attempts_counter.inc()
             failure = self._attempt_failure(t)
             if failure is None:
                 self._sim_now = t
@@ -647,10 +851,10 @@ class FabricService:
                     failure = "no-quorum"
                 else:
                     self.breaker.record_success(t)
-                    return Outcome.OK, t + work_ms / 1e3, attempts, detail
+                    return Outcome.OK, t + work_s, attempts, detail
             detail = failure
             self.breaker.record_failure(t)
-            t += self.config.rpc_timeout_ms / 1e3
+            t += rpc_timeout_s
             if attempts >= self.budget.max_attempts:
                 return Outcome.ERROR, t, attempts, "retries-exhausted"
             if not self.budget.try_spend():
@@ -671,6 +875,22 @@ class FabricService:
     def _apply_retarget(
         self, changes: Dict[Tuple[OcsId, int], int], token: str
     ) -> None:
+        if self._fast:
+            # The delta plane: exactly the moves replay_committed makes,
+            # applied straight to switch state -- no target-map copy, no
+            # WAL record, no plan diff.  Equivalence with the journaled
+            # plane is what the replay-digest check proves.
+            for (ocs, north), south in changes.items():
+                state = self.manager.switch(ocs).state
+                if state.south_of(north) != south:
+                    if state.south_of(north) is not None:
+                        state.disconnect(north)
+                    other = state.north_of(south)
+                    if other is not None:
+                        state.disconnect(other)
+                    state.connect(north, south)
+                    self._digest_cache.invalidate_switch(ocs)
+            return
         if self.replication is not None:
             payload = {
                 "op": "retarget",
@@ -718,6 +938,11 @@ class FabricService:
         return t_end
 
     def _free_slice_port(self) -> Optional[int]:
+        if self._fast:
+            # Slice circuits are always port<->port on the slice OCS, so
+            # the reference scan's "lowest doubly-free port" is exactly
+            # the min of the free-port heap.
+            return self._free_ports[0] if self._free_ports else None
         state = self.manager.switch(self.config.slice_ocs).state
         for port in range(self.config.slice_radix):
             if state.south_of(port) is None and state.north_of(port) is None:
@@ -740,7 +965,22 @@ class FabricService:
         self.budget.deposit()
 
         def apply() -> None:
-            if self.replication is not None:
+            if self._fast:
+                self.manager.establish(
+                    LinkId(f"sl-{request.request_id}"),
+                    self.config.slice_ocs,
+                    port,
+                    port,
+                )
+                heapq.heappop(self._free_ports)  # == port (peeked above)
+                self._digest_cache.invalidate_switch(self.config.slice_ocs)
+                self._digest_cache.link_added(
+                    f"sl-{request.request_id}",
+                    self.config.slice_ocs.index,
+                    port,
+                    port,
+                )
+            elif self.replication is not None:
                 self.replication.submit(
                     {
                         "op": "establish",
@@ -784,11 +1024,16 @@ class FabricService:
             t_end = t + self.config.noop_ms / 1e3
             self._record(request, Outcome.OK, t_end, detail="noop")
             return t_end
-        job, _port = held
+        job, port = held
         self.budget.deposit()
 
         def apply() -> None:
-            if self.replication is not None:
+            if self._fast:
+                self.manager.teardown(LinkId(f"sl-{alloc_id}"))
+                heapq.heappush(self._free_ports, port)
+                self._digest_cache.invalidate_switch(self.config.slice_ocs)
+                self._digest_cache.link_removed(f"sl-{alloc_id}")
+            elif self.replication is not None:
                 self.replication.submit(
                     {"op": "teardown", "link": f"sl-{alloc_id}"},
                     self._sim_now,
@@ -819,14 +1064,18 @@ class FabricService:
             and t - cached[1] <= self.config.telemetry_ttl_s
         ):
             self._cache_hits += 1
-            self.obs.metrics.counter("serve.telemetry", source="cache").inc()
+            self._telemetry_hit_counter.inc()
             t_end = t + self.config.telemetry_cached_ms / 1e3
             self._record(request, Outcome.OK, t_end, detail="cached")
             return t_end
-        digest = self.manager.state_digest()
+        if self._fast:
+            # Same digest bytes, but only dirty switches re-serialize.
+            digest = self._digest_cache.digest()
+        else:
+            digest = self.manager.state_digest()
         self._telemetry_cache = (digest, t)
         self._cache_misses += 1
-        self.obs.metrics.counter("serve.telemetry", source="fresh").inc()
+        self._telemetry_miss_counter.inc()
         t_end = t + self.config.telemetry_fresh_ms / 1e3
         self._record(request, Outcome.OK, t_end, detail="fresh")
         return t_end
@@ -868,7 +1117,7 @@ class FabricService:
                 return t
             if not self._gate_attempt(t):
                 self._breaker_fast_fails += 1
-                self.obs.metrics.counter("serve.breaker.fast_fails").inc()
+                self._fast_fail_counter.inc()
                 for m in members:
                     self._record(
                         m, Outcome.ERROR, t, attempts=attempts,
@@ -877,7 +1126,7 @@ class FabricService:
                 return t
             attempts += 1
             self._downstream_attempts += 1
-            self.obs.metrics.counter("serve.attempts").inc()
+            self._attempts_counter.inc()
             failure = self._attempt_failure(t)
             if failure is None:
                 self._sim_now = t
@@ -904,10 +1153,8 @@ class FabricService:
                             m, Outcome.OK, t_end, attempts=attempts, detail="batched"
                         )
                     self._batches_flushed += 1
-                    self.obs.metrics.counter("serve.batches.flushed").inc()
-                    self.obs.metrics.histogram("serve.batch.size").observe(
-                        float(len(members))
-                    )
+                    self._batches_counter.inc()
+                    self._batch_size_hist.observe(float(len(members)))
                     return t_end
             self.breaker.record_failure(t)
             t += self.config.rpc_timeout_ms / 1e3
@@ -944,10 +1191,49 @@ class FabricService:
 
     def run(
         self,
-        requests: Sequence[TenantRequest],
+        requests: Union[Sequence[TenantRequest], Iterable[TenantRequest]],
         faults: Optional[FaultInjector] = None,
     ) -> ServeReport:
-        """Serve the whole stream; returns the deterministic report."""
+        """Serve the whole stream; returns the deterministic report.
+
+        This is the fast path: in solo-controller mode it engages the
+        delta commit plane (direct switch-state moves, count-twin
+        allocator, free-port heap, fragment-cached telemetry digests,
+        O(1) recovery) -- bit-identical to :meth:`run_reference`, which
+        the property tests in ``tests/serve/test_fastpath.py`` pin over
+        arbitrary fault timelines.  Replicated configs always use the
+        journaled plane.  ``requests`` may be any iterable in arrival
+        order (e.g. :meth:`~repro.serve.workload.ServeWorkload.stream`);
+        nothing is pre-materialized.
+        """
+        self._fast = self.replication is None
+        if self._fast:
+            self.allocator = _CubeLedger(self.config.allocator_cubes)
+            self._digest_cache = _DigestCache(self.manager)
+            # range() is ascending, hence already a valid min-heap.
+            self._free_ports = list(range(self.config.slice_radix))
+        return self._execute(requests, faults)
+
+    def run_reference(
+        self,
+        requests: Union[Sequence[TenantRequest], Iterable[TenantRequest]],
+        faults: Optional[FaultInjector] = None,
+    ) -> ServeReport:
+        """The journaled oracle plane (the pre-fast-path ``run``).
+
+        Every mutation goes through the DurableController's WAL,
+        recovery replays the journal, telemetry hashes the full fabric
+        -- slow, but independently derived.  The fast path is pinned
+        against this, digest for digest.
+        """
+        self._fast = False
+        return self._execute(requests, faults)
+
+    def _execute(
+        self,
+        requests: Union[Sequence[TenantRequest], Iterable[TenantRequest]],
+        faults: Optional[FaultInjector] = None,
+    ) -> ServeReport:
         if faults is not None:
             self.attach_faults(faults)
 
@@ -955,36 +1241,55 @@ class FabricService:
             if faults is not None:
                 faults.advance_to(t)
 
-        with self.obs.tracer.span("serve.run", requests=len(requests)):
-            i, n = 0, len(requests)
+        INF = math.inf
+        queue = self.queue
+        maintenance_interval_s = self.config.maintenance_interval_s
+        length = len(requests) if hasattr(requests, "__len__") else -1
+        stream = iter(requests)
+        next_request = next(stream, None)
+        with self.obs.tracer.span("serve.run", requests=length):
             now = 0.0
             server_free = 0.0
-            next_maintenance = self.config.maintenance_interval_s
-            while i < n or self.queue.occupancy or self._batch:
-                candidates: List[Tuple[float, int]] = []
-                if i < n:
-                    candidates.append((requests[i].arrival_s, 0))
-                if self._batch:
-                    candidates.append((self._batch_due_s, 1))
-                if self.queue.occupancy:
-                    candidates.append((max(server_free, now), 3))
-                horizon = min(candidates)[0]
-                if next_maintenance <= horizon:
-                    candidates.append((next_maintenance, 2))
-                when, what = min(candidates)
-                now = max(now, when)
+            next_maintenance = maintenance_interval_s
+            # The event calendar, as scalars.  Four candidate events --
+            # arrival (0), batch flush (1), maintenance (2), serve (3)
+            # -- ordered by (time, index); absent events sit at +inf and
+            # each branch invalidates only the candidates it moved.
+            while next_request is not None or len(queue) or self._batch:
+                arrival_t = next_request.arrival_s if next_request is not None else INF
+                when = arrival_t
+                what = 0
+                if self._batch and self._batch_due_s < when:
+                    when = self._batch_due_s
+                    what = 1
+                if len(queue):
+                    serve_t = server_free if server_free > now else now
+                    if serve_t < when:
+                        when = serve_t
+                        what = 3
+                # Maintenance joins the calendar only once due (<= the
+                # earliest other event) and loses (time, index) ties to
+                # arrivals and flushes but beats serves.
+                if next_maintenance <= when and (
+                    next_maintenance < when or what == 3
+                ):
+                    when = next_maintenance
+                    what = 2
+                if when > now:
+                    now = when
                 advance(when)
                 if what == 0:
-                    request = requests[i]
-                    i += 1
+                    request = next_request
+                    next_request = next(stream, None)
                     self._offered += 1
+                    self._sink.offered(request)
                     ok, reason = self.admission.admit(request.tenant, when)
                     if not ok:
                         self._record(request, Outcome.REJECTED, when, detail=reason)
                     else:
-                        shed = self.queue.push(request, when)
+                        shed = queue.push(request, when)
                         if shed is not None:
-                            self._shed_records.append(shed)
+                            self._sink.shed(shed)
                             self._record(
                                 shed.victim, Outcome.SHED, when,
                                 detail=f"displaced-by:{shed.displaced_by}",
@@ -995,37 +1300,38 @@ class FabricService:
                     advance(start)
                     server_free = self._flush_batch(start)
                 elif what == 2:
-                    next_maintenance += self.config.maintenance_interval_s
+                    next_maintenance += maintenance_interval_s
                     if self.replication is not None:
                         # Maintenance in replicated mode is the lease
                         # heartbeat: renew + catch stragglers up.
                         if self.brownout.defer_maintenance or not self.replication.heartbeat(when):
                             self._maintenance_deferred += 1
-                            self.obs.metrics.counter(
-                                "serve.maintenance.deferred"
-                            ).inc()
+                            self._maint_deferred_counter.inc()
                         else:
                             self._maintenance_runs += 1
-                            self.obs.metrics.counter("serve.maintenance.runs").inc()
+                            self._maint_runs_counter.inc()
                             server_free = (
                                 max(when, server_free)
                                 + self.config.maintenance_ms / 1e3
                             )
                     elif self.brownout.defer_maintenance or self._controller_down:
                         self._maintenance_deferred += 1
-                        self.obs.metrics.counter("serve.maintenance.deferred").inc()
+                        self._maint_deferred_counter.inc()
                     else:
-                        assert self.controller is not None
-                        self.controller.checkpoint()
+                        if not self._fast:
+                            # The checkpoint compacts the WAL -- state
+                            # the fast plane neither writes nor reads.
+                            assert self.controller is not None
+                            self.controller.checkpoint()
                         self._maintenance_runs += 1
-                        self.obs.metrics.counter("serve.maintenance.runs").inc()
+                        self._maint_runs_counter.inc()
                         server_free = (
                             max(when, server_free) + self.config.maintenance_ms / 1e3
                         )
                 else:
                     start = max(when, server_free)
                     advance(start)
-                    request = self.queue.pop()
+                    request = queue.pop()
                     if start > request.deadline_s:
                         self._record(
                             request, Outcome.TIMEOUT, start,
@@ -1043,15 +1349,25 @@ class FabricService:
             if self.replication is not None:
                 self.replication.finalize_outage(max(now, server_free))
 
-            if len(self._records) != self._offered:
+            if self._sink.total_recorded != self._offered:
                 raise ServeError(
                     f"partition violated: {self._offered} offered, "
-                    f"{len(self._records)} terminal outcomes"
+                    f"{self._sink.total_recorded} terminal outcomes"
                 )
+            final = self._sink.finalize()
+            if isinstance(final, StreamAggregates):
+                records: List[RequestRecord] = []
+                shed_records: List[ShedRecord] = []
+                aggregates: Optional[StreamAggregates] = final
+            else:
+                records = final
+                shed_records = list(self._sink.shed_records)
+                aggregates = None
             report = ServeReport(
                 config=self.config,
-                records=sorted(self._records, key=lambda r: r.request.seq),
-                shed_records=list(self._shed_records),
+                records=records,
+                shed_records=shed_records,
+                aggregates=aggregates,
                 commit_log=list(self._commit_log),
                 offered=self._offered,
                 downstream_attempts=self._downstream_attempts,

@@ -23,8 +23,9 @@ per-tenant fairness has something to push back on.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -97,17 +98,37 @@ class ServeWorkload:
         children = np.random.SeedSequence(self.seed).spawn(6)
         return tuple(np.random.default_rng(c) for c in children)
 
-    def generate(self, num_requests: int) -> List[TenantRequest]:
-        """The first ``num_requests`` primaries plus their derived
-        releases, merged in arrival order with final seq numbers."""
-        if num_requests <= 0:
-            raise ConfigurationError("need at least one request")
-        inter_rng, tenant_rng, kind_rng, bank_rng, cube_rng, hold_rng = self._streams()
+    def _kinds_and_weights(self) -> Tuple[List[RequestKind], np.ndarray]:
         kinds = sorted(self.mix, key=lambda k: k.value)
         weights = np.array([self.mix[k] for k in kinds], dtype=float)
         weights /= weights.sum()
+        return kinds, weights
 
-        raw: List[Tuple[float, int, TenantRequest]] = []
+    def generate(self, num_requests: int) -> List[TenantRequest]:
+        """The first ``num_requests`` primaries plus their derived
+        releases, merged in arrival order with final seq numbers."""
+        return list(self.stream(num_requests))
+
+    def stream(self, num_requests: int) -> Iterator[TenantRequest]:
+        """Lazy :meth:`generate`: same requests, same order, same seq
+        numbers, without materializing the stream.
+
+        Derived releases wait in a min-heap keyed by ``(arrival, order)``
+        and are emitted as soon as the next primary would sort after
+        them, so peak buffering is the number of outstanding slice holds
+        (``~ rate x alloc share x mean hold``), not the stream length --
+        this is what lets the 10^6-request drill start serving without
+        pre-allocating a million :class:`TenantRequest` objects.
+        """
+        if num_requests <= 0:
+            raise ConfigurationError("need at least one request")
+        inter_rng, tenant_rng, kind_rng, bank_rng, cube_rng, hold_rng = self._streams()
+        kinds, weights = self._kinds_and_weights()
+        num_kinds = len(kinds)
+        release_deadline = self.deadlines_s[RequestKind.SLICE_RELEASE]
+
+        pending: List[Tuple[float, int, TenantRequest]] = []
+        seq = 0
         t = 0.0
         for i in range(num_requests):
             # One draw per stream per primary, unconditionally: streams
@@ -119,10 +140,25 @@ class ServeWorkload:
                 if hot or self.num_tenants == 1
                 else 1 + int(tenant_rng.integers(self.num_tenants - 1))
             )
-            kind = kinds[int(kind_rng.choice(len(kinds), p=weights))]
+            kind = kinds[int(kind_rng.choice(num_kinds, p=weights))]
             bank = int(bank_rng.integers(2))
             cubes = int(self.slice_cubes[int(cube_rng.integers(len(self.slice_cubes)))])
             hold_s = float(hold_rng.exponential(self.slice_hold_mean_s))
+
+            # A pending release older than this primary (by the merged
+            # (arrival, order) sort key) can never be displaced: emit it.
+            while pending and pending[0][:2] < (t, 2 * i):
+                _, _, held = heapq.heappop(pending)
+                yield TenantRequest(
+                    request_id=held.request_id,
+                    tenant=held.tenant,
+                    kind=held.kind,
+                    arrival_s=held.arrival_s,
+                    deadline_s=held.deadline_s,
+                    params=held.params,
+                    seq=seq,
+                )
+                seq += 1
 
             request_id = f"rq-{i:06d}"
             tenant = f"t-{tenant_idx:03d}"
@@ -133,23 +169,20 @@ class ServeWorkload:
                 params = (("cubes", cubes),)
             else:
                 params = ()
-            raw.append(
-                (
-                    t,
-                    2 * i,
-                    TenantRequest(
-                        request_id=request_id,
-                        tenant=tenant,
-                        kind=kind,
-                        arrival_s=t,
-                        deadline_s=t + self.deadlines_s[kind],
-                        params=params,  # type: ignore[arg-type]
-                    ),
-                )
+            yield TenantRequest(
+                request_id=request_id,
+                tenant=tenant,
+                kind=kind,
+                arrival_s=t,
+                deadline_s=t + self.deadlines_s[kind],
+                params=params,  # type: ignore[arg-type]
+                seq=seq,
             )
+            seq += 1
             if kind is RequestKind.SLICE_ALLOC:
                 release_t = t + hold_s
-                raw.append(
+                heapq.heappush(
+                    pending,
                     (
                         release_t,
                         2 * i + 1,
@@ -158,29 +191,187 @@ class ServeWorkload:
                             tenant=tenant,
                             kind=RequestKind.SLICE_RELEASE,
                             arrival_s=release_t,
-                            deadline_s=release_t
-                            + self.deadlines_s[RequestKind.SLICE_RELEASE],
+                            deadline_s=release_t + release_deadline,
                             params=(("slice", request_id),),
                         ),
-                    )
+                    ),
                 )
 
-        # Drop releases past the last primary arrival (open-loop end);
-        # the horizon is the final *primary*'s arrival time.
-        horizon = max(t0 for t0, order, _ in raw if order % 2 == 0)
-        merged = sorted(
-            (entry for entry in raw if entry[0] <= horizon or entry[1] % 2 == 0),
-            key=lambda entry: (entry[0], entry[1]),
-        )
-        return [
-            TenantRequest(
-                request_id=req.request_id,
-                tenant=req.tenant,
-                kind=req.kind,
-                arrival_s=req.arrival_s,
-                deadline_s=req.deadline_s,
-                params=req.params,
+        # Open-loop end: the horizon is the final *primary*'s arrival;
+        # releases scheduled past it are dropped (the service drains
+        # whatever is still held).
+        horizon = t
+        while pending:
+            release_t, _, held = heapq.heappop(pending)
+            if release_t > horizon:
+                continue
+            yield TenantRequest(
+                request_id=held.request_id,
+                tenant=held.tenant,
+                kind=held.kind,
+                arrival_s=held.arrival_s,
+                deadline_s=held.deadline_s,
+                params=held.params,
                 seq=seq,
             )
-            for seq, (_, _, req) in enumerate(merged)
+            seq += 1
+
+    def horizon_s(self, num_requests: int) -> float:
+        """Arrival time of the final primary -- the fault-timeline and
+        open-loop cutoff -- without generating any requests.
+
+        Only the inter-arrival stream is consumed; ``np.cumsum`` over a
+        vectorized draw is bit-identical to the sequential accumulation
+        in :meth:`stream` (pinned in ``tests/serve/test_workload.py``).
+        """
+        if num_requests <= 0:
+            raise ConfigurationError("need at least one request")
+        inter_rng = self._streams()[0]
+        draws = inter_rng.exponential(1.0 / self.rate_per_s, size=num_requests)
+        return float(np.cumsum(draws)[-1])
+
+    def columns(self, num_requests: int) -> Dict[str, np.ndarray]:
+        """The merged stream as flat ndarrays (the shm-shippable form).
+
+        Returns one row per emitted request, in seq order (row index ==
+        seq), plus per-primary draw columns:
+
+        - ``t``: arrival time per entry;
+        - ``order``: ``2i`` for primary *i*, ``2i + 1`` for its release
+          (so ``order >> 1`` recovers the primary index and ``order & 1``
+          the release flag);
+        - ``tenant_idx``, ``kind_code``, ``bank``, ``cubes``: indexed by
+          *primary* index (length ``num_requests``); ``kind_code``
+          indexes the value-sorted primary kinds.
+
+        Every scalar draw in :meth:`stream` has a bit-identical
+        vectorized counterpart (numpy Generators produce the same values
+        batched or repeated), except the tenant stream, whose two draws
+        interleave conditionally and are therefore replayed exactly.
+        :func:`requests_from_columns` rebuilds byte-identical
+        :class:`TenantRequest` objects from this form.
+        """
+        if num_requests <= 0:
+            raise ConfigurationError("need at least one request")
+        n = num_requests
+        inter_rng, tenant_rng, kind_rng, bank_rng, cube_rng, hold_rng = self._streams()
+        kinds, weights = self._kinds_and_weights()
+
+        t = np.cumsum(inter_rng.exponential(1.0 / self.rate_per_s, size=n))
+        tenant_idx = np.zeros(n, dtype=np.int64)
+        if self.num_tenants == 1:
+            tenant_rng.uniform(size=n)  # lockstep draws; everyone is t-000
+        else:
+            hot_share = self.hot_tenant_share
+            spread = self.num_tenants - 1
+            uniform = tenant_rng.uniform
+            integers = tenant_rng.integers
+            for i in range(n):
+                # Not vectorizable: the integers draw happens only on
+                # the cold branch, so the stream interleaves dynamically.
+                if float(uniform()) >= hot_share:
+                    tenant_idx[i] = 1 + int(integers(spread))
+        kind_code = kind_rng.choice(len(kinds), p=weights, size=n)
+        bank = bank_rng.integers(2, size=n)
+        cubes = np.asarray(self.slice_cubes, dtype=np.int64)[
+            cube_rng.integers(len(self.slice_cubes), size=n)
         ]
+        hold = hold_rng.exponential(self.slice_hold_mean_s, size=n)
+
+        alloc_code = (
+            kinds.index(RequestKind.SLICE_ALLOC)
+            if RequestKind.SLICE_ALLOC in kinds
+            else -1
+        )
+        release_t = t + hold
+        horizon = float(t[-1])
+        keep = np.nonzero((kind_code == alloc_code) & (release_t <= horizon))[0]
+        all_t = np.concatenate([t, release_t[keep]])
+        all_order = np.concatenate([np.arange(n) * 2, keep * 2 + 1])
+        perm = np.lexsort((all_order, all_t))
+        return {
+            "t": all_t[perm],
+            "order": all_order[perm],
+            "tenant_idx": tenant_idx,
+            "kind_code": np.asarray(kind_code, dtype=np.int64),
+            "bank": np.asarray(bank, dtype=np.int64),
+            "cubes": cubes,
+        }
+
+    def iter_from_columns(
+        self,
+        cols: Dict[str, np.ndarray],
+        chunk_rows: int = 65_536,
+    ) -> Iterator[TenantRequest]:
+        """Lazy request stream over :meth:`columns` output.
+
+        Same requests and order as :meth:`stream`, but the draws come
+        from the vectorized columns (~4x faster to produce) and at most
+        ``chunk_rows`` :class:`TenantRequest` objects are materialized
+        at a time -- the feed for the million-request streaming drill.
+        """
+        total = len(cols["t"])
+        for start in range(0, total, chunk_rows):
+            yield from self.requests_from_columns(
+                cols, range(start, min(start + chunk_rows, total))
+            )
+
+    def requests_from_columns(
+        self,
+        cols: Dict[str, np.ndarray],
+        rows: Optional[np.ndarray] = None,
+    ) -> List[TenantRequest]:
+        """Materialize :class:`TenantRequest` objects from :meth:`columns`.
+
+        ``rows`` selects a subset of entry rows (e.g. one shard's); seq
+        numbers stay *global* (the row index in the merged stream), so
+        shard outputs merge back into the exact unsharded order.
+        """
+        kinds, _ = self._kinds_and_weights()
+        t_col = cols["t"]
+        order_col = cols["order"]
+        tenant_col = cols["tenant_idx"]
+        kind_col = cols["kind_code"]
+        bank_col = cols["bank"]
+        cubes_col = cols["cubes"]
+        release_deadline = self.deadlines_s[RequestKind.SLICE_RELEASE]
+        indices = range(len(t_col)) if rows is None else rows
+        out: List[TenantRequest] = []
+        for row in indices:
+            order = int(order_col[row])
+            i = order >> 1
+            t = float(t_col[row])
+            tenant = f"t-{int(tenant_col[i]):03d}"
+            if order & 1:
+                out.append(
+                    TenantRequest(
+                        request_id=f"rl-{i:06d}",
+                        tenant=tenant,
+                        kind=RequestKind.SLICE_RELEASE,
+                        arrival_s=t,
+                        deadline_s=t + release_deadline,
+                        params=(("slice", f"rq-{i:06d}"),),
+                        seq=int(row),
+                    )
+                )
+                continue
+            kind = kinds[int(kind_col[i])]
+            params: Tuple[Tuple[str, object], ...]
+            if kind in (RequestKind.TRAFFIC_UPDATE, RequestKind.RECONFIGURE):
+                params = (("bank", int(bank_col[i])),)
+            elif kind is RequestKind.SLICE_ALLOC:
+                params = (("cubes", int(cubes_col[i])),)
+            else:
+                params = ()
+            out.append(
+                TenantRequest(
+                    request_id=f"rq-{i:06d}",
+                    tenant=tenant,
+                    kind=kind,
+                    arrival_s=t,
+                    deadline_s=t + self.deadlines_s[kind],
+                    params=params,  # type: ignore[arg-type]
+                    seq=int(row),
+                )
+            )
+        return out

@@ -202,3 +202,55 @@ class TestNullObs:
         trace_digest, metrics_digest = obs.digests()
         assert len(trace_digest) == 64
         assert len(metrics_digest) == 64
+
+
+class TestBoundHandles:
+    """handle()/family(): the hot-loop resolution caches added for the
+    serving fast path.  They must hand back the *same* instrument
+    objects as the name-based accessors so snapshots, digests, and
+    queries are unchanged."""
+
+    def test_handle_returns_the_name_based_instrument(self):
+        registry = MetricsRegistry()
+        for kind in ("counter", "gauge", "histogram"):
+            bound = registry.handle(kind, "h.test", outcome="ok")
+            named = getattr(registry, kind)("h.test", outcome="ok")
+            assert bound is named, kind
+
+    def test_handle_increments_are_visible_to_queries(self):
+        registry = MetricsRegistry()
+        bound = registry.handle("counter", "h.hits", route="a")
+        for _ in range(5):
+            bound.inc()
+        assert registry.value("h.hits", route="a") == 5.0
+        assert registry.sum_counters("h.hits") == 5.0
+
+    def test_handle_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().handle("timer", "h.test")
+
+    def test_family_series_is_cached_and_identical(self):
+        registry = MetricsRegistry()
+        family = registry.family("counter", "f.outcomes", "outcome")
+        ok = family.series("ok")
+        assert family.series("ok") is ok
+        assert registry.counter("f.outcomes", outcome="ok") is ok
+        ok.inc(3.0)
+        assert registry.value("f.outcomes", outcome="ok") == 3.0
+
+    def test_family_coerces_non_string_values(self):
+        registry = MetricsRegistry()
+        family = registry.family("gauge", "f.shards", "cell")
+        assert family.series(7) is registry.gauge("f.shards", cell="7")
+
+    def test_family_arity_is_checked(self):
+        family = MetricsRegistry().family("counter", "f.pair", "a", "b")
+        with pytest.raises(ConfigurationError):
+            family.series("only-one")
+
+    def test_family_rejects_bad_declarations(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.family("timer", "f.test", "a")
+        with pytest.raises(ConfigurationError):
+            registry.family("counter", "f.test", "a", "a")

@@ -218,3 +218,50 @@ class TestConfigValidation:
 
         with pytest.raises(ConfigurationError):
             small_config(**kwargs)
+
+
+class TestReportPercentileCache:
+    """Regression: percentile queries used to re-sort the full record
+    list on every call; now each outcome's latencies are sorted once
+    and cached on the (immutable) report."""
+
+    def _report(self):
+        return FabricService(small_config()).run(
+            small_workload(seed=4, rate_per_s=600.0).generate(400)
+        )
+
+    def test_repeated_queries_reuse_one_sort(self):
+        report = self._report()
+        first = report.latency_percentile_ms(0.99)
+        cached = report._sorted_latencies[Outcome.OK]
+        for q in (0.5, 0.9, 0.95, 0.99):
+            report.latency_percentile_ms(q)
+        assert report._sorted_latencies[Outcome.OK] is cached
+        assert report.latency_percentile_ms(0.99) == first
+
+    def test_cached_percentiles_match_naive_order_statistic(self):
+        import math
+
+        report = self._report()
+        for outcome in (Outcome.OK, Outcome.ERROR):
+            latencies = sorted(
+                r.latency_ms for r in report.records if r.outcome is outcome
+            )
+            for q in (0.5, 0.9, 0.99):
+                expected = 0.0
+                if latencies:
+                    expected = latencies[
+                        min(len(latencies) - 1, int(math.ceil(q * len(latencies))) - 1)
+                    ]
+                assert report.latency_percentile_ms(q, outcome) == expected
+
+    def test_each_outcome_gets_its_own_cache_entry(self):
+        report = self._report()
+        report.latency_percentile_ms(0.99, Outcome.OK)
+        report.latency_percentile_ms(0.99, Outcome.REJECTED)
+        assert Outcome.OK in report._sorted_latencies
+        assert Outcome.REJECTED in report._sorted_latencies
+        assert (
+            report._sorted_latencies[Outcome.OK]
+            is not report._sorted_latencies[Outcome.REJECTED]
+        )

@@ -76,3 +76,61 @@ class TestServeWorkload:
     def test_invalid_config(self, kwargs):
         with pytest.raises(ConfigurationError):
             ServeWorkload(**kwargs)
+
+
+class TestColumnarWorkload:
+    """The vectorized columns path is bit-identical to the scalar
+    stream -- this is what lets the sharded drill ship one set of
+    ndarrays over shared memory and rebuild any cell's slice of the
+    stream inside a worker."""
+
+    def test_columns_rebuild_equals_generate(self):
+        wl = ServeWorkload(seed=17, rate_per_s=900.0, num_tenants=64)
+        expected = wl.generate(500)
+        cols = wl.columns(500)
+        rebuilt = wl.requests_from_columns(cols)
+        assert [r.canonical() for r in rebuilt] == [
+            r.canonical() for r in expected
+        ]
+        assert [r.seq for r in rebuilt] == [r.seq for r in expected]
+
+    def test_iter_from_columns_equals_stream_across_chunks(self):
+        wl = ServeWorkload(seed=23, rate_per_s=900.0, num_tenants=64)
+        expected = [r.canonical() for r in wl.stream(500)]
+        cols = wl.columns(500)
+        for chunk_rows in (1, 7, 100, 65_536):
+            got = [r.canonical() for r in wl.iter_from_columns(cols, chunk_rows)]
+            assert got == expected, f"chunk_rows={chunk_rows}"
+
+    def test_row_subset_keeps_global_seqs(self):
+        wl = ServeWorkload(seed=31, rate_per_s=900.0, num_tenants=64)
+        full = wl.generate(300)
+        cols = wl.columns(300)
+        rows = [i for i in range(len(full)) if i % 3 == 1]
+        subset = wl.requests_from_columns(cols, rows)
+        assert [r.canonical() for r in subset] == [
+            full[i].canonical() for i in rows
+        ]
+
+    def test_horizon_is_last_primary_arrival(self):
+        wl = ServeWorkload(seed=41, rate_per_s=900.0, num_tenants=64)
+        requests = wl.generate(350)
+        last_primary = max(
+            r.arrival_s for r in requests if r.request_id.startswith("rq-")
+        )
+        assert wl.horizon_s(350) == last_primary
+        cols = wl.columns(350)
+        assert float(cols["t"][-1]) >= last_primary
+
+    def test_single_tenant_columns_round_trip(self):
+        wl = ServeWorkload(seed=2, rate_per_s=400.0, num_tenants=1)
+        expected = wl.generate(120)
+        assert all(r.tenant == "t-000" for r in expected)
+        rebuilt = wl.requests_from_columns(wl.columns(120))
+        assert [r.canonical() for r in rebuilt] == [
+            r.canonical() for r in expected
+        ]
+
+    def test_horizon_of_empty_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServeWorkload(seed=1).horizon_s(0)
